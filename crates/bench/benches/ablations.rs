@@ -1,0 +1,104 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! estimation basis (ancestor vs descendant), Auto's method cascade,
+//! compound-predicate synthesis, equi-depth grids, and the cost of
+//! twig estimation as patterns grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xmlest_bench::{dept_workload, DEPT_BENCH_NODES};
+use xmlest_core::{Basis, EstimateMethod, Summaries, SummaryConfig};
+use xmlest_predicate::PredExpr;
+use xmlest_query::parse_path;
+
+fn bench_ablations(c: &mut Criterion) {
+    let w = dept_workload(DEPT_BENCH_NODES);
+    let est = w.summaries.estimator();
+
+    let mut group = c.benchmark_group("ablations");
+
+    // Estimation basis.
+    for (label, basis) in [
+        ("ancestor_based", Basis::AncestorBased),
+        ("descendant_based", Basis::DescendantBased),
+    ] {
+        group.bench_function(BenchmarkId::new("basis", label), |b| {
+            b.iter(|| {
+                est.estimate_pair(
+                    black_box("manager"),
+                    black_box("email"),
+                    EstimateMethod::Primitive(basis),
+                )
+                .unwrap()
+                .value
+            })
+        });
+    }
+
+    // The Auto cascade (schema -> no-overlap -> primitive).
+    group.bench_function("method/auto", |b| {
+        b.iter(|| {
+            est.estimate_pair(
+                black_box("employee"),
+                black_box("name"),
+                EstimateMethod::Auto,
+            )
+            .unwrap()
+            .value
+        })
+    });
+
+    // Compound predicate synthesis (Section 3.4).
+    let compound = PredExpr::named("email").or(PredExpr::named("name"));
+    group.bench_function("compound/or_histogram", |b| {
+        b.iter(|| est.node_stats(black_box(&compound)).unwrap().hist.total())
+    });
+
+    // Equi-depth vs uniform grids (build + estimate).
+    let mut eq_config = SummaryConfig::paper_defaults();
+    eq_config.equi_depth = true;
+    group.sample_size(20);
+    group.bench_function("grid/uniform_build", |b| {
+        b.iter(|| {
+            Summaries::build(&w.tree, &w.catalog, &SummaryConfig::paper_defaults())
+                .unwrap()
+                .storage_bytes()
+        })
+    });
+    group.bench_function("grid/equi_depth_build", |b| {
+        b.iter(|| {
+            Summaries::build(&w.tree, &w.catalog, &eq_config)
+                .unwrap()
+                .storage_bytes()
+        })
+    });
+
+    // Markov-table baseline vs position histograms (estimation time).
+    let markov = xmlest_core::markov::MarkovTable::build(&w.tree, 8);
+    let twig = parse_path("//manager//department[.//employee][.//email]").unwrap();
+    group.bench_function("baseline/markov_twig", |b| {
+        b.iter(|| markov.estimate_twig(black_box(&twig)).unwrap())
+    });
+    group.bench_function("baseline/histogram_twig", |b| {
+        b.iter(|| est.estimate_twig(black_box(&twig)).unwrap().value)
+    });
+
+    // Twig estimation cost by pattern size.
+    for (label, q) in [
+        ("2_nodes", "//manager//email"),
+        ("3_nodes", "//manager//department//email"),
+        ("4_nodes", "//manager//department[.//employee][.//email]"),
+        (
+            "5_nodes",
+            "//manager//department[.//employee[.//name]][.//email]",
+        ),
+    ] {
+        let twig = parse_path(q).unwrap();
+        group.bench_with_input(BenchmarkId::new("twig_size", label), &twig, |b, twig| {
+            b.iter(|| est.estimate_twig(black_box(twig)).unwrap().value)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

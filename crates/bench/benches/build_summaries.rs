@@ -1,0 +1,41 @@
+//! Summary-construction throughput: the offline cost of the paper's
+//! approach (histograms are built once per database, like any catalog
+//! statistics), plus serialization round-trip cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xmlest_bench::{dblp_workload, dept_workload};
+use xmlest_core::{summary, Summaries, SummaryConfig};
+
+fn bench_build(c: &mut Criterion) {
+    let dblp = dblp_workload(5_000);
+    let dept = dept_workload(10_000);
+
+    let mut group = c.benchmark_group("build_summaries");
+    group.sample_size(10);
+    for (w, label) in [(&dblp, "dblp_5k_records"), (&dept, "dept_10k_nodes")] {
+        group.bench_with_input(BenchmarkId::new("build_g10", label), w, |b, w| {
+            b.iter(|| {
+                Summaries::build(
+                    black_box(&w.tree),
+                    &w.catalog,
+                    &SummaryConfig::paper_defaults(),
+                )
+                .unwrap()
+                .storage_bytes()
+            })
+        });
+    }
+
+    let bytes = summary::to_bytes(&dblp.summaries);
+    group.bench_function("serialize/dblp", |b| {
+        b.iter(|| summary::to_bytes(black_box(&dblp.summaries)).len())
+    });
+    group.bench_function("deserialize/dblp", |b| {
+        b.iter(|| summary::from_bytes(black_box(&bytes)).unwrap().len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

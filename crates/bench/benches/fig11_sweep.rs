@@ -1,0 +1,37 @@
+//! Fig. 11 benchmark: how estimation time scales with grid size for the
+//! overlap-predicate query `department//email`. The accuracy/storage
+//! curves of the figure are produced by `paper_tables --fig11`; this
+//! bench pins down the time dimension: per-estimate cost should grow
+//! mildly (near-linearly) in g, never quadratically.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xmlest_bench::{dept_workload, DEPT_BENCH_NODES};
+use xmlest_core::{Basis, EstimateMethod, Summaries};
+
+fn bench_fig11(c: &mut Criterion) {
+    let w = dept_workload(DEPT_BENCH_NODES);
+    let mut group = c.benchmark_group("fig11_grid_size");
+    for g in [5u16, 10, 20, 50] {
+        let summaries: Summaries = w.at_grid(g);
+        group.bench_with_input(BenchmarkId::new("estimate", g), &summaries, |b, s| {
+            let est = s.estimator();
+            b.iter(|| {
+                est.estimate_pair(
+                    black_box("department"),
+                    black_box("email"),
+                    EstimateMethod::Primitive(Basis::AncestorBased),
+                )
+                .unwrap()
+                .value
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("build", g), &g, |b, &g| {
+            b.iter(|| w.at_grid(black_box(g)).storage_bytes())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Fig. 12 benchmark: grid-size scaling for the no-overlap query
+//! `article//cdrom`, which exercises both position *and* coverage
+//! histograms. Complements `paper_tables --fig12` (storage/accuracy)
+//! with the time dimension.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xmlest_bench::dblp_workload;
+use xmlest_core::{Basis, EstimateMethod, Summaries};
+
+fn bench_fig12(c: &mut Criterion) {
+    let w = dblp_workload(2_000);
+    let mut group = c.benchmark_group("fig12_grid_size");
+    for g in [5u16, 10, 20, 50] {
+        let summaries: Summaries = w.at_grid(g);
+        group.bench_with_input(
+            BenchmarkId::new("no_overlap_estimate", g),
+            &summaries,
+            |b, s| {
+                let est = s.estimator();
+                b.iter(|| {
+                    est.estimate_pair(
+                        black_box("article"),
+                        black_box("cdrom"),
+                        EstimateMethod::NoOverlap(Basis::AncestorBased),
+                    )
+                    .unwrap()
+                    .value
+                })
+            },
+        );
+        // Coverage-histogram construction is the expensive part of the
+        // build at larger g; isolate it.
+        group.bench_with_input(BenchmarkId::new("summary_build", g), &g, |b, &g| {
+            b.iter(|| w.at_grid(black_box(g)).storage_bytes())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig12);
+criterion_main!(benches);

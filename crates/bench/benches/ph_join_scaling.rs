@@ -1,0 +1,55 @@
+//! pH-join algorithm benchmarks (Section 3.3's time analysis).
+//!
+//! Three implementations of the same estimate:
+//! * `three_pass` — the partial-sum algorithm of Fig. 9 (O(g²) work);
+//! * `reference` — the naive region-sum (O(g⁴)), the paper's "summation
+//!   work in the inner loop is repeated several times";
+//! * `precomputed` — coefficients precomputed per Section 3.3's
+//!   space–time tradeoff; each join then costs only the O(g) non-zero
+//!   cells of the outer operand.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xmlest_bench::dept_workload;
+use xmlest_core::ph_join::{ph_join, ph_join_reference, JoinCoefficients};
+use xmlest_core::Basis;
+
+fn bench_ph_join(c: &mut Criterion) {
+    let w = dept_workload(10_000);
+    let mut group = c.benchmark_group("ph_join");
+    for g in [10u16, 20, 40, 80] {
+        let s = w.at_grid(g);
+        let anc = s.get("department").unwrap().hist.clone();
+        let desc = s.get("email").unwrap().hist.clone();
+
+        group.bench_with_input(BenchmarkId::new("three_pass", g), &g, |b, _| {
+            b.iter(|| {
+                ph_join(black_box(&anc), black_box(&desc), Basis::AncestorBased)
+                    .unwrap()
+                    .total()
+            })
+        });
+        if g <= 40 {
+            group.bench_with_input(BenchmarkId::new("reference", g), &g, |b, _| {
+                b.iter(|| {
+                    ph_join_reference(black_box(&anc), black_box(&desc), Basis::AncestorBased)
+                        .unwrap()
+                        .total()
+                })
+            });
+        }
+        let coeffs = JoinCoefficients::precompute(&desc, Basis::AncestorBased);
+        group.bench_with_input(BenchmarkId::new("precomputed_apply", g), &g, |b, _| {
+            b.iter(|| coeffs.apply(black_box(&anc)).unwrap().total())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("precompute_coefficients", g),
+            &g,
+            |b, _| b.iter(|| JoinCoefficients::precompute(black_box(&desc), Basis::AncestorBased)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ph_join);
+criterion_main!(benches);

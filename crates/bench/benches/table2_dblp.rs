@@ -1,0 +1,68 @@
+//! Table 2 benchmark: estimation latency for the DBLP simple queries.
+//!
+//! The paper reports "a few tenths of a millisecond" per estimate
+//! (Table 2's Est Time columns). This bench measures the same four
+//! queries with both estimation algorithms, plus the exact matcher for
+//! contrast (the work the estimates let the optimizer avoid).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xmlest_bench::{dblp_workload, DBLP_BENCH_RECORDS};
+use xmlest_core::{Basis, EstimateMethod};
+use xmlest_query::{count_matches, parse_path};
+
+const PAIRS: &[(&str, &str)] = &[
+    ("article", "author"),
+    ("article", "cdrom"),
+    ("article", "cite"),
+    ("book", "cdrom"),
+];
+
+fn bench_table2(c: &mut Criterion) {
+    let w = dblp_workload(DBLP_BENCH_RECORDS);
+    let est = w.summaries.estimator();
+
+    let mut group = c.benchmark_group("table2_estimate");
+    for (anc, desc) in PAIRS {
+        group.bench_with_input(
+            BenchmarkId::new("overlap", format!("{anc}-{desc}")),
+            &(anc, desc),
+            |b, (anc, desc)| {
+                b.iter(|| {
+                    est.estimate_pair(
+                        black_box(anc),
+                        black_box(desc),
+                        EstimateMethod::Primitive(Basis::AncestorBased),
+                    )
+                    .unwrap()
+                    .value
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("no_overlap", format!("{anc}-{desc}")),
+            &(anc, desc),
+            |b, (anc, desc)| {
+                b.iter(|| {
+                    est.estimate_pair(
+                        black_box(anc),
+                        black_box(desc),
+                        EstimateMethod::NoOverlap(Basis::AncestorBased),
+                    )
+                    .unwrap()
+                    .value
+                })
+            },
+        );
+    }
+    // The alternative the estimates make unnecessary: exact evaluation.
+    group.sample_size(10);
+    group.bench_function("exact_matcher/article-author", |b| {
+        let twig = parse_path("//article//author").unwrap();
+        b.iter(|| count_matches(black_box(&w.tree), &w.catalog, &twig).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

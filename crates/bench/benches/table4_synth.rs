@@ -1,0 +1,71 @@
+//! Table 4 benchmark: estimation latency on the synthetic department
+//! data set — deep recursion instead of DBLP's flat records. The paper's
+//! point: "In spite of the deep recursion, the time to compute estimates
+//! remains a small fraction of a millisecond."
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xmlest_bench::{dept_workload, DEPT_BENCH_NODES};
+use xmlest_core::{Basis, EstimateMethod};
+use xmlest_query::parse_path;
+
+/// The seven Table 4 queries; the last two have no-overlap ancestors.
+const ROWS: &[(&str, &str, bool)] = &[
+    ("manager", "department", false),
+    ("manager", "employee", false),
+    ("manager", "email", false),
+    ("department", "employee", false),
+    ("department", "email", false),
+    ("employee", "name", true),
+    ("employee", "email", true),
+];
+
+fn bench_table4(c: &mut Criterion) {
+    let w = dept_workload(DEPT_BENCH_NODES);
+    let est = w.summaries.estimator();
+
+    let mut group = c.benchmark_group("table4_estimate");
+    for (anc, desc, no_overlap) in ROWS {
+        group.bench_with_input(
+            BenchmarkId::new("overlap", format!("{anc}-{desc}")),
+            &(anc, desc),
+            |b, (anc, desc)| {
+                b.iter(|| {
+                    est.estimate_pair(
+                        black_box(anc),
+                        black_box(desc),
+                        EstimateMethod::Primitive(Basis::AncestorBased),
+                    )
+                    .unwrap()
+                    .value
+                })
+            },
+        );
+        if *no_overlap {
+            group.bench_with_input(
+                BenchmarkId::new("no_overlap", format!("{anc}-{desc}")),
+                &(anc, desc),
+                |b, (anc, desc)| {
+                    b.iter(|| {
+                        est.estimate_pair(
+                            black_box(anc),
+                            black_box(desc),
+                            EstimateMethod::NoOverlap(Basis::AncestorBased),
+                        )
+                        .unwrap()
+                        .value
+                    })
+                },
+            );
+        }
+    }
+    // Full-twig estimation (the Fig. 2-style pattern).
+    group.bench_function("twig/manager-department-employee-email", |b| {
+        let twig = parse_path("//manager//department[.//employee][.//email]").unwrap();
+        b.iter(|| est.estimate_twig(black_box(&twig)).unwrap().value)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

@@ -1,0 +1,151 @@
+//! Accuracy battery: exhaustive evaluation of the estimator over every
+//! ancestor/descendant tag pair of a workload.
+//!
+//! The paper states it "tested our estimation techniques extensively on
+//! a wide variety of both real and synthetic data sets ... with a
+//! variety of queries" and shows representative rows. This module does
+//! the exhaustive version: for every ordered pair of tags with a
+//! non-zero true answer, compare the primitive and Auto estimates with
+//! the exact count, and aggregate error statistics.
+
+use crate::Workload;
+use xmlest_core::{Basis, EstimateMethod};
+use xmlest_query::{count_matches, parse_path};
+
+/// One evaluated query pair.
+#[derive(Debug, Clone)]
+pub struct PairResult {
+    pub anc: String,
+    pub desc: String,
+    pub real: u64,
+    pub primitive: f64,
+    pub auto: f64,
+    /// Which path Auto took ("schema" / "no-overlap" / "primitive").
+    pub method: &'static str,
+}
+
+/// Aggregate error statistics for one estimator column.
+#[derive(Debug, Clone, Copy)]
+pub struct Aggregate {
+    pub queries: usize,
+    /// Geometric mean of max(est/real, real/est) — the symmetric error
+    /// factor (1.0 = perfect).
+    pub geo_mean_factor: f64,
+    /// Fraction of queries within 2x of the truth.
+    pub within_2x: f64,
+    /// Worst symmetric error factor observed.
+    pub worst_factor: f64,
+}
+
+/// Runs the battery over all tag pairs with `real > 0`.
+pub fn run_battery(w: &Workload, min_real: u64) -> Vec<PairResult> {
+    let est = w.summaries.estimator();
+    let tags: Vec<String> = w
+        .tree
+        .tags()
+        .iter()
+        .map(|(_, name)| name.to_owned())
+        .filter(|name| !name.starts_with('#'))
+        .collect();
+    let mut results = Vec::new();
+    for anc in &tags {
+        for desc in &tags {
+            let Ok(twig) = parse_path(&format!("//{anc}//{desc}")) else {
+                continue;
+            };
+            let Ok(real) = count_matches(&w.tree, &w.catalog, &twig) else {
+                continue;
+            };
+            if real < min_real {
+                continue;
+            }
+            let Ok(primitive) =
+                est.estimate_pair(anc, desc, EstimateMethod::Primitive(Basis::AncestorBased))
+            else {
+                continue;
+            };
+            let Ok(auto) = est.estimate_pair(anc, desc, EstimateMethod::Auto) else {
+                continue;
+            };
+            results.push(PairResult {
+                anc: anc.clone(),
+                desc: desc.clone(),
+                real,
+                primitive: primitive.value,
+                auto: auto.value,
+                method: auto.method,
+            });
+        }
+    }
+    results
+}
+
+/// Symmetric error factor of one estimate.
+pub fn error_factor(est: f64, real: u64) -> f64 {
+    let real = real as f64;
+    if est <= 0.0 {
+        return f64::INFINITY;
+    }
+    (est / real).max(real / est)
+}
+
+/// Aggregates one estimator column over the battery.
+pub fn aggregate(results: &[PairResult], column: impl Fn(&PairResult) -> f64) -> Aggregate {
+    let mut log_sum = 0.0;
+    let mut within = 0usize;
+    let mut worst: f64 = 1.0;
+    for r in results {
+        let f = error_factor(column(r), r.real);
+        let f = f.min(1e9); // cap infinities so the geo-mean stays finite
+        log_sum += f.ln();
+        if f <= 2.0 {
+            within += 1;
+        }
+        worst = worst.max(f);
+    }
+    let n = results.len().max(1);
+    Aggregate {
+        queries: results.len(),
+        geo_mean_factor: (log_sum / n as f64).exp(),
+        within_2x: within as f64 / n as f64,
+        worst_factor: worst,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dept_workload;
+
+    #[test]
+    fn battery_runs_and_auto_beats_primitive() {
+        let w = dept_workload(2_500);
+        let results = run_battery(&w, 5);
+        assert!(results.len() >= 10, "only {} pairs", results.len());
+        let prim = aggregate(&results, |r| r.primitive);
+        let auto = aggregate(&results, |r| r.auto);
+        assert_eq!(prim.queries, results.len());
+        // Auto (with coverage/schema paths) should not be worse overall.
+        assert!(
+            auto.geo_mean_factor <= prim.geo_mean_factor + 0.05,
+            "auto {} vs primitive {}",
+            auto.geo_mean_factor,
+            prim.geo_mean_factor
+        );
+        // The estimator should be broadly reliable on this workload.
+        assert!(
+            auto.geo_mean_factor < 2.0,
+            "geo mean {}",
+            auto.geo_mean_factor
+        );
+        assert!(auto.within_2x > 0.7, "within 2x: {}", auto.within_2x);
+    }
+
+    #[test]
+    fn error_factor_is_symmetric() {
+        assert_eq!(error_factor(10.0, 10), 1.0);
+        assert_eq!(error_factor(20.0, 10), 2.0);
+        assert_eq!(error_factor(5.0, 10), 2.0);
+        assert_eq!(error_factor(0.0, 10), f64::INFINITY);
+    }
+}

@@ -1,0 +1,276 @@
+//! Estimated histograms for compound predicates (Section 3.4).
+//!
+//! When a query node carries a boolean combination of base predicates,
+//! no precomputed histogram exists. The paper's prescription: assume
+//! independence between the components *within each grid cell*, using
+//! the histogram of the `TRUE` predicate (all nodes) as the per-cell
+//! normalization constant. Concretely, per cell `c`:
+//!
+//! * `AND`:  `h₁(c) · h₂(c) / true(c)`  (0 when the cell is empty)
+//! * `OR` :  `h₁(c) + h₂(c) − AND(c)` (inclusion–exclusion)
+//! * `NOT`:  `true(c) − h(c)`
+//!
+//! All results are clamped to `[0, true(c)]` — the estimate is a node
+//! count and can never exceed the cell population. The paper's decade
+//! compounds (`1990's` = ten disjoint year predicates) are the special
+//! case of `OR` over disjoint operands, where inclusion–exclusion
+//! degrades gracefully to a plain sum (the `AND` term vanishes when the
+//! operands never co-occur on a node — but note per-cell independence
+//! will charge a small overlap; [`sum_disjoint`] is the exact path when
+//! disjointness is known).
+
+use crate::error::{Error, Result};
+use crate::position_histogram::PositionHistogram;
+use xmlest_predicate::{BasePredicate, PredExpr};
+
+/// Resolves leaf expressions to precomputed histograms.
+pub trait HistResolver {
+    /// Histogram for a catalog name.
+    fn resolve_named(&self, name: &str) -> Option<&PositionHistogram>;
+    /// Histogram for an inline base predicate (typically by structural
+    /// equality against catalog entries).
+    fn resolve_base(&self, pred: &BasePredicate) -> Option<&PositionHistogram>;
+}
+
+/// Estimates the histogram of an arbitrary predicate expression.
+pub fn estimate_expr_histogram<R: HistResolver>(
+    expr: &PredExpr,
+    resolver: &R,
+    true_hist: &PositionHistogram,
+) -> Result<PositionHistogram> {
+    match expr {
+        PredExpr::Named(name) => resolver
+            .resolve_named(name)
+            .cloned()
+            .ok_or_else(|| Error::UnknownPredicate(name.clone())),
+        PredExpr::Base(p) => resolver
+            .resolve_base(p)
+            .cloned()
+            .ok_or_else(|| Error::UnknownPredicate(p.describe())),
+        PredExpr::And(a, b) => {
+            let ha = estimate_expr_histogram(a, resolver, true_hist)?;
+            let hb = estimate_expr_histogram(b, resolver, true_hist)?;
+            and_histograms(&ha, &hb, true_hist)
+        }
+        PredExpr::Or(a, b) => {
+            let ha = estimate_expr_histogram(a, resolver, true_hist)?;
+            let hb = estimate_expr_histogram(b, resolver, true_hist)?;
+            or_histograms(&ha, &hb, true_hist)
+        }
+        PredExpr::Not(a) => {
+            let ha = estimate_expr_histogram(a, resolver, true_hist)?;
+            not_histogram(&ha, true_hist)
+        }
+    }
+}
+
+/// Per-cell independence `AND`.
+pub fn and_histograms(
+    a: &PositionHistogram,
+    b: &PositionHistogram,
+    true_hist: &PositionHistogram,
+) -> Result<PositionHistogram> {
+    if a.grid() != b.grid() || a.grid() != true_hist.grid() {
+        return Err(Error::GridMismatch);
+    }
+    let mut out = PositionHistogram::empty(a.grid().clone());
+    for (cell, va) in a.iter() {
+        let vb = b.get(cell);
+        if vb == 0.0 {
+            continue;
+        }
+        let t = true_hist.get(cell);
+        if t > 0.0 {
+            out.set(cell, (va * vb / t).min(va.min(vb)));
+        }
+    }
+    Ok(out)
+}
+
+/// Inclusion–exclusion `OR`, clamped to the cell population.
+pub fn or_histograms(
+    a: &PositionHistogram,
+    b: &PositionHistogram,
+    true_hist: &PositionHistogram,
+) -> Result<PositionHistogram> {
+    let and = and_histograms(a, b, true_hist)?;
+    let mut out = a.plus(b)?;
+    for (cell, v) in and.iter() {
+        out.add(cell, -v);
+    }
+    // Clamp to population.
+    let mut clamped = PositionHistogram::empty(out.grid().clone());
+    for (cell, v) in out.iter() {
+        clamped.set(cell, v.min(true_hist.get(cell)).max(0.0));
+    }
+    Ok(clamped)
+}
+
+/// `NOT` against the cell population.
+pub fn not_histogram(
+    a: &PositionHistogram,
+    true_hist: &PositionHistogram,
+) -> Result<PositionHistogram> {
+    if a.grid() != true_hist.grid() {
+        return Err(Error::GridMismatch);
+    }
+    let mut out = PositionHistogram::empty(a.grid().clone());
+    for (cell, t) in true_hist.iter() {
+        let v = (t - a.get(cell)).max(0.0);
+        if v > 0.0 {
+            out.set(cell, v);
+        }
+    }
+    Ok(out)
+}
+
+/// Exact histogram for a union of predicates known to be disjoint — how
+/// the paper assembled `1990's` from ten per-year histograms.
+pub fn sum_disjoint(histograms: &[&PositionHistogram]) -> Result<PositionHistogram> {
+    let Some((first, rest)) = histograms.split_first() else {
+        return Err(Error::EmptyGrid);
+    };
+    let mut out = (*first).clone();
+    for h in rest {
+        out = out.plus(h)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Grid;
+    use std::collections::BTreeMap;
+    use xmlest_xml::Interval;
+
+    struct MapResolver {
+        named: BTreeMap<String, PositionHistogram>,
+    }
+
+    impl HistResolver for MapResolver {
+        fn resolve_named(&self, name: &str) -> Option<&PositionHistogram> {
+            self.named.get(name)
+        }
+        fn resolve_base(&self, _pred: &BasePredicate) -> Option<&PositionHistogram> {
+            None
+        }
+    }
+
+    fn iv(s: u32, e: u32) -> Interval {
+        Interval::new(s, e)
+    }
+
+    fn setup() -> (MapResolver, PositionHistogram) {
+        let grid = Grid::uniform(2, 19).unwrap();
+        // Cell (0,0): population 10, a=4, b=5. Cell (1,1): population 8,
+        // a=2, b=0.
+        let true_hist = PositionHistogram::from_intervals(
+            grid.clone(),
+            &(0..10)
+                .map(|p| iv(p, p))
+                .chain((10..18).map(|p| iv(p, p)))
+                .collect::<Vec<_>>(),
+        );
+        let a = PositionHistogram::from_intervals(
+            grid.clone(),
+            &[
+                iv(0, 0),
+                iv(1, 1),
+                iv(2, 2),
+                iv(3, 3),
+                iv(10, 10),
+                iv(11, 11),
+            ],
+        );
+        let b = PositionHistogram::from_intervals(
+            grid,
+            &[iv(4, 4), iv(5, 5), iv(6, 6), iv(7, 7), iv(8, 8)],
+        );
+        let mut named = BTreeMap::new();
+        named.insert("a".to_owned(), a);
+        named.insert("b".to_owned(), b);
+        (MapResolver { named }, true_hist)
+    }
+
+    #[test]
+    fn and_per_cell_independence() {
+        let (r, true_hist) = setup();
+        let expr = PredExpr::named("a").and(PredExpr::named("b"));
+        let h = estimate_expr_histogram(&expr, &r, &true_hist).unwrap();
+        // Cell (0,0): 4*5/10 = 2. Cell (1,1): 2*0/8 = 0.
+        assert!((h.get((0, 0)) - 2.0).abs() < 1e-12);
+        assert_eq!(h.get((1, 1)), 0.0);
+    }
+
+    #[test]
+    fn or_inclusion_exclusion() {
+        let (r, true_hist) = setup();
+        let expr = PredExpr::named("a").or(PredExpr::named("b"));
+        let h = estimate_expr_histogram(&expr, &r, &true_hist).unwrap();
+        // Cell (0,0): 4+5-2 = 7. Cell (1,1): 2+0-0 = 2.
+        assert!((h.get((0, 0)) - 7.0).abs() < 1e-12);
+        assert!((h.get((1, 1)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn not_complements_population() {
+        let (r, true_hist) = setup();
+        let expr = PredExpr::named("a").not();
+        let h = estimate_expr_histogram(&expr, &r, &true_hist).unwrap();
+        assert!((h.get((0, 0)) - 6.0).abs() < 1e-12);
+        assert!((h.get((1, 1)) - 6.0).abs() < 1e-12);
+        assert!((h.total() - (true_hist.total() - 6.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn results_clamped_to_population() {
+        let (r, true_hist) = setup();
+        // a OR a OR b: inclusion-exclusion naively could overshoot; must
+        // stay within the population of each cell.
+        let expr = PredExpr::named("a")
+            .or(PredExpr::named("a"))
+            .or(PredExpr::named("b"));
+        let h = estimate_expr_histogram(&expr, &r, &true_hist).unwrap();
+        for (cell, v) in h.iter() {
+            assert!(v <= true_hist.get(cell) + 1e-12, "cell {cell:?}: {v}");
+        }
+    }
+
+    #[test]
+    fn unknown_name_errors() {
+        let (r, true_hist) = setup();
+        let expr = PredExpr::named("ghost");
+        assert_eq!(
+            estimate_expr_histogram(&expr, &r, &true_hist).unwrap_err(),
+            Error::UnknownPredicate("ghost".into())
+        );
+        let expr = PredExpr::Base(BasePredicate::Tag("x".into()));
+        assert!(matches!(
+            estimate_expr_histogram(&expr, &r, &true_hist).unwrap_err(),
+            Error::UnknownPredicate(_)
+        ));
+    }
+
+    #[test]
+    fn sum_disjoint_is_exact_union() {
+        let (r, _) = setup();
+        let a = r.named.get("a").unwrap();
+        let b = r.named.get("b").unwrap();
+        let s = sum_disjoint(&[a, b]).unwrap();
+        assert_eq!(s.total(), a.total() + b.total());
+        assert!(sum_disjoint(&[]).is_err());
+    }
+
+    #[test]
+    fn grid_mismatch_detected() {
+        let (r, _) = setup();
+        let other = PositionHistogram::empty(Grid::uniform(3, 19).unwrap());
+        let a = r.named.get("a").unwrap();
+        assert_eq!(
+            and_histograms(a, a, &other).unwrap_err(),
+            Error::GridMismatch
+        );
+        assert_eq!(not_histogram(a, &other).unwrap_err(), Error::GridMismatch);
+    }
+}

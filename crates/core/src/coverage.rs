@@ -1,0 +1,331 @@
+//! Coverage histograms — the summary structure for *no-overlap*
+//! predicates (Section 4.2 of the paper).
+//!
+//! For a predicate `P` with the no-overlap property (Definition 2: no two
+//! `P`-nodes nest), `Cvg_P[(i,j)][(m,n)]` is the fraction of **all** nodes
+//! in grid cell `(i, j)` that are descendants of some `P`-node in cell
+//! `(m, n)`. Because each node has at most one `P`-ancestor, these
+//! fractions are disjoint across `(m, n)`.
+//!
+//! Although defined over cell *pairs*, only `O(g)` entries need storing
+//! (Theorem 2):
+//!
+//! * if `(m, n)` is populated by `P` and `(i, j)` is strictly to the right
+//!   of and below it (`m < i && j < n`), every node in `(i, j)` is inside
+//!   every `P`-interval of `(m, n)` — coverage is exactly 1, implicit;
+//! * if `(i, j)` is not within the descendant range of `(m, n)`, coverage
+//!   is 0, implicit;
+//! * only *border* pairs (`i == m || j == n`) can have partial values and
+//!   are stored explicitly.
+//!
+//! The estimation formulas of Fig. 10 rescale coverage as patterns grow
+//! (participation shrinks the set of covering nodes); the rescaling is a
+//! per-covering-cell multiplier, kept separately so the border storage
+//! stays `O(g)` after propagation.
+
+use crate::grid::{Cell, Grid};
+use std::collections::{BTreeMap, BTreeSet};
+use xmlest_xml::Interval;
+
+/// Bytes charged per explicit (partial) coverage entry: four `u16` bucket
+/// indexes plus an `f32` fraction.
+pub const BYTES_PER_COVERAGE_ENTRY: usize = 12;
+
+/// Coverage summary for one no-overlap predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageHistogram {
+    grid: Grid,
+    /// Cells populated by the predicate (the covering side).
+    covering_cells: BTreeSet<Cell>,
+    /// Explicit fractions for border pairs, keyed `(covered, covering)`.
+    partial: BTreeMap<(Cell, Cell), f64>,
+    /// Per-covering-cell multiplier applied on lookup (participation
+    /// propagation, Fig. 10 "Coverage Estimation"). Empty map = all 1.
+    covering_scale: BTreeMap<Cell, f64>,
+}
+
+impl CoverageHistogram {
+    /// Builds the coverage histogram from data.
+    ///
+    /// * `all_nodes` — intervals of **every** node in the tree (the TRUE
+    ///   predicate), the denominator population;
+    /// * `p_intervals` — intervals of the `P`-nodes, sorted by start and
+    ///   pairwise disjoint (the caller guarantees no-overlap).
+    pub fn build(grid: Grid, all_nodes: &[Interval], p_intervals: &[Interval]) -> Self {
+        debug_assert!(
+            p_intervals.windows(2).all(|w| w[0].end < w[1].start),
+            "predicate intervals must be disjoint and sorted (no-overlap)"
+        );
+        let covering_cells: BTreeSet<Cell> =
+            p_intervals.iter().map(|iv| grid.cell_of(*iv)).collect();
+
+        // Count, per (covered cell, covering cell), the covered nodes; and
+        // per covered cell the total population.
+        let mut totals: BTreeMap<Cell, u64> = BTreeMap::new();
+        let mut covered: BTreeMap<(Cell, Cell), u64> = BTreeMap::new();
+        for node in all_nodes {
+            let dcell = grid.cell_of(*node);
+            *totals.entry(dcell).or_insert(0) += 1;
+            // The unique P-ancestor, if any: the last P-interval starting
+            // strictly before this node that still encloses it.
+            let idx = p_intervals.partition_point(|p| p.start < node.start);
+            if idx > 0 {
+                let p = p_intervals[idx - 1];
+                if p.is_ancestor_of(*node) {
+                    let acell = grid.cell_of(p);
+                    *covered.entry((dcell, acell)).or_insert(0) += 1;
+                }
+            }
+        }
+
+        // Store only the border pairs; interior pairs must come out as
+        // exactly 1 and are reconstructed geometrically.
+        let mut partial = BTreeMap::new();
+        for ((dcell, acell), cnt) in covered {
+            let total = totals[&dcell];
+            let frac = cnt as f64 / total as f64;
+            let strictly_inside = acell.0 < dcell.0 && dcell.1 < acell.1;
+            if strictly_inside {
+                debug_assert!(
+                    (frac - 1.0).abs() < 1e-12,
+                    "interior coverage must be 1, got {frac} for {dcell:?} in {acell:?}"
+                );
+            } else {
+                partial.insert((dcell, acell), frac);
+            }
+        }
+
+        CoverageHistogram {
+            grid,
+            covering_cells,
+            partial,
+            covering_scale: BTreeMap::new(),
+        }
+    }
+
+    /// The grid shared with the position histograms.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Coverage fraction of cell `covered` by predicate nodes in cell
+    /// `covering`, including any propagation scaling.
+    pub fn coverage(&self, covered: Cell, covering: Cell) -> f64 {
+        let base = if let Some(&v) = self.partial.get(&(covered, covering)) {
+            v
+        } else if self.covering_cells.contains(&covering)
+            && covering.0 < covered.0
+            && covered.1 < covering.1
+        {
+            1.0
+        } else {
+            0.0
+        };
+        base * self.covering_scale.get(&covering).copied().unwrap_or(1.0)
+    }
+
+    /// Sum of coverage over every covering cell — the fraction of nodes
+    /// in `covered` that have *some* covering ancestor. Under no-overlap
+    /// the events are disjoint, so this is at most 1 (before scaling).
+    pub fn total_coverage(&self, covered: Cell) -> f64 {
+        self.covering_cells
+            .iter()
+            .map(|&a| self.coverage(covered, a))
+            .sum()
+    }
+
+    /// Applies a per-covering-cell multiplier (participation ratio from
+    /// Fig. 10's coverage-estimation step).
+    pub fn scale_covering(&mut self, covering: Cell, factor: f64) {
+        let e = self.covering_scale.entry(covering).or_insert(1.0);
+        *e *= factor;
+    }
+
+    /// Covering cells (populated predicate cells) in order.
+    pub fn covering_cells(&self) -> impl Iterator<Item = Cell> + '_ {
+        self.covering_cells.iter().copied()
+    }
+
+    /// Number of explicitly stored (partial) entries — the Theorem 2
+    /// quantity.
+    pub fn partial_entries(&self) -> usize {
+        self.partial.len()
+    }
+
+    /// Sparse storage footprint in bytes, as plotted in Fig. 12.
+    pub fn storage_bytes(&self) -> usize {
+        self.partial.len() * BYTES_PER_COVERAGE_ENTRY
+    }
+
+    /// Iterates explicit entries `((covered, covering), fraction)`.
+    pub fn iter_partial(&self) -> impl Iterator<Item = ((Cell, Cell), f64)> + '_ {
+        self.partial.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Iterates propagation scales (covering cell, multiplier).
+    pub(crate) fn iter_scales(&self) -> impl Iterator<Item = (Cell, f64)> + '_ {
+        self.covering_scale.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Reconstructs from persisted parts.
+    pub(crate) fn from_parts(
+        grid: Grid,
+        covering_cells: BTreeSet<Cell>,
+        partial: BTreeMap<(Cell, Cell), f64>,
+        covering_scale: BTreeMap<Cell, f64>,
+    ) -> Self {
+        CoverageHistogram {
+            grid,
+            covering_cells,
+            partial,
+            covering_scale,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(s: u32, e: u32) -> Interval {
+        Interval::new(s, e)
+    }
+
+    /// All 31 node intervals of the Fig. 1 document (see xml crate tests).
+    fn fig1_nodes() -> Vec<Interval> {
+        let mut v = vec![iv(0, 30)];
+        v.push(iv(1, 3)); // faculty1
+        v.extend([iv(2, 2), iv(3, 3)]);
+        v.push(iv(4, 5)); // staff
+        v.push(iv(5, 5));
+        v.push(iv(6, 11)); // faculty2
+        v.extend((7..=11).map(|p| iv(p, p)));
+        v.push(iv(12, 16)); // lecturer
+        v.extend((13..=16).map(|p| iv(p, p)));
+        v.push(iv(17, 23)); // faculty3
+        v.extend((18..=23).map(|p| iv(p, p)));
+        v.push(iv(24, 30)); // research_scientist
+        v.extend((25..=30).map(|p| iv(p, p)));
+        v
+    }
+
+    fn faculty() -> Vec<Interval> {
+        vec![iv(1, 3), iv(6, 11), iv(17, 23)]
+    }
+
+    #[test]
+    fn fig8_coverage_for_faculty() {
+        // The paper's Fig. 8 walkthrough: coverage stored per cell pair.
+        // With our numbering: cell (0,0) has 14 nodes, 7 covered -> 0.5;
+        // cell (1,1) has 15 nodes, 6 covered -> 0.4.
+        let grid = Grid::uniform(2, 30).unwrap();
+        let cvg = CoverageHistogram::build(grid, &fig1_nodes(), &faculty());
+        assert!((cvg.coverage((0, 0), (0, 0)) - 0.5).abs() < 1e-12);
+        assert!((cvg.coverage((1, 1), (1, 1)) - 0.4).abs() < 1e-12);
+        assert_eq!(
+            cvg.coverage((0, 0), (1, 1)),
+            0.0,
+            "later cell cannot cover earlier"
+        );
+        assert_eq!(
+            cvg.coverage((0, 1), (0, 0)),
+            0.0,
+            "wider cell not covered by narrower"
+        );
+        assert_eq!(cvg.partial_entries(), 2);
+        assert_eq!(cvg.storage_bytes(), 2 * BYTES_PER_COVERAGE_ENTRY);
+    }
+
+    #[test]
+    fn interior_cells_reconstruct_to_one() {
+        // A single big P-interval covering nearly everything, fine grid:
+        // interior cells are implicitly 1 and not stored.
+        let grid = Grid::uniform(8, 63).unwrap();
+        let p = vec![iv(0, 63)];
+        let mut nodes = vec![iv(0, 63)];
+        nodes.extend((1..=63).map(|x| iv(x, x)));
+        let cvg = CoverageHistogram::build(grid, &nodes, &p);
+        // Cell (3,3) is strictly inside P's cell (0,7).
+        assert_eq!(cvg.coverage((3, 3), (0, 7)), 1.0);
+        // Column-border cell (0,0) holds the leaves at positions 1..7,
+        // all covered (P itself lives in cell (0,7)): stored explicitly
+        // as 1 because the geometry alone cannot prove it.
+        assert_eq!(cvg.coverage((0, 0), (0, 7)), 1.0);
+        // Row border: cell (7,7) nodes are covered (end bucket == P's);
+        // stored explicitly as 1.
+        assert_eq!(cvg.coverage((7, 7), (0, 7)), 1.0);
+        // Only border pairs are stored.
+        for ((d, a), _) in cvg.iter_partial() {
+            assert!(
+                d.0 == a.0 || d.1 == a.1,
+                "non-border pair stored: {d:?} in {a:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn total_coverage_bounded_by_one() {
+        let grid = Grid::uniform(4, 30).unwrap();
+        let cvg = CoverageHistogram::build(grid.clone(), &fig1_nodes(), &faculty());
+        for i in 0..4u16 {
+            for j in i..4u16 {
+                let t = cvg.total_coverage((i, j));
+                assert!((0.0..=1.0 + 1e-12).contains(&t), "cell ({i},{j}) total {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_multiplies_lookups() {
+        let grid = Grid::uniform(2, 30).unwrap();
+        let mut cvg = CoverageHistogram::build(grid, &fig1_nodes(), &faculty());
+        cvg.scale_covering((0, 0), 0.5);
+        assert!((cvg.coverage((0, 0), (0, 0)) - 0.25).abs() < 1e-12);
+        // Other covering cells unaffected.
+        assert!((cvg.coverage((1, 1), (1, 1)) - 0.4).abs() < 1e-12);
+        // Scaling composes.
+        cvg.scale_covering((0, 0), 0.5);
+        assert!((cvg.coverage((0, 0), (0, 0)) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_predicate_covers_nothing() {
+        let grid = Grid::uniform(4, 30).unwrap();
+        let cvg = CoverageHistogram::build(grid, &fig1_nodes(), &[]);
+        for i in 0..4u16 {
+            for j in i..4u16 {
+                assert_eq!(cvg.total_coverage((i, j)), 0.0);
+            }
+        }
+        assert_eq!(cvg.partial_entries(), 0);
+    }
+
+    #[test]
+    fn theorem2_storage_linear_in_g() {
+        // A comb tree: many disjoint P-intervals, each with a few
+        // children. Partial entries should grow ~linearly with g, not g².
+        let mut p = Vec::new();
+        let mut nodes = vec![iv(0, 9999)];
+        let mut pos = 1;
+        while pos + 4 < 10000 {
+            p.push(iv(pos, pos + 3));
+            nodes.push(iv(pos, pos + 3));
+            for k in 1..=3 {
+                nodes.push(iv(pos + k, pos + k));
+            }
+            pos += 5;
+        }
+        let mut per_g = Vec::new();
+        for g in [10u16, 20, 40] {
+            let grid = Grid::uniform(g, 9999).unwrap();
+            let cvg = CoverageHistogram::build(grid, &nodes, &p);
+            per_g.push((g as usize, cvg.partial_entries()));
+        }
+        for (g, entries) in per_g {
+            assert!(
+                entries <= 6 * g,
+                "g={g}: {entries} partial entries is superlinear"
+            );
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type for the estimation layer.
+
+use std::fmt;
+
+/// Errors surfaced by summary construction and estimation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A query referenced a predicate name with no summary.
+    UnknownPredicate(String),
+    /// Two histograms with different grids were combined.
+    GridMismatch,
+    /// A no-overlap operation was requested for a predicate without a
+    /// coverage histogram.
+    MissingCoverage(String),
+    /// Grid construction was asked for zero buckets or zero positions.
+    EmptyGrid,
+    /// Persistence: malformed byte stream.
+    Corrupt(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownPredicate(name) => {
+                write!(f, "no summary for predicate {name:?}")
+            }
+            Error::GridMismatch => write!(f, "histograms use different grids"),
+            Error::MissingCoverage(name) => {
+                write!(f, "predicate {name:?} has no coverage histogram")
+            }
+            Error::EmptyGrid => write!(f, "grid must have at least one bucket and one position"),
+            Error::Corrupt(msg) => write!(f, "corrupt summary data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            Error::UnknownPredicate("faculty".into()).to_string(),
+            "no summary for predicate \"faculty\""
+        );
+        assert_eq!(
+            Error::GridMismatch.to_string(),
+            "histograms use different grids"
+        );
+        assert!(Error::MissingCoverage("x".into())
+            .to_string()
+            .contains("coverage"));
+        assert!(Error::Corrupt("truncated".into())
+            .to_string()
+            .contains("truncated"));
+    }
+}

@@ -1,0 +1,807 @@
+//! Summary construction and the top-level estimation API.
+//!
+//! [`Summaries`] is the paper's summary structure `T'`: one position
+//! histogram per catalog predicate, the TRUE histogram, coverage
+//! histograms for no-overlap predicates, and (extension) level
+//! histograms. [`Estimator`] answers twig-size questions from the
+//! summaries alone — the data tree is never consulted after the build.
+
+use crate::compound::{estimate_expr_histogram, HistResolver};
+use crate::coverage::CoverageHistogram;
+use crate::error::{Error, Result};
+use crate::grid::Grid;
+use crate::naive;
+use crate::no_overlap::{ancestor_join, descendant_join, NodeStats};
+use crate::parent_child::{parent_child_correction, LevelHistogram};
+use crate::ph_join::{ph_join_total, Basis};
+use crate::position_histogram::PositionHistogram;
+use crate::twig::{Axis, TwigNode};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+use xmlest_predicate::{BasePredicate, Catalog, PredExpr};
+use xmlest_xml::dtd::DtdAnalysis;
+use xmlest_xml::{label, XmlTree};
+
+/// Knobs for summary construction.
+#[derive(Debug, Clone, Default)]
+pub struct SummaryConfig {
+    /// Grid buckets per axis (the paper uses 10 except in sweeps).
+    pub grid_size: u16,
+    /// Use equi-depth bucket boundaries computed over predicate-match
+    /// positions (extension; Section 7's "non-uniform grid cells").
+    pub equi_depth: bool,
+    /// Build coverage histograms for no-overlap predicates (Section 4.2).
+    pub build_coverage: bool,
+    /// Build level histograms for parent–child estimation (extension).
+    pub build_levels: bool,
+    /// Consult this DTD analysis for overlap properties and schema
+    /// shortcuts; tags it does not know fall back to data detection.
+    pub dtd: Option<DtdAnalysis>,
+}
+
+impl SummaryConfig {
+    /// The paper's defaults: 10×10 uniform grid, coverage on.
+    pub fn paper_defaults() -> Self {
+        SummaryConfig {
+            grid_size: 10,
+            equi_depth: false,
+            build_coverage: true,
+            build_levels: true,
+            dtd: None,
+        }
+    }
+
+    pub fn with_grid_size(mut self, g: u16) -> Self {
+        self.grid_size = g;
+        self
+    }
+
+    pub fn with_dtd(mut self, dtd: DtdAnalysis) -> Self {
+        self.dtd = Some(dtd);
+        self
+    }
+}
+
+/// Everything stored for one catalog predicate.
+#[derive(Debug, Clone)]
+pub struct PredicateSummary {
+    pub name: String,
+    pub pred: BasePredicate,
+    pub hist: PositionHistogram,
+    pub cvg: Option<CoverageHistogram>,
+    pub levels: Option<LevelHistogram>,
+    pub no_overlap: bool,
+    pub count: u64,
+    /// Mean interval width (subtree size in positions) of matching
+    /// nodes; prices navigational joins in the engine's cost model.
+    pub avg_width: f64,
+}
+
+impl PredicateSummary {
+    /// Total bytes this predicate's summaries occupy.
+    pub fn storage_bytes(&self) -> usize {
+        self.hist.storage_bytes()
+            + self
+                .cvg
+                .as_ref()
+                .map_or(0, CoverageHistogram::storage_bytes)
+            + self
+                .levels
+                .as_ref()
+                .map_or(0, LevelHistogram::storage_bytes)
+    }
+}
+
+/// The summary structure `T'` for one database.
+#[derive(Debug, Clone)]
+pub struct Summaries {
+    pub(crate) grid: Grid,
+    pub(crate) true_hist: PositionHistogram,
+    pub(crate) preds: BTreeMap<String, PredicateSummary>,
+    pub(crate) dtd: Option<DtdAnalysis>,
+    /// Node count of the summarized tree.
+    pub(crate) tree_nodes: u64,
+}
+
+impl Summaries {
+    /// Builds all summaries for `catalog` over `tree`.
+    pub fn build(tree: &XmlTree, catalog: &Catalog, config: &SummaryConfig) -> Result<Summaries> {
+        let grid = Self::make_grid(tree, catalog, config)?;
+        let all_intervals: Vec<xmlest_xml::Interval> =
+            tree.iter().map(|n| tree.interval(n)).collect();
+        let true_hist = PositionHistogram::from_intervals(grid.clone(), &all_intervals);
+
+        let entries = Self::entry_list(catalog);
+        let preds: BTreeMap<String, PredicateSummary> = entries
+            .iter()
+            .map(|(name, pred)| {
+                let s = build_one(tree, &grid, &all_intervals, name, pred, config);
+                (name.clone(), s)
+            })
+            .collect();
+
+        Ok(Summaries {
+            grid,
+            true_hist,
+            preds,
+            dtd: config.dtd.clone(),
+            tree_nodes: tree.len() as u64,
+        })
+    }
+
+    /// Like [`Summaries::build`] but constructs per-predicate summaries
+    /// on `threads` worker threads (std scoped threads; summaries for
+    /// different predicates are independent). Produces bit-identical
+    /// results to the serial build.
+    pub fn build_parallel(
+        tree: &XmlTree,
+        catalog: &Catalog,
+        config: &SummaryConfig,
+        threads: usize,
+    ) -> Result<Summaries> {
+        if threads <= 1 {
+            return Self::build(tree, catalog, config);
+        }
+        // Grid + TRUE histogram exactly as the serial path computes them.
+        let grid = Self::make_grid(tree, catalog, config)?;
+        let all_intervals: Vec<xmlest_xml::Interval> =
+            tree.iter().map(|n| tree.interval(n)).collect();
+        let true_hist = PositionHistogram::from_intervals(grid.clone(), &all_intervals);
+        let entries = Self::entry_list(catalog);
+        let chunk = entries.len().div_ceil(threads).max(1);
+
+        let preds: BTreeMap<String, PredicateSummary> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for batch in entries.chunks(chunk) {
+                let grid = &grid;
+                let all_intervals = &all_intervals;
+                handles.push(scope.spawn(move || {
+                    batch
+                        .iter()
+                        .map(|(name, pred)| {
+                            let s = build_one(tree, grid, all_intervals, name, pred, config);
+                            (name.clone(), s)
+                        })
+                        .collect::<Vec<_>>()
+                }));
+            }
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("summary worker panicked"))
+                .collect()
+        });
+
+        Ok(Summaries {
+            grid,
+            true_hist,
+            preds,
+            dtd: config.dtd.clone(),
+            tree_nodes: tree.len() as u64,
+        })
+    }
+
+    /// Catalog entries plus the built-in structural predicates
+    /// (`#element`, `#text`, `#true`), which keep `*` and text-wildcard
+    /// query nodes estimable even from a tags-only catalog. The `#`
+    /// prefix cannot clash with parsed query names.
+    fn entry_list(catalog: &Catalog) -> Vec<(String, BasePredicate)> {
+        let mut entries: Vec<(String, BasePredicate)> = vec![
+            ("#element".into(), BasePredicate::AnyElement),
+            ("#text".into(), BasePredicate::AnyText),
+            ("#true".into(), BasePredicate::True),
+        ];
+        entries.extend(
+            catalog
+                .iter()
+                .map(|e| (e.name.clone(), e.predicate.clone())),
+        );
+        entries
+    }
+
+    /// Shared grid construction: uniform by default, or equi-depth over
+    /// the positions where catalog predicates match (extension).
+    fn make_grid(tree: &XmlTree, catalog: &Catalog, config: &SummaryConfig) -> Result<Grid> {
+        let g = if config.grid_size == 0 {
+            10
+        } else {
+            config.grid_size
+        };
+        let max_pos = tree.max_pos();
+        if config.equi_depth {
+            // Concentrate buckets where catalog predicates actually match.
+            let mut positions: Vec<u32> = Vec::new();
+            for entry in catalog.iter() {
+                for node in entry.predicate.matches(tree) {
+                    positions.push(node.0);
+                }
+            }
+            positions.sort_unstable();
+            if !positions.is_empty() {
+                return Grid::equi_depth(g, &positions, max_pos);
+            }
+        }
+        Grid::uniform(g, max_pos)
+    }
+
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    pub fn true_hist(&self) -> &PositionHistogram {
+        &self.true_hist
+    }
+
+    /// Summary for a named predicate.
+    pub fn get(&self, name: &str) -> Option<&PredicateSummary> {
+        self.preds.get(name)
+    }
+
+    /// All summaries in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &PredicateSummary> {
+        self.preds.values()
+    }
+
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// Node count of the tree these summaries describe.
+    pub fn tree_nodes(&self) -> u64 {
+        self.tree_nodes
+    }
+
+    /// Total summary footprint in bytes (all predicates + TRUE histogram).
+    pub fn storage_bytes(&self) -> usize {
+        self.true_hist.storage_bytes()
+            + self
+                .preds
+                .values()
+                .map(PredicateSummary::storage_bytes)
+                .sum::<usize>()
+    }
+
+    /// An estimator reading from these summaries.
+    pub fn estimator(&self) -> Estimator<'_> {
+        Estimator { summaries: self }
+    }
+}
+
+/// Builds one predicate's complete summary (histogram, overlap property,
+/// coverage, levels). Pure function of its inputs — safe to run on any
+/// thread.
+fn build_one(
+    tree: &XmlTree,
+    grid: &Grid,
+    all_intervals: &[xmlest_xml::Interval],
+    name: &str,
+    pred: &BasePredicate,
+    config: &SummaryConfig,
+) -> PredicateSummary {
+    let nodes = pred.matches(tree);
+    let intervals: Vec<_> = nodes.iter().map(|&n| tree.interval(n)).collect();
+    let hist = PositionHistogram::from_intervals(grid.clone(), &intervals);
+
+    // Overlap property: DTD knowledge for tag predicates when available,
+    // otherwise detected from the data (exact).
+    let no_overlap = match (&config.dtd, pred) {
+        (Some(dtd), BasePredicate::Tag(t)) if dtd.tags().any(|known| known == t) => {
+            dtd.no_overlap(t)
+        }
+        _ => label::no_overlap(&intervals),
+    };
+
+    let cvg = (config.build_coverage && no_overlap && !intervals.is_empty())
+        .then(|| CoverageHistogram::build(grid.clone(), all_intervals, &intervals));
+    let levels = config
+        .build_levels
+        .then(|| LevelHistogram::from_nodes(tree, &nodes));
+    let avg_width = if intervals.is_empty() {
+        0.0
+    } else {
+        intervals.iter().map(|iv| iv.width() as f64).sum::<f64>() / intervals.len() as f64
+    };
+
+    PredicateSummary {
+        name: name.to_owned(),
+        pred: pred.clone(),
+        hist,
+        cvg,
+        levels,
+        no_overlap,
+        count: nodes.len() as u64,
+        avg_width,
+    }
+}
+
+impl HistResolver for Summaries {
+    fn resolve_named(&self, name: &str) -> Option<&PositionHistogram> {
+        self.preds.get(name).map(|s| &s.hist)
+    }
+
+    fn resolve_base(&self, pred: &BasePredicate) -> Option<&PositionHistogram> {
+        self.preds
+            .values()
+            .find(|s| &s.pred == pred)
+            .map(|s| &s.hist)
+    }
+}
+
+/// How to estimate a two-node pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EstimateMethod {
+    /// Schema shortcuts, then no-overlap when coverage exists, then the
+    /// primitive pH-join — the paper's recommended cascade.
+    Auto,
+    /// Force the primitive pH-join (Fig. 6) with the given basis.
+    Primitive(Basis),
+    /// Force the no-overlap estimation (Fig. 10) with the given basis.
+    NoOverlap(Basis),
+}
+
+/// An estimation result with provenance.
+#[derive(Debug, Clone)]
+pub struct Estimate {
+    /// Estimated number of matches.
+    pub value: f64,
+    /// Wall-clock time the estimation took (histogram math only).
+    pub elapsed: Duration,
+    /// Which path produced the value ("schema", "no-overlap", "primitive",
+    /// "twig").
+    pub method: &'static str,
+}
+
+/// Read-only estimation interface over [`Summaries`].
+#[derive(Debug, Clone, Copy)]
+pub struct Estimator<'a> {
+    summaries: &'a Summaries,
+}
+
+impl<'a> Estimator<'a> {
+    pub fn summaries(&self) -> &'a Summaries {
+        self.summaries
+    }
+
+    fn summary(&self, name: &str) -> Result<&'a PredicateSummary> {
+        self.summaries
+            .get(name)
+            .ok_or_else(|| Error::UnknownPredicate(name.to_owned()))
+    }
+
+    /// Leaf estimation state for a predicate expression: named/base
+    /// predicates read their summary; compound expressions synthesize a
+    /// histogram (Section 3.4) and carry no coverage.
+    pub fn node_stats(&self, expr: &PredExpr) -> Result<NodeStats> {
+        match expr {
+            PredExpr::Named(name) => {
+                let s = self.summary(name)?;
+                Ok(NodeStats::leaf(s.hist.clone(), s.cvg.clone(), s.no_overlap))
+            }
+            PredExpr::Base(p) => {
+                if let Some(s) = self.summaries.preds.values().find(|s| &s.pred == p) {
+                    Ok(NodeStats::leaf(s.hist.clone(), s.cvg.clone(), s.no_overlap))
+                } else {
+                    Err(Error::UnknownPredicate(p.describe()))
+                }
+            }
+            compound => {
+                let hist =
+                    estimate_expr_histogram(compound, self.summaries, &self.summaries.true_hist)?;
+                Ok(NodeStats::leaf(hist, None, false))
+            }
+        }
+    }
+
+    /// Level histogram for an expression when it resolves to a single
+    /// summarized predicate.
+    fn levels_for(&self, expr: &PredExpr) -> Option<&'a LevelHistogram> {
+        match expr {
+            PredExpr::Named(name) => self.summaries.get(name)?.levels.as_ref(),
+            PredExpr::Base(p) => self
+                .summaries
+                .preds
+                .values()
+                .find(|s| &s.pred == p)?
+                .levels
+                .as_ref(),
+            _ => None,
+        }
+    }
+
+    /// Mean subtree width (in positions) of the nodes matching a
+    /// single-predicate expression; `None` for compound expressions.
+    /// Used by navigational-join cost models.
+    pub fn avg_width(&self, expr: &PredExpr) -> Option<f64> {
+        match expr {
+            PredExpr::Named(name) => self.summaries.get(name).map(|s| s.avg_width),
+            PredExpr::Base(p) => self
+                .summaries
+                .preds
+                .values()
+                .find(|s| &s.pred == p)
+                .map(|s| s.avg_width),
+            _ => None,
+        }
+    }
+
+    /// Schema shortcut for a tag pair (Section 4 intro): impossible
+    /// relationships estimate 0; required-sole-parent relationships with a
+    /// no-overlap ancestor estimate exactly the descendant count.
+    pub fn schema_shortcut(&self, anc: &str, desc: &str) -> Option<f64> {
+        let dtd = self.summaries.dtd.as_ref()?;
+        let (BasePredicate::Tag(anc_tag), desc_summary) =
+            (&self.summary(anc).ok()?.pred, self.summary(desc).ok()?)
+        else {
+            return None;
+        };
+        let BasePredicate::Tag(desc_tag) = &desc_summary.pred else {
+            return None;
+        };
+        if dtd.tags().any(|t| t == anc_tag) && !dtd.can_descend(anc_tag, desc_tag) {
+            return Some(0.0);
+        }
+        if dtd.sole_parent(desc_tag) == Some(anc_tag.as_str()) && dtd.no_overlap(anc_tag) {
+            return Some(desc_summary.count as f64);
+        }
+        None
+    }
+
+    /// Estimates a two-node pattern `anc // desc` over named predicates.
+    pub fn estimate_pair(&self, anc: &str, desc: &str, method: EstimateMethod) -> Result<Estimate> {
+        let a = self.summary(anc)?;
+        let d = self.summary(desc)?;
+        let start = Instant::now();
+        let (value, tag) = match method {
+            EstimateMethod::Auto => {
+                if let Some(v) = self.schema_shortcut(anc, desc) {
+                    (v, "schema")
+                } else if a.no_overlap && a.cvg.is_some() {
+                    let x = NodeStats::leaf(a.hist.clone(), a.cvg.clone(), true);
+                    let y = NodeStats::leaf(d.hist.clone(), None, d.no_overlap);
+                    (ancestor_join(&x, &y)?.match_total(), "no-overlap")
+                } else {
+                    (
+                        ph_join_total(&a.hist, &d.hist, Basis::AncestorBased)?,
+                        "primitive",
+                    )
+                }
+            }
+            EstimateMethod::Primitive(basis) => {
+                (ph_join_total(&a.hist, &d.hist, basis)?, "primitive")
+            }
+            EstimateMethod::NoOverlap(basis) => {
+                let cvg = a
+                    .cvg
+                    .clone()
+                    .ok_or_else(|| Error::MissingCoverage(anc.to_owned()))?;
+                let x = NodeStats::leaf(a.hist.clone(), Some(cvg), true);
+                let y = NodeStats::leaf(d.hist.clone(), None, d.no_overlap);
+                let joined = match basis {
+                    Basis::AncestorBased => ancestor_join(&x, &y)?,
+                    Basis::DescendantBased => descendant_join(&x, &y)?,
+                };
+                (joined.match_total(), "no-overlap")
+            }
+        };
+        Ok(Estimate {
+            value,
+            elapsed: start.elapsed(),
+            method: tag,
+        })
+    }
+
+    /// The structure-free baseline: product of node counts (Tables 2/4
+    /// "Naive").
+    pub fn naive_pair(&self, anc: &str, desc: &str) -> Result<f64> {
+        Ok(naive::naive_product(&[
+            self.summary(anc)?.count as f64,
+            self.summary(desc)?.count as f64,
+        ]))
+    }
+
+    /// Schema-only upper bound (Table 2 "Desc Num"): descendant count when
+    /// the ancestor is no-overlap.
+    pub fn upper_bound_pair(&self, anc: &str, desc: &str) -> Result<f64> {
+        let a = self.summary(anc)?;
+        let d = self.summary(desc)?;
+        Ok(naive::pair_upper_bound(
+            a.count as f64,
+            d.count as f64,
+            a.no_overlap,
+        ))
+    }
+
+    /// Estimates an arbitrary twig by composing ancestor-based joins
+    /// bottom-up. Parent–child edges apply the level-histogram correction
+    /// when both endpoint predicates have level summaries.
+    pub fn estimate_twig(&self, twig: &TwigNode) -> Result<Estimate> {
+        let start = Instant::now();
+        let stats = self.twig_stats(twig)?;
+        Ok(Estimate {
+            value: stats.match_total(),
+            elapsed: start.elapsed(),
+            method: "twig",
+        })
+    }
+
+    /// Estimation state for a whole sub-twig (exposes intermediate-result
+    /// estimates for the optimizer).
+    pub fn twig_stats(&self, twig: &TwigNode) -> Result<NodeStats> {
+        let mut acc = self.node_stats(&twig.pred)?;
+        for child in &twig.children {
+            let child_stats = self.twig_stats(child)?;
+            let mut joined = ancestor_join(&acc, &child_stats)?;
+            if child.axis == Axis::Child {
+                if let (Some(la), Some(lb)) =
+                    (self.levels_for(&twig.pred), self.levels_for(&child.pred))
+                {
+                    let f = parent_child_correction(la, lb);
+                    joined.jn_fct = joined.jn_fct.scaled_by(|_| f);
+                }
+            }
+            acc = joined;
+        }
+        Ok(acc)
+    }
+
+    /// Naive product over every node of a twig.
+    pub fn naive_twig(&self, twig: &TwigNode) -> Result<f64> {
+        let mut counts = Vec::new();
+        for pred in twig.predicates() {
+            let stats = self.node_stats(pred)?;
+            counts.push(stats.hist.total());
+        }
+        Ok(naive::naive_product(&counts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlest_predicate::Catalog;
+    use xmlest_xml::parser::parse_str;
+
+    /// The Fig. 1 document as XML text.
+    fn fig1_xml() -> String {
+        let mut s = String::from("<department>");
+        s.push_str("<faculty><name/><RA/></faculty>");
+        s.push_str("<staff><name/></staff>");
+        s.push_str("<faculty><name/><secretary/><RA/><RA/><RA/></faculty>");
+        s.push_str("<lecturer><name/><TA/><TA/><TA/></lecturer>");
+        s.push_str("<faculty><name/><secretary/><TA/><RA/><RA/><TA/></faculty>");
+        s.push_str(
+            "<research_scientist><name/><secretary/><RA/><RA/><RA/><RA/></research_scientist>",
+        );
+        s.push_str("</department>");
+        s
+    }
+
+    fn build(g: u16) -> Summaries {
+        let tree = parse_str(&fig1_xml()).unwrap();
+        let mut catalog = Catalog::new();
+        catalog.define_all_tags(&tree);
+        let config = SummaryConfig::paper_defaults().with_grid_size(g);
+        Summaries::build(&tree, &catalog, &config).unwrap()
+    }
+
+    #[test]
+    fn build_detects_overlap_properties_from_data() {
+        let s = build(2);
+        assert!(s.get("faculty").unwrap().no_overlap);
+        assert!(s.get("TA").unwrap().no_overlap);
+        // department has a single node: vacuously no-overlap in data.
+        assert!(s.get("department").unwrap().no_overlap);
+        assert_eq!(s.get("faculty").unwrap().count, 3);
+        assert_eq!(s.get("TA").unwrap().count, 5);
+        assert!(s.get("faculty").unwrap().cvg.is_some());
+    }
+
+    #[test]
+    fn paper_example_pipeline() {
+        let s = build(2);
+        let est = s.estimator();
+        // Primitive: 7/12.
+        let p = est
+            .estimate_pair(
+                "faculty",
+                "TA",
+                EstimateMethod::Primitive(Basis::AncestorBased),
+            )
+            .unwrap();
+        assert!((p.value - 7.0 / 12.0).abs() < 1e-12);
+        assert_eq!(p.method, "primitive");
+        // No-overlap: 2.2 with our numbering (paper: 1.9; real: 2).
+        let n = est
+            .estimate_pair(
+                "faculty",
+                "TA",
+                EstimateMethod::NoOverlap(Basis::AncestorBased),
+            )
+            .unwrap();
+        assert!((n.value - 2.2).abs() < 1e-9, "got {}", n.value);
+        // Auto picks the no-overlap path.
+        let a = est
+            .estimate_pair("faculty", "TA", EstimateMethod::Auto)
+            .unwrap();
+        assert_eq!(a.method, "no-overlap");
+        assert!((a.value - n.value).abs() < 1e-12);
+        // Naive and upper bound match Section 2's narrative.
+        assert_eq!(est.naive_pair("faculty", "TA").unwrap(), 15.0);
+        assert_eq!(est.upper_bound_pair("faculty", "TA").unwrap(), 5.0);
+    }
+
+    #[test]
+    fn twig_estimation_runs_and_is_positive() {
+        let s = build(4);
+        let est = s.estimator();
+        let twig = TwigNode::named("department").descendant(
+            TwigNode::named("faculty")
+                .descendant(TwigNode::named("TA"))
+                .descendant(TwigNode::named("RA")),
+        );
+        let e = est.estimate_twig(&twig).unwrap();
+        // Real answer: faculty3 contributes 2 TA x 2 RA = 4 (department
+        // is the single root). Estimate should be in a sane band.
+        assert!(e.value > 0.2 && e.value < 40.0, "estimate {}", e.value);
+        assert_eq!(e.method, "twig");
+        let naive = est.naive_twig(&twig).unwrap();
+        assert_eq!(naive, 1.0 * 3.0 * 5.0 * 10.0);
+        assert!(e.value < naive);
+    }
+
+    #[test]
+    fn unknown_predicates_error() {
+        let s = build(2);
+        let est = s.estimator();
+        assert!(matches!(
+            est.estimate_pair("ghost", "TA", EstimateMethod::Auto),
+            Err(Error::UnknownPredicate(_))
+        ));
+        assert!(matches!(
+            est.estimate_twig(&TwigNode::named("ghost")),
+            Err(Error::UnknownPredicate(_))
+        ));
+    }
+
+    #[test]
+    fn missing_coverage_is_reported() {
+        let tree = parse_str(&fig1_xml()).unwrap();
+        let mut catalog = Catalog::new();
+        catalog.define_all_tags(&tree);
+        let mut config = SummaryConfig::paper_defaults();
+        config.build_coverage = false;
+        let s = Summaries::build(&tree, &catalog, &config).unwrap();
+        let est = s.estimator();
+        assert!(matches!(
+            est.estimate_pair(
+                "faculty",
+                "TA",
+                EstimateMethod::NoOverlap(Basis::AncestorBased)
+            ),
+            Err(Error::MissingCoverage(_))
+        ));
+        // Auto degrades to primitive.
+        let a = est
+            .estimate_pair("faculty", "TA", EstimateMethod::Auto)
+            .unwrap();
+        assert_eq!(a.method, "primitive");
+    }
+
+    #[test]
+    fn compound_expression_estimation() {
+        let s = build(4);
+        let est = s.estimator();
+        let ta_or_ra = PredExpr::named("TA").or(PredExpr::named("RA"));
+        let stats = est.node_stats(&ta_or_ra).unwrap();
+        // Disjoint tags: estimate should be close to 15 (5 TA + 10 RA),
+        // minus the small per-cell independence overlap charge.
+        assert!(stats.hist.total() > 12.0 && stats.hist.total() <= 15.0);
+        let twig = TwigNode::named("faculty").descendant(TwigNode::with_pred(ta_or_ra));
+        let e = est.estimate_twig(&twig).unwrap();
+        assert!(e.value > 0.0);
+    }
+
+    #[test]
+    fn storage_is_small_fraction_of_tree() {
+        let s = build(10);
+        // 31-node tree: summaries are small but non-zero.
+        assert!(s.storage_bytes() > 0);
+        assert!(s.len() >= 7);
+        assert_eq!(s.tree_nodes(), 31);
+    }
+
+    #[test]
+    fn equi_depth_grid_build() {
+        let tree = parse_str(&fig1_xml()).unwrap();
+        let mut catalog = Catalog::new();
+        catalog.define_all_tags(&tree);
+        let mut config = SummaryConfig::paper_defaults().with_grid_size(4);
+        config.equi_depth = true;
+        let s = Summaries::build(&tree, &catalog, &config).unwrap();
+        assert!(!s.grid().is_uniform());
+        let est = s.estimator();
+        let e = est
+            .estimate_pair("faculty", "TA", EstimateMethod::Auto)
+            .unwrap();
+        assert!(e.value > 0.0 && e.value <= 5.0);
+    }
+
+    #[test]
+    fn parallel_build_identical_to_serial() {
+        let tree = parse_str(&fig1_xml()).unwrap();
+        let mut catalog = Catalog::new();
+        catalog.define_all_tags(&tree);
+        let config = SummaryConfig::paper_defaults().with_grid_size(6);
+        let serial = Summaries::build(&tree, &catalog, &config).unwrap();
+        for threads in [2usize, 3, 8] {
+            let parallel = Summaries::build_parallel(&tree, &catalog, &config, threads).unwrap();
+            assert_eq!(parallel.len(), serial.len());
+            assert_eq!(parallel.grid(), serial.grid());
+            assert_eq!(parallel.true_hist(), serial.true_hist());
+            for s in serial.iter() {
+                let p = parallel.get(&s.name).unwrap();
+                assert_eq!(p.hist, s.hist, "{} ({threads} threads)", s.name);
+                assert_eq!(p.cvg, s.cvg);
+                assert_eq!(p.no_overlap, s.no_overlap);
+                assert_eq!(p.count, s.count);
+            }
+        }
+    }
+
+    #[test]
+    fn builtin_structural_summaries_enable_wildcards() {
+        let s = build(4);
+        assert!(s.get("#element").is_some());
+        assert!(s.get("#text").is_some());
+        assert_eq!(s.get("#true").unwrap().count, 31);
+        let est = s.estimator();
+        // `*` resolves through the built-in AnyElement summary.
+        let stats = est
+            .node_stats(&PredExpr::Base(BasePredicate::AnyElement))
+            .unwrap();
+        assert_eq!(stats.hist.total(), 31.0, "Fig. 1 has no text nodes");
+        let twig = TwigNode::with_pred(PredExpr::Base(BasePredicate::AnyElement))
+            .descendant(TwigNode::named("TA"));
+        let e = est.estimate_twig(&twig).unwrap();
+        assert!(e.value > 0.0);
+    }
+
+    #[test]
+    fn schema_shortcuts_from_dtd() {
+        let tree = parse_str(&fig1_xml()).unwrap();
+        let dtd_text = r#"
+            <!ELEMENT department (faculty|staff|lecturer|research_scientist)+>
+            <!ELEMENT faculty (name, secretary?, (TA|RA)*)>
+            <!ELEMENT staff (name)>
+            <!ELEMENT lecturer (name, TA*)>
+            <!ELEMENT research_scientist (name, secretary?, RA*)>
+            <!ELEMENT name (#PCDATA)>
+            <!ELEMENT secretary (#PCDATA)>
+            <!ELEMENT TA (#PCDATA)>
+            <!ELEMENT RA (#PCDATA)>
+        "#;
+        let dtd = xmlest_xml::dtd::parse_dtd(dtd_text).unwrap().analyze();
+        let mut catalog = Catalog::new();
+        catalog.define_all_tags(&tree);
+        let config = SummaryConfig::paper_defaults()
+            .with_grid_size(4)
+            .with_dtd(dtd);
+        let s = Summaries::build(&tree, &catalog, &config).unwrap();
+        let est = s.estimator();
+        // TA cannot appear under staff: shortcut to 0.
+        assert_eq!(est.schema_shortcut("staff", "TA"), Some(0.0));
+        let e = est
+            .estimate_pair("staff", "TA", EstimateMethod::Auto)
+            .unwrap();
+        assert_eq!(e.value, 0.0);
+        assert_eq!(e.method, "schema");
+        // No sole-parent shortcut for TA (faculty and lecturer both allow it).
+        assert_eq!(est.schema_shortcut("faculty", "TA"), None);
+        // secretary's parents: faculty and research_scientist -> no shortcut;
+        // but RA under research_scientist? RA also under faculty -> none.
+        assert_eq!(est.schema_shortcut("research_scientist", "RA"), None);
+    }
+}

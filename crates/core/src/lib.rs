@@ -1,0 +1,45 @@
+//! `xmlest-core` — the paper's contribution: position histograms, the
+//! pH-join estimation algorithm, and coverage histograms for predicates
+//! with the no-overlap property.
+//!
+//! Pipeline:
+//!
+//! 1. Label the data tree with `(start, end)` intervals (`xmlest-xml`).
+//! 2. For every base predicate in the catalog, build a
+//!    [`PositionHistogram`] over the `(start, end)` plane
+//!    ([`position_histogram`]), plus a [`CoverageHistogram`] when the
+//!    predicate has the *no-overlap* property ([`coverage`]).
+//! 3. Estimate twig-query answer sizes from the histograms alone:
+//!    [`mod@ph_join`] implements the primitive estimation of Fig. 6/Fig. 9;
+//!    [`no_overlap`] the refined formulas of Fig. 10; [`twig`] composes
+//!    them over arbitrary query trees; [`compound`] synthesizes histograms
+//!    for boolean predicate combinations (Section 3.4).
+//!
+//! Extensions beyond the paper (flagged in module docs): ordered-semantics
+//! estimation ([`ordered`]), parent–child estimation with level histograms
+//! ([`parent_child`]) and equi-depth grids ([`grid::Grid::equi_depth`]) —
+//! the future-work items of Section 7.
+
+pub mod compound;
+pub mod coverage;
+pub mod error;
+pub mod estimator;
+pub mod grid;
+pub mod markov;
+pub mod naive;
+pub mod no_overlap;
+pub mod ordered;
+pub mod parent_child;
+pub mod ph_join;
+pub mod position_histogram;
+pub mod summary;
+pub mod twig;
+
+pub use coverage::CoverageHistogram;
+pub use error::{Error, Result};
+pub use estimator::{Estimate, EstimateMethod, Estimator, Summaries, SummaryConfig};
+pub use grid::{Cell, Grid};
+pub use no_overlap::NodeStats;
+pub use ph_join::{ph_join, ph_join_total, Basis};
+pub use position_histogram::PositionHistogram;
+pub use twig::{Axis, TwigNode};

@@ -1,0 +1,45 @@
+//! Naive baselines the paper compares against (Tables 2 and 4).
+//!
+//! * **Naive estimate** — with no structural information at all, the only
+//!   possible estimate for `P1 // P2` is the product of the node counts
+//!   (every pair might join). For a twig, the product over all nodes.
+//! * **Descendant-count upper bound** — with schema information only (the
+//!   ancestor predicate is known to be no-overlap) each descendant joins
+//!   at most one ancestor, so the count of descendant nodes bounds the
+//!   answer ("Desc Num" in Table 2).
+
+/// Product-of-cardinalities estimate for a set of pattern node counts.
+pub fn naive_product(counts: &[f64]) -> f64 {
+    counts.iter().product()
+}
+
+/// The best structural-information-free upper bound for a two-node
+/// pattern: descendant count when the ancestor cannot nest, otherwise
+/// the full product.
+pub fn pair_upper_bound(anc_count: f64, desc_count: f64, anc_no_overlap: bool) -> f64 {
+    if anc_no_overlap {
+        desc_count
+    } else {
+        anc_count * desc_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_faculty_ta_example() {
+        // Section 2: 3 faculty x 5 TA -> naive 15; no-overlap bound 5.
+        assert_eq!(naive_product(&[3.0, 5.0]), 15.0);
+        assert_eq!(pair_upper_bound(3.0, 5.0, true), 5.0);
+        assert_eq!(pair_upper_bound(3.0, 5.0, false), 15.0);
+    }
+
+    #[test]
+    fn product_over_twig() {
+        // Fig. 2 pattern: department, faculty, TA, RA.
+        assert_eq!(naive_product(&[1.0, 3.0, 5.0, 10.0]), 150.0);
+        assert_eq!(naive_product(&[]), 1.0);
+    }
+}

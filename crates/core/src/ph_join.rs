@@ -1,0 +1,490 @@
+//! The pH-join — primitive estimation for an ancestor–descendant pair
+//! (Sections 3.2–3.3, Fig. 6 and Fig. 9 of the paper).
+//!
+//! Given position histograms for predicates `P1` (ancestor) and `P2`
+//! (descendant), estimate the number of node pairs `(u, v)` with `u`
+//! satisfying `P1`, `v` satisfying `P2` and `u` an ancestor of `v`,
+//! assuming uniform distribution inside each grid cell after excluding
+//! the geometrically *forbidden* regions (Lemma 1).
+//!
+//! Region coefficients for an off-diagonal ancestor cell `A = (i, j)`
+//! (Fig. 5/6): cells strictly inside `A`'s span count fully (regions
+//! B/C/E); the two diagonal border cells `(i, i)` and `(j, j)` count half
+//! (regions F/D — half their area is forbidden); `A` itself counts a
+//! quarter. An on-diagonal cell is a triangle, and the within-cell pairing
+//! probability integrates to 1/12.
+//!
+//! Both the **ancestor-based** and **descendant-based** variants are
+//! implemented, each in two forms: the three-pass partial-sum algorithm of
+//! Fig. 9 (O(g²) total work) and a direct region-sum reference (O(g⁴))
+//! used to cross-validate it. [`JoinCoefficients`] additionally implements
+//! the paper's space–time tradeoff: precompute per-cell coefficients from
+//! the inner operand once, after which each join costs only the O(g)
+//! non-zero cells of the outer operand.
+
+use crate::error::{Error, Result};
+use crate::grid::Cell;
+use crate::position_histogram::PositionHistogram;
+
+/// Which operand's cells the per-cell estimate is attributed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Basis {
+    /// Estimate positioned at ancestor cells (first formula of Fig. 6).
+    AncestorBased,
+    /// Estimate positioned at descendant cells (second formula of Fig. 6).
+    DescendantBased,
+}
+
+/// Runs the pH-join, returning the per-cell estimate histogram
+/// (`Est_P12` in the paper). Cells are those of the basis operand.
+pub fn ph_join(
+    anc: &PositionHistogram,
+    desc: &PositionHistogram,
+    basis: Basis,
+) -> Result<PositionHistogram> {
+    let coeffs = JoinCoefficients::precompute(
+        match basis {
+            Basis::AncestorBased => desc,
+            Basis::DescendantBased => anc,
+        },
+        basis,
+    );
+    let outer = match basis {
+        Basis::AncestorBased => anc,
+        Basis::DescendantBased => desc,
+    };
+    coeffs.apply(outer)
+}
+
+/// Total estimated join size (sum of the per-cell estimates).
+pub fn ph_join_total(
+    anc: &PositionHistogram,
+    desc: &PositionHistogram,
+    basis: Basis,
+) -> Result<f64> {
+    Ok(ph_join(anc, desc, basis)?.total())
+}
+
+/// Precomputed multiplicative coefficients (Section 3.3: "it is possible
+/// to run the algorithm on each position histogram matrix in advance").
+///
+/// For [`Basis::AncestorBased`] the inner operand is the *descendant*
+/// histogram and `coeff[(i, j)]` is the expected number of its nodes
+/// joining one ancestor-cell `(i, j)` node; vice versa for
+/// [`Basis::DescendantBased`].
+#[derive(Debug, Clone)]
+pub struct JoinCoefficients {
+    grid: crate::grid::Grid,
+    basis: Basis,
+    /// Dense `g × g`, row-major `[start_bucket][end_bucket]`.
+    coeff: Vec<f64>,
+}
+
+impl JoinCoefficients {
+    /// Three-pass partial-sum computation (Fig. 9), generalized to both
+    /// bases.
+    pub fn precompute(inner: &PositionHistogram, basis: Basis) -> Self {
+        let g = inner.grid().g() as usize;
+        let b = inner.to_dense();
+        let coeff = match basis {
+            Basis::AncestorBased => ancestor_coefficients(&b, g),
+            Basis::DescendantBased => descendant_coefficients(&b, g),
+        };
+        JoinCoefficients {
+            grid: inner.grid().clone(),
+            basis,
+            coeff,
+        }
+    }
+
+    /// Applies the coefficients to the outer operand. Runs in time
+    /// proportional to the outer histogram's non-zero cells — O(g) by
+    /// Theorem 1 (this is the paper's "O(g) per join" claim).
+    pub fn apply(&self, outer: &PositionHistogram) -> Result<PositionHistogram> {
+        if outer.grid() != &self.grid {
+            return Err(Error::GridMismatch);
+        }
+        let g = self.grid.g() as usize;
+        let mut est = PositionHistogram::empty(self.grid.clone());
+        for ((i, j), v) in outer.iter() {
+            let c = self.coeff[i as usize * g + j as usize];
+            if c != 0.0 {
+                est.set((i, j), v * c);
+            }
+        }
+        Ok(est)
+    }
+
+    /// Coefficient for a single cell.
+    pub fn get(&self, cell: Cell) -> f64 {
+        let g = self.grid.g() as usize;
+        self.coeff[cell.0 as usize * g + cell.1 as usize]
+    }
+
+    pub fn basis(&self) -> Basis {
+        self.basis
+    }
+
+    /// Extra storage the precomputation costs, "approximately equal to
+    /// that of the original position histogram" (we store it dense here;
+    /// a sparse variant would match the histogram exactly).
+    pub fn storage_bytes(&self) -> usize {
+        self.coeff.iter().filter(|c| **c != 0.0).count() * crate::position_histogram::BYTES_PER_CELL
+    }
+}
+
+/// Ancestor-based coefficients via the three passes of Fig. 9.
+/// `b` is the dense descendant histogram.
+fn ancestor_coefficients(b: &[f64], g: usize) -> Vec<f64> {
+    let at = |i: usize, j: usize| b[i * g + j];
+    // Pass 1: column partial sums within a row of the upper triangle:
+    // down[i][j] = sum of b[i][i..j] (exclusive of j).
+    let mut down = vec![0.0; g * g];
+    for i in 0..g {
+        for j in i + 1..g {
+            down[i * g + j] = down[i * g + (j - 1)] + at(i, j - 1);
+        }
+    }
+    // Pass 2 (reverse): right[i][j] = sum of b[(i+1)..=j][j];
+    // descendant[i][j] = sum of down[(i+1)..=j][j] = strictly-interior mass.
+    let mut right = vec![0.0; g * g];
+    let mut interior = vec![0.0; g * g];
+    for j in (0..g).rev() {
+        for i in (0..=j).rev() {
+            if i < j {
+                right[i * g + j] = right[(i + 1) * g + j] + at(i + 1, j);
+                interior[i * g + j] = interior[(i + 1) * g + j] + down[(i + 1) * g + j];
+            }
+        }
+    }
+    // Pass 3: assemble per-cell coefficients.
+    let mut coeff = vec![0.0; g * g];
+    for i in 0..g {
+        for j in i..g {
+            coeff[i * g + j] = if i == j {
+                at(i, i) / 12.0
+            } else {
+                interior[i * g + j] + at(i, j) / 4.0 + down[i * g + j] - at(i, i) / 2.0
+                    + right[i * g + j]
+                    - at(j, j) / 2.0
+            };
+        }
+    }
+    coeff
+}
+
+/// Descendant-based coefficients. `a` is the dense ancestor histogram.
+/// For descendant cell `(i, j)` the ancestors lie in regions F (same
+/// start bucket, later end bucket), H (same end bucket, earlier start
+/// bucket), G (strictly up-left), each with coefficient 1 (Fig. 6), plus
+/// the cell itself (1/4 off-diagonal, 1/12 on-diagonal).
+fn descendant_coefficients(a: &[f64], g: usize) -> Vec<f64> {
+    let at = |i: usize, j: usize| a[i * g + j];
+    // f[i][j] = sum of a[i][(j+1)..g] (row suffix).
+    let mut f = vec![0.0; g * g];
+    for i in 0..g {
+        for j in (i..g - 1).rev() {
+            f[i * g + j] = f[i * g + (j + 1)] + at(i, j + 1);
+        }
+    }
+    // h[i][j] = sum of a[0..i][j] (column prefix).
+    // gsum[i][j] = sum of f[0..i][j] (accumulated row suffixes = region G).
+    let mut h = vec![0.0; g * g];
+    let mut gsum = vec![0.0; g * g];
+    for j in 0..g {
+        for i in 1..=j {
+            h[i * g + j] = h[(i - 1) * g + j] + at(i - 1, j);
+            gsum[i * g + j] = gsum[(i - 1) * g + j] + f[(i - 1) * g + j];
+        }
+    }
+    let mut coeff = vec![0.0; g * g];
+    for i in 0..g {
+        for j in i..g {
+            let self_factor = if i == j { 1.0 / 12.0 } else { 0.25 };
+            coeff[i * g + j] =
+                f[i * g + j] + h[i * g + j] + gsum[i * g + j] + self_factor * at(i, j);
+        }
+    }
+    coeff
+}
+
+/// Direct region-sum implementation of Fig. 6 — O(g⁴), used only to
+/// cross-validate the partial-sum algorithm in tests and benches.
+pub fn ph_join_reference(
+    anc: &PositionHistogram,
+    desc: &PositionHistogram,
+    basis: Basis,
+) -> Result<PositionHistogram> {
+    if anc.grid() != desc.grid() {
+        return Err(Error::GridMismatch);
+    }
+    let g = anc.grid().g() as usize;
+    let mut est = PositionHistogram::empty(anc.grid().clone());
+    match basis {
+        Basis::AncestorBased => {
+            for ((i, j), a) in anc.iter() {
+                let (i, j) = (i as usize, j as usize);
+                let mut c = 0.0;
+                if i == j {
+                    c += desc.get((i as u16, i as u16)) / 12.0;
+                } else {
+                    // Strict interior (includes inner diagonal cells).
+                    for m in i + 1..=j {
+                        for n in m..j {
+                            c += desc.get((m as u16, n as u16));
+                        }
+                    }
+                    // Same start bucket, ends inside (region E)...
+                    for n in i + 1..j {
+                        c += desc.get((i as u16, n as u16));
+                    }
+                    // ...with the column diagonal cell at half (region F).
+                    c += desc.get((i as u16, i as u16)) / 2.0;
+                    // Same end bucket, starts inside (region C)...
+                    for m in i + 1..j {
+                        c += desc.get((m as u16, j as u16));
+                    }
+                    // ...with the row diagonal cell at half (region D).
+                    c += desc.get((j as u16, j as u16)) / 2.0;
+                    // Same cell: quarter.
+                    c += desc.get((i as u16, j as u16)) / 4.0;
+                }
+                if c != 0.0 {
+                    est.set((i as u16, j as u16), a * c);
+                }
+            }
+        }
+        Basis::DescendantBased => {
+            for ((i, j), d) in desc.iter() {
+                let (iu, ju) = (i as usize, j as usize);
+                let mut c = 0.0;
+                // F: same start bucket, later end bucket.
+                for n in ju + 1..g {
+                    c += anc.get((i, n as u16));
+                }
+                // H: earlier start bucket, same end bucket.
+                for m in 0..iu {
+                    c += anc.get((m as u16, j));
+                }
+                // G: strictly up-left.
+                for m in 0..iu {
+                    for n in ju + 1..g {
+                        c += anc.get((m as u16, n as u16));
+                    }
+                }
+                // Self cell.
+                let self_factor = if i == j { 1.0 / 12.0 } else { 0.25 };
+                c += self_factor * anc.get((i, j));
+                if c != 0.0 {
+                    est.set((i, j), d * c);
+                }
+            }
+        }
+    }
+    Ok(est)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Grid;
+    use xmlest_xml::Interval;
+
+    fn iv(s: u32, e: u32) -> Interval {
+        Interval::new(s, e)
+    }
+
+    fn fig1_histograms(g: u16) -> (PositionHistogram, PositionHistogram) {
+        let grid = Grid::uniform(g, 30).unwrap();
+        let fac =
+            PositionHistogram::from_intervals(grid.clone(), &[iv(1, 3), iv(6, 11), iv(17, 23)]);
+        let ta = PositionHistogram::from_intervals(
+            grid,
+            &[iv(14, 14), iv(15, 15), iv(16, 16), iv(20, 20), iv(23, 23)],
+        );
+        (fac, ta)
+    }
+
+    #[test]
+    fn paper_worked_example_estimates_point_six() {
+        // Section 3.2: with the 2x2 histograms of Fig. 7 the primitive
+        // algorithm estimates ~0.6 (the exact value is 7/12).
+        let (fac, ta) = fig1_histograms(2);
+        let total = ph_join_total(&fac, &ta, Basis::AncestorBased).unwrap();
+        assert!((total - 7.0 / 12.0).abs() < 1e-12, "got {total}");
+        // Descendant-based agrees exactly here (all mass on the diagonal).
+        let total_d = ph_join_total(&fac, &ta, Basis::DescendantBased).unwrap();
+        assert!((total_d - 7.0 / 12.0).abs() < 1e-12, "got {total_d}");
+    }
+
+    #[test]
+    fn finer_grid_improves_the_example() {
+        // Real answer for faculty//TA in Fig. 1 is 2. The estimate should
+        // move toward it as g grows (paper: "by refining the histogram to
+        // use more buckets, we can get a more accurate estimate").
+        let coarse = {
+            let (f, t) = fig1_histograms(2);
+            ph_join_total(&f, &t, Basis::AncestorBased).unwrap()
+        };
+        let fine = {
+            let (f, t) = fig1_histograms(16);
+            ph_join_total(&f, &t, Basis::AncestorBased).unwrap()
+        };
+        assert!(
+            (fine - 2.0).abs() < (coarse - 2.0).abs(),
+            "coarse {coarse} fine {fine}"
+        );
+    }
+
+    #[test]
+    fn matches_reference_on_example() {
+        for g in [2u16, 3, 5, 8, 13] {
+            let (f, t) = fig1_histograms(g);
+            for basis in [Basis::AncestorBased, Basis::DescendantBased] {
+                let fast = ph_join(&f, &t, basis).unwrap();
+                let slow = ph_join_reference(&f, &t, basis).unwrap();
+                for ((c, v), (c2, v2)) in fast.iter().zip(slow.iter()) {
+                    assert_eq!(c, c2);
+                    assert!((v - v2).abs() < 1e-9, "g={g} cell {c:?}: {v} vs {v2}");
+                }
+                assert!((fast.total() - slow.total()).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn single_root_ancestor_counts_all_descendants() {
+        // One ancestor spanning everything, many leaf descendants far from
+        // the root's cell: every descendant is guaranteed, so the estimate
+        // should equal the exact count.
+        let grid = Grid::uniform(8, 63).unwrap();
+        let anc = PositionHistogram::from_intervals(grid.clone(), &[iv(0, 63)]);
+        let descendants: Vec<Interval> = (10..30).map(|p| iv(p, p)).collect();
+        let desc = PositionHistogram::from_intervals(grid, &descendants);
+        let est = ph_join_total(&anc, &desc, Basis::AncestorBased).unwrap();
+        // Root is in cell (0, 7); leaves in buckets 1..3 are strictly
+        // interior -> coefficient 1. Leaves in bucket 0 sit in the column
+        // diagonal cell -> 1/2. Positions 10..16 are bucket 1+... width is
+        // 8, so 10..16 in bucket 1, 16..24 bucket 2, 24..30 bucket 3: all
+        // interior. Estimate = 20.
+        assert!((est - 20.0).abs() < 1e-9, "got {est}");
+    }
+
+    #[test]
+    fn disjoint_predicates_estimate_zero() {
+        let grid = Grid::uniform(8, 79).unwrap();
+        // Ancestors entirely in the first buckets, descendants in the last.
+        let anc = PositionHistogram::from_intervals(grid.clone(), &[iv(0, 5), iv(2, 3)]);
+        let desc = PositionHistogram::from_intervals(grid, &[iv(70, 75), iv(78, 78)]);
+        let est = ph_join_total(&anc, &desc, Basis::AncestorBased).unwrap();
+        assert_eq!(est, 0.0);
+        let est = ph_join_total(&anc, &desc, Basis::DescendantBased).unwrap();
+        assert_eq!(est, 0.0);
+    }
+
+    #[test]
+    fn precomputed_coefficients_reusable() {
+        let (f, t) = fig1_histograms(4);
+        let coeffs = JoinCoefficients::precompute(&t, Basis::AncestorBased);
+        assert_eq!(coeffs.basis(), Basis::AncestorBased);
+        let est1 = coeffs.apply(&f).unwrap();
+        let est2 = ph_join(&f, &t, Basis::AncestorBased).unwrap();
+        assert_eq!(est1, est2);
+        assert!(coeffs.storage_bytes() > 0);
+        // Reuse with a different outer operand.
+        let f2 = f.scaled_by(|_| 3.0);
+        let est3 = coeffs.apply(&f2).unwrap();
+        assert!((est3.total() - 3.0 * est1.total()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_bucket_grid_is_all_on_diagonal() {
+        // g=1: every node lands in cell (0,0); the only term is the
+        // 1/12 within-cell coefficient.
+        let grid = Grid::uniform(1, 99).unwrap();
+        let anc = PositionHistogram::from_intervals(grid.clone(), &[iv(0, 99), iv(1, 50)]);
+        let desc = PositionHistogram::from_intervals(grid, &[iv(3, 3), iv(7, 9), iv(60, 61)]);
+        for basis in [Basis::AncestorBased, Basis::DescendantBased] {
+            let est = ph_join_total(&anc, &desc, basis).unwrap();
+            assert!((est - 2.0 * 3.0 / 12.0).abs() < 1e-12, "{basis:?}: {est}");
+        }
+    }
+
+    #[test]
+    fn empty_operands_yield_zero() {
+        let grid = Grid::uniform(6, 59).unwrap();
+        let empty = PositionHistogram::empty(grid.clone());
+        let some = PositionHistogram::from_intervals(grid, &[iv(0, 59), iv(5, 8)]);
+        for basis in [Basis::AncestorBased, Basis::DescendantBased] {
+            assert_eq!(ph_join_total(&empty, &some, basis).unwrap(), 0.0);
+            assert_eq!(ph_join_total(&some, &empty, basis).unwrap(), 0.0);
+            assert_eq!(ph_join_total(&empty, &empty, basis).unwrap(), 0.0);
+        }
+    }
+
+    #[test]
+    fn self_join_counts_nesting_pairs() {
+        // Joining a predicate with itself estimates (ancestor, descendant)
+        // pairs among its own nodes — meaningful for recursive tags.
+        let grid = Grid::uniform(4, 39).unwrap();
+        // Three nested intervals spanning distinct cells.
+        let h = PositionHistogram::from_intervals(grid, &[iv(0, 39), iv(1, 20), iv(2, 5)]);
+        let est = ph_join_total(&h, &h, Basis::AncestorBased).unwrap();
+        // Real nesting pairs: (0-39,1-20), (0-39,2-5), (1-20,2-5) = 3.
+        assert!(est > 0.5 && est < 6.0, "{est}");
+    }
+
+    #[test]
+    fn grid_mismatch_rejected() {
+        let g1 = Grid::uniform(4, 99).unwrap();
+        let g2 = Grid::uniform(5, 99).unwrap();
+        let a = PositionHistogram::from_intervals(g1, &[iv(0, 10)]);
+        let b = PositionHistogram::from_intervals(g2, &[iv(0, 10)]);
+        assert_eq!(
+            ph_join(&a, &b, Basis::AncestorBased).unwrap_err(),
+            Error::GridMismatch
+        );
+        assert_eq!(
+            ph_join_reference(&a, &b, Basis::DescendantBased).unwrap_err(),
+            Error::GridMismatch
+        );
+    }
+
+    #[test]
+    fn off_diagonal_regions_weighted_correctly() {
+        // Hand-checkable configuration on a 4x4 grid (positions 0..39,
+        // width 10): one ancestor cell (0, 3) with 1 node; descendants
+        // placed one per region.
+        let grid = Grid::uniform(4, 39).unwrap();
+        let anc = PositionHistogram::from_intervals(grid.clone(), &[iv(0, 39)]);
+        let mut desc = PositionHistogram::empty(grid);
+        desc.set((1, 2), 10.0); // strict interior -> 1
+        desc.set((0, 1), 100.0); // same start bucket, inside -> 1 (region E)
+        desc.set((0, 0), 1000.0); // column diagonal -> 1/2 (region F)
+        desc.set((1, 3), 10000.0); // same end bucket, inside -> 1 (region C)
+        desc.set((3, 3), 100000.0); // row diagonal -> 1/2 (region D)
+        desc.set((0, 3), 1000000.0); // same cell -> 1/4
+        desc.set((2, 2), 7.0); // inner diagonal cell -> 1 (interior)
+        let est = ph_join_total(&anc, &desc, Basis::AncestorBased).unwrap();
+        let expected =
+            10.0 + 100.0 + 1000.0 / 2.0 + 10000.0 + 100000.0 / 2.0 + 1000000.0 / 4.0 + 7.0;
+        assert!((est - expected).abs() < 1e-9, "got {est}, want {expected}");
+    }
+
+    #[test]
+    fn descendant_based_regions_weighted_correctly() {
+        // One descendant in cell (1, 2) on a 4x4 grid; ancestors in each
+        // of its regions.
+        let grid = Grid::uniform(4, 39).unwrap();
+        let mut anc = PositionHistogram::empty(grid.clone());
+        anc.set((1, 3), 10.0); // F: same start bucket, later end -> 1
+        anc.set((0, 2), 100.0); // H: earlier start, same end -> 1
+        anc.set((0, 3), 1000.0); // G: strictly up-left -> 1
+        anc.set((1, 2), 10000.0); // self, off-diagonal -> 1/4
+        anc.set((2, 3), 5.0); // starts after the descendant: not an ancestor
+        let desc = PositionHistogram::from_intervals(grid, &[iv(12, 25)]); // cell (1,2)
+        let est = ph_join_total(&anc, &desc, Basis::DescendantBased).unwrap();
+        let expected = 10.0 + 100.0 + 1000.0 + 10000.0 / 4.0;
+        assert!((est - expected).abs() < 1e-9, "got {est}, want {expected}");
+    }
+}

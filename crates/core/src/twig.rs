@@ -1,0 +1,149 @@
+//! Twig (tree) query patterns for estimation.
+//!
+//! A twig is a small rooted tree whose nodes carry predicate expressions
+//! and whose edges are ancestor–descendant (the paper's focus) or
+//! parent–child (estimated via the level-histogram extension). The
+//! estimator composes pairwise joins bottom-up over this structure —
+//! "estimates for sub-patterns representing intermediate results" fall
+//! out of every intermediate [`crate::NodeStats`].
+
+use xmlest_predicate::PredExpr;
+
+/// Edge semantics between a twig node and its parent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// `//` — any proper descendant.
+    Descendant,
+    /// `/` — direct child.
+    Child,
+}
+
+/// One node of a twig pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TwigNode {
+    /// Predicate this node must satisfy.
+    pub pred: PredExpr,
+    /// Relationship to the parent node (ignored on the root).
+    pub axis: Axis,
+    /// Sub-patterns that must match below this node.
+    pub children: Vec<TwigNode>,
+}
+
+impl TwigNode {
+    /// A leaf node referencing a named catalog predicate, attached to its
+    /// parent with `//` semantics.
+    pub fn named(name: impl Into<String>) -> Self {
+        TwigNode {
+            pred: PredExpr::named(name),
+            axis: Axis::Descendant,
+            children: Vec::new(),
+        }
+    }
+
+    /// A leaf node with an arbitrary predicate expression.
+    pub fn with_pred(pred: PredExpr) -> Self {
+        TwigNode {
+            pred,
+            axis: Axis::Descendant,
+            children: Vec::new(),
+        }
+    }
+
+    /// Attaches a child reached through `//`.
+    pub fn descendant(mut self, mut child: TwigNode) -> Self {
+        child.axis = Axis::Descendant;
+        self.children.push(child);
+        self
+    }
+
+    /// Attaches a child reached through `/`.
+    pub fn child(mut self, mut child: TwigNode) -> Self {
+        child.axis = Axis::Child;
+        self.children.push(child);
+        self
+    }
+
+    /// Total number of pattern nodes.
+    pub fn node_count(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(TwigNode::node_count)
+            .sum::<usize>()
+    }
+
+    /// Depth of the pattern (a single node has depth 1).
+    pub fn depth(&self) -> usize {
+        1 + self.children.iter().map(TwigNode::depth).max().unwrap_or(0)
+    }
+
+    /// Every predicate in the pattern, pre-order.
+    pub fn predicates(&self) -> Vec<&PredExpr> {
+        let mut out = vec![&self.pred];
+        for c in &self.children {
+            out.extend(c.predicates());
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for TwigNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.pred)?;
+        for c in &self.children {
+            let axis = match c.axis {
+                Axis::Descendant => "//",
+                Axis::Child => "/",
+            };
+            write!(f, "[{axis}{c}]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Fig. 2 pattern: department over faculty over {TA, RA}.
+    fn fig2() -> TwigNode {
+        TwigNode::named("department").descendant(
+            TwigNode::named("faculty")
+                .descendant(TwigNode::named("TA"))
+                .descendant(TwigNode::named("RA")),
+        )
+    }
+
+    #[test]
+    fn structure_accessors() {
+        let t = fig2();
+        assert_eq!(t.node_count(), 4);
+        assert_eq!(t.depth(), 3);
+        let preds: Vec<String> = t.predicates().iter().map(|p| p.to_string()).collect();
+        assert_eq!(preds, vec!["department", "faculty", "TA", "RA"]);
+    }
+
+    #[test]
+    fn axes_are_recorded() {
+        let t = TwigNode::named("a")
+            .child(TwigNode::named("b"))
+            .descendant(TwigNode::named("c"));
+        assert_eq!(t.children[0].axis, Axis::Child);
+        assert_eq!(t.children[1].axis, Axis::Descendant);
+    }
+
+    #[test]
+    fn display_round_trips_shape() {
+        assert_eq!(fig2().to_string(), "department[//faculty[//TA][//RA]]");
+        let pc = TwigNode::named("a").child(TwigNode::named("b"));
+        assert_eq!(pc.to_string(), "a[/b]");
+    }
+
+    #[test]
+    fn single_node() {
+        let t = TwigNode::named("x");
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.depth(), 1);
+        assert_eq!(t.to_string(), "x");
+    }
+}

@@ -1,0 +1,265 @@
+//! A DBLP-like bibliography generator (Tables 1 and 2 of the paper).
+//!
+//! Reproduces the *shape* the estimator cares about, calibrated against
+//! the predicate characteristics the paper reports in Table 1:
+//!
+//! * a flat two-level record structure (`dblp` → record → fields), so
+//!   every record and field tag has the **no-overlap** property;
+//! * record mix skewed toward `article`/`inproceedings` with rare
+//!   `book`s (DBLP 2001: 7,366 articles vs 408 books);
+//! * ~2 authors per record on average, `title`/`year`/`url` on almost
+//!   every record, `cdrom` on ~9% (1,722 of ~19.9k records);
+//! * `cite` values prefixed `conf/` (~63%) or `journals/` (~36%);
+//! * `year` values concentrated in the 1980s with 1990s and 1970s tails
+//!   (Table 1: 13,066 eighties vs 3,963 nineties).
+
+use crate::words;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use xmlest_xml::{TreeBuilder, XmlTree};
+
+/// Generator options.
+#[derive(Debug, Clone)]
+pub struct DblpOptions {
+    pub seed: u64,
+    /// Number of bibliography records (the paper's data set has ~19.9k).
+    pub records: usize,
+}
+
+impl Default for DblpOptions {
+    fn default() -> Self {
+        DblpOptions {
+            seed: 42,
+            records: 2_000,
+        }
+    }
+}
+
+impl DblpOptions {
+    /// Approximately the paper's data scale (~0.5M nodes).
+    pub fn paper_scale() -> Self {
+        DblpOptions {
+            seed: 42,
+            records: 20_000,
+        }
+    }
+}
+
+/// Record kinds with their approximate DBLP-2001 mix.
+const KINDS: &[(&str, u32)] = &[
+    ("article", 37),
+    ("inproceedings", 50),
+    ("book", 2),
+    ("phdthesis", 4),
+    ("proceedings", 7),
+];
+
+/// Generates the bibliography tree.
+pub fn generate(opts: &DblpOptions) -> XmlTree {
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut b = TreeBuilder::new();
+    b.open("dblp");
+    for _ in 0..opts.records {
+        let kind = pick_kind(&mut rng);
+        emit_record(&mut b, &mut rng, kind);
+    }
+    b.close().expect("dblp open");
+    b.finish().expect("balanced tree")
+}
+
+fn pick_kind(rng: &mut StdRng) -> &'static str {
+    let total: u32 = KINDS.iter().map(|(_, w)| w).sum();
+    let mut roll = rng.random_range(0..total);
+    for (name, w) in KINDS {
+        if roll < *w {
+            return name;
+        }
+        roll -= w;
+    }
+    KINDS[0].0
+}
+
+fn emit_record(b: &mut TreeBuilder, rng: &mut StdRng, kind: &str) {
+    b.open(kind);
+    // Authors: 1..=5 with geometric tail (mean ~2, like Table 1's
+    // 41.5k authors over ~19.9k records).
+    let n_authors = words::geometric(rng, 1, 0.5, 5);
+    for _ in 0..n_authors {
+        b.open("author");
+        b.text(&words::person_name(rng));
+        b.close().expect("author");
+    }
+    b.open("title");
+    let n_words = 2 + rng.random_range(0..6);
+    b.text(&words::title(rng, n_words));
+    b.close().expect("title");
+    b.open("year");
+    b.text(&sample_year(rng).to_string());
+    b.close().expect("year");
+    // url on ~98% of records.
+    if rng.random_bool(0.98) {
+        b.open("url");
+        b.text(&format!("db/{}/{}.html", kind, rng.random_range(0..100000)));
+        b.close().expect("url");
+    }
+    // cdrom on ~8.6% of records (1,722 / 19,921).
+    if rng.random_bool(0.086) {
+        b.open("cdrom");
+        b.text(&format!("CDROM/{}{:05}", kind, rng.random_range(0..100000)));
+        b.close().expect("cdrom");
+    }
+    // cite: bursty — 60% have none, the rest a geometric batch
+    // (~33k cites over ~19.9k records in Table 1).
+    if rng.random_bool(0.4) {
+        let n = words::geometric(rng, 1, 0.75, 16);
+        for _ in 0..n {
+            b.open("cite");
+            b.text(&cite_key(rng));
+            b.close().expect("cite");
+        }
+    }
+    b.close().expect("record");
+}
+
+/// Year skew matching Table 1: eighties dominate, nineties second,
+/// seventies tail.
+fn sample_year(rng: &mut StdRng) -> i32 {
+    let roll = rng.random_range(0..100);
+    let decade = if roll < 62 {
+        1980
+    } else if roll < 81 {
+        1990
+    } else if roll < 95 {
+        1970
+    } else {
+        1960
+    };
+    decade + rng.random_range(0..10)
+}
+
+/// `conf/...` (~63%), `journals/...` (~36%), `books/...` remainder —
+/// the prefix mix of Table 1 (13,609 conf vs 7,834 journal of 33k cites;
+/// the rest of the cites in DBLP are empty "..." placeholders, which we
+/// skip, so our two prefixes split the mass ~63/36).
+fn cite_key(rng: &mut StdRng) -> String {
+    const VENUES: &[&str] = &[
+        "vldb", "sigmod", "icde", "edbt", "pods", "tods", "vldbj", "tkde",
+    ];
+    let venue = VENUES[rng.random_range(0..VENUES.len())];
+    let roll = rng.random_range(0..100);
+    let prefix = if roll < 63 {
+        "conf"
+    } else if roll < 99 {
+        "journals"
+    } else {
+        "books"
+    };
+    format!("{prefix}/{venue}/{}", rng.random_range(0..10000))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlest_xml::stats::{tag_has_no_overlap, TreeStats};
+
+    fn small() -> XmlTree {
+        generate(&DblpOptions {
+            seed: 11,
+            records: 1_000,
+        })
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&DblpOptions {
+            seed: 3,
+            records: 100,
+        });
+        let b = generate(&DblpOptions {
+            seed: 3,
+            records: 100,
+        });
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn record_mix_matches_table1_shape() {
+        let t = small();
+        let s = TreeStats::compute(&t);
+        let articles = s.tag_counts["article"];
+        let inproc = s.tag_counts["inproceedings"];
+        let books = s.tag_counts.get("book").copied().unwrap_or(0);
+        // Articles and inproceedings dominate; books are rare but present.
+        assert!(
+            articles > 250 && inproc > 350,
+            "{articles} articles, {inproc} inproc"
+        );
+        assert!(books > 0 && books < 60, "{books} books");
+        // Roughly 2 authors per record.
+        let authors = s.tag_counts["author"];
+        assert!(authors > 1_500 && authors < 3_000, "{authors} authors");
+        // title/year on every record.
+        assert_eq!(s.tag_counts["title"], 1_000);
+        assert_eq!(s.tag_counts["year"], 1_000);
+        // cdrom rare.
+        let cdrom = s.tag_counts.get("cdrom").copied().unwrap_or(0);
+        assert!(cdrom > 30 && cdrom < 200, "{cdrom} cdroms");
+    }
+
+    #[test]
+    fn all_record_tags_are_no_overlap() {
+        let t = small();
+        for tag_name in [
+            "article", "book", "author", "cite", "title", "url", "year", "cdrom",
+        ] {
+            if let Some(tag) = t.tags().get(tag_name) {
+                assert!(tag_has_no_overlap(&t, tag), "{tag_name} should not nest");
+            }
+        }
+    }
+
+    #[test]
+    fn year_distribution_skews_to_eighties() {
+        let t = small();
+        let mut eighties = 0;
+        let mut nineties = 0;
+        for n in t.iter() {
+            if let Some(text) = t.text(n) {
+                if let Ok(y) = text.parse::<i32>() {
+                    if (1980..1990).contains(&y) {
+                        eighties += 1;
+                    } else if (1990..2000).contains(&y) {
+                        nineties += 1;
+                    }
+                }
+            }
+        }
+        assert!(eighties > 2 * nineties, "{eighties} vs {nineties}");
+    }
+
+    #[test]
+    fn cite_prefixes_split_conf_majority() {
+        let t = small();
+        let mut conf = 0;
+        let mut journals = 0;
+        for n in t.iter() {
+            if let Some(text) = t.text(n) {
+                if text.starts_with("conf/") {
+                    conf += 1;
+                } else if text.starts_with("journals/") {
+                    journals += 1;
+                }
+            }
+        }
+        assert!(conf > journals, "{conf} conf vs {journals} journals");
+        assert!(journals > 0);
+    }
+
+    #[test]
+    fn flat_structure_depth() {
+        let t = small();
+        let s = TreeStats::compute(&t);
+        // dblp(0) -> record(1) -> field(2) -> text(3).
+        assert_eq!(s.max_depth, 3);
+    }
+}

@@ -1,0 +1,477 @@
+//! DTD-driven random document generation — our stand-in for the IBM XML
+//! Generator the paper used (Section 5.2).
+//!
+//! Given a parsed [`Dtd`], the generator expands a root element by
+//! recursively sampling its content model: sequences expand in order,
+//! choices uniformly, `?`/`*`/`+` with geometric repetition. Recursion is
+//! tamed the way grammar-based fuzzers do it: a fixpoint computes every
+//! element's minimal termination height, and once the depth budget is
+//! exhausted choices pick the alternative with the smallest termination
+//! height and quantifiers emit their minimum counts.
+
+use crate::words;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::BTreeMap;
+use xmlest_xml::dtd::{ContentModel, ContentParticle, Dtd, Quantifier};
+use xmlest_xml::{TreeBuilder, XmlTree};
+
+/// Particle kinds re-exported locally for matching.
+use xmlest_xml::dtd::content::ParticleKind;
+
+/// Generation knobs.
+#[derive(Debug, Clone)]
+pub struct DtdGenOptions {
+    pub seed: u64,
+    /// Depth at which expansion switches to shortest-termination mode.
+    pub max_depth: usize,
+    /// Continuation probability for `*` / `+` repetition.
+    pub repeat_p: f64,
+    /// Hard cap on repetitions of one particle.
+    pub max_repeat: usize,
+    /// Soft cap on total nodes: once exceeded, expansion terminates as
+    /// fast as the grammar allows.
+    pub target_nodes: usize,
+    /// While below the node target, probability of steering a choice
+    /// toward its most recursive alternative. Keeps expansion
+    /// supercritical so documents reliably reach the target instead of
+    /// dying out (branching processes are extinction-prone).
+    pub grow_bias: f64,
+    /// Relative selection weights for named choice alternatives
+    /// (default 1.0). Lets callers shape tag mixes, e.g. keep `manager`
+    /// recursion alive in the paper's DTD where only managers can spawn
+    /// managers.
+    pub choice_weights: std::collections::BTreeMap<String, f64>,
+}
+
+impl Default for DtdGenOptions {
+    fn default() -> Self {
+        DtdGenOptions {
+            seed: 42,
+            max_depth: 8,
+            repeat_p: 0.55,
+            max_repeat: 6,
+            target_nodes: 5_000,
+            grow_bias: 0.5,
+            choice_weights: std::collections::BTreeMap::new(),
+        }
+    }
+}
+
+/// Generates a document tree from `dtd` rooted at element `root`.
+///
+/// Random grammar expansion is a branching process and can go extinct
+/// long before the node target even when supercritical on average; the
+/// generator deterministically reseeds (up to 64 attempts, derived from
+/// `opts.seed`) and returns the first expansion reaching half the target,
+/// falling back to the largest attempt for grammars that cannot grow.
+///
+/// # Panics
+/// Panics if `root` is not declared in the DTD.
+pub fn generate(dtd: &Dtd, root: &str, opts: &DtdGenOptions) -> XmlTree {
+    assert!(
+        dtd.element(root).is_some(),
+        "root element {root:?} not declared"
+    );
+    let term = termination_heights(dtd);
+    let mut best: Option<XmlTree> = None;
+    for attempt in 0u64..64 {
+        let seed = opts
+            .seed
+            .wrapping_add(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = TreeBuilder::new();
+        let mut gen = Generator {
+            dtd,
+            term: &term,
+            opts,
+            rng: &mut rng,
+            nodes: 0,
+        };
+        gen.element(&mut b, root, 0, opts.target_nodes.max(8));
+        let tree = b.finish().expect("generator produces balanced trees");
+        if tree.len() * 2 >= opts.target_nodes {
+            return tree;
+        }
+        if best.as_ref().is_none_or(|t| t.len() < tree.len()) {
+            best = Some(tree);
+        }
+    }
+    best.expect("at least one attempt ran")
+}
+
+/// Minimal subtree height required to terminate each element, via
+/// fixpoint iteration (elements that can never terminate — mutually
+/// mandatory recursion — keep `usize::MAX` and are avoided entirely once
+/// the budget runs out; a DTD made solely of such elements would loop,
+/// which we guard with an assert).
+pub fn termination_heights(dtd: &Dtd) -> BTreeMap<String, usize> {
+    let mut h: BTreeMap<String, usize> = dtd
+        .elements
+        .keys()
+        .map(|k| (k.clone(), usize::MAX))
+        .collect();
+    loop {
+        let mut changed = false;
+        for (name, model) in &dtd.elements {
+            let nh = match model {
+                ContentModel::Empty | ContentModel::PcData | ContentModel::Mixed(_) => 1,
+                // ANY can always terminate by emitting no children.
+                ContentModel::Any => 1,
+                ContentModel::Children(p) => particle_height(p, &h).saturating_add(1),
+            };
+            if nh < h[name] {
+                h.insert(name.clone(), nh);
+                changed = true;
+            }
+        }
+        if !changed {
+            return h;
+        }
+    }
+}
+
+fn particle_height(p: &ContentParticle, h: &BTreeMap<String, usize>) -> usize {
+    if p.quant.min() == 0 {
+        return 0;
+    }
+    match &p.kind {
+        ParticleKind::Name(n) => h.get(n).copied().unwrap_or(1),
+        ParticleKind::Seq(parts) => parts
+            .iter()
+            .map(|part| particle_height(part, h))
+            .fold(0usize, |a, b| a.max(b)),
+        ParticleKind::Choice(parts) => parts
+            .iter()
+            .map(|part| particle_height(part, h))
+            .min()
+            .unwrap_or(0),
+    }
+}
+
+struct Generator<'a> {
+    dtd: &'a Dtd,
+    term: &'a BTreeMap<String, usize>,
+    opts: &'a DtdGenOptions,
+    rng: &'a mut StdRng,
+    nodes: usize,
+}
+
+impl Generator<'_> {
+    /// True once expansion should wind down as quickly as possible.
+    fn must_terminate(&self, depth: usize, budget: usize) -> bool {
+        depth >= self.opts.max_depth || budget <= 2 || self.nodes >= self.opts.target_nodes
+    }
+
+    /// Expands one element with a node budget for its whole subtree.
+    ///
+    /// Budgeting is what keeps tag mixes stable: the element first
+    /// *samples* its list of child elements from the content model, then
+    /// splits the remaining budget evenly among them, so an early
+    /// explosive subtree cannot starve its later siblings (a plain DFS
+    /// expansion exhausts the global target inside the first recursive
+    /// child and skews the mix arbitrarily).
+    fn element(&mut self, b: &mut TreeBuilder, name: &str, depth: usize, budget: usize) {
+        self.nodes += 1;
+        b.open(name);
+        let mut child_elems: Vec<String> = Vec::new();
+        match self.dtd.element(name) {
+            None | Some(ContentModel::Empty) => {}
+            Some(ContentModel::Any) => {
+                if !self.must_terminate(depth, budget) {
+                    let names: Vec<&String> = self.dtd.elements.keys().collect();
+                    let k = self
+                        .rng
+                        .random_range(0..3usize)
+                        .min(budget.saturating_sub(1));
+                    for _ in 0..k {
+                        child_elems.push(names[self.rng.random_range(0..names.len())].clone());
+                    }
+                }
+            }
+            Some(ContentModel::PcData) => {
+                self.nodes += 1;
+                let n_words = 1 + self.rng.random_range(0..3);
+                let text = words::title(self.rng, n_words);
+                b.text(&text);
+            }
+            Some(ContentModel::Mixed(names)) => {
+                self.nodes += 1;
+                b.text(words::zipf_word(self.rng));
+                if !self.must_terminate(depth, budget) && !names.is_empty() {
+                    let k = self.rng.random_range(0..2usize);
+                    for _ in 0..k {
+                        child_elems.push(names[self.rng.random_range(0..names.len())].clone());
+                    }
+                }
+            }
+            Some(ContentModel::Children(p)) => {
+                let p = p.clone();
+                self.sample_particle(&p, depth, budget, &mut child_elems);
+            }
+        }
+        if !child_elems.is_empty() {
+            // Leaf-ish children (small termination height) only need their
+            // minimal size; the rest of the budget goes to recursive
+            // children so the document actually reaches its target.
+            let min_size = |name: &str| self.term.get(name).copied().unwrap_or(1).saturating_mul(2);
+            let total_min: usize = child_elems.iter().map(|c| min_size(c)).sum();
+            let recursive: usize = child_elems
+                .iter()
+                .filter(|c| self.term.get(c.as_str()).copied().unwrap_or(1) >= 3)
+                .count();
+            let extra = budget.saturating_sub(1).saturating_sub(total_min);
+            let extra_share = extra.checked_div(recursive).unwrap_or(0);
+            for child in child_elems {
+                let mut share = min_size(&child);
+                if self.term.get(child.as_str()).copied().unwrap_or(1) >= 3 {
+                    share += extra_share;
+                }
+                self.element(b, &child, depth + 1, share.max(1));
+            }
+        }
+        b.close().expect("element was opened above");
+    }
+
+    /// Samples the child-element sequence implied by a content particle
+    /// without expanding it, so the budget can be split afterwards.
+    fn sample_particle(
+        &mut self,
+        p: &ContentParticle,
+        depth: usize,
+        budget: usize,
+        out: &mut Vec<String>,
+    ) {
+        // Terminate when the budget can no longer cover what has already
+        // been sampled (each child needs at least one node).
+        let terminate = self.must_terminate(depth, budget.saturating_sub(out.len()));
+        let reps = self.sample_reps(p.quant, terminate);
+        for _ in 0..reps {
+            match &p.kind {
+                ParticleKind::Name(n) => out.push(n.clone()),
+                ParticleKind::Seq(parts) => {
+                    for part in parts {
+                        self.sample_particle(part, depth, budget, out);
+                    }
+                }
+                ParticleKind::Choice(parts) => {
+                    let pick = if terminate {
+                        parts
+                            .iter()
+                            .min_by_key(|part| particle_height_one(part, self.term))
+                            .expect("choice is non-empty")
+                    } else {
+                        self.pick_weighted(parts)
+                    };
+                    let pick = pick.clone();
+                    self.sample_particle(&pick, depth, budget, out);
+                }
+            }
+        }
+    }
+
+    /// Weighted choice: caller-provided per-name weights times a growth
+    /// multiplier (derived from `grow_bias`) on the most recursive
+    /// alternatives while the document is still below its node target.
+    fn pick_weighted<'p>(&mut self, parts: &'p [ContentParticle]) -> &'p ContentParticle {
+        let heights: Vec<usize> = parts
+            .iter()
+            .map(|part| particle_height_one(part, self.term))
+            .collect();
+        let max_h = heights.iter().copied().max().expect("choice is non-empty");
+        let growing = self.nodes < self.opts.target_nodes;
+        let grow_mult = 1.0 + 3.0 * self.opts.grow_bias;
+        let weights: Vec<f64> = parts
+            .iter()
+            .zip(&heights)
+            .map(|(part, &h)| {
+                let base = match &part.kind {
+                    ParticleKind::Name(n) => {
+                        self.opts.choice_weights.get(n).copied().unwrap_or(1.0)
+                    }
+                    _ => 1.0,
+                };
+                let grow = if growing && h == max_h {
+                    grow_mult
+                } else {
+                    1.0
+                };
+                base * grow
+            })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut roll = self.rng.random_range(0.0..total);
+        for (part, w) in parts.iter().zip(&weights) {
+            if roll < *w {
+                return part;
+            }
+            roll -= w;
+        }
+        parts.last().expect("choice is non-empty")
+    }
+
+    fn sample_reps(&mut self, q: Quantifier, terminate: bool) -> usize {
+        if terminate {
+            return q.min();
+        }
+        // Far below the node target, boost repetition to keep the
+        // branching process supercritical.
+        let p = if self.nodes * 2 < self.opts.target_nodes {
+            (self.opts.repeat_p + 0.2).min(0.85)
+        } else {
+            self.opts.repeat_p
+        };
+        match q {
+            Quantifier::One => 1,
+            Quantifier::Opt => usize::from(self.rng.random_bool(0.5)),
+            Quantifier::Star => words::geometric(self.rng, 0, p, self.opts.max_repeat),
+            Quantifier::Plus => words::geometric(self.rng, 1, p, self.opts.max_repeat),
+        }
+    }
+}
+
+/// Height of a particle counting *one* mandatory pass (used to rank
+/// choice alternatives at the depth limit).
+fn particle_height_one(p: &ContentParticle, h: &BTreeMap<String, usize>) -> usize {
+    match &p.kind {
+        ParticleKind::Name(n) => h.get(n).copied().unwrap_or(1),
+        ParticleKind::Seq(parts) => parts
+            .iter()
+            .filter(|part| part.quant.min() > 0)
+            .map(|part| particle_height_one(part, h))
+            .fold(0usize, |a, b| a.max(b)),
+        ParticleKind::Choice(parts) => parts
+            .iter()
+            .map(|part| particle_height_one(part, h))
+            .min()
+            .unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlest_xml::dtd::parser::{parse_dtd, PAPER_SYNTHETIC_DTD};
+    use xmlest_xml::stats::TreeStats;
+
+    #[test]
+    fn termination_heights_for_paper_dtd() {
+        let dtd = parse_dtd(PAPER_SYNTHETIC_DTD).unwrap();
+        let h = termination_heights(&dtd);
+        assert_eq!(h["name"], 1);
+        assert_eq!(h["email"], 1);
+        // employee = (name+, email?) -> 1 + height(name) = 2.
+        assert_eq!(h["employee"], 2);
+        // department needs name and employee+ -> 1 + 2 = 3.
+        assert_eq!(h["department"], 3);
+        // manager = (name, (m|d|e)+) -> cheapest alternative employee -> 3.
+        assert_eq!(h["manager"], 3);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let dtd = parse_dtd(PAPER_SYNTHETIC_DTD).unwrap();
+        let opts = DtdGenOptions {
+            seed: 123,
+            ..Default::default()
+        };
+        let a = generate(&dtd, "manager", &opts);
+        let b = generate(&dtd, "manager", &opts);
+        assert_eq!(a.len(), b.len());
+        let sa: Vec<_> = a.iter().map(|n| (a.tag(n), a.interval(n))).collect();
+        let sb: Vec<_> = b.iter().map(|n| (b.tag(n), b.interval(n))).collect();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let dtd = parse_dtd(PAPER_SYNTHETIC_DTD).unwrap();
+        let a = generate(
+            &dtd,
+            "manager",
+            &DtdGenOptions {
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        let b = generate(
+            &dtd,
+            "manager",
+            &DtdGenOptions {
+                seed: 2,
+                ..Default::default()
+            },
+        );
+        assert_ne!(a.len(), b.len());
+    }
+
+    #[test]
+    fn respects_target_nodes_softly() {
+        let dtd = parse_dtd(PAPER_SYNTHETIC_DTD).unwrap();
+        let opts = DtdGenOptions {
+            seed: 5,
+            target_nodes: 500,
+            max_depth: 30,
+            ..Default::default()
+        };
+        let t = generate(&dtd, "manager", &opts);
+        // Soft cap: must stop reasonably close past the target.
+        assert!(t.len() >= 100, "got {}", t.len());
+        assert!(t.len() < 5 * 500, "got {}", t.len());
+    }
+
+    #[test]
+    fn produces_valid_paper_shape() {
+        let dtd = parse_dtd(PAPER_SYNTHETIC_DTD).unwrap();
+        let opts = DtdGenOptions {
+            seed: 7,
+            target_nodes: 2000,
+            max_depth: 10,
+            ..Default::default()
+        };
+        let t = generate(&dtd, "manager", &opts);
+        let stats = TreeStats::compute(&t);
+        // All five element kinds appear.
+        for tag in ["manager", "department", "employee", "name", "email"] {
+            assert!(
+                stats.tag_counts.get(tag).copied().unwrap_or(0) > 0,
+                "missing {tag}"
+            );
+        }
+        // Recursion actually happens: manager or department nests.
+        assert!(stats.max_depth >= 4, "max depth {}", stats.max_depth);
+        // Structural sanity: every employee's children are names/emails.
+        let employee = t.tags().get("employee").unwrap();
+        for n in t.iter() {
+            if t.tag(n) == Some(employee) {
+                for c in t.children(n) {
+                    let tag = t.tag_name(c).unwrap();
+                    assert!(tag == "name" || tag == "email", "employee child {tag}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn depth_limit_terminates_mandatory_recursion_free_grammars() {
+        // Grammar with a tempting recursion that must still terminate.
+        let dtd = parse_dtd("<!ELEMENT a (a|b)><!ELEMENT b (#PCDATA)>").unwrap();
+        let opts = DtdGenOptions {
+            seed: 3,
+            max_depth: 4,
+            target_nodes: 100,
+            ..Default::default()
+        };
+        let t = generate(&dtd, "a", &opts);
+        assert!(t.len() < 10_000);
+        let stats = TreeStats::compute(&t);
+        assert!(stats.max_depth < 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "not declared")]
+    fn unknown_root_panics() {
+        let dtd = parse_dtd("<!ELEMENT a EMPTY>").unwrap();
+        generate(&dtd, "zzz", &DtdGenOptions::default());
+    }
+}

@@ -1,0 +1,47 @@
+//! The running example of the paper: the Fig. 1 department document and
+//! the Fig. 2 twig query. Shared by tests, docs and the quickstart
+//! example so every layer of the system tells the same story (3 faculty,
+//! 5 TAs, primitive estimate ≈ 0.6, no-overlap estimate ≈ 2, real = 2).
+
+use xmlest_xml::parser::parse_str;
+use xmlest_xml::XmlTree;
+
+/// The Fig. 1 document as XML text.
+pub const FIG1_XML: &str = "<department>\
+<faculty><name/><RA/></faculty>\
+<staff><name/></staff>\
+<faculty><name/><secretary/><RA/><RA/><RA/></faculty>\
+<lecturer><name/><TA/><TA/><TA/></lecturer>\
+<faculty><name/><secretary/><TA/><RA/><RA/><TA/></faculty>\
+<research_scientist><name/><secretary/><RA/><RA/><RA/><RA/></research_scientist>\
+</department>";
+
+/// Parses [`FIG1_XML`].
+pub fn fig1_tree() -> XmlTree {
+    parse_str(FIG1_XML).expect("example document parses")
+}
+
+/// The Fig. 2 query as a path expression (for `xmlest-query::parse_path`).
+pub const FIG2_QUERY: &str = "//department//faculty[.//TA][.//RA]";
+
+/// The simple two-node query of the Section 2 walkthrough.
+pub const FACULTY_TA_QUERY: &str = "//faculty//TA";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_the_paper() {
+        let t = fig1_tree();
+        assert_eq!(t.len(), 31);
+        let count = |name: &str| {
+            let tag = t.tags().get(name).unwrap();
+            t.iter().filter(|&n| t.tag(n) == Some(tag)).count()
+        };
+        assert_eq!(count("faculty"), 3);
+        assert_eq!(count("TA"), 5);
+        assert_eq!(count("RA"), 10);
+        assert_eq!(count("department"), 1);
+    }
+}

@@ -1,0 +1,119 @@
+//! A Shakespeare-plays-style generator (the ibiblio data set the paper
+//! cites). Regular, shallow, text-heavy: plays with acts, scenes,
+//! speeches, speakers and lines — a workload where almost every tag is
+//! no-overlap and text nodes dominate.
+
+use crate::words;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use xmlest_xml::{TreeBuilder, XmlTree};
+
+#[derive(Debug, Clone)]
+pub struct ShakespeareOptions {
+    pub seed: u64,
+    /// Number of plays in the corpus (merged under one root).
+    pub plays: usize,
+}
+
+impl Default for ShakespeareOptions {
+    fn default() -> Self {
+        ShakespeareOptions { seed: 42, plays: 2 }
+    }
+}
+
+/// Generates the corpus: `<corpus>` wrapping `plays` `<PLAY>` subtrees.
+pub fn generate(opts: &ShakespeareOptions) -> XmlTree {
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut b = TreeBuilder::new();
+    b.open("corpus");
+    for _ in 0..opts.plays {
+        emit_play(&mut b, &mut rng);
+    }
+    b.close().expect("corpus");
+    b.finish().expect("balanced")
+}
+
+fn emit_play(b: &mut TreeBuilder, rng: &mut StdRng) {
+    b.open("PLAY");
+    b.open("TITLE");
+    b.text(&format!("The Tragedy of {}", words::person_name(rng)));
+    b.close().expect("TITLE");
+
+    // Dramatis personae.
+    b.open("PERSONAE");
+    let cast: Vec<String> = (0..6 + rng.random_range(0..8))
+        .map(|_| words::person_name(rng).to_uppercase())
+        .collect();
+    for name in &cast {
+        b.open("PERSONA");
+        b.text(name);
+        b.close().expect("PERSONA");
+    }
+    b.close().expect("PERSONAE");
+
+    let acts = 3 + rng.random_range(0..3);
+    for a in 1..=acts {
+        b.open("ACT");
+        b.open("TITLE");
+        b.text(&format!("ACT {a}"));
+        b.close().expect("TITLE");
+        let scenes = 2 + rng.random_range(0..5);
+        for s in 1..=scenes {
+            b.open("SCENE");
+            b.open("TITLE");
+            b.text(&format!("SCENE {s}"));
+            b.close().expect("TITLE");
+            let speeches = 5 + rng.random_range(0..20);
+            for _ in 0..speeches {
+                b.open("SPEECH");
+                b.open("SPEAKER");
+                b.text(&cast[rng.random_range(0..cast.len())]);
+                b.close().expect("SPEAKER");
+                let lines = 1 + rng.random_range(0..6);
+                for _ in 0..lines {
+                    b.open("LINE");
+                    let n_words = 5 + rng.random_range(0..5);
+                    b.text(&words::title(rng, n_words));
+                    b.close().expect("LINE");
+                }
+                b.close().expect("SPEECH");
+            }
+            b.close().expect("SCENE");
+        }
+        b.close().expect("ACT");
+    }
+    b.close().expect("PLAY");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlest_xml::stats::{tag_has_no_overlap, TreeStats};
+
+    #[test]
+    fn corpus_structure() {
+        let t = generate(&ShakespeareOptions::default());
+        let s = TreeStats::compute(&t);
+        assert_eq!(s.tag_counts["PLAY"], 2);
+        assert!(s.tag_counts["ACT"] >= 6);
+        assert!(s.tag_counts["SPEECH"] > 50);
+        assert!(s.tag_counts["LINE"] >= s.tag_counts["SPEECH"]);
+        assert_eq!(s.max_depth, 6); // corpus/PLAY/ACT/SCENE/SPEECH/LINE/text
+    }
+
+    #[test]
+    fn every_structural_tag_is_no_overlap() {
+        let t = generate(&ShakespeareOptions::default());
+        for name in ["PLAY", "ACT", "SCENE", "SPEECH", "SPEAKER", "LINE"] {
+            let tag = t.tags().get(name).unwrap();
+            assert!(tag_has_no_overlap(&t, tag), "{name}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&ShakespeareOptions::default());
+        let b = generate(&ShakespeareOptions::default());
+        assert_eq!(a.len(), b.len());
+    }
+}

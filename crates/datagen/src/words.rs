@@ -1,0 +1,137 @@
+//! Shared word/text generation helpers for the data generators.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// A small vocabulary for titles, names and prose.
+pub const VOCAB: &[&str] = &[
+    "query",
+    "index",
+    "xml",
+    "tree",
+    "join",
+    "cost",
+    "plan",
+    "data",
+    "graph",
+    "cache",
+    "storage",
+    "stream",
+    "schema",
+    "pattern",
+    "search",
+    "merge",
+    "range",
+    "vector",
+    "parallel",
+    "optimal",
+    "adaptive",
+    "estimate",
+    "histogram",
+    "selectivity",
+    "twig",
+    "path",
+    "node",
+    "label",
+    "interval",
+    "position",
+    "answer",
+    "size",
+    "database",
+];
+
+/// Picks a vocabulary word with a Zipf-ish skew (lower indexes much more
+/// likely), mirroring real text-value skew.
+pub fn zipf_word(rng: &mut StdRng) -> &'static str {
+    let n = VOCAB.len();
+    // Sample rank via inverse-power transform.
+    let u: f64 = rng.random_range(0.0..1.0);
+    let rank = ((n as f64).powf(u) - 1.0) as usize;
+    VOCAB[rank.min(n - 1)]
+}
+
+/// A title of `words` Zipf-distributed words.
+pub fn title(rng: &mut StdRng, words: usize) -> String {
+    let mut out = String::new();
+    for i in 0..words {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(zipf_word(rng));
+    }
+    out
+}
+
+/// A surname-like token, uniform over a fixed pool with a numeric suffix
+/// so author predicates have both frequent and rare values.
+pub fn person_name(rng: &mut StdRng) -> String {
+    const SURNAMES: &[&str] = &[
+        "Smith", "Chen", "Garcia", "Patel", "Kim", "Muller", "Rossi", "Tanaka", "Olsen", "Kumar",
+        "Silva", "Novak", "Dubois", "Haile", "Okafor", "Larsen",
+    ];
+    let surname = SURNAMES[rng.random_range(0..SURNAMES.len())];
+    // 1 in 4 names carry a disambiguating number (rare values).
+    if rng.random_range(0..4) == 0 {
+        format!("{surname} {:04}", rng.random_range(0..10000))
+    } else {
+        surname.to_owned()
+    }
+}
+
+/// Samples a count for a `*` / `+` content particle: geometric decay with
+/// the given continuation probability, capped.
+pub fn geometric(rng: &mut StdRng, min: usize, cont_p: f64, cap: usize) -> usize {
+    let mut k = min;
+    while k < cap && rng.random_bool(cont_p) {
+        k += 1;
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            assert_eq!(zipf_word(&mut a), zipf_word(&mut b));
+            assert_eq!(person_name(&mut a), person_name(&mut b));
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut first = 0;
+        const N: usize = 5000;
+        for _ in 0..N {
+            if zipf_word(&mut rng) == VOCAB[0] {
+                first += 1;
+            }
+        }
+        // The top word should be far above uniform (1/34 ~ 3%).
+        assert!(first > N / 10, "top word frequency {first}/{N}");
+    }
+
+    #[test]
+    fn geometric_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let k = geometric(&mut rng, 1, 0.6, 5);
+            assert!((1..=5).contains(&k));
+        }
+        assert_eq!(geometric(&mut rng, 2, 0.0, 9), 2);
+        assert_eq!(geometric(&mut rng, 0, 1.0, 3), 3);
+    }
+
+    #[test]
+    fn title_word_count() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let t = title(&mut rng, 4);
+        assert_eq!(t.split(' ').count(), 4);
+    }
+}

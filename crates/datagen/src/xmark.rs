@@ -1,0 +1,203 @@
+//! A simplified XMark-style auction-site generator (the paper lists the
+//! XMark benchmark among its data sets). Keeps XMark's signature
+//! structure: a `site` with regions/items, people, and open auctions
+//! whose `description` text can nest `parlist`/`listitem` recursively —
+//! providing an *overlapping* tag (`listitem`) in an otherwise flat
+//! catalog, unlike the DBLP workload.
+
+use crate::words;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use xmlest_xml::{TreeBuilder, XmlTree};
+
+#[derive(Debug, Clone)]
+pub struct XmarkOptions {
+    pub seed: u64,
+    /// Number of items across all regions.
+    pub items: usize,
+    /// Number of registered people.
+    pub people: usize,
+    /// Number of open auctions.
+    pub auctions: usize,
+}
+
+impl Default for XmarkOptions {
+    fn default() -> Self {
+        XmarkOptions {
+            seed: 42,
+            items: 200,
+            people: 120,
+            auctions: 80,
+        }
+    }
+}
+
+const REGIONS: &[&str] = &[
+    "africa",
+    "asia",
+    "australia",
+    "europe",
+    "namerica",
+    "samerica",
+];
+
+/// Generates the auction site document.
+pub fn generate(opts: &XmarkOptions) -> XmlTree {
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut b = TreeBuilder::new();
+    b.open("site");
+
+    b.open("regions");
+    for (ridx, region) in REGIONS.iter().enumerate() {
+        b.open(region);
+        // Distribute items round-robin-ish across regions.
+        let share = opts.items / REGIONS.len() + usize::from(ridx < opts.items % REGIONS.len());
+        for i in 0..share {
+            emit_item(&mut b, &mut rng, ridx * 10_000 + i);
+        }
+        b.close().expect("region");
+    }
+    b.close().expect("regions");
+
+    b.open("people");
+    for i in 0..opts.people {
+        emit_person(&mut b, &mut rng, i);
+    }
+    b.close().expect("people");
+
+    b.open("open_auctions");
+    for i in 0..opts.auctions {
+        emit_auction(&mut b, &mut rng, i, opts.people);
+    }
+    b.close().expect("open_auctions");
+
+    b.close().expect("site");
+    b.finish().expect("balanced")
+}
+
+fn emit_item(b: &mut TreeBuilder, rng: &mut StdRng, id: usize) {
+    b.open("item");
+    b.attr("id", &format!("item{id}")).expect("open element");
+    b.open("name");
+    b.text(&words::title(rng, 2));
+    b.close().expect("name");
+    b.open("description");
+    emit_text_block(b, rng, 0);
+    b.close().expect("description");
+    if rng.random_bool(0.6) {
+        b.open("payment");
+        b.text("Creditcard");
+        b.close().expect("payment");
+    }
+    b.open("quantity");
+    b.text(&rng.random_range(1..10).to_string());
+    b.close().expect("quantity");
+    b.close().expect("item");
+}
+
+/// Recursive parlist/listitem description text — XMark's nested part.
+fn emit_text_block(b: &mut TreeBuilder, rng: &mut StdRng, depth: usize) {
+    if depth < 3 && rng.random_bool(0.4) {
+        b.open("parlist");
+        let n = 1 + rng.random_range(0..3);
+        for _ in 0..n {
+            b.open("listitem");
+            emit_text_block(b, rng, depth + 1);
+            b.close().expect("listitem");
+        }
+        b.close().expect("parlist");
+    } else {
+        b.open("text");
+        let n_words = 3 + rng.random_range(0..8);
+        b.text(&words::title(rng, n_words));
+        b.close().expect("text");
+    }
+}
+
+fn emit_person(b: &mut TreeBuilder, rng: &mut StdRng, id: usize) {
+    b.open("person");
+    b.attr("id", &format!("person{id}")).expect("open element");
+    b.open("name");
+    b.text(&words::person_name(rng));
+    b.close().expect("name");
+    b.open("emailaddress");
+    b.text(&format!("mailto:u{id}@example.org"));
+    b.close().expect("email");
+    if rng.random_bool(0.5) {
+        b.open("phone");
+        b.text(&format!("+1 555 {:07}", rng.random_range(0..10_000_000)));
+        b.close().expect("phone");
+    }
+    b.close().expect("person");
+}
+
+fn emit_auction(b: &mut TreeBuilder, rng: &mut StdRng, id: usize, people: usize) {
+    b.open("open_auction");
+    b.attr("id", &format!("auction{id}")).expect("open element");
+    let bidders = rng.random_range(0..6);
+    for _ in 0..bidders {
+        b.open("bidder");
+        b.open("date");
+        b.text(&format!(
+            "{:02}/{:02}/2001",
+            rng.random_range(1..13),
+            rng.random_range(1..29)
+        ));
+        b.close().expect("date");
+        b.open("increase");
+        b.text(&format!("{}.00", rng.random_range(1..50)));
+        b.close().expect("increase");
+        b.open("personref");
+        b.attr(
+            "person",
+            &format!("person{}", rng.random_range(0..people.max(1))),
+        )
+        .expect("open element");
+        b.close().expect("personref");
+        b.close().expect("bidder");
+    }
+    b.open("current");
+    b.text(&format!("{}.00", rng.random_range(10..500)));
+    b.close().expect("current");
+    b.close().expect("open_auction");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlest_xml::stats::{tag_has_no_overlap, TreeStats};
+
+    #[test]
+    fn shape_and_counts() {
+        let t = generate(&XmarkOptions::default());
+        let s = TreeStats::compute(&t);
+        assert_eq!(s.tag_counts["item"], 200);
+        assert_eq!(s.tag_counts["person"], 120);
+        assert_eq!(s.tag_counts["open_auction"], 80);
+        assert_eq!(s.tag_counts["site"], 1);
+        for r in REGIONS {
+            assert!(s.tag_counts.contains_key(*r), "missing region {r}");
+        }
+    }
+
+    #[test]
+    fn listitem_overlaps_but_item_does_not() {
+        let t = generate(&XmarkOptions {
+            seed: 9,
+            ..Default::default()
+        });
+        let item = t.tags().get("item").unwrap();
+        assert!(tag_has_no_overlap(&t, item));
+        // listitem nests through parlist recursion (with enough data the
+        // 40% recursion probability guarantees nesting).
+        let listitem = t.tags().get("listitem").unwrap();
+        assert!(!tag_has_no_overlap(&t, listitem));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&XmarkOptions::default());
+        let b = generate(&XmarkOptions::default());
+        assert_eq!(a.len(), b.len());
+    }
+}

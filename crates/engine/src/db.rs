@@ -1,0 +1,212 @@
+//! The database object: document + catalog + indexes + summaries.
+
+use crate::error::{Error, Result};
+use std::collections::BTreeMap;
+use xmlest_core::{Estimator, Summaries, SummaryConfig};
+use xmlest_predicate::{Catalog, PredExpr};
+use xmlest_query::structural::Item;
+use xmlest_query::{count_matches, parse_path};
+use xmlest_xml::parser::parse_str;
+use xmlest_xml::{NodeId, XmlTree};
+
+/// Element index: per catalog predicate, the matching nodes with their
+/// intervals in document order — the input lists for structural joins.
+#[derive(Debug, Default)]
+pub struct ElementIndex {
+    lists: BTreeMap<String, Vec<Item<NodeId>>>,
+}
+
+impl ElementIndex {
+    pub fn build(tree: &XmlTree, catalog: &Catalog) -> ElementIndex {
+        let mut lists = BTreeMap::new();
+        for entry in catalog.iter() {
+            let items: Vec<Item<NodeId>> = entry
+                .predicate
+                .matches(tree)
+                .into_iter()
+                .map(|n| Item::new(tree.interval(n), n))
+                .collect();
+            lists.insert(entry.name.clone(), items);
+        }
+        ElementIndex { lists }
+    }
+
+    pub fn get(&self, name: &str) -> Option<&[Item<NodeId>]> {
+        self.lists.get(name).map(Vec::as_slice)
+    }
+
+    pub fn len(&self) -> usize {
+        self.lists.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.lists.is_empty()
+    }
+}
+
+/// A loaded database.
+pub struct Database {
+    tree: XmlTree,
+    catalog: Catalog,
+    summaries: Summaries,
+    index: ElementIndex,
+}
+
+impl Database {
+    /// Builds a database from an existing tree and catalog.
+    pub fn new(tree: XmlTree, catalog: Catalog, config: &SummaryConfig) -> Result<Database> {
+        let summaries = Summaries::build(&tree, &catalog, config)?;
+        let index = ElementIndex::build(&tree, &catalog);
+        Ok(Database {
+            tree,
+            catalog,
+            summaries,
+            index,
+        })
+    }
+
+    /// Parses an XML string, defines one predicate per element tag, and
+    /// builds summaries with the given config.
+    pub fn load_str(xml: &str, config: &SummaryConfig) -> Result<Database> {
+        let tree = parse_str(xml)?;
+        let mut catalog = Catalog::new();
+        catalog.define_all_tags(&tree);
+        Database::new(tree, catalog, config)
+    }
+
+    /// Loads a *collection* of documents, merged into the paper's
+    /// mega-tree (Section 3.1): one synthetic root, each document a
+    /// child subtree, one numbering space, one histogram set.
+    pub fn load_documents<'a>(
+        docs: impl IntoIterator<Item = (&'a str, &'a str)>,
+        config: &SummaryConfig,
+    ) -> Result<Database> {
+        let mut fb = xmlest_xml::ForestBuilder::new();
+        for (name, xml) in docs {
+            fb.add_document(name, xml)?;
+        }
+        let tree = fb.finish()?.into_tree();
+        let mut catalog = Catalog::new();
+        catalog.define_all_tags(&tree);
+        Database::new(tree, catalog, config)
+    }
+
+    pub fn tree(&self) -> &XmlTree {
+        &self.tree
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    pub fn summaries(&self) -> &Summaries {
+        &self.summaries
+    }
+
+    pub fn estimator(&self) -> Estimator<'_> {
+        self.summaries.estimator()
+    }
+
+    pub fn index(&self) -> &ElementIndex {
+        &self.index
+    }
+
+    /// Candidate list for a pattern-node predicate. Named predicates come
+    /// from the index; other expressions are evaluated on the fly.
+    pub fn candidates(&self, pred: &PredExpr) -> Result<Vec<Item<NodeId>>> {
+        if let PredExpr::Named(name) = pred {
+            return self
+                .index
+                .get(name)
+                .map(<[Item<NodeId>]>::to_vec)
+                .ok_or_else(|| xmlest_query::Error::UnknownPredicate(name.clone()).into());
+        }
+        let mut out = Vec::new();
+        for node in self.tree.iter() {
+            match pred.eval(&self.catalog, &self.tree, node) {
+                Some(true) => out.push(Item::new(self.tree.interval(node), node)),
+                Some(false) => {}
+                None => {
+                    let missing = pred
+                        .referenced_names()
+                        .into_iter()
+                        .find(|n| !self.catalog.contains(n))
+                        .unwrap_or("<unknown>")
+                        .to_owned();
+                    return Err(Error::Query(xmlest_query::Error::UnknownPredicate(missing)));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses and exactly answers a path query (count of matches).
+    pub fn count(&self, path: &str) -> Result<u64> {
+        let twig = parse_path(path)?;
+        Ok(count_matches(&self.tree, &self.catalog, &twig)?)
+    }
+
+    /// Parses and estimates a path query from the summaries.
+    pub fn estimate(&self, path: &str) -> Result<xmlest_core::Estimate> {
+        let twig = parse_path(path)?;
+        Ok(self.estimator().estimate_twig(&twig)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG1: &str = "<department>\
+        <faculty><name/><RA/></faculty>\
+        <staff><name/></staff>\
+        <faculty><name/><secretary/><RA/><RA/><RA/></faculty>\
+        <lecturer><name/><TA/><TA/><TA/></lecturer>\
+        <faculty><name/><secretary/><TA/><RA/><RA/><TA/></faculty>\
+        <research_scientist><name/><secretary/><RA/><RA/><RA/><RA/></research_scientist>\
+        </department>";
+
+    fn db() -> Database {
+        Database::load_str(FIG1, &SummaryConfig::paper_defaults().with_grid_size(4)).unwrap()
+    }
+
+    #[test]
+    fn load_and_index() {
+        let d = db();
+        assert_eq!(d.index().get("faculty").unwrap().len(), 3);
+        assert_eq!(d.index().get("TA").unwrap().len(), 5);
+        assert!(d.index().get("nosuch").is_none());
+        // Index lists are in document order.
+        let fac = d.index().get("faculty").unwrap();
+        assert!(fac
+            .windows(2)
+            .all(|w| w[0].interval.start < w[1].interval.start));
+    }
+
+    #[test]
+    fn count_and_estimate_agree_in_spirit() {
+        let d = db();
+        assert_eq!(d.count("//faculty//TA").unwrap(), 2);
+        let est = d.estimate("//faculty//TA").unwrap();
+        assert!(est.value > 0.5 && est.value < 6.0, "estimate {}", est.value);
+    }
+
+    #[test]
+    fn candidates_for_expressions() {
+        let d = db();
+        let named = d.candidates(&PredExpr::named("RA")).unwrap();
+        assert_eq!(named.len(), 10);
+        let any = d
+            .candidates(&PredExpr::Base(xmlest_predicate::BasePredicate::AnyElement))
+            .unwrap();
+        assert_eq!(any.len(), d.tree().len());
+        assert!(d.candidates(&PredExpr::named("ghost")).is_err());
+    }
+
+    #[test]
+    fn unknown_query_name_errors() {
+        let d = db();
+        assert!(d.count("//faculty//GHOST").is_err());
+        assert!(d.estimate("//faculty//GHOST").is_err());
+    }
+}

@@ -1,0 +1,60 @@
+//! Engine error type: wraps the lower layers.
+
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    Core(xmlest_core::Error),
+    Query(xmlest_query::Error),
+    Xml(xmlest_xml::Error),
+    /// Plan construction/validation problems.
+    Plan(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Core(e) => write!(f, "estimator: {e}"),
+            Error::Query(e) => write!(f, "query: {e}"),
+            Error::Xml(e) => write!(f, "xml: {e}"),
+            Error::Plan(msg) => write!(f, "plan: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<xmlest_core::Error> for Error {
+    fn from(e: xmlest_core::Error) -> Self {
+        Error::Core(e)
+    }
+}
+
+impl From<xmlest_query::Error> for Error {
+    fn from(e: xmlest_query::Error) -> Self {
+        Error::Query(e)
+    }
+}
+
+impl From<xmlest_xml::Error> for Error {
+    fn from(e: xmlest_xml::Error) -> Self {
+        Error::Xml(e)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: Error = xmlest_core::Error::GridMismatch.into();
+        assert!(e.to_string().contains("estimator"));
+        let e: Error = xmlest_query::Error::UnknownPredicate("x".into()).into();
+        assert!(e.to_string().contains("query"));
+        let e = Error::Plan("disconnected".into());
+        assert_eq!(e.to_string(), "plan: disconnected");
+    }
+}

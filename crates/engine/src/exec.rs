@@ -1,0 +1,265 @@
+//! Plan execution with actual-cardinality and actual-cost tracking.
+//!
+//! Each step joins the candidate lists of its edge's endpoints with the
+//! chosen physical algorithm, then semi-join-filters both lists to the
+//! participating nodes (the classic structural-join pipeline). The
+//! per-step *actual* pair counts and work recorded here are what the
+//! optimizer's estimates are judged against in the EXPLAIN output.
+//!
+//! Two physical operators:
+//! * **structural** — stack-based merge of the two sorted lists
+//!   (`xmlest-query::structural`), work `|A| + |D| + |pairs|`;
+//! * **navigational** — for every ancestor candidate, walk its subtree
+//!   (a contiguous id range in our document-order arena) testing a
+//!   candidate bitmap, work `Σ subtree sizes + |pairs|`. This is the
+//!   node-at-a-time strategy of early navigational engines; it beats the
+//!   merge when ancestors are few and small but the descendant list is
+//!   enormous.
+
+use crate::db::Database;
+use crate::error::Result;
+use crate::plan::{FlatTwig, JoinAlgorithm, Plan};
+use std::collections::BTreeSet;
+use xmlest_core::Axis;
+use xmlest_query::structural::{join_ad_pairs, Item};
+use xmlest_xml::NodeId;
+
+/// Execution trace of one plan.
+#[derive(Debug, Clone)]
+pub struct Execution {
+    /// Actual pairs produced by each step's join.
+    pub step_pairs: Vec<u64>,
+    /// Actual work per step (inputs touched + pairs emitted).
+    pub step_work: Vec<u64>,
+    /// Total actual cost: Σ step work.
+    pub total_cost: u64,
+    /// Candidate list sizes per pattern node after all semi-joins.
+    pub final_candidates: Vec<usize>,
+}
+
+/// Executes `plan` with every step using the structural algorithm.
+pub fn execute_plan(db: &Database, twig: &FlatTwig, plan: &Plan) -> Result<Execution> {
+    let algos = vec![JoinAlgorithm::Structural; plan.steps.len()];
+    execute_plan_with(db, twig, plan, &algos)
+}
+
+/// Executes `plan` with a per-step algorithm choice (as produced by the
+/// cost model).
+pub fn execute_plan_with(
+    db: &Database,
+    twig: &FlatTwig,
+    plan: &Plan,
+    algos: &[JoinAlgorithm],
+) -> Result<Execution> {
+    // Materialize candidate lists per pattern node.
+    let mut cands: Vec<Vec<Item<NodeId>>> = twig
+        .preds
+        .iter()
+        .map(|p| db.candidates(p))
+        .collect::<Result<_>>()?;
+
+    let mut step_pairs = Vec::with_capacity(plan.steps.len());
+    let mut step_work = Vec::with_capacity(plan.steps.len());
+    let mut total_cost = 0u64;
+
+    for (i, step) in plan.steps.iter().enumerate() {
+        let algo = algos.get(i).copied().unwrap_or(JoinAlgorithm::Structural);
+        let (p, c, axis) = twig.edges[step.0];
+        let (pairs, work) = match algo {
+            JoinAlgorithm::Structural => {
+                let pairs = join_ad_pairs(&cands[p], &cands[c]);
+                let work = (cands[p].len() + cands[c].len()) as u64 + pairs.len() as u64;
+                (pairs, work)
+            }
+            JoinAlgorithm::Navigational => nav_join(db, &cands[p], &cands[c]),
+        };
+        let pairs: Vec<(NodeId, NodeId)> = match axis {
+            Axis::Descendant => pairs,
+            Axis::Child => pairs
+                .into_iter()
+                .filter(|&(a, d)| db.tree().parent(d) == Some(a))
+                .collect(),
+        };
+        total_cost += work;
+        step_pairs.push(pairs.len() as u64);
+        step_work.push(work);
+
+        // Semi-join: keep only participating nodes on both sides.
+        let keep_a: BTreeSet<NodeId> = pairs.iter().map(|&(a, _)| a).collect();
+        let keep_d: BTreeSet<NodeId> = pairs.iter().map(|&(_, d)| d).collect();
+        cands[p].retain(|item| keep_a.contains(&item.payload));
+        cands[c].retain(|item| keep_d.contains(&item.payload));
+    }
+
+    Ok(Execution {
+        step_pairs,
+        step_work,
+        total_cost,
+        final_candidates: cands.iter().map(Vec::len).collect(),
+    })
+}
+
+/// Navigational ancestor–descendant join: walk each ancestor's subtree
+/// (a contiguous position range) and test nodes against a descendant
+/// bitmap. Returns the pairs plus the actual work performed.
+fn nav_join(
+    db: &Database,
+    ancestors: &[Item<NodeId>],
+    descendants: &[Item<NodeId>],
+) -> (Vec<(NodeId, NodeId)>, u64) {
+    let n = db.tree().len();
+    let mut is_candidate = vec![false; n];
+    for d in descendants {
+        is_candidate[d.payload.index()] = true;
+    }
+    let mut pairs = Vec::new();
+    let mut work = 0u64;
+    for a in ancestors {
+        let iv = a.interval;
+        work += u64::from(iv.end - iv.start);
+        for pos in iv.start + 1..=iv.end {
+            if is_candidate[pos as usize] {
+                pairs.push((a.payload, NodeId(pos)));
+            }
+        }
+    }
+    work += pairs.len() as u64;
+    // The pairs come out ancestor-major; the semi-join sets downstream
+    // don't care about order, but keep the structural operator's
+    // descendant-major order for reproducibility of traces.
+    pairs.sort_by_key(|&(a, d)| (d, a));
+    (pairs, work)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{enumerate_plans, FlatTwig};
+    use xmlest_core::SummaryConfig;
+    use xmlest_query::parse_path;
+
+    const FIG1: &str = "<department>\
+        <faculty><name/><RA/></faculty>\
+        <staff><name/></staff>\
+        <faculty><name/><secretary/><RA/><RA/><RA/></faculty>\
+        <lecturer><name/><TA/><TA/><TA/></lecturer>\
+        <faculty><name/><secretary/><TA/><RA/><RA/><TA/></faculty>\
+        <research_scientist><name/><secretary/><RA/><RA/><RA/><RA/></research_scientist>\
+        </department>";
+
+    fn db() -> Database {
+        Database::load_str(FIG1, &SummaryConfig::paper_defaults().with_grid_size(4)).unwrap()
+    }
+
+    #[test]
+    fn two_node_query_pairs_match_exact_count() {
+        let d = db();
+        let twig = FlatTwig::from_twig(&parse_path("//faculty//TA").unwrap());
+        let plans = enumerate_plans(&twig, 10);
+        assert_eq!(plans.len(), 1);
+        let exec = execute_plan(&d, &twig, &plans[0]).unwrap();
+        assert_eq!(exec.step_pairs, vec![2]);
+        assert_eq!(exec.final_candidates[0], 1, "one faculty participates");
+        assert_eq!(exec.final_candidates[1], 2, "two TAs participate");
+    }
+
+    #[test]
+    fn navigational_join_agrees_with_structural() {
+        let d = db();
+        for q in [
+            "//faculty//TA",
+            "//department//RA",
+            "//faculty//name",
+            "//faculty/name",
+        ] {
+            let twig = FlatTwig::from_twig(&parse_path(q).unwrap());
+            let plan = &enumerate_plans(&twig, 10)[0];
+            let s = execute_plan_with(&d, &twig, plan, &[JoinAlgorithm::Structural]).unwrap();
+            let n = execute_plan_with(&d, &twig, plan, &[JoinAlgorithm::Navigational]).unwrap();
+            assert_eq!(s.step_pairs, n.step_pairs, "{q}");
+            assert_eq!(s.final_candidates, n.final_candidates, "{q}");
+        }
+    }
+
+    #[test]
+    fn navigational_work_tracks_subtree_sizes() {
+        let d = db();
+        let twig = FlatTwig::from_twig(&parse_path("//department//RA").unwrap());
+        let plan = &enumerate_plans(&twig, 10)[0];
+        let n = execute_plan_with(&d, &twig, plan, &[JoinAlgorithm::Navigational]).unwrap();
+        // department spans the whole 31-node document: work = 30 + pairs.
+        assert_eq!(n.step_work, vec![30 + 10]);
+        let s = execute_plan_with(&d, &twig, plan, &[JoinAlgorithm::Structural]).unwrap();
+        // structural: 1 department + 10 RAs + 10 pairs.
+        assert_eq!(s.step_work, vec![1 + 10 + 10]);
+    }
+
+    #[test]
+    fn step_order_changes_intermediate_sizes() {
+        let d = db();
+        // department//faculty[//TA][//RA]
+        let twig = FlatTwig::from_twig(&parse_path("//department//faculty[.//TA][.//RA]").unwrap());
+        let plans = enumerate_plans(&twig, 100);
+        let mut intermediates = BTreeSet::new();
+        for p in &plans {
+            let exec = execute_plan(&d, &twig, p).unwrap();
+            intermediates.insert(exec.step_pairs[0]);
+            // Surviving faculty is always 1 (only faculty3 has TA+RA).
+            assert_eq!(exec.final_candidates[1], 1, "plan {p:?}");
+        }
+        // Different first edges produce different first-step sizes
+        // (dept//fac: 3 pairs; fac//TA: 2; fac//RA: 6).
+        assert_eq!(intermediates, BTreeSet::from([2u64, 3, 6]));
+    }
+
+    #[test]
+    fn parent_child_edge_filters_pairs() {
+        let d = db();
+        let twig = FlatTwig::from_twig(&parse_path("//department/name").unwrap());
+        let plans = enumerate_plans(&twig, 10);
+        let exec = execute_plan(&d, &twig, &plans[0]).unwrap();
+        // department has no direct name child in Fig. 1.
+        assert_eq!(exec.step_pairs, vec![0]);
+        let twig = FlatTwig::from_twig(&parse_path("//faculty/name").unwrap());
+        let plans = enumerate_plans(&twig, 10);
+        let exec = execute_plan(&d, &twig, &plans[0]).unwrap();
+        assert_eq!(exec.step_pairs, vec![3]);
+    }
+
+    #[test]
+    fn semi_join_shrinks_candidates_monotonically() {
+        let d = db();
+        let twig = FlatTwig::from_twig(&parse_path("//department//faculty[.//TA][.//RA]").unwrap());
+        let plan = &enumerate_plans(&twig, 1)[0];
+        let before: Vec<usize> = twig
+            .preds
+            .iter()
+            .map(|p| d.candidates(p).unwrap().len())
+            .collect();
+        let exec = execute_plan(&d, &twig, plan).unwrap();
+        for (b, a) in before.iter().zip(&exec.final_candidates) {
+            assert!(a <= b);
+        }
+    }
+
+    #[test]
+    fn mixed_algorithms_across_steps() {
+        let d = db();
+        let twig = FlatTwig::from_twig(&parse_path("//department//faculty[.//TA][.//RA]").unwrap());
+        let plan = &enumerate_plans(&twig, 1)[0];
+        let mixed = execute_plan_with(
+            &d,
+            &twig,
+            plan,
+            &[
+                JoinAlgorithm::Navigational,
+                JoinAlgorithm::Structural,
+                JoinAlgorithm::Navigational,
+            ],
+        )
+        .unwrap();
+        let pure = execute_plan(&d, &twig, plan).unwrap();
+        assert_eq!(mixed.step_pairs, pure.step_pairs);
+        assert_eq!(mixed.final_candidates, pure.final_candidates);
+    }
+}

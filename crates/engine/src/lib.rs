@@ -1,0 +1,30 @@
+//! A miniature native XML query engine — the TIMBER stand-in.
+//!
+//! The paper's Section 1 motivates answer-size estimation with a query
+//! optimizer choosing between join orders: `faculty ⋈ RA` first versus
+//! `faculty ⋈ TA` first, "depending on the cardinalities of the
+//! intermediate result set, one plan may be substantially better than
+//! another". This crate closes that loop end-to-end:
+//!
+//! * [`db::Database`] — a loaded document plus catalog, element indexes
+//!   (sorted node lists per predicate) and the estimation summaries;
+//! * [`plan`] — twig evaluation plans: connected orders over the query's
+//!   edges, each step a stack-based structural semi-join;
+//! * [`cost`] — a cost model fed exclusively by the estimator
+//!   (inputs + estimated output per step);
+//! * [`exec`] — plan execution that records *actual* intermediate
+//!   cardinalities next to the estimates;
+//! * [`optimizer`] — exhaustive connected-order enumeration picking the
+//!   cheapest estimated plan, with EXPLAIN-style reporting.
+
+pub mod cost;
+pub mod db;
+pub mod error;
+pub mod exec;
+pub mod optimizer;
+pub mod plan;
+
+pub use db::Database;
+pub use error::{Error, Result};
+pub use optimizer::{ExplainedPlan, Optimizer};
+pub use plan::{FlatTwig, Plan, PlanStep};

@@ -1,0 +1,181 @@
+//! Base (primitive) predicates over tree nodes.
+
+use serde::{Deserialize, Serialize};
+use xmlest_xml::{NodeId, NodeKind, XmlTree};
+
+/// A primitive node predicate. Each variant is cheap to evaluate per node;
+/// bulk evaluation over a tree is provided by [`BasePredicate::matches`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BasePredicate {
+    /// `elementtag = name` — element nodes with the given tag.
+    Tag(String),
+    /// Text nodes whose content equals the value exactly.
+    ContentEquals(String),
+    /// Text nodes whose content starts with the value (the paper's
+    /// `text start-with "conf"` predicates over `cite` children).
+    ContentPrefix(String),
+    /// Text nodes whose content ends with the value.
+    ContentSuffix(String),
+    /// Text nodes whose content contains the value.
+    ContentContains(String),
+    /// Text nodes whose content parses as an integer in `[lo, hi]`
+    /// (year predicates).
+    ContentIntRange(i64, i64),
+    /// Nodes at exactly this depth (root = 0). An extension used by the
+    /// level-based experiments; not in the paper's predicate set.
+    Level(u32),
+    /// Any element node.
+    AnyElement,
+    /// Any text node.
+    AnyText,
+    /// Every node — the `TRUE` predicate of Section 3.4, whose histogram
+    /// normalizes compound-predicate estimation.
+    True,
+}
+
+impl BasePredicate {
+    /// Evaluates the predicate on a single node.
+    pub fn eval(&self, tree: &XmlTree, node: NodeId) -> bool {
+        match self {
+            BasePredicate::Tag(name) => match tree.kind(node) {
+                NodeKind::Element(tag) => tree.tags().name(tag) == name,
+                NodeKind::Text => false,
+            },
+            BasePredicate::ContentEquals(v) => tree.text(node).is_some_and(|t| t == v),
+            BasePredicate::ContentPrefix(v) => {
+                tree.text(node).is_some_and(|t| t.starts_with(v.as_str()))
+            }
+            BasePredicate::ContentSuffix(v) => {
+                tree.text(node).is_some_and(|t| t.ends_with(v.as_str()))
+            }
+            BasePredicate::ContentContains(v) => {
+                tree.text(node).is_some_and(|t| t.contains(v.as_str()))
+            }
+            BasePredicate::ContentIntRange(lo, hi) => tree
+                .text(node)
+                .and_then(|t| t.trim().parse::<i64>().ok())
+                .is_some_and(|n| *lo <= n && n <= *hi),
+            BasePredicate::Level(l) => tree.depth(node) == *l,
+            BasePredicate::AnyElement => matches!(tree.kind(node), NodeKind::Element(_)),
+            BasePredicate::AnyText => matches!(tree.kind(node), NodeKind::Text),
+            BasePredicate::True => true,
+        }
+    }
+
+    /// All matching nodes in document order.
+    pub fn matches(&self, tree: &XmlTree) -> Vec<NodeId> {
+        // Fast path: tag predicates compare interned ids instead of strings.
+        if let BasePredicate::Tag(name) = self {
+            let Some(tag) = tree.tags().get(name) else {
+                return Vec::new();
+            };
+            return tree.iter().filter(|&n| tree.tag(n) == Some(tag)).collect();
+        }
+        tree.iter().filter(|&n| self.eval(tree, n)).collect()
+    }
+
+    /// Number of matching nodes (the "Node Count" column of Tables 1/3).
+    pub fn count(&self, tree: &XmlTree) -> usize {
+        if let BasePredicate::Tag(name) = self {
+            let Some(tag) = tree.tags().get(name) else {
+                return 0;
+            };
+            return tree.iter().filter(|&n| tree.tag(n) == Some(tag)).count();
+        }
+        tree.iter().filter(|&n| self.eval(tree, n)).count()
+    }
+
+    /// A short human-readable description, used in experiment tables.
+    pub fn describe(&self) -> String {
+        match self {
+            BasePredicate::Tag(n) => format!("element tag = \"{n}\""),
+            BasePredicate::ContentEquals(v) => format!("text = \"{v}\""),
+            BasePredicate::ContentPrefix(v) => format!("text start-with \"{v}\""),
+            BasePredicate::ContentSuffix(v) => format!("text end-with \"{v}\""),
+            BasePredicate::ContentContains(v) => format!("text contains \"{v}\""),
+            BasePredicate::ContentIntRange(lo, hi) => format!("text in [{lo}, {hi}]"),
+            BasePredicate::Level(l) => format!("level = {l}"),
+            BasePredicate::AnyElement => "any element".into(),
+            BasePredicate::AnyText => "any text".into(),
+            BasePredicate::True => "TRUE".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlest_xml::parser::parse_str;
+
+    fn doc() -> XmlTree {
+        parse_str(
+            "<dblp>\
+               <article><author>Jones</author><year>1994</year>\
+                 <cite>conf/vldb/1</cite></article>\
+               <book><author>Smith</author><year>1987</year>\
+                 <cite>journals/tods/2</cite></book>\
+             </dblp>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tag_predicate() {
+        let t = doc();
+        assert_eq!(BasePredicate::Tag("author".into()).count(&t), 2);
+        assert_eq!(BasePredicate::Tag("article".into()).count(&t), 1);
+        assert_eq!(BasePredicate::Tag("nosuch".into()).count(&t), 0);
+        for n in BasePredicate::Tag("author".into()).matches(&t) {
+            assert_eq!(t.tag_name(n), Some("author"));
+        }
+    }
+
+    #[test]
+    fn content_predicates() {
+        let t = doc();
+        assert_eq!(BasePredicate::ContentEquals("Jones".into()).count(&t), 1);
+        assert_eq!(BasePredicate::ContentPrefix("conf".into()).count(&t), 1);
+        assert_eq!(BasePredicate::ContentPrefix("journals".into()).count(&t), 1);
+        assert_eq!(BasePredicate::ContentSuffix("/1".into()).count(&t), 1);
+        assert_eq!(BasePredicate::ContentContains("vldb".into()).count(&t), 1);
+    }
+
+    #[test]
+    fn int_range_matches_years() {
+        let t = doc();
+        // 1990's
+        assert_eq!(BasePredicate::ContentIntRange(1990, 1999).count(&t), 1);
+        // 1980's
+        assert_eq!(BasePredicate::ContentIntRange(1980, 1989).count(&t), 1);
+        // both decades
+        assert_eq!(BasePredicate::ContentIntRange(1980, 1999).count(&t), 2);
+        // Non-numeric text is never in range.
+        assert_eq!(
+            BasePredicate::ContentIntRange(i64::MIN, i64::MAX).count(&t),
+            2
+        );
+    }
+
+    #[test]
+    fn structural_predicates() {
+        let t = doc();
+        assert_eq!(BasePredicate::True.count(&t), t.len());
+        let elems = BasePredicate::AnyElement.count(&t);
+        let texts = BasePredicate::AnyText.count(&t);
+        assert_eq!(elems + texts, t.len());
+        assert_eq!(BasePredicate::Level(0).count(&t), 1);
+        assert_eq!(BasePredicate::Level(1).count(&t), 2);
+    }
+
+    #[test]
+    fn describe_is_stable() {
+        assert_eq!(
+            BasePredicate::Tag("a".into()).describe(),
+            "element tag = \"a\""
+        );
+        assert_eq!(
+            BasePredicate::ContentPrefix("conf".into()).describe(),
+            "text start-with \"conf\""
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! The predicate catalog: the named set `P` for a database.
+//!
+//! A catalog maps stable names (`"article"`, `"conf"`, `"1990's"`) to
+//! base predicates. The estimation layer builds one position histogram
+//! per catalog entry; queries reference entries by name.
+
+use crate::base::BasePredicate;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use xmlest_xml::{Interval, NodeId, XmlTree};
+
+/// One named predicate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PredicateEntry {
+    pub name: String,
+    pub predicate: BasePredicate,
+}
+
+/// A named set of base predicates, in deterministic (name-sorted) order.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Catalog {
+    entries: BTreeMap<String, PredicateEntry>,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Defines (or redefines) a named predicate.
+    pub fn define(&mut self, name: impl Into<String>, predicate: BasePredicate) {
+        let name = name.into();
+        self.entries
+            .insert(name.clone(), PredicateEntry { name, predicate });
+    }
+
+    /// Looks up an entry by name.
+    pub fn get(&self, name: &str) -> Option<&PredicateEntry> {
+        self.entries.get(name)
+    }
+
+    /// Whether `name` is defined.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.contains_key(name)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the catalog has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &PredicateEntry> {
+        self.entries.values()
+    }
+
+    /// Names in sorted order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(String::as_str)
+    }
+
+    /// Matching node ids for a named predicate.
+    pub fn matches(&self, name: &str, tree: &XmlTree) -> Option<Vec<NodeId>> {
+        Some(self.get(name)?.predicate.matches(tree))
+    }
+
+    /// Matching intervals for a named predicate — the direct input to
+    /// position-histogram construction.
+    pub fn intervals(&self, name: &str, tree: &XmlTree) -> Option<Vec<Interval>> {
+        let nodes = self.matches(name, tree)?;
+        Some(nodes.into_iter().map(|n| tree.interval(n)).collect())
+    }
+
+    /// Defines one `Tag` predicate per distinct element tag in the tree,
+    /// named after the tag — the paper's "histogram on each one of these
+    /// distinct element tags".
+    pub fn define_all_tags(&mut self, tree: &XmlTree) {
+        for (_, name) in tree.tags().iter() {
+            self.define(name.to_owned(), BasePredicate::Tag(name.to_owned()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlest_xml::parser::parse_str;
+
+    #[test]
+    fn define_and_lookup() {
+        let mut c = Catalog::new();
+        c.define("a", BasePredicate::Tag("a".into()));
+        assert!(c.contains("a"));
+        assert!(!c.contains("b"));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get("a").unwrap().name, "a");
+    }
+
+    #[test]
+    fn redefinition_replaces() {
+        let mut c = Catalog::new();
+        c.define("p", BasePredicate::Tag("x".into()));
+        c.define("p", BasePredicate::Tag("y".into()));
+        assert_eq!(c.len(), 1);
+        assert_eq!(
+            c.get("p").unwrap().predicate,
+            BasePredicate::Tag("y".into())
+        );
+    }
+
+    #[test]
+    fn matches_and_intervals() {
+        let tree = parse_str("<a><b/><b><c/></b></a>").unwrap();
+        let mut c = Catalog::new();
+        c.define("b", BasePredicate::Tag("b".into()));
+        let nodes = c.matches("b", &tree).unwrap();
+        assert_eq!(nodes.len(), 2);
+        let ivs = c.intervals("b", &tree).unwrap();
+        assert_eq!(ivs.len(), 2);
+        assert!(ivs[0].start < ivs[1].start);
+        assert!(c.matches("nope", &tree).is_none());
+    }
+
+    #[test]
+    fn define_all_tags_covers_every_tag() {
+        let tree = parse_str("<a><b/><c><b/></c></a>").unwrap();
+        let mut c = Catalog::new();
+        c.define_all_tags(&tree);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.matches("b", &tree).unwrap().len(), 2);
+        let names: Vec<_> = c.names().collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+}

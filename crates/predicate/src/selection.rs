@@ -1,0 +1,194 @@
+//! Automatic predicate-set selection.
+//!
+//! Section 3.4 of the paper argues that element-tag predicates are few
+//! enough to always materialize, while element-content predicates should
+//! be created only for *frequent* values (the end-biased-histogram
+//! argument: minimizing error on frequent items matters most). This
+//! module implements those heuristics so experiments can bootstrap a
+//! realistic catalog straight from a data set, as the authors did for
+//! DBLP (exact years, `conf`/`journal` prefixes of `cite` text, decade
+//! compounds).
+
+use crate::base::BasePredicate;
+use crate::catalog::Catalog;
+use std::collections::BTreeMap;
+use xmlest_xml::{NodeKind, XmlTree};
+
+/// Tuning knobs for [`select_predicates`].
+#[derive(Debug, Clone)]
+pub struct SelectionOptions {
+    /// Minimum number of occurrences for an exact content value to get a
+    /// predicate.
+    pub min_value_count: usize,
+    /// Minimum number of occurrences for a `/`-delimited prefix (like
+    /// `conf/` in DBLP cite keys) to get a prefix predicate.
+    pub min_prefix_count: usize,
+    /// Upper bound on the number of content predicates (most frequent
+    /// first), so the summary stays small.
+    pub max_content_predicates: usize,
+}
+
+impl Default for SelectionOptions {
+    fn default() -> Self {
+        SelectionOptions {
+            min_value_count: 8,
+            min_prefix_count: 8,
+            max_content_predicates: 64,
+        }
+    }
+}
+
+/// Builds a catalog from the data: all element tags, frequent exact
+/// content values, and frequent `/`-prefixes.
+pub fn select_predicates(tree: &XmlTree, opts: &SelectionOptions) -> Catalog {
+    let mut catalog = Catalog::new();
+    catalog.define_all_tags(tree);
+
+    let mut value_counts: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut prefix_counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for node in tree.iter() {
+        if tree.kind(node) != NodeKind::Text {
+            continue;
+        }
+        let Some(text) = tree.text(node) else {
+            continue;
+        };
+        *value_counts.entry(text).or_default() += 1;
+        if let Some(slash) = text.find('/') {
+            if slash > 0 {
+                *prefix_counts.entry(&text[..slash]).or_default() += 1;
+            }
+        }
+    }
+
+    // Most frequent first; ties broken by value for determinism.
+    let mut candidates: Vec<(usize, &str, bool)> = Vec::new();
+    for (value, count) in &value_counts {
+        if *count >= opts.min_value_count {
+            candidates.push((*count, value, false));
+        }
+    }
+    for (prefix, count) in &prefix_counts {
+        if *count >= opts.min_prefix_count {
+            candidates.push((*count, prefix, true));
+        }
+    }
+    candidates.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(b.1)).then(a.2.cmp(&b.2)));
+    candidates.truncate(opts.max_content_predicates);
+
+    for (_, value, is_prefix) in candidates {
+        if is_prefix {
+            catalog.define(
+                format!("{value}*"),
+                BasePredicate::ContentPrefix(value.to_owned()),
+            );
+        } else {
+            catalog.define(
+                format!("={value}"),
+                BasePredicate::ContentEquals(value.to_owned()),
+            );
+        }
+    }
+    catalog
+}
+
+/// Adds decade compound predicates (`1980's`, `1990's`, ...) as
+/// `ContentIntRange` entries for every decade that appears in the data.
+/// The paper builds these by summing ten per-year histograms; the range
+/// predicate is the exact-evaluation equivalent (the histogram layer can
+/// do either).
+pub fn define_decade_predicates(catalog: &mut Catalog, tree: &XmlTree) {
+    let mut decades: BTreeMap<i64, usize> = BTreeMap::new();
+    for node in tree.iter() {
+        if let Some(text) = tree.text(node) {
+            if let Ok(year) = text.trim().parse::<i64>() {
+                if (1000..=2999).contains(&year) {
+                    *decades.entry(year / 10 * 10).or_default() += 1;
+                }
+            }
+        }
+    }
+    for decade in decades.keys() {
+        catalog.define(
+            format!("{decade}'s"),
+            BasePredicate::ContentIntRange(*decade, *decade + 9),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlest_xml::parser::parse_str;
+
+    fn doc_with_repetition() -> XmlTree {
+        let mut body = String::from("<dblp>");
+        for i in 0..20 {
+            body.push_str(&format!(
+                "<article><year>199{}</year><cite>conf/x/{i}</cite></article>",
+                i % 3
+            ));
+        }
+        body.push_str("<book><year>1985</year><cite>journals/y/9</cite></book>");
+        body.push_str("</dblp>");
+        parse_str(&body).unwrap()
+    }
+
+    #[test]
+    fn tags_always_selected() {
+        let tree = doc_with_repetition();
+        let cat = select_predicates(&tree, &SelectionOptions::default());
+        for tag in ["dblp", "article", "book", "year", "cite"] {
+            assert!(cat.contains(tag), "missing tag predicate {tag}");
+        }
+    }
+
+    #[test]
+    fn frequent_values_and_prefixes_selected() {
+        let tree = doc_with_repetition();
+        let opts = SelectionOptions {
+            min_value_count: 5,
+            min_prefix_count: 5,
+            ..Default::default()
+        };
+        let cat = select_predicates(&tree, &opts);
+        // 1990/1991/1992 each appear >= 6 times.
+        assert!(cat.contains("=1990"));
+        assert!(cat.contains("=1991"));
+        assert!(cat.contains("=1992"));
+        // conf/ appears 20 times; journals/ only once.
+        assert!(cat.contains("conf*"));
+        assert!(!cat.contains("journals*"));
+        // 1985 appears once: below threshold.
+        assert!(!cat.contains("=1985"));
+    }
+
+    #[test]
+    fn max_content_predicates_is_enforced() {
+        let tree = doc_with_repetition();
+        let opts = SelectionOptions {
+            min_value_count: 1,
+            min_prefix_count: 1,
+            max_content_predicates: 2,
+        };
+        let cat = select_predicates(&tree, &opts);
+        let content_count = cat
+            .iter()
+            .filter(|e| !matches!(e.predicate, BasePredicate::Tag(_)))
+            .count();
+        assert_eq!(content_count, 2);
+    }
+
+    #[test]
+    fn decade_predicates_cover_data() {
+        let tree = doc_with_repetition();
+        let mut cat = Catalog::new();
+        define_decade_predicates(&mut cat, &tree);
+        assert!(cat.contains("1990's"));
+        assert!(cat.contains("1980's"));
+        let nineties = cat.get("1990's").unwrap();
+        assert_eq!(nineties.predicate.count(&tree), 20);
+        let eighties = cat.get("1980's").unwrap();
+        assert_eq!(eighties.predicate.count(&tree), 1);
+    }
+}

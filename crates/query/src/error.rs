@@ -1,0 +1,45 @@
+//! Error type for query parsing and matching.
+
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Malformed path expression.
+    Parse { msg: String, offset: usize },
+    /// A predicate name used in a query is not defined in the catalog.
+    UnknownPredicate(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse { msg, offset } => {
+                write!(f, "path parse error at byte {offset}: {msg}")
+            }
+            Error::UnknownPredicate(name) => {
+                write!(f, "query references unknown predicate {name:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = Error::Parse {
+            msg: "empty step".into(),
+            offset: 3,
+        };
+        assert_eq!(e.to_string(), "path parse error at byte 3: empty step");
+        assert!(Error::UnknownPredicate("x".into())
+            .to_string()
+            .contains("unknown"));
+    }
+}

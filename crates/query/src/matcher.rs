@@ -1,0 +1,283 @@
+//! Exact twig-match counting — the ground truth for every experiment.
+//!
+//! A match (Section 2) is a **total mapping** from query nodes to data
+//! nodes preserving predicates and edge relationships. The number of
+//! matches therefore factorizes over the query tree: for a data node `v`
+//! and query node `q`,
+//!
+//! ```text
+//! f(q, v) = pred_q(v) · Π_{c ∈ children(q)} Σ_{u below v} f(c, u)
+//! ```
+//!
+//! where "below" is the proper-descendant set for `//` edges and the
+//! direct children for `/` edges. Because nodes are stored in document
+//! order and a subtree is the contiguous id range `(v, subtree_end(v)]`,
+//! the descendant sums collapse to prefix-sum differences; child sums are
+//! a single O(N) pass. Total cost `O(|Q| · N)` — fast enough to serve as
+//! ground truth for half-million-node trees.
+//!
+//! Counts use saturating `u64` arithmetic: match counts are products and
+//! can explode on pathological inputs; saturation is explicit and safe.
+
+use crate::error::{Error, Result};
+use xmlest_core::{Axis, TwigNode};
+use xmlest_predicate::{Catalog, PredExpr};
+use xmlest_xml::{NodeId, XmlTree};
+
+/// Counts the exact number of matches of `twig` in `tree`, resolving
+/// named predicates through `catalog`.
+pub fn count_matches(tree: &XmlTree, catalog: &Catalog, twig: &TwigNode) -> Result<u64> {
+    validate_names(catalog, twig)?;
+    let n = tree.len();
+    let f_root = eval_node(tree, catalog, twig, n)?;
+    Ok(f_root.iter().fold(0u64, |acc, &v| acc.saturating_add(v)))
+}
+
+/// Rejects queries referencing names absent from the catalog, reporting
+/// the first missing name in pre-order (deterministic across matchers).
+fn validate_names(catalog: &Catalog, twig: &TwigNode) -> Result<()> {
+    for pred in twig.predicates() {
+        if let Some(missing) = pred
+            .referenced_names()
+            .into_iter()
+            .find(|n| !catalog.contains(n))
+        {
+            return Err(Error::UnknownPredicate(missing.to_owned()));
+        }
+    }
+    Ok(())
+}
+
+/// Per-data-node match counts for the subtree rooted at query node `q`.
+fn eval_node(tree: &XmlTree, catalog: &Catalog, q: &TwigNode, n: usize) -> Result<Vec<u64>> {
+    // Children first.
+    let child_sums: Vec<(Axis, Vec<u64>)> = q
+        .children
+        .iter()
+        .map(|c| {
+            let f_c = eval_node(tree, catalog, c, n)?;
+            let sums = match c.axis {
+                Axis::Descendant => descendant_sums(tree, &f_c),
+                Axis::Child => child_sums(tree, &f_c),
+            };
+            Ok((c.axis, sums))
+        })
+        .collect::<Result<_>>()?;
+
+    let mut f = vec![0u64; n];
+    for id in tree.iter() {
+        let sat = eval_pred(&q.pred, catalog, tree, id)?;
+        if !sat {
+            continue;
+        }
+        let mut count = 1u64;
+        for (_, sums) in &child_sums {
+            count = count.saturating_mul(sums[id.index()]);
+            if count == 0 {
+                break;
+            }
+        }
+        f[id.index()] = count;
+    }
+    Ok(f)
+}
+
+fn eval_pred(pred: &PredExpr, catalog: &Catalog, tree: &XmlTree, id: NodeId) -> Result<bool> {
+    pred.eval(catalog, tree, id).ok_or_else(|| {
+        let missing = pred
+            .referenced_names()
+            .into_iter()
+            .find(|n| !catalog.contains(n))
+            .unwrap_or("<unknown>")
+            .to_owned();
+        Error::UnknownPredicate(missing)
+    })
+}
+
+/// For each node `v`: Σ of `f` over the proper descendants of `v`, via
+/// prefix sums over document order.
+fn descendant_sums(tree: &XmlTree, f: &[u64]) -> Vec<u64> {
+    let n = f.len();
+    let mut prefix = vec![0u64; n + 1];
+    for i in 0..n {
+        prefix[i + 1] = prefix[i].saturating_add(f[i]);
+    }
+    let mut out = vec![0u64; n];
+    for id in tree.iter() {
+        let iv = tree.interval(id);
+        // Proper descendants occupy ids (start, end].
+        out[id.index()] = prefix[iv.end as usize + 1].saturating_sub(prefix[iv.start as usize + 1]);
+    }
+    out
+}
+
+/// For each node `v`: Σ of `f` over the direct children of `v`.
+fn child_sums(tree: &XmlTree, f: &[u64]) -> Vec<u64> {
+    let mut out = vec![0u64; f.len()];
+    for id in tree.iter() {
+        if let Some(p) = tree.parent(id) {
+            out[p.index()] = out[p.index()].saturating_add(f[id.index()]);
+        }
+    }
+    out
+}
+
+/// Exponential-time reference matcher: enumerates every total mapping.
+/// Only for validating [`count_matches`] on small trees in tests.
+pub fn count_matches_brute_force(
+    tree: &XmlTree,
+    catalog: &Catalog,
+    twig: &TwigNode,
+) -> Result<u64> {
+    validate_names(catalog, twig)?;
+    let mut total = 0u64;
+    for v in tree.iter() {
+        total = total.saturating_add(mappings_rooted_at(tree, catalog, twig, v)?);
+    }
+    Ok(total)
+}
+
+fn mappings_rooted_at(tree: &XmlTree, catalog: &Catalog, q: &TwigNode, v: NodeId) -> Result<u64> {
+    if !eval_pred(&q.pred, catalog, tree, v)? {
+        return Ok(0);
+    }
+    let mut count = 1u64;
+    for c in &q.children {
+        let mut sub = 0u64;
+        let candidates: Vec<NodeId> = match c.axis {
+            Axis::Descendant => tree.descendants(v).collect(),
+            Axis::Child => tree.children(v).collect(),
+        };
+        for u in candidates {
+            sub = sub.saturating_add(mappings_rooted_at(tree, catalog, c, u)?);
+        }
+        count = count.saturating_mul(sub);
+        if count == 0 {
+            return Ok(0);
+        }
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_path;
+    use xmlest_predicate::BasePredicate;
+    use xmlest_xml::parser::parse_str;
+
+    fn fig1() -> (XmlTree, Catalog) {
+        let xml = "<department>\
+            <faculty><name/><RA/></faculty>\
+            <staff><name/></staff>\
+            <faculty><name/><secretary/><RA/><RA/><RA/></faculty>\
+            <lecturer><name/><TA/><TA/><TA/></lecturer>\
+            <faculty><name/><secretary/><TA/><RA/><RA/><TA/></faculty>\
+            <research_scientist><name/><secretary/><RA/><RA/><RA/><RA/></research_scientist>\
+            </department>";
+        let tree = parse_str(xml).unwrap();
+        let mut catalog = Catalog::new();
+        catalog.define_all_tags(&tree);
+        (tree, catalog)
+    }
+
+    #[test]
+    fn paper_example_faculty_ta_is_two() {
+        let (tree, catalog) = fig1();
+        let twig = parse_path("//faculty//TA").unwrap();
+        assert_eq!(count_matches(&tree, &catalog, &twig).unwrap(), 2);
+    }
+
+    #[test]
+    fn fig2_query_counts_pairs_per_faculty() {
+        let (tree, catalog) = fig1();
+        // department//faculty[//TA][//RA]: only faculty3 matches, with
+        // 2 TAs x 2 RAs = 4 total mappings.
+        let twig = parse_path("//department//faculty[.//TA][.//RA]").unwrap();
+        assert_eq!(count_matches(&tree, &catalog, &twig).unwrap(), 4);
+    }
+
+    #[test]
+    fn child_vs_descendant_axes() {
+        let tree = parse_str("<a><b><c/></b><c/></a>").unwrap();
+        let mut catalog = Catalog::new();
+        catalog.define_all_tags(&tree);
+        let desc = parse_path("//a//c").unwrap();
+        assert_eq!(count_matches(&tree, &catalog, &desc).unwrap(), 2);
+        let child = parse_path("//a/c").unwrap();
+        assert_eq!(count_matches(&tree, &catalog, &child).unwrap(), 1);
+        let chain = parse_path("//a/b/c").unwrap();
+        assert_eq!(count_matches(&tree, &catalog, &chain).unwrap(), 1);
+    }
+
+    #[test]
+    fn brute_force_agrees_on_fig1() {
+        let (tree, catalog) = fig1();
+        for q in [
+            "//faculty//TA",
+            "//department//RA",
+            "//faculty[.//TA][.//RA]",
+            "//department/faculty/name",
+            "//department//faculty//name",
+            "//*//TA",
+        ] {
+            let twig = parse_path(q).unwrap();
+            assert_eq!(
+                count_matches(&tree, &catalog, &twig).unwrap(),
+                count_matches_brute_force(&tree, &catalog, &twig).unwrap(),
+                "query {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn nested_same_tag_counting() {
+        // b nested under b: //b//b counts (outer, inner) pairs.
+        let tree = parse_str("<a><b><b><b/></b></b></a>").unwrap();
+        let mut catalog = Catalog::new();
+        catalog.define_all_tags(&tree);
+        let twig = parse_path("//b//b").unwrap();
+        // Pairs: (b1,b2), (b1,b3), (b2,b3).
+        assert_eq!(count_matches(&tree, &catalog, &twig).unwrap(), 3);
+    }
+
+    #[test]
+    fn content_predicates_in_queries() {
+        let tree = parse_str(
+            "<dblp><article><year>1994</year></article>\
+             <article><year>1987</year></article></dblp>",
+        )
+        .unwrap();
+        let mut catalog = Catalog::new();
+        catalog.define_all_tags(&tree);
+        catalog.define("=1994", BasePredicate::ContentEquals("1994".into()));
+        let twig = parse_path("//article//=1994").unwrap();
+        assert_eq!(count_matches(&tree, &catalog, &twig).unwrap(), 1);
+    }
+
+    #[test]
+    fn unknown_predicate_is_reported() {
+        let (tree, catalog) = fig1();
+        let twig = parse_path("//faculty//GHOST").unwrap();
+        assert_eq!(
+            count_matches(&tree, &catalog, &twig).unwrap_err(),
+            Error::UnknownPredicate("GHOST".into())
+        );
+    }
+
+    #[test]
+    fn zero_matches() {
+        let (tree, catalog) = fig1();
+        let twig = parse_path("//staff//TA").unwrap();
+        assert_eq!(count_matches(&tree, &catalog, &twig).unwrap(), 0);
+        let twig = parse_path("//TA//faculty").unwrap();
+        assert_eq!(count_matches(&tree, &catalog, &twig).unwrap(), 0);
+    }
+
+    #[test]
+    fn single_node_query_counts_nodes() {
+        let (tree, catalog) = fig1();
+        let twig = parse_path("RA").unwrap();
+        assert_eq!(count_matches(&tree, &catalog, &twig).unwrap(), 10);
+    }
+}

@@ -1,0 +1,255 @@
+//! Stack-based structural join — the physical operator the engine
+//! schedules (the "multiple join algorithms" whose choice Section 1
+//! motivates estimation for).
+//!
+//! Implements the stack-tree algorithm over two interval-sorted node
+//! lists: a single merge pass maintains a stack of nested ancestors and
+//! emits (or counts) every ancestor–descendant pair in
+//! `O(|A| + |D| + |output|)` time (`O(|A| + |D|)` for counting).
+
+use xmlest_xml::Interval;
+
+/// A candidate node for a structural join: its interval plus an opaque
+/// payload (the engine passes node ids).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Item<T> {
+    pub interval: Interval,
+    pub payload: T,
+}
+
+impl<T> Item<T> {
+    pub fn new(interval: Interval, payload: T) -> Self {
+        Item { interval, payload }
+    }
+}
+
+/// Counts ancestor–descendant pairs between two interval-sorted lists
+/// (sorted by `start`; standard document order).
+pub fn count_ad_pairs(ancestors: &[Interval], descendants: &[Interval]) -> u64 {
+    debug_assert!(is_sorted(ancestors) && is_sorted(descendants));
+    // Stack holds currently-open ancestor intervals (nested).
+    let mut stack: Vec<Interval> = Vec::new();
+    let mut count = 0u64;
+    let mut ai = 0usize;
+    for d in descendants {
+        // Open every ancestor starting before this descendant.
+        while ai < ancestors.len() && ancestors[ai].start < d.start {
+            let a = ancestors[ai];
+            while let Some(top) = stack.last() {
+                if top.end < a.start {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            stack.push(a);
+            ai += 1;
+        }
+        // Close ancestors that ended before this descendant.
+        while let Some(top) = stack.last() {
+            if top.end < d.start {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        // Every remaining stacked ancestor encloses `d` iff it ends at or
+        // after d.end; since the stack is nested and all entries start
+        // before d and end >= d.start, entries that fail only the end test
+        // can exist solely at the top (an entry overlapping d partially is
+        // impossible by containment). All stack entries therefore match.
+        debug_assert!(stack.iter().all(|a| a.is_ancestor_of(*d)));
+        count += stack.len() as u64;
+    }
+    count
+}
+
+/// Materializes the joined pairs `(ancestor payload, descendant payload)`
+/// in descendant-major document order.
+pub fn join_ad_pairs<A: Copy, D: Copy>(
+    ancestors: &[Item<A>],
+    descendants: &[Item<D>],
+) -> Vec<(A, D)> {
+    debug_assert!(is_sorted_items(ancestors) && is_sorted_items(descendants));
+    let mut stack: Vec<Item<A>> = Vec::new();
+    let mut out = Vec::new();
+    let mut ai = 0usize;
+    for d in descendants {
+        while ai < ancestors.len() && ancestors[ai].interval.start < d.interval.start {
+            let a = ancestors[ai];
+            while let Some(top) = stack.last() {
+                if top.interval.end < a.interval.start {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            stack.push(a);
+            ai += 1;
+        }
+        while let Some(top) = stack.last() {
+            if top.interval.end < d.interval.start {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        for a in &stack {
+            debug_assert!(a.interval.is_ancestor_of(d.interval));
+            out.push((a.payload, d.payload));
+        }
+    }
+    out
+}
+
+/// Counts parent–child pairs: like [`count_ad_pairs`] but only the
+/// *innermost* enclosing ancestor at the right depth counts. Because the
+/// candidate lists carry no depth, the caller supplies intervals of
+/// candidate parents and children plus a closure testing direct
+/// parenthood.
+pub fn count_pc_pairs(
+    parents: &[Interval],
+    children: &[Interval],
+    is_parent: impl Fn(Interval, Interval) -> bool,
+) -> u64 {
+    let mut stack: Vec<Interval> = Vec::new();
+    let mut count = 0u64;
+    let mut ai = 0usize;
+    for c in children {
+        while ai < parents.len() && parents[ai].start < c.start {
+            let a = parents[ai];
+            while let Some(top) = stack.last() {
+                if top.end < a.start {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            stack.push(a);
+            ai += 1;
+        }
+        while let Some(top) = stack.last() {
+            if top.end < c.start {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        count += stack.iter().filter(|p| is_parent(**p, *c)).count() as u64;
+    }
+    count
+}
+
+fn is_sorted(v: &[Interval]) -> bool {
+    v.windows(2).all(|w| w[0].start <= w[1].start)
+}
+
+fn is_sorted_items<T>(v: &[Item<T>]) -> bool {
+    v.windows(2)
+        .all(|w| w[0].interval.start <= w[1].interval.start)
+}
+
+/// Quadratic reference join for validation.
+pub fn count_ad_pairs_nested_loop(ancestors: &[Interval], descendants: &[Interval]) -> u64 {
+    let mut count = 0u64;
+    for a in ancestors {
+        for d in descendants {
+            if a.is_ancestor_of(*d) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(s: u32, e: u32) -> Interval {
+        Interval::new(s, e)
+    }
+
+    #[test]
+    fn fig1_faculty_ta_pairs() {
+        let faculty = vec![iv(1, 3), iv(6, 11), iv(17, 23)];
+        let ta = vec![iv(14, 14), iv(15, 15), iv(16, 16), iv(20, 20), iv(23, 23)];
+        assert_eq!(count_ad_pairs(&faculty, &ta), 2);
+        assert_eq!(
+            count_ad_pairs(&faculty, &ta),
+            count_ad_pairs_nested_loop(&faculty, &ta)
+        );
+    }
+
+    #[test]
+    fn nested_ancestors_all_match() {
+        // a1 contains a2 contains the leaf.
+        let anc = vec![iv(0, 10), iv(1, 9)];
+        let desc = vec![iv(5, 5)];
+        assert_eq!(count_ad_pairs(&anc, &desc), 2);
+    }
+
+    #[test]
+    fn materialized_pairs_match_count() {
+        let anc: Vec<Item<u32>> = vec![
+            Item::new(iv(0, 20), 0),
+            Item::new(iv(1, 9), 1),
+            Item::new(iv(12, 18), 2),
+        ];
+        let desc: Vec<Item<u32>> = vec![
+            Item::new(iv(2, 2), 10),
+            Item::new(iv(13, 15), 11),
+            Item::new(iv(19, 19), 12),
+        ];
+        let pairs = join_ad_pairs(&anc, &desc);
+        let anc_iv: Vec<Interval> = anc.iter().map(|a| a.interval).collect();
+        let desc_iv: Vec<Interval> = desc.iter().map(|d| d.interval).collect();
+        assert_eq!(pairs.len() as u64, count_ad_pairs(&anc_iv, &desc_iv));
+        assert!(pairs.contains(&(0, 10)));
+        assert!(pairs.contains(&(1, 10)));
+        assert!(pairs.contains(&(2, 11)));
+        assert!(pairs.contains(&(0, 12)));
+        assert_eq!(pairs.len(), 5);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(count_ad_pairs(&[], &[iv(1, 1)]), 0);
+        assert_eq!(count_ad_pairs(&[iv(0, 5)], &[]), 0);
+        assert_eq!(join_ad_pairs::<u8, u8>(&[], &[]).len(), 0);
+    }
+
+    #[test]
+    fn interleaved_disjoint_runs() {
+        let anc = vec![iv(0, 4), iv(10, 14), iv(20, 24)];
+        let desc = vec![iv(2, 2), iv(7, 7), iv(12, 13), iv(22, 22), iv(30, 30)];
+        assert_eq!(count_ad_pairs(&anc, &desc), 3);
+        assert_eq!(
+            count_ad_pairs(&anc, &desc),
+            count_ad_pairs_nested_loop(&anc, &desc)
+        );
+    }
+
+    #[test]
+    fn pc_pairs_with_depth_filter() {
+        // parent(0,10) -> child(1,5) -> grandchild(2,2)
+        let parents = vec![iv(0, 10), iv(1, 5)];
+        let children = vec![iv(1, 5), iv(2, 2)];
+        // Simulate direct parenthood: interval nesting with width
+        // difference tracking is the engine's job; here direct pairs are
+        // (0,10)->(1,5) and (1,5)->(2,2).
+        let direct = |p: Interval, c: Interval| {
+            (p, c) == (iv(0, 10), iv(1, 5)) || (p, c) == (iv(1, 5), iv(2, 2))
+        };
+        assert_eq!(count_pc_pairs(&parents, &children, direct), 2);
+    }
+
+    #[test]
+    fn equal_start_ordering_is_tolerated() {
+        // A leaf ancestor candidate equal to a descendant candidate
+        // position: no self-pairing.
+        let anc = vec![iv(5, 5)];
+        let desc = vec![iv(5, 5)];
+        assert_eq!(count_ad_pairs(&anc, &desc), 0);
+    }
+}

@@ -1,0 +1,319 @@
+//! Content-model AST for `<!ELEMENT>` declarations.
+
+use std::fmt;
+
+/// Repetition suffix on a content particle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quantifier {
+    /// Exactly one (no suffix).
+    One,
+    /// `?` — zero or one.
+    Opt,
+    /// `*` — zero or more.
+    Star,
+    /// `+` — one or more.
+    Plus,
+}
+
+impl Quantifier {
+    /// Minimum number of occurrences implied by the quantifier.
+    pub fn min(self) -> usize {
+        match self {
+            Quantifier::One | Quantifier::Plus => 1,
+            Quantifier::Opt | Quantifier::Star => 0,
+        }
+    }
+
+    /// Whether the quantifier allows repetition beyond one occurrence.
+    pub fn repeats(self) -> bool {
+        matches!(self, Quantifier::Star | Quantifier::Plus)
+    }
+}
+
+impl fmt::Display for Quantifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Quantifier::One => Ok(()),
+            Quantifier::Opt => write!(f, "?"),
+            Quantifier::Star => write!(f, "*"),
+            Quantifier::Plus => write!(f, "+"),
+        }
+    }
+}
+
+/// A particle within a content model: either an element name or a nested
+/// group, with a quantifier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContentParticle {
+    pub kind: ParticleKind,
+    pub quant: Quantifier,
+}
+
+/// The payload of a [`ContentParticle`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParticleKind {
+    /// A child element reference.
+    Name(String),
+    /// `(a, b, c)` — all in order.
+    Seq(Vec<ContentParticle>),
+    /// `(a | b | c)` — exactly one alternative.
+    Choice(Vec<ContentParticle>),
+}
+
+/// The complete content model of an element declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ContentModel {
+    /// `EMPTY`.
+    Empty,
+    /// `ANY`.
+    Any,
+    /// `(#PCDATA)` — text only.
+    PcData,
+    /// `(#PCDATA | a | b)*` — mixed content; the listed element names may
+    /// interleave with text.
+    Mixed(Vec<String>),
+    /// Pure element content described by a particle grammar.
+    Children(ContentParticle),
+}
+
+impl ContentModel {
+    /// Collects every element name that can appear as a *direct child*
+    /// under this content model.
+    pub fn child_names(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        match self {
+            ContentModel::Empty | ContentModel::Any | ContentModel::PcData => {}
+            ContentModel::Mixed(names) => out.extend(names.iter().cloned()),
+            ContentModel::Children(p) => collect_names(p, &mut out),
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// True if text (`#PCDATA`) may appear directly under this element.
+    pub fn allows_text(&self) -> bool {
+        matches!(
+            self,
+            ContentModel::PcData | ContentModel::Mixed(_) | ContentModel::Any
+        )
+    }
+
+    /// Element names that are *required* to appear at least once in any
+    /// valid expansion of this model (used for uniqueness reasoning).
+    pub fn required_children(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if let ContentModel::Children(p) = self {
+            collect_required(p, &mut out);
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+fn collect_names(p: &ContentParticle, out: &mut Vec<String>) {
+    match &p.kind {
+        ParticleKind::Name(n) => out.push(n.clone()),
+        ParticleKind::Seq(parts) | ParticleKind::Choice(parts) => {
+            for part in parts {
+                collect_names(part, out);
+            }
+        }
+    }
+}
+
+fn collect_required(p: &ContentParticle, out: &mut Vec<String>) {
+    if p.quant.min() == 0 {
+        return;
+    }
+    match &p.kind {
+        ParticleKind::Name(n) => out.push(n.clone()),
+        ParticleKind::Seq(parts) => {
+            for part in parts {
+                collect_required(part, out);
+            }
+        }
+        ParticleKind::Choice(parts) => {
+            // Required only if every alternative requires it.
+            let mut per_alt: Vec<Vec<String>> = Vec::with_capacity(parts.len());
+            for part in parts {
+                let mut v = Vec::new();
+                collect_required(part, &mut v);
+                per_alt.push(v);
+            }
+            if let Some((first, rest)) = per_alt.split_first() {
+                for name in first {
+                    if rest.iter().all(|alt| alt.contains(name)) {
+                        out.push(name.clone());
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for ContentParticle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ParticleKind::Name(n) => write!(f, "{n}")?,
+            ParticleKind::Seq(parts) => {
+                write!(f, "(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")?;
+            }
+            ParticleKind::Choice(parts) => {
+                write!(f, "(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "|")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")?;
+            }
+        }
+        write!(f, "{}", self.quant)
+    }
+}
+
+impl fmt::Display for ContentModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContentModel::Empty => write!(f, "EMPTY"),
+            ContentModel::Any => write!(f, "ANY"),
+            ContentModel::PcData => write!(f, "(#PCDATA)"),
+            ContentModel::Mixed(names) => {
+                write!(f, "(#PCDATA")?;
+                for n in names {
+                    write!(f, "|{n}")?;
+                }
+                write!(f, ")*")
+            }
+            ContentModel::Children(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(n: &str, q: Quantifier) -> ContentParticle {
+        ContentParticle {
+            kind: ParticleKind::Name(n.into()),
+            quant: q,
+        }
+    }
+
+    #[test]
+    fn child_names_deduplicates() {
+        let model = ContentModel::Children(ContentParticle {
+            kind: ParticleKind::Seq(vec![
+                name("a", Quantifier::One),
+                ContentParticle {
+                    kind: ParticleKind::Choice(vec![
+                        name("b", Quantifier::Star),
+                        name("a", Quantifier::One),
+                    ]),
+                    quant: Quantifier::Plus,
+                },
+            ]),
+            quant: Quantifier::One,
+        });
+        assert_eq!(model.child_names(), vec!["a".to_owned(), "b".to_owned()]);
+    }
+
+    #[test]
+    fn required_children_sequence() {
+        // (name, email?, employee+)
+        let model = ContentModel::Children(ContentParticle {
+            kind: ParticleKind::Seq(vec![
+                name("name", Quantifier::One),
+                name("email", Quantifier::Opt),
+                name("employee", Quantifier::Plus),
+            ]),
+            quant: Quantifier::One,
+        });
+        assert_eq!(
+            model.required_children(),
+            vec!["employee".to_owned(), "name".to_owned()]
+        );
+    }
+
+    #[test]
+    fn required_children_choice_requires_all_alternatives() {
+        // (name,(a|b)) — neither a nor b individually required; name is.
+        let model = ContentModel::Children(ContentParticle {
+            kind: ParticleKind::Seq(vec![
+                name("name", Quantifier::One),
+                ContentParticle {
+                    kind: ParticleKind::Choice(vec![
+                        name("a", Quantifier::One),
+                        name("b", Quantifier::One),
+                    ]),
+                    quant: Quantifier::One,
+                },
+            ]),
+            quant: Quantifier::One,
+        });
+        assert_eq!(model.required_children(), vec!["name".to_owned()]);
+
+        // (x|x) — x required through both alternatives.
+        let model = ContentModel::Children(ContentParticle {
+            kind: ParticleKind::Choice(vec![
+                name("x", Quantifier::One),
+                name("x", Quantifier::Plus),
+            ]),
+            quant: Quantifier::One,
+        });
+        assert_eq!(model.required_children(), vec!["x".to_owned()]);
+    }
+
+    #[test]
+    fn optional_group_contributes_nothing() {
+        let model = ContentModel::Children(ContentParticle {
+            kind: ParticleKind::Seq(vec![name("a", Quantifier::One)]),
+            quant: Quantifier::Opt,
+        });
+        assert!(model.required_children().is_empty());
+    }
+
+    #[test]
+    fn display_round_trip_shapes() {
+        let model = ContentModel::Children(ContentParticle {
+            kind: ParticleKind::Seq(vec![
+                name("name", Quantifier::One),
+                ContentParticle {
+                    kind: ParticleKind::Choice(vec![
+                        name("manager", Quantifier::One),
+                        name("department", Quantifier::One),
+                        name("employee", Quantifier::One),
+                    ]),
+                    quant: Quantifier::Plus,
+                },
+            ]),
+            quant: Quantifier::One,
+        });
+        assert_eq!(model.to_string(), "(name,(manager|department|employee)+)");
+        assert_eq!(ContentModel::Empty.to_string(), "EMPTY");
+        assert_eq!(ContentModel::PcData.to_string(), "(#PCDATA)");
+        assert_eq!(
+            ContentModel::Mixed(vec!["em".into()]).to_string(),
+            "(#PCDATA|em)*"
+        );
+    }
+
+    #[test]
+    fn allows_text() {
+        assert!(ContentModel::PcData.allows_text());
+        assert!(ContentModel::Mixed(vec![]).allows_text());
+        assert!(ContentModel::Any.allows_text());
+        assert!(!ContentModel::Empty.allows_text());
+    }
+}

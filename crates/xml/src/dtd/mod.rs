@@ -1,0 +1,48 @@
+//! DTD (Document Type Definition) support.
+//!
+//! The paper uses DTDs twice:
+//!
+//! 1. **Data generation** (Section 5.2): the synthetic data set is produced
+//!    by the IBM XML generator from a `manager/department/employee` DTD.
+//!    [`crate::dtd::ContentModel`] is the grammar the generator in
+//!    `xmlest-datagen` expands.
+//! 2. **Schema information** (Section 4): structural constraints derived
+//!    from the DTD power the estimation shortcuts — the *no-overlap*
+//!    property (an element that cannot appear inside itself), impossible
+//!    ancestor/descendant pairs (estimate 0), and required-parent
+//!    uniqueness (estimate = child count). [`analysis::DtdAnalysis`]
+//!    computes all three.
+
+pub mod analysis;
+pub mod content;
+pub mod parser;
+
+pub use analysis::DtdAnalysis;
+pub use content::{ContentModel, ContentParticle, Quantifier};
+pub use parser::parse_dtd;
+
+use std::collections::BTreeMap;
+
+/// A parsed DTD: element declarations keyed by element name, in declaration
+/// order (BTreeMap keeps iteration deterministic).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Dtd {
+    pub elements: BTreeMap<String, ContentModel>,
+}
+
+impl Dtd {
+    /// Content model of `name`, if declared.
+    pub fn element(&self, name: &str) -> Option<&ContentModel> {
+        self.elements.get(name)
+    }
+
+    /// All declared element names in sorted order.
+    pub fn element_names(&self) -> impl Iterator<Item = &str> {
+        self.elements.keys().map(String::as_str)
+    }
+
+    /// Runs the structural analysis (reachability, overlap, uniqueness).
+    pub fn analyze(&self) -> DtdAnalysis {
+        DtdAnalysis::new(self)
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type shared by the XML substrate.
+
+use std::fmt;
+
+/// Errors produced while parsing documents or DTDs, or while building trees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Malformed XML input. Carries a human-readable message and the byte
+    /// offset at which the problem was detected.
+    Parse { msg: String, offset: usize },
+    /// Malformed DTD input.
+    Dtd { msg: String, offset: usize },
+    /// Tree construction misuse (e.g. closing more elements than were
+    /// opened, or finishing with unclosed elements).
+    Builder(String),
+}
+
+impl Error {
+    pub(crate) fn parse(msg: impl Into<String>, offset: usize) -> Self {
+        Error::Parse {
+            msg: msg.into(),
+            offset,
+        }
+    }
+
+    pub(crate) fn dtd(msg: impl Into<String>, offset: usize) -> Self {
+        Error::Dtd {
+            msg: msg.into(),
+            offset,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse { msg, offset } => {
+                write!(f, "XML parse error at byte {offset}: {msg}")
+            }
+            Error::Dtd { msg, offset } => {
+                write!(f, "DTD parse error at byte {offset}: {msg}")
+            }
+            Error::Builder(msg) => write!(f, "tree builder error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_offset() {
+        let e = Error::parse("unexpected '<'", 42);
+        assert_eq!(e.to_string(), "XML parse error at byte 42: unexpected '<'");
+        let e = Error::dtd("bad content model", 7);
+        assert_eq!(
+            e.to_string(),
+            "DTD parse error at byte 7: bad content model"
+        );
+        let e = Error::Builder("unclosed element".into());
+        assert_eq!(e.to_string(), "tree builder error: unclosed element");
+    }
+}

@@ -1,0 +1,127 @@
+//! Descriptive statistics over a tree.
+//!
+//! Used by the experiment harness to print "data set characteristics"
+//! tables (the node counts of Tables 1 and 3 of the paper) and by the
+//! data generators to verify that produced documents have the intended
+//! shape (deep recursion for the synthetic DTD, flat records for DBLP).
+
+use crate::label::no_overlap;
+use crate::tag::TagId;
+use crate::tree::{NodeKind, XmlTree};
+use std::collections::BTreeMap;
+
+/// Summary statistics of a tree.
+#[derive(Debug, Clone)]
+pub struct TreeStats {
+    /// Total node count (elements + text nodes).
+    pub node_count: usize,
+    /// Element count.
+    pub element_count: usize,
+    /// Text node count.
+    pub text_count: usize,
+    /// Deepest node depth (root = 0).
+    pub max_depth: u32,
+    /// Mean depth over all nodes.
+    pub avg_depth: f64,
+    /// Per-tag element counts, keyed by tag name (deterministic order).
+    pub tag_counts: BTreeMap<String, usize>,
+    /// Largest number of children on any node.
+    pub max_fanout: usize,
+}
+
+impl TreeStats {
+    /// Computes statistics in a single pass.
+    pub fn compute(tree: &XmlTree) -> Self {
+        let mut element_count = 0;
+        let mut text_count = 0;
+        let mut max_depth = 0;
+        let mut depth_sum = 0u64;
+        let mut tag_counts: BTreeMap<String, usize> = BTreeMap::new();
+        let mut child_counts: Vec<usize> = vec![0; tree.len()];
+
+        for id in tree.iter() {
+            let d = tree.depth(id);
+            max_depth = max_depth.max(d);
+            depth_sum += u64::from(d);
+            match tree.kind(id) {
+                NodeKind::Element(tag) => {
+                    element_count += 1;
+                    *tag_counts
+                        .entry(tree.tags().name(tag).to_owned())
+                        .or_default() += 1;
+                }
+                NodeKind::Text => text_count += 1,
+            }
+            if let Some(p) = tree.parent(id) {
+                child_counts[p.index()] += 1;
+            }
+        }
+
+        TreeStats {
+            node_count: tree.len(),
+            element_count,
+            text_count,
+            max_depth,
+            avg_depth: if tree.is_empty() {
+                0.0
+            } else {
+                depth_sum as f64 / tree.len() as f64
+            },
+            tag_counts,
+            max_fanout: child_counts.into_iter().max().unwrap_or(0),
+        }
+    }
+}
+
+/// Count of nodes with a specific tag.
+pub fn tag_count(tree: &XmlTree, tag: TagId) -> usize {
+    tree.iter().filter(|&n| tree.tag(n) == Some(tag)).count()
+}
+
+/// Checks the *no-overlap* property (Definition 2) for a tag directly
+/// against the data: do any two nodes with this tag nest?
+pub fn tag_has_no_overlap(tree: &XmlTree, tag: TagId) -> bool {
+    let intervals = tree.intervals_where(|n| tree.tag(n) == Some(tag));
+    no_overlap(&intervals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_str;
+
+    fn sample() -> XmlTree {
+        parse_str("<a><b>t1</b><b><c/><c/></b><d>t2</d></a>").unwrap()
+    }
+
+    #[test]
+    fn counts_and_depths() {
+        let t = sample();
+        let s = TreeStats::compute(&t);
+        assert_eq!(s.node_count, 8);
+        assert_eq!(s.element_count, 6);
+        assert_eq!(s.text_count, 2);
+        assert_eq!(s.max_depth, 2);
+        assert_eq!(s.tag_counts["a"], 1);
+        assert_eq!(s.tag_counts["b"], 2);
+        assert_eq!(s.tag_counts["c"], 2);
+        assert_eq!(s.max_fanout, 3);
+        assert!(s.avg_depth > 0.0 && s.avg_depth < 2.0);
+    }
+
+    #[test]
+    fn no_overlap_detected_from_data() {
+        let t = parse_str("<a><b><b/></b><c/><c/></a>").unwrap();
+        let b = t.tags().get("b").unwrap();
+        let c = t.tags().get("c").unwrap();
+        assert!(!tag_has_no_overlap(&t, b), "b nests");
+        assert!(tag_has_no_overlap(&t, c), "c does not nest");
+    }
+
+    #[test]
+    fn tag_count_matches_stats() {
+        let t = sample();
+        let b = t.tags().get("b").unwrap();
+        assert_eq!(tag_count(&t, b), 2);
+    }
+}

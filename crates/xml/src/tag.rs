@@ -1,0 +1,155 @@
+//! Interned element tags.
+//!
+//! Element tags repeat massively in XML data (a DBLP-scale document has
+//! ~0.5M nodes but only a few dozen distinct tags), so trees store a
+//! compact [`TagId`] per node and a side table ([`TagInterner`]) owns the
+//! strings. Predicates such as `elementtag = faculty` compare `TagId`s,
+//! which is a single integer comparison.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Compact identifier for an interned element tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TagId(pub u32);
+
+impl TagId {
+    /// Index into the interner's table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Bidirectional map between tag names and [`TagId`]s.
+///
+/// Insertion order is stable: the first distinct tag interned gets id 0,
+/// the second id 1, and so on. This makes generated data deterministic
+/// across runs given a fixed generation order.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct TagInterner {
+    names: Vec<String>,
+    #[serde(skip)]
+    lookup: HashMap<String, TagId>,
+}
+
+impl TagInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its id. Idempotent.
+    pub fn intern(&mut self, name: &str) -> TagId {
+        if let Some(&id) = self.lookup.get(name) {
+            return id;
+        }
+        let id = TagId(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.lookup.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an already-interned tag without inserting.
+    pub fn get(&self, name: &str) -> Option<TagId> {
+        self.lookup.get(name).copied()
+    }
+
+    /// Resolves an id back to its tag name.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this interner.
+    pub fn name(&self, id: TagId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of distinct tags interned so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no tag has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(TagId, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TagId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (TagId(i as u32), n.as_str()))
+    }
+
+    /// Rebuilds the reverse lookup table; needed after deserialization
+    /// because the `lookup` map is not serialized.
+    pub fn rebuild_lookup(&mut self) {
+        self.lookup = self
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), TagId(i as u32)))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_ordered() {
+        let mut t = TagInterner::new();
+        let a = t.intern("article");
+        let b = t.intern("author");
+        let a2 = t.intern("article");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(a, TagId(0));
+        assert_eq!(b, TagId(1));
+        assert_eq!(t.name(a), "article");
+        assert_eq!(t.name(b), "author");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut t = TagInterner::new();
+        assert!(t.get("x").is_none());
+        t.intern("x");
+        assert_eq!(t.get("x"), Some(TagId(0)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let mut t = TagInterner::new();
+        for name in ["a", "b", "c"] {
+            t.intern(name);
+        }
+        let collected: Vec<_> = t.iter().map(|(id, n)| (id.0, n.to_owned())).collect();
+        assert_eq!(
+            collected,
+            vec![
+                (0, "a".to_owned()),
+                (1, "b".to_owned()),
+                (2, "c".to_owned())
+            ]
+        );
+    }
+
+    #[test]
+    fn rebuild_lookup_restores_reverse_map() {
+        let mut t = TagInterner::new();
+        t.intern("a");
+        t.intern("b");
+        let mut clone = TagInterner {
+            names: t.names.clone(),
+            lookup: HashMap::new(),
+        };
+        assert!(clone.get("a").is_none());
+        clone.rebuild_lookup();
+        assert_eq!(clone.get("a"), Some(TagId(0)));
+        assert_eq!(clone.get("b"), Some(TagId(1)));
+    }
+}

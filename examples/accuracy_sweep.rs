@@ -1,0 +1,77 @@
+//! Grid-size sweep: storage vs accuracy (the Fig. 11 / Fig. 12 story).
+//!
+//! For a query on a chosen data set, sweeps the histogram grid size and
+//! prints the storage the summaries need and the estimate/real ratio —
+//! showing both curves of the paper's figures: storage grows linearly in
+//! g (Theorems 1 and 2) while the ratio converges to 1.
+//!
+//! Run with:
+//! `cargo run --release --example accuracy_sweep [dblp|dept|xmark|shakespeare]`
+
+use xmlest::core::{Summaries, SummaryConfig};
+use xmlest::prelude::*;
+
+fn main() {
+    let dataset = std::env::args().nth(1).unwrap_or_else(|| "dept".into());
+    let (tree, query): (XmlTree, &str) = match dataset.as_str() {
+        "dblp" => (
+            xmlest::datagen::dblp::generate(&xmlest::datagen::dblp::DblpOptions::default()),
+            "//article//cdrom",
+        ),
+        "xmark" => (
+            xmlest::datagen::xmark::generate(&xmlest::datagen::xmark::XmarkOptions::default()),
+            "//item//text",
+        ),
+        "shakespeare" => (
+            xmlest::datagen::shakespeare::generate(
+                &xmlest::datagen::shakespeare::ShakespeareOptions::default(),
+            ),
+            "//SCENE//SPEAKER",
+        ),
+        _ => (
+            xmlest::datagen::dept::generate_dept(&xmlest::datagen::dept::DeptOptions::default()),
+            "//department//email",
+        ),
+    };
+
+    let mut catalog = Catalog::new();
+    catalog.define_all_tags(&tree);
+    let twig = parse_path(query).expect("query parses");
+    let real = count_matches(&tree, &catalog, &twig).expect("exact count");
+    println!(
+        "data set: {dataset} ({} nodes)   query: {query}   real answer: {real}",
+        tree.len()
+    );
+    println!(
+        "{:>5} {:>14} {:>14} {:>12} {:>10}",
+        "g", "hist bytes", "cvg bytes", "estimate", "est/real"
+    );
+
+    for g in [2u16, 3, 5, 8, 10, 15, 20, 30, 40, 50] {
+        let config = SummaryConfig::paper_defaults().with_grid_size(g);
+        let summaries = Summaries::build(&tree, &catalog, &config).expect("summaries build");
+        let est = summaries
+            .estimator()
+            .estimate_twig(&twig)
+            .expect("estimate");
+        let names = twig.predicates();
+        let mut hist_bytes = 0;
+        let mut cvg_bytes = 0;
+        for pred in names {
+            if let xmlest::predicate::PredExpr::Named(name) = pred {
+                if let Some(s) = summaries.get(name) {
+                    hist_bytes += s.hist.storage_bytes();
+                    cvg_bytes += s.cvg.as_ref().map_or(0, |c| c.storage_bytes());
+                }
+            }
+        }
+        println!(
+            "{:>5} {:>14} {:>14} {:>12.1} {:>10.3}",
+            g,
+            hist_bytes,
+            cvg_bytes,
+            est.value,
+            est.value / real.max(1) as f64
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! DBLP explorer: generate a DBLP-like bibliography, auto-select a
+//! predicate catalog from the data (tags + frequent content values +
+//! decade compounds, Section 3.4 of the paper), and print Table-1-style
+//! characteristics plus estimate-vs-real numbers for ancestor/descendant
+//! queries over it.
+//!
+//! Run with: `cargo run --release --example dblp_explorer [records]`
+
+use xmlest::core::{Basis, EstimateMethod, Summaries, SummaryConfig};
+use xmlest::datagen::dblp::{generate, DblpOptions};
+use xmlest::predicate::selection::{define_decade_predicates, select_predicates, SelectionOptions};
+use xmlest::prelude::*;
+
+fn main() {
+    let records: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5_000);
+
+    let tree = generate(&DblpOptions { seed: 42, records });
+    println!(
+        "generated DBLP-like data: {} records, {} nodes",
+        records,
+        tree.len()
+    );
+
+    // Catalog: every tag + frequent content values/prefixes + decades.
+    let mut catalog = select_predicates(&tree, &SelectionOptions::default());
+    define_decade_predicates(&mut catalog, &tree);
+    println!("selected {} predicates", catalog.len());
+
+    let summaries = Summaries::build(&tree, &catalog, &SummaryConfig::paper_defaults())
+        .expect("summaries build");
+    let est = summaries.estimator();
+
+    // Table-1-style characteristics.
+    println!("\npredicate characteristics (cf. paper Table 1):");
+    println!("{:<22} {:>10} {:>12}", "predicate", "count", "overlap");
+    for name in [
+        "article",
+        "author",
+        "book",
+        "cdrom",
+        "cite",
+        "title",
+        "url",
+        "year",
+        "conf*",
+        "journals*",
+        "1980's",
+        "1990's",
+    ] {
+        if let Some(s) = summaries.get(name) {
+            println!(
+                "{:<22} {:>10} {:>12}",
+                name,
+                s.count,
+                if s.no_overlap {
+                    "no overlap"
+                } else {
+                    "overlap"
+                }
+            );
+        }
+    }
+
+    // Table-2-style estimates.
+    println!("\nsimple queries (cf. paper Table 2):");
+    println!(
+        "{:<22} {:>14} {:>10} {:>12} {:>12} {:>10}",
+        "query", "naive", "desc#", "overlap-est", "no-ovl-est", "real"
+    );
+    for (anc, desc) in [
+        ("article", "author"),
+        ("article", "cdrom"),
+        ("article", "cite"),
+        ("book", "cdrom"),
+        ("inproceedings", "conf*"),
+        ("article", "1990's"),
+    ] {
+        let naive = est.naive_pair(anc, desc).expect("naive");
+        let bound = est.upper_bound_pair(anc, desc).expect("bound");
+        let overlap = est
+            .estimate_pair(anc, desc, EstimateMethod::Primitive(Basis::AncestorBased))
+            .expect("primitive")
+            .value;
+        let noovl = est
+            .estimate_pair(anc, desc, EstimateMethod::NoOverlap(Basis::AncestorBased))
+            .map(|e| e.value);
+        let twig = parse_path(&format!("//{anc}//{desc}")).expect("query parses");
+        let real = count_matches(&tree, &catalog, &twig).expect("exact");
+        println!(
+            "{:<22} {:>14.0} {:>10.0} {:>12.1} {:>12} {:>10}",
+            format!("{anc}//{desc}"),
+            naive,
+            bound,
+            overlap,
+            noovl
+                .map(|v| format!("{v:.1}"))
+                .unwrap_or_else(|_| "n/a".into()),
+            real
+        );
+    }
+
+    println!(
+        "\nsummary storage: {} bytes ({:.2}% of the tree's {} nodes x ~8B)",
+        summaries.storage_bytes(),
+        100.0 * summaries.storage_bytes() as f64 / (8 * tree.len()) as f64,
+        tree.len()
+    );
+}

@@ -1,0 +1,65 @@
+//! # xmlest — answer-size estimation for XML twig queries
+//!
+//! A from-scratch Rust reproduction of *"Estimating Answer Sizes for XML
+//! Queries"* (Wu, Patel, Jagadish — EDBT 2002): position histograms over
+//! interval-labeled XML trees, the pH-join estimation algorithm, and
+//! coverage histograms for no-overlap predicates, plus every substrate
+//! the paper's evaluation needs (XML parser, DTD analysis, data
+//! generators, an exact twig matcher and a mini query engine with a
+//! cost-based optimizer).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use xmlest::prelude::*;
+//!
+//! // The paper's Fig. 1 document: 3 faculty, 5 TAs.
+//! let tree = xmlest::datagen::example::fig1_tree();
+//!
+//! // One predicate per element tag.
+//! let mut catalog = Catalog::new();
+//! catalog.define_all_tags(&tree);
+//!
+//! // Build the summary structure (position + coverage histograms).
+//! let summaries =
+//!     Summaries::build(&tree, &catalog, &SummaryConfig::paper_defaults()).unwrap();
+//!
+//! // Estimate //faculty//TA without touching the data again...
+//! let twig = parse_path("//faculty//TA").unwrap();
+//! let est = summaries.estimator().estimate_twig(&twig).unwrap();
+//!
+//! // ...and compare with the exact answer (2 in the paper's example).
+//! let real = count_matches(&tree, &catalog, &twig).unwrap();
+//! assert_eq!(real, 2);
+//! assert!((est.value - real as f64).abs() < 1.5);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`xml`] | `xmlest-xml` | arena tree, parser, DTD, interval labels |
+//! | [`predicate`] | `xmlest-predicate` | base predicates, expressions, catalogs |
+//! | [`core`] | `xmlest-core` | position/coverage histograms, pH-join, estimator |
+//! | [`query`] | `xmlest-query` | path parser, exact matcher, structural joins |
+//! | [`datagen`] | `xmlest-datagen` | DBLP/dept/XMark/Shakespeare generators |
+//! | [`engine`] | `xmlest-engine` | indexes, plans, cost-based optimizer |
+
+pub use xmlest_core as core;
+pub use xmlest_datagen as datagen;
+pub use xmlest_engine as engine;
+pub use xmlest_predicate as predicate;
+pub use xmlest_query as query;
+pub use xmlest_xml as xml;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use xmlest_core::{
+        Basis, Estimate, EstimateMethod, Estimator, Grid, PositionHistogram, Summaries,
+        SummaryConfig, TwigNode,
+    };
+    pub use xmlest_engine::{Database, Optimizer};
+    pub use xmlest_predicate::{BasePredicate, Catalog, PredExpr};
+    pub use xmlest_query::{count_matches, parse_path};
+    pub use xmlest_xml::{Interval, TreeBuilder, XmlTree};
+}

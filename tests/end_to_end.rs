@@ -1,0 +1,209 @@
+//! End-to-end accuracy tests spanning every crate: generate data, build
+//! summaries, estimate queries, compare with exact counts.
+
+use xmlest::core::{Basis, EstimateMethod, Summaries, SummaryConfig};
+use xmlest::prelude::*;
+
+/// Helper: build summaries over all tags of a tree.
+fn summarize(tree: &XmlTree, g: u16) -> (Catalog, Summaries) {
+    let mut catalog = Catalog::new();
+    catalog.define_all_tags(tree);
+    let summaries = Summaries::build(
+        tree,
+        &catalog,
+        &SummaryConfig::paper_defaults().with_grid_size(g),
+    )
+    .expect("summaries build");
+    (catalog, summaries)
+}
+
+/// Asserts the estimate is within `factor`x of the real count (both
+/// directions), with an absolute-slack floor for tiny answers.
+fn assert_within_factor(est: f64, real: u64, factor: f64, context: &str) {
+    let real_f = real as f64;
+    if real_f <= 8.0 {
+        assert!(
+            (est - real_f).abs() <= 8.0 + real_f,
+            "{context}: est {est} vs real {real} (small-answer slack)"
+        );
+        return;
+    }
+    assert!(
+        est <= real_f * factor && est >= real_f / factor,
+        "{context}: est {est} vs real {real} (outside {factor}x)"
+    );
+}
+
+#[test]
+fn dblp_simple_queries_no_overlap_accuracy() {
+    let tree = xmlest::datagen::dblp::generate(&xmlest::datagen::dblp::DblpOptions {
+        seed: 7,
+        records: 2_000,
+    });
+    let (catalog, summaries) = summarize(&tree, 10);
+    let est = summaries.estimator();
+
+    for (anc, desc) in [
+        ("article", "author"),
+        ("article", "cdrom"),
+        ("article", "cite"),
+        ("book", "cdrom"),
+        ("inproceedings", "title"),
+        ("phdthesis", "year"),
+    ] {
+        let twig = parse_path(&format!("//{anc}//{desc}")).unwrap();
+        let real = count_matches(&tree, &catalog, &twig).unwrap();
+        let e = est.estimate_pair(anc, desc, EstimateMethod::Auto).unwrap();
+        assert_eq!(e.method, "no-overlap", "{anc}//{desc}");
+        // Flat records with coverage histograms: estimates within 25%.
+        assert_within_factor(e.value, real, 1.25, &format!("{anc}//{desc}"));
+        // The paper's ordering: naive >= primitive >= no-overlap-ish.
+        let naive = est.naive_pair(anc, desc).unwrap();
+        let primitive = est
+            .estimate_pair(anc, desc, EstimateMethod::Primitive(Basis::AncestorBased))
+            .unwrap();
+        assert!(naive >= primitive.value, "{anc}//{desc}");
+        assert!(
+            (primitive.value - real as f64).abs() + 1e-9 >= (e.value - real as f64).abs(),
+            "{anc}//{desc}: no-overlap should not be worse than primitive"
+        );
+    }
+}
+
+#[test]
+fn dept_queries_match_table4_shape() {
+    let tree = xmlest::datagen::dept::generate_dept(&xmlest::datagen::dept::DeptOptions::default());
+    let (catalog, summaries) = summarize(&tree, 10);
+    let est = summaries.estimator();
+
+    // Table 4 rows. Overlap ancestors use the primitive estimator; the
+    // no-overlap employee rows get coverage treatment.
+    for (anc, desc, factor) in [
+        ("manager", "department", 3.0),
+        ("manager", "employee", 3.0),
+        ("manager", "email", 3.0),
+        ("department", "employee", 3.5),
+        ("department", "email", 3.5),
+        ("employee", "name", 1.5),
+        // Our generator puts many emails directly under departments, so
+        // the covered-at-the-same-rate assumption is diluted for this
+        // pair; the estimate is still ~1.6x, far better than primitive.
+        ("employee", "email", 2.2),
+    ] {
+        let twig = parse_path(&format!("//{anc}//{desc}")).unwrap();
+        let real = count_matches(&tree, &catalog, &twig).unwrap();
+        let e = est.estimate_pair(anc, desc, EstimateMethod::Auto).unwrap();
+        assert_within_factor(e.value, real, factor, &format!("{anc}//{desc}"));
+        // Estimation never exceeds the naive product.
+        assert!(e.value <= est.naive_pair(anc, desc).unwrap() + 1e-9);
+    }
+
+    // The no-overlap rows should be clearly better than primitive, as in
+    // Table 4's employee-name and employee-email rows.
+    for (anc, desc) in [("employee", "name"), ("employee", "email")] {
+        let twig = parse_path(&format!("//{anc}//{desc}")).unwrap();
+        let real = count_matches(&tree, &catalog, &twig).unwrap() as f64;
+        let no = est
+            .estimate_pair(anc, desc, EstimateMethod::NoOverlap(Basis::AncestorBased))
+            .unwrap()
+            .value;
+        let prim = est
+            .estimate_pair(anc, desc, EstimateMethod::Primitive(Basis::AncestorBased))
+            .unwrap()
+            .value;
+        assert!(
+            (no - real).abs() <= (prim - real).abs() + 1e-9,
+            "{anc}//{desc}: no-overlap {no} vs primitive {prim}, real {real}"
+        );
+    }
+}
+
+#[test]
+fn xmark_and_shakespeare_sanity() {
+    let xmark = xmlest::datagen::xmark::generate(&xmlest::datagen::xmark::XmarkOptions::default());
+    let (catalog, summaries) = summarize(&xmark, 10);
+    let est = summaries.estimator();
+    for q in [
+        "//item//text",
+        "//open_auction//increase",
+        "//person//emailaddress",
+    ] {
+        let twig = parse_path(q).unwrap();
+        let real = count_matches(&xmark, &catalog, &twig).unwrap();
+        let e = est.estimate_twig(&twig).unwrap();
+        assert_within_factor(e.value, real, 2.5, q);
+    }
+
+    let plays = xmlest::datagen::shakespeare::generate(
+        &xmlest::datagen::shakespeare::ShakespeareOptions::default(),
+    );
+    let (catalog, summaries) = summarize(&plays, 10);
+    let est = summaries.estimator();
+    for q in ["//ACT//SPEECH", "//SCENE//LINE", "//PLAY//SPEAKER"] {
+        let twig = parse_path(q).unwrap();
+        let real = count_matches(&plays, &catalog, &twig).unwrap();
+        let e = est.estimate_twig(&twig).unwrap();
+        assert_within_factor(e.value, real, 1.6, q);
+    }
+}
+
+#[test]
+fn twig_estimates_stay_in_band_across_generators() {
+    let dept = xmlest::datagen::dept::generate_dept(&xmlest::datagen::dept::DeptOptions::default());
+    let (catalog, summaries) = summarize(&dept, 15);
+    let est = summaries.estimator();
+    for q in [
+        "//manager//department[.//employee]",
+        "//department[.//email][.//employee]",
+        "//manager//department//employee//name",
+    ] {
+        let twig = parse_path(q).unwrap();
+        let real = count_matches(&dept, &catalog, &twig).unwrap();
+        let e = est.estimate_twig(&twig).unwrap();
+        // Composition compounds errors; require order-of-magnitude.
+        assert_within_factor(e.value, real, 10.0, q);
+    }
+}
+
+#[test]
+fn accuracy_improves_with_grid_size_on_dept() {
+    let tree = xmlest::datagen::dept::generate_dept(&xmlest::datagen::dept::DeptOptions::default());
+    let twig = parse_path("//department//email").unwrap();
+    let mut catalog = Catalog::new();
+    catalog.define_all_tags(&tree);
+    let real = count_matches(&tree, &catalog, &twig).unwrap() as f64;
+
+    let ratio = |g: u16| {
+        let summaries = Summaries::build(
+            &tree,
+            &catalog,
+            &SummaryConfig::paper_defaults().with_grid_size(g),
+        )
+        .unwrap();
+        let e = summaries.estimator().estimate_twig(&twig).unwrap();
+        (e.value / real - 1.0).abs()
+    };
+    // Fig. 11's accuracy curve: the error at g=20 is far below g=2.
+    let coarse = ratio(2);
+    let fine = ratio(20);
+    assert!(fine < coarse, "error at g=20 ({fine}) vs g=2 ({coarse})");
+    assert!(fine < 0.35, "error at g=20 should be small, got {fine}");
+}
+
+#[test]
+fn estimation_is_fast_and_data_free() {
+    // The paper: "a few tenths of a millisecond". Our summaries answer
+    // far below that; more importantly the tree is not consulted at all.
+    let tree = xmlest::datagen::dblp::generate(&xmlest::datagen::dblp::DblpOptions {
+        seed: 1,
+        records: 3_000,
+    });
+    let (_, summaries) = summarize(&tree, 10);
+    drop(tree); // estimation must not need the data
+    let est = summaries.estimator();
+    let e = est
+        .estimate_pair("article", "author", EstimateMethod::Auto)
+        .unwrap();
+    assert!(e.elapsed.as_millis() < 100, "took {:?}", e.elapsed);
+    assert!(e.value > 0.0);
+}

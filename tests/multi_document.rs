@@ -1,0 +1,90 @@
+//! Integration: the mega-tree (multi-document collection) end to end.
+
+use xmlest::core::SummaryConfig;
+use xmlest::engine::Database;
+use xmlest::xml::serialize::{to_xml_string, WriteOptions};
+use xmlest::xml::ForestBuilder;
+
+fn collection_db() -> Database {
+    let a = to_xml_string(
+        &xmlest::datagen::dblp::generate(&xmlest::datagen::dblp::DblpOptions {
+            seed: 11,
+            records: 200,
+        }),
+        WriteOptions::default(),
+    );
+    let b = to_xml_string(
+        &xmlest::datagen::xmark::generate(&xmlest::datagen::xmark::XmarkOptions {
+            seed: 12,
+            items: 40,
+            people: 30,
+            auctions: 20,
+        }),
+        WriteOptions::default(),
+    );
+    Database::load_documents(
+        [("a.xml", a.as_str()), ("b.xml", b.as_str())],
+        &SummaryConfig::paper_defaults(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn cross_document_queries_are_empty_and_estimated_near_zero() {
+    let db = collection_db();
+    // article lives in doc a; item in doc b. The exact answer is zero;
+    // the estimate can pick up a sliver from the single grid bucket that
+    // straddles the document boundary, but no more.
+    assert_eq!(db.count("//article//item").unwrap(), 0);
+    assert!(db.estimate("//article//item").unwrap().value < 5.0);
+    assert_eq!(db.count("//site//author").unwrap(), 0);
+    assert!(db.estimate("//site//author").unwrap().value < 5.0);
+}
+
+#[test]
+fn within_document_queries_survive_the_merge() {
+    let db = collection_db();
+    let real = db.count("//article//author").unwrap();
+    assert!(real > 0);
+    let est = db.estimate("//article//author").unwrap().value;
+    assert!(
+        est > real as f64 / 3.0 && est < real as f64 * 3.0,
+        "est {est} real {real}"
+    );
+
+    let real = db.count("//item//text").unwrap();
+    assert!(real > 0);
+    let est = db.estimate("//item//text").unwrap().value;
+    assert!(
+        est > real as f64 / 3.0 && est < real as f64 * 3.0,
+        "est {est} real {real}"
+    );
+}
+
+#[test]
+fn forest_documents_resolve_membership_after_merge() {
+    let mut fb = ForestBuilder::new();
+    fb.add_document("one", "<x><y/></x>").unwrap();
+    fb.add_document("two", "<x><y/><y/></x>").unwrap();
+    let forest = fb.finish().unwrap();
+    assert_eq!(forest.len(), 2);
+    let tree = forest.tree();
+    let ys: Vec<_> = tree
+        .iter()
+        .filter(|&n| tree.tag_name(n) == Some("y"))
+        .collect();
+    assert_eq!(ys.len(), 3);
+    assert_eq!(forest.document_of(ys[0]).unwrap().name, "one");
+    assert_eq!(forest.document_of(ys[1]).unwrap().name, "two");
+    assert_eq!(forest.document_of(ys[2]).unwrap().name, "two");
+}
+
+#[test]
+fn mega_root_is_queryable() {
+    // The synthetic root participates in estimation like any element;
+    // `//#root//article` is not parseable (names with '#' are reserved),
+    // but the root's summary exists as a tag predicate.
+    let db = collection_db();
+    assert!(db.summaries().get("#root").is_some());
+    assert_eq!(db.summaries().get("#root").unwrap().count, 1);
+}

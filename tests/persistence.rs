@@ -1,0 +1,78 @@
+//! Integration test: the summary store round-trips through bytes and
+//! keeps answering identically — the estimator never needs the tree.
+
+use xmlest::core::{summary, EstimateMethod, Summaries, SummaryConfig};
+use xmlest::prelude::*;
+
+#[test]
+fn full_pipeline_round_trip() {
+    let tree = xmlest::datagen::dblp::generate(&xmlest::datagen::dblp::DblpOptions {
+        seed: 5,
+        records: 1_500,
+    });
+    let mut catalog = Catalog::new();
+    catalog.define_all_tags(&tree);
+    xmlest::predicate::selection::define_decade_predicates(&mut catalog, &tree);
+
+    let summaries = Summaries::build(&tree, &catalog, &SummaryConfig::paper_defaults()).unwrap();
+    let bytes = summary::to_bytes(&summaries);
+    let restored = summary::from_bytes(&bytes).unwrap();
+
+    assert_eq!(restored.len(), summaries.len());
+    assert_eq!(restored.grid(), summaries.grid());
+    assert_eq!(restored.storage_bytes(), summaries.storage_bytes());
+
+    for (anc, desc) in [
+        ("article", "author"),
+        ("article", "cite"),
+        ("book", "cdrom"),
+    ] {
+        for method in [
+            EstimateMethod::Auto,
+            EstimateMethod::Primitive(xmlest::core::Basis::AncestorBased),
+        ] {
+            let a = summaries
+                .estimator()
+                .estimate_pair(anc, desc, method)
+                .unwrap()
+                .value;
+            let b = restored
+                .estimator()
+                .estimate_pair(anc, desc, method)
+                .unwrap()
+                .value;
+            assert_eq!(a, b, "{anc}//{desc} via {method:?}");
+        }
+    }
+
+    // Twig estimation equality too.
+    let twig = parse_path("//article[.//author][.//cite]").unwrap();
+    let a = summaries.estimator().estimate_twig(&twig).unwrap().value;
+    let b = restored.estimator().estimate_twig(&twig).unwrap().value;
+    assert_eq!(a, b);
+
+    // Serialized size is sane: proportional to logical storage, not the
+    // document.
+    assert!(bytes.len() < 64 * 1024, "serialized {} bytes", bytes.len());
+}
+
+#[test]
+fn corrupted_stream_never_panics() {
+    let tree = xmlest::datagen::example::fig1_tree();
+    let mut catalog = Catalog::new();
+    catalog.define_all_tags(&tree);
+    let summaries = Summaries::build(&tree, &catalog, &SummaryConfig::paper_defaults()).unwrap();
+    let bytes = summary::to_bytes(&summaries);
+
+    // Flip every byte one at a time over a sample of positions; decoding
+    // must return (Ok or Err), never panic.
+    for i in (0..bytes.len()).step_by(7) {
+        let mut corrupted = bytes.clone();
+        corrupted[i] ^= 0xFF;
+        let _ = summary::from_bytes(&corrupted);
+    }
+    // Random truncations likewise.
+    for cut in (0..bytes.len()).step_by(11) {
+        let _ = summary::from_bytes(&bytes[..cut]);
+    }
+}

@@ -1,0 +1,116 @@
+//! Experimental verification of the paper's storage theorems.
+//!
+//! * Theorem 1: a position histogram on a g×g grid has O(g) non-zero
+//!   cells.
+//! * Theorem 2: a coverage histogram stores O(g) partial entries.
+//!
+//! Both are checked on real generated data by sweeping g and asserting
+//! the per-g cell counts stay under a linear envelope (and nowhere near
+//! the g² worst case).
+
+use xmlest::core::{Summaries, SummaryConfig};
+use xmlest::prelude::*;
+
+fn tag_catalog(tree: &XmlTree) -> Catalog {
+    let mut c = Catalog::new();
+    c.define_all_tags(tree);
+    c
+}
+
+#[test]
+fn theorem1_position_histogram_cells_linear_in_g() {
+    let dblp = xmlest::datagen::dblp::generate(&xmlest::datagen::dblp::DblpOptions {
+        seed: 3,
+        records: 3_000,
+    });
+    let dept = xmlest::datagen::dept::generate_dept(&xmlest::datagen::dept::DeptOptions::default());
+
+    for tree in [&dblp, &dept] {
+        let catalog = tag_catalog(tree);
+        for g in [5u16, 10, 20, 40, 80] {
+            let summaries = Summaries::build(
+                tree,
+                &catalog,
+                &SummaryConfig::paper_defaults().with_grid_size(g),
+            )
+            .unwrap();
+            for s in summaries.iter() {
+                let cells = s.hist.non_zero_cells();
+                assert!(
+                    cells <= 3 * g as usize,
+                    "{}: {cells} non-zero cells at g={g} exceeds linear envelope",
+                    s.name
+                );
+            }
+            // The TRUE histogram too.
+            assert!(summaries.true_hist().non_zero_cells() <= 3 * g as usize);
+        }
+    }
+}
+
+#[test]
+fn theorem2_coverage_entries_linear_in_g() {
+    let dblp = xmlest::datagen::dblp::generate(&xmlest::datagen::dblp::DblpOptions {
+        seed: 3,
+        records: 3_000,
+    });
+    let catalog = tag_catalog(&dblp);
+    for g in [5u16, 10, 20, 40, 80] {
+        let summaries = Summaries::build(
+            &dblp,
+            &catalog,
+            &SummaryConfig::paper_defaults().with_grid_size(g),
+        )
+        .unwrap();
+        for s in summaries.iter() {
+            if let Some(cvg) = &s.cvg {
+                let entries = cvg.partial_entries();
+                assert!(
+                    entries <= 4 * g as usize,
+                    "{}: {entries} partial coverage entries at g={g}",
+                    s.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn storage_grows_roughly_linearly() {
+    // Doubling g should far less than quadruple total storage.
+    let dept = xmlest::datagen::dept::generate_dept(&xmlest::datagen::dept::DeptOptions::default());
+    let catalog = tag_catalog(&dept);
+    let bytes = |g: u16| {
+        Summaries::build(
+            &dept,
+            &catalog,
+            &SummaryConfig::paper_defaults().with_grid_size(g),
+        )
+        .unwrap()
+        .storage_bytes()
+    };
+    let b20 = bytes(20);
+    let b40 = bytes(40);
+    let b80 = bytes(80);
+    assert!(b40 as f64 <= 2.8 * b20 as f64, "{b20} -> {b40}");
+    assert!(b80 as f64 <= 2.8 * b40 as f64, "{b40} -> {b80}");
+}
+
+#[test]
+fn summary_is_small_fraction_of_data() {
+    // The paper: 6KB of histograms for a 9MB data set (~0.07%). Check
+    // our summaries stay below 3% of a rough in-memory tree size.
+    let dblp = xmlest::datagen::dblp::generate(&xmlest::datagen::dblp::DblpOptions {
+        seed: 3,
+        records: 5_000,
+    });
+    let catalog = tag_catalog(&dblp);
+    let summaries = Summaries::build(&dblp, &catalog, &SummaryConfig::paper_defaults()).unwrap();
+    let tree_bytes = dblp.len() * 24; // conservative per-node footprint
+    assert!(
+        summaries.storage_bytes() * 33 < tree_bytes,
+        "summaries {} bytes vs tree ~{} bytes",
+        summaries.storage_bytes(),
+        tree_bytes
+    );
+}
