@@ -1,0 +1,124 @@
+//! The pre-flat-storage pH-join, kept verbatim as a benchmark baseline.
+//!
+//! Before the CSR refactor, `PositionHistogram` stored cells in a
+//! `BTreeMap<Cell, f64>` and `ph_join` re-allocated a dense `g × g`
+//! matrix plus three partial-sum arrays on every call, writing the
+//! output through `remove`+`insert` pairs. `ph_join_scaling` benches
+//! this implementation against the current kernels so the speedup from
+//! the storage refactor stays measured rather than remembered.
+
+use std::collections::BTreeMap;
+use xmlest_core::{Cell, PositionHistogram};
+
+/// The old storage layout: one `BTreeMap` per histogram.
+pub struct BTreeHistogram {
+    g: usize,
+    cells: BTreeMap<Cell, f64>,
+}
+
+impl BTreeHistogram {
+    /// Snapshots a flat histogram into the old representation.
+    pub fn from_flat(h: &PositionHistogram) -> Self {
+        BTreeHistogram {
+            g: h.grid().g() as usize,
+            cells: h.iter().collect(),
+        }
+    }
+
+    fn to_dense(&self) -> Vec<f64> {
+        let g = self.g;
+        let mut m = vec![0.0; g * g];
+        for (&(i, j), &v) in &self.cells {
+            m[i as usize * g + j as usize] = v;
+        }
+        m
+    }
+
+    /// The old `ph_join(...).total()` path, reproduced step for step:
+    /// `JoinCoefficients::precompute` allocated the dense scatter, all
+    /// three partial-sum arrays and the coefficient table (with the
+    /// column-strided pass-2 loop), then `apply` built the per-cell
+    /// estimate as a fresh `BTreeMap`-backed histogram whose `set` did a
+    /// `remove`+`insert` per cell, and `.total()` was tracked through
+    /// those same map updates.
+    pub fn ph_join_total(anc: &BTreeHistogram, desc: &BTreeHistogram) -> f64 {
+        let g = anc.g;
+        // -- JoinCoefficients::precompute(desc, AncestorBased) --
+        let b = desc.to_dense();
+        let at = |i: usize, j: usize| b[i * g + j];
+        let mut down = vec![0.0; g * g];
+        for i in 0..g {
+            for j in i + 1..g {
+                down[i * g + j] = down[i * g + (j - 1)] + at(i, j - 1);
+            }
+        }
+        let mut right = vec![0.0; g * g];
+        let mut interior = vec![0.0; g * g];
+        for j in (0..g).rev() {
+            for i in (0..=j).rev() {
+                if i < j {
+                    right[i * g + j] = right[(i + 1) * g + j] + at(i + 1, j);
+                    interior[i * g + j] = interior[(i + 1) * g + j] + down[(i + 1) * g + j];
+                }
+            }
+        }
+        let mut coeff = vec![0.0; g * g];
+        for i in 0..g {
+            for j in i..g {
+                coeff[i * g + j] = if i == j {
+                    at(i, i) / 12.0
+                } else {
+                    interior[i * g + j] + at(i, j) / 4.0 + down[i * g + j] - at(i, i) / 2.0
+                        + right[i * g + j]
+                        - at(j, j) / 2.0
+                };
+            }
+        }
+        // -- JoinCoefficients::apply(anc) --
+        let mut est: BTreeMap<Cell, f64> = BTreeMap::new();
+        let mut total = 0.0;
+        for (&(i, j), &v) in &anc.cells {
+            let c = coeff[i as usize * g + j as usize];
+            if c != 0.0 {
+                // The old PositionHistogram::set: remove, adjust the
+                // running total, insert.
+                let old = est.remove(&(i, j)).unwrap_or(0.0);
+                total -= old;
+                if (v * c).abs() > f64::EPSILON {
+                    est.insert((i, j), v * c);
+                    total += v * c;
+                }
+            }
+        }
+        std::hint::black_box(&est);
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlest_core::{ph_join_total, Basis, Grid};
+    use xmlest_xml::Interval;
+
+    #[test]
+    fn baseline_agrees_with_current_kernel() {
+        let grid = Grid::uniform(16, 499).unwrap();
+        let anc = PositionHistogram::from_intervals(
+            grid.clone(),
+            &(0..20)
+                .map(|k| Interval::new(k * 25, k * 25 + 20))
+                .collect::<Vec<_>>(),
+        );
+        let desc = PositionHistogram::from_intervals(
+            grid,
+            &(0..400).map(|p| Interval::new(p, p)).collect::<Vec<_>>(),
+        );
+        let old = BTreeHistogram::ph_join_total(
+            &BTreeHistogram::from_flat(&anc),
+            &BTreeHistogram::from_flat(&desc),
+        );
+        let new = ph_join_total(&anc, &desc, Basis::AncestorBased).unwrap();
+        assert!((old - new).abs() < 1e-9, "old {old} new {new}");
+    }
+}

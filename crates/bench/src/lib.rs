@@ -8,6 +8,7 @@
 //! otherwise").
 
 pub mod accuracy;
+pub mod baseline;
 
 use xmlest_core::{Summaries, SummaryConfig};
 use xmlest_datagen::dblp::{generate as gen_dblp, DblpOptions};

@@ -70,10 +70,23 @@ pub fn and_histograms(
     b: &PositionHistogram,
     true_hist: &PositionHistogram,
 ) -> Result<PositionHistogram> {
+    let mut out = PositionHistogram::empty(a.grid().clone());
+    and_histograms_into(a, b, true_hist, &mut out)?;
+    Ok(out)
+}
+
+/// [`and_histograms`] into a reused output histogram. One linear pass
+/// over `a`'s flat entries; `b` and the population are probed per cell.
+pub fn and_histograms_into(
+    a: &PositionHistogram,
+    b: &PositionHistogram,
+    true_hist: &PositionHistogram,
+    out: &mut PositionHistogram,
+) -> Result<()> {
     if a.grid() != b.grid() || a.grid() != true_hist.grid() {
         return Err(Error::GridMismatch);
     }
-    let mut out = PositionHistogram::empty(a.grid().clone());
+    out.clear_to(a.grid());
     for (cell, va) in a.iter() {
         let vb = b.get(cell);
         if vb == 0.0 {
@@ -81,10 +94,10 @@ pub fn and_histograms(
         }
         let t = true_hist.get(cell);
         if t > 0.0 {
-            out.set(cell, (va * vb / t).min(va.min(vb)));
+            out.push_sorted(cell, (va * vb / t).min(va.min(vb)));
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Inclusion–exclusion `OR`, clamped to the cell population.
@@ -93,17 +106,53 @@ pub fn or_histograms(
     b: &PositionHistogram,
     true_hist: &PositionHistogram,
 ) -> Result<PositionHistogram> {
-    let and = and_histograms(a, b, true_hist)?;
-    let mut out = a.plus(b)?;
-    for (cell, v) in and.iter() {
-        out.add(cell, -v);
+    let mut out = PositionHistogram::empty(a.grid().clone());
+    or_histograms_into(a, b, true_hist, &mut out)?;
+    Ok(out)
+}
+
+/// [`or_histograms`] into a reused output histogram. A single sorted
+/// merge of the two operands; the independence `AND` term only exists on
+/// shared cells, so it is computed inline there.
+pub fn or_histograms_into(
+    a: &PositionHistogram,
+    b: &PositionHistogram,
+    true_hist: &PositionHistogram,
+    out: &mut PositionHistogram,
+) -> Result<()> {
+    if a.grid() != b.grid() || a.grid() != true_hist.grid() {
+        return Err(Error::GridMismatch);
     }
-    // Clamp to population.
-    let mut clamped = PositionHistogram::empty(out.grid().clone());
-    for (cell, v) in out.iter() {
-        clamped.set(cell, v.min(true_hist.get(cell)).max(0.0));
+    out.clear_to(a.grid());
+    let (ea, eb) = (a.flat().entries(), b.flat().entries());
+    let (mut i, mut j) = (0, 0);
+    while i < ea.len() || j < eb.len() {
+        let take_a = j >= eb.len() || (i < ea.len() && ea[i].0 <= eb[j].0);
+        let take_b = i >= ea.len() || (j < eb.len() && eb[j].0 <= ea[i].0);
+        let (cell, mut v) = if take_a && take_b {
+            let (cell, va) = ea[i];
+            let vb = eb[j].1;
+            i += 1;
+            j += 1;
+            let t = true_hist.get(cell);
+            let and_term = if t > 0.0 {
+                (va * vb / t).min(va.min(vb))
+            } else {
+                0.0
+            };
+            (cell, va + vb - and_term)
+        } else if take_a {
+            i += 1;
+            ea[i - 1]
+        } else {
+            j += 1;
+            eb[j - 1]
+        };
+        // Clamp to population.
+        v = v.min(true_hist.get(cell)).max(0.0);
+        out.push_sorted(cell, v);
     }
-    Ok(clamped)
+    Ok(())
 }
 
 /// `NOT` against the cell population.
@@ -111,17 +160,28 @@ pub fn not_histogram(
     a: &PositionHistogram,
     true_hist: &PositionHistogram,
 ) -> Result<PositionHistogram> {
+    let mut out = PositionHistogram::empty(a.grid().clone());
+    not_histogram_into(a, true_hist, &mut out)?;
+    Ok(out)
+}
+
+/// [`not_histogram`] into a reused output histogram.
+pub fn not_histogram_into(
+    a: &PositionHistogram,
+    true_hist: &PositionHistogram,
+    out: &mut PositionHistogram,
+) -> Result<()> {
     if a.grid() != true_hist.grid() {
         return Err(Error::GridMismatch);
     }
-    let mut out = PositionHistogram::empty(a.grid().clone());
+    out.clear_to(a.grid());
     for (cell, t) in true_hist.iter() {
         let v = (t - a.get(cell)).max(0.0);
         if v > 0.0 {
-            out.set(cell, v);
+            out.push_sorted(cell, v);
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Exact histogram for a union of predicates known to be disjoint — how

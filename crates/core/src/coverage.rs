@@ -18,6 +18,11 @@
 //! * only *border* pairs (`i == m || j == n`) can have partial values and
 //!   are stored explicitly.
 //!
+//! Storage is flat: the covering-cell set, the partial-fraction table and
+//! the propagation scales are sorted `Vec`s probed by binary search —
+//! the same cache-friendly discipline as the flat position histograms
+//! (estimation loops over coverage do no tree walking).
+//!
 //! The estimation formulas of Fig. 10 rescale coverage as patterns grow
 //! (participation shrinks the set of covering nodes); the rescaling is a
 //! per-covering-cell multiplier, kept separately so the border storage
@@ -35,13 +40,15 @@ pub const BYTES_PER_COVERAGE_ENTRY: usize = 12;
 #[derive(Debug, Clone, PartialEq)]
 pub struct CoverageHistogram {
     grid: Grid,
-    /// Cells populated by the predicate (the covering side).
-    covering_cells: BTreeSet<Cell>,
-    /// Explicit fractions for border pairs, keyed `(covered, covering)`.
-    partial: BTreeMap<(Cell, Cell), f64>,
+    /// Cells populated by the predicate (the covering side), sorted.
+    covering_cells: Vec<Cell>,
+    /// Explicit fractions for border pairs, sorted by `(covered,
+    /// covering)` key.
+    partial: Vec<((Cell, Cell), f64)>,
     /// Per-covering-cell multiplier applied on lookup (participation
-    /// propagation, Fig. 10 "Coverage Estimation"). Empty map = all 1.
-    covering_scale: BTreeMap<Cell, f64>,
+    /// propagation, Fig. 10 "Coverage Estimation"), sorted by cell.
+    /// Empty = all 1.
+    covering_scale: Vec<(Cell, f64)>,
 }
 
 impl CoverageHistogram {
@@ -56,34 +63,44 @@ impl CoverageHistogram {
             p_intervals.windows(2).all(|w| w[0].end < w[1].start),
             "predicate intervals must be disjoint and sorted (no-overlap)"
         );
-        let covering_cells: BTreeSet<Cell> =
+        let mut covering_cells: Vec<Cell> =
             p_intervals.iter().map(|iv| grid.cell_of(*iv)).collect();
+        covering_cells.sort_unstable();
+        covering_cells.dedup();
 
-        // Count, per (covered cell, covering cell), the covered nodes; and
-        // per covered cell the total population.
-        let mut totals: BTreeMap<Cell, u64> = BTreeMap::new();
-        let mut covered: BTreeMap<(Cell, Cell), u64> = BTreeMap::new();
+        // Bucket every node once, recording its cell and (when present)
+        // the cell of its unique P-ancestor; totals and per-pair counts
+        // then fall out of two sort + run-length passes — no per-node
+        // map operations.
+        let mut dcells: Vec<Cell> = Vec::with_capacity(all_nodes.len());
+        let mut pairs: Vec<(Cell, Cell)> = Vec::new();
         for node in all_nodes {
             let dcell = grid.cell_of(*node);
-            *totals.entry(dcell).or_insert(0) += 1;
+            dcells.push(dcell);
             // The unique P-ancestor, if any: the last P-interval starting
             // strictly before this node that still encloses it.
             let idx = p_intervals.partition_point(|p| p.start < node.start);
             if idx > 0 {
                 let p = p_intervals[idx - 1];
                 if p.is_ancestor_of(*node) {
-                    let acell = grid.cell_of(p);
-                    *covered.entry((dcell, acell)).or_insert(0) += 1;
+                    pairs.push((dcell, grid.cell_of(p)));
                 }
             }
         }
+        dcells.sort_unstable();
+        pairs.sort_unstable();
+
+        let totals = run_lengths(&dcells);
+        let covered = run_lengths(&pairs);
 
         // Store only the border pairs; interior pairs must come out as
         // exactly 1 and are reconstructed geometrically.
-        let mut partial = BTreeMap::new();
+        let mut partial = Vec::new();
         for ((dcell, acell), cnt) in covered {
-            let total = totals[&dcell];
-            let frac = cnt as f64 / total as f64;
+            let t_idx = totals
+                .binary_search_by_key(&dcell, |&(c, _)| c)
+                .expect("covered cell has population");
+            let frac = cnt as f64 / totals[t_idx].1 as f64;
             let strictly_inside = acell.0 < dcell.0 && dcell.1 < acell.1;
             if strictly_inside {
                 debug_assert!(
@@ -91,7 +108,7 @@ impl CoverageHistogram {
                     "interior coverage must be 1, got {frac} for {dcell:?} in {acell:?}"
                 );
             } else {
-                partial.insert((dcell, acell), frac);
+                partial.push(((dcell, acell), frac));
             }
         }
 
@@ -99,7 +116,7 @@ impl CoverageHistogram {
             grid,
             covering_cells,
             partial,
-            covering_scale: BTreeMap::new(),
+            covering_scale: Vec::new(),
         }
     }
 
@@ -111,17 +128,31 @@ impl CoverageHistogram {
     /// Coverage fraction of cell `covered` by predicate nodes in cell
     /// `covering`, including any propagation scaling.
     pub fn coverage(&self, covered: Cell, covering: Cell) -> f64 {
-        let base = if let Some(&v) = self.partial.get(&(covered, covering)) {
-            v
-        } else if self.covering_cells.contains(&covering)
-            && covering.0 < covered.0
+        let base = if let Ok(k) = self
+            .partial
+            .binary_search_by_key(&(covered, covering), |&(key, _)| key)
+        {
+            self.partial[k].1
+        } else if covering.0 < covered.0
             && covered.1 < covering.1
+            && self.covering_cells.binary_search(&covering).is_ok()
         {
             1.0
         } else {
             0.0
         };
-        base * self.covering_scale.get(&covering).copied().unwrap_or(1.0)
+        base * self.scale_of(covering)
+    }
+
+    #[inline]
+    fn scale_of(&self, covering: Cell) -> f64 {
+        match self
+            .covering_scale
+            .binary_search_by_key(&covering, |&(c, _)| c)
+        {
+            Ok(k) => self.covering_scale[k].1,
+            Err(_) => 1.0,
+        }
     }
 
     /// Sum of coverage over every covering cell — the fraction of nodes
@@ -137,8 +168,13 @@ impl CoverageHistogram {
     /// Applies a per-covering-cell multiplier (participation ratio from
     /// Fig. 10's coverage-estimation step).
     pub fn scale_covering(&mut self, covering: Cell, factor: f64) {
-        let e = self.covering_scale.entry(covering).or_insert(1.0);
-        *e *= factor;
+        match self
+            .covering_scale
+            .binary_search_by_key(&covering, |&(c, _)| c)
+        {
+            Ok(k) => self.covering_scale[k].1 *= factor,
+            Err(k) => self.covering_scale.insert(k, (covering, factor)),
+        }
     }
 
     /// Covering cells (populated predicate cells) in order.
@@ -159,12 +195,12 @@ impl CoverageHistogram {
 
     /// Iterates explicit entries `((covered, covering), fraction)`.
     pub fn iter_partial(&self) -> impl Iterator<Item = ((Cell, Cell), f64)> + '_ {
-        self.partial.iter().map(|(&k, &v)| (k, v))
+        self.partial.iter().copied()
     }
 
     /// Iterates propagation scales (covering cell, multiplier).
     pub(crate) fn iter_scales(&self) -> impl Iterator<Item = (Cell, f64)> + '_ {
-        self.covering_scale.iter().map(|(&k, &v)| (k, v))
+        self.covering_scale.iter().copied()
     }
 
     /// Reconstructs from persisted parts.
@@ -174,13 +210,27 @@ impl CoverageHistogram {
         partial: BTreeMap<(Cell, Cell), f64>,
         covering_scale: BTreeMap<Cell, f64>,
     ) -> Self {
+        // The ordered collections arrive sorted; collecting keeps the
+        // binary-search invariants.
         CoverageHistogram {
             grid,
-            covering_cells,
-            partial,
-            covering_scale,
+            covering_cells: covering_cells.into_iter().collect(),
+            partial: partial.into_iter().collect(),
+            covering_scale: covering_scale.into_iter().collect(),
         }
     }
+}
+
+/// Run-length encodes a sorted slice into `(value, count)` pairs.
+fn run_lengths<T: Copy + PartialEq>(sorted: &[T]) -> Vec<(T, u64)> {
+    let mut out: Vec<(T, u64)> = Vec::new();
+    for &v in sorted {
+        match out.last_mut() {
+            Some((last, n)) if *last == v => *n += 1,
+            _ => out.push((v, 1)),
+        }
+    }
+    out
 }
 
 #[cfg(test)]

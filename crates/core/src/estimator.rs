@@ -5,22 +5,41 @@
 //! histograms for no-overlap predicates, and (extension) level
 //! histograms. [`Estimator`] answers twig-size questions from the
 //! summaries alone — the data tree is never consulted after the build.
+//!
+//! Construction is **single-pass**: one traversal of the data tree
+//! classifies every node against all catalog predicates at once (tag
+//! predicates dispatch through the interner in O(1) per node), and the
+//! per-predicate histogram/coverage/level builds then fan out across
+//! cores with `rayon`. Estimation reuses a thread-local
+//! [`TwigWorkspace`] so the join kernels run allocation-free in steady
+//! state, and an optional [`CoeffCache`] (held by the engine's
+//! `Database`) memoizes per-predicate [`JoinCoefficients`] so repeated
+//! twig estimates over the same summaries skip the three-pass kernel.
 
 use crate::compound::{estimate_expr_histogram, HistResolver};
 use crate::coverage::CoverageHistogram;
 use crate::error::{Error, Result};
 use crate::grid::Grid;
 use crate::naive;
-use crate::no_overlap::{ancestor_join, descendant_join, NodeStats};
+use crate::no_overlap::{ancestor_join_with, descendant_join, NodeStats, TwigWorkspace};
 use crate::parent_child::{parent_child_correction, LevelHistogram};
-use crate::ph_join::{ph_join_total, Basis};
+use crate::ph_join::{Basis, JoinCoefficients};
 use crate::position_histogram::PositionHistogram;
 use crate::twig::{Axis, TwigNode};
-use std::collections::BTreeMap;
+use rayon::prelude::*;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 use xmlest_predicate::{BasePredicate, Catalog, PredExpr};
 use xmlest_xml::dtd::DtdAnalysis;
-use xmlest_xml::{label, XmlTree};
+use xmlest_xml::{label, NodeId, XmlTree};
+
+thread_local! {
+    /// Per-thread scratch for the estimation hot path. Grown once to the
+    /// working grid size, then reused by every estimate on this thread.
+    static TWIG_WS: RefCell<TwigWorkspace> = RefCell::new(TwigWorkspace::new());
+}
 
 /// Knobs for summary construction.
 #[derive(Debug, Clone, Default)]
@@ -101,21 +120,76 @@ pub struct Summaries {
     pub(crate) dtd: Option<DtdAnalysis>,
     /// Node count of the summarized tree.
     pub(crate) tree_nodes: u64,
+    /// Process-unique generation id; [`CoeffCache`] binds to it so a
+    /// cache can never serve tables computed from other summaries.
+    pub(crate) build_id: u64,
+}
+
+/// Process-unique id for each constructed [`Summaries`] (clones share
+/// their original's id — their histograms are identical).
+pub(crate) fn next_build_id() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
 }
 
 impl Summaries {
     /// Builds all summaries for `catalog` over `tree`.
+    ///
+    /// One traversal of the tree classifies every node against every
+    /// catalog predicate: tag predicates are resolved to interned tag
+    /// ids up front and dispatch in O(1) per node, so the traversal
+    /// costs O(nodes × non-tag predicates) instead of one full scan per
+    /// predicate. The independent per-predicate summary builds
+    /// (histogram, coverage, levels) then run in parallel via `rayon`.
+    /// Results are deterministic: per-predicate node lists come out in
+    /// document order exactly as the per-predicate scans produced them.
     pub fn build(tree: &XmlTree, catalog: &Catalog, config: &SummaryConfig) -> Result<Summaries> {
         let grid = Self::make_grid(tree, catalog, config)?;
-        let all_intervals: Vec<xmlest_xml::Interval> =
-            tree.iter().map(|n| tree.interval(n)).collect();
+        let entries = Self::entry_list(catalog);
+
+        // Classification plan: tag predicates keyed by interned tag id,
+        // everything else evaluated per node.
+        let tag_count = tree.tags().len();
+        let mut by_tag: Vec<Vec<usize>> = vec![Vec::new(); tag_count];
+        let mut general: Vec<(usize, &BasePredicate)> = Vec::new();
+        for (k, (_, pred)) in entries.iter().enumerate() {
+            match pred {
+                BasePredicate::Tag(name) => {
+                    if let Some(tag) = tree.tags().get(name) {
+                        by_tag[tag.index()].push(k);
+                    }
+                    // Unknown tag: the predicate matches nothing; its
+                    // summary is built over an empty node list.
+                }
+                _ => general.push((k, pred)),
+            }
+        }
+
+        // The single pass.
+        let mut all_intervals: Vec<xmlest_xml::Interval> = Vec::with_capacity(tree.len());
+        let mut matches: Vec<Vec<NodeId>> = vec![Vec::new(); entries.len()];
+        for node in tree.iter() {
+            all_intervals.push(tree.interval(node));
+            if let Some(tag) = tree.tag(node) {
+                for &k in &by_tag[tag.index()] {
+                    matches[k].push(node);
+                }
+            }
+            for &(k, pred) in &general {
+                if pred.eval(tree, node) {
+                    matches[k].push(node);
+                }
+            }
+        }
         let true_hist = PositionHistogram::from_intervals(grid.clone(), &all_intervals);
 
-        let entries = Self::entry_list(catalog);
-        let preds: BTreeMap<String, PredicateSummary> = entries
-            .iter()
-            .map(|(name, pred)| {
-                let s = build_one(tree, &grid, &all_intervals, name, pred, config);
+        // Fan the independent per-predicate builds out across cores.
+        let jobs: Vec<(usize, &(String, BasePredicate))> = entries.iter().enumerate().collect();
+        let preds: BTreeMap<String, PredicateSummary> = jobs
+            .par_iter()
+            .map(|&(k, (name, pred))| {
+                let s = build_one(tree, &grid, &all_intervals, name, pred, &matches[k], config);
                 (name.clone(), s)
             })
             .collect();
@@ -126,58 +200,21 @@ impl Summaries {
             preds,
             dtd: config.dtd.clone(),
             tree_nodes: tree.len() as u64,
+            build_id: next_build_id(),
         })
     }
 
-    /// Like [`Summaries::build`] but constructs per-predicate summaries
-    /// on `threads` worker threads (std scoped threads; summaries for
-    /// different predicates are independent). Produces bit-identical
-    /// results to the serial build.
+    /// Historical entry point from when parallelism was opt-in.
+    /// [`Summaries::build`] is now single-pass and parallel by itself;
+    /// this simply delegates (the `threads` knob is ignored) and remains
+    /// for API compatibility.
     pub fn build_parallel(
         tree: &XmlTree,
         catalog: &Catalog,
         config: &SummaryConfig,
-        threads: usize,
+        _threads: usize,
     ) -> Result<Summaries> {
-        if threads <= 1 {
-            return Self::build(tree, catalog, config);
-        }
-        // Grid + TRUE histogram exactly as the serial path computes them.
-        let grid = Self::make_grid(tree, catalog, config)?;
-        let all_intervals: Vec<xmlest_xml::Interval> =
-            tree.iter().map(|n| tree.interval(n)).collect();
-        let true_hist = PositionHistogram::from_intervals(grid.clone(), &all_intervals);
-        let entries = Self::entry_list(catalog);
-        let chunk = entries.len().div_ceil(threads).max(1);
-
-        let preds: BTreeMap<String, PredicateSummary> = std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for batch in entries.chunks(chunk) {
-                let grid = &grid;
-                let all_intervals = &all_intervals;
-                handles.push(scope.spawn(move || {
-                    batch
-                        .iter()
-                        .map(|(name, pred)| {
-                            let s = build_one(tree, grid, all_intervals, name, pred, config);
-                            (name.clone(), s)
-                        })
-                        .collect::<Vec<_>>()
-                }));
-            }
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("summary worker panicked"))
-                .collect()
-        });
-
-        Ok(Summaries {
-            grid,
-            true_hist,
-            preds,
-            dtd: config.dtd.clone(),
-            tree_nodes: tree.len() as u64,
-        })
+        Self::build(tree, catalog, config)
     }
 
     /// Catalog entries plus the built-in structural predicates
@@ -266,22 +303,25 @@ impl Summaries {
 
     /// An estimator reading from these summaries.
     pub fn estimator(&self) -> Estimator<'_> {
-        Estimator { summaries: self }
+        Estimator {
+            summaries: self,
+            cache: None,
+        }
     }
 }
 
 /// Builds one predicate's complete summary (histogram, overlap property,
-/// coverage, levels). Pure function of its inputs — safe to run on any
-/// thread.
+/// coverage, levels) from its already-classified node list (document
+/// order). Pure function of its inputs — safe to run on any thread.
 fn build_one(
     tree: &XmlTree,
     grid: &Grid,
     all_intervals: &[xmlest_xml::Interval],
     name: &str,
     pred: &BasePredicate,
+    nodes: &[NodeId],
     config: &SummaryConfig,
 ) -> PredicateSummary {
-    let nodes = pred.matches(tree);
     let intervals: Vec<_> = nodes.iter().map(|&n| tree.interval(n)).collect();
     let hist = PositionHistogram::from_intervals(grid.clone(), &intervals);
 
@@ -298,7 +338,7 @@ fn build_one(
         .then(|| CoverageHistogram::build(grid.clone(), all_intervals, &intervals));
     let levels = config
         .build_levels
-        .then(|| LevelHistogram::from_nodes(tree, &nodes));
+        .then(|| LevelHistogram::from_nodes(tree, nodes));
     let avg_width = if intervals.is_empty() {
         0.0
     } else {
@@ -354,15 +394,117 @@ pub struct Estimate {
     pub method: &'static str,
 }
 
-/// Read-only estimation interface over [`Summaries`].
+/// Memoized [`JoinCoefficients`] tables keyed by `(predicate name,
+/// basis)` — the paper's Section 3.3 space–time tradeoff applied across
+/// queries. Summaries are immutable after construction, so a table
+/// computed once from a predicate's base histogram stays valid for the
+/// life of the cache; repeated estimates over the same summaries (the
+/// optimizer prices every plan of every query this way) skip the
+/// three-pass kernel and pay only the O(g) coefficient application.
+///
+/// A cache is **bound to one summaries generation**: the first use
+/// records the summaries' build id, and using the same cache with a
+/// different `Summaries` (rebuilt data, reloaded file) clears the stale
+/// tables and rebinds instead of silently serving coefficients from the
+/// old histograms.
+///
+/// Thread-safe: hits share a read lock and allocate nothing (lookup
+/// borrows the name); a racing miss builds the table outside the lock
+/// and the first insert wins (both results are identical by
+/// construction).
+#[derive(Debug, Default)]
+pub struct CoeffCache {
+    /// Build id of the summaries this cache currently serves (0 =
+    /// unbound). Guarded by `map`'s lock discipline: rebinding takes
+    /// the write lock.
+    bound_to: std::sync::atomic::AtomicU64,
+    /// Per predicate name, one slot per [`Basis`] (index 0 =
+    /// ancestor-based, 1 = descendant-based).
+    map: RwLock<HashMap<String, [Option<Arc<JoinCoefficients>>; 2]>>,
+}
+
+fn basis_slot(basis: Basis) -> usize {
+    match basis {
+        Basis::AncestorBased => 0,
+        Basis::DescendantBased => 1,
+    }
+}
+
+impl CoeffCache {
+    pub fn new() -> Self {
+        CoeffCache::default()
+    }
+
+    /// Number of cached coefficient tables.
+    pub fn len(&self) -> usize {
+        self.map
+            .read()
+            .expect("coeff cache lock")
+            .values()
+            .map(|slots| slots.iter().flatten().count())
+            .sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the cached table for `(name, basis)` under `summaries`,
+    /// building and inserting it on a miss. Rebinds (and clears) the
+    /// cache when `summaries` is a different generation than the one
+    /// the cache was filled from.
+    pub fn get_or_build(
+        &self,
+        summaries: &Summaries,
+        name: &str,
+        basis: Basis,
+        build: impl FnOnce() -> JoinCoefficients,
+    ) -> Arc<JoinCoefficients> {
+        use std::sync::atomic::Ordering;
+        let id = summaries.build_id;
+        let slot = basis_slot(basis);
+        if self.bound_to.load(Ordering::Acquire) == id {
+            if let Some(hit) = self
+                .map
+                .read()
+                .expect("coeff cache lock")
+                .get(name)
+                .and_then(|slots| slots[slot].clone())
+            {
+                return hit;
+            }
+        }
+        let built = Arc::new(build());
+        let mut map = self.map.write().expect("coeff cache lock");
+        if self.bound_to.load(Ordering::Acquire) != id {
+            map.clear();
+            self.bound_to.store(id, Ordering::Release);
+        }
+        let entry = map.entry(name.to_owned()).or_default();
+        entry[slot].get_or_insert(built).clone()
+    }
+}
+
+/// Read-only estimation interface over [`Summaries`], optionally backed
+/// by a [`CoeffCache`].
 #[derive(Debug, Clone, Copy)]
 pub struct Estimator<'a> {
     summaries: &'a Summaries,
+    cache: Option<&'a CoeffCache>,
 }
 
 impl<'a> Estimator<'a> {
     pub fn summaries(&self) -> &'a Summaries {
         self.summaries
+    }
+
+    /// Attaches a coefficient cache; subsequent primitive joins against
+    /// base-predicate operands reuse precomputed tables.
+    pub fn with_cache(self, cache: &'a CoeffCache) -> Self {
+        Estimator {
+            cache: Some(cache),
+            ..self
+        }
     }
 
     fn summary(&self, name: &str) -> Result<&'a PredicateSummary> {
@@ -449,6 +591,31 @@ impl<'a> Estimator<'a> {
         None
     }
 
+    /// Total primitive pH-join estimate over two named predicates'
+    /// histograms, reusing cached coefficients when a cache is attached
+    /// (keyed by the *inner* operand — the one the coefficient table is
+    /// computed from).
+    fn primitive_total(
+        &self,
+        anc_name: &str,
+        anc: &PositionHistogram,
+        desc_name: &str,
+        desc: &PositionHistogram,
+        basis: Basis,
+    ) -> Result<f64> {
+        let (inner_name, inner, outer) = match basis {
+            Basis::AncestorBased => (desc_name, desc, anc),
+            Basis::DescendantBased => (anc_name, anc, desc),
+        };
+        if let Some(cache) = self.cache {
+            let coeffs = cache.get_or_build(self.summaries, inner_name, basis, || {
+                JoinCoefficients::precompute(inner, basis)
+            });
+            return coeffs.apply_total(outer);
+        }
+        TWIG_WS.with(|ws| ws.borrow_mut().join.ph_join_total(anc, desc, basis))
+    }
+
     /// Estimates a two-node pattern `anc // desc` over named predicates.
     pub fn estimate_pair(&self, anc: &str, desc: &str, method: EstimateMethod) -> Result<Estimate> {
         let a = self.summary(anc)?;
@@ -461,17 +628,20 @@ impl<'a> Estimator<'a> {
                 } else if a.no_overlap && a.cvg.is_some() {
                     let x = NodeStats::leaf(a.hist.clone(), a.cvg.clone(), true);
                     let y = NodeStats::leaf(d.hist.clone(), None, d.no_overlap);
-                    (ancestor_join(&x, &y)?.match_total(), "no-overlap")
+                    let joined = TWIG_WS
+                        .with(|ws| ancestor_join_with(&mut ws.borrow_mut(), &x, &y, None))?;
+                    (joined.match_total(), "no-overlap")
                 } else {
                     (
-                        ph_join_total(&a.hist, &d.hist, Basis::AncestorBased)?,
+                        self.primitive_total(anc, &a.hist, desc, &d.hist, Basis::AncestorBased)?,
                         "primitive",
                     )
                 }
             }
-            EstimateMethod::Primitive(basis) => {
-                (ph_join_total(&a.hist, &d.hist, basis)?, "primitive")
-            }
+            EstimateMethod::Primitive(basis) => (
+                self.primitive_total(anc, &a.hist, desc, &d.hist, basis)?,
+                "primitive",
+            ),
             EstimateMethod::NoOverlap(basis) => {
                 let cvg = a
                     .cvg
@@ -479,10 +649,10 @@ impl<'a> Estimator<'a> {
                     .ok_or_else(|| Error::MissingCoverage(anc.to_owned()))?;
                 let x = NodeStats::leaf(a.hist.clone(), Some(cvg), true);
                 let y = NodeStats::leaf(d.hist.clone(), None, d.no_overlap);
-                let joined = match basis {
-                    Basis::AncestorBased => ancestor_join(&x, &y)?,
-                    Basis::DescendantBased => descendant_join(&x, &y)?,
-                };
+                let joined = TWIG_WS.with(|ws| match basis {
+                    Basis::AncestorBased => ancestor_join_with(&mut ws.borrow_mut(), &x, &y, None),
+                    Basis::DescendantBased => descendant_join(&x, &y),
+                })?;
                 (joined.match_total(), "no-overlap")
             }
         };
@@ -516,10 +686,19 @@ impl<'a> Estimator<'a> {
 
     /// Estimates an arbitrary twig by composing ancestor-based joins
     /// bottom-up. Parent–child edges apply the level-histogram correction
-    /// when both endpoint predicates have level summaries.
+    /// when both endpoint predicates have level summaries. Runs on the
+    /// thread-local [`TwigWorkspace`]; see [`Self::estimate_twig_with`]
+    /// for explicit workspace control.
     pub fn estimate_twig(&self, twig: &TwigNode) -> Result<Estimate> {
+        TWIG_WS.with(|ws| self.estimate_twig_with(&mut ws.borrow_mut(), twig))
+    }
+
+    /// [`Self::estimate_twig`] on a caller-owned workspace — the
+    /// zero-allocation steady-state path for services that estimate in a
+    /// loop.
+    pub fn estimate_twig_with(&self, ws: &mut TwigWorkspace, twig: &TwigNode) -> Result<Estimate> {
         let start = Instant::now();
-        let stats = self.twig_stats(twig)?;
+        let stats = self.twig_stats_in(ws, twig)?;
         Ok(Estimate {
             value: stats.match_total(),
             elapsed: start.elapsed(),
@@ -530,10 +709,15 @@ impl<'a> Estimator<'a> {
     /// Estimation state for a whole sub-twig (exposes intermediate-result
     /// estimates for the optimizer).
     pub fn twig_stats(&self, twig: &TwigNode) -> Result<NodeStats> {
+        TWIG_WS.with(|ws| self.twig_stats_in(&mut ws.borrow_mut(), twig))
+    }
+
+    fn twig_stats_in(&self, ws: &mut TwigWorkspace, twig: &TwigNode) -> Result<NodeStats> {
         let mut acc = self.node_stats(&twig.pred)?;
         for child in &twig.children {
-            let child_stats = self.twig_stats(child)?;
-            let mut joined = ancestor_join(&acc, &child_stats)?;
+            let child_stats = self.twig_stats_in(ws, child)?;
+            let cached = self.cached_child_coeffs(child);
+            let mut joined = ancestor_join_with(ws, &acc, &child_stats, cached.as_deref())?;
             if child.axis == Axis::Child {
                 if let (Some(la), Some(lb)) =
                     (self.levels_for(&twig.pred), self.levels_for(&child.pred))
@@ -545,6 +729,26 @@ impl<'a> Estimator<'a> {
             acc = joined;
         }
         Ok(acc)
+    }
+
+    /// Cached ancestor-based coefficient table for a join whose
+    /// descendant side is `child`. Only valid — and only looked up —
+    /// when `child` is a leaf over a named summary, where its match
+    /// histogram equals its base histogram (unit join factors).
+    fn cached_child_coeffs(&self, child: &TwigNode) -> Option<Arc<JoinCoefficients>> {
+        let cache = self.cache?;
+        if !child.children.is_empty() {
+            return None;
+        }
+        let PredExpr::Named(name) = &child.pred else {
+            return None;
+        };
+        let s = self.summaries.get(name)?;
+        Some(
+            cache.get_or_build(self.summaries, name, Basis::AncestorBased, || {
+                JoinCoefficients::precompute(&s.hist, Basis::AncestorBased)
+            }),
+        )
     }
 
     /// Naive product over every node of a twig.

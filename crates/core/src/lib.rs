@@ -37,9 +37,9 @@ pub mod twig;
 
 pub use coverage::CoverageHistogram;
 pub use error::{Error, Result};
-pub use estimator::{Estimate, EstimateMethod, Estimator, Summaries, SummaryConfig};
+pub use estimator::{CoeffCache, Estimate, EstimateMethod, Estimator, Summaries, SummaryConfig};
 pub use grid::{Cell, Grid};
-pub use no_overlap::NodeStats;
-pub use ph_join::{ph_join, ph_join_total, Basis};
-pub use position_histogram::PositionHistogram;
+pub use no_overlap::{NodeStats, TwigWorkspace};
+pub use ph_join::{ph_join, ph_join_total, Basis, JoinCoefficients, JoinWorkspace};
+pub use position_histogram::{FlatHistogram, PositionHistogram};
 pub use twig::{Axis, TwigNode};

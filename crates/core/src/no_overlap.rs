@@ -17,6 +17,10 @@
 //! `jn_fct` = 1 everywhere. [`ancestor_join`] and [`descendant_join`]
 //! implement the two bases of Fig. 10 and fall back to the primitive
 //! pH-join (Fig. 6 "case 1") when the relevant predicate can overlap.
+//! The `_with` variants take a [`TwigWorkspace`] so repeated joins reuse
+//! every scratch buffer, and an optional precomputed coefficient table
+//! (from the summary-level cache) that skips the three-pass kernel
+//! entirely when the inner operand is a base predicate.
 //!
 //! One deviation, documented: Fig. 10's printed coverage-propagation
 //! formula for the descendant-based case scales by the participation
@@ -28,7 +32,8 @@
 
 use crate::coverage::CoverageHistogram;
 use crate::error::Result;
-use crate::ph_join::{ph_join, Basis};
+use crate::grid::Grid;
+use crate::ph_join::{Basis, JoinCoefficients, JoinWorkspace};
 use crate::position_histogram::PositionHistogram;
 
 /// Estimation state for one pattern node (see module docs).
@@ -50,7 +55,7 @@ impl NodeStats {
     pub fn leaf(hist: PositionHistogram, cvg: Option<CoverageHistogram>, no_overlap: bool) -> Self {
         let mut ones = PositionHistogram::empty(hist.grid().clone());
         for (cell, _) in hist.iter() {
-            ones.set(cell, 1.0);
+            ones.push_sorted(cell, 1.0);
         }
         NodeStats {
             hist,
@@ -64,12 +69,51 @@ impl NodeStats {
     /// (`Hist ⊙ Jn_Fct`), i.e. matches of the pattern positioned at this
     /// node's cells.
     pub fn match_hist(&self) -> PositionHistogram {
-        self.hist.scaled_by(|c| self.jn_fct.get(c))
+        let mut out = PositionHistogram::empty(self.hist.grid().clone());
+        self.match_hist_into(&mut out);
+        out
     }
 
-    /// Total estimated matches of the pattern.
+    /// [`Self::match_hist`] into a reused output histogram.
+    pub fn match_hist_into(&self, out: &mut PositionHistogram) {
+        self.hist.scaled_by_into(|c| self.jn_fct.get(c), out);
+    }
+
+    /// Total estimated matches of the pattern. Computed directly from
+    /// the flat entries — no intermediate histogram is materialized.
     pub fn match_total(&self) -> f64 {
-        self.match_hist().total()
+        self.hist
+            .iter()
+            .map(|(cell, v)| v * self.jn_fct.get(cell))
+            .sum()
+    }
+}
+
+/// Scratch state threaded through a twig evaluation: the dense pH-join
+/// buffers plus reusable match-histogram staging areas. Steady-state
+/// joins only allocate the owned histograms of their result
+/// [`NodeStats`]; every kernel buffer is reused.
+#[derive(Debug)]
+pub struct TwigWorkspace {
+    pub join: JoinWorkspace,
+    match_x: PositionHistogram,
+    match_y: PositionHistogram,
+}
+
+impl Default for TwigWorkspace {
+    fn default() -> Self {
+        let unit = Grid::uniform(1, 0).expect("unit grid is valid");
+        TwigWorkspace {
+            join: JoinWorkspace::new(),
+            match_x: PositionHistogram::empty(unit.clone()),
+            match_y: PositionHistogram::empty(unit),
+        }
+    }
+}
+
+impl TwigWorkspace {
+    pub fn new() -> Self {
+        TwigWorkspace::default()
     }
 }
 
@@ -79,18 +123,43 @@ impl NodeStats {
 /// Uses the no-overlap formulas when `x` is no-overlap and has coverage;
 /// otherwise the primitive pH-join ("case 1": participation = estimate).
 pub fn ancestor_join(x: &NodeStats, y: &NodeStats) -> Result<NodeStats> {
+    ancestor_join_with(&mut TwigWorkspace::new(), x, y, None)
+}
+
+/// [`ancestor_join`] with reused scratch buffers and an optional
+/// precomputed coefficient table for the primitive fallback. The table
+/// must have been computed from `y`'s match histogram with
+/// [`Basis::AncestorBased`] — callers pass it only when `y` is a leaf
+/// over a base predicate, where `match_hist == hist` holds.
+pub fn ancestor_join_with(
+    ws: &mut TwigWorkspace,
+    x: &NodeStats,
+    y: &NodeStats,
+    cached: Option<&JoinCoefficients>,
+) -> Result<NodeStats> {
     match (&x.cvg, x.no_overlap) {
         (Some(cvg), true) => ancestor_join_no_overlap(x, y, cvg),
-        _ => primitive_join(x, y, Basis::AncestorBased),
+        _ => primitive_join(ws, x, y, Basis::AncestorBased, cached),
     }
 }
 
 /// Joins pattern `x` (ancestor side) with pattern `y` (descendant side),
 /// producing stats for the combined pattern *based at `y`'s node*.
 pub fn descendant_join(x: &NodeStats, y: &NodeStats) -> Result<NodeStats> {
+    descendant_join_with(&mut TwigWorkspace::new(), x, y, None)
+}
+
+/// [`descendant_join`] with reused scratch buffers; `cached` must stem
+/// from `x`'s match histogram with [`Basis::DescendantBased`].
+pub fn descendant_join_with(
+    ws: &mut TwigWorkspace,
+    x: &NodeStats,
+    y: &NodeStats,
+    cached: Option<&JoinCoefficients>,
+) -> Result<NodeStats> {
     match (&x.cvg, x.no_overlap) {
         (Some(cvg), true) => descendant_join_no_overlap(x, y, cvg),
-        _ => primitive_join(x, y, Basis::DescendantBased),
+        _ => primitive_join(ws, x, y, Basis::DescendantBased, cached),
     }
 }
 
@@ -100,11 +169,9 @@ fn ancestor_join_no_overlap(
     y: &NodeStats,
     cvg_x: &CoverageHistogram,
 ) -> Result<NodeStats> {
-    let y_match = y.match_hist();
     let grid = x.hist.grid().clone();
-    let mut est = PositionHistogram::empty(grid.clone());
     let mut part = PositionHistogram::empty(grid.clone());
-    let mut jn_fct = PositionHistogram::empty(grid.clone());
+    let mut jn_fct = PositionHistogram::empty(grid);
     let mut new_cvg = cvg_x.clone();
 
     for ((i, j), n) in x.hist.iter() {
@@ -116,7 +183,7 @@ fn ancestor_join_no_overlap(
             if m >= i && nn <= j {
                 let c = cvg_x.coverage((m, nn), (i, j));
                 if c > 0.0 {
-                    covered_matches += c * y_match.get((m, nn));
+                    covered_matches += c * v * y.jn_fct.get((m, nn));
                 }
                 covered_participants += v;
             }
@@ -132,12 +199,9 @@ fn ancestor_join_no_overlap(
             0.0
         };
 
-        if est_ij > 0.0 {
-            est.set((i, j), est_ij);
-        }
         if part_ij > 0.0 {
-            part.set((i, j), part_ij);
-            jn_fct.set((i, j), if part_ij > 0.0 { est_ij / part_ij } else { 0.0 });
+            part.push_sorted((i, j), part_ij);
+            jn_fct.push_sorted((i, j), est_ij / part_ij);
         }
         // Coverage propagation: covering cell (i, j) now covers with the
         // participation fraction of its nodes.
@@ -161,9 +225,8 @@ fn descendant_join_no_overlap(
     cvg_x: &CoverageHistogram,
 ) -> Result<NodeStats> {
     let grid = y.hist.grid().clone();
-    let mut est = PositionHistogram::empty(grid.clone());
     let mut part = PositionHistogram::empty(grid.clone());
-    let mut jn_fct = PositionHistogram::empty(grid.clone());
+    let mut jn_fct = PositionHistogram::empty(grid);
 
     for ((i, j), y_n) in y.hist.iter() {
         // Σ over ancestor cells (m, n) ⊇ (i, j).
@@ -180,12 +243,9 @@ fn descendant_join_no_overlap(
         }
         let est_ij = y_n * y.jn_fct.get((i, j)) * weighted;
         let part_ij = y_n * covered;
-        if est_ij > 0.0 {
-            est.set((i, j), est_ij);
-        }
         if part_ij > 0.0 {
-            part.set((i, j), part_ij);
-            jn_fct.set((i, j), est_ij / part_ij);
+            part.push_sorted((i, j), part_ij);
+            jn_fct.push_sorted((i, j), est_ij / part_ij);
         }
     }
 
@@ -214,11 +274,39 @@ fn descendant_join_no_overlap(
 
 /// Case 1: the relevant predicate can overlap — primitive pH-join over
 /// match-count histograms; participation = estimate, join factor = 1.
-fn primitive_join(x: &NodeStats, y: &NodeStats, basis: Basis) -> Result<NodeStats> {
-    let est = ph_join(&x.match_hist(), &y.match_hist(), basis)?;
+fn primitive_join(
+    ws: &mut TwigWorkspace,
+    x: &NodeStats,
+    y: &NodeStats,
+    basis: Basis,
+    cached: Option<&JoinCoefficients>,
+) -> Result<NodeStats> {
+    let grid = match basis {
+        Basis::AncestorBased => x.hist.grid(),
+        Basis::DescendantBased => y.hist.grid(),
+    };
+    let mut est = PositionHistogram::empty(grid.clone());
+    match cached {
+        Some(coeffs) => {
+            // The coefficient table already encodes the inner operand;
+            // only the outer match histogram is needed.
+            let outer = match basis {
+                Basis::AncestorBased => x,
+                Basis::DescendantBased => y,
+            };
+            outer.match_hist_into(&mut ws.match_x);
+            coeffs.apply_into(&ws.match_x, &mut est)?;
+        }
+        None => {
+            x.match_hist_into(&mut ws.match_x);
+            y.match_hist_into(&mut ws.match_y);
+            ws.join
+                .ph_join_into(&ws.match_x, &ws.match_y, basis, &mut est)?;
+        }
+    }
     let mut ones = PositionHistogram::empty(est.grid().clone());
     for (cell, _) in est.iter() {
-        ones.set(cell, 1.0);
+        ones.push_sorted(cell, 1.0);
     }
     // When based at the descendant and the descendant is no-overlap, its
     // coverage can still serve later joins, scaled by participation. With
@@ -365,6 +453,23 @@ mod tests {
         assert_eq!(joined.hist, joined.match_hist());
         assert!(!joined.no_overlap);
         assert!(joined.cvg.is_none());
+    }
+
+    #[test]
+    fn cached_coefficients_match_direct_primitive_join() {
+        let grid = Grid::uniform(4, 30).unwrap();
+        let fac = NodeStats::leaf(
+            PositionHistogram::from_intervals(grid, &[iv(1, 3), iv(6, 11), iv(17, 23)]),
+            None,
+            false,
+        );
+        let ta = ta_stats(4);
+        let mut ws = TwigWorkspace::new();
+        let direct = ancestor_join_with(&mut ws, &fac, &ta, None).unwrap();
+        let coeffs = JoinCoefficients::precompute(&ta.hist, Basis::AncestorBased);
+        let cached = ancestor_join_with(&mut ws, &fac, &ta, Some(&coeffs)).unwrap();
+        assert_eq!(direct.hist, cached.hist);
+        assert!((direct.match_total() - cached.match_total()).abs() < 1e-12);
     }
 
     #[test]

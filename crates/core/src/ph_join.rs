@@ -21,13 +21,23 @@
 //! the paper's space–time tradeoff: precompute per-cell coefficients from
 //! the inner operand once, after which each join costs only the O(g)
 //! non-zero cells of the outer operand.
+//!
+//! ## Allocation discipline
+//!
+//! The three-pass kernel needs five dense `g × g` scratch arrays. All of
+//! them live in a [`JoinWorkspace`], which the estimator threads through
+//! every join of a twig evaluation: after the buffers have grown to the
+//! working grid size once, repeated joins perform **zero heap
+//! allocations** (verified by an allocation-counting integration test).
+//! The free functions [`ph_join`]/[`ph_join_total`] remain as
+//! convenience wrappers that stand up a workspace per call.
 
 use crate::error::{Error, Result};
 use crate::grid::Cell;
 use crate::position_histogram::PositionHistogram;
 
 /// Which operand's cells the per-cell estimate is attributed to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Basis {
     /// Estimate positioned at ancestor cells (first formula of Fig. 6).
     AncestorBased,
@@ -35,25 +45,210 @@ pub enum Basis {
     DescendantBased,
 }
 
+/// Reusable scratch buffers for the pH-join kernels. One workspace
+/// serves any grid size: buffers grow to the largest `g²` seen and are
+/// then reused allocation-free.
+#[derive(Debug, Default)]
+pub struct JoinWorkspace {
+    /// Dense scatter of the inner operand.
+    dense: Vec<f64>,
+    /// Pass-1 partial sums.
+    p1: Vec<f64>,
+    /// Pass-2 partial sums (two arrays for the ancestor-based variant).
+    p2: Vec<f64>,
+    p3: Vec<f64>,
+    /// Assembled per-cell coefficients.
+    coeff: Vec<f64>,
+}
+
+impl JoinWorkspace {
+    pub fn new() -> Self {
+        JoinWorkspace::default()
+    }
+
+    /// Scatters `inner` densely and fills the two partial-sum arrays the
+    /// coefficient formula reads (passes 1–2 of Fig. 9). Every loop is
+    /// row-sequential — pass 2's recurrence couples row `i` to row
+    /// `i ± 1`, so it is written as whole-row updates the compiler can
+    /// vectorize instead of strided column walks. Returns `g`.
+    fn compute_partials(&mut self, inner: &PositionHistogram, basis: Basis) -> usize {
+        let g = inner.grid().g() as usize;
+        inner.write_dense(&mut self.dense);
+        for buf in [&mut self.p1, &mut self.p2, &mut self.p3] {
+            buf.clear();
+            buf.resize(g * g, 0.0);
+        }
+        let b = &self.dense;
+        match basis {
+            Basis::AncestorBased => {
+                // Pass 1: down[i][j] = Σ b[i][i..j] (row prefix sums).
+                for i in 0..g {
+                    let row_b = &b[i * g..(i + 1) * g];
+                    let row_d = &mut self.p1[i * g..(i + 1) * g];
+                    let mut acc = 0.0;
+                    for j in i + 1..g {
+                        acc += row_b[j - 1];
+                        row_d[j] = acc;
+                    }
+                }
+                // Pass 2 (bottom-up rows): right[i][j] = right[i+1][j] +
+                // b[i+1][j]; interior[i][j] = interior[i+1][j] +
+                // down[i+1][j] — each row is an elementwise add of the
+                // row below.
+                for i in (0..g.saturating_sub(1)).rev() {
+                    let (above_r, below_r) = self.p2.split_at_mut((i + 1) * g);
+                    let row_r = &mut above_r[i * g..];
+                    let prev_r = &below_r[..g];
+                    let row_b = &b[(i + 1) * g..(i + 2) * g];
+                    let (above_n, below_n) = self.p3.split_at_mut((i + 1) * g);
+                    let row_n = &mut above_n[i * g..];
+                    let prev_n = &below_n[..g];
+                    let prev_d = &self.p1[(i + 1) * g..(i + 2) * g];
+                    for j in i + 1..g {
+                        row_r[j] = prev_r[j] + row_b[j];
+                        row_n[j] = prev_n[j] + prev_d[j];
+                    }
+                }
+            }
+            Basis::DescendantBased => {
+                // Pass 1: f[i][j] = Σ b[i][(j+1)..g] (row suffix sums).
+                for i in 0..g {
+                    let row_b = &b[i * g..(i + 1) * g];
+                    let row_f = &mut self.p1[i * g..(i + 1) * g];
+                    let mut acc = 0.0;
+                    for j in (i..g.saturating_sub(1)).rev() {
+                        acc += row_b[j + 1];
+                        row_f[j] = acc;
+                    }
+                }
+                // Pass 2 (top-down rows): h[i][j] = h[i-1][j] + b[i-1][j];
+                // gsum[i][j] = gsum[i-1][j] + f[i-1][j].
+                for i in 1..g {
+                    let (above_h, below_h) = self.p2.split_at_mut(i * g);
+                    let prev_h = &above_h[(i - 1) * g..];
+                    let row_h = &mut below_h[..g];
+                    let row_b = &b[(i - 1) * g..i * g];
+                    let (above_s, below_s) = self.p3.split_at_mut(i * g);
+                    let prev_s = &above_s[(i - 1) * g..];
+                    let row_s = &mut below_s[..g];
+                    let prev_f = &self.p1[(i - 1) * g..i * g];
+                    for j in i..g {
+                        row_h[j] = prev_h[j] + row_b[j];
+                        row_s[j] = prev_s[j] + prev_f[j];
+                    }
+                }
+            }
+        }
+        g
+    }
+
+    /// Coefficient for one cell, read off the partial-sum arrays
+    /// (pass 3 of Fig. 9, evaluated lazily — join calls only ever need
+    /// the O(g) cells the outer operand populates).
+    #[inline]
+    fn coeff_at(&self, g: usize, basis: Basis, i: usize, j: usize) -> f64 {
+        let b = &self.dense;
+        match basis {
+            Basis::AncestorBased => {
+                if i == j {
+                    b[i * g + i] / 12.0
+                } else {
+                    self.p3[i * g + j] + b[i * g + j] / 4.0 + self.p1[i * g + j]
+                        - b[i * g + i] / 2.0
+                        + self.p2[i * g + j]
+                        - b[j * g + j] / 2.0
+                }
+            }
+            Basis::DescendantBased => {
+                let self_factor = if i == j { 1.0 / 12.0 } else { 0.25 };
+                self.p1[i * g + j]
+                    + self.p2[i * g + j]
+                    + self.p3[i * g + j]
+                    + self_factor * b[i * g + j]
+            }
+        }
+    }
+
+    /// Materializes the full coefficient table into `self.coeff`
+    /// (needed only when the table outlives the workspace, e.g. for
+    /// [`JoinCoefficients`]).
+    fn compute_coefficients(&mut self, inner: &PositionHistogram, basis: Basis) -> usize {
+        let g = self.compute_partials(inner, basis);
+        self.coeff.clear();
+        self.coeff.resize(g * g, 0.0);
+        for i in 0..g {
+            for j in i..g {
+                self.coeff[i * g + j] = self.coeff_at(g, basis, i, j);
+            }
+        }
+        g
+    }
+
+    /// Runs the pH-join into a reused output histogram. `out` is cleared
+    /// to the operands' grid; its entry capacity is kept, so steady-state
+    /// calls allocate nothing.
+    pub fn ph_join_into(
+        &mut self,
+        anc: &PositionHistogram,
+        desc: &PositionHistogram,
+        basis: Basis,
+        out: &mut PositionHistogram,
+    ) -> Result<()> {
+        if anc.grid() != desc.grid() {
+            return Err(Error::GridMismatch);
+        }
+        let (inner, outer) = match basis {
+            Basis::AncestorBased => (desc, anc),
+            Basis::DescendantBased => (anc, desc),
+        };
+        let g = self.compute_partials(inner, basis);
+        out.clear_to(outer.grid());
+        for &((i, j), v) in outer.flat().entries() {
+            let c = self.coeff_at(g, basis, i as usize, j as usize);
+            if c != 0.0 {
+                out.push_sorted((i, j), v * c);
+            }
+        }
+        Ok(())
+    }
+
+    /// Total estimated join size without materializing the per-cell
+    /// output at all.
+    pub fn ph_join_total(
+        &mut self,
+        anc: &PositionHistogram,
+        desc: &PositionHistogram,
+        basis: Basis,
+    ) -> Result<f64> {
+        if anc.grid() != desc.grid() {
+            return Err(Error::GridMismatch);
+        }
+        let (inner, outer) = match basis {
+            Basis::AncestorBased => (desc, anc),
+            Basis::DescendantBased => (anc, desc),
+        };
+        let g = self.compute_partials(inner, basis);
+        Ok(outer
+            .flat()
+            .entries()
+            .iter()
+            .map(|&((i, j), v)| v * self.coeff_at(g, basis, i as usize, j as usize))
+            .sum())
+    }
+}
+
 /// Runs the pH-join, returning the per-cell estimate histogram
 /// (`Est_P12` in the paper). Cells are those of the basis operand.
+/// Convenience wrapper over [`JoinWorkspace::ph_join_into`].
 pub fn ph_join(
     anc: &PositionHistogram,
     desc: &PositionHistogram,
     basis: Basis,
 ) -> Result<PositionHistogram> {
-    let coeffs = JoinCoefficients::precompute(
-        match basis {
-            Basis::AncestorBased => desc,
-            Basis::DescendantBased => anc,
-        },
-        basis,
-    );
-    let outer = match basis {
-        Basis::AncestorBased => anc,
-        Basis::DescendantBased => desc,
-    };
-    coeffs.apply(outer)
+    let mut ws = JoinWorkspace::new();
+    let mut out = PositionHistogram::empty(anc.grid().clone());
+    ws.ph_join_into(anc, desc, basis, &mut out)?;
+    Ok(out)
 }
 
 /// Total estimated join size (sum of the per-cell estimates).
@@ -62,7 +257,7 @@ pub fn ph_join_total(
     desc: &PositionHistogram,
     basis: Basis,
 ) -> Result<f64> {
-    Ok(ph_join(anc, desc, basis)?.total())
+    JoinWorkspace::new().ph_join_total(anc, desc, basis)
 }
 
 /// Precomputed multiplicative coefficients (Section 3.3: "it is possible
@@ -84,16 +279,17 @@ impl JoinCoefficients {
     /// Three-pass partial-sum computation (Fig. 9), generalized to both
     /// bases.
     pub fn precompute(inner: &PositionHistogram, basis: Basis) -> Self {
-        let g = inner.grid().g() as usize;
-        let b = inner.to_dense();
-        let coeff = match basis {
-            Basis::AncestorBased => ancestor_coefficients(&b, g),
-            Basis::DescendantBased => descendant_coefficients(&b, g),
-        };
+        Self::precompute_in(&mut JoinWorkspace::new(), inner, basis)
+    }
+
+    /// Like [`Self::precompute`], borrowing scratch space from a
+    /// workspace; only the owned coefficient table is allocated.
+    pub fn precompute_in(ws: &mut JoinWorkspace, inner: &PositionHistogram, basis: Basis) -> Self {
+        ws.compute_coefficients(inner, basis);
         JoinCoefficients {
             grid: inner.grid().clone(),
             basis,
-            coeff,
+            coeff: ws.coeff.clone(),
         }
     }
 
@@ -101,18 +297,40 @@ impl JoinCoefficients {
     /// proportional to the outer histogram's non-zero cells — O(g) by
     /// Theorem 1 (this is the paper's "O(g) per join" claim).
     pub fn apply(&self, outer: &PositionHistogram) -> Result<PositionHistogram> {
+        let mut out = PositionHistogram::empty(self.grid.clone());
+        self.apply_into(outer, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Self::apply`] into a reused output histogram (allocation-free
+    /// once `out` has capacity).
+    pub fn apply_into(&self, outer: &PositionHistogram, out: &mut PositionHistogram) -> Result<()> {
         if outer.grid() != &self.grid {
             return Err(Error::GridMismatch);
         }
         let g = self.grid.g() as usize;
-        let mut est = PositionHistogram::empty(self.grid.clone());
-        for ((i, j), v) in outer.iter() {
+        out.clear_to(&self.grid);
+        for &((i, j), v) in outer.flat().entries() {
             let c = self.coeff[i as usize * g + j as usize];
             if c != 0.0 {
-                est.set((i, j), v * c);
+                out.push_sorted((i, j), v * c);
             }
         }
-        Ok(est)
+        Ok(())
+    }
+
+    /// Total estimate for `outer` without materializing per-cell output.
+    pub fn apply_total(&self, outer: &PositionHistogram) -> Result<f64> {
+        if outer.grid() != &self.grid {
+            return Err(Error::GridMismatch);
+        }
+        let g = self.grid.g() as usize;
+        Ok(outer
+            .flat()
+            .entries()
+            .iter()
+            .map(|&((i, j), v)| v * self.coeff[i as usize * g + j as usize])
+            .sum())
     }
 
     /// Coefficient for a single cell.
@@ -131,81 +349,6 @@ impl JoinCoefficients {
     pub fn storage_bytes(&self) -> usize {
         self.coeff.iter().filter(|c| **c != 0.0).count() * crate::position_histogram::BYTES_PER_CELL
     }
-}
-
-/// Ancestor-based coefficients via the three passes of Fig. 9.
-/// `b` is the dense descendant histogram.
-fn ancestor_coefficients(b: &[f64], g: usize) -> Vec<f64> {
-    let at = |i: usize, j: usize| b[i * g + j];
-    // Pass 1: column partial sums within a row of the upper triangle:
-    // down[i][j] = sum of b[i][i..j] (exclusive of j).
-    let mut down = vec![0.0; g * g];
-    for i in 0..g {
-        for j in i + 1..g {
-            down[i * g + j] = down[i * g + (j - 1)] + at(i, j - 1);
-        }
-    }
-    // Pass 2 (reverse): right[i][j] = sum of b[(i+1)..=j][j];
-    // descendant[i][j] = sum of down[(i+1)..=j][j] = strictly-interior mass.
-    let mut right = vec![0.0; g * g];
-    let mut interior = vec![0.0; g * g];
-    for j in (0..g).rev() {
-        for i in (0..=j).rev() {
-            if i < j {
-                right[i * g + j] = right[(i + 1) * g + j] + at(i + 1, j);
-                interior[i * g + j] = interior[(i + 1) * g + j] + down[(i + 1) * g + j];
-            }
-        }
-    }
-    // Pass 3: assemble per-cell coefficients.
-    let mut coeff = vec![0.0; g * g];
-    for i in 0..g {
-        for j in i..g {
-            coeff[i * g + j] = if i == j {
-                at(i, i) / 12.0
-            } else {
-                interior[i * g + j] + at(i, j) / 4.0 + down[i * g + j] - at(i, i) / 2.0
-                    + right[i * g + j]
-                    - at(j, j) / 2.0
-            };
-        }
-    }
-    coeff
-}
-
-/// Descendant-based coefficients. `a` is the dense ancestor histogram.
-/// For descendant cell `(i, j)` the ancestors lie in regions F (same
-/// start bucket, later end bucket), H (same end bucket, earlier start
-/// bucket), G (strictly up-left), each with coefficient 1 (Fig. 6), plus
-/// the cell itself (1/4 off-diagonal, 1/12 on-diagonal).
-fn descendant_coefficients(a: &[f64], g: usize) -> Vec<f64> {
-    let at = |i: usize, j: usize| a[i * g + j];
-    // f[i][j] = sum of a[i][(j+1)..g] (row suffix).
-    let mut f = vec![0.0; g * g];
-    for i in 0..g {
-        for j in (i..g - 1).rev() {
-            f[i * g + j] = f[i * g + (j + 1)] + at(i, j + 1);
-        }
-    }
-    // h[i][j] = sum of a[0..i][j] (column prefix).
-    // gsum[i][j] = sum of f[0..i][j] (accumulated row suffixes = region G).
-    let mut h = vec![0.0; g * g];
-    let mut gsum = vec![0.0; g * g];
-    for j in 0..g {
-        for i in 1..=j {
-            h[i * g + j] = h[(i - 1) * g + j] + at(i - 1, j);
-            gsum[i * g + j] = gsum[(i - 1) * g + j] + f[(i - 1) * g + j];
-        }
-    }
-    let mut coeff = vec![0.0; g * g];
-    for i in 0..g {
-        for j in i..g {
-            let self_factor = if i == j { 1.0 / 12.0 } else { 0.25 };
-            coeff[i * g + j] =
-                f[i * g + j] + h[i * g + j] + gsum[i * g + j] + self_factor * at(i, j);
-        }
-    }
-    coeff
 }
 
 /// Direct region-sum implementation of Fig. 6 — O(g⁴), used only to
@@ -353,6 +496,24 @@ mod tests {
     }
 
     #[test]
+    fn workspace_reuse_matches_fresh_runs() {
+        // One workspace across many joins, mixed bases and grid sizes,
+        // must give the same results as fresh allocations every time.
+        let mut ws = JoinWorkspace::new();
+        let mut out = PositionHistogram::empty(Grid::uniform(2, 30).unwrap());
+        for g in [2u16, 8, 5, 13, 3] {
+            let (f, t) = fig1_histograms(g);
+            for basis in [Basis::AncestorBased, Basis::DescendantBased] {
+                ws.ph_join_into(&f, &t, basis, &mut out).unwrap();
+                let fresh = ph_join(&f, &t, basis).unwrap();
+                assert_eq!(out, fresh, "g={g} {basis:?}");
+                let total = ws.ph_join_total(&f, &t, basis).unwrap();
+                assert!((total - fresh.total()).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
     fn single_root_ancestor_counts_all_descendants() {
         // One ancestor spanning everything, many leaf descendants far from
         // the root's cell: every descendant is guaranteed, so the estimate
@@ -395,6 +556,18 @@ mod tests {
         let f2 = f.scaled_by(|_| 3.0);
         let est3 = coeffs.apply(&f2).unwrap();
         assert!((est3.total() - 3.0 * est1.total()).abs() < 1e-9);
+        // apply_total agrees with the materialized sum.
+        assert!((coeffs.apply_total(&f).unwrap() - est1.total()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precompute_in_shares_scratch() {
+        let (f, t) = fig1_histograms(6);
+        let mut ws = JoinWorkspace::new();
+        let a = JoinCoefficients::precompute_in(&mut ws, &t, Basis::AncestorBased);
+        let b = JoinCoefficients::precompute(&t, Basis::AncestorBased);
+        assert_eq!(a.coeff, b.coeff);
+        assert_eq!(a.apply(&f).unwrap(), b.apply(&f).unwrap());
     }
 
     #[test]
@@ -446,6 +619,11 @@ mod tests {
         );
         assert_eq!(
             ph_join_reference(&a, &b, Basis::DescendantBased).unwrap_err(),
+            Error::GridMismatch
+        );
+        let mut ws = JoinWorkspace::new();
+        assert_eq!(
+            ws.ph_join_total(&a, &b, Basis::AncestorBased).unwrap_err(),
             Error::GridMismatch
         );
     }

@@ -7,15 +7,26 @@
 //! histograms (estimates, compound predicates) hold fractional values —
 //! one type serves both roles.
 //!
-//! Storage is sparse. By Theorem 1 only `O(g)` of the `g²` cells can be
-//! non-zero: the containment property forbids cells below the diagonal
-//! outright, and Lemma 1's forbidden regions thin out the rest. The
-//! sparse map keeps both memory and the per-cell byte accounting of the
-//! paper's Fig. 11/12 honest.
+//! Storage is sparse **and flat**. By Theorem 1 only `O(g)` of the `g²`
+//! cells can be non-zero: the containment property forbids cells below
+//! the diagonal outright, and Lemma 1's forbidden regions thin out the
+//! rest. The backing store is a [`FlatHistogram`] — a single `Vec` of
+//! `(cell, value)` entries sorted in row-major `(start-bucket,
+//! end-bucket)` order, plus a CSR-style `row_offsets` table (length
+//! `g + 1`) locating each start-bucket's run of entries. Compared to the
+//! `BTreeMap` it replaced this keeps every hot estimation loop on one
+//! contiguous allocation: point lookups are a binary search within one
+//! row's slice, iteration is a linear scan, `plus` is a sorted merge,
+//! and the pH-join's dense scatter reads straight through the entry
+//! array. The per-cell byte accounting of the paper's Fig. 11/12
+//! ([`BYTES_PER_CELL`]) is unchanged: entries are logically two `u16`
+//! bucket indexes plus a count.
+//!
+//! Explicit zeros are never stored (a `set` to ~0 removes the entry), so
+//! two histograms with equal cell contents compare equal structurally.
 
 use crate::error::{Error, Result};
 use crate::grid::{Cell, Grid};
-use std::collections::BTreeMap;
 use xmlest_xml::Interval;
 
 /// Bytes we charge per non-zero cell when reporting storage: two `u16`
@@ -23,33 +34,203 @@ use xmlest_xml::Interval;
 /// per cell, linear in g" accounting.
 pub const BYTES_PER_CELL: usize = 8;
 
+/// Flat sparse storage for one `g × g` upper-triangular grid of `f64`
+/// cells: row-major sorted entries plus per-row offsets (CSR with the
+/// column index stored inline in the entry).
+///
+/// This is the allocation the whole estimation stack runs on; it is
+/// exposed (rather than private to [`PositionHistogram`]) so property
+/// tests can drive it directly against a map-based reference model.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FlatHistogram {
+    /// `(cell, value)` sorted by cell in row-major order; no zeros.
+    entries: Vec<(Cell, f64)>,
+    /// `row_offsets[i]..row_offsets[i + 1]` indexes row `i`'s entries.
+    /// Length `g + 1`.
+    row_offsets: Vec<u32>,
+}
+
+impl FlatHistogram {
+    /// An empty store for a `g`-row grid.
+    pub fn new(g: u16) -> Self {
+        FlatHistogram {
+            entries: Vec::new(),
+            row_offsets: vec![0; g as usize + 1],
+        }
+    }
+
+    /// Number of rows (`g`).
+    pub fn rows(&self) -> u16 {
+        (self.row_offsets.len() - 1) as u16
+    }
+
+    /// Drops all entries, keeping capacity, and re-sizes to `g` rows.
+    pub fn clear(&mut self, g: u16) {
+        self.entries.clear();
+        self.row_offsets.clear();
+        self.row_offsets.resize(g as usize + 1, 0);
+    }
+
+    /// The entries of row `i` (start bucket `i`), sorted by end bucket.
+    #[inline]
+    pub fn row(&self, i: u16) -> &[(Cell, f64)] {
+        let lo = self.row_offsets[i as usize] as usize;
+        let hi = self.row_offsets[i as usize + 1] as usize;
+        &self.entries[lo..hi]
+    }
+
+    /// All entries in row-major order.
+    #[inline]
+    pub fn entries(&self) -> &[(Cell, f64)] {
+        &self.entries
+    }
+
+    /// Value at `cell` (0 when absent). One binary search over the
+    /// cell's row slice.
+    #[inline]
+    pub fn get(&self, cell: Cell) -> f64 {
+        let row = self.row(cell.0);
+        match row.binary_search_by_key(&cell.1, |&((_, j), _)| j) {
+            Ok(k) => row[k].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Sets `cell` to `value` with a single position lookup, returning
+    /// the previous value. Values indistinguishable from zero remove the
+    /// entry (no explicit zeros are ever stored).
+    pub fn set(&mut self, cell: Cell, value: f64) -> f64 {
+        let lo = self.row_offsets[cell.0 as usize] as usize;
+        let hi = self.row_offsets[cell.0 as usize + 1] as usize;
+        let keep = value.abs() > f64::EPSILON;
+        match self.entries[lo..hi].binary_search_by_key(&cell.1, |&((_, j), _)| j) {
+            Ok(k) => {
+                let old = self.entries[lo + k].1;
+                if keep {
+                    self.entries[lo + k].1 = value;
+                } else {
+                    self.entries.remove(lo + k);
+                    for o in &mut self.row_offsets[cell.0 as usize + 1..] {
+                        *o -= 1;
+                    }
+                }
+                old
+            }
+            Err(k) => {
+                if keep {
+                    self.entries.insert(lo + k, (cell, value));
+                    for o in &mut self.row_offsets[cell.0 as usize + 1..] {
+                        *o += 1;
+                    }
+                }
+                0.0
+            }
+        }
+    }
+
+    /// Adds `delta` to `cell`, returning the previous value.
+    pub fn add(&mut self, cell: Cell, delta: f64) -> f64 {
+        let old = self.get(cell);
+        self.set(cell, old + delta);
+        old
+    }
+
+    /// Appends an entry that sorts after every existing one (builder
+    /// path — no search, no shifting). Panics in debug builds if order
+    /// is violated.
+    pub fn push(&mut self, cell: Cell, value: f64) {
+        debug_assert!(
+            self.entries.last().is_none_or(|&(c, _)| c < cell),
+            "push out of order: {:?} after {:?}",
+            cell,
+            self.entries.last()
+        );
+        if value.abs() > f64::EPSILON {
+            self.entries.push((cell, value));
+            for o in &mut self.row_offsets[cell.0 as usize + 1..] {
+                *o += 1;
+            }
+        }
+    }
+
+    /// Rebuilds `row_offsets` from sorted `entries` in one pass. Used
+    /// after bulk loads that write `entries` directly.
+    fn rebuild_offsets(&mut self) {
+        let g = self.rows() as usize;
+        self.row_offsets.iter_mut().for_each(|o| *o = 0);
+        for &((i, _), _) in &self.entries {
+            self.row_offsets[i as usize + 1] += 1;
+        }
+        for i in 0..g {
+            self.row_offsets[i + 1] += self.row_offsets[i];
+        }
+    }
+
+    /// Bulk-loads from cells that may repeat and arrive unsorted: sorts
+    /// once, then accumulates runs in place. `O(n log n)`, no per-cell
+    /// tree or hash operations. The sort is stable, so values of one
+    /// cell accumulate in input order (bit-identical totals to a
+    /// map-based accumulation).
+    pub fn bulk_load(&mut self, g: u16, cells: &mut [(Cell, f64)]) {
+        cells.sort_by_key(|&(c, _)| c);
+        self.clear(g);
+        self.entries.reserve(cells.len());
+        for &(cell, v) in cells.iter() {
+            match self.entries.last_mut() {
+                Some((last, acc)) if *last == cell => *acc += v,
+                _ => self.entries.push((cell, v)),
+            }
+        }
+        self.entries.retain(|&(_, v)| v.abs() > f64::EPSILON);
+        self.rebuild_offsets();
+    }
+
+    /// Number of stored (non-zero) entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sum of all entries.
+    pub fn total(&self) -> f64 {
+        self.entries.iter().map(|&(_, v)| v).sum()
+    }
+}
+
 /// A sparse 2-D histogram over `(start-bucket, end-bucket)` cells.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PositionHistogram {
     grid: Grid,
-    cells: BTreeMap<Cell, f64>,
+    flat: FlatHistogram,
     total: f64,
 }
 
 impl PositionHistogram {
     /// An empty histogram on `grid`.
     pub fn empty(grid: Grid) -> Self {
+        let g = grid.g();
         PositionHistogram {
             grid,
-            cells: BTreeMap::new(),
+            flat: FlatHistogram::new(g),
             total: 0.0,
         }
     }
 
     /// Builds the histogram for a list of node intervals (the nodes
-    /// matching one predicate).
+    /// matching one predicate). Batched: buckets every interval, sorts
+    /// once, accumulates runs — no per-interval map lookups.
     pub fn from_intervals(grid: Grid, intervals: &[Interval]) -> Self {
-        let mut cells: BTreeMap<Cell, f64> = BTreeMap::new();
-        for iv in intervals {
-            *cells.entry(grid.cell_of(*iv)).or_insert(0.0) += 1.0;
-        }
+        let mut cells: Vec<(Cell, f64)> = intervals
+            .iter()
+            .map(|&iv| (grid.cell_of(iv), 1.0))
+            .collect();
+        let mut flat = FlatHistogram::new(grid.g());
+        flat.bulk_load(grid.g(), &mut cells);
         let total = intervals.len() as f64;
-        PositionHistogram { grid, cells, total }
+        PositionHistogram { grid, flat, total }
     }
 
     /// The grid this histogram is bucketed on.
@@ -57,28 +238,55 @@ impl PositionHistogram {
         &self.grid
     }
 
+    /// The flat backing store (read-only; kernels index rows directly).
+    #[inline]
+    pub fn flat(&self) -> &FlatHistogram {
+        &self.flat
+    }
+
+    /// Resets to an empty histogram on `grid`, keeping the entry
+    /// capacity — the reuse hook for allocation-free estimation loops.
+    pub fn clear_to(&mut self, grid: &Grid) {
+        if &self.grid != grid {
+            self.grid = grid.clone();
+        }
+        self.flat.clear(grid.g());
+        self.total = 0.0;
+    }
+
+    /// Appends a cell that sorts after every cell already present (the
+    /// zero-shift path used by kernels that emit in row-major order).
+    #[inline]
+    pub(crate) fn push_sorted(&mut self, cell: Cell, value: f64) {
+        debug_assert!(cell.0 <= cell.1, "below-diagonal cell {cell:?}");
+        self.flat.push(cell, value);
+        if value.abs() > f64::EPSILON {
+            self.total += value;
+        }
+    }
+
     /// Cell count lookup (zero for absent cells).
     #[inline]
     pub fn get(&self, cell: Cell) -> f64 {
-        self.cells.get(&cell).copied().unwrap_or(0.0)
+        self.flat.get(cell)
     }
 
-    /// Sets a cell value, maintaining the running total. Values very close
-    /// to zero are dropped to keep the map sparse.
+    /// Sets a cell value, maintaining the running total with a single
+    /// store lookup. Values very close to zero are dropped to keep the
+    /// store sparse.
     pub fn set(&mut self, cell: Cell, value: f64) {
         debug_assert!(cell.0 <= cell.1, "below-diagonal cell {cell:?}");
-        let old = self.cells.remove(&cell).unwrap_or(0.0);
+        let old = self.flat.set(cell, value);
         self.total -= old;
         if value.abs() > f64::EPSILON {
-            self.cells.insert(cell, value);
             self.total += value;
         }
     }
 
     /// Adds to a cell value.
     pub fn add(&mut self, cell: Cell, delta: f64) {
-        let v = self.get(cell);
-        self.set(cell, v + delta);
+        let old = self.get(cell);
+        self.set(cell, old + delta);
     }
 
     /// Sum over all cells.
@@ -88,48 +296,77 @@ impl PositionHistogram {
 
     /// Number of non-zero cells (the quantity bounded by Theorem 1).
     pub fn non_zero_cells(&self) -> usize {
-        self.cells.len()
+        self.flat.len()
     }
 
     /// Sparse storage footprint in bytes, as plotted in Fig. 11/12.
     pub fn storage_bytes(&self) -> usize {
-        self.cells.len() * BYTES_PER_CELL
+        self.flat.len() * BYTES_PER_CELL
     }
 
     /// Iterates non-zero cells in `(start-bucket, end-bucket)` order.
     pub fn iter(&self) -> impl Iterator<Item = (Cell, f64)> + '_ {
-        self.cells.iter().map(|(&c, &v)| (c, v))
+        self.flat.entries().iter().copied()
     }
 
     /// Dense `g × g` matrix (row = start bucket, column = end bucket);
-    /// used by the three-pass pH-join which needs O(1) random access.
+    /// used where the pH-join needs O(1) random access.
     pub fn to_dense(&self) -> Vec<f64> {
-        let g = self.grid.g() as usize;
-        let mut m = vec![0.0; g * g];
-        for (&(i, j), &v) in &self.cells {
-            m[i as usize * g + j as usize] = v;
-        }
+        let mut m = Vec::new();
+        self.write_dense(&mut m);
         m
+    }
+
+    /// [`Self::to_dense`] into a caller-owned buffer (resized and
+    /// zeroed here) — the allocation-free path for join workspaces.
+    pub fn write_dense(&self, buf: &mut Vec<f64>) {
+        let g = self.grid.g() as usize;
+        buf.clear();
+        buf.resize(g * g, 0.0);
+        for &((i, j), v) in self.flat.entries() {
+            buf[i as usize * g + j as usize] = v;
+        }
     }
 
     /// Elementwise product with a per-cell factor map (used to weight a
     /// participation histogram by its join factors).
     pub fn scaled_by(&self, factor: impl Fn(Cell) -> f64) -> PositionHistogram {
         let mut out = PositionHistogram::empty(self.grid.clone());
-        for (cell, v) in self.iter() {
-            out.set(cell, v * factor(cell));
-        }
+        self.scaled_by_into(factor, &mut out);
         out
     }
 
-    /// Elementwise sum; grids must match.
+    /// [`Self::scaled_by`] into a reused output histogram.
+    pub fn scaled_by_into(&self, factor: impl Fn(Cell) -> f64, out: &mut PositionHistogram) {
+        out.clear_to(&self.grid);
+        for &(cell, v) in self.flat.entries() {
+            out.push_sorted(cell, v * factor(cell));
+        }
+    }
+
+    /// Elementwise sum; grids must match. Single sorted merge — `O(n +
+    /// m)` rather than per-cell lookups.
     pub fn plus(&self, other: &PositionHistogram) -> Result<PositionHistogram> {
         if self.grid != other.grid {
             return Err(Error::GridMismatch);
         }
-        let mut out = self.clone();
-        for (cell, v) in other.iter() {
-            out.add(cell, v);
+        let mut out = PositionHistogram::empty(self.grid.clone());
+        let (a, b) = (self.flat.entries(), other.flat.entries());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() || j < b.len() {
+            let take_a = j >= b.len() || (i < a.len() && a[i].0 <= b[j].0);
+            let take_b = i >= a.len() || (j < b.len() && b[j].0 <= a[i].0);
+            if take_a && take_b {
+                out.push_sorted(a[i].0, a[i].1 + b[j].1);
+                i += 1;
+                j += 1;
+            } else if take_a {
+                out.push_sorted(a[i].0, a[i].1);
+                i += 1;
+            } else {
+                out.push_sorted(b[j].0, b[j].1);
+                j += 1;
+            }
         }
         Ok(out)
     }
@@ -142,9 +379,9 @@ impl PositionHistogram {
     /// when consistent. Data-built histograms always satisfy this; the
     /// check exists for tests and hand-constructed histograms.
     pub fn satisfies_lemma1(&self) -> bool {
-        let cells: Vec<Cell> = self.cells.keys().copied().collect();
-        for &(i, j) in &cells {
-            for &(k, l) in &cells {
+        let cells = self.flat.entries();
+        for &((i, j), _) in cells {
+            for &((k, l), _) in cells {
                 if i < k && k < j && l > j {
                     return false;
                 }
@@ -159,7 +396,7 @@ impl PositionHistogram {
     /// Verifies no cell lies below the diagonal (start bucket > end
     /// bucket). Construction guarantees this; exposed for property tests.
     pub fn upper_triangular(&self) -> bool {
-        self.cells.keys().all(|&(i, j)| i <= j)
+        self.flat.entries().iter().all(|&((i, j), _)| i <= j)
     }
 }
 
@@ -248,6 +485,25 @@ mod tests {
     }
 
     #[test]
+    fn plus_merges_disjoint_and_shared_cells() {
+        let grid = Grid::uniform(4, 39).unwrap();
+        let mut a = PositionHistogram::empty(grid.clone());
+        a.set((0, 0), 1.0);
+        a.set((1, 2), 2.0);
+        let mut b = PositionHistogram::empty(grid);
+        b.set((0, 3), 4.0);
+        b.set((1, 2), 8.0);
+        b.set((3, 3), 16.0);
+        let sum = a.plus(&b).unwrap();
+        assert_eq!(sum.get((0, 0)), 1.0);
+        assert_eq!(sum.get((0, 3)), 4.0);
+        assert_eq!(sum.get((1, 2)), 10.0);
+        assert_eq!(sum.get((3, 3)), 16.0);
+        assert_eq!(sum.total(), 31.0);
+        assert_eq!(sum.non_zero_cells(), 4);
+    }
+
+    #[test]
     fn lemma1_holds_for_tree_data() {
         // Build from a real nesting structure.
         let grid = Grid::uniform(5, 30).unwrap();
@@ -277,5 +533,38 @@ mod tests {
         let h = PositionHistogram::from_intervals(grid, &[iv(0, 99), iv(10, 12), iv(80, 80)]);
         assert_eq!(h.total(), 3.0);
         assert!(h.upper_triangular());
+    }
+
+    #[test]
+    fn flat_rows_partition_entries() {
+        let grid = Grid::uniform(4, 39).unwrap();
+        let h = PositionHistogram::from_intervals(
+            grid,
+            &[iv(0, 39), iv(0, 5), iv(12, 14), iv(13, 13), iv(30, 31)],
+        );
+        let flat = h.flat();
+        let by_rows: Vec<_> = (0..4u16).flat_map(|i| flat.row(i).to_vec()).collect();
+        assert_eq!(by_rows, flat.entries().to_vec());
+        for i in 0..4u16 {
+            assert!(flat.row(i).iter().all(|&((r, _), _)| r == i));
+        }
+    }
+
+    #[test]
+    fn clear_to_reuses_capacity() {
+        let grid = Grid::uniform(8, 79).unwrap();
+        let mut h = PositionHistogram::from_intervals(
+            grid.clone(),
+            &(0..40).map(|p| iv(p, p)).collect::<Vec<_>>(),
+        );
+        assert!(h.non_zero_cells() > 0);
+        h.clear_to(&grid);
+        assert_eq!(h.total(), 0.0);
+        assert_eq!(h.non_zero_cells(), 0);
+        h.push_sorted((1, 2), 3.0);
+        h.push_sorted((1, 3), 1.0);
+        h.push_sorted((2, 2), 2.0);
+        assert_eq!(h.total(), 6.0);
+        assert_eq!(h.get((1, 3)), 1.0);
     }
 }

@@ -69,6 +69,7 @@ pub fn from_bytes(data: &[u8]) -> Result<Summaries> {
         preds,
         dtd: None,
         tree_nodes,
+        build_id: crate::estimator::next_build_id(),
     })
 }
 

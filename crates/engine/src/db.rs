@@ -2,7 +2,7 @@
 
 use crate::error::{Error, Result};
 use std::collections::BTreeMap;
-use xmlest_core::{Estimator, Summaries, SummaryConfig};
+use xmlest_core::{CoeffCache, Estimator, Summaries, SummaryConfig};
 use xmlest_predicate::{Catalog, PredExpr};
 use xmlest_query::structural::Item;
 use xmlest_query::{count_matches, parse_path};
@@ -50,6 +50,11 @@ pub struct Database {
     catalog: Catalog,
     summaries: Summaries,
     index: ElementIndex,
+    /// Memoized pH-join coefficient tables over `summaries`. Summaries
+    /// are immutable for the life of the database, so entries never
+    /// invalidate; every estimator handed out by [`Database::estimator`]
+    /// shares this cache.
+    coeff_cache: CoeffCache,
 }
 
 impl Database {
@@ -62,6 +67,7 @@ impl Database {
             catalog,
             summaries,
             index,
+            coeff_cache: CoeffCache::new(),
         })
     }
 
@@ -104,7 +110,12 @@ impl Database {
     }
 
     pub fn estimator(&self) -> Estimator<'_> {
-        self.summaries.estimator()
+        self.summaries.estimator().with_cache(&self.coeff_cache)
+    }
+
+    /// The shared coefficient cache (introspection / tests).
+    pub fn coeff_cache(&self) -> &CoeffCache {
+        &self.coeff_cache
     }
 
     pub fn index(&self) -> &ElementIndex {
@@ -201,6 +212,40 @@ mod tests {
             .unwrap();
         assert_eq!(any.len(), d.tree().len());
         assert!(d.candidates(&PredExpr::named("ghost")).is_err());
+    }
+
+    #[test]
+    fn coeff_cache_fills_and_estimates_stay_stable() {
+        // `sec` nests inside itself, so it overlaps and its joins take
+        // the primitive (coefficient-table) path; the leaf descendants
+        // `p` then get their tables cached.
+        let d = Database::load_str(
+            "<doc>\
+               <sec><title/><sec><p/><p/></sec><p/></sec>\
+               <sec><p/></sec>\
+             </doc>",
+            &SummaryConfig::paper_defaults().with_grid_size(6),
+        )
+        .unwrap();
+        assert!(d.coeff_cache().is_empty());
+        let first = d.estimate("//sec//p").unwrap().value;
+        assert!(
+            !d.coeff_cache().is_empty(),
+            "primitive twig join did not populate the coefficient cache"
+        );
+        let filled = d.coeff_cache().len();
+        // Re-estimating hits the cache and must not drift.
+        for _ in 0..3 {
+            assert_eq!(d.estimate("//sec//p").unwrap().value, first);
+        }
+        assert_eq!(d.coeff_cache().len(), filled, "re-estimation re-filled");
+        // The cached answer matches the cache-free estimator.
+        let plain = d
+            .summaries()
+            .estimator()
+            .estimate_twig(&xmlest_query::parse_path("//sec//p").unwrap())
+            .unwrap();
+        assert!((plain.value - first).abs() < 1e-9);
     }
 
     #[test]

@@ -1,11 +1,10 @@
 //! Base (primitive) predicates over tree nodes.
 
-use serde::{Deserialize, Serialize};
 use xmlest_xml::{NodeId, NodeKind, XmlTree};
 
 /// A primitive node predicate. Each variant is cheap to evaluate per node;
 /// bulk evaluation over a tree is provided by [`BasePredicate::matches`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum BasePredicate {
     /// `elementtag = name` — element nodes with the given tag.
     Tag(String),

@@ -5,19 +5,18 @@
 //! per catalog entry; queries reference entries by name.
 
 use crate::base::BasePredicate;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use xmlest_xml::{Interval, NodeId, XmlTree};
 
 /// One named predicate.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PredicateEntry {
     pub name: String,
     pub predicate: BasePredicate,
 }
 
 /// A named set of base predicates, in deterministic (name-sorted) order.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Catalog {
     entries: BTreeMap<String, PredicateEntry>,
 }

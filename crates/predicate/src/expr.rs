@@ -8,11 +8,10 @@
 
 use crate::base::BasePredicate;
 use crate::catalog::Catalog;
-use serde::{Deserialize, Serialize};
 use xmlest_xml::{NodeId, XmlTree};
 
 /// A predicate expression tree over named catalog entries.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum PredExpr {
     /// Reference to a named predicate in the catalog.
     Named(String),

@@ -1,0 +1,155 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the slice-side subset the workspace uses — `par_iter()`
+//! followed by `map(...).collect()`, plus [`join`] — on std scoped
+//! threads. Items are split into one contiguous chunk per available
+//! core; results are returned in input order, so a `collect` is
+//! deterministic and order-stable exactly like upstream rayon's
+//! `IndexedParallelIterator` collect.
+
+use std::num::NonZeroUsize;
+
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelIterator};
+}
+
+fn worker_count(items: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    cores.min(items).max(1)
+}
+
+/// Runs both closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon-shim join worker panicked"))
+    })
+}
+
+/// `.par_iter()` entry point for slice-like containers.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Sync + 'a;
+    fn par_iter(&'a self) -> ParSlice<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { items: self }
+    }
+}
+
+/// Borrowed parallel iterator over a slice.
+pub struct ParSlice<'a, T> {
+    items: &'a [T],
+}
+
+/// The subset of rayon's `ParallelIterator` the workspace needs.
+pub trait ParallelIterator: Sized {
+    type Item;
+
+    /// Evaluates the pipeline, returning per-item results in input order.
+    fn run(self) -> Vec<Self::Item>;
+
+    fn map<F, R>(self, f: F) -> ParMap<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync + Send,
+        R: Send,
+    {
+        ParMap { inner: self, f }
+    }
+
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+}
+
+impl<'a, T: Sync> ParallelIterator for ParSlice<'a, T> {
+    type Item = &'a T;
+
+    fn run(self) -> Vec<&'a T> {
+        self.items.iter().collect()
+    }
+}
+
+/// A mapped parallel pipeline; the map stage is where the fan-out runs.
+pub struct ParMap<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<'a, T, F, R> ParallelIterator for ParMap<ParSlice<'a, T>, F>
+where
+    T: Sync,
+    F: Fn(&'a T) -> R + Sync + Send,
+    R: Send,
+{
+    type Item = R;
+
+    fn run(self) -> Vec<R> {
+        let items = self.inner.items;
+        let workers = worker_count(items.len());
+        if workers <= 1 {
+            return items.iter().map(self.f).collect();
+        }
+        let chunk = items.len().div_ceil(workers);
+        let f = &self.f;
+        let mut out: Vec<Vec<R>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = items
+                .chunks(chunk)
+                .map(|batch| scope.spawn(move || batch.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon-shim map worker panicked"))
+                .collect()
+        });
+        let mut flat = Vec::with_capacity(items.len());
+        for part in out.drain(..) {
+            flat.extend(part);
+        }
+        flat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".repeat(3));
+        assert_eq!(a, 2);
+        assert_eq!(b, "xxx");
+    }
+
+    #[test]
+    fn empty_input_ok() {
+        let xs: Vec<u32> = Vec::new();
+        let out: Vec<u32> = xs.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}

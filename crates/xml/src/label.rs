@@ -10,10 +10,8 @@
 //! (the *containment* property that Lemma 1 of the paper rests on), and the
 //! ancestor test is a pair of integer comparisons.
 
-use serde::{Deserialize, Serialize};
-
 /// A `(start, end)` position label.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Interval {
     pub start: u32,
     pub end: u32,

@@ -6,11 +6,10 @@
 //! strings. Predicates such as `elementtag = faculty` compare `TagId`s,
 //! which is a single integer comparison.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Compact identifier for an interned element tag.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TagId(pub u32);
 
 impl TagId {
@@ -26,10 +25,9 @@ impl TagId {
 /// Insertion order is stable: the first distinct tag interned gets id 0,
 /// the second id 1, and so on. This makes generated data deterministic
 /// across runs given a fixed generation order.
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone)]
 pub struct TagInterner {
     names: Vec<String>,
-    #[serde(skip)]
     lookup: HashMap<String, TagId>,
 }
 

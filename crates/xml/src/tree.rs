@@ -11,14 +11,13 @@
 use crate::error::{Error, Result};
 use crate::label::Interval;
 use crate::tag::{TagId, TagInterner};
-use serde::{Deserialize, Serialize};
 
 /// Sentinel for "no node".
 const NIL: u32 = u32::MAX;
 
 /// Identifier of a node; equals the node's pre-order (document) position,
 /// and therefore also its *start* label.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -37,7 +36,7 @@ pub enum NodeKind {
     Text,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct NodeRaw {
     parent: u32,
     next_sibling: u32,
@@ -55,7 +54,7 @@ struct NodeRaw {
 /// An attribute attached to an element node. Attributes do not receive
 /// interval labels (the paper's predicates are over elements and text), but
 /// they are preserved for round-tripping and future predicate kinds.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Attr {
     pub node: NodeId,
     pub name: String,
@@ -63,7 +62,7 @@ pub struct Attr {
 }
 
 /// An immutable node-labeled tree with document-order storage.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct XmlTree {
     nodes: Vec<NodeRaw>,
     texts: Vec<String>,

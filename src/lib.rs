@@ -40,10 +40,28 @@
 //! |---|---|---|
 //! | [`xml`] | `xmlest-xml` | arena tree, parser, DTD, interval labels |
 //! | [`predicate`] | `xmlest-predicate` | base predicates, expressions, catalogs |
-//! | [`core`] | `xmlest-core` | position/coverage histograms, pH-join, estimator |
+//! | [`core`] | `xmlest-core` | flat (CSR) position/coverage histograms, zero-allocation pH-join kernels, estimator, coefficient cache |
 //! | [`query`] | `xmlest-query` | path parser, exact matcher, structural joins |
 //! | [`datagen`] | `xmlest-datagen` | DBLP/dept/XMark/Shakespeare generators |
-//! | [`engine`] | `xmlest-engine` | indexes, plans, cost-based optimizer |
+//! | [`engine`] | `xmlest-engine` | indexes, plans, cost-based optimizer, per-database `CoeffCache` |
+//!
+//! Benchmark workloads live in `xmlest-bench` (not re-exported), and
+//! `crates/shims/` holds offline stand-ins for `rand`, `rayon`,
+//! `criterion` and `proptest` — the build environment has no crates.io
+//! access, so those names resolve to small in-repo implementations
+//! wired up through `[workspace.dependencies]`.
+//!
+//! ## Performance substrate
+//!
+//! The estimation hot path is allocation-disciplined end to end:
+//! histograms store their sparse cells in one flat sorted `Vec` with
+//! CSR row offsets ([`core::FlatHistogram`]), the pH-join runs on
+//! reusable dense scratch ([`core::JoinWorkspace`]; zero heap
+//! allocations in steady state, enforced by test), summary construction
+//! classifies every tree node against the whole catalog in a single
+//! traversal and fans per-predicate builds out with `rayon`, and the
+//! engine memoizes per-predicate join-coefficient tables
+//! ([`core::CoeffCache`]) so repeated estimates cost O(g) per join.
 
 pub use xmlest_core as core;
 pub use xmlest_datagen as datagen;

@@ -285,3 +285,169 @@ proptest! {
         }
     }
 }
+
+// ---- flat-storage engine: model-based and cross-validation props ----
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The flat CSR store must behave exactly like a map under arbitrary
+    /// interleavings of set/add/delete, including the epsilon-drop rule.
+    #[test]
+    fn flat_histogram_matches_map_model(
+        g in 2u16..12,
+        ops in prop::collection::vec((0u8..4, 0u16..12, 0u16..12, 0u32..64), 0..60),
+    ) {
+        use std::collections::BTreeMap;
+        let grid = Grid::uniform(g, 119).unwrap();
+        let g = grid.g(); // may be capped
+        let mut h = PositionHistogram::empty(grid);
+        let mut model: BTreeMap<(u16, u16), f64> = BTreeMap::new();
+        for (sel, i, j, raw) in ops {
+            let (i, j) = (i % g, j % g);
+            let cell = if i <= j { (i, j) } else { (j, i) };
+            let v = raw as f64 * 0.25;
+            match sel {
+                0 => {
+                    h.set(cell, v);
+                    if v.abs() > f64::EPSILON {
+                        model.insert(cell, v);
+                    } else {
+                        model.remove(&cell);
+                    }
+                }
+                1 => {
+                    h.add(cell, v);
+                    let nv = model.get(&cell).copied().unwrap_or(0.0) + v;
+                    if nv.abs() > f64::EPSILON {
+                        model.insert(cell, nv);
+                    } else {
+                        model.remove(&cell);
+                    }
+                }
+                2 => {
+                    h.set(cell, 0.0);
+                    model.remove(&cell);
+                }
+                _ => {
+                    h.add(cell, -v);
+                    let nv = model.get(&cell).copied().unwrap_or(0.0) - v;
+                    if nv.abs() > f64::EPSILON {
+                        model.insert(cell, nv);
+                    } else {
+                        model.remove(&cell);
+                    }
+                }
+            }
+        }
+        // Point lookups agree on every cell of the grid.
+        for i in 0..g {
+            for j in i..g {
+                let want = model.get(&(i, j)).copied().unwrap_or(0.0);
+                prop_assert!(
+                    (h.get((i, j)) - want).abs() < 1e-12,
+                    "cell ({i},{j}): {} vs {}", h.get((i, j)), want
+                );
+            }
+        }
+        // Aggregates and iteration order agree.
+        prop_assert_eq!(h.non_zero_cells(), model.len());
+        let want_total: f64 = model.values().sum();
+        prop_assert!((h.total() - want_total).abs() < 1e-9);
+        let entries: Vec<_> = h.iter().collect();
+        let model_entries: Vec<_> = model.iter().map(|(&c, &v)| (c, v)).collect();
+        prop_assert_eq!(entries, model_entries);
+        // CSR row slices partition the entries.
+        let by_rows: Vec<_> = (0..g).flat_map(|i| h.flat().row(i).to_vec()).collect();
+        prop_assert_eq!(by_rows.len(), h.non_zero_cells());
+    }
+
+    /// Merge-based `plus` equals the model's cell-wise sum.
+    #[test]
+    fn flat_plus_matches_model(
+        g in 2u16..10,
+        a_cells in prop::collection::vec((0u16..10, 0u16..10, 1u32..64), 0..25),
+        b_cells in prop::collection::vec((0u16..10, 0u16..10, 1u32..64), 0..25),
+    ) {
+        use std::collections::BTreeMap;
+        let grid = Grid::uniform(g, 99).unwrap();
+        let g = grid.g();
+        let mut model: BTreeMap<(u16, u16), f64> = BTreeMap::new();
+        let mut load = |cells: &[(u16, u16, u32)]| {
+            let mut h = PositionHistogram::empty(grid.clone());
+            for &(i, j, raw) in cells {
+                let (i, j) = (i % g, j % g);
+                let cell = if i <= j { (i, j) } else { (j, i) };
+                let v = raw as f64 * 0.5;
+                h.add(cell, v);
+                *model.entry(cell).or_insert(0.0) += v;
+            }
+            h
+        };
+        let a = load(&a_cells);
+        let b = load(&b_cells);
+        let sum = a.plus(&b).unwrap();
+        for (&cell, &want) in &model {
+            prop_assert!((sum.get(cell) - want).abs() < 1e-9, "cell {cell:?}");
+        }
+        prop_assert!((sum.total() - model.values().sum::<f64>()).abs() < 1e-9);
+    }
+
+    /// The lazy-pass workspace kernel agrees with the O(g⁴) region-sum
+    /// reference cell for cell on histograms from random trees (which
+    /// are Lemma-1-consistent by construction).
+    #[test]
+    fn ph_join_cells_match_reference(tree in arb_tree(150), g in 2u16..16) {
+        let grid = Grid::uniform(g, tree.max_pos()).unwrap();
+        let a = PositionHistogram::from_intervals(grid.clone(), &tag_intervals(&tree, "t1"));
+        let b = PositionHistogram::from_intervals(grid, &tag_intervals(&tree, "t2"));
+        let mut ws = xmlest::core::JoinWorkspace::new();
+        let mut out = PositionHistogram::empty(a.grid().clone());
+        for basis in [Basis::AncestorBased, Basis::DescendantBased] {
+            ws.ph_join_into(&a, &b, basis, &mut out).unwrap();
+            let reference = xmlest::core::ph_join::ph_join_reference(&a, &b, basis).unwrap();
+            prop_assert_eq!(out.non_zero_cells(), reference.non_zero_cells());
+            for ((c1, v1), (c2, v2)) in out.iter().zip(reference.iter()) {
+                prop_assert_eq!(c1, c2);
+                prop_assert!((v1 - v2).abs() < 1e-9, "{basis:?} cell {c1:?}: {v1} vs {v2}");
+            }
+            // The total-only kernel agrees with the materialized sum.
+            let total = ws.ph_join_total(&a, &b, basis).unwrap();
+            prop_assert!((total - reference.total()).abs() < 1e-9);
+        }
+    }
+
+    /// Cached coefficient tables produce the same pair estimates as the
+    /// uncached estimator.
+    #[test]
+    fn coeff_cache_is_transparent(tree in arb_tree(120), g in 2u16..16) {
+        let mut catalog = Catalog::new();
+        catalog.define_all_tags(&tree);
+        let summaries = Summaries::build(
+            &tree,
+            &catalog,
+            &SummaryConfig::paper_defaults().with_grid_size(g),
+        ).unwrap();
+        let cache = xmlest::core::CoeffCache::new();
+        let plain = summaries.estimator();
+        let cached = summaries.estimator().with_cache(&cache);
+        for (anc, desc) in [("t0", "t1"), ("t1", "t2"), ("t2", "t1")] {
+            if summaries.get(anc).is_none() || summaries.get(desc).is_none() {
+                continue;
+            }
+            for basis in [Basis::AncestorBased, Basis::DescendantBased] {
+                let a = plain.estimate_pair(anc, desc, EstimateMethod::Primitive(basis)).unwrap();
+                // Twice: the second hit reads the populated cache.
+                for _ in 0..2 {
+                    let b = cached
+                        .estimate_pair(anc, desc, EstimateMethod::Primitive(basis))
+                        .unwrap();
+                    prop_assert!(
+                        (a.value - b.value).abs() < 1e-9,
+                        "{anc}//{desc} {basis:?}: {} vs {}", a.value, b.value
+                    );
+                }
+            }
+        }
+    }
+}
