@@ -18,15 +18,33 @@
 //! * only *border* pairs (`i == m || j == n`) can have partial values and
 //!   are stored explicitly.
 //!
-//! Storage is flat: the covering-cell set, the partial-fraction table and
-//! the propagation scales are sorted `Vec`s probed by binary search —
-//! the same cache-friendly discipline as the flat position histograms
-//! (estimation loops over coverage do no tree walking).
+//! Storage is flat **and CSR-indexed**: the covering-cell set, the
+//! partial-fraction table and the propagation scales are sorted `Vec`s.
+//! The partial table is sorted by `(covered, covering)` and carries two
+//! derived indexes rebuilt on construction and load:
+//!
+//! * `covered_rows` — row offsets (length `g + 1`, like
+//!   [`crate::FlatHistogram`]'s) locating the run of entries whose
+//!   covered cell starts in bucket `i`, so point lookups search one row
+//!   and the descendant-based merge kernel walks covered cells in
+//!   lockstep with a position histogram's row-major entries;
+//! * `covering_order` — a permutation of entry indexes sorted by
+//!   `(covering, covered)`, giving the ancestor-based merge kernel the
+//!   same lockstep walk grouped by covering cell.
+//!
+//! Both merge kernels in [`crate::no_overlap`] consume these orders with
+//! monotone cursors — no per-pair binary searches on the estimation hot
+//! path.
 //!
 //! The estimation formulas of Fig. 10 rescale coverage as patterns grow
 //! (participation shrinks the set of covering nodes); the rescaling is a
 //! per-covering-cell multiplier, kept separately so the border storage
-//! stays `O(g)` after propagation.
+//! stays `O(g)` after propagation. During twig evaluation the kernels
+//! never clone this structure: propagation accumulates in a small
+//! *overlay* of `(cell, factor)` scales owned by the estimation arena
+//! ([`crate::no_overlap::TwigWorkspace`]), composed on top of the
+//! multipliers stored here; [`CoverageHistogram::with_overlay`]
+//! materializes the composition only when an owned result is requested.
 
 use crate::grid::{Cell, Grid};
 use std::collections::{BTreeMap, BTreeSet};
@@ -45,10 +63,40 @@ pub struct CoverageHistogram {
     /// Explicit fractions for border pairs, sorted by `(covered,
     /// covering)` key.
     partial: Vec<((Cell, Cell), f64)>,
+    /// CSR offsets into `partial` by covered start bucket (length
+    /// `g + 1`): `covered_rows[i]..covered_rows[i + 1]` indexes the
+    /// entries whose covered cell is `(i, _)`.
+    covered_rows: Vec<u32>,
+    /// Permutation of `partial` indexes sorted by `(covering, covered)`
+    /// — the iteration order of the ancestor-based merge kernel.
+    covering_order: Vec<u32>,
     /// Per-covering-cell multiplier applied on lookup (participation
     /// propagation, Fig. 10 "Coverage Estimation"), sorted by cell.
     /// Empty = all 1.
     covering_scale: Vec<(Cell, f64)>,
+}
+
+/// Builds the two derived orders over a `(covered, covering)`-sorted
+/// partial table: CSR row offsets by covered start bucket and the
+/// covering-major permutation.
+fn partial_indexes(partial: &[((Cell, Cell), f64)], g: u16) -> (Vec<u32>, Vec<u32>) {
+    debug_assert!(
+        partial.windows(2).all(|w| w[0].0 < w[1].0),
+        "partial sorted"
+    );
+    let mut covered_rows = vec![0u32; g as usize + 1];
+    for &(((i, _), _), _) in partial {
+        covered_rows[i as usize + 1] += 1;
+    }
+    for i in 0..g as usize {
+        covered_rows[i + 1] += covered_rows[i];
+    }
+    let mut covering_order: Vec<u32> = (0..partial.len() as u32).collect();
+    covering_order.sort_unstable_by_key(|&k| {
+        let ((covered, covering), _) = partial[k as usize];
+        (covering, covered)
+    });
+    (covered_rows, covering_order)
 }
 
 impl CoverageHistogram {
@@ -112,10 +160,13 @@ impl CoverageHistogram {
             }
         }
 
+        let (covered_rows, covering_order) = partial_indexes(&partial, grid.g());
         CoverageHistogram {
             grid,
             covering_cells,
             partial,
+            covered_rows,
+            covering_order,
             covering_scale: Vec::new(),
         }
     }
@@ -126,13 +177,17 @@ impl CoverageHistogram {
     }
 
     /// Coverage fraction of cell `covered` by predicate nodes in cell
-    /// `covering`, including any propagation scaling.
+    /// `covering`, including any propagation scaling. Point lookups
+    /// search only the covered cell's CSR row; the estimation kernels
+    /// avoid even that by walking the rows with merge cursors.
     pub fn coverage(&self, covered: Cell, covering: Cell) -> f64 {
-        let base = if let Ok(k) = self
-            .partial
-            .binary_search_by_key(&(covered, covering), |&(key, _)| key)
-        {
-            self.partial[k].1
+        if covered.0 >= self.grid.g() {
+            return 0.0;
+        }
+        let row = &self.partial[self.covered_rows[covered.0 as usize] as usize
+            ..self.covered_rows[covered.0 as usize + 1] as usize];
+        let base = if let Ok(k) = row.binary_search_by_key(&(covered, covering), |&(key, _)| key) {
+            row[k].1
         } else if covering.0 < covered.0
             && covered.1 < covering.1
             && self.covering_cells.binary_search(&covering).is_ok()
@@ -203,7 +258,45 @@ impl CoverageHistogram {
         self.covering_scale.iter().copied()
     }
 
-    /// Reconstructs from persisted parts.
+    /// Partial entries sorted by `(covered, covering)` — the
+    /// descendant-based merge order.
+    pub(crate) fn partial_slice(&self) -> &[((Cell, Cell), f64)] {
+        &self.partial
+    }
+
+    /// Permutation of partial-entry indexes in `(covering, covered)`
+    /// order — the ancestor-based merge order.
+    pub(crate) fn covering_order(&self) -> &[u32] {
+        &self.covering_order
+    }
+
+    /// Sorted covering cells as a slice (merge-cursor input).
+    pub(crate) fn covering_cells_slice(&self) -> &[Cell] {
+        &self.covering_cells
+    }
+
+    /// Sorted propagation scales as a slice (merge-cursor input).
+    pub(crate) fn scales_slice(&self) -> &[(Cell, f64)] {
+        &self.covering_scale
+    }
+
+    /// An owned copy with an overlay of per-covering-cell factors
+    /// multiplied into the stored scales — how the estimation arena's
+    /// borrowed propagation state materializes into a standalone
+    /// histogram (e.g. for an owned [`crate::no_overlap::NodeStats`]).
+    pub fn with_overlay(&self, overlay: &[(Cell, f64)]) -> CoverageHistogram {
+        let mut out = self.clone();
+        for &(cell, factor) in overlay {
+            out.scale_covering(cell, factor);
+        }
+        out
+    }
+
+    /// Reconstructs from persisted parts. Partial entries must describe
+    /// border pairs only (`covered.0 == covering.0 || covered.1 ==
+    /// covering.1`), the invariant [`Self::build`] guarantees — the
+    /// merge kernels account interior pairs geometrically and would
+    /// double-count an interior entry stored explicitly.
     pub(crate) fn from_parts(
         grid: Grid,
         covering_cells: BTreeSet<Cell>,
@@ -211,11 +304,16 @@ impl CoverageHistogram {
         covering_scale: BTreeMap<Cell, f64>,
     ) -> Self {
         // The ordered collections arrive sorted; collecting keeps the
-        // binary-search invariants.
+        // binary-search invariants. The derived merge orders are rebuilt
+        // rather than persisted.
+        let partial: Vec<((Cell, Cell), f64)> = partial.into_iter().collect();
+        let (covered_rows, covering_order) = partial_indexes(&partial, grid.g());
         CoverageHistogram {
             grid,
             covering_cells: covering_cells.into_iter().collect(),
-            partial: partial.into_iter().collect(),
+            partial,
+            covered_rows,
+            covering_order,
             covering_scale: covering_scale.into_iter().collect(),
         }
     }

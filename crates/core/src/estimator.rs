@@ -21,7 +21,9 @@ use crate::coverage::CoverageHistogram;
 use crate::error::{Error, Result};
 use crate::grid::Grid;
 use crate::naive;
-use crate::no_overlap::{ancestor_join_with, descendant_join, NodeStats, TwigWorkspace};
+use crate::no_overlap::{
+    ancestor_join_into, descendant_join_into, NodeStats, StatsSlot, StatsView, TwigWorkspace,
+};
 use crate::parent_child::{parent_child_correction, LevelHistogram};
 use crate::ph_join::{Basis, JoinCoefficients};
 use crate::position_histogram::PositionHistogram;
@@ -145,7 +147,6 @@ impl Summaries {
     /// Results are deterministic: per-predicate node lists come out in
     /// document order exactly as the per-predicate scans produced them.
     pub fn build(tree: &XmlTree, catalog: &Catalog, config: &SummaryConfig) -> Result<Summaries> {
-        let grid = Self::make_grid(tree, catalog, config)?;
         let entries = Self::entry_list(catalog);
 
         // Classification plan: tag predicates keyed by interned tag id,
@@ -166,7 +167,9 @@ impl Summaries {
             }
         }
 
-        // The single pass.
+        // The single pass. Runs before grid construction so the
+        // equi-depth grid can reuse the per-predicate match lists
+        // instead of re-traversing the tree once per catalog entry.
         let mut all_intervals: Vec<xmlest_xml::Interval> = Vec::with_capacity(tree.len());
         let mut matches: Vec<Vec<NodeId>> = vec![Vec::new(); entries.len()];
         for node in tree.iter() {
@@ -182,6 +185,7 @@ impl Summaries {
                 }
             }
         }
+        let grid = Self::make_grid(tree, &matches, config)?;
         let true_hist = PositionHistogram::from_intervals(grid.clone(), &all_intervals);
 
         // Fan the independent per-predicate builds out across cores.
@@ -217,16 +221,23 @@ impl Summaries {
         Self::build(tree, catalog, config)
     }
 
-    /// Catalog entries plus the built-in structural predicates
-    /// (`#element`, `#text`, `#true`), which keep `*` and text-wildcard
-    /// query nodes estimable even from a tags-only catalog. The `#`
-    /// prefix cannot clash with parsed query names.
+    /// Built-in structural predicates prepended by [`Self::entry_list`];
+    /// they keep `*` and text-wildcard query nodes estimable even from a
+    /// tags-only catalog. The `#` prefix cannot clash with parsed query
+    /// names. The equi-depth grid skips exactly `BUILTINS.len()` match
+    /// lists (bucketing on `#true` would smear resolution everywhere).
+    const BUILTINS: [(&'static str, BasePredicate); 3] = [
+        ("#element", BasePredicate::AnyElement),
+        ("#text", BasePredicate::AnyText),
+        ("#true", BasePredicate::True),
+    ];
+
+    /// Catalog entries plus the built-in structural predicates.
     fn entry_list(catalog: &Catalog) -> Vec<(String, BasePredicate)> {
-        let mut entries: Vec<(String, BasePredicate)> = vec![
-            ("#element".into(), BasePredicate::AnyElement),
-            ("#text".into(), BasePredicate::AnyText),
-            ("#true".into(), BasePredicate::True),
-        ];
+        let mut entries: Vec<(String, BasePredicate)> = Self::BUILTINS
+            .iter()
+            .map(|(name, p)| ((*name).to_owned(), p.clone()))
+            .collect();
         entries.extend(
             catalog
                 .iter()
@@ -236,8 +247,10 @@ impl Summaries {
     }
 
     /// Shared grid construction: uniform by default, or equi-depth over
-    /// the positions where catalog predicates match (extension).
-    fn make_grid(tree: &XmlTree, catalog: &Catalog, config: &SummaryConfig) -> Result<Grid> {
+    /// the positions where catalog predicates match (extension). The
+    /// equi-depth path reads the classification pass's match lists —
+    /// no per-predicate tree traversals.
+    fn make_grid(tree: &XmlTree, matches: &[Vec<NodeId>], config: &SummaryConfig) -> Result<Grid> {
         let g = if config.grid_size == 0 {
             10
         } else {
@@ -246,12 +259,11 @@ impl Summaries {
         let max_pos = tree.max_pos();
         if config.equi_depth {
             // Concentrate buckets where catalog predicates actually match.
-            let mut positions: Vec<u32> = Vec::new();
-            for entry in catalog.iter() {
-                for node in entry.predicate.matches(tree) {
-                    positions.push(node.0);
-                }
-            }
+            let mut positions: Vec<u32> = matches
+                .iter()
+                .skip(Self::BUILTINS.len())
+                .flat_map(|nodes| nodes.iter().map(|n| n.0))
+                .collect();
             positions.sort_unstable();
             if !positions.is_empty() {
                 return Grid::equi_depth(g, &positions, max_pos);
@@ -493,6 +505,71 @@ pub struct Estimator<'a> {
     cache: Option<&'a CoeffCache>,
 }
 
+/// Evaluation state of one (sub-)twig during arena-based estimation:
+/// either a borrowed leaf straight off the summaries or a pooled slot
+/// holding a join result, plus the borrowed coverage base its overlay
+/// applies to. `'a` is the summaries' lifetime.
+enum EvalStats<'a> {
+    Leaf {
+        hist: &'a PositionHistogram,
+        cvg: Option<&'a CoverageHistogram>,
+        no_overlap: bool,
+    },
+    Derived {
+        slot: StatsSlot,
+        cvg_base: Option<&'a CoverageHistogram>,
+    },
+}
+
+impl<'a> EvalStats<'a> {
+    fn view(&self) -> StatsView<'_> {
+        match self {
+            EvalStats::Leaf {
+                hist,
+                cvg,
+                no_overlap,
+            } => StatsView::leaf(hist, *cvg, *no_overlap),
+            EvalStats::Derived { slot, cvg_base } => slot.view(*cvg_base),
+        }
+    }
+
+    /// The coverage base a join *based at this node* would thread on.
+    fn cvg_base(&self) -> Option<&'a CoverageHistogram> {
+        match self {
+            EvalStats::Leaf { cvg, .. } => *cvg,
+            EvalStats::Derived { cvg_base, .. } => *cvg_base,
+        }
+    }
+
+    fn match_total(&self) -> f64 {
+        match self {
+            // A leaf has unit join factors: matches = participation.
+            EvalStats::Leaf { hist, .. } => hist.total(),
+            EvalStats::Derived { slot, .. } => slot.match_total(),
+        }
+    }
+
+    /// Returns any pooled slot to the workspace.
+    fn release(self, ws: &mut TwigWorkspace) {
+        if let EvalStats::Derived { slot, .. } = self {
+            ws.put_slot(slot);
+        }
+    }
+
+    /// Materializes owned [`NodeStats`] (the allocating, public-API
+    /// form); consumes the slot without returning it to the pool.
+    fn into_node_stats(self) -> NodeStats {
+        match self {
+            EvalStats::Leaf {
+                hist,
+                cvg,
+                no_overlap,
+            } => NodeStats::leaf(hist.clone(), cvg.cloned(), no_overlap),
+            EvalStats::Derived { slot, cvg_base } => slot.into_node_stats(cvg_base),
+        }
+    }
+}
+
 impl<'a> Estimator<'a> {
     pub fn summaries(&self) -> &'a Summaries {
         self.summaries
@@ -513,25 +590,33 @@ impl<'a> Estimator<'a> {
             .ok_or_else(|| Error::UnknownPredicate(name.to_owned()))
     }
 
+    /// Resolves an expression to its predicate summary when it names one
+    /// (`Named` by key, `Base` by linear scan). `Ok(None)` marks a
+    /// compound expression, which has no single summary — the one
+    /// resolution rule shared by every leaf-state accessor below.
+    fn leaf_summary(&self, expr: &PredExpr) -> Result<Option<&'a PredicateSummary>> {
+        match expr {
+            PredExpr::Named(name) => self.summary(name).map(Some),
+            PredExpr::Base(p) => self
+                .summaries
+                .preds
+                .values()
+                .find(|s| &s.pred == p)
+                .map(Some)
+                .ok_or_else(|| Error::UnknownPredicate(p.describe())),
+            _ => Ok(None),
+        }
+    }
+
     /// Leaf estimation state for a predicate expression: named/base
     /// predicates read their summary; compound expressions synthesize a
     /// histogram (Section 3.4) and carry no coverage.
     pub fn node_stats(&self, expr: &PredExpr) -> Result<NodeStats> {
-        match expr {
-            PredExpr::Named(name) => {
-                let s = self.summary(name)?;
-                Ok(NodeStats::leaf(s.hist.clone(), s.cvg.clone(), s.no_overlap))
-            }
-            PredExpr::Base(p) => {
-                if let Some(s) = self.summaries.preds.values().find(|s| &s.pred == p) {
-                    Ok(NodeStats::leaf(s.hist.clone(), s.cvg.clone(), s.no_overlap))
-                } else {
-                    Err(Error::UnknownPredicate(p.describe()))
-                }
-            }
-            compound => {
+        match self.leaf_summary(expr)? {
+            Some(s) => Ok(NodeStats::leaf(s.hist.clone(), s.cvg.clone(), s.no_overlap)),
+            None => {
                 let hist =
-                    estimate_expr_histogram(compound, self.summaries, &self.summaries.true_hist)?;
+                    estimate_expr_histogram(expr, self.summaries, &self.summaries.true_hist)?;
                 Ok(NodeStats::leaf(hist, None, false))
             }
         }
@@ -540,33 +625,14 @@ impl<'a> Estimator<'a> {
     /// Level histogram for an expression when it resolves to a single
     /// summarized predicate.
     fn levels_for(&self, expr: &PredExpr) -> Option<&'a LevelHistogram> {
-        match expr {
-            PredExpr::Named(name) => self.summaries.get(name)?.levels.as_ref(),
-            PredExpr::Base(p) => self
-                .summaries
-                .preds
-                .values()
-                .find(|s| &s.pred == p)?
-                .levels
-                .as_ref(),
-            _ => None,
-        }
+        self.leaf_summary(expr).ok().flatten()?.levels.as_ref()
     }
 
     /// Mean subtree width (in positions) of the nodes matching a
     /// single-predicate expression; `None` for compound expressions.
     /// Used by navigational-join cost models.
     pub fn avg_width(&self, expr: &PredExpr) -> Option<f64> {
-        match expr {
-            PredExpr::Named(name) => self.summaries.get(name).map(|s| s.avg_width),
-            PredExpr::Base(p) => self
-                .summaries
-                .preds
-                .values()
-                .find(|s| &s.pred == p)
-                .map(|s| s.avg_width),
-            _ => None,
-        }
+        Some(self.leaf_summary(expr).ok().flatten()?.avg_width)
     }
 
     /// Schema shortcut for a tag pair (Section 4 intro): impossible
@@ -616,6 +682,31 @@ impl<'a> Estimator<'a> {
         TWIG_WS.with(|ws| ws.borrow_mut().join.ph_join_total(anc, desc, basis))
     }
 
+    /// No-overlap pair estimate over borrowed summary state: leaf views
+    /// straight off the summaries, one arena slot for the result —
+    /// no histogram or coverage clones, either basis on the
+    /// thread-local workspace.
+    fn no_overlap_pair_total(
+        &self,
+        a: &PredicateSummary,
+        d: &PredicateSummary,
+        basis: Basis,
+    ) -> Result<f64> {
+        TWIG_WS.with(|ws| {
+            let ws = &mut *ws.borrow_mut();
+            let x = StatsView::leaf(&a.hist, a.cvg.as_ref(), true);
+            let y = StatsView::leaf(&d.hist, None, d.no_overlap);
+            let mut out = ws.take_slot();
+            let res = match basis {
+                Basis::AncestorBased => ancestor_join_into(ws, x, y, None, &mut out),
+                Basis::DescendantBased => descendant_join_into(ws, x, y, None, &mut out),
+            };
+            let value = res.map(|()| out.match_total());
+            ws.put_slot(out);
+            value
+        })
+    }
+
     /// Estimates a two-node pattern `anc // desc` over named predicates.
     pub fn estimate_pair(&self, anc: &str, desc: &str, method: EstimateMethod) -> Result<Estimate> {
         let a = self.summary(anc)?;
@@ -626,11 +717,10 @@ impl<'a> Estimator<'a> {
                 if let Some(v) = self.schema_shortcut(anc, desc) {
                     (v, "schema")
                 } else if a.no_overlap && a.cvg.is_some() {
-                    let x = NodeStats::leaf(a.hist.clone(), a.cvg.clone(), true);
-                    let y = NodeStats::leaf(d.hist.clone(), None, d.no_overlap);
-                    let joined = TWIG_WS
-                        .with(|ws| ancestor_join_with(&mut ws.borrow_mut(), &x, &y, None))?;
-                    (joined.match_total(), "no-overlap")
+                    (
+                        self.no_overlap_pair_total(a, d, Basis::AncestorBased)?,
+                        "no-overlap",
+                    )
                 } else {
                     (
                         self.primitive_total(anc, &a.hist, desc, &d.hist, Basis::AncestorBased)?,
@@ -643,17 +733,10 @@ impl<'a> Estimator<'a> {
                 "primitive",
             ),
             EstimateMethod::NoOverlap(basis) => {
-                let cvg = a
-                    .cvg
-                    .clone()
-                    .ok_or_else(|| Error::MissingCoverage(anc.to_owned()))?;
-                let x = NodeStats::leaf(a.hist.clone(), Some(cvg), true);
-                let y = NodeStats::leaf(d.hist.clone(), None, d.no_overlap);
-                let joined = TWIG_WS.with(|ws| match basis {
-                    Basis::AncestorBased => ancestor_join_with(&mut ws.borrow_mut(), &x, &y, None),
-                    Basis::DescendantBased => descendant_join(&x, &y),
-                })?;
-                (joined.match_total(), "no-overlap")
+                if a.cvg.is_none() {
+                    return Err(Error::MissingCoverage(anc.to_owned()));
+                }
+                (self.no_overlap_pair_total(a, d, basis)?, "no-overlap")
             }
         };
         Ok(Estimate {
@@ -695,40 +778,98 @@ impl<'a> Estimator<'a> {
 
     /// [`Self::estimate_twig`] on a caller-owned workspace — the
     /// zero-allocation steady-state path for services that estimate in a
-    /// loop.
+    /// loop (enforced by `tests/alloc_discipline.rs`).
     pub fn estimate_twig_with(&self, ws: &mut TwigWorkspace, twig: &TwigNode) -> Result<Estimate> {
         let start = Instant::now();
-        let stats = self.twig_stats_in(ws, twig)?;
+        let stats = self.twig_eval(ws, twig)?;
+        let value = stats.match_total();
+        stats.release(ws);
         Ok(Estimate {
-            value: stats.match_total(),
+            value,
             elapsed: start.elapsed(),
             method: "twig",
         })
     }
 
     /// Estimation state for a whole sub-twig (exposes intermediate-result
-    /// estimates for the optimizer).
+    /// estimates for the optimizer). Materializes an owned result; the
+    /// evaluation itself runs on the thread-local arena.
     pub fn twig_stats(&self, twig: &TwigNode) -> Result<NodeStats> {
-        TWIG_WS.with(|ws| self.twig_stats_in(&mut ws.borrow_mut(), twig))
+        TWIG_WS.with(|ws| {
+            let ws = &mut *ws.borrow_mut();
+            let stats = self.twig_eval(ws, twig)?;
+            Ok(stats.into_node_stats())
+        })
     }
 
-    fn twig_stats_in(&self, ws: &mut TwigWorkspace, twig: &TwigNode) -> Result<NodeStats> {
-        let mut acc = self.node_stats(&twig.pred)?;
+    /// Bottom-up twig evaluation over the arena: leaves are borrowed
+    /// views of summary state, every join writes into a pooled
+    /// [`StatsSlot`], and coverage propagates through overlays — no
+    /// summary histogram or coverage structure is cloned.
+    fn twig_eval(&self, ws: &mut TwigWorkspace, twig: &TwigNode) -> Result<EvalStats<'a>> {
+        let mut acc = self.leaf_eval(ws, &twig.pred)?;
         for child in &twig.children {
-            let child_stats = self.twig_stats_in(ws, child)?;
+            let child_stats = match self.twig_eval(ws, child) {
+                Ok(s) => s,
+                Err(e) => {
+                    acc.release(ws);
+                    return Err(e);
+                }
+            };
             let cached = self.cached_child_coeffs(child);
-            let mut joined = ancestor_join_with(ws, &acc, &child_stats, cached.as_deref())?;
+            let mut out = ws.take_slot();
+            let res = ancestor_join_into(
+                ws,
+                acc.view(),
+                child_stats.view(),
+                cached.as_deref(),
+                &mut out,
+            );
+            let acc_base = acc.cvg_base();
+            child_stats.release(ws);
+            acc.release(ws);
+            if let Err(e) = res {
+                ws.put_slot(out);
+                return Err(e);
+            }
             if child.axis == Axis::Child {
                 if let (Some(la), Some(lb)) =
                     (self.levels_for(&twig.pred), self.levels_for(&child.pred))
                 {
-                    let f = parent_child_correction(la, lb);
-                    joined.jn_fct = joined.jn_fct.scaled_by(|_| f);
+                    out.scale_join_factor(parent_child_correction(la, lb));
                 }
             }
-            acc = joined;
+            let cvg_base = out.carries_coverage().then_some(acc_base).flatten();
+            acc = EvalStats::Derived {
+                slot: out,
+                cvg_base,
+            };
         }
         Ok(acc)
+    }
+
+    /// Leaf estimation state as a borrowed view where possible: named
+    /// and base predicates borrow their summary directly; compound
+    /// expressions synthesize a histogram (Section 3.4) into a pooled
+    /// slot and carry no coverage.
+    fn leaf_eval(&self, ws: &mut TwigWorkspace, expr: &PredExpr) -> Result<EvalStats<'a>> {
+        match self.leaf_summary(expr)? {
+            Some(s) => Ok(EvalStats::Leaf {
+                hist: &s.hist,
+                cvg: s.cvg.as_ref(),
+                no_overlap: s.no_overlap,
+            }),
+            None => {
+                let hist =
+                    estimate_expr_histogram(expr, self.summaries, &self.summaries.true_hist)?;
+                let mut slot = ws.take_slot();
+                slot.set_compound(hist);
+                Ok(EvalStats::Derived {
+                    slot,
+                    cvg_base: None,
+                })
+            }
+        }
     }
 
     /// Cached ancestor-based coefficient table for a join whose

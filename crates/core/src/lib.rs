@@ -39,7 +39,7 @@ pub use coverage::CoverageHistogram;
 pub use error::{Error, Result};
 pub use estimator::{CoeffCache, Estimate, EstimateMethod, Estimator, Summaries, SummaryConfig};
 pub use grid::{Cell, Grid};
-pub use no_overlap::{NodeStats, TwigWorkspace};
+pub use no_overlap::{CoverageRef, NodeStats, StatsSlot, StatsView, TwigWorkspace};
 pub use ph_join::{ph_join, ph_join_total, Basis, JoinCoefficients, JoinWorkspace};
 pub use position_histogram::{FlatHistogram, PositionHistogram};
 pub use twig::{Axis, TwigNode};

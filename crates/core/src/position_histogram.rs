@@ -185,6 +185,20 @@ impl FlatHistogram {
         self.rebuild_offsets();
     }
 
+    /// Multiplies every entry by `factor` in place. Entries that land
+    /// within the zero threshold are dropped (offsets rebuilt only
+    /// then), preserving the no-explicit-zeros invariant without
+    /// allocating.
+    pub fn scale(&mut self, factor: f64) {
+        for (_, v) in &mut self.entries {
+            *v *= factor;
+        }
+        if self.entries.iter().any(|&(_, v)| v.abs() <= f64::EPSILON) {
+            self.entries.retain(|&(_, v)| v.abs() > f64::EPSILON);
+            self.rebuild_offsets();
+        }
+    }
+
     /// Number of stored (non-zero) entries.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -334,6 +348,14 @@ impl PositionHistogram {
         let mut out = PositionHistogram::empty(self.grid.clone());
         self.scaled_by_into(factor, &mut out);
         out
+    }
+
+    /// Uniform in-place scaling — the allocation-free counterpart of
+    /// [`Self::scaled_by`] with a constant factor (used by the
+    /// parent–child correction on the twig hot path).
+    pub fn scale_in_place(&mut self, factor: f64) {
+        self.flat.scale(factor);
+        self.total = self.flat.total();
     }
 
     /// [`Self::scaled_by`] into a reused output histogram.

@@ -221,22 +221,36 @@ fn write_cvg(w: &mut Writer, c: &CoverageHistogram) {
 }
 
 fn read_cvg(r: &mut Reader, grid: &Grid) -> Result<CoverageHistogram> {
+    let check = |cell: Cell| -> Result<Cell> {
+        if cell.0 > cell.1 || cell.1 >= grid.g() {
+            return Err(Error::Corrupt(format!("invalid coverage cell {cell:?}")));
+        }
+        Ok(cell)
+    };
     let n = r.u32()? as usize;
     let mut covering = BTreeSet::new();
     for _ in 0..n {
-        covering.insert(r.cell()?);
+        covering.insert(check(r.cell()?)?);
     }
     let n = r.u32()? as usize;
     let mut partial = BTreeMap::new();
     for _ in 0..n {
-        let d = r.cell()?;
-        let a = r.cell()?;
+        let d = check(r.cell()?)?;
+        let a = check(r.cell()?)?;
+        // `CoverageHistogram::build` stores border pairs only; a
+        // strictly-interior entry would be double-counted by the merge
+        // kernels, which account interior pairs geometrically.
+        if a.0 < d.0 && d.1 < a.1 {
+            return Err(Error::Corrupt(format!(
+                "interior coverage pair stored explicitly: {d:?} in {a:?}"
+            )));
+        }
         partial.insert((d, a), r.f64()?);
     }
     let n = r.u32()? as usize;
     let mut scales = BTreeMap::new();
     for _ in 0..n {
-        let cell = r.cell()?;
+        let cell = check(r.cell()?)?;
         scales.insert(cell, r.f64()?);
     }
     Ok(CoverageHistogram::from_parts(
@@ -456,6 +470,42 @@ mod tests {
         let mut wrong = bytes;
         wrong[4] = 99;
         assert!(matches!(from_bytes(&wrong), Err(Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn interior_coverage_pairs_rejected_on_load() {
+        // Covering cell (0, 7) strictly contains covered cell (2, 3):
+        // build() never stores such a pair, and the merge kernels would
+        // double-count it, so loading one must fail.
+        let grid = crate::grid::Grid::uniform(8, 64).unwrap();
+        let mut w = Writer::default();
+        w.u32(1); // covering cells
+        w.cell((0, 7));
+        w.u32(1); // partial entries
+        w.cell((2, 3)); // covered
+        w.cell((0, 7)); // covering — strictly interior
+        w.f64(0.5);
+        w.u32(0); // scales
+        let mut r = Reader {
+            data: &w.out,
+            pos: 0,
+        };
+        assert!(matches!(read_cvg(&mut r, &grid), Err(Error::Corrupt(_))));
+        // The same section with a border pair loads fine.
+        let mut w = Writer::default();
+        w.u32(1);
+        w.cell((0, 7));
+        w.u32(1);
+        w.cell((0, 3)); // shares the start bucket: border
+        w.cell((0, 7));
+        w.f64(0.5);
+        w.u32(0);
+        let mut r = Reader {
+            data: &w.out,
+            pos: 0,
+        };
+        let cvg = read_cvg(&mut r, &grid).unwrap();
+        assert!((cvg.coverage((0, 3), (0, 7)) - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -162,6 +162,19 @@ impl Database {
         let twig = parse_path(path)?;
         Ok(self.estimator().estimate_twig(&twig)?)
     }
+
+    /// Estimates a pre-parsed twig on a caller-owned workspace — the
+    /// zero-allocation steady-state path for serving loops that
+    /// estimate the same (or many) twigs repeatedly. The workspace's
+    /// scratch buffers and result slots are reused across calls; leaf
+    /// state is borrowed from the summaries, never cloned.
+    pub fn estimate_twig_with(
+        &self,
+        ws: &mut xmlest_core::TwigWorkspace,
+        twig: &xmlest_core::TwigNode,
+    ) -> Result<xmlest_core::Estimate> {
+        Ok(self.estimator().estimate_twig_with(ws, twig)?)
+    }
 }
 
 #[cfg(test)]
@@ -246,6 +259,28 @@ mod tests {
             .estimate_twig(&xmlest_query::parse_path("//sec//p").unwrap())
             .unwrap();
         assert!((plain.value - first).abs() < 1e-9);
+    }
+
+    #[test]
+    fn workspace_estimates_match_plain_estimates() {
+        let d = db();
+        let mut ws = xmlest_core::TwigWorkspace::new();
+        for path in [
+            "//faculty//TA",
+            "//department//faculty//RA",
+            "//staff//name",
+        ] {
+            let plain = d.estimate(path).unwrap().value;
+            let twig = xmlest_query::parse_path(path).unwrap();
+            // Repeated workspace estimates are stable and agree.
+            for _ in 0..3 {
+                let ws_est = d.estimate_twig_with(&mut ws, &twig).unwrap().value;
+                assert!(
+                    (ws_est - plain).abs() < 1e-12,
+                    "{path}: {ws_est} vs {plain}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,6 +1,9 @@
-//! Verifies the acceptance criterion of the flat-storage refactor:
+//! Verifies the allocation discipline of the estimation hot paths:
 //! steady-state pH-join kernels perform **zero heap allocations** once a
-//! [`JoinWorkspace`] (and output histogram) have warmed up.
+//! [`JoinWorkspace`] (and output histogram) have warmed up, and a whole
+//! no-overlap twig estimate — leaf views, merge-based coverage joins,
+//! arena slots, coverage overlays — performs zero heap allocations on a
+//! warmed [`TwigWorkspace`].
 //!
 //! A counting global allocator records every `alloc`/`realloc`; the
 //! warm-path assertions then demand an exact zero delta. This file holds
@@ -9,7 +12,12 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use xmlest::core::{Basis, Grid, JoinWorkspace, PositionHistogram};
+use xmlest::core::{
+    Basis, Grid, JoinWorkspace, PositionHistogram, Summaries, SummaryConfig, TwigNode,
+    TwigWorkspace,
+};
+use xmlest::prelude::Catalog;
+use xmlest::xml::parser::parse_str;
 use xmlest::xml::Interval;
 
 struct CountingAllocator;
@@ -91,4 +99,65 @@ fn warm_join_kernels_allocate_nothing() {
     // The loop really ran the kernels.
     assert!(sum.is_finite() && sum > 0.0);
     assert!((out.total() - expected).abs() < 1e-9);
+
+    // ---- whole-twig no-overlap estimation on the arena ----
+    //
+    // A three-level twig over no-overlap predicates with coverage: the
+    // estimate exercises leaf views, both merge-based coverage joins via
+    // the ancestor-based composition, overlay propagation, and the slot
+    // pool. Warm estimates must never touch the allocator.
+    let mut xml = String::from("<department>");
+    for f in 0..40 {
+        xml.push_str("<faculty><name/>");
+        for _ in 0..(f % 4) {
+            xml.push_str("<TA/>");
+        }
+        for _ in 0..(f % 3) {
+            xml.push_str("<RA/>");
+        }
+        xml.push_str("</faculty>");
+    }
+    xml.push_str("</department>");
+    let tree = parse_str(&xml).unwrap();
+    let mut catalog = Catalog::new();
+    catalog.define_all_tags(&tree);
+    let summaries = Summaries::build(
+        &tree,
+        &catalog,
+        &SummaryConfig::paper_defaults().with_grid_size(32),
+    )
+    .unwrap();
+    let fac = summaries.get("faculty").unwrap();
+    assert!(
+        fac.no_overlap && fac.cvg.is_some(),
+        "workload must exercise the coverage-join path"
+    );
+    let est = summaries.estimator();
+    let twig = TwigNode::named("department").descendant(
+        TwigNode::named("faculty")
+            .descendant(TwigNode::named("TA"))
+            .descendant(TwigNode::named("RA")),
+    );
+    let mut tws = TwigWorkspace::new();
+    // Warm-up: slot pool and scratch planes grow to working size here.
+    let expected_twig = est.estimate_twig_with(&mut tws, &twig).unwrap().value;
+    for _ in 0..3 {
+        est.estimate_twig_with(&mut tws, &twig).unwrap();
+    }
+
+    let mut twig_sum = 0.0;
+    let mut min_delta = usize::MAX;
+    for _ in 0..5 {
+        let before = allocation_count();
+        for _ in 0..50 {
+            twig_sum += est.estimate_twig_with(&mut tws, &twig).unwrap().value;
+        }
+        min_delta = min_delta.min(allocation_count() - before);
+    }
+    assert_eq!(
+        min_delta, 0,
+        "warm whole-twig estimates performed {min_delta} heap allocations in every round"
+    );
+    assert!(expected_twig.is_finite() && expected_twig > 0.0);
+    assert!((twig_sum - 250.0 * expected_twig).abs() < 1e-6 * expected_twig.max(1.0));
 }

@@ -417,6 +417,96 @@ proptest! {
         }
     }
 
+    /// The merge-based no-overlap kernels (co-merge over CSR coverage
+    /// rows + dominance tables) agree with the retained nested-loop
+    /// reference implementations cell for cell, including chained joins
+    /// that propagate rescaled coverage.
+    #[test]
+    fn no_overlap_merge_kernels_match_reference(tree in arb_tree(150), g in 2u16..20) {
+        use xmlest::core::no_overlap::{
+            ancestor_join, ancestor_join_no_overlap_reference, descendant_join,
+            descendant_join_no_overlap_reference, NodeStats,
+        };
+        let mut catalog = Catalog::new();
+        catalog.define_all_tags(&tree);
+        let summaries = Summaries::build(
+            &tree,
+            &catalog,
+            &SummaryConfig::paper_defaults().with_grid_size(g),
+        ).unwrap();
+        let close = |a: &PositionHistogram, b: &PositionHistogram| -> std::result::Result<(), proptest::TestCaseError> {
+            prop_assert_eq!(a.non_zero_cells(), b.non_zero_cells());
+            for ((c1, v1), (c2, v2)) in a.iter().zip(b.iter()) {
+                prop_assert_eq!(c1, c2);
+                prop_assert!((v1 - v2).abs() < 1e-9 * v2.abs().max(1.0), "cell {:?}: {} vs {}", c1, v1, v2);
+            }
+            Ok(())
+        };
+        for (anc, desc, chain) in [("t0", "t1", "t2"), ("t1", "t2", "t3"), ("t2", "t3", "t1")] {
+            let (Some(a), Some(d)) = (summaries.get(anc), summaries.get(desc)) else { continue };
+            let Some(cvg) = a.cvg.as_ref() else { continue };
+            let x = NodeStats::leaf(a.hist.clone(), a.cvg.clone(), true);
+            let y = NodeStats::leaf(d.hist.clone(), None, d.no_overlap);
+            let merged = ancestor_join(&x, &y).unwrap();
+            let reference = ancestor_join_no_overlap_reference(&x, &y, cvg).unwrap();
+            close(&merged.hist, &reference.hist)?;
+            close(&merged.jn_fct, &reference.jn_fct)?;
+            prop_assert!((merged.match_total() - reference.match_total()).abs()
+                < 1e-9 * reference.match_total().abs().max(1.0));
+            let merged_d = descendant_join(&x, &y).unwrap();
+            let reference_d = descendant_join_no_overlap_reference(&x, &y, cvg).unwrap();
+            close(&merged_d.hist, &reference_d.hist)?;
+            close(&merged_d.jn_fct, &reference_d.jn_fct)?;
+            // Chain a second join so the merge path exercises overlay
+            // propagation against the reference's materialized rescale.
+            if let Some(z) = summaries.get(chain) {
+                let z = NodeStats::leaf(z.hist.clone(), None, z.no_overlap);
+                let merged2 = ancestor_join(&merged, &z).unwrap();
+                let reference2 = ancestor_join_no_overlap_reference(
+                    &reference, &z, reference.cvg.as_ref().unwrap()).unwrap();
+                close(&merged2.hist, &reference2.hist)?;
+                prop_assert!((merged2.match_total() - reference2.match_total()).abs()
+                    < 1e-9 * reference2.match_total().abs().max(1.0));
+            }
+            // Descendant join with a no-overlap descendant: the y-side
+            // coverage overlay must rescale identically to the
+            // reference's materialized scale_covering pass.
+            if d.cvg.is_some() {
+                let y_cov = NodeStats::leaf(d.hist.clone(), d.cvg.clone(), true);
+                let merged_dc = descendant_join(&x, &y_cov).unwrap();
+                let reference_dc =
+                    descendant_join_no_overlap_reference(&x, &y_cov, cvg).unwrap();
+                close(&merged_dc.hist, &reference_dc.hist)?;
+                close(&merged_dc.jn_fct, &reference_dc.jn_fct)?;
+                let (mc, rc) = (
+                    merged_dc.cvg.as_ref().unwrap(),
+                    reference_dc.cvg.as_ref().unwrap(),
+                );
+                let covering: Vec<_> = rc.covering_cells().collect();
+                for i in 0..g {
+                    for j in i..g {
+                        for &a in &covering {
+                            let (mv, rv) = (mc.coverage((i, j), a), rc.coverage((i, j), a));
+                            prop_assert!(
+                                (mv - rv).abs() < 1e-9 * rv.abs().max(1.0),
+                                "coverage of {:?} by {:?}: {} vs {}", (i, j), a, mv, rv
+                            );
+                        }
+                    }
+                }
+                // Consume the propagated coverage in a further join.
+                if let Some(z) = summaries.get(chain) {
+                    let z = NodeStats::leaf(z.hist.clone(), None, z.no_overlap);
+                    let m2 = ancestor_join(&merged_dc, &z).unwrap();
+                    let r2 = ancestor_join_no_overlap_reference(&reference_dc, &z, rc).unwrap();
+                    close(&m2.hist, &r2.hist)?;
+                    prop_assert!((m2.match_total() - r2.match_total()).abs()
+                        < 1e-9 * r2.match_total().abs().max(1.0));
+                }
+            }
+        }
+    }
+
     /// Cached coefficient tables produce the same pair estimates as the
     /// uncached estimator.
     #[test]
