@@ -1,0 +1,362 @@
+//! The persistent summary catalog — everything a serving database
+//! derives from the data, in one versioned, checksummed binary blob.
+//!
+//! The paper's premise (Section 2) is that the summary structure `T'` is
+//! a small fraction of the data and answers estimation queries alone.
+//! This module takes that to its deployment conclusion: a **catalog
+//! file** persisting every derived structure, so
+//! `Database::open_catalog(bytes)` reconstructs a serving-ready database
+//! with *zero tree traversal* and byte-identical estimates to a fresh
+//! build. Persisted, in order:
+//!
+//! * the [`SummaryConfig`] the summaries were built with (grid size,
+//!   equi-depth flag, coverage/level toggles; the optional DTD analysis
+//!   is derivable from the schema and is **not** persisted),
+//! * the predicate catalog (name → [`BasePredicate`]),
+//! * the merged mega-tree [`Summaries`] (reusing
+//!   [`crate::summary::to_bytes`] wholesale as a length-prefixed
+//!   section),
+//! * one summary shard per document ([`CatalogShard`]: name, position
+//!   offset, its own [`Summaries`] over the shared grid), and
+//! * every memoized [`JoinCoefficients`] table, serialized **CSR** like
+//!   the histograms — `(cell, f64)` entries in row-major order, only
+//!   non-zeros — so a reopened database's coefficient cache starts warm.
+//!
+//! ## Wire layout
+//!
+//! ```text
+//! ┌──────────┬─────────┬──────────────┬──────────────┬───────────────┐
+//! │ magic    │ version │ payload len  │ FNV-1a 64    │ payload …     │
+//! │ "XCTL"   │ u16     │ u64          │ u64 checksum │               │
+//! └──────────┴─────────┴──────────────┴──────────────┴───────────────┘
+//! payload := config ‖ catalog ‖ merged ‖ shards ‖ coefficients
+//!   config   := grid_size u16, equi_depth u8, build_coverage u8,
+//!               build_levels u8
+//!   catalog  := count u32, { name str, base_pred }*
+//!   merged   := len u64, summary::to_bytes bytes
+//!   shards   := count u32, { name str, offset u32, len u64, bytes }*
+//!   coeffs   := count u32, { name str, basis u8, grid,
+//!                            entries u32, { cell, f64 }* }*
+//! ```
+//!
+//! The checksum covers the payload only; it is validated (together with
+//! the length) **before** any section is parsed, so truncation and
+//! bit-flips are rejected up front, and every section parser bounds-
+//! checks through [`crate::summary::Reader`] — hostile bytes return
+//! [`Error::Corrupt`], never panic.
+
+use crate::error::{Error, Result};
+use crate::estimator::{Summaries, SummaryConfig};
+use crate::ph_join::{Basis, JoinCoefficients};
+use crate::summary::{
+    self, read_base_pred, read_grid, write_base_pred, write_grid, Reader, Writer,
+};
+use xmlest_predicate::Catalog;
+
+const MAGIC: &[u8; 4] = b"XCTL";
+const VERSION: u16 = 1;
+/// Header bytes before the payload: magic + version + length + checksum.
+const HEADER_LEN: usize = 4 + 2 + 8 + 8;
+
+/// One document's persisted summary shard.
+#[derive(Debug, Clone)]
+pub struct CatalogShard {
+    /// Caller-supplied document name (file name, URI, …).
+    pub name: String,
+    /// Global position offset of the document's root in the mega-tree.
+    pub offset: u32,
+    /// The document's own summaries on the shared grid.
+    pub summaries: Summaries,
+}
+
+/// In-memory form of a catalog file; [`CatalogFile::to_bytes`] /
+/// [`CatalogFile::from_bytes`] are the only serialization surface.
+#[derive(Debug)]
+pub struct CatalogFile {
+    /// Build configuration (DTD analysis stripped — re-attach on load).
+    pub config: SummaryConfig,
+    /// The predicate catalog.
+    pub catalog: Catalog,
+    /// The merged (mega-tree) summaries.
+    pub merged: Summaries,
+    /// Per-document shards, collection order.
+    pub shards: Vec<CatalogShard>,
+    /// Memoized coefficient tables, `(predicate name, table)`.
+    pub coefficients: Vec<(String, JoinCoefficients)>,
+}
+
+/// FNV-1a 64 over a byte slice — cheap, dependency-free corruption
+/// detection (not cryptographic; the threat model is torn writes and
+/// bit rot, not adversaries).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl CatalogFile {
+    /// Serializes the catalog. Deterministic for a given input: section
+    /// order is fixed and every map iterates in its sorted order.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut p = Writer::default();
+        // Config.
+        p.u16(self.config.grid_size);
+        p.u8(self.config.equi_depth as u8);
+        p.u8(self.config.build_coverage as u8);
+        p.u8(self.config.build_levels as u8);
+        // Predicate catalog.
+        p.u32(self.catalog.len() as u32);
+        for entry in self.catalog.iter() {
+            p.str(&entry.name);
+            write_base_pred(&mut p, &entry.predicate);
+        }
+        // Merged summaries.
+        let merged = summary::to_bytes(&self.merged);
+        p.u64(merged.len() as u64);
+        p.bytes(&merged);
+        // Shards.
+        p.u32(self.shards.len() as u32);
+        for shard in &self.shards {
+            p.str(&shard.name);
+            p.u32(shard.offset);
+            let bytes = summary::to_bytes(&shard.summaries);
+            p.u64(bytes.len() as u64);
+            p.bytes(&bytes);
+        }
+        // Coefficient tables (CSR: sparse row-major entries).
+        p.u32(self.coefficients.len() as u32);
+        for (name, table) in &self.coefficients {
+            p.str(name);
+            p.u8(match table.basis() {
+                Basis::AncestorBased => 0,
+                Basis::DescendantBased => 1,
+            });
+            write_grid(&mut p, table.grid());
+            let entries = table.entries();
+            p.u32(entries.len() as u32);
+            for &(cell, v) in entries {
+                p.cell(cell);
+                p.f64(v);
+            }
+        }
+
+        let payload = p.out;
+        let mut w = Writer::default();
+        w.bytes(MAGIC);
+        w.u16(VERSION);
+        w.u64(payload.len() as u64);
+        w.u64(fnv1a64(&payload));
+        w.bytes(&payload);
+        w.out
+    }
+
+    /// Deserializes and fully validates a catalog. Magic, version,
+    /// length and checksum are checked before any section is parsed;
+    /// section parsers bounds-check every read.
+    pub fn from_bytes(data: &[u8]) -> Result<CatalogFile> {
+        if data.len() < HEADER_LEN {
+            return Err(Error::Corrupt("catalog shorter than header".into()));
+        }
+        let mut h = Reader { data, pos: 0 };
+        if h.take(4)? != MAGIC {
+            return Err(Error::Corrupt("bad catalog magic".into()));
+        }
+        let version = h.u16()?;
+        if version != VERSION {
+            return Err(Error::Corrupt(format!(
+                "unsupported catalog version {version}"
+            )));
+        }
+        let payload_len = h.u64()? as usize;
+        let checksum = h.u64()?;
+        let payload = &data[HEADER_LEN..];
+        if payload.len() != payload_len {
+            return Err(Error::Corrupt(format!(
+                "catalog payload length mismatch: header says {payload_len}, got {}",
+                payload.len()
+            )));
+        }
+        if fnv1a64(payload) != checksum {
+            return Err(Error::Corrupt("catalog checksum mismatch".into()));
+        }
+
+        let mut r = Reader {
+            data: payload,
+            pos: 0,
+        };
+        // Config.
+        let config = SummaryConfig {
+            grid_size: r.u16()?,
+            equi_depth: r.u8()? == 1,
+            build_coverage: r.u8()? == 1,
+            build_levels: r.u8()? == 1,
+            dtd: None,
+        };
+        // Predicate catalog.
+        let n = r.u32()? as usize;
+        let mut catalog = Catalog::new();
+        for _ in 0..n {
+            let name = r.str()?;
+            let pred = read_base_pred(&mut r)?;
+            catalog.define(name, pred);
+        }
+        // Merged summaries.
+        let merged = read_summaries_section(&mut r)?;
+        // Shards.
+        let n = r.u32()? as usize;
+        let mut shards = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            let name = r.str()?;
+            let offset = r.u32()?;
+            let summaries = read_summaries_section(&mut r)?;
+            if summaries.grid() != merged.grid() {
+                return Err(Error::Corrupt(format!(
+                    "shard {name:?} is on a different grid than the merged summaries"
+                )));
+            }
+            shards.push(CatalogShard {
+                name,
+                offset,
+                summaries,
+            });
+        }
+        // Coefficient tables.
+        let n = r.u32()? as usize;
+        let mut coefficients = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            let name = r.str()?;
+            let basis = match r.u8()? {
+                0 => Basis::AncestorBased,
+                1 => Basis::DescendantBased,
+                b => return Err(Error::Corrupt(format!("unknown basis tag {b}"))),
+            };
+            let grid = read_grid(&mut r)?;
+            if &grid != merged.grid() {
+                return Err(Error::Corrupt(format!(
+                    "coefficient table {name:?} is on a different grid"
+                )));
+            }
+            let count = r.u32()? as usize;
+            let mut entries: Vec<(crate::grid::Cell, f64)> = Vec::with_capacity(count.min(4096));
+            for _ in 0..count {
+                let cell = r.cell()?;
+                if cell.0 > cell.1 || cell.1 >= grid.g() {
+                    return Err(Error::Corrupt(format!("invalid coefficient cell {cell:?}")));
+                }
+                if let Some(&(last, _)) = entries.last() {
+                    if last >= cell {
+                        return Err(Error::Corrupt(
+                            "coefficient entries out of row-major order".into(),
+                        ));
+                    }
+                }
+                entries.push((cell, r.f64()?));
+            }
+            coefficients.push((
+                name,
+                JoinCoefficients::from_sorted_entries(grid, basis, &entries),
+            ));
+        }
+        if r.pos != payload.len() {
+            return Err(Error::Corrupt("trailing bytes after catalog".into()));
+        }
+
+        Ok(CatalogFile {
+            config,
+            catalog,
+            merged,
+            shards,
+            coefficients,
+        })
+    }
+}
+
+/// Reads one length-prefixed `summary::to_bytes` section.
+fn read_summaries_section(r: &mut Reader) -> Result<Summaries> {
+    let len = r.u64()? as usize;
+    let bytes = r.take(len)?;
+    summary::from_bytes(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ph_join::Basis;
+    use xmlest_predicate::BasePredicate;
+    use xmlest_xml::parser::parse_str;
+
+    fn sample() -> CatalogFile {
+        let tree = parse_str(
+            "<dept><fac><name/><RA/></fac><fac><name/><TA/><TA/></fac><staff><name/></staff></dept>",
+        )
+        .unwrap();
+        let mut catalog = Catalog::new();
+        catalog.define_all_tags(&tree);
+        let config = SummaryConfig::paper_defaults().with_grid_size(4);
+        let merged = Summaries::build(&tree, &catalog, &config).unwrap();
+        let fac_hist = merged.get("fac").unwrap().hist.clone();
+        let coeffs = JoinCoefficients::precompute(&fac_hist, Basis::AncestorBased);
+        CatalogFile {
+            config,
+            catalog,
+            merged,
+            shards: Vec::new(),
+            coefficients: vec![("fac".into(), coeffs)],
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let file = sample();
+        let bytes = file.to_bytes();
+        let back = CatalogFile::from_bytes(&bytes).unwrap();
+        assert_eq!(back.config.grid_size, file.config.grid_size);
+        assert_eq!(back.catalog.len(), file.catalog.len());
+        assert_eq!(
+            back.catalog.get("fac").unwrap().predicate,
+            BasePredicate::Tag("fac".into())
+        );
+        assert_eq!(back.merged.len(), file.merged.len());
+        assert_eq!(back.merged.grid(), file.merged.grid());
+        assert_eq!(back.coefficients.len(), 1);
+        let (name, table) = &back.coefficients[0];
+        assert_eq!(name, "fac");
+        assert_eq!(table.entries(), file.coefficients[0].1.entries());
+        assert_eq!(table.basis(), Basis::AncestorBased);
+    }
+
+    #[test]
+    fn header_tampering_rejected() {
+        let bytes = sample().to_bytes();
+        // Magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'Y';
+        assert!(matches!(
+            CatalogFile::from_bytes(&bad),
+            Err(Error::Corrupt(_))
+        ));
+        // Version.
+        let mut bad = bytes.clone();
+        bad[4] = 99;
+        assert!(matches!(
+            CatalogFile::from_bytes(&bad),
+            Err(Error::Corrupt(_))
+        ));
+        // Payload flip breaks the checksum.
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xFF;
+        assert!(matches!(
+            CatalogFile::from_bytes(&bad),
+            Err(Error::Corrupt(_))
+        ));
+        // Truncations at every prefix length never panic.
+        for cut in 0..bytes.len().min(64) {
+            assert!(CatalogFile::from_bytes(&bytes[..cut]).is_err());
+        }
+        assert!(CatalogFile::from_bytes(&bytes[..bytes.len() - 3]).is_err());
+    }
+}

@@ -226,14 +226,14 @@ impl Summaries {
     /// tags-only catalog. The `#` prefix cannot clash with parsed query
     /// names. The equi-depth grid skips exactly `BUILTINS.len()` match
     /// lists (bucketing on `#true` would smear resolution everywhere).
-    const BUILTINS: [(&'static str, BasePredicate); 3] = [
+    pub(crate) const BUILTINS: [(&'static str, BasePredicate); 3] = [
         ("#element", BasePredicate::AnyElement),
         ("#text", BasePredicate::AnyText),
         ("#true", BasePredicate::True),
     ];
 
     /// Catalog entries plus the built-in structural predicates.
-    fn entry_list(catalog: &Catalog) -> Vec<(String, BasePredicate)> {
+    pub(crate) fn entry_list(catalog: &Catalog) -> Vec<(String, BasePredicate)> {
         let mut entries: Vec<(String, BasePredicate)> = Self::BUILTINS
             .iter()
             .map(|(name, p)| ((*name).to_owned(), p.clone()))
@@ -313,6 +313,17 @@ impl Summaries {
                 .sum::<usize>()
     }
 
+    /// Re-attaches a DTD analysis — the one piece persistence never
+    /// carries (`summary::from_bytes` and the catalog format both load
+    /// with `dtd = None` since the analysis is derivable from the
+    /// schema). Schema shortcuts resume consulting it; the overlap
+    /// properties baked in at build time are untouched, so re-attaching
+    /// the same analysis the summaries were built with restores the
+    /// original estimates exactly.
+    pub fn attach_dtd(&mut self, dtd: DtdAnalysis) {
+        self.dtd = Some(dtd);
+    }
+
     /// An estimator reading from these summaries.
     pub fn estimator(&self) -> Estimator<'_> {
         Estimator {
@@ -335,7 +346,28 @@ fn build_one(
     config: &SummaryConfig,
 ) -> PredicateSummary {
     let intervals: Vec<_> = nodes.iter().map(|&n| tree.interval(n)).collect();
-    let hist = PositionHistogram::from_intervals(grid.clone(), &intervals);
+    let levels = config
+        .build_levels
+        .then(|| LevelHistogram::from_nodes(tree, nodes));
+    build_one_from_intervals(grid, all_intervals, name, pred, &intervals, levels, config)
+}
+
+/// The tree-free core of [`build_one`]: everything after classification
+/// is a function of interval lists alone, which is what lets the shard
+/// layer ([`crate::shard`]) rebuild per-document summaries on a new
+/// shared grid without touching any tree. `intervals` must be in
+/// document order; `levels`, when provided, must already use the target
+/// tree's depth numbering.
+pub(crate) fn build_one_from_intervals(
+    grid: &Grid,
+    all_intervals: &[xmlest_xml::Interval],
+    name: &str,
+    pred: &BasePredicate,
+    intervals: &[xmlest_xml::Interval],
+    levels: Option<LevelHistogram>,
+    config: &SummaryConfig,
+) -> PredicateSummary {
+    let hist = PositionHistogram::from_intervals(grid.clone(), intervals);
 
     // Overlap property: DTD knowledge for tag predicates when available,
     // otherwise detected from the data (exact).
@@ -343,14 +375,11 @@ fn build_one(
         (Some(dtd), BasePredicate::Tag(t)) if dtd.tags().any(|known| known == t) => {
             dtd.no_overlap(t)
         }
-        _ => label::no_overlap(&intervals),
+        _ => label::no_overlap(intervals),
     };
 
     let cvg = (config.build_coverage && no_overlap && !intervals.is_empty())
-        .then(|| CoverageHistogram::build(grid.clone(), all_intervals, &intervals));
-    let levels = config
-        .build_levels
-        .then(|| LevelHistogram::from_nodes(tree, nodes));
+        .then(|| CoverageHistogram::build(grid.clone(), all_intervals, intervals));
     let avg_width = if intervals.is_empty() {
         0.0
     } else {
@@ -364,7 +393,7 @@ fn build_one(
         cvg,
         levels,
         no_overlap,
-        count: nodes.len() as u64,
+        count: intervals.len() as u64,
         avg_width,
     }
 }
@@ -495,6 +524,43 @@ impl CoeffCache {
         let entry = map.entry(name.to_owned()).or_default();
         entry[slot].get_or_insert(built).clone()
     }
+
+    /// Snapshot of every cached table, `(predicate name, basis, table)`
+    /// in name order — the catalog layer persists these so a reopened
+    /// database skips even the first-query precomputation.
+    pub fn entries(&self) -> Vec<(String, Basis, Arc<JoinCoefficients>)> {
+        let map = self.map.read().expect("coeff cache lock");
+        let mut out = Vec::new();
+        for (name, slots) in map.iter() {
+            for (slot, table) in slots.iter().enumerate() {
+                if let Some(t) = table {
+                    let basis = if slot == 0 {
+                        Basis::AncestorBased
+                    } else {
+                        Basis::DescendantBased
+                    };
+                    out.push((name.clone(), basis, t.clone()));
+                }
+            }
+        }
+        out.sort_by(|a, b| (&a.0, basis_slot(a.1)).cmp(&(&b.0, basis_slot(b.1))));
+        out
+    }
+
+    /// Pre-fills the cache with a table loaded from a catalog, binding
+    /// the cache to `summaries`' generation. An already-present table for
+    /// the same key wins (both are identical by construction).
+    pub fn seed(&self, summaries: &Summaries, name: &str, table: Arc<JoinCoefficients>) {
+        use std::sync::atomic::Ordering;
+        let id = summaries.build_id;
+        let slot = basis_slot(table.basis());
+        let mut map = self.map.write().expect("coeff cache lock");
+        if self.bound_to.load(Ordering::Acquire) != id {
+            map.clear();
+            self.bound_to.store(id, Ordering::Release);
+        }
+        map.entry(name.to_owned()).or_default()[slot].get_or_insert(table);
+    }
 }
 
 /// Read-only estimation interface over [`Summaries`], optionally backed
@@ -620,6 +686,37 @@ impl<'a> Estimator<'a> {
                 Ok(NodeStats::leaf(hist, None, false))
             }
         }
+    }
+
+    /// Total match count of a single pattern node — the view-based
+    /// counterpart of `node_stats(expr)?.hist.total()`. Named and base
+    /// predicates read the stored total directly (no histogram clone,
+    /// no allocation); compound expressions synthesize their histogram
+    /// into a pooled workspace slot.
+    pub fn node_total(&self, expr: &PredExpr) -> Result<f64> {
+        match self.leaf_summary(expr)? {
+            Some(s) => Ok(s.hist.total()),
+            None => {
+                let hist =
+                    estimate_expr_histogram(expr, self.summaries, &self.summaries.true_hist)?;
+                Ok(hist.total())
+            }
+        }
+    }
+
+    /// Total estimated matches of a whole (sub-)twig — the view-based
+    /// counterpart of `twig_stats(twig)?.match_total()`. Evaluation runs
+    /// entirely on the thread-local arena and releases every slot; no
+    /// owned [`NodeStats`] is materialized, so warm plan costing
+    /// allocates nothing (enforced by `tests/alloc_discipline.rs`).
+    pub fn twig_match_total(&self, twig: &TwigNode) -> Result<f64> {
+        TWIG_WS.with(|ws| {
+            let ws = &mut *ws.borrow_mut();
+            let stats = self.twig_eval(ws, twig)?;
+            let value = stats.match_total();
+            stats.release(ws);
+            Ok(value)
+        })
     }
 
     /// Level histogram for an expression when it resolves to a single

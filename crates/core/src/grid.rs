@@ -59,6 +59,11 @@ impl Grid {
         if g == 0 || positions.is_empty() {
             return Err(Error::EmptyGrid);
         }
+        // Like `uniform`, cap g at the number of positions: more buckets
+        // than positions cannot have strictly increasing boundaries (the
+        // duplicate-repair pass below would wedge at zero and emit a
+        // degenerate grid that the persistence layer rightly rejects).
+        let g = (g as u64).min(max_pos as u64 + 1) as u16;
         debug_assert!(
             positions.windows(2).all(|w| w[0] <= w[1]),
             "positions must be sorted"

@@ -20,6 +20,7 @@
 //! ([`parent_child`]) and equi-depth grids ([`grid::Grid::equi_depth`]) —
 //! the future-work items of Section 7.
 
+pub mod catalog;
 pub mod compound;
 pub mod coverage;
 pub mod error;
@@ -32,9 +33,11 @@ pub mod ordered;
 pub mod parent_child;
 pub mod ph_join;
 pub mod position_histogram;
+pub mod shard;
 pub mod summary;
 pub mod twig;
 
+pub use catalog::{CatalogFile, CatalogShard};
 pub use coverage::CoverageHistogram;
 pub use error::{Error, Result};
 pub use estimator::{CoeffCache, Estimate, EstimateMethod, Estimator, Summaries, SummaryConfig};

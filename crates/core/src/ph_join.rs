@@ -267,12 +267,21 @@ pub fn ph_join_total(
 /// histogram and `coeff[(i, j)]` is the expected number of its nodes
 /// joining one ancestor-cell `(i, j)` node; vice versa for
 /// [`Basis::DescendantBased`].
+///
+/// Storage is **CSR**, the same flat sorted-entry layout the position
+/// histograms use ([`crate::FlatHistogram`]): only non-zero coefficients
+/// are kept, in row-major cell order. `apply`/`apply_total` run as a
+/// single two-cursor merge between the outer operand's entries and the
+/// coefficient entries (both row-major sorted), so the per-join cost is
+/// O(non-zero cells) with no `g²` table walks — and the table's memory
+/// matches the histogram it was computed from instead of a dense `g²`
+/// block (the ROADMAP's "coefficients could go CSR" frontier).
 #[derive(Debug, Clone)]
 pub struct JoinCoefficients {
     grid: crate::grid::Grid,
     basis: Basis,
-    /// Dense `g × g`, row-major `[start_bucket][end_bucket]`.
-    coeff: Vec<f64>,
+    /// Non-zero coefficients, row-major sorted (CSR with inline columns).
+    coeff: crate::position_histogram::FlatHistogram,
 }
 
 impl JoinCoefficients {
@@ -285,11 +294,20 @@ impl JoinCoefficients {
     /// Like [`Self::precompute`], borrowing scratch space from a
     /// workspace; only the owned coefficient table is allocated.
     pub fn precompute_in(ws: &mut JoinWorkspace, inner: &PositionHistogram, basis: Basis) -> Self {
-        ws.compute_coefficients(inner, basis);
+        let g = ws.compute_coefficients(inner, basis);
+        let mut coeff = crate::position_histogram::FlatHistogram::new(g as u16);
+        for i in 0..g {
+            for j in i..g {
+                let c = ws.coeff[i * g + j];
+                if c != 0.0 {
+                    coeff.push((i as u16, j as u16), c);
+                }
+            }
+        }
         JoinCoefficients {
             grid: inner.grid().clone(),
             basis,
-            coeff: ws.coeff.clone(),
+            coeff,
         }
     }
 
@@ -303,17 +321,21 @@ impl JoinCoefficients {
     }
 
     /// [`Self::apply`] into a reused output histogram (allocation-free
-    /// once `out` has capacity).
+    /// once `out` has capacity): one merge pass over the two sorted
+    /// entry runs.
     pub fn apply_into(&self, outer: &PositionHistogram, out: &mut PositionHistogram) -> Result<()> {
         if outer.grid() != &self.grid {
             return Err(Error::GridMismatch);
         }
-        let g = self.grid.g() as usize;
         out.clear_to(&self.grid);
-        for &((i, j), v) in outer.flat().entries() {
-            let c = self.coeff[i as usize * g + j as usize];
-            if c != 0.0 {
-                out.push_sorted((i, j), v * c);
+        let coeffs = self.coeff.entries();
+        let mut c = 0usize;
+        for &(cell, v) in outer.flat().entries() {
+            while c < coeffs.len() && coeffs[c].0 < cell {
+                c += 1;
+            }
+            if c < coeffs.len() && coeffs[c].0 == cell {
+                out.push_sorted(cell, v * coeffs[c].1);
             }
         }
         Ok(())
@@ -324,30 +346,60 @@ impl JoinCoefficients {
         if outer.grid() != &self.grid {
             return Err(Error::GridMismatch);
         }
-        let g = self.grid.g() as usize;
-        Ok(outer
-            .flat()
-            .entries()
-            .iter()
-            .map(|&((i, j), v)| v * self.coeff[i as usize * g + j as usize])
-            .sum())
+        let coeffs = self.coeff.entries();
+        let mut c = 0usize;
+        let mut total = 0.0;
+        for &(cell, v) in outer.flat().entries() {
+            while c < coeffs.len() && coeffs[c].0 < cell {
+                c += 1;
+            }
+            if c < coeffs.len() && coeffs[c].0 == cell {
+                total += v * coeffs[c].1;
+            }
+        }
+        Ok(total)
     }
 
-    /// Coefficient for a single cell.
+    /// Coefficient for a single cell (zero when not stored).
     pub fn get(&self, cell: Cell) -> f64 {
-        let g = self.grid.g() as usize;
-        self.coeff[cell.0 as usize * g + cell.1 as usize]
+        self.coeff.get(cell)
     }
 
     pub fn basis(&self) -> Basis {
         self.basis
     }
 
-    /// Extra storage the precomputation costs, "approximately equal to
-    /// that of the original position histogram" (we store it dense here;
-    /// a sparse variant would match the histogram exactly).
+    /// The grid the table was computed on.
+    pub fn grid(&self) -> &crate::grid::Grid {
+        &self.grid
+    }
+
+    /// Non-zero coefficient entries in row-major cell order — the direct
+    /// input to the catalog's CSR serialization.
+    pub fn entries(&self) -> &[(Cell, f64)] {
+        self.coeff.entries()
+    }
+
+    /// Reconstructs a table from persisted sparse entries (must arrive
+    /// strictly row-major sorted with valid upper-triangular cells; the
+    /// caller — [`crate::catalog`] — validates both).
+    pub(crate) fn from_sorted_entries(
+        grid: crate::grid::Grid,
+        basis: Basis,
+        entries: &[(Cell, f64)],
+    ) -> Self {
+        let mut coeff = crate::position_histogram::FlatHistogram::new(grid.g());
+        for &(cell, v) in entries {
+            coeff.push(cell, v);
+        }
+        JoinCoefficients { grid, basis, coeff }
+    }
+
+    /// Extra storage the precomputation costs — with CSR entries this is
+    /// now exactly the histogram accounting of Fig. 11 ("approximately
+    /// equal to that of the original position histogram").
     pub fn storage_bytes(&self) -> usize {
-        self.coeff.iter().filter(|c| **c != 0.0).count() * crate::position_histogram::BYTES_PER_CELL
+        self.coeff.len() * crate::position_histogram::BYTES_PER_CELL
     }
 }
 

@@ -1,0 +1,499 @@
+//! Per-document summary shards and their exact merge into the mega-tree
+//! view.
+//!
+//! The paper's Section 3.1 merges a document collection into one
+//! *mega-tree* (synthetic root, one numbering space) and summarizes that.
+//! A monolithic build re-classifies every document whenever the
+//! collection changes. This module splits the pipeline at the document
+//! boundary instead:
+//!
+//! 1. **Classify once per document** ([`classify_document`]): a single
+//!    traversal of one document's tree evaluates every catalog predicate
+//!    (tag predicates through the interner in O(1) per node) and records
+//!    the results as position-space-*local* interval lists plus per-depth
+//!    counts — a [`DocumentSummaryInput`]. This is the only step that
+//!    ever touches a tree, and it never needs to be repeated for a
+//!    document that is already in the collection.
+//! 2. **Build one shard per document** ([`build_shard_summaries`]): given
+//!    the document's global *position offset* and the collection-wide
+//!    grid, the classified lists shift into mega-tree coordinates and
+//!    build a full [`Summaries`] for just that document (histograms,
+//!    coverage, levels) — pure functions of the interval lists, fanned
+//!    out across documents with `rayon` by the engine.
+//! 3. **Merge the shards** ([`merge_shards`]): per-predicate
+//!    [`PositionHistogram::plus`]-style combination reconstructs the
+//!    mega-tree summaries *exactly* (integer cell counts add losslessly;
+//!    coverage fractions merge by reconstructing per-document covered
+//!    counts from each shard's TRUE histogram). The synthetic mega-root
+//!    is accounted analytically — which predicates match it is statically
+//!    decidable ([`matches_mega_root`]) because content predicates only
+//!    ever match text nodes.
+//!
+//! ## Position arithmetic
+//!
+//! Node ids equal pre-order positions, so a document whose tree has `n`
+//! nodes occupies the contiguous global position range
+//! `[offset, offset + n)`; the mega-root sits at position 0 with interval
+//! `(0, T − 1)` for `T` total nodes. Document intervals never straddle
+//! each other, which is what makes every merge rule exact:
+//!
+//! * histograms and TRUE histograms add cell-wise ([`PositionHistogram::plus`]);
+//! * the *no-overlap* property holds globally iff it holds in every
+//!   document (cross-document nesting is geometrically impossible), with
+//!   the mega-root overlapping everything it matches alongside;
+//! * coverage interior pairs (implicit 1) stay interior — a node in a
+//!   cell strictly inside a covering cell's span is nested in that
+//!   covering interval, which cannot happen across documents;
+//! * border-pair fractions merge by counts: each shard's fraction times
+//!   its TRUE-histogram cell population recovers the covered-node count,
+//!   and the merged fraction divides by the merged population.
+//!
+//! The engine (`xmlest-engine`'s `Database`) keeps the classified inputs
+//! alongside the shard summaries, so `add_document`/`remove_document`
+//! only classify the new document, rebuild shards from stored lists on
+//! the new grid, and re-merge — never re-parsing or re-classifying the
+//! rest of the collection.
+
+use crate::error::Result;
+use crate::estimator::{build_one_from_intervals, PredicateSummary, Summaries, SummaryConfig};
+use crate::grid::{Cell, Grid};
+use crate::parent_child::LevelHistogram;
+use crate::position_histogram::PositionHistogram;
+use std::collections::{BTreeMap, BTreeSet};
+use xmlest_predicate::{BasePredicate, Catalog};
+use xmlest_xml::{Interval, XmlTree};
+
+use xmlest_xml::MEGA_ROOT_TAG;
+
+/// Whether a base predicate matches the synthetic mega-root element.
+/// Statically decidable: the mega-root is an element with tag `#root` at
+/// depth 0 and no text of its own, and content predicates only match
+/// text nodes.
+pub fn matches_mega_root(pred: &BasePredicate) -> bool {
+    match pred {
+        BasePredicate::Tag(name) => name == MEGA_ROOT_TAG,
+        BasePredicate::Level(l) => *l == 0,
+        BasePredicate::AnyElement | BasePredicate::True => true,
+        BasePredicate::ContentEquals(_)
+        | BasePredicate::ContentPrefix(_)
+        | BasePredicate::ContentSuffix(_)
+        | BasePredicate::ContentContains(_)
+        | BasePredicate::ContentIntRange(..)
+        | BasePredicate::AnyText => false,
+    }
+}
+
+/// Entry names in the order classification and shard builds use them:
+/// the built-in structural predicates first, then the catalog in name
+/// order. The engine realigns stored classifications against this list
+/// when a catalog grows (a new document introducing new tags).
+pub fn entry_names(catalog: &Catalog) -> Vec<String> {
+    Summaries::entry_list(catalog)
+        .into_iter()
+        .map(|(name, _)| name)
+        .collect()
+}
+
+/// Number of built-in structural entries preceding catalog entries in
+/// every entry-ordered list ([`entry_names`],
+/// [`DocumentSummaryInput::entries`]).
+pub fn builtin_entry_count() -> usize {
+    Summaries::BUILTINS.len()
+}
+
+/// One catalog entry's classified data for one document, in the
+/// document's local position space.
+#[derive(Debug, Clone, Default)]
+pub struct EntryMatches {
+    /// Matching node intervals in document order (local coordinates).
+    pub intervals: Vec<Interval>,
+    /// Node counts per local depth (document root = 0).
+    pub level_counts: Vec<f64>,
+}
+
+/// The classification of one document against a catalog: everything a
+/// shard build needs, none of it requiring the tree again. Entries are
+/// ordered exactly like the monolithic build's entry list: the built-in
+/// structural predicates (`#element`, `#text`, `#true`) first, then the
+/// catalog in name order.
+#[derive(Debug, Clone)]
+pub struct DocumentSummaryInput {
+    /// Total nodes in the document (== its position-space span).
+    pub node_count: u32,
+    /// Interval of every node, document order, local coordinates.
+    pub all_intervals: Vec<Interval>,
+    /// Per catalog entry (builtins first), the classified matches.
+    pub entries: Vec<EntryMatches>,
+}
+
+impl DocumentSummaryInput {
+    /// Approximate heap footprint (bytes) of the classified lists —
+    /// reported by diagnostics, not used for estimation.
+    pub fn storage_bytes(&self) -> usize {
+        let per_iv = std::mem::size_of::<Interval>();
+        self.all_intervals.len() * per_iv
+            + self
+                .entries
+                .iter()
+                .map(|e| e.intervals.len() * per_iv + e.level_counts.len() * 8)
+                .sum::<usize>()
+    }
+}
+
+/// Classifies one document tree against `catalog` in a single traversal
+/// — the per-document half of [`Summaries::build`]'s classification
+/// pass. Tag predicates dispatch through the interner; `Level`
+/// predicates are evaluated against *mega-tree* depths (local depth + 1)
+/// so shard results agree with the monolithic mega-tree build.
+pub fn classify_document(tree: &XmlTree, catalog: &Catalog) -> DocumentSummaryInput {
+    let entry_list = Summaries::entry_list(catalog);
+    let tag_count = tree.tags().len();
+    let mut by_tag: Vec<Vec<usize>> = vec![Vec::new(); tag_count];
+    let mut general: Vec<(usize, &BasePredicate)> = Vec::new();
+    for (k, (_, pred)) in entry_list.iter().enumerate() {
+        match pred {
+            BasePredicate::Tag(name) => {
+                if let Some(tag) = tree.tags().get(name) {
+                    by_tag[tag.index()].push(k);
+                }
+            }
+            _ => general.push((k, pred)),
+        }
+    }
+
+    let mut entries: Vec<EntryMatches> = vec![EntryMatches::default(); entry_list.len()];
+    let mut all_intervals = Vec::with_capacity(tree.len());
+    for node in tree.iter() {
+        let iv = tree.interval(node);
+        all_intervals.push(iv);
+        let depth = tree.depth(node) as usize;
+        let mut record = |k: usize| {
+            let e = &mut entries[k];
+            e.intervals.push(iv);
+            if e.level_counts.len() <= depth + 1 {
+                e.level_counts.resize(depth + 2, 0.0);
+            }
+            // Mega-tree depth: the document root hangs off the synthetic
+            // root, so every local depth shifts by one.
+            e.level_counts[depth + 1] += 1.0;
+        };
+        if let Some(tag) = tree.tag(node) {
+            for &k in &by_tag[tag.index()] {
+                record(k);
+            }
+        }
+        for &(k, pred) in &general {
+            // `Level` compares against the mega-tree depth; every other
+            // predicate is position-independent and evaluates locally.
+            let hit = match pred {
+                BasePredicate::Level(l) => depth as u32 + 1 == *l,
+                _ => pred.eval(tree, node),
+            };
+            if hit {
+                record(k);
+            }
+        }
+    }
+
+    DocumentSummaryInput {
+        node_count: tree.len() as u32,
+        all_intervals,
+        entries,
+    }
+}
+
+/// Shifts a local interval by a document's global position offset.
+#[inline]
+fn shift(iv: Interval, offset: u32) -> Interval {
+    Interval::new(iv.start + offset, iv.end + offset)
+}
+
+/// Builds one document's summary shard on the collection-wide grid:
+/// the classified local lists shift by `offset` into mega-tree
+/// coordinates and run through the same per-predicate build as the
+/// monolithic path. The result is a complete [`Summaries`] over just
+/// this document's nodes (its TRUE histogram counts only them), directly
+/// usable for per-document estimation and as a [`merge_shards`] operand.
+pub fn build_shard_summaries(
+    input: &DocumentSummaryInput,
+    offset: u32,
+    grid: &Grid,
+    catalog: &Catalog,
+    config: &SummaryConfig,
+) -> Summaries {
+    let entry_list = Summaries::entry_list(catalog);
+    debug_assert_eq!(entry_list.len(), input.entries.len(), "catalog drift");
+    let all_shifted: Vec<Interval> = input
+        .all_intervals
+        .iter()
+        .map(|&iv| shift(iv, offset))
+        .collect();
+    let true_hist = PositionHistogram::from_intervals(grid.clone(), &all_shifted);
+
+    let mut preds = BTreeMap::new();
+    for (k, (name, pred)) in entry_list.iter().enumerate() {
+        let e = &input.entries[k];
+        let shifted: Vec<Interval> = e.intervals.iter().map(|&iv| shift(iv, offset)).collect();
+        let levels = config
+            .build_levels
+            .then(|| LevelHistogram::from_counts(e.level_counts.clone()));
+        let summary =
+            build_one_from_intervals(grid, &all_shifted, name, pred, &shifted, levels, config);
+        preds.insert(name.clone(), summary);
+    }
+
+    Summaries {
+        grid: grid.clone(),
+        true_hist,
+        preds,
+        dtd: config.dtd.clone(),
+        tree_nodes: input.node_count as u64,
+        build_id: crate::estimator::next_build_id(),
+    }
+}
+
+/// The collection-wide grid for a set of classified documents with the
+/// given offsets: uniform over the mega-tree position space by default,
+/// equi-depth over the shifted catalog-match positions when configured —
+/// byte-identical to the grid the monolithic mega-tree build derives.
+pub fn make_collection_grid(
+    inputs: &[(&DocumentSummaryInput, u32)],
+    catalog: &Catalog,
+    config: &SummaryConfig,
+) -> Result<Grid> {
+    let g = if config.grid_size == 0 {
+        10
+    } else {
+        config.grid_size
+    };
+    let total: u64 = 1 + inputs.iter().map(|(i, _)| i.node_count as u64).sum::<u64>();
+    let max_pos = (total - 1) as u32;
+    if config.equi_depth {
+        let builtins = Summaries::BUILTINS.len();
+        let entry_list = Summaries::entry_list(catalog);
+        let mut positions: Vec<u32> = Vec::new();
+        // The mega-root's position for entries that match it — the
+        // monolithic classification includes it in the match lists.
+        for (name, pred) in entry_list.iter().skip(builtins) {
+            let _ = name;
+            if matches_mega_root(pred) {
+                positions.push(0);
+            }
+        }
+        for (input, offset) in inputs {
+            for e in input.entries.iter().skip(builtins) {
+                positions.extend(e.intervals.iter().map(|iv| iv.start + offset));
+            }
+        }
+        positions.sort_unstable();
+        if !positions.is_empty() {
+            return Grid::equi_depth(g, &positions, max_pos);
+        }
+    }
+    Grid::uniform(g, max_pos)
+}
+
+/// Merges per-document shard summaries (all built by
+/// [`build_shard_summaries`] on the same `grid`) into the mega-tree
+/// view, adding the synthetic root's contributions analytically. See the
+/// module docs for why every rule is exact; the engine's agreement test
+/// holds the result to the monolithic build within 1e-6.
+pub fn merge_shards(
+    shards: &[&Summaries],
+    grid: &Grid,
+    catalog: &Catalog,
+    config: &SummaryConfig,
+) -> Result<Summaries> {
+    let entry_list = Summaries::entry_list(catalog);
+    let total_nodes: u64 = 1 + shards.iter().map(|s| s.tree_nodes()).sum::<u64>();
+    let root_iv = Interval::new(0, (total_nodes - 1) as u32);
+    let root_cell = grid.cell_of(root_iv);
+
+    // TRUE histogram: root + cell-wise sums.
+    let mut true_hist = PositionHistogram::empty(grid.clone());
+    true_hist.set(root_cell, 1.0);
+    for s in shards {
+        true_hist = true_hist.plus(s.true_hist())?;
+    }
+
+    let mut preds = BTreeMap::new();
+    for (name, pred) in &entry_list {
+        let root_match = matches_mega_root(pred);
+        let parts: Vec<(&Summaries, &PredicateSummary)> = shards
+            .iter()
+            .map(|s| (*s, s.get(name).expect("shards share the catalog")))
+            .collect();
+
+        // Histogram: root contribution + cell-wise sums.
+        let mut hist = PositionHistogram::empty(grid.clone());
+        if root_match {
+            hist.set(root_cell, 1.0);
+        }
+        for (_, p) in &parts {
+            hist = hist.plus(&p.hist)?;
+        }
+
+        let shard_count: u64 = parts.iter().map(|(_, p)| p.count).sum();
+        let count = shard_count + u64::from(root_match);
+        let width_sum: f64 = parts
+            .iter()
+            .map(|(_, p)| p.avg_width * p.count as f64)
+            .sum::<f64>()
+            + if root_match {
+                root_iv.width() as f64
+            } else {
+                0.0
+            };
+        let avg_width = if count == 0 {
+            0.0
+        } else {
+            width_sum / count as f64
+        };
+
+        // Overlap property: the DTD override mirrors the monolithic
+        // build; otherwise no-overlap holds globally iff it holds in
+        // every document (cross-document intervals are disjoint), and a
+        // matching mega-root nests every other match.
+        let no_overlap = match (&config.dtd, pred) {
+            (Some(dtd), BasePredicate::Tag(t)) if dtd.tags().any(|known| known == t) => {
+                dtd.no_overlap(t)
+            }
+            _ => {
+                if root_match {
+                    shard_count == 0
+                } else {
+                    parts.iter().all(|(_, p)| p.no_overlap || p.count == 0)
+                }
+            }
+        };
+
+        let cvg = (config.build_coverage && no_overlap && count > 0)
+            .then(|| merge_coverage(grid, &true_hist, &parts, root_match, root_cell))
+            .flatten();
+
+        let levels = config.build_levels.then(|| {
+            let mut counts: Vec<f64> = vec![0.0; usize::from(root_match)];
+            if root_match {
+                counts[0] = 1.0;
+            }
+            for (_, p) in &parts {
+                if let Some(l) = &p.levels {
+                    let lc = l.counts();
+                    if counts.len() < lc.len() {
+                        counts.resize(lc.len(), 0.0);
+                    }
+                    for (d, &c) in lc.iter().enumerate() {
+                        counts[d] += c;
+                    }
+                }
+            }
+            LevelHistogram::from_counts(counts)
+        });
+
+        preds.insert(
+            name.clone(),
+            PredicateSummary {
+                name: name.clone(),
+                pred: pred.clone(),
+                hist,
+                cvg,
+                levels,
+                no_overlap,
+                count,
+                avg_width,
+            },
+        );
+    }
+
+    Ok(Summaries {
+        grid: grid.clone(),
+        true_hist,
+        preds,
+        dtd: config.dtd.clone(),
+        tree_nodes: total_nodes,
+        build_id: crate::estimator::next_build_id(),
+    })
+}
+
+/// Merges per-document coverage histograms by reconstructing covered
+/// counts: a shard's stored fraction times its TRUE-histogram population
+/// is the number of covered nodes it contributes; dividing the summed
+/// counts by the merged population recovers the collection-wide
+/// fraction. A predicate matching the mega-root alone (the only
+/// root-matching configuration that can still be no-overlap) covers
+/// every other node and is reconstructed from the merged TRUE histogram
+/// directly.
+fn merge_coverage(
+    grid: &Grid,
+    merged_true: &PositionHistogram,
+    parts: &[(&Summaries, &PredicateSummary)],
+    root_match: bool,
+    root_cell: Cell,
+) -> Option<CoverageOut> {
+    let g = grid.g();
+    if root_match {
+        // P = {mega-root}: every non-root node is covered by the root's
+        // cell. Interior cells are implicit; border cells (sharing the
+        // root cell's start or end bucket) store their exact fraction.
+        let mut partial = BTreeMap::new();
+        for (cell, total) in merged_true.iter() {
+            let border = cell.0 == root_cell.0 || cell.1 == root_cell.1;
+            if !border {
+                continue;
+            }
+            let covered = if cell == root_cell {
+                total - 1.0
+            } else {
+                total
+            };
+            if covered > 0.0 {
+                partial.insert((cell, root_cell), covered / total);
+            }
+        }
+        let covering: BTreeSet<Cell> = std::iter::once(root_cell).collect();
+        return Some(crate::coverage::CoverageHistogram::from_parts(
+            grid.clone(),
+            covering,
+            partial,
+            BTreeMap::new(),
+        ));
+    }
+
+    // Union of covering cells and summed covered counts per border pair.
+    let mut covering: BTreeSet<Cell> = BTreeSet::new();
+    let mut counts: BTreeMap<(Cell, Cell), f64> = BTreeMap::new();
+    for (shard, p) in parts {
+        let Some(cvg) = &p.cvg else { continue };
+        covering.extend(cvg.covering_cells());
+        // A shard's stored value is a fraction of its *own* population;
+        // its TRUE histogram recovers the covered count exactly.
+        for ((covered, acell), frac) in cvg.iter_partial() {
+            let shard_total = shard.true_hist().get(covered);
+            counts
+                .entry((covered, acell))
+                .and_modify(|c| *c += frac * shard_total)
+                .or_insert(frac * shard_total);
+        }
+    }
+    if covering.is_empty() {
+        // No shard built coverage (predicate matches nothing anywhere);
+        // mirror the monolithic rule of skipping empty predicates.
+        return None;
+    }
+    let mut partial = BTreeMap::new();
+    for ((covered, acell), cnt) in counts {
+        debug_assert!(covered.1 < g && acell.1 < g);
+        let total = merged_true.get(covered);
+        if total > 0.0 && cnt > 0.0 {
+            partial.insert((covered, acell), cnt / total);
+        }
+    }
+    Some(crate::coverage::CoverageHistogram::from_parts(
+        grid.clone(),
+        covering,
+        partial,
+        BTreeMap::new(),
+    ))
+}
+
+type CoverageOut = crate::coverage::CoverageHistogram;

@@ -74,49 +74,49 @@ pub fn from_bytes(data: &[u8]) -> Result<Summaries> {
 }
 
 #[derive(Default)]
-struct Writer {
-    out: Vec<u8>,
+pub(crate) struct Writer {
+    pub(crate) out: Vec<u8>,
 }
 
 impl Writer {
-    fn bytes(&mut self, b: &[u8]) {
+    pub(crate) fn bytes(&mut self, b: &[u8]) {
         self.out.extend_from_slice(b);
     }
-    fn u8(&mut self, v: u8) {
+    pub(crate) fn u8(&mut self, v: u8) {
         self.out.push(v);
     }
-    fn u16(&mut self, v: u16) {
+    pub(crate) fn u16(&mut self, v: u16) {
         self.out.extend_from_slice(&v.to_le_bytes());
     }
-    fn u32(&mut self, v: u32) {
+    pub(crate) fn u32(&mut self, v: u32) {
         self.out.extend_from_slice(&v.to_le_bytes());
     }
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         self.out.extend_from_slice(&v.to_le_bytes());
     }
-    fn i64(&mut self, v: i64) {
+    pub(crate) fn i64(&mut self, v: i64) {
         self.out.extend_from_slice(&v.to_le_bytes());
     }
-    fn f64(&mut self, v: f64) {
+    pub(crate) fn f64(&mut self, v: f64) {
         self.out.extend_from_slice(&v.to_le_bytes());
     }
-    fn str(&mut self, s: &str) {
+    pub(crate) fn str(&mut self, s: &str) {
         self.u32(s.len() as u32);
         self.bytes(s.as_bytes());
     }
-    fn cell(&mut self, c: Cell) {
+    pub(crate) fn cell(&mut self, c: Cell) {
         self.u16(c.0);
         self.u16(c.1);
     }
 }
 
-struct Reader<'a> {
-    data: &'a [u8],
-    pos: usize,
+pub(crate) struct Reader<'a> {
+    pub(crate) data: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl Reader<'_> {
-    fn take(&mut self, n: usize) -> Result<&[u8]> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&[u8]> {
         if self.pos + n > self.data.len() {
             return Err(Error::Corrupt("unexpected end of data".into()));
         }
@@ -124,35 +124,35 @@ impl Reader<'_> {
         self.pos += n;
         Ok(s)
     }
-    fn u8(&mut self) -> Result<u8> {
+    pub(crate) fn u8(&mut self) -> Result<u8> {
         Ok(self.take(1)?[0])
     }
-    fn u16(&mut self) -> Result<u16> {
+    pub(crate) fn u16(&mut self) -> Result<u16> {
         Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
     }
-    fn u32(&mut self) -> Result<u32> {
+    pub(crate) fn u32(&mut self) -> Result<u32> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
     }
-    fn u64(&mut self) -> Result<u64> {
+    pub(crate) fn u64(&mut self) -> Result<u64> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
     }
-    fn i64(&mut self) -> Result<i64> {
+    pub(crate) fn i64(&mut self) -> Result<i64> {
         Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
     }
-    fn f64(&mut self) -> Result<f64> {
+    pub(crate) fn f64(&mut self) -> Result<f64> {
         Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
     }
-    fn str(&mut self) -> Result<String> {
+    pub(crate) fn str(&mut self) -> Result<String> {
         let n = self.u32()? as usize;
         let b = self.take(n)?;
         String::from_utf8(b.to_vec()).map_err(|_| Error::Corrupt("invalid UTF-8".into()))
     }
-    fn cell(&mut self) -> Result<Cell> {
+    pub(crate) fn cell(&mut self) -> Result<Cell> {
         Ok((self.u16()?, self.u16()?))
     }
 }
 
-fn write_grid(w: &mut Writer, g: &Grid) {
+pub(crate) fn write_grid(w: &mut Writer, g: &Grid) {
     let b = g.boundaries();
     w.u32(b.len() as u32);
     for &x in b {
@@ -167,7 +167,7 @@ fn write_grid(w: &mut Writer, g: &Grid) {
     }
 }
 
-fn read_grid(r: &mut Reader) -> Result<Grid> {
+pub(crate) fn read_grid(r: &mut Reader) -> Result<Grid> {
     let n = r.u32()? as usize;
     let mut boundaries = Vec::with_capacity(n);
     for _ in 0..n {
@@ -177,7 +177,7 @@ fn read_grid(r: &mut Reader) -> Result<Grid> {
     Grid::from_parts(boundaries, uniform_width)
 }
 
-fn write_hist(w: &mut Writer, h: &PositionHistogram) {
+pub(crate) fn write_hist(w: &mut Writer, h: &PositionHistogram) {
     w.u32(h.non_zero_cells() as u32);
     for (cell, v) in h.iter() {
         w.cell(cell);
@@ -185,7 +185,7 @@ fn write_hist(w: &mut Writer, h: &PositionHistogram) {
     }
 }
 
-fn read_hist(r: &mut Reader, grid: &Grid) -> Result<PositionHistogram> {
+pub(crate) fn read_hist(r: &mut Reader, grid: &Grid) -> Result<PositionHistogram> {
     let n = r.u32()? as usize;
     let mut h = PositionHistogram::empty(grid.clone());
     for _ in 0..n {
@@ -278,7 +278,7 @@ fn read_levels(r: &mut Reader) -> Result<LevelHistogram> {
     Ok(LevelHistogram::from_counts(counts))
 }
 
-fn write_base_pred(w: &mut Writer, p: &BasePredicate) {
+pub(crate) fn write_base_pred(w: &mut Writer, p: &BasePredicate) {
     match p {
         BasePredicate::Tag(s) => {
             w.u8(0);
@@ -315,7 +315,7 @@ fn write_base_pred(w: &mut Writer, p: &BasePredicate) {
     }
 }
 
-fn read_base_pred(r: &mut Reader) -> Result<BasePredicate> {
+pub(crate) fn read_base_pred(r: &mut Reader) -> Result<BasePredicate> {
     Ok(match r.u8()? {
         0 => BasePredicate::Tag(r.str()?),
         1 => BasePredicate::ContentEquals(r.str()?),

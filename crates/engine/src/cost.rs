@@ -16,7 +16,8 @@
 
 use crate::error::Result;
 use crate::plan::{FlatTwig, JoinAlgorithm, Plan};
-use xmlest_core::Estimator;
+use std::collections::HashMap;
+use xmlest_core::{Estimator, TwigNode};
 
 /// Estimated cost breakdown of one plan.
 #[derive(Debug, Clone)]
@@ -33,39 +34,124 @@ pub struct CostedPlan {
     pub total: f64,
 }
 
+/// Reusable scratch for plan costing over **one** twig: the induced
+/// sub-twigs a plan prefix generates are memoized by joined-node
+/// bitmask, and the per-step result buffers are reused across plans.
+/// After every induced sub-twig of a twig's plans has been seen once,
+/// re-costing allocates nothing (cardinalities come from the estimator's
+/// view-based totals, which run on the thread-local arena) — enforced by
+/// `tests/alloc_discipline.rs`.
+///
+/// A workspace is bound to the twig of its first use; using it with a
+/// different twig would serve wrong sub-patterns, so don't share one
+/// across queries (the optimizer creates one per enumeration).
+#[derive(Debug, Default)]
+pub struct CostWorkspace {
+    /// Induced sub-twigs keyed by the joined-node set's bitmask.
+    induced: HashMap<u64, TwigNode>,
+    joined: Vec<usize>,
+    /// Per-step outputs of the most recent [`cost_plan_with`] call.
+    pub step_outputs: Vec<f64>,
+    /// Per-step algorithm choices of the most recent call.
+    pub step_algos: Vec<JoinAlgorithm>,
+    /// Per-step costs of the most recent call.
+    pub step_costs: Vec<f64>,
+}
+
+/// Key for the induced-twig memo: node sets with every index < 64 get
+/// an exact bitmask; larger twigs (beyond any plan the optimizer
+/// enumerates, but reachable through the public costing API) bypass the
+/// memo rather than risk colliding masks.
+const UNMEMOIZABLE: u64 = u64::MAX;
+
+impl CostWorkspace {
+    pub fn new() -> Self {
+        CostWorkspace::default()
+    }
+
+    fn mask_of(joined: &[usize]) -> u64 {
+        if joined.iter().any(|&n| n >= 64) {
+            return UNMEMOIZABLE;
+        }
+        joined.iter().fold(0, |m, &n| m | (1u64 << n))
+    }
+
+    /// The memoized induced twig for the current `joined` set; sets too
+    /// large to key exactly are rebuilt each time instead.
+    fn induced<'s>(
+        induced: &'s mut HashMap<u64, TwigNode>,
+        twig: &FlatTwig,
+        joined: &[usize],
+    ) -> &'s TwigNode {
+        let mask = Self::mask_of(joined);
+        let entry = induced.entry(mask);
+        if mask == UNMEMOIZABLE {
+            // Not memoizable: always rebuild (the slot just holds the
+            // latest, so the returned borrow stays valid).
+            return &*entry
+                .and_modify(|t| *t = twig.induced_twig(joined))
+                .or_insert_with(|| twig.induced_twig(joined));
+        }
+        entry.or_insert_with(|| twig.induced_twig(joined))
+    }
+}
+
 /// Prices a plan with the estimator, choosing the cheaper physical
-/// algorithm at each step.
+/// algorithm at each step. Convenience wrapper over [`cost_plan_with`]
+/// that materializes an owned [`CostedPlan`].
 pub fn cost_plan(est: &Estimator<'_>, twig: &FlatTwig, plan: &Plan) -> Result<CostedPlan> {
-    let mut joined: Vec<usize> = Vec::new();
+    let mut ws = CostWorkspace::new();
+    let total = cost_plan_with(est, twig, plan, &mut ws)?;
+    Ok(CostedPlan {
+        plan: plan.clone(),
+        step_outputs: ws.step_outputs.clone(),
+        step_algos: ws.step_algos.clone(),
+        step_costs: ws.step_costs.clone(),
+        total,
+    })
+}
+
+/// [`cost_plan`] on a reused workspace, returning the total and leaving
+/// per-step data in the workspace buffers. Every cardinality comes from
+/// the estimator's view-based totals ([`Estimator::node_total`],
+/// [`Estimator::twig_match_total`]) — no owned `NodeStats` (histogram +
+/// coverage clones) are materialized anywhere on this path.
+pub fn cost_plan_with(
+    est: &Estimator<'_>,
+    twig: &FlatTwig,
+    plan: &Plan,
+    ws: &mut CostWorkspace,
+) -> Result<f64> {
+    ws.joined.clear();
+    ws.step_outputs.clear();
+    ws.step_algos.clear();
+    ws.step_costs.clear();
     let mut total = 0.0;
-    let mut step_outputs = Vec::with_capacity(plan.steps.len());
-    let mut step_algos = Vec::with_capacity(plan.steps.len());
-    let mut step_costs = Vec::with_capacity(plan.steps.len());
 
     for (i, step) in plan.steps.iter().enumerate() {
         let (p, c, _) = twig.edges[step.0];
         // Cardinality of the already-joined component (or the ancestor
         // predicate itself on the first step) and of the attached node.
         let (new_node, left_card) = if i == 0 {
-            joined.extend([p, c]);
-            let left = est.node_stats(&twig.preds[p])?.hist.total();
+            ws.joined.extend([p, c]);
+            let left = est.node_total(&twig.preds[p])?;
             (None, left)
-        } else if joined.contains(&p) {
-            let partial = twig.induced_twig(&joined);
-            let left = est.twig_stats(&partial)?.match_total();
-            joined.push(c);
+        } else if ws.joined.contains(&p) {
+            let partial = CostWorkspace::induced(&mut ws.induced, twig, &ws.joined);
+            let left = est.twig_match_total(partial)?;
+            ws.joined.push(c);
             (Some(c), left)
         } else {
-            let partial = twig.induced_twig(&joined);
-            let left = est.twig_stats(&partial)?.match_total();
-            joined.push(p);
+            let partial = CostWorkspace::induced(&mut ws.induced, twig, &ws.joined);
+            let left = est.twig_match_total(partial)?;
+            ws.joined.push(p);
             (Some(p), left)
         };
         let right_node = new_node.unwrap_or(c);
-        let right_card = est.node_stats(&twig.preds[right_node])?.hist.total();
+        let right_card = est.node_total(&twig.preds[right_node])?;
 
-        let combined = twig.induced_twig(&joined);
-        let out_card = est.twig_stats(&combined)?.match_total();
+        let combined = CostWorkspace::induced(&mut ws.induced, twig, &ws.joined);
+        let out_card = est.twig_match_total(combined)?;
 
         // The scanning side of a navigational join is the edge's parent
         // endpoint; estimate scans as its participation so far.
@@ -86,18 +172,12 @@ pub fn cost_plan(est: &Estimator<'_>, twig: &FlatTwig, plan: &Plan) -> Result<Co
             (JoinAlgorithm::Structural, structural)
         };
         total += cost;
-        step_outputs.push(out_card);
-        step_algos.push(algo);
-        step_costs.push(cost);
+        ws.step_outputs.push(out_card);
+        ws.step_algos.push(algo);
+        ws.step_costs.push(cost);
     }
 
-    Ok(CostedPlan {
-        plan: plan.clone(),
-        step_outputs,
-        step_algos,
-        step_costs,
-        total,
-    })
+    Ok(total)
 }
 
 #[cfg(test)]

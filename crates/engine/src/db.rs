@@ -1,13 +1,40 @@
-//! The database object: document + catalog + indexes + summaries.
+//! The database object: document collection + catalog + indexes +
+//! summaries, in a three-layer serving architecture.
+//!
+//! * **Data layer** — the (mega-)tree and the element index, used by
+//!   exact counting and plan execution. Optional: a database opened from
+//!   a persisted catalog ([`Database::open_catalog`]) has summaries but
+//!   no data tree, and serves estimates only.
+//! * **Shard layer** — per-document summary shards
+//!   (`xmlest_core::shard`): each document is classified once, its shard
+//!   summaries build on the shared grid in parallel, and the merged
+//!   mega-tree view is an exact [`PositionHistogram::plus`]-style
+//!   combination. [`Database::add_document`] / [`Database::remove_document`]
+//!   re-merge from the stored classified lists — they never re-parse or
+//!   re-classify the rest of the collection.
+//! * **Serving layer** — the estimator over the merged summaries, the
+//!   shared [`CoeffCache`], the parsed-twig cache (repeated path strings
+//!   hit a cached [`TwigNode`]), and [`crate::service::EstimationService`]
+//!   for batched estimation.
+//!
+//! [`PositionHistogram::plus`]: xmlest_core::PositionHistogram::plus
 
 use crate::error::{Error, Result};
-use std::collections::BTreeMap;
-use xmlest_core::{CoeffCache, Estimator, Summaries, SummaryConfig};
-use xmlest_predicate::{Catalog, PredExpr};
+use rayon::prelude::*;
+use std::borrow::Cow;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, RwLock};
+use xmlest_core::catalog::{CatalogFile, CatalogShard};
+use xmlest_core::shard::{
+    build_shard_summaries, builtin_entry_count, classify_document, entry_names,
+    make_collection_grid, matches_mega_root, DocumentSummaryInput,
+};
+use xmlest_core::{CoeffCache, Estimator, Summaries, SummaryConfig, TwigNode};
+use xmlest_predicate::{BasePredicate, Catalog, PredExpr};
 use xmlest_query::structural::Item;
 use xmlest_query::{count_matches, parse_path};
 use xmlest_xml::parser::parse_str;
-use xmlest_xml::{NodeId, XmlTree};
+use xmlest_xml::{ForestBuilder, Interval, NodeId, XmlTree};
 
 /// Element index: per catalog predicate, the matching nodes with their
 /// intervals in document order — the input lists for structural joins.
@@ -31,6 +58,44 @@ impl ElementIndex {
         ElementIndex { lists }
     }
 
+    /// Builds the index for a sharded collection from the stored
+    /// classified lists: tag entries concatenate each document's
+    /// (shifted) matches without touching any tree (node ids equal
+    /// positions, so the shifted start *is* the mega-tree id); only
+    /// non-tag predicates fall back to a tree scan.
+    fn build_sharded(tree: &XmlTree, catalog: &Catalog, shards: &[DocShard]) -> ElementIndex {
+        let builtins = builtin_entry_count();
+        let total: u64 = 1 + shards.iter().map(|s| s.summaries.tree_nodes()).sum::<u64>();
+        let mut lists = BTreeMap::new();
+        for (pos, entry) in catalog.iter().enumerate() {
+            let items = match &entry.predicate {
+                BasePredicate::Tag(_) if shards.iter().all(|s| s.source.is_some()) => {
+                    let mut items: Vec<Item<NodeId>> = Vec::new();
+                    if matches_mega_root(&entry.predicate) {
+                        let iv = Interval::new(0, (total - 1) as u32);
+                        items.push(Item::new(iv, NodeId(0)));
+                    }
+                    for shard in shards {
+                        let input = &shard.source.as_ref().expect("checked above").input;
+                        for iv in &input.entries[builtins + pos].intervals {
+                            let shifted =
+                                Interval::new(iv.start + shard.offset, iv.end + shard.offset);
+                            items.push(Item::new(shifted, NodeId(shifted.start)));
+                        }
+                    }
+                    items
+                }
+                pred => pred
+                    .matches(tree)
+                    .into_iter()
+                    .map(|n| Item::new(tree.interval(n), n))
+                    .collect(),
+            };
+            lists.insert(entry.name.clone(), items);
+        }
+        ElementIndex { lists }
+    }
+
     pub fn get(&self, name: &str) -> Option<&[Item<NodeId>]> {
         self.lists.get(name).map(Vec::as_slice)
     }
@@ -44,30 +109,104 @@ impl ElementIndex {
     }
 }
 
+/// Cache of parsed path queries, shared by [`Database::estimate`],
+/// [`Database::count`] and the [`crate::service::EstimationService`].
+/// Hits take a read lock and clone an [`Arc`] — no parsing, no
+/// allocation. Capacity is bounded: serving workloads embed
+/// user-supplied values in paths, and an unbounded map keyed by raw
+/// query strings would grow for the life of the database. Once full,
+/// unseen paths parse without being admitted (the hot query set is
+/// assumed to arrive first; a full cache keeps serving its hits).
+#[derive(Debug, Default)]
+pub(crate) struct TwigCache {
+    map: RwLock<HashMap<String, Arc<TwigNode>>>,
+}
+
+/// Most distinct path strings the cache will hold.
+const TWIG_CACHE_CAP: usize = 4096;
+
+impl TwigCache {
+    /// Returns the cached parse of `path`, parsing (and inserting while
+    /// capacity remains) on a miss.
+    pub(crate) fn get_or_parse(&self, path: &str) -> Result<Arc<TwigNode>> {
+        if let Some(hit) = self.map.read().expect("twig cache lock").get(path) {
+            return Ok(hit.clone());
+        }
+        let parsed = Arc::new(parse_path(path)?);
+        let mut map = self.map.write().expect("twig cache lock");
+        if map.len() >= TWIG_CACHE_CAP && !map.contains_key(path) {
+            return Ok(parsed);
+        }
+        Ok(map.entry(path.to_owned()).or_insert(parsed).clone())
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.map.read().expect("twig cache lock").len()
+    }
+}
+
+/// The data half of one document shard — retained for collections built
+/// from documents so the collection can change without re-parsing; a
+/// catalog-opened database has summaries only.
+#[derive(Debug)]
+struct ShardSource {
+    tree: XmlTree,
+    input: DocumentSummaryInput,
+}
+
+/// One document's shard: its summaries on the shared grid plus (when
+/// available) the parsed tree and classified lists.
+#[derive(Debug)]
+struct DocShard {
+    name: String,
+    /// Global position offset of the document root in the mega-tree.
+    offset: u32,
+    summaries: Summaries,
+    source: Option<ShardSource>,
+}
+
 /// A loaded database.
 pub struct Database {
-    tree: XmlTree,
+    /// The data tree (mega-tree for collections); `None` for databases
+    /// opened from a persisted catalog, which serve estimates only.
+    tree: Option<XmlTree>,
     catalog: Catalog,
+    config: SummaryConfig,
+    /// The merged serving view.
     summaries: Summaries,
+    /// Per-document shards (empty for single-document [`Database::load_str`]).
+    shards: Vec<DocShard>,
+    /// Whether this database was built as a mutable document collection
+    /// (sources retained). Stays true when the collection is emptied, so
+    /// `remove_document` down to zero then `add_document` works.
+    collection: bool,
     index: ElementIndex,
     /// Memoized pH-join coefficient tables over `summaries`. Summaries
-    /// are immutable for the life of the database, so entries never
-    /// invalidate; every estimator handed out by [`Database::estimator`]
-    /// shares this cache.
+    /// are immutable between collection changes; every estimator handed
+    /// out by [`Database::estimator`] shares this cache, and
+    /// [`Database::save_catalog`] persists its tables.
     coeff_cache: CoeffCache,
+    /// Parsed-twig cache serving [`Database::estimate`] and the
+    /// estimation service.
+    twig_cache: TwigCache,
 }
 
 impl Database {
-    /// Builds a database from an existing tree and catalog.
+    /// Builds a database from an existing tree and catalog (monolithic:
+    /// one document, no shards).
     pub fn new(tree: XmlTree, catalog: Catalog, config: &SummaryConfig) -> Result<Database> {
         let summaries = Summaries::build(&tree, &catalog, config)?;
         let index = ElementIndex::build(&tree, &catalog);
         Ok(Database {
-            tree,
+            tree: Some(tree),
             catalog,
+            config: config.clone(),
             summaries,
+            shards: Vec::new(),
+            collection: false,
             index,
             coeff_cache: CoeffCache::new(),
+            twig_cache: TwigCache::default(),
         })
     }
 
@@ -83,30 +222,336 @@ impl Database {
     /// Loads a *collection* of documents, merged into the paper's
     /// mega-tree (Section 3.1): one synthetic root, each document a
     /// child subtree, one numbering space, one histogram set.
+    ///
+    /// Built **sharded**: each document is parsed and classified once,
+    /// per-document summary shards build in parallel on the shared grid,
+    /// and the serving view is their exact merge (within 1e-6 of the
+    /// monolithic mega-tree build; the shards stay available through
+    /// [`Database::shard_summaries`] and make [`Database::add_document`] /
+    /// [`Database::remove_document`] incremental).
     pub fn load_documents<'a>(
         docs: impl IntoIterator<Item = (&'a str, &'a str)>,
         config: &SummaryConfig,
     ) -> Result<Database> {
-        let mut fb = xmlest_xml::ForestBuilder::new();
-        for (name, xml) in docs {
-            fb.add_document(name, xml)?;
-        }
-        let tree = fb.finish()?.into_tree();
+        let named: Vec<(&str, &str)> = docs.into_iter().collect();
+        // Parse every document in parallel (each into its own tree).
+        let parsed: Vec<xmlest_xml::Result<XmlTree>> =
+            named.par_iter().map(|&(_, xml)| parse_str(xml)).collect();
         let mut catalog = Catalog::new();
-        catalog.define_all_tags(&tree);
-        Database::new(tree, catalog, config)
+        let mut trees = Vec::with_capacity(parsed.len());
+        for tree in parsed {
+            let tree = tree?;
+            catalog.define_all_tags(&tree);
+            trees.push(tree);
+        }
+        // The synthetic root is part of the mega-tree's tag set.
+        catalog.define(
+            xmlest_xml::MEGA_ROOT_TAG,
+            BasePredicate::Tag(xmlest_xml::MEGA_ROOT_TAG.to_owned()),
+        );
+
+        // Classify each document once, in parallel.
+        let inputs: Vec<DocumentSummaryInput> = trees
+            .par_iter()
+            .map(|tree| classify_document(tree, &catalog))
+            .collect();
+
+        let sources = named
+            .iter()
+            .zip(trees.into_iter().zip(inputs))
+            .map(|(&(name, _), (tree, input))| (name.to_owned(), ShardSource { tree, input }))
+            .collect();
+        Database::from_collection(catalog, config.clone(), sources)
     }
 
+    /// Derives every collection-level structure from per-document state:
+    /// offsets, the shared grid, shard summaries (parallel across
+    /// documents), the merged view, the mega-tree (replayed from the
+    /// already-parsed document trees — no XML re-parse) and the element
+    /// index (concatenated from the classified lists). Classification of
+    /// existing documents is never repeated.
+    fn from_collection(
+        catalog: Catalog,
+        config: SummaryConfig,
+        sources: Vec<(String, ShardSource)>,
+    ) -> Result<Database> {
+        // Offsets: the mega-root occupies position 0; each document's
+        // nodes follow contiguously.
+        let mut offsets = Vec::with_capacity(sources.len());
+        let mut offset = 1u32;
+        for (_, src) in &sources {
+            offsets.push(offset);
+            offset += src.input.node_count;
+        }
+
+        let inputs: Vec<(&DocumentSummaryInput, u32)> = sources
+            .iter()
+            .zip(&offsets)
+            .map(|((_, src), &off)| (&src.input, off))
+            .collect();
+        let grid = make_collection_grid(&inputs, &catalog, &config)?;
+
+        // Per-document shard builds fan out across cores.
+        let built: Vec<Summaries> = inputs
+            .par_iter()
+            .map(|&(input, off)| build_shard_summaries(input, off, &grid, &catalog, &config))
+            .collect();
+
+        let shard_refs: Vec<&Summaries> = built.iter().collect();
+        let summaries = xmlest_core::shard::merge_shards(&shard_refs, &grid, &catalog, &config)?;
+
+        // Mega-tree: replay the stored document trees (document-order
+        // cost, no XML parsing). Exact counting and plan execution read
+        // this; estimation never does.
+        let mut fb = ForestBuilder::new();
+        for (name, src) in &sources {
+            fb.add_tree(name, &src.tree)?;
+        }
+        let tree = fb.finish()?.into_tree();
+
+        let shards: Vec<DocShard> = sources
+            .into_iter()
+            .zip(offsets)
+            .zip(built)
+            .map(|(((name, src), offset), summaries)| DocShard {
+                name,
+                offset,
+                summaries,
+                source: Some(src),
+            })
+            .collect();
+        let index = ElementIndex::build_sharded(&tree, &catalog, &shards);
+        Ok(Database {
+            tree: Some(tree),
+            catalog,
+            config,
+            summaries,
+            shards,
+            collection: true,
+            index,
+            coeff_cache: CoeffCache::new(),
+            twig_cache: TwigCache::default(),
+        })
+    }
+
+    /// Drains the shards back into `(name, source)` pairs for a
+    /// [`Database::from_collection`] rebuild. Callers must have checked
+    /// [`Database::require_collection`].
+    fn take_sources(&mut self) -> Vec<(String, ShardSource)> {
+        std::mem::take(&mut self.shards)
+            .into_iter()
+            .map(|s| (s.name, s.source.expect("collection shards have sources")))
+            .collect()
+    }
+
+    /// Adds a document to the collection. Parses and classifies only the
+    /// new document, then re-merges the shards — existing documents are
+    /// never re-parsed or re-classified (their shard summaries re-bucket
+    /// from the stored classified lists onto the grown grid).
+    ///
+    /// Only databases built with [`Database::load_documents`] support
+    /// this; single-document and catalog-opened databases return
+    /// [`Error::NoData`].
+    pub fn add_document(&mut self, name: impl Into<String>, xml: &str) -> Result<()> {
+        self.require_collection()?;
+        let tree = parse_str(xml)?;
+
+        // New tags extend the catalog; stored classifications realign by
+        // entry name (a tag absent from a document's interner matches
+        // nothing there, so inserted entries are exactly empty).
+        let old_names = entry_names(&self.catalog);
+        self.catalog.define_all_tags(&tree);
+        let new_names = entry_names(&self.catalog);
+        if old_names != new_names {
+            let index_of: HashMap<&str, usize> = old_names
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (n.as_str(), i))
+                .collect();
+            for shard in &mut self.shards {
+                let src = shard
+                    .source
+                    .as_mut()
+                    .expect("collection shards have sources");
+                let mut realigned = Vec::with_capacity(new_names.len());
+                for n in &new_names {
+                    realigned.push(match index_of.get(n.as_str()) {
+                        Some(&i) => std::mem::take(&mut src.input.entries[i]),
+                        None => Default::default(),
+                    });
+                }
+                src.input.entries = realigned;
+            }
+        }
+
+        let input = classify_document(&tree, &self.catalog);
+        let mut sources = self.take_sources();
+        sources.push((name.into(), ShardSource { tree, input }));
+        *self = Database::from_collection(self.catalog.clone(), self.config.clone(), sources)?;
+        Ok(())
+    }
+
+    /// Removes a document by name, re-merging the remaining shards (no
+    /// re-parse, no re-classification). The catalog keeps its predicate
+    /// definitions; tags now matching nothing summarize as empty.
+    pub fn remove_document(&mut self, name: &str) -> Result<()> {
+        self.require_collection()?;
+        if !self.shards.iter().any(|s| s.name == name) {
+            return Err(Error::NoData(format!("no document named {name:?}")));
+        }
+        let mut sources = self.take_sources();
+        sources.retain(|(n, _)| n != name);
+        *self = Database::from_collection(self.catalog.clone(), self.config.clone(), sources)?;
+        Ok(())
+    }
+
+    fn require_collection(&self) -> Result<()> {
+        if !self.collection {
+            return Err(Error::NoData(if self.has_data() {
+                "not a document collection (built with load_str/new)".into()
+            } else {
+                "catalog-opened database has no document trees".into()
+            }));
+        }
+        Ok(())
+    }
+
+    // ---- persistence -------------------------------------------------
+
+    /// Serializes everything derived — config, predicate catalog, the
+    /// merged summaries, every per-document shard, and the memoized
+    /// coefficient tables — into a versioned, checksummed catalog blob.
+    /// [`Database::open_catalog`] restores a serving-ready database from
+    /// it with zero tree traversal and byte-identical estimates.
+    ///
+    /// The optional DTD analysis is **not** persisted (it is derivable
+    /// from the schema). A database built with a DTD config therefore
+    /// reopens without its schema shortcuts until the same analysis is
+    /// re-attached with [`Database::attach_dtd`] — only then are its
+    /// estimates byte-identical again.
+    pub fn save_catalog(&self) -> Vec<u8> {
+        let mut config = self.config.clone();
+        config.dtd = None;
+        CatalogFile {
+            config,
+            catalog: self.catalog.clone(),
+            merged: self.summaries.clone(),
+            shards: self
+                .shards
+                .iter()
+                .map(|s| CatalogShard {
+                    name: s.name.clone(),
+                    offset: s.offset,
+                    summaries: s.summaries.clone(),
+                })
+                .collect(),
+            coefficients: self
+                .coeff_cache
+                .entries()
+                .into_iter()
+                .map(|(name, _basis, table)| (name, (*table).clone()))
+                .collect(),
+        }
+        .to_bytes()
+    }
+
+    /// Opens a database from catalog bytes: summaries, shards and
+    /// coefficient tables deserialize directly — **zero tree
+    /// traversal**, no parsing of any document. The result serves
+    /// estimates (including batched service estimation) byte-identically
+    /// to the database that was saved — for DTD-configured builds only
+    /// after [`Database::attach_dtd`] restores the (never-persisted)
+    /// analysis. Exact counting, candidate lists and plan execution
+    /// need the data tree and return [`Error::NoData`].
+    pub fn open_catalog(bytes: &[u8]) -> Result<Database> {
+        let file = CatalogFile::from_bytes(bytes)?;
+        let db = Database {
+            tree: None,
+            catalog: file.catalog,
+            config: file.config,
+            summaries: file.merged,
+            shards: file
+                .shards
+                .into_iter()
+                .map(|s| DocShard {
+                    name: s.name,
+                    offset: s.offset,
+                    summaries: s.summaries,
+                    source: None,
+                })
+                .collect(),
+            collection: false,
+            index: ElementIndex::default(),
+            coeff_cache: CoeffCache::new(),
+            twig_cache: TwigCache::default(),
+        };
+        for (name, table) in file.coefficients {
+            db.coeff_cache.seed(&db.summaries, &name, Arc::new(table));
+        }
+        Ok(db)
+    }
+
+    // ---- accessors ---------------------------------------------------
+
+    /// The data tree. Panics for catalog-opened databases — use
+    /// [`Database::try_tree`] when the database may be serving-only.
     pub fn tree(&self) -> &XmlTree {
-        &self.tree
+        self.try_tree()
+            .expect("catalog-opened database has no data tree (serving-only)")
+    }
+
+    /// The data tree, if this database has one.
+    pub fn try_tree(&self) -> Option<&XmlTree> {
+        self.tree.as_ref()
+    }
+
+    /// Whether the database carries the data tree (false after
+    /// [`Database::open_catalog`]).
+    pub fn has_data(&self) -> bool {
+        self.tree.is_some()
     }
 
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
     }
 
+    /// The build configuration (DTD analysis included only for databases
+    /// built in-process or re-attached after a catalog open).
+    pub fn config(&self) -> &SummaryConfig {
+        &self.config
+    }
+
+    /// Re-attaches a DTD analysis to the merged view and every shard —
+    /// the one derived structure the catalog format does not persist.
+    /// Schema shortcuts resume immediately; attaching the same analysis
+    /// the summaries were built with restores a DTD-configured
+    /// database's estimates exactly (overlap properties were baked in
+    /// at build time and round-trip on their own).
+    pub fn attach_dtd(&mut self, dtd: xmlest_xml::dtd::DtdAnalysis) {
+        self.config.dtd = Some(dtd.clone());
+        self.summaries.attach_dtd(dtd.clone());
+        for shard in &mut self.shards {
+            shard.summaries.attach_dtd(dtd.clone());
+        }
+    }
+
     pub fn summaries(&self) -> &Summaries {
         &self.summaries
+    }
+
+    /// Document names in collection order (empty for single-document
+    /// databases).
+    pub fn document_names(&self) -> Vec<&str> {
+        self.shards.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    /// A document's own summary shard (same grid as the merged view), if
+    /// this database is a collection and the document exists.
+    pub fn shard_summaries(&self, name: &str) -> Option<&Summaries> {
+        self.shards
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| &s.summaries)
     }
 
     pub fn estimator(&self) -> Estimator<'_> {
@@ -118,24 +563,45 @@ impl Database {
         &self.coeff_cache
     }
 
+    /// Number of distinct path strings in the parsed-twig cache.
+    pub fn cached_twig_count(&self) -> usize {
+        self.twig_cache.len()
+    }
+
+    pub(crate) fn twig_cache(&self) -> &TwigCache {
+        &self.twig_cache
+    }
+
     pub fn index(&self) -> &ElementIndex {
         &self.index
     }
 
-    /// Candidate list for a pattern-node predicate. Named predicates come
-    /// from the index; other expressions are evaluated on the fly.
-    pub fn candidates(&self, pred: &PredExpr) -> Result<Vec<Item<NodeId>>> {
+    // ---- queries -----------------------------------------------------
+
+    /// Candidate list for a pattern-node predicate. Named predicates
+    /// **borrow** their index list (no clone — the satellite fix for the
+    /// old `to_vec` here); other expressions are evaluated on the fly
+    /// into an owned list.
+    pub fn candidates(&self, pred: &PredExpr) -> Result<Cow<'_, [Item<NodeId>]>> {
         if let PredExpr::Named(name) = pred {
             return self
                 .index
                 .get(name)
-                .map(<[Item<NodeId>]>::to_vec)
-                .ok_or_else(|| xmlest_query::Error::UnknownPredicate(name.clone()).into());
+                .map(Cow::Borrowed)
+                .ok_or_else(|| match self.tree {
+                    Some(_) => xmlest_query::Error::UnknownPredicate(name.clone()).into(),
+                    None => Error::NoData("catalog-opened database has no element index".into()),
+                });
         }
+        let Some(tree) = self.tree.as_ref() else {
+            return Err(Error::NoData(
+                "catalog-opened database has no data tree".into(),
+            ));
+        };
         let mut out = Vec::new();
-        for node in self.tree.iter() {
-            match pred.eval(&self.catalog, &self.tree, node) {
-                Some(true) => out.push(Item::new(self.tree.interval(node), node)),
+        for node in tree.iter() {
+            match pred.eval(&self.catalog, tree, node) {
+                Some(true) => out.push(Item::new(tree.interval(node), node)),
                 Some(false) => {}
                 None => {
                     let missing = pred
@@ -148,18 +614,26 @@ impl Database {
                 }
             }
         }
-        Ok(out)
+        Ok(Cow::Owned(out))
     }
 
     /// Parses and exactly answers a path query (count of matches).
+    /// Requires the data tree.
     pub fn count(&self, path: &str) -> Result<u64> {
-        let twig = parse_path(path)?;
-        Ok(count_matches(&self.tree, &self.catalog, &twig)?)
+        let Some(tree) = self.tree.as_ref() else {
+            return Err(Error::NoData(
+                "exact counting needs the data tree; this database was opened from a catalog"
+                    .into(),
+            ));
+        };
+        let twig = self.twig_cache.get_or_parse(path)?;
+        Ok(count_matches(tree, &self.catalog, &twig)?)
     }
 
-    /// Parses and estimates a path query from the summaries.
+    /// Parses and estimates a path query from the summaries. Repeated
+    /// path strings skip the parser via the shared twig cache.
     pub fn estimate(&self, path: &str) -> Result<xmlest_core::Estimate> {
-        let twig = parse_path(path)?;
+        let twig = self.twig_cache.get_or_parse(path)?;
         Ok(self.estimator().estimate_twig(&twig)?)
     }
 
@@ -174,6 +648,12 @@ impl Database {
         twig: &xmlest_core::TwigNode,
     ) -> Result<xmlest_core::Estimate> {
         Ok(self.estimator().estimate_twig_with(ws, twig)?)
+    }
+
+    /// An estimation service over this database: parsed-twig cache plus
+    /// a pool of reusable workspaces, with batched (rayon) estimation.
+    pub fn service(&self) -> crate::service::EstimationService<'_> {
+        crate::service::EstimationService::new(self)
     }
 }
 
@@ -220,10 +700,13 @@ mod tests {
         let d = db();
         let named = d.candidates(&PredExpr::named("RA")).unwrap();
         assert_eq!(named.len(), 10);
+        // Named predicates borrow the index list.
+        assert!(matches!(named, Cow::Borrowed(_)));
         let any = d
             .candidates(&PredExpr::Base(xmlest_predicate::BasePredicate::AnyElement))
             .unwrap();
         assert_eq!(any.len(), d.tree().len());
+        assert!(matches!(any, Cow::Owned(_)));
         assert!(d.candidates(&PredExpr::named("ghost")).is_err());
     }
 
@@ -288,5 +771,157 @@ mod tests {
         let d = db();
         assert!(d.count("//faculty//GHOST").is_err());
         assert!(d.estimate("//faculty//GHOST").is_err());
+    }
+
+    #[test]
+    fn estimate_reuses_parsed_twigs() {
+        let d = db();
+        assert_eq!(d.cached_twig_count(), 0);
+        let first = d.estimate("//faculty//TA").unwrap().value;
+        assert_eq!(d.cached_twig_count(), 1);
+        for _ in 0..5 {
+            assert_eq!(d.estimate("//faculty//TA").unwrap().value, first);
+        }
+        assert_eq!(d.cached_twig_count(), 1, "repeat paths re-parsed");
+        d.estimate("//staff//name").unwrap();
+        assert_eq!(d.cached_twig_count(), 2);
+        // count() shares the cache.
+        d.count("//faculty//TA").unwrap();
+        assert_eq!(d.cached_twig_count(), 2);
+    }
+
+    #[test]
+    fn add_and_remove_documents_incrementally() {
+        let mut d = Database::load_documents(
+            [("a.xml", "<a><x/><x/></a>"), ("b.xml", "<b><y/></b>")],
+            &SummaryConfig::paper_defaults().with_grid_size(8),
+        )
+        .unwrap();
+        assert_eq!(d.document_names(), vec!["a.xml", "b.xml"]);
+        assert_eq!(d.summaries().get("x").unwrap().count, 2);
+        assert!(d.shard_summaries("a.xml").is_some());
+
+        // Adding a document with a brand-new tag extends the catalog.
+        d.add_document("c.xml", "<a><x/><z/></a>").unwrap();
+        assert_eq!(d.document_names().len(), 3);
+        assert_eq!(d.summaries().get("x").unwrap().count, 3);
+        assert_eq!(d.summaries().get("z").unwrap().count, 1);
+        assert_eq!(d.count("//a//x").unwrap(), 3);
+        assert_eq!(d.index().get("x").unwrap().len(), 3);
+
+        d.remove_document("a.xml").unwrap();
+        assert_eq!(d.document_names(), vec!["b.xml", "c.xml"]);
+        assert_eq!(d.summaries().get("x").unwrap().count, 1);
+        assert_eq!(d.count("//a//x").unwrap(), 1);
+        assert!(d.remove_document("a.xml").is_err(), "already removed");
+
+        // Single-document databases are not collections.
+        let mut single = db();
+        assert!(matches!(
+            single.add_document("x", "<x/>"),
+            Err(Error::NoData(_))
+        ));
+    }
+
+    #[test]
+    fn collection_survives_being_emptied() {
+        let mut d = Database::load_documents(
+            [("a.xml", "<a><x/></a>")],
+            &SummaryConfig::paper_defaults().with_grid_size(4),
+        )
+        .unwrap();
+        d.remove_document("a.xml").unwrap();
+        assert!(d.document_names().is_empty());
+        assert_eq!(d.summaries().get("x").unwrap().count, 0);
+        // An emptied collection is still a collection: refilling works.
+        d.add_document("b.xml", "<a><x/><x/></a>").unwrap();
+        assert_eq!(d.summaries().get("x").unwrap().count, 2);
+        assert_eq!(d.count("//a//x").unwrap(), 2);
+    }
+
+    #[test]
+    fn attach_dtd_restores_schema_shortcuts_after_reopen() {
+        let dtd_text = r#"
+            <!ELEMENT department (faculty|staff)+>
+            <!ELEMENT faculty (name, TA*)>
+            <!ELEMENT staff (name)>
+            <!ELEMENT name (#PCDATA)>
+            <!ELEMENT TA (#PCDATA)>
+        "#;
+        let dtd = xmlest_xml::dtd::parse_dtd(dtd_text).unwrap().analyze();
+        let d = Database::load_documents(
+            [(
+                "a.xml",
+                "<department><faculty><name/><TA/></faculty><staff><name/></staff></department>",
+            )],
+            &SummaryConfig::paper_defaults()
+                .with_grid_size(4)
+                .with_dtd(dtd.clone()),
+        )
+        .unwrap();
+        // TA cannot appear under staff: the DTD shortcut answers 0.
+        let want = d
+            .estimator()
+            .estimate_pair("staff", "TA", xmlest_core::EstimateMethod::Auto)
+            .unwrap();
+        assert_eq!(want.method, "schema");
+        assert_eq!(want.value, 0.0);
+
+        let mut reopened = Database::open_catalog(&d.save_catalog()).unwrap();
+        // Without the DTD the shortcut is gone (documented caveat)...
+        let cold = reopened
+            .estimator()
+            .estimate_pair("staff", "TA", xmlest_core::EstimateMethod::Auto)
+            .unwrap();
+        assert_ne!(cold.method, "schema");
+        // ...and re-attaching the same analysis restores it exactly.
+        reopened.attach_dtd(dtd);
+        let warm = reopened
+            .estimator()
+            .estimate_pair("staff", "TA", xmlest_core::EstimateMethod::Auto)
+            .unwrap();
+        assert_eq!(warm.method, "schema");
+        assert_eq!(warm.value.to_bits(), want.value.to_bits());
+    }
+
+    #[test]
+    fn catalog_round_trip_serves_identical_estimates() {
+        let d = Database::load_documents(
+            [
+                ("a.xml", FIG1),
+                (
+                    "b.xml",
+                    "<department><faculty><TA/><TA/></faculty></department>",
+                ),
+            ],
+            &SummaryConfig::paper_defaults().with_grid_size(6),
+        )
+        .unwrap();
+        // Warm the coefficient cache so tables are persisted too.
+        let paths = ["//faculty//TA", "//department//RA", "//faculty//name"];
+        let expected: Vec<f64> = paths.iter().map(|p| d.estimate(p).unwrap().value).collect();
+
+        let bytes = d.save_catalog();
+        let reopened = Database::open_catalog(&bytes).unwrap();
+        assert!(!reopened.has_data());
+        for (path, want) in paths.iter().zip(&expected) {
+            let got = reopened.estimate(path).unwrap().value;
+            assert!(
+                got.to_bits() == want.to_bits(),
+                "{path}: {got} vs {want} (not byte-identical)"
+            );
+        }
+        // Shards round-trip with their names.
+        assert_eq!(reopened.document_names(), vec!["a.xml", "b.xml"]);
+        assert!(reopened.shard_summaries("b.xml").is_some());
+        // Data-dependent operations fail cleanly.
+        assert!(matches!(
+            reopened.count("//faculty//TA"),
+            Err(Error::NoData(_))
+        ));
+        assert!(matches!(
+            reopened.candidates(&PredExpr::named("TA")),
+            Err(Error::NoData(_))
+        ));
     }
 }

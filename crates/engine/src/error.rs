@@ -9,6 +9,10 @@ pub enum Error {
     Xml(xmlest_xml::Error),
     /// Plan construction/validation problems.
     Plan(String),
+    /// The operation needs data this database does not carry (e.g.
+    /// exact counting on a catalog-opened, serving-only database, or
+    /// collection mutation on a single-document database).
+    NoData(String),
 }
 
 impl fmt::Display for Error {
@@ -18,6 +22,7 @@ impl fmt::Display for Error {
             Error::Query(e) => write!(f, "query: {e}"),
             Error::Xml(e) => write!(f, "xml: {e}"),
             Error::Plan(msg) => write!(f, "plan: {msg}"),
+            Error::NoData(msg) => write!(f, "no data: {msg}"),
         }
     }
 }

@@ -51,11 +51,13 @@ pub fn execute_plan_with(
     plan: &Plan,
     algos: &[JoinAlgorithm],
 ) -> Result<Execution> {
-    // Materialize candidate lists per pattern node.
+    // Materialize candidate lists per pattern node. Execution mutates
+    // the lists (semi-join filtering), so borrowed index lists from
+    // `candidates` are cloned into owned form here — exactly once.
     let mut cands: Vec<Vec<Item<NodeId>>> = twig
         .preds
         .iter()
-        .map(|p| db.candidates(p))
+        .map(|p| db.candidates(p).map(std::borrow::Cow::into_owned))
         .collect::<Result<_>>()?;
 
     let mut step_pairs = Vec::with_capacity(plan.steps.len());

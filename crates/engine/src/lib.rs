@@ -23,8 +23,10 @@ pub mod error;
 pub mod exec;
 pub mod optimizer;
 pub mod plan;
+pub mod service;
 
 pub use db::Database;
 pub use error::{Error, Result};
 pub use optimizer::{ExplainedPlan, Optimizer};
 pub use plan::{FlatTwig, Plan, PlanStep};
+pub use service::{EstimationService, TwigRef};

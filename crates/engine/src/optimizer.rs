@@ -2,7 +2,7 @@
 //! with the estimator, pick the cheapest — then optionally execute and
 //! report estimated vs actual cardinalities (EXPLAIN ANALYZE style).
 
-use crate::cost::{cost_plan, CostedPlan};
+use crate::cost::{cost_plan_with, CostWorkspace, CostedPlan};
 use crate::db::Database;
 use crate::error::{Error, Result};
 use crate::exec::{execute_plan, execute_plan_with, Execution};
@@ -73,10 +73,21 @@ impl<'a> Optimizer<'a> {
             return Err(Error::Plan("pattern has no edges to join".into()));
         }
         let est = self.db.estimator();
-        let mut costed: Vec<CostedPlan> = plans
-            .iter()
-            .map(|p| cost_plan(&est, &flat, p))
-            .collect::<Result<_>>()?;
+        // One workspace across all plans of this twig: induced sub-twig
+        // estimates are shared between plans that join the same prefix
+        // sets, and per-step buffers are reused.
+        let mut ws = CostWorkspace::new();
+        let mut costed: Vec<CostedPlan> = Vec::with_capacity(plans.len());
+        for p in &plans {
+            let total = cost_plan_with(&est, &flat, p, &mut ws)?;
+            costed.push(CostedPlan {
+                plan: p.clone(),
+                step_outputs: ws.step_outputs.clone(),
+                step_algos: ws.step_algos.clone(),
+                step_costs: ws.step_costs.clone(),
+                total,
+            });
+        }
         costed.sort_by(|a, b| a.total.total_cmp(&b.total));
         Ok(costed)
     }

@@ -1,0 +1,288 @@
+//! The batch estimation service — the serving layer over a
+//! [`Database`].
+//!
+//! Serving "millions of users" means the same few thousand path strings
+//! arrive over and over, in batches. One estimate through the plain API
+//! costs a path parse plus whatever the estimator allocates; this module
+//! removes both from the steady state:
+//!
+//! * a **parsed-twig cache** (shared with [`Database::estimate`], so the
+//!   two entry points warm each other): repeated path strings resolve to
+//!   a cached [`TwigNode`] behind an [`Arc`] — a hit is a read-lock and
+//!   an atomic increment, no parsing, no allocation;
+//! * a **workspace pool**: each worker draining a batch checks one
+//!   [`TwigWorkspace`] out of the pool, runs every estimate of its share
+//!   on it through the zero-alloc `estimate_twig_with` path, and returns
+//!   it. The pool never exceeds the worker count, and a warm pool makes
+//!   the per-estimate loop **allocation-free per worker** (enforced by
+//!   `tests/alloc_discipline.rs`);
+//! * **batched fan-out**: [`EstimationService::estimate_batch`] spreads
+//!   a batch across `rayon` workers; small batches run inline on the
+//!   calling thread (thread spin-up would dominate).
+//!
+//! Results are exactly the single-shot [`Database::estimate`] values —
+//! the service changes scheduling, never math.
+
+use crate::db::Database;
+use crate::error::Result;
+use rayon::prelude::*;
+use std::sync::{Arc, Mutex};
+use xmlest_core::{Estimate, TwigNode, TwigWorkspace};
+
+/// One query in a batch: a path string (resolved through the service's
+/// parsed-twig cache) or an already-parsed twig.
+#[derive(Debug, Clone, Copy)]
+pub enum TwigRef<'a> {
+    /// A path query string, e.g. `"//faculty//TA"`.
+    Path(&'a str),
+    /// A pre-parsed twig pattern.
+    Twig(&'a TwigNode),
+}
+
+impl<'a> From<&'a str> for TwigRef<'a> {
+    fn from(path: &'a str) -> Self {
+        TwigRef::Path(path)
+    }
+}
+
+impl<'a> From<&'a TwigNode> for TwigRef<'a> {
+    fn from(twig: &'a TwigNode) -> Self {
+        TwigRef::Twig(twig)
+    }
+}
+
+/// Batches below this size run inline: spreading across threads costs
+/// more than estimating.
+const PARALLEL_THRESHOLD: usize = 16;
+
+/// A batch estimation service over one database. Cheap to construct
+/// (the twig cache lives on the database and persists across services);
+/// hold one for the life of a serving loop so the workspace pool stays
+/// warm.
+pub struct EstimationService<'db> {
+    db: &'db Database,
+    /// Warm, reusable estimation arenas — at most one per concurrent
+    /// worker ever exists.
+    pool: Mutex<Vec<TwigWorkspace>>,
+}
+
+impl<'db> EstimationService<'db> {
+    pub(crate) fn new(db: &'db Database) -> Self {
+        EstimationService {
+            db,
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The database this service estimates over.
+    pub fn database(&self) -> &'db Database {
+        self.db
+    }
+
+    /// Resolves a [`TwigRef`] to a parsed twig, hitting the shared cache
+    /// for path strings.
+    fn resolve<'q>(&self, q: TwigRef<'q>) -> Result<ResolvedTwig<'q>> {
+        match q {
+            TwigRef::Path(p) => Ok(ResolvedTwig::Cached(self.db.twig_cache().get_or_parse(p)?)),
+            TwigRef::Twig(t) => Ok(ResolvedTwig::Borrowed(t)),
+        }
+    }
+
+    /// Checks a workspace out of the pool (allocating a fresh one only
+    /// while the pool is still warming up).
+    fn take_ws(&self) -> TwigWorkspace {
+        self.pool
+            .lock()
+            .expect("workspace pool lock")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn put_ws(&self, ws: TwigWorkspace) {
+        self.pool.lock().expect("workspace pool lock").push(ws);
+    }
+
+    /// Estimates one query on a pooled workspace.
+    pub fn estimate<'q>(&self, q: impl Into<TwigRef<'q>>) -> Result<Estimate> {
+        self.estimate_one(q.into())
+    }
+
+    /// Estimates a batch, fanning it across `rayon` workers with **one
+    /// pooled workspace per worker**: the batch splits into one
+    /// contiguous chunk per available core, and each worker checks a
+    /// workspace out once, drains its chunk on it, and returns it — the
+    /// pool lock is taken twice per worker, not per query. Per-query
+    /// errors (unknown predicates, parse failures) come back in the
+    /// matching slot; result order matches the batch.
+    pub fn estimate_batch(&self, batch: &[TwigRef<'_>]) -> Vec<Result<Estimate>> {
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        if batch.len() < PARALLEL_THRESHOLD || workers == 1 {
+            let mut out = Vec::with_capacity(batch.len());
+            self.estimate_batch_into(batch, &mut out);
+            return out;
+        }
+        let chunk_size = batch.len().div_ceil(workers);
+        let chunks: Vec<&[TwigRef<'_>]> = batch.chunks(chunk_size).collect();
+        let parts: Vec<Vec<Result<Estimate>>> = chunks
+            .par_iter()
+            .map(|&chunk| {
+                let mut out = Vec::with_capacity(chunk.len());
+                self.estimate_batch_into(chunk, &mut out);
+                out
+            })
+            .collect();
+        parts.into_iter().flatten().collect()
+    }
+
+    /// The serial batch loop, writing into a caller-owned buffer — the
+    /// measurable form of the per-worker steady state: with a warmed
+    /// pool, cached twigs and a buffer with capacity, the loop performs
+    /// **zero heap allocations** (see `tests/alloc_discipline.rs`).
+    pub fn estimate_batch_into(&self, batch: &[TwigRef<'_>], out: &mut Vec<Result<Estimate>>) {
+        out.clear();
+        let mut ws = self.take_ws();
+        let est = self.db.estimator();
+        for &q in batch {
+            let res = match self.resolve(q) {
+                Ok(twig) => est
+                    .estimate_twig_with(&mut ws, twig.as_ref())
+                    .map_err(Into::into),
+                Err(e) => Err(e),
+            };
+            out.push(res);
+        }
+        self.put_ws(ws);
+    }
+
+    /// One query on one pooled workspace (the parallel worker body).
+    fn estimate_one(&self, q: TwigRef<'_>) -> Result<Estimate> {
+        let twig = self.resolve(q)?;
+        let mut ws = self.take_ws();
+        let out = self
+            .db
+            .estimator()
+            .estimate_twig_with(&mut ws, twig.as_ref())
+            .map_err(Into::into);
+        self.put_ws(ws);
+        out
+    }
+
+    /// Number of path strings currently cached.
+    pub fn cached_twig_count(&self) -> usize {
+        self.db.cached_twig_count()
+    }
+
+    /// Number of idle workspaces currently pooled.
+    pub fn pooled_workspaces(&self) -> usize {
+        self.pool.lock().expect("workspace pool lock").len()
+    }
+}
+
+/// A resolved query: cached parse or caller-borrowed twig.
+enum ResolvedTwig<'a> {
+    Cached(Arc<TwigNode>),
+    Borrowed(&'a TwigNode),
+}
+
+impl ResolvedTwig<'_> {
+    fn as_ref(&self) -> &TwigNode {
+        match self {
+            ResolvedTwig::Cached(t) => t,
+            ResolvedTwig::Borrowed(t) => t,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlest_core::SummaryConfig;
+
+    fn collection() -> Database {
+        let mut docs = Vec::new();
+        for i in 0..6 {
+            let mut xml = String::from("<doc>");
+            for _ in 0..=i {
+                xml.push_str("<sec><p/><p/><note/></sec>");
+            }
+            xml.push_str("</doc>");
+            docs.push(xml);
+        }
+        let named: Vec<(String, String)> = docs
+            .into_iter()
+            .enumerate()
+            .map(|(i, xml)| (format!("d{i}.xml"), xml))
+            .collect();
+        Database::load_documents(
+            named.iter().map(|(n, x)| (n.as_str(), x.as_str())),
+            &SummaryConfig::paper_defaults().with_grid_size(8),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn batch_matches_single_shot_exactly() {
+        let db = collection();
+        let svc = db.service();
+        let paths = ["//doc//p", "//sec//p", "//doc//note", "//sec//note"];
+        // A batch big enough to take the parallel path.
+        let batch: Vec<TwigRef> = paths
+            .iter()
+            .cycle()
+            .take(48)
+            .map(|&p| TwigRef::Path(p))
+            .collect();
+        let results = svc.estimate_batch(&batch);
+        assert_eq!(results.len(), 48);
+        for (q, r) in batch.iter().zip(&results) {
+            let TwigRef::Path(p) = q else { unreachable!() };
+            let single = db.estimate(p).unwrap().value;
+            let got = r.as_ref().unwrap().value;
+            assert_eq!(got.to_bits(), single.to_bits(), "{p}");
+        }
+        // The cache holds each distinct path once.
+        assert_eq!(svc.cached_twig_count(), paths.len());
+        // Pool never exceeds worker count, and everything was returned.
+        assert!(svc.pooled_workspaces() >= 1);
+    }
+
+    #[test]
+    fn batch_reports_per_query_errors_in_place() {
+        let db = collection();
+        let svc = db.service();
+        let batch = [
+            TwigRef::Path("//sec//p"),
+            TwigRef::Path("//sec//GHOST"),
+            TwigRef::Path("//doc//p"),
+        ];
+        let results = svc.estimate_batch(&batch);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err());
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn pre_parsed_twigs_and_strings_mix() {
+        let db = collection();
+        let svc = db.service();
+        let parsed = xmlest_query::parse_path("//sec//p").unwrap();
+        let batch = [TwigRef::Twig(&parsed), TwigRef::Path("//sec//p")];
+        let results = svc.estimate_batch(&batch);
+        let a = results[0].as_ref().unwrap().value;
+        let b = results[1].as_ref().unwrap().value;
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn service_works_on_catalog_opened_database() {
+        let db = collection();
+        let bytes = db.save_catalog();
+        let reopened = Database::open_catalog(&bytes).unwrap();
+        let svc = reopened.service();
+        let want = db.estimate("//sec//p").unwrap().value;
+        let got = svc.estimate("//sec//p").unwrap().value;
+        assert_eq!(got.to_bits(), want.to_bits());
+    }
+}

@@ -27,7 +27,7 @@ pub mod tag;
 pub mod tree;
 
 pub use error::{Error, Result};
-pub use forest::{Forest, ForestBuilder};
+pub use forest::{Forest, ForestBuilder, MEGA_ROOT_TAG};
 pub use label::Interval;
 pub use tag::{TagId, TagInterner};
 pub use tree::{NodeId, NodeKind, TreeBuilder, XmlTree};

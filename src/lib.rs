@@ -40,10 +40,10 @@
 //! |---|---|---|
 //! | [`xml`] | `xmlest-xml` | arena tree, parser, DTD, interval labels |
 //! | [`predicate`] | `xmlest-predicate` | base predicates, expressions, catalogs |
-//! | [`core`] | `xmlest-core` | flat (CSR) position/coverage histograms, zero-allocation pH-join kernels, estimator, coefficient cache |
+//! | [`core`] | `xmlest-core` | flat (CSR) position/coverage histograms, zero-allocation pH-join kernels, estimator, coefficient cache, per-document summary shards, persistent catalog format |
 //! | [`query`] | `xmlest-query` | path parser, exact matcher, structural joins |
 //! | [`datagen`] | `xmlest-datagen` | DBLP/dept/XMark/Shakespeare generators |
-//! | [`engine`] | `xmlest-engine` | indexes, plans, cost-based optimizer, per-database `CoeffCache` |
+//! | [`engine`] | `xmlest-engine` | indexes, plans, cost-based optimizer, sharded document collections, catalog open/save, batch estimation service |
 //!
 //! Benchmark workloads live in `xmlest-bench` (not re-exported), and
 //! `crates/shims/` holds offline stand-ins for `rand`, `rayon`,
@@ -61,7 +61,21 @@
 //! classifies every tree node against the whole catalog in a single
 //! traversal and fans per-predicate builds out with `rayon`, and the
 //! engine memoizes per-predicate join-coefficient tables
-//! ([`core::CoeffCache`]) so repeated estimates cost O(g) per join.
+//! ([`core::CoeffCache`], CSR-stored) so repeated estimates cost O(g)
+//! per join.
+//!
+//! ## Serving architecture
+//!
+//! Collections build **sharded**: each document is classified once and
+//! summarized into its own [`core::Summaries`] shard on the shared grid
+//! ([`core::shard`]); the mega-tree view is their exact merge, so
+//! documents can be added or dropped without re-parsing or
+//! re-classifying the rest. Everything derived persists in a versioned,
+//! checksummed catalog ([`core::catalog`]); `Database::open_catalog`
+//! restores a serving-ready database with zero tree traversal and
+//! byte-identical estimates. Batched serving goes through
+//! [`engine::service::EstimationService`]: a parsed-twig cache plus a
+//! workspace pool, allocation-free per worker once warm.
 
 pub use xmlest_core as core;
 pub use xmlest_datagen as datagen;

@@ -16,6 +16,9 @@ use xmlest::core::{
     Basis, Grid, JoinWorkspace, PositionHistogram, Summaries, SummaryConfig, TwigNode,
     TwigWorkspace,
 };
+use xmlest::engine::cost::{cost_plan_with, CostWorkspace};
+use xmlest::engine::plan::{enumerate_plans, FlatTwig};
+use xmlest::engine::{Database, TwigRef};
 use xmlest::prelude::Catalog;
 use xmlest::xml::parser::parse_str;
 use xmlest::xml::Interval;
@@ -160,4 +163,94 @@ fn warm_join_kernels_allocate_nothing() {
     );
     assert!(expected_twig.is_finite() && expected_twig > 0.0);
     assert!((twig_sum - 250.0 * expected_twig).abs() < 1e-6 * expected_twig.max(1.0));
+
+    // ---- view-based plan costing ----
+    //
+    // The optimizer prices every plan of every query; the satellite
+    // refactor routes all cardinalities through the estimator's
+    // view-based totals (`node_total`, `twig_match_total`) and memoizes
+    // induced sub-twigs in a `CostWorkspace`. Once every induced
+    // sub-twig of the query has been seen, re-costing the plans must
+    // not touch the allocator.
+    let est = summaries.estimator();
+    let flat = FlatTwig::from_twig(&twig);
+    let plans = enumerate_plans(&flat, 100);
+    assert!(plans.len() >= 2, "need multiple plans to exercise costing");
+    let mut cws = CostWorkspace::new();
+    // Warm-up: populate the induced-twig memo across all plans.
+    let mut expected_cost = 0.0;
+    for _ in 0..3 {
+        expected_cost = 0.0;
+        for p in &plans {
+            expected_cost += cost_plan_with(&est, &flat, p, &mut cws).unwrap();
+        }
+    }
+    let mut cost_sum = 0.0;
+    let mut min_delta = usize::MAX;
+    for _ in 0..5 {
+        let before = allocation_count();
+        for _ in 0..50 {
+            for p in &plans {
+                cost_sum += cost_plan_with(&est, &flat, p, &mut cws).unwrap();
+            }
+        }
+        min_delta = min_delta.min(allocation_count() - before);
+    }
+    assert_eq!(
+        min_delta, 0,
+        "warm plan costing performed {min_delta} heap allocations in every round"
+    );
+    assert!(expected_cost.is_finite() && expected_cost > 0.0);
+    assert!((cost_sum - 250.0 * expected_cost).abs() < 1e-6 * expected_cost.max(1.0));
+
+    // ---- batch estimation service, per-worker steady state ----
+    //
+    // `estimate_batch_into` is the exact loop one parallel worker runs
+    // over its share of a batch: pooled workspace, cached twigs, results
+    // into a reused buffer. Warm, it must be allocation-free.
+    let db = Database::load_documents(
+        [
+            ("a.xml", xml.as_str()),
+            (
+                "b.xml",
+                "<department><faculty><name/><TA/><RA/></faculty></department>",
+            ),
+        ],
+        &SummaryConfig::paper_defaults().with_grid_size(16),
+    )
+    .unwrap();
+    let svc = db.service();
+    let paths = [
+        "//department//faculty//TA",
+        "//faculty//RA",
+        "//department//name",
+        "//faculty//name",
+    ];
+    let batch: Vec<TwigRef> = paths.iter().map(|&p| TwigRef::Path(p)).collect();
+    let mut results = Vec::new();
+    // Warm-up: parse cache fills, pool and buffers grow.
+    for _ in 0..3 {
+        svc.estimate_batch_into(&batch, &mut results);
+        assert!(results.iter().all(Result::is_ok));
+    }
+    let expected_batch: f64 = results.iter().map(|r| r.as_ref().unwrap().value).sum();
+    let mut batch_sum = 0.0;
+    let mut min_delta = usize::MAX;
+    for _ in 0..5 {
+        let before = allocation_count();
+        for _ in 0..50 {
+            svc.estimate_batch_into(&batch, &mut results);
+            batch_sum += results
+                .iter()
+                .map(|r| r.as_ref().unwrap().value)
+                .sum::<f64>();
+        }
+        min_delta = min_delta.min(allocation_count() - before);
+    }
+    assert_eq!(
+        min_delta, 0,
+        "warm service batches performed {min_delta} heap allocations in every round"
+    );
+    assert!(expected_batch.is_finite() && expected_batch > 0.0);
+    assert!((batch_sum - 250.0 * expected_batch).abs() < 1e-6 * expected_batch.max(1.0));
 }

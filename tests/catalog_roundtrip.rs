@@ -1,0 +1,174 @@
+//! Property tests for the persistent catalog format: build → save →
+//! open → byte-identical estimates, across randomized documents and
+//! configs; plus rejection tests for hostile bytes (truncations, bit
+//! flips, bad checksums, version mismatches) — errors, never panics.
+
+use proptest::prelude::*;
+use xmlest::core::{Error as CoreError, SummaryConfig};
+use xmlest::engine::Database;
+
+/// A small random document: nested sections with a few distinct tags.
+fn random_doc(shape: &[u8]) -> String {
+    const TAGS: [&str; 5] = ["sec", "p", "note", "fig", "ref"];
+    let mut xml = String::from("<doc>");
+    let mut open: Vec<&str> = Vec::new();
+    for &b in shape {
+        let tag = TAGS[(b % 5) as usize];
+        match b % 4 {
+            // Open a nested container (bounded depth).
+            0 if open.len() < 4 => {
+                xml.push('<');
+                xml.push_str(tag);
+                xml.push('>');
+                open.push(tag);
+            }
+            // Close the innermost container.
+            1 => {
+                if let Some(t) = open.pop() {
+                    xml.push_str("</");
+                    xml.push_str(t);
+                    xml.push('>');
+                }
+            }
+            // A leaf element.
+            _ => {
+                xml.push('<');
+                xml.push_str(tag);
+                xml.push_str("/>");
+            }
+        }
+    }
+    while let Some(t) = open.pop() {
+        xml.push_str("</");
+        xml.push_str(t);
+        xml.push('>');
+    }
+    xml.push_str("</doc>");
+    xml
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn randomized_collections_round_trip_byte_identically(
+        shapes in prop::collection::vec(prop::collection::vec(0u8..255, 4..40), 1..5),
+        grid in 3u16..24,
+        equi in 0u8..2,
+        queries in prop::collection::vec((0usize..5, 0usize..5), 4..10),
+    ) {
+        const TAGS: [&str; 5] = ["sec", "p", "note", "fig", "ref"];
+        let docs: Vec<(String, String)> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, shape)| (format!("d{i}.xml"), random_doc(shape)))
+            .collect();
+        let mut config = SummaryConfig::paper_defaults().with_grid_size(grid);
+        config.equi_depth = equi == 1;
+        let db = Database::load_documents(
+            docs.iter().map(|(n, x)| (n.as_str(), x.as_str())),
+            &config,
+        )
+        .expect("collection builds");
+
+        // Estimate twice: once cold (this also warms the coefficient
+        // cache so tables land in the catalog), remember the values.
+        let mut expected = Vec::new();
+        for &(a, d) in &queries {
+            let path = format!("//{}//{}", TAGS[a], TAGS[d]);
+            expected.push((path.clone(), db.estimate(&path).map(|e| e.value)));
+        }
+
+        let bytes = db.save_catalog();
+        let reopened = Database::open_catalog(&bytes).expect("catalog reopens");
+        prop_assert_eq!(reopened.document_names().len(), docs.len());
+        prop_assert!(!reopened.has_data());
+
+        for (path, want) in &expected {
+            let got = reopened.estimate(path).map(|e| e.value);
+            match (want, got) {
+                (Ok(w), Ok(g)) => prop_assert_eq!(
+                    w.to_bits(), g.to_bits(),
+                    "{}: {} vs {} not byte-identical", path, w, g
+                ),
+                (Err(_), Err(_)) => {}
+                (w, g) => prop_assert!(false, "{}: {:?} vs {:?}", path, w, g),
+            }
+        }
+
+        // Reopening the reopened database's own catalog is stable too
+        // (serialization is deterministic given equal contents).
+        let bytes2 = reopened.save_catalog();
+        let reopened2 = Database::open_catalog(&bytes2).expect("second generation");
+        for (path, want) in &expected {
+            if let (Ok(w), Ok(g)) = (want, reopened2.estimate(path).map(|e| e.value)) {
+                prop_assert_eq!(w.to_bits(), g.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_bytes_error_but_never_panic(
+        shape in prop::collection::vec(0u8..255, 8..40),
+        cut_seed in 0usize..10_000,
+        flip_seed in 0usize..10_000,
+    ) {
+        let doc = random_doc(&shape);
+        let db = Database::load_documents(
+            [("a.xml", doc.as_str())],
+            &SummaryConfig::paper_defaults().with_grid_size(6),
+        )
+        .expect("collection builds");
+        db.estimate("//sec//p").ok();
+        let bytes = db.save_catalog();
+
+        // Any truncation is rejected.
+        let cut = cut_seed % bytes.len();
+        prop_assert!(Database::open_catalog(&bytes[..cut]).is_err());
+
+        // Any single-byte corruption is rejected (header fields break
+        // magic/version/length checks; payload bytes break the
+        // checksum).
+        let pos = flip_seed % bytes.len();
+        let mut bad = bytes.clone();
+        bad[pos] ^= 0xA5;
+        match Database::open_catalog(&bad) {
+            Err(xmlest::engine::Error::Core(CoreError::Corrupt(_))) => {}
+            Err(other) => prop_assert!(false, "unexpected error kind: {other}"),
+            Ok(_) => prop_assert!(false, "corrupted catalog at byte {} accepted", pos),
+        }
+
+        // Trailing garbage is rejected.
+        let mut extended = bytes.clone();
+        extended.extend_from_slice(&[0, 1, 2]);
+        prop_assert!(Database::open_catalog(&extended).is_err());
+    }
+}
+
+#[test]
+fn version_mismatch_rejected_with_clear_error() {
+    let db = Database::load_documents(
+        [("a.xml", "<doc><sec><p/></sec></doc>")],
+        &SummaryConfig::paper_defaults().with_grid_size(4),
+    )
+    .unwrap();
+    let mut bytes = db.save_catalog();
+    // Version field sits right after the 4-byte magic.
+    bytes[4] = 0xFE;
+    bytes[5] = 0xFF;
+    match Database::open_catalog(&bytes) {
+        Err(xmlest::engine::Error::Core(CoreError::Corrupt(msg))) => {
+            assert!(msg.contains("version"), "message was {msg:?}");
+        }
+        Err(other) => panic!("expected Corrupt(version ...), got {other:?}"),
+        Ok(_) => panic!("version-tampered catalog accepted"),
+    }
+}
+
+#[test]
+fn empty_and_tiny_inputs_rejected() {
+    assert!(Database::open_catalog(&[]).is_err());
+    assert!(Database::open_catalog(b"XCTL").is_err());
+    assert!(Database::open_catalog(&[0u8; 21]).is_err());
+    assert!(Database::open_catalog(&vec![0xFFu8; 4096]).is_err());
+}

@@ -1,0 +1,224 @@
+//! Integration: per-document summary shards and their merge agree with
+//! the monolithic mega-tree build, and collections change incrementally.
+
+use xmlest::core::{EstimateMethod, Summaries, SummaryConfig};
+use xmlest::engine::Database;
+use xmlest::prelude::Catalog;
+use xmlest::xml::serialize::{to_xml_string, WriteOptions};
+use xmlest::xml::ForestBuilder;
+
+fn sample_docs() -> Vec<(String, String)> {
+    let a = to_xml_string(
+        &xmlest::datagen::dblp::generate(&xmlest::datagen::dblp::DblpOptions {
+            seed: 11,
+            records: 150,
+        }),
+        WriteOptions::default(),
+    );
+    let b = to_xml_string(
+        &xmlest::datagen::xmark::generate(&xmlest::datagen::xmark::XmarkOptions {
+            seed: 12,
+            items: 30,
+            people: 25,
+            auctions: 15,
+        }),
+        WriteOptions::default(),
+    );
+    let c = to_xml_string(
+        &xmlest::datagen::dept::generate_dept(&xmlest::datagen::dept::DeptOptions {
+            seed: 13,
+            target_nodes: 600,
+            max_depth: 8,
+        }),
+        WriteOptions::default(),
+    );
+    vec![
+        ("a.xml".to_owned(), a),
+        ("b.xml".to_owned(), b),
+        ("c.xml".to_owned(), c),
+    ]
+}
+
+/// The monolithic path `load_documents` used before sharding: parse into
+/// one mega-tree, classify and build in one pass.
+fn monolithic_summaries(docs: &[(String, String)], config: &SummaryConfig) -> Summaries {
+    let mut fb = ForestBuilder::new();
+    for (name, xml) in docs {
+        fb.add_document(name.as_str(), xml).unwrap();
+    }
+    let tree = fb.finish().unwrap().into_tree();
+    let mut catalog = Catalog::new();
+    catalog.define_all_tags(&tree);
+    Summaries::build(&tree, &catalog, config).unwrap()
+}
+
+fn rel_close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * a.abs().max(b.abs()).max(1.0)
+}
+
+#[test]
+fn sharded_merge_agrees_with_monolithic_build() {
+    for config in [
+        SummaryConfig::paper_defaults(),
+        SummaryConfig::paper_defaults().with_grid_size(23),
+        {
+            let mut c = SummaryConfig::paper_defaults().with_grid_size(12);
+            c.equi_depth = true;
+            c
+        },
+    ] {
+        let docs = sample_docs();
+        let mono = monolithic_summaries(&docs, &config);
+        let db =
+            Database::load_documents(docs.iter().map(|(n, x)| (n.as_str(), x.as_str())), &config)
+                .unwrap();
+        let merged = db.summaries();
+
+        assert_eq!(merged.grid(), mono.grid(), "grids must be identical");
+        assert_eq!(merged.tree_nodes(), mono.tree_nodes());
+        assert_eq!(merged.len(), mono.len(), "same predicate set");
+        assert_eq!(merged.true_hist(), mono.true_hist(), "TRUE hist exact");
+
+        for m in mono.iter() {
+            let s = merged
+                .get(&m.name)
+                .unwrap_or_else(|| panic!("predicate {} missing from merged view", m.name));
+            assert_eq!(s.hist, m.hist, "{}: histogram drift", m.name);
+            assert_eq!(s.count, m.count, "{}: count drift", m.name);
+            assert_eq!(s.no_overlap, m.no_overlap, "{}: overlap drift", m.name);
+            assert_eq!(s.levels, m.levels, "{}: level drift", m.name);
+            assert_eq!(
+                s.cvg.is_some(),
+                m.cvg.is_some(),
+                "{}: coverage presence",
+                m.name
+            );
+            assert!(
+                rel_close(s.avg_width, m.avg_width, 1e-9),
+                "{}: width drift {} vs {}",
+                m.name,
+                s.avg_width,
+                m.avg_width
+            );
+        }
+
+        // Estimates over every tag pair stay within 1e-6 relative error
+        // (they are exact up to float reassociation in coverage merge).
+        let names: Vec<&str> = mono
+            .iter()
+            .map(|p| p.name.as_str())
+            .filter(|n| !n.starts_with('#'))
+            .collect();
+        let mono_est = mono.estimator();
+        let merged_est = merged.estimator();
+        let mut compared = 0usize;
+        for (i, &anc) in names.iter().enumerate() {
+            for &desc in names.iter().skip(i + 1).take(8) {
+                let a = mono_est
+                    .estimate_pair(anc, desc, EstimateMethod::Auto)
+                    .unwrap()
+                    .value;
+                let b = merged_est
+                    .estimate_pair(anc, desc, EstimateMethod::Auto)
+                    .unwrap()
+                    .value;
+                assert!(
+                    rel_close(a, b, 1e-6),
+                    "{anc}//{desc}: monolithic {a} vs sharded {b}"
+                );
+                compared += 1;
+            }
+        }
+        assert!(compared > 20, "comparison set degenerated");
+    }
+}
+
+#[test]
+fn incremental_add_agrees_with_fresh_load() {
+    let docs = sample_docs();
+    let config = SummaryConfig::paper_defaults().with_grid_size(10);
+
+    // Grow incrementally.
+    let mut grown = Database::load_documents(
+        docs[..1].iter().map(|(n, x)| (n.as_str(), x.as_str())),
+        &config,
+    )
+    .unwrap();
+    for (name, xml) in &docs[1..] {
+        grown.add_document(name.as_str(), xml).unwrap();
+    }
+
+    // Fresh load of the full set.
+    let fresh =
+        Database::load_documents(docs.iter().map(|(n, x)| (n.as_str(), x.as_str())), &config)
+            .unwrap();
+
+    assert_eq!(grown.document_names(), fresh.document_names());
+    assert_eq!(grown.summaries().grid(), fresh.summaries().grid());
+    for p in fresh.summaries().iter() {
+        let g = grown.summaries().get(&p.name).unwrap();
+        assert_eq!(g.hist, p.hist, "{}", p.name);
+        assert_eq!(g.count, p.count, "{}", p.name);
+    }
+    for path in ["//article//author", "//site//item", "//department//email"] {
+        let a = fresh.estimate(path).unwrap().value;
+        let b = grown.estimate(path).unwrap().value;
+        assert!(rel_close(a, b, 1e-9), "{path}: {a} vs {b}");
+    }
+
+    // And shrink back down: removal re-merges the remaining shards.
+    let mut shrunk = fresh;
+    shrunk.remove_document("b.xml").unwrap();
+    assert_eq!(shrunk.document_names(), vec!["a.xml", "c.xml"]);
+    assert_eq!(shrunk.count("//site//item").unwrap(), 0);
+    assert_eq!(shrunk.summaries().get("item").unwrap().count, 0);
+    // Still-present documents answer as before (relative to their data).
+    assert!(shrunk.count("//article//author").unwrap() > 0);
+    assert!(shrunk.estimate("//article//author").unwrap().value > 0.0);
+}
+
+#[test]
+fn shard_summaries_partition_the_merged_view() {
+    let docs = sample_docs();
+    let config = SummaryConfig::paper_defaults().with_grid_size(10);
+    let db = Database::load_documents(docs.iter().map(|(n, x)| (n.as_str(), x.as_str())), &config)
+        .unwrap();
+
+    // Every shard is a full Summaries on the shared grid; per-predicate
+    // counts partition the merged counts (plus the mega-root).
+    let merged = db.summaries();
+    let mut node_total = 1u64; // mega-root
+    for name in db.document_names() {
+        let shard = db.shard_summaries(name).unwrap();
+        assert_eq!(shard.grid(), merged.grid());
+        node_total += shard.tree_nodes();
+        for p in shard.iter() {
+            assert!(merged.get(&p.name).is_some());
+        }
+    }
+    assert_eq!(node_total, merged.tree_nodes());
+
+    for p in merged.iter() {
+        let shard_sum: u64 = db
+            .document_names()
+            .iter()
+            .map(|n| db.shard_summaries(n).unwrap().get(&p.name).unwrap().count)
+            .sum();
+        let root = p.count - shard_sum;
+        assert!(root <= 1, "{}: counts do not partition", p.name);
+    }
+
+    // A shard estimates its own document: a's `article` predicate exists
+    // in the shard with a's records only.
+    let a_shard = db.shard_summaries("a.xml").unwrap();
+    let merged_articles = merged.get("article").unwrap().count;
+    assert_eq!(a_shard.get("article").unwrap().count, merged_articles);
+    assert_eq!(
+        db.shard_summaries("b.xml")
+            .unwrap()
+            .get("article")
+            .unwrap()
+            .count,
+        0
+    );
+}
