@@ -298,112 +298,68 @@ pub fn make_collection_grid(
 /// view, adding the synthetic root's contributions analytically. See the
 /// module docs for why every rule is exact; the engine's agreement test
 /// holds the result to the monolithic build within 1e-6.
+///
+/// Per-predicate merges are independent (each reads only its own
+/// entry's shard state plus the shared TRUE histogram), so they fan out
+/// across cores with `rayon` — bit-identical to the sequential
+/// [`merge_shards_serial`] reference, which `tests/sharding.rs` pins.
 pub fn merge_shards(
     shards: &[&Summaries],
     grid: &Grid,
     catalog: &Catalog,
     config: &SummaryConfig,
 ) -> Result<Summaries> {
+    merge_shards_impl(shards, grid, catalog, config, true)
+}
+
+/// The sequential reference path of [`merge_shards`]: same per-entry
+/// kernel, plain loop. Exposed so tests can pin the parallel output
+/// byte-identical to it.
+#[doc(hidden)]
+pub fn merge_shards_serial(
+    shards: &[&Summaries],
+    grid: &Grid,
+    catalog: &Catalog,
+    config: &SummaryConfig,
+) -> Result<Summaries> {
+    merge_shards_impl(shards, grid, catalog, config, false)
+}
+
+fn merge_shards_impl(
+    shards: &[&Summaries],
+    grid: &Grid,
+    catalog: &Catalog,
+    config: &SummaryConfig,
+    parallel: bool,
+) -> Result<Summaries> {
+    use rayon::prelude::*;
+
     let entry_list = Summaries::entry_list(catalog);
     let total_nodes: u64 = 1 + shards.iter().map(|s| s.tree_nodes()).sum::<u64>();
     let root_iv = Interval::new(0, (total_nodes - 1) as u32);
     let root_cell = grid.cell_of(root_iv);
 
-    // TRUE histogram: root + cell-wise sums.
+    // TRUE histogram: root + cell-wise sums. Built first — every
+    // per-predicate coverage merge normalizes against it.
     let mut true_hist = PositionHistogram::empty(grid.clone());
     true_hist.set(root_cell, 1.0);
     for s in shards {
         true_hist = true_hist.plus(s.true_hist())?;
     }
 
-    let mut preds = BTreeMap::new();
-    for (name, pred) in &entry_list {
-        let root_match = matches_mega_root(pred);
-        let parts: Vec<(&Summaries, &PredicateSummary)> = shards
-            .iter()
-            .map(|s| (*s, s.get(name).expect("shards share the catalog")))
-            .collect();
-
-        // Histogram: root contribution + cell-wise sums.
-        let mut hist = PositionHistogram::empty(grid.clone());
-        if root_match {
-            hist.set(root_cell, 1.0);
-        }
-        for (_, p) in &parts {
-            hist = hist.plus(&p.hist)?;
-        }
-
-        let shard_count: u64 = parts.iter().map(|(_, p)| p.count).sum();
-        let count = shard_count + u64::from(root_match);
-        let width_sum: f64 = parts
-            .iter()
-            .map(|(_, p)| p.avg_width * p.count as f64)
-            .sum::<f64>()
-            + if root_match {
-                root_iv.width() as f64
-            } else {
-                0.0
-            };
-        let avg_width = if count == 0 {
-            0.0
-        } else {
-            width_sum / count as f64
-        };
-
-        // Overlap property: the DTD override mirrors the monolithic
-        // build; otherwise no-overlap holds globally iff it holds in
-        // every document (cross-document intervals are disjoint), and a
-        // matching mega-root nests every other match.
-        let no_overlap = match (&config.dtd, pred) {
-            (Some(dtd), BasePredicate::Tag(t)) if dtd.tags().any(|known| known == t) => {
-                dtd.no_overlap(t)
-            }
-            _ => {
-                if root_match {
-                    shard_count == 0
-                } else {
-                    parts.iter().all(|(_, p)| p.no_overlap || p.count == 0)
-                }
-            }
-        };
-
-        let cvg = (config.build_coverage && no_overlap && count > 0)
-            .then(|| merge_coverage(grid, &true_hist, &parts, root_match, root_cell))
-            .flatten();
-
-        let levels = config.build_levels.then(|| {
-            let mut counts: Vec<f64> = vec![0.0; usize::from(root_match)];
-            if root_match {
-                counts[0] = 1.0;
-            }
-            for (_, p) in &parts {
-                if let Some(l) = &p.levels {
-                    let lc = l.counts();
-                    if counts.len() < lc.len() {
-                        counts.resize(lc.len(), 0.0);
-                    }
-                    for (d, &c) in lc.iter().enumerate() {
-                        counts[d] += c;
-                    }
-                }
-            }
-            LevelHistogram::from_counts(counts)
-        });
-
-        preds.insert(
-            name.clone(),
-            PredicateSummary {
-                name: name.clone(),
-                pred: pred.clone(),
-                hist,
-                cvg,
-                levels,
-                no_overlap,
-                count,
-                avg_width,
-            },
-        );
-    }
+    let merge_one = |entry: &(String, BasePredicate)| -> Result<(String, PredicateSummary)> {
+        let (name, pred) = entry;
+        let summary = merge_entry(
+            name, pred, shards, grid, config, &true_hist, root_iv, root_cell,
+        )?;
+        Ok((name.clone(), summary))
+    };
+    let merged: Result<Vec<(String, PredicateSummary)>> = if parallel {
+        entry_list.par_iter().map(merge_one).collect()
+    } else {
+        entry_list.iter().map(merge_one).collect()
+    };
+    let preds: BTreeMap<String, PredicateSummary> = merged?.into_iter().collect();
 
     Ok(Summaries {
         grid: grid.clone(),
@@ -412,6 +368,103 @@ pub fn merge_shards(
         dtd: config.dtd.clone(),
         tree_nodes: total_nodes,
         build_id: crate::estimator::next_build_id(),
+    })
+}
+
+/// Merges one predicate's entry across all shards — a pure function of
+/// its inputs, safe to run on any thread.
+#[allow(clippy::too_many_arguments)]
+fn merge_entry(
+    name: &str,
+    pred: &BasePredicate,
+    shards: &[&Summaries],
+    grid: &Grid,
+    config: &SummaryConfig,
+    true_hist: &PositionHistogram,
+    root_iv: Interval,
+    root_cell: Cell,
+) -> Result<PredicateSummary> {
+    let root_match = matches_mega_root(pred);
+    let parts: Vec<(&Summaries, &PredicateSummary)> = shards
+        .iter()
+        .map(|s| (*s, s.get(name).expect("shards share the catalog")))
+        .collect();
+
+    // Histogram: root contribution + cell-wise sums.
+    let mut hist = PositionHistogram::empty(grid.clone());
+    if root_match {
+        hist.set(root_cell, 1.0);
+    }
+    for (_, p) in &parts {
+        hist = hist.plus(&p.hist)?;
+    }
+
+    let shard_count: u64 = parts.iter().map(|(_, p)| p.count).sum();
+    let count = shard_count + u64::from(root_match);
+    let width_sum: f64 = parts
+        .iter()
+        .map(|(_, p)| p.avg_width * p.count as f64)
+        .sum::<f64>()
+        + if root_match {
+            root_iv.width() as f64
+        } else {
+            0.0
+        };
+    let avg_width = if count == 0 {
+        0.0
+    } else {
+        width_sum / count as f64
+    };
+
+    // Overlap property: the DTD override mirrors the monolithic
+    // build; otherwise no-overlap holds globally iff it holds in
+    // every document (cross-document intervals are disjoint), and a
+    // matching mega-root nests every other match.
+    let no_overlap = match (&config.dtd, pred) {
+        (Some(dtd), BasePredicate::Tag(t)) if dtd.tags().any(|known| known == t) => {
+            dtd.no_overlap(t)
+        }
+        _ => {
+            if root_match {
+                shard_count == 0
+            } else {
+                parts.iter().all(|(_, p)| p.no_overlap || p.count == 0)
+            }
+        }
+    };
+
+    let cvg = (config.build_coverage && no_overlap && count > 0)
+        .then(|| merge_coverage(grid, true_hist, &parts, root_match, root_cell))
+        .flatten();
+
+    let levels = config.build_levels.then(|| {
+        let mut counts: Vec<f64> = vec![0.0; usize::from(root_match)];
+        if root_match {
+            counts[0] = 1.0;
+        }
+        for (_, p) in &parts {
+            if let Some(l) = &p.levels {
+                let lc = l.counts();
+                if counts.len() < lc.len() {
+                    counts.resize(lc.len(), 0.0);
+                }
+                for (d, &c) in lc.iter().enumerate() {
+                    counts[d] += c;
+                }
+            }
+        }
+        LevelHistogram::from_counts(counts)
+    });
+
+    Ok(PredicateSummary {
+        name: name.to_owned(),
+        pred: pred.clone(),
+        hist,
+        cvg,
+        levels,
+        no_overlap,
+        count,
+        avg_width,
     })
 }
 

@@ -10,7 +10,7 @@
 use xmlest_predicate::PredExpr;
 
 /// Edge semantics between a twig node and its parent.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Axis {
     /// `//` — any proper descendant.
     Descendant,
@@ -19,7 +19,7 @@ pub enum Axis {
 }
 
 /// One node of a twig pattern.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct TwigNode {
     /// Predicate this node must satisfy.
     pub pred: PredExpr,
@@ -85,6 +85,49 @@ impl TwigNode {
         }
         out
     }
+
+    /// The canonical form of this pattern: predicates normalized
+    /// ([`PredExpr::normalize`]) and sibling sub-patterns sorted by
+    /// `(axis, rendering)`, recursively. Sibling branches are
+    /// independent constraints, so reordering them changes neither the
+    /// match set nor — once every evaluation runs on the *same*
+    /// canonical ordering — the estimate: canonicalization fixes the
+    /// bottom-up join order, which is what makes estimates for
+    /// equivalent spellings bit-identical rather than merely close.
+    ///
+    /// Two patterns are canonically equivalent iff their canonical forms
+    /// compare equal (`==`), which is what the engine's prepared-query
+    /// interner hash-conses on. The root's own `axis` field — ignored by
+    /// matching, estimation and planning alike — normalizes to
+    /// [`Axis::Descendant`], so `/a//b` and `//a//b` share one identity.
+    pub fn canonicalize(&self) -> TwigNode {
+        let mut root = self.canonicalize_subtree();
+        root.axis = Axis::Descendant;
+        root
+    }
+
+    /// [`TwigNode::canonicalize`] below the root, where the incoming
+    /// axis is meaningful and preserved.
+    fn canonicalize_subtree(&self) -> TwigNode {
+        let mut children: Vec<TwigNode> = self
+            .children
+            .iter()
+            .map(TwigNode::canonicalize_subtree)
+            .collect();
+        // Cache the rendering per child: siblings are few, but Display
+        // re-renders the whole subtree per comparison otherwise.
+        children.sort_by_cached_key(|c| (c.axis == Axis::Descendant, c.to_string()));
+        TwigNode {
+            pred: self.pred.normalize(),
+            axis: self.axis,
+            children,
+        }
+    }
+
+    /// Whether this pattern already is its own canonical form.
+    pub fn is_canonical(&self) -> bool {
+        *self == self.canonicalize()
+    }
 }
 
 impl std::fmt::Display for TwigNode {
@@ -145,5 +188,72 @@ mod tests {
         assert_eq!(t.node_count(), 1);
         assert_eq!(t.depth(), 1);
         assert_eq!(t.to_string(), "x");
+    }
+
+    #[test]
+    fn canonicalize_sorts_reordered_siblings_equal() {
+        let a = TwigNode::named("department").descendant(
+            TwigNode::named("faculty")
+                .descendant(TwigNode::named("TA"))
+                .descendant(TwigNode::named("RA")),
+        );
+        let b = TwigNode::named("department").descendant(
+            TwigNode::named("faculty")
+                .descendant(TwigNode::named("RA"))
+                .descendant(TwigNode::named("TA")),
+        );
+        assert_ne!(a, b);
+        assert_eq!(a.canonicalize(), b.canonicalize());
+        assert!(a.canonicalize().is_canonical());
+    }
+
+    #[test]
+    fn canonicalize_keeps_axes_distinct() {
+        let child = TwigNode::named("a")
+            .child(TwigNode::named("b"))
+            .descendant(TwigNode::named("c"));
+        let desc = TwigNode::named("a")
+            .descendant(TwigNode::named("b"))
+            .descendant(TwigNode::named("c"));
+        assert_ne!(child.canonicalize(), desc.canonicalize());
+        // Child edges sort before descendant edges.
+        let reordered = TwigNode::named("a")
+            .descendant(TwigNode::named("c"))
+            .child(TwigNode::named("b"));
+        assert_eq!(child.canonicalize(), reordered.canonicalize());
+        assert_eq!(child.canonicalize().children[0].axis, Axis::Child);
+    }
+
+    #[test]
+    fn canonicalize_recurses_into_nested_branches() {
+        let a = fig2().descendant(
+            TwigNode::named("staff")
+                .descendant(TwigNode::named("name"))
+                .descendant(TwigNode::named("secretary")),
+        );
+        let b = fig2().descendant(
+            TwigNode::named("staff")
+                .descendant(TwigNode::named("secretary"))
+                .descendant(TwigNode::named("name")),
+        );
+        assert_eq!(a.canonicalize(), b.canonicalize());
+        // Match semantics are preserved: same node multiset, same preds.
+        let mut pa: Vec<String> = a
+            .canonicalize()
+            .predicates()
+            .iter()
+            .map(|p| p.to_string())
+            .collect();
+        let mut pb: Vec<String> = a.predicates().iter().map(|p| p.to_string()).collect();
+        pa.sort();
+        pb.sort();
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn canonicalize_normalizes_predicates() {
+        let ab = TwigNode::with_pred(PredExpr::named("a").and(PredExpr::named("b")));
+        let ba = TwigNode::with_pred(PredExpr::named("b").and(PredExpr::named("a")));
+        assert_eq!(ab.canonicalize(), ba.canonicalize());
     }
 }

@@ -69,6 +69,19 @@ impl CostWorkspace {
         CostWorkspace::default()
     }
 
+    /// Clears the twig binding (the induced sub-twig memo) so the
+    /// workspace can serve a different query, keeping every buffer's
+    /// capacity. The planner calls this between queries; sharing a
+    /// workspace across twigs *without* resetting would serve wrong
+    /// sub-patterns.
+    pub fn reset(&mut self) {
+        self.induced.clear();
+        self.joined.clear();
+        self.step_outputs.clear();
+        self.step_algos.clear();
+        self.step_costs.clear();
+    }
+
     fn mask_of(joined: &[usize]) -> u64 {
         if joined.iter().any(|&n| n >= 64) {
             return UNMEMOIZABLE;

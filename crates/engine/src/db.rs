@@ -13,17 +13,29 @@
 //!   re-merge from the stored classified lists — they never re-parse or
 //!   re-classify the rest of the collection.
 //! * **Serving layer** — the estimator over the merged summaries, the
-//!   shared [`CoeffCache`], the parsed-twig cache (repeated path strings
-//!   hit a cached [`TwigNode`]), and [`crate::service::EstimationService`]
-//!   for batched estimation.
+//!   shared [`CoeffCache`], the prepared-query cache (repeated queries
+//!   hit a canonical [`crate::prepared::PreparedQuery`] carrying the
+//!   parsed twig, leaf resolutions and the memoized plan), and
+//!   [`crate::service::EstimationService`] for batched estimation.
+//!
+//! Every state a cache can derive from — summaries, grid, coefficient
+//! tables, plans — is versioned by the database **epoch**: a
+//! monotonically increasing counter bumped by every collection mutation
+//! ([`Database::add_document`], [`Database::remove_document`]) and by
+//! [`Database::attach_dtd`] (which changes estimates in place). Cached
+//! plans and prepared state carry the epoch they were derived under and
+//! are transparently re-prepared on mismatch; coefficient tables bind to
+//! the summaries generation ([`CoeffCache`]'s build id), which changes
+//! exactly when the epoch-relevant summary state does.
 //!
 //! [`PositionHistogram::plus`]: xmlest_core::PositionHistogram::plus
 
 use crate::error::{Error, Result};
+use crate::prepared::{LeafResolution, PreparedCache, PreparedQuery, TwigId};
 use rayon::prelude::*;
 use std::borrow::Cow;
 use std::collections::{BTreeMap, HashMap};
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 use xmlest_core::catalog::{CatalogFile, CatalogShard};
 use xmlest_core::shard::{
     build_shard_summaries, builtin_entry_count, classify_document, entry_names,
@@ -35,6 +47,17 @@ use xmlest_query::structural::Item;
 use xmlest_query::{count_matches, parse_path};
 use xmlest_xml::parser::parse_str;
 use xmlest_xml::{ForestBuilder, Interval, NodeId, XmlTree};
+
+/// Test-only fault injection: lets unit tests force a collection
+/// rebuild to fail so the mutation rollback path is exercisable (no
+/// valid input reaches the fallible steps' error arms naturally).
+#[cfg(test)]
+pub(crate) mod test_faults {
+    /// When set, the next [`super::Database::from_collection`] fails
+    /// artificially (one-shot: the flag clears as it fires).
+    pub(crate) static FAIL_NEXT_REBUILD: std::sync::atomic::AtomicBool =
+        std::sync::atomic::AtomicBool::new(false);
+}
 
 /// Element index: per catalog predicate, the matching nodes with their
 /// intervals in document order — the input lists for structural joins.
@@ -109,42 +132,6 @@ impl ElementIndex {
     }
 }
 
-/// Cache of parsed path queries, shared by [`Database::estimate`],
-/// [`Database::count`] and the [`crate::service::EstimationService`].
-/// Hits take a read lock and clone an [`Arc`] — no parsing, no
-/// allocation. Capacity is bounded: serving workloads embed
-/// user-supplied values in paths, and an unbounded map keyed by raw
-/// query strings would grow for the life of the database. Once full,
-/// unseen paths parse without being admitted (the hot query set is
-/// assumed to arrive first; a full cache keeps serving its hits).
-#[derive(Debug, Default)]
-pub(crate) struct TwigCache {
-    map: RwLock<HashMap<String, Arc<TwigNode>>>,
-}
-
-/// Most distinct path strings the cache will hold.
-const TWIG_CACHE_CAP: usize = 4096;
-
-impl TwigCache {
-    /// Returns the cached parse of `path`, parsing (and inserting while
-    /// capacity remains) on a miss.
-    pub(crate) fn get_or_parse(&self, path: &str) -> Result<Arc<TwigNode>> {
-        if let Some(hit) = self.map.read().expect("twig cache lock").get(path) {
-            return Ok(hit.clone());
-        }
-        let parsed = Arc::new(parse_path(path)?);
-        let mut map = self.map.write().expect("twig cache lock");
-        if map.len() >= TWIG_CACHE_CAP && !map.contains_key(path) {
-            return Ok(parsed);
-        }
-        Ok(map.entry(path.to_owned()).or_insert(parsed).clone())
-    }
-
-    pub(crate) fn len(&self) -> usize {
-        self.map.read().expect("twig cache lock").len()
-    }
-}
-
 /// The data half of one document shard — retained for collections built
 /// from documents so the collection can change without re-parsing; a
 /// catalog-opened database has summaries only.
@@ -186,9 +173,15 @@ pub struct Database {
     /// out by [`Database::estimator`] shares this cache, and
     /// [`Database::save_catalog`] persists its tables.
     coeff_cache: CoeffCache,
-    /// Parsed-twig cache serving [`Database::estimate`] and the
-    /// estimation service.
-    twig_cache: TwigCache,
+    /// Monotonic version of everything estimates derive from. Bumped by
+    /// collection mutations and [`Database::attach_dtd`]; prepared
+    /// queries and their memoized plans validate against it.
+    epoch: u64,
+    /// Prepared-query cache (canonical twig interner + two-tier LRU)
+    /// serving [`Database::estimate`], [`Database::count`], the planner
+    /// and the estimation service. Survives collection mutations — the
+    /// epoch check re-prepares entries lazily.
+    prepared: PreparedCache,
 }
 
 impl Database {
@@ -206,7 +199,8 @@ impl Database {
             collection: false,
             index,
             coeff_cache: CoeffCache::new(),
-            twig_cache: TwigCache::default(),
+            epoch: 1,
+            prepared: PreparedCache::default(),
         })
     }
 
@@ -261,7 +255,7 @@ impl Database {
             .zip(trees.into_iter().zip(inputs))
             .map(|(&(name, _), (tree, input))| (name.to_owned(), ShardSource { tree, input }))
             .collect();
-        Database::from_collection(catalog, config.clone(), sources)
+        Database::from_collection(catalog, config.clone(), sources).map_err(|(e, _)| e)
     }
 
     /// Derives every collection-level structure from per-document state:
@@ -270,44 +264,64 @@ impl Database {
     /// already-parsed document trees — no XML re-parse) and the element
     /// index (concatenated from the classified lists). Classification of
     /// existing documents is never repeated.
+    ///
+    /// On failure the untouched `sources` come back with the error, so
+    /// mutating callers ([`Database::add_document`] /
+    /// [`Database::remove_document`]) can restore their previous state —
+    /// a failed rebuild never corrupts a serving database.
     fn from_collection(
         catalog: Catalog,
         config: SummaryConfig,
         sources: Vec<(String, ShardSource)>,
-    ) -> Result<Database> {
-        // Offsets: the mega-root occupies position 0; each document's
-        // nodes follow contiguously.
-        let mut offsets = Vec::with_capacity(sources.len());
-        let mut offset = 1u32;
-        for (_, src) in &sources {
-            offsets.push(offset);
-            offset += src.input.node_count;
-        }
+    ) -> std::result::Result<Database, (Error, Vec<(String, ShardSource)>)> {
+        // Everything fallible runs in here, borrowing `sources`; the
+        // sources are consumed only after the last `?`.
+        let fallible = || -> Result<(Vec<u32>, Vec<Summaries>, Summaries, XmlTree)> {
+            #[cfg(test)]
+            if test_faults::FAIL_NEXT_REBUILD.swap(false, std::sync::atomic::Ordering::SeqCst) {
+                return Err(Error::Plan("injected rebuild failure (test)".into()));
+            }
 
-        let inputs: Vec<(&DocumentSummaryInput, u32)> = sources
-            .iter()
-            .zip(&offsets)
-            .map(|((_, src), &off)| (&src.input, off))
-            .collect();
-        let grid = make_collection_grid(&inputs, &catalog, &config)?;
+            // Offsets: the mega-root occupies position 0; each
+            // document's nodes follow contiguously.
+            let mut offsets = Vec::with_capacity(sources.len());
+            let mut offset = 1u32;
+            for (_, src) in &sources {
+                offsets.push(offset);
+                offset += src.input.node_count;
+            }
 
-        // Per-document shard builds fan out across cores.
-        let built: Vec<Summaries> = inputs
-            .par_iter()
-            .map(|&(input, off)| build_shard_summaries(input, off, &grid, &catalog, &config))
-            .collect();
+            let inputs: Vec<(&DocumentSummaryInput, u32)> = sources
+                .iter()
+                .zip(&offsets)
+                .map(|((_, src), &off)| (&src.input, off))
+                .collect();
+            let grid = make_collection_grid(&inputs, &catalog, &config)?;
 
-        let shard_refs: Vec<&Summaries> = built.iter().collect();
-        let summaries = xmlest_core::shard::merge_shards(&shard_refs, &grid, &catalog, &config)?;
+            // Per-document shard builds fan out across cores.
+            let built: Vec<Summaries> = inputs
+                .par_iter()
+                .map(|&(input, off)| build_shard_summaries(input, off, &grid, &catalog, &config))
+                .collect();
 
-        // Mega-tree: replay the stored document trees (document-order
-        // cost, no XML parsing). Exact counting and plan execution read
-        // this; estimation never does.
-        let mut fb = ForestBuilder::new();
-        for (name, src) in &sources {
-            fb.add_tree(name, &src.tree)?;
-        }
-        let tree = fb.finish()?.into_tree();
+            let shard_refs: Vec<&Summaries> = built.iter().collect();
+            let summaries =
+                xmlest_core::shard::merge_shards(&shard_refs, &grid, &catalog, &config)?;
+
+            // Mega-tree: replay the stored document trees
+            // (document-order cost, no XML parsing). Exact counting and
+            // plan execution read this; estimation never does.
+            let mut fb = ForestBuilder::new();
+            for (name, src) in &sources {
+                fb.add_tree(name, &src.tree)?;
+            }
+            let tree = fb.finish()?.into_tree();
+            Ok((offsets, built, summaries, tree))
+        };
+        let (offsets, built, summaries, tree) = match fallible() {
+            Ok(parts) => parts,
+            Err(e) => return Err((e, sources)),
+        };
 
         let shards: Vec<DocShard> = sources
             .into_iter()
@@ -330,18 +344,45 @@ impl Database {
             collection: true,
             index,
             coeff_cache: CoeffCache::new(),
-            twig_cache: TwigCache::default(),
+            epoch: 1,
+            prepared: PreparedCache::default(),
         })
     }
 
-    /// Drains the shards back into `(name, source)` pairs for a
-    /// [`Database::from_collection`] rebuild. Callers must have checked
+    /// Dismantles the shards into rebuild inputs, keeping each shard's
+    /// derived state (offset + summaries) aside so a failed rebuild can
+    /// restore the previous serving state via
+    /// [`Database::restore_shards`]. Callers must have checked
     /// [`Database::require_collection`].
-    fn take_sources(&mut self) -> Vec<(String, ShardSource)> {
-        std::mem::take(&mut self.shards)
+    #[allow(clippy::type_complexity)]
+    fn dismantle_shards(&mut self) -> (Vec<(String, ShardSource)>, Vec<(u32, Summaries)>) {
+        let mut sources = Vec::with_capacity(self.shards.len());
+        let mut derived = Vec::with_capacity(self.shards.len());
+        for s in std::mem::take(&mut self.shards) {
+            derived.push((s.offset, s.summaries));
+            sources.push((s.name, s.source.expect("collection shards have sources")));
+        }
+        (sources, derived)
+    }
+
+    /// Reassembles `self.shards` from the parts
+    /// [`Database::dismantle_shards`] split off — the rollback half of a
+    /// failed collection mutation.
+    fn restore_shards(
+        &mut self,
+        sources: Vec<(String, ShardSource)>,
+        derived: Vec<(u32, Summaries)>,
+    ) {
+        self.shards = sources
             .into_iter()
-            .map(|s| (s.name, s.source.expect("collection shards have sources")))
-            .collect()
+            .zip(derived)
+            .map(|((name, source), (offset, summaries))| DocShard {
+                name,
+                offset,
+                summaries,
+                source: Some(source),
+            })
+            .collect();
     }
 
     /// Adds a document to the collection. Parses and classifies only the
@@ -385,10 +426,36 @@ impl Database {
         }
 
         let input = classify_document(&tree, &self.catalog);
-        let mut sources = self.take_sources();
+        let (mut sources, derived) = self.dismantle_shards();
         sources.push((name.into(), ShardSource { tree, input }));
-        *self = Database::from_collection(self.catalog.clone(), self.config.clone(), sources)?;
-        Ok(())
+        match Database::from_collection(self.catalog.clone(), self.config.clone(), sources) {
+            Ok(rebuilt) => {
+                self.replace_rebuilt(rebuilt);
+                Ok(())
+            }
+            Err((e, mut sources)) => {
+                // Atomic failure: drop the document we tried to add and
+                // restore the previous serving state (the catalog may
+                // retain the new document's tags — they summarize as
+                // unknown until a successful add defines them).
+                sources.pop();
+                self.restore_shards(sources, derived);
+                Err(e)
+            }
+        }
+    }
+
+    /// Installs a rebuilt database while advancing the epoch and keeping
+    /// the prepared-query cache: entries (and their memoized plans) were
+    /// derived under the old epoch, so the first access per entry
+    /// re-prepares it against the new summaries — stale state is
+    /// unreachable, warm state re-warms without re-parsing.
+    fn replace_rebuilt(&mut self, rebuilt: Database) {
+        let epoch = self.epoch + 1;
+        let prepared = std::mem::take(&mut self.prepared);
+        *self = rebuilt;
+        self.epoch = epoch;
+        self.prepared = prepared;
     }
 
     /// Removes a document by name, re-merging the remaining shards (no
@@ -396,13 +463,26 @@ impl Database {
     /// definitions; tags now matching nothing summarize as empty.
     pub fn remove_document(&mut self, name: &str) -> Result<()> {
         self.require_collection()?;
-        if !self.shards.iter().any(|s| s.name == name) {
+        let Some(pos) = self.shards.iter().position(|s| s.name == name) else {
             return Err(Error::NoData(format!("no document named {name:?}")));
+        };
+        let (mut sources, mut derived) = self.dismantle_shards();
+        let removed_source = sources.remove(pos);
+        let removed_derived = derived.remove(pos);
+        match Database::from_collection(self.catalog.clone(), self.config.clone(), sources) {
+            Ok(rebuilt) => {
+                self.replace_rebuilt(rebuilt);
+                Ok(())
+            }
+            Err((e, mut sources)) => {
+                // Atomic failure: put the document back in its original
+                // position and restore the previous serving state.
+                sources.insert(pos, removed_source);
+                derived.insert(pos, removed_derived);
+                self.restore_shards(sources, derived);
+                Err(e)
+            }
         }
-        let mut sources = self.take_sources();
-        sources.retain(|(n, _)| n != name);
-        *self = Database::from_collection(self.catalog.clone(), self.config.clone(), sources)?;
-        Ok(())
     }
 
     fn require_collection(&self) -> Result<()> {
@@ -483,7 +563,8 @@ impl Database {
             collection: false,
             index: ElementIndex::default(),
             coeff_cache: CoeffCache::new(),
-            twig_cache: TwigCache::default(),
+            epoch: 1,
+            prepared: PreparedCache::default(),
         };
         for (name, table) in file.coefficients {
             db.coeff_cache.seed(&db.summaries, &name, Arc::new(table));
@@ -533,6 +614,9 @@ impl Database {
         for shard in &mut self.shards {
             shard.summaries.attach_dtd(dtd.clone());
         }
+        // Schema shortcuts change estimates (and therefore plan costs)
+        // in place: invalidate prepared state.
+        self.epoch += 1;
     }
 
     pub fn summaries(&self) -> &Summaries {
@@ -563,17 +647,91 @@ impl Database {
         &self.coeff_cache
     }
 
-    /// Number of distinct path strings in the parsed-twig cache.
+    /// Number of distinct query strings in the prepared-query cache.
     pub fn cached_twig_count(&self) -> usize {
-        self.twig_cache.len()
+        self.prepared.len()
     }
 
-    pub(crate) fn twig_cache(&self) -> &TwigCache {
-        &self.twig_cache
+    /// The current epoch: a monotonic version of everything estimates
+    /// derive from, bumped by collection mutations and
+    /// [`Database::attach_dtd`]. Prepared queries and memoized plans
+    /// carry the epoch they were derived under and are re-prepared on
+    /// mismatch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Counter snapshot of the prepared-query cache.
+    pub fn prepared_stats(&self) -> crate::prepared::CacheStats {
+        self.prepared.stats()
     }
 
     pub fn index(&self) -> &ElementIndex {
         &self.index
+    }
+
+    // ---- prepared queries --------------------------------------------
+
+    /// Resolves a query string to its prepared form: parse →
+    /// canonicalize → intern → resolve leaves, cached across calls. A
+    /// warm hit (same or equivalent spelling, same epoch) is a map probe
+    /// and an `Arc` clone — no parsing, no allocation.
+    pub fn prepare(&self, path: &str) -> Result<Arc<PreparedQuery>> {
+        self.prepared.get_or_prepare_path(
+            path,
+            self.epoch,
+            || Ok(parse_path(path)?.canonicalize()),
+            &|id, twig| self.resolve_prepared(id, twig),
+        )
+    }
+
+    /// [`Database::prepare`] for a pre-built pattern. Canonicalizes, so
+    /// equivalent patterns (and their string spellings) share one entry.
+    pub fn prepare_twig(&self, twig: &TwigNode) -> Result<Arc<PreparedQuery>> {
+        self.prepared
+            .get_or_prepare_twig(twig, self.epoch, &|id, t| self.resolve_prepared(id, t))
+    }
+
+    /// An epoch-valid view of a prepared entry: the entry itself when
+    /// current, otherwise the transparently re-prepared replacement
+    /// (callers may hold entries across collection mutations; a stale
+    /// one is never served). An entry issued by a *different* database
+    /// is re-prepared here from its twig — its [`TwigId`] is meaningful
+    /// only inside the cache that issued it, so trusting it would risk
+    /// returning another query's state.
+    pub fn refresh_prepared(&self, entry: &Arc<PreparedQuery>) -> Result<Arc<PreparedQuery>> {
+        if !entry.issued_by(&self.prepared) {
+            return self.prepare_twig(entry.twig());
+        }
+        if entry.epoch() == self.epoch {
+            return Ok(entry.clone());
+        }
+        self.prepared
+            .get_fresh_by_id(entry.id(), entry.twig(), self.epoch, &|id, t| {
+                self.resolve_prepared(id, t)
+            })
+    }
+
+    /// Builds one entry's prepared state: every pattern-node predicate
+    /// resolved against the current summaries (validating names — a
+    /// prepared query cannot fail estimation on an unknown predicate).
+    fn resolve_prepared(&self, id: TwigId, twig: &Arc<TwigNode>) -> Result<PreparedQuery> {
+        let est = self.estimator();
+        let preds = twig.predicates();
+        let mut leaves = Vec::with_capacity(preds.len());
+        for pred in preds {
+            leaves.push(LeafResolution {
+                pred: pred.to_string(),
+                count: est.node_total(pred)?,
+            });
+        }
+        Ok(PreparedQuery::new(id, twig.clone(), self.epoch, leaves))
+    }
+
+    /// A planner over this database: prepared-query resolution plus
+    /// epoch-memoized cheapest plans ([`crate::planner::Planner`]).
+    pub fn planner(&self) -> crate::planner::Planner<'_> {
+        crate::planner::Planner::new(self)
     }
 
     // ---- queries -----------------------------------------------------
@@ -618,7 +776,9 @@ impl Database {
     }
 
     /// Parses and exactly answers a path query (count of matches).
-    /// Requires the data tree.
+    /// Requires the data tree. Consumes the prepared form — sibling
+    /// order is irrelevant to match semantics, so the canonical twig
+    /// counts exactly what the original spelling does.
     pub fn count(&self, path: &str) -> Result<u64> {
         let Some(tree) = self.tree.as_ref() else {
             return Err(Error::NoData(
@@ -626,15 +786,28 @@ impl Database {
                     .into(),
             ));
         };
-        let twig = self.twig_cache.get_or_parse(path)?;
-        Ok(count_matches(tree, &self.catalog, &twig)?)
+        let prepared = self.prepare(path)?;
+        Ok(count_matches(tree, &self.catalog, prepared.twig())?)
     }
 
     /// Parses and estimates a path query from the summaries. Repeated
-    /// path strings skip the parser via the shared twig cache.
+    /// (or canonically equivalent) query strings skip the parser via the
+    /// shared prepared-query cache; estimation always runs on the
+    /// canonical twig, so equivalent spellings return bit-identical
+    /// values.
     pub fn estimate(&self, path: &str) -> Result<xmlest_core::Estimate> {
-        let twig = self.twig_cache.get_or_parse(path)?;
-        Ok(self.estimator().estimate_twig(&twig)?)
+        let prepared = self.prepare(path)?;
+        Ok(self.estimator().estimate_twig(prepared.twig())?)
+    }
+
+    /// Estimates an already prepared query (refreshing it first if it
+    /// was prepared under an older epoch) on the thread-local workspace.
+    pub fn estimate_prepared(
+        &self,
+        prepared: &Arc<PreparedQuery>,
+    ) -> Result<xmlest_core::Estimate> {
+        let fresh = self.refresh_prepared(prepared)?;
+        Ok(self.estimator().estimate_twig(fresh.twig())?)
     }
 
     /// Estimates a pre-parsed twig on a caller-owned workspace — the
@@ -821,6 +994,43 @@ mod tests {
             single.add_document("x", "<x/>"),
             Err(Error::NoData(_))
         ));
+    }
+
+    #[test]
+    fn failed_rebuild_rolls_back_the_mutation() {
+        use std::sync::atomic::Ordering;
+        let mut d = Database::load_documents(
+            [("a.xml", "<a><x/><x/></a>"), ("b.xml", "<b><y/></b>")],
+            &SummaryConfig::paper_defaults().with_grid_size(8),
+        )
+        .unwrap();
+        let before = d.estimate("//a//x").unwrap().value;
+        let epoch = d.epoch();
+
+        test_faults::FAIL_NEXT_REBUILD.store(true, Ordering::SeqCst);
+        assert!(d.add_document("c.xml", "<a><x/><z/></a>").is_err());
+        assert_eq!(d.epoch(), epoch, "failed mutation must not bump the epoch");
+        assert_eq!(d.document_names(), vec!["a.xml", "b.xml"]);
+        assert_eq!(
+            d.estimate("//a//x").unwrap().value.to_bits(),
+            before.to_bits()
+        );
+        assert_eq!(d.count("//a//x").unwrap(), 2, "old data still serves");
+
+        // The collection is still mutable: the retried add succeeds and
+        // sees the full collection.
+        d.add_document("c.xml", "<a><x/><z/></a>").unwrap();
+        assert_eq!(d.summaries().get("x").unwrap().count, 3);
+        assert_eq!(d.count("//a//x").unwrap(), 3);
+
+        // Removal rolls back too, preserving document order.
+        test_faults::FAIL_NEXT_REBUILD.store(true, Ordering::SeqCst);
+        assert!(d.remove_document("a.xml").is_err());
+        assert_eq!(d.document_names(), vec!["a.xml", "b.xml", "c.xml"]);
+        assert_eq!(d.count("//a//x").unwrap(), 3);
+        d.remove_document("a.xml").unwrap();
+        assert_eq!(d.document_names(), vec!["b.xml", "c.xml"]);
+        assert_eq!(d.count("//a//x").unwrap(), 1);
     }
 
     #[test]

@@ -4,18 +4,55 @@
 //! optimizer choosing between join orders: `faculty ⋈ RA` first versus
 //! `faculty ⋈ TA` first, "depending on the cardinalities of the
 //! intermediate result set, one plan may be substantially better than
-//! another". This crate closes that loop end-to-end:
+//! another". This crate closes that loop end-to-end, as a **prepared-
+//! query pipeline**:
 //!
-//! * [`db::Database`] — a loaded document plus catalog, element indexes
-//!   (sorted node lists per predicate) and the estimation summaries;
-//! * [`plan`] — twig evaluation plans: connected orders over the query's
-//!   edges, each step a stack-based structural semi-join;
-//! * [`cost`] — a cost model fed exclusively by the estimator
-//!   (inputs + estimated output per step);
-//! * [`exec`] — plan execution that records *actual* intermediate
-//!   cardinalities next to the estimates;
-//! * [`optimizer`] — exhaustive connected-order enumeration picking the
-//!   cheapest estimated plan, with EXPLAIN-style reporting.
+//! ```text
+//!   query string ──parse──▶ TwigNode ──canonicalize──▶ canonical twig
+//!        │                                                  │ intern
+//!        │                                            TwigId + Arc<TwigNode>
+//!        │                                                  │ resolve leaves
+//!        └────────────▶ PreparedQuery  ◀────────────────────┘
+//!                        │        │
+//!               estimate │        │ plan (lazy, memoized by TwigId)
+//!                        ▼        ▼
+//!                   Estimate   CostedPlan ──execute──▶ Execution
+//! ```
+//!
+//! * **Canonicalize** — `TwigNode::canonicalize` normalizes predicates
+//!   and sorts sibling branches, so trivially different spellings
+//!   (`a[.//b][.//c]` vs `a[.//c][.//b]`, whitespace variants) become
+//!   one value; [`prepared`] hash-conses that value to a stable
+//!   `TwigId`. Because every evaluation then runs on the one canonical
+//!   ordering, equivalent spellings estimate **bit-identically**.
+//! * **Prepare** — [`prepared::PreparedQuery`] carries the canonical
+//!   twig, the leaf summary-resolutions, and a slot for the memoized
+//!   cheapest plan. The two-tier cache (query string → entry,
+//!   `TwigId` → entry; bounded LRU on the string tier) serves warm hits
+//!   with zero allocations.
+//! * **Plan** — [`planner::Planner`] owns the costing workspace,
+//!   enumerates connected join orders ([`plan`]), prices them through
+//!   the estimator-fed cost model ([`cost`]), and memoizes the winner on
+//!   the prepared entry. [`optimizer::Optimizer`] is the EXPLAIN-style
+//!   facade over it.
+//! * **Execute** — [`exec`] runs a plan against the element indexes,
+//!   recording *actual* intermediate cardinalities next to the
+//!   estimates.
+//!
+//! ## The epoch-invalidation contract
+//!
+//! [`db::Database`] versions everything estimates derive from with a
+//! monotonically increasing **epoch**, bumped by `add_document`,
+//! `remove_document` and `attach_dtd`. Every `PreparedQuery` (and the
+//! plan memoized on it) records the epoch it was derived under; every
+//! cache lookup and every `refresh_prepared` validates it. On mismatch
+//! the entry is re-prepared from its interned twig — no re-parse — and
+//! re-planned on next use, so a stale plan or resolution is
+//! **unreachable**: the caches survive collection mutations warm in
+//! identity, never in state. Coefficient tables follow the same
+//! contract one layer down, bound to the summaries generation
+//! (`CoeffCache`'s build id), which changes exactly when a mutation
+//! replaces the summaries.
 
 pub mod cost;
 pub mod db;
@@ -23,10 +60,14 @@ pub mod error;
 pub mod exec;
 pub mod optimizer;
 pub mod plan;
+pub mod planner;
+pub mod prepared;
 pub mod service;
 
 pub use db::Database;
 pub use error::{Error, Result};
 pub use optimizer::{ExplainedPlan, Optimizer};
 pub use plan::{FlatTwig, Plan, PlanStep};
-pub use service::{EstimationService, TwigRef};
+pub use planner::Planner;
+pub use prepared::{CacheStats, LeafResolution, PreparedQuery, TwigId};
+pub use service::{EstimationService, ServiceStats, TwigRef};

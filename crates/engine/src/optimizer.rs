@@ -1,19 +1,27 @@
-//! The cost-based optimizer: enumerate connected join orders, price each
-//! with the estimator, pick the cheapest — then optionally execute and
+//! The cost-based optimizer facade: rank connected join orders by
+//! estimated cost, pick the cheapest — then optionally execute and
 //! report estimated vs actual cardinalities (EXPLAIN ANALYZE style).
+//!
+//! The heavy lifting lives in [`crate::planner::Planner`]: queries
+//! resolve through the prepared-query cache, the cheapest plan is
+//! memoized per canonical twig and database epoch, and the cost
+//! workspace is shared across queries. Every entry point canonicalizes
+//! its pattern, so plan step indices refer to the **canonical**
+//! pre-order flattening (sibling branches sorted by axis and rendering),
+//! whatever spelling the caller used — pass plans produced by this
+//! optimizer back to its `execute*` methods and the numbering always
+//! matches.
 
-use crate::cost::{cost_plan_with, CostWorkspace, CostedPlan};
+use crate::cost::CostedPlan;
 use crate::db::Database;
-use crate::error::{Error, Result};
+use crate::error::Result;
 use crate::exec::{execute_plan, execute_plan_with, Execution};
-use crate::plan::{enumerate_plans, FlatTwig, Plan};
+use crate::plan::{FlatTwig, Plan};
+use crate::planner::Planner;
+use crate::prepared::PreparedQuery;
 use std::fmt::Write;
+use std::sync::Arc;
 use xmlest_core::TwigNode;
-use xmlest_query::parse_path;
-
-/// Upper bound on enumerated plans (twigs in the paper's experiments
-/// have at most a handful of edges; 5040 covers 7 freely-ordered edges).
-const PLAN_CAP: usize = 5040;
 
 /// A chosen plan with its estimated and (optionally) measured behaviour.
 #[derive(Debug, Clone)]
@@ -56,59 +64,50 @@ impl ExplainedPlan {
 
 /// The optimizer facade over a database.
 pub struct Optimizer<'a> {
-    db: &'a Database,
+    planner: Planner<'a>,
 }
 
 impl<'a> Optimizer<'a> {
     pub fn new(db: &'a Database) -> Self {
-        Optimizer { db }
+        Optimizer {
+            planner: db.planner(),
+        }
+    }
+
+    /// The planning layer this optimizer fronts.
+    pub fn planner(&self) -> &Planner<'a> {
+        &self.planner
+    }
+
+    fn db(&self) -> &'a Database {
+        self.planner.database()
     }
 
     /// All plans for a twig, each priced by the estimator, cheapest
-    /// first.
+    /// first — the full diagnostic ranking (uncached; use
+    /// [`Optimizer::best_plan`] for the memoized winner).
     pub fn costed_plans(&self, twig: &TwigNode) -> Result<Vec<CostedPlan>> {
-        let flat = FlatTwig::from_twig(twig);
-        let plans = enumerate_plans(&flat, PLAN_CAP);
-        if plans.is_empty() {
-            return Err(Error::Plan("pattern has no edges to join".into()));
-        }
-        let est = self.db.estimator();
-        // One workspace across all plans of this twig: induced sub-twig
-        // estimates are shared between plans that join the same prefix
-        // sets, and per-step buffers are reused.
-        let mut ws = CostWorkspace::new();
-        let mut costed: Vec<CostedPlan> = Vec::with_capacity(plans.len());
-        for p in &plans {
-            let total = cost_plan_with(&est, &flat, p, &mut ws)?;
-            costed.push(CostedPlan {
-                plan: p.clone(),
-                step_outputs: ws.step_outputs.clone(),
-                step_algos: ws.step_algos.clone(),
-                step_costs: ws.step_costs.clone(),
-                total,
-            });
-        }
-        costed.sort_by(|a, b| a.total.total_cmp(&b.total));
-        Ok(costed)
+        self.planner.costed_plans(twig)
     }
 
-    /// Picks the cheapest plan by estimated cost.
-    pub fn best_plan(&self, twig: &TwigNode) -> Result<CostedPlan> {
-        Ok(self
-            .costed_plans(twig)?
-            .into_iter()
-            .next()
-            .expect("costed_plans is non-empty"))
+    /// The cheapest plan by estimated cost, memoized per canonical twig
+    /// and database epoch: repeated calls — from any spelling of the
+    /// pattern — share one `Arc`d plan until a collection mutation bumps
+    /// the epoch.
+    pub fn best_plan(&self, twig: &TwigNode) -> Result<Arc<CostedPlan>> {
+        let prepared = self.planner.prepare_twig(twig)?;
+        self.planner.best_plan(&prepared)
     }
 
     /// EXPLAIN: cheapest plan, optionally executed for actual numbers.
+    /// Runs the full prepared pipeline — the query resolves through the
+    /// shared cache and the plan memo.
     pub fn explain(&self, path: &str, analyze: bool) -> Result<ExplainedPlan> {
-        let twig = parse_path(path)?;
-        let flat = FlatTwig::from_twig(&twig);
-        let costed = self.best_plan(&twig)?;
+        let (prepared, costed) = self.planner.plan(path)?;
+        let flat = FlatTwig::from_twig(prepared.twig());
         let execution = if analyze {
             Some(execute_plan_with(
-                self.db,
+                self.db(),
                 &flat,
                 &costed.plan,
                 &costed.step_algos,
@@ -118,29 +117,42 @@ impl<'a> Optimizer<'a> {
         };
         Ok(ExplainedPlan {
             twig: flat,
-            costed,
+            costed: (*costed).clone(),
             execution,
         })
     }
 
     /// Executes a specific plan with all-structural steps (for
-    /// best-vs-worst comparisons independent of algorithm choice).
+    /// best-vs-worst comparisons independent of algorithm choice). The
+    /// plan's step indices must refer to the canonical flattening —
+    /// which every plan produced by this optimizer does.
     pub fn execute(&self, twig: &TwigNode, plan: &Plan) -> Result<Execution> {
-        let flat = FlatTwig::from_twig(twig);
-        execute_plan(self.db, &flat, plan)
+        let flat = FlatTwig::from_twig(&twig.canonicalize());
+        execute_plan(self.db(), &flat, plan)
     }
 
     /// Executes a costed plan honoring its per-step algorithm choices.
     pub fn execute_costed(&self, twig: &TwigNode, costed: &CostedPlan) -> Result<Execution> {
-        let flat = FlatTwig::from_twig(twig);
-        execute_plan_with(self.db, &flat, &costed.plan, &costed.step_algos)
+        let flat = FlatTwig::from_twig(&twig.canonicalize());
+        execute_plan_with(self.db(), &flat, &costed.plan, &costed.step_algos)
+    }
+
+    /// Executes a prepared query end to end: refresh to the current
+    /// epoch, take (or compute) the memoized cheapest plan, run it.
+    pub fn execute_prepared(&self, prepared: &Arc<PreparedQuery>) -> Result<Execution> {
+        let fresh = self.db().refresh_prepared(prepared)?;
+        let costed = self.planner.best_plan(&fresh)?;
+        let flat = FlatTwig::from_twig(fresh.twig());
+        execute_plan_with(self.db(), &flat, &costed.plan, &costed.step_algos)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::Error;
     use xmlest_core::SummaryConfig;
+    use xmlest_query::parse_path;
 
     /// A document engineered so join order matters: many faculty//RA
     /// pairs, almost no faculty//TA pairs.
@@ -167,8 +179,13 @@ mod tests {
         let twig = parse_path("//department//faculty[.//TA][.//RA]").unwrap();
         let best = opt.best_plan(&twig).unwrap();
         // The cheapest plan must start with the highly selective
-        // faculty//TA edge (edge index 1 in pre-order flattening).
-        assert_eq!(best.plan.steps[0].0, 1, "best plan: {best:?}");
+        // faculty//TA edge. Canonical sibling order under faculty is
+        // [RA, TA] (sorted by rendering), so in the canonical pre-order
+        // flattening that edge has index 2.
+        assert_eq!(best.plan.steps[0].0, 2, "best plan: {best:?}");
+        // Memoized: a repeat call shares the same plan.
+        let again = opt.best_plan(&twig).unwrap();
+        assert!(Arc::ptr_eq(&best, &again));
     }
 
     #[test]

@@ -1,0 +1,237 @@
+//! The unified planner: one front door from query to costed plan.
+//!
+//! Historically every consumer stitched the front half of the pipeline
+//! together by hand — parse, flatten, enumerate, cost — and paid the
+//! full enumeration on every call ([`crate::Optimizer::best_plan`]
+//! re-enumerated per query). The [`Planner`] owns that pipeline:
+//!
+//! * it resolves queries through the database's prepared-query cache
+//!   (canonical twig interning, epoch validation — see
+//!   [`crate::prepared`]);
+//! * it owns the [`CostWorkspace`] and reuses it across queries
+//!   ([`CostWorkspace::reset`] keeps buffer capacity), so warm costing
+//!   stays allocation-free;
+//! * it memoizes the cheapest [`CostedPlan`] **by [`TwigId`]** on the
+//!   prepared entry itself: every spelling of a query shares one plan,
+//!   computed once per database epoch. A collection mutation bumps the
+//!   epoch, the entry re-prepares, and its plan slot comes back empty —
+//!   a stale plan is unreachable by construction.
+//!
+//! Plans are computed on the **canonical** twig, so plan step indices
+//! refer to the canonical pre-order flattening (sibling branches sorted
+//! by `(axis, rendering)`), whatever the query's original spelling.
+
+use crate::cost::{cost_plan_with, CostWorkspace, CostedPlan};
+use crate::db::Database;
+use crate::error::{Error, Result};
+use crate::plan::{enumerate_plans, FlatTwig};
+use crate::prepared::PreparedQuery;
+use std::sync::{Arc, Mutex};
+use xmlest_core::TwigNode;
+
+/// Upper bound on enumerated plans (twigs in the paper's experiments
+/// have at most a handful of edges; 5040 covers 7 freely-ordered edges).
+pub(crate) const PLAN_CAP: usize = 5040;
+
+/// The planning facade over one database. Cheap to construct (the plan
+/// memo lives on the database's prepared entries and persists across
+/// planners); hold one wherever plans are needed repeatedly so the cost
+/// workspace stays warm.
+pub struct Planner<'db> {
+    db: &'db Database,
+    /// Reused costing scratch; locked only while actually costing (the
+    /// memoized path never touches it).
+    ws: Mutex<CostWorkspace>,
+}
+
+impl<'db> Planner<'db> {
+    pub(crate) fn new(db: &'db Database) -> Self {
+        Planner {
+            db,
+            ws: Mutex::new(CostWorkspace::new()),
+        }
+    }
+
+    /// The database this planner plans over.
+    pub fn database(&self) -> &'db Database {
+        self.db
+    }
+
+    /// Prepares a query string through the shared cache (parse →
+    /// canonicalize → intern → resolve leaves).
+    pub fn prepare(&self, path: &str) -> Result<Arc<PreparedQuery>> {
+        self.db.prepare(path)
+    }
+
+    /// Prepares a pre-built pattern (canonicalize → intern → resolve).
+    pub fn prepare_twig(&self, twig: &TwigNode) -> Result<Arc<PreparedQuery>> {
+        self.db.prepare_twig(twig)
+    }
+
+    /// The cheapest plan for a prepared query, memoized on the entry.
+    /// First call per (canonical twig, epoch) enumerates and costs every
+    /// connected order; later calls — from any spelling, any planner —
+    /// return the shared `Arc`. A stale entry (prepared under an older
+    /// epoch) is transparently refreshed first, so the returned plan is
+    /// always costed under the database's current summaries.
+    pub fn best_plan(&self, prepared: &Arc<PreparedQuery>) -> Result<Arc<CostedPlan>> {
+        let entry = self.db.refresh_prepared(prepared)?;
+        if let Some(slot) = entry.plan_slot().get() {
+            return slot.clone().ok_or_else(Self::no_edges);
+        }
+        let computed = self.compute_best(entry.twig())?;
+        // First write wins on a race; both sides computed the identical
+        // deterministic plan.
+        let slot = entry.plan_slot().get_or_init(|| computed);
+        slot.clone().ok_or_else(Self::no_edges)
+    }
+
+    /// Prepares a query string and returns its memoized cheapest plan.
+    pub fn plan(&self, path: &str) -> Result<(Arc<PreparedQuery>, Arc<CostedPlan>)> {
+        let prepared = self.prepare(path)?;
+        let costed = self.best_plan(&prepared)?;
+        Ok((prepared, costed))
+    }
+
+    /// All plans of a pattern, each priced by the estimator, cheapest
+    /// first — the diagnostic/EXPLAIN surface. Uncached (callers want
+    /// the full ranking, not just the winner); runs on the shared
+    /// workspace, canonical flattening.
+    pub fn costed_plans(&self, twig: &TwigNode) -> Result<Vec<CostedPlan>> {
+        let mut costed: Vec<CostedPlan> = Vec::new();
+        if !self.cost_each_plan(twig, |c| costed.push(c))? {
+            return Err(Self::no_edges());
+        }
+        costed.sort_by(|a, b| a.total.total_cmp(&b.total));
+        Ok(costed)
+    }
+
+    /// Enumerates and costs every connected order of the (canonical)
+    /// twig, keeping only the cheapest; `None` for edgeless patterns.
+    /// The strict `<` fold keeps the first-enumerated plan on ties —
+    /// matching the stable sort the ranked API uses.
+    fn compute_best(&self, twig: &TwigNode) -> Result<Option<Arc<CostedPlan>>> {
+        let mut best: Option<CostedPlan> = None;
+        if !self.cost_each_plan(twig, |c| {
+            if best.as_ref().is_none_or(|b| c.total < b.total) {
+                best = Some(c);
+            }
+        })? {
+            return Ok(None);
+        }
+        Ok(best.map(Arc::new))
+    }
+
+    /// The one costing loop both ranked and memoized planning share:
+    /// canonical flatten, connected-order enumeration (capped at
+    /// [`PLAN_CAP`]), shared-workspace costing, one [`CostedPlan`] per
+    /// order handed to `visit`. Returns `Ok(false)` — without invoking
+    /// `visit` — for edgeless patterns.
+    fn cost_each_plan(&self, twig: &TwigNode, mut visit: impl FnMut(CostedPlan)) -> Result<bool> {
+        let canonical = twig.canonicalize();
+        let flat = FlatTwig::from_twig(&canonical);
+        let plans = enumerate_plans(&flat, PLAN_CAP);
+        if plans.is_empty() {
+            return Ok(false);
+        }
+        let est = self.db.estimator();
+        let mut ws = self.ws.lock().expect("planner workspace lock");
+        ws.reset();
+        for p in &plans {
+            let total = cost_plan_with(&est, &flat, p, &mut ws)?;
+            visit(CostedPlan {
+                plan: p.clone(),
+                step_outputs: ws.step_outputs.clone(),
+                step_algos: ws.step_algos.clone(),
+                step_costs: ws.step_costs.clone(),
+                total,
+            });
+        }
+        Ok(true)
+    }
+
+    fn no_edges() -> Error {
+        Error::Plan("pattern has no edges to join".into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlest_core::SummaryConfig;
+    use xmlest_query::parse_path;
+
+    fn skewed_db() -> Database {
+        let mut xml = String::from("<department>");
+        for i in 0..60 {
+            xml.push_str("<faculty><name/>");
+            for _ in 0..8 {
+                xml.push_str("<RA/>");
+            }
+            if i == 0 {
+                xml.push_str("<TA/>");
+            }
+            xml.push_str("</faculty>");
+        }
+        xml.push_str("</department>");
+        Database::load_str(&xml, &SummaryConfig::paper_defaults().with_grid_size(10)).unwrap()
+    }
+
+    #[test]
+    fn best_plan_is_memoized_per_identity() {
+        let db = skewed_db();
+        let planner = db.planner();
+        let a = planner
+            .prepare("//department//faculty[.//TA][.//RA]")
+            .unwrap();
+        let b = planner
+            .prepare("//department//faculty[.//RA][.//TA]")
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "spellings share one prepared entry");
+        assert!(!a.is_planned());
+        let plan_a = planner.best_plan(&a).unwrap();
+        assert!(a.is_planned());
+        let plan_b = planner.best_plan(&b).unwrap();
+        assert!(Arc::ptr_eq(&plan_a, &plan_b), "one plan for both spellings");
+        // A second planner over the same database shares the memo.
+        let other = db.planner();
+        let plan_c = other.best_plan(&a).unwrap();
+        assert!(Arc::ptr_eq(&plan_a, &plan_c));
+    }
+
+    #[test]
+    fn best_plan_matches_ranked_enumeration() {
+        let db = skewed_db();
+        let planner = db.planner();
+        let twig = parse_path("//department//faculty[.//TA][.//RA]").unwrap();
+        let ranked = planner.costed_plans(&twig).unwrap();
+        let prepared = planner.prepare_twig(&twig).unwrap();
+        let best = planner.best_plan(&prepared).unwrap();
+        assert_eq!(best.plan, ranked[0].plan);
+        assert_eq!(best.total.to_bits(), ranked[0].total.to_bits());
+    }
+
+    #[test]
+    fn canonical_flattening_orders_selective_edge() {
+        // Canonical sibling order under faculty is [RA, TA] (sorted by
+        // rendering), so the selective faculty//TA edge is index 2.
+        let db = skewed_db();
+        let planner = db.planner();
+        let (_, best) = planner.plan("//department//faculty[.//TA][.//RA]").unwrap();
+        let (_, best_swapped) = planner.plan("//department//faculty[.//RA][.//TA]").unwrap();
+        assert_eq!(best.plan, best_swapped.plan);
+        assert_eq!(best.plan.steps[0].0, 2, "TA edge first: {best:?}");
+    }
+
+    #[test]
+    fn edgeless_pattern_is_a_plan_error() {
+        let db = skewed_db();
+        let planner = db.planner();
+        let prepared = planner.prepare("//faculty").unwrap();
+        assert!(matches!(planner.best_plan(&prepared), Err(Error::Plan(_))));
+        // The "planned" state is still memoized (slot holds None).
+        assert!(prepared.is_planned());
+        assert!(prepared.cached_plan().is_none());
+        assert!(matches!(planner.best_plan(&prepared), Err(Error::Plan(_))));
+    }
+}

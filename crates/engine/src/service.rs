@@ -6,10 +6,13 @@
 //! costs a path parse plus whatever the estimator allocates; this module
 //! removes both from the steady state:
 //!
-//! * a **parsed-twig cache** (shared with [`Database::estimate`], so the
-//!   two entry points warm each other): repeated path strings resolve to
-//!   a cached [`TwigNode`] behind an [`Arc`] — a hit is a read-lock and
-//!   an atomic increment, no parsing, no allocation;
+//! * the **prepared-query cache** (shared with [`Database::estimate`],
+//!   so the two entry points warm each other): repeated — or canonically
+//!   equivalent — query strings resolve to one cached
+//!   [`PreparedQuery`] behind an [`Arc`]; a hit is a read-locked map
+//!   probe, an epoch check and an LRU stamp — no parsing, no
+//!   allocation, and provably never a stale entry (the epoch bumps on
+//!   every collection mutation);
 //! * a **workspace pool**: each worker draining a batch checks one
 //!   [`TwigWorkspace`] out of the pool, runs every estimate of its share
 //!   on it through the zero-alloc `estimate_twig_with` path, and returns
@@ -20,11 +23,20 @@
 //!   a batch across `rayon` workers; small batches run inline on the
 //!   calling thread (thread spin-up would dominate).
 //!
-//! Results are exactly the single-shot [`Database::estimate`] values —
-//! the service changes scheduling, never math.
+//! Path-ref results are exactly the single-shot [`Database::estimate`]
+//! values — the service changes scheduling, never math. (Caller-owned
+//! [`TwigRef::Twig`] patterns are estimated in the sibling order given,
+//! bypassing canonicalization: a non-canonical spelling can differ from
+//! its path-string twin in the last float bits. Canonicalize first — or
+//! use [`EstimationService::prepare`] — for bit-stable results.)
+//! [`EstimationService::stats`]
+//! snapshots the cache counters (hits, misses, evictions, epoch
+//! invalidations) for observability; the `prepared_pipeline` bench
+//! reports them next to its timings.
 
 use crate::db::Database;
 use crate::error::Result;
+use crate::prepared::{CacheStats, PreparedQuery};
 use rayon::prelude::*;
 use std::sync::{Arc, Mutex};
 use xmlest_core::{Estimate, TwigNode, TwigWorkspace};
@@ -79,13 +91,39 @@ impl<'db> EstimationService<'db> {
         self.db
     }
 
-    /// Resolves a [`TwigRef`] to a parsed twig, hitting the shared cache
-    /// for path strings.
+    /// Resolves a [`TwigRef`] to an estimable twig: path strings go
+    /// through the shared prepared-query cache (canonical, epoch-valid);
+    /// caller-owned twigs are estimated as given — they bypass the cache
+    /// and its canonicalization entirely.
     fn resolve<'q>(&self, q: TwigRef<'q>) -> Result<ResolvedTwig<'q>> {
         match q {
-            TwigRef::Path(p) => Ok(ResolvedTwig::Cached(self.db.twig_cache().get_or_parse(p)?)),
+            TwigRef::Path(p) => Ok(ResolvedTwig::Prepared(self.db.prepare(p)?)),
             TwigRef::Twig(t) => Ok(ResolvedTwig::Borrowed(t)),
         }
+    }
+
+    /// Resolves a query string to its shared [`PreparedQuery`] — parse,
+    /// canonicalize, intern and leaf-resolve once; clients keeping the
+    /// returned `Arc` can estimate through
+    /// [`EstimationService::estimate_prepared`] without even the cache
+    /// probe.
+    pub fn prepare(&self, path: &str) -> Result<Arc<PreparedQuery>> {
+        self.db.prepare(path)
+    }
+
+    /// Estimates a prepared query on a pooled workspace. Entries
+    /// prepared under an older epoch are transparently refreshed — a
+    /// stale plan or resolution is never consumed.
+    pub fn estimate_prepared(&self, prepared: &Arc<PreparedQuery>) -> Result<Estimate> {
+        let fresh = self.db.refresh_prepared(prepared)?;
+        let mut ws = self.take_ws();
+        let out = self
+            .db
+            .estimator()
+            .estimate_twig_with(&mut ws, fresh.twig())
+            .map_err(Into::into);
+        self.put_ws(ws);
+        out
     }
 
     /// Checks a workspace out of the pool (allocating a fresh one only
@@ -178,18 +216,40 @@ impl<'db> EstimationService<'db> {
     pub fn pooled_workspaces(&self) -> usize {
         self.pool.lock().expect("workspace pool lock").len()
     }
+
+    /// Observability snapshot: prepared-cache counters, the database
+    /// epoch, and the pool state.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            cache: self.db.prepared_stats(),
+            epoch: self.db.epoch(),
+            pooled_workspaces: self.pooled_workspaces(),
+        }
+    }
 }
 
-/// A resolved query: cached parse or caller-borrowed twig.
+/// Snapshot of the service's serving state ([`EstimationService::stats`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceStats {
+    /// Prepared-query cache counters (hits, misses, evictions, epoch
+    /// invalidations, live entries).
+    pub cache: CacheStats,
+    /// Database epoch the cache is validating against.
+    pub epoch: u64,
+    /// Idle workspaces currently pooled.
+    pub pooled_workspaces: usize,
+}
+
+/// A resolved query: shared prepared entry or caller-borrowed twig.
 enum ResolvedTwig<'a> {
-    Cached(Arc<TwigNode>),
+    Prepared(Arc<PreparedQuery>),
     Borrowed(&'a TwigNode),
 }
 
 impl ResolvedTwig<'_> {
     fn as_ref(&self) -> &TwigNode {
         match self {
-            ResolvedTwig::Cached(t) => t,
+            ResolvedTwig::Prepared(p) => p.twig(),
             ResolvedTwig::Borrowed(t) => t,
         }
     }

@@ -4,7 +4,7 @@ use xmlest_xml::{NodeId, NodeKind, XmlTree};
 
 /// A primitive node predicate. Each variant is cheap to evaluate per node;
 /// bulk evaluation over a tree is provided by [`BasePredicate::matches`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum BasePredicate {
     /// `elementtag = name` — element nodes with the given tag.
     Tag(String),

@@ -11,7 +11,7 @@ use crate::catalog::Catalog;
 use xmlest_xml::{NodeId, XmlTree};
 
 /// A predicate expression tree over named catalog entries.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum PredExpr {
     /// Reference to a named predicate in the catalog.
     Named(String),
@@ -78,6 +78,39 @@ impl PredExpr {
                 b.collect_names(out);
             }
             PredExpr::Not(a) => a.collect_names(out),
+        }
+    }
+
+    /// Canonical form for interning and cache keying: commutative
+    /// operands of [`PredExpr::And`]/[`PredExpr::Or`] sort by their
+    /// rendering, and double negations collapse. Semantics are unchanged
+    /// — [`PredExpr::eval`] is operand-order independent, and the
+    /// per-cell estimation formulas (product for AND, inclusion–
+    /// exclusion for OR) are commutative even in floating point — so two
+    /// spellings of the same boolean combination normalize to one
+    /// expression, sharing one interned identity downstream.
+    pub fn normalize(&self) -> PredExpr {
+        match self {
+            PredExpr::Named(_) | PredExpr::Base(_) => self.clone(),
+            PredExpr::And(a, b) => Self::ordered(a.normalize(), b.normalize(), PredExpr::And),
+            PredExpr::Or(a, b) => Self::ordered(a.normalize(), b.normalize(), PredExpr::Or),
+            PredExpr::Not(a) => match a.normalize() {
+                PredExpr::Not(inner) => *inner,
+                n => PredExpr::Not(Box::new(n)),
+            },
+        }
+    }
+
+    /// Rebuilds a commutative node with its operands in display order.
+    fn ordered(
+        a: PredExpr,
+        b: PredExpr,
+        build: fn(Box<PredExpr>, Box<PredExpr>) -> PredExpr,
+    ) -> PredExpr {
+        if a.to_string() <= b.to_string() {
+            build(Box::new(a), Box::new(b))
+        } else {
+            build(Box::new(b), Box::new(a))
         }
     }
 
@@ -168,5 +201,40 @@ mod tests {
     fn display_formatting() {
         let e = PredExpr::named("a").and(PredExpr::named("b").not());
         assert_eq!(e.to_string(), "(a AND (NOT b))");
+    }
+
+    #[test]
+    fn normalize_sorts_commutative_operands() {
+        let ab = PredExpr::named("a").and(PredExpr::named("b"));
+        let ba = PredExpr::named("b").and(PredExpr::named("a"));
+        assert_eq!(ab.normalize(), ba.normalize());
+        let ab_or = PredExpr::named("a").or(PredExpr::named("b"));
+        let ba_or = PredExpr::named("b").or(PredExpr::named("a"));
+        assert_eq!(ab_or.normalize(), ba_or.normalize());
+        // AND and OR stay distinct.
+        assert_ne!(ab.normalize(), ab_or.normalize());
+    }
+
+    #[test]
+    fn normalize_collapses_double_negation() {
+        let e = PredExpr::named("a").not().not();
+        assert_eq!(e.normalize(), PredExpr::named("a"));
+        let triple = PredExpr::named("a").not().not().not();
+        assert_eq!(triple.normalize(), PredExpr::named("a").not());
+    }
+
+    #[test]
+    fn normalize_recurses_and_preserves_semantics() {
+        let (cat, tree) = setup();
+        let e = PredExpr::named("y1994")
+            .or(PredExpr::named("y1985"))
+            .and(PredExpr::named("book").not().not());
+        let n = e.normalize();
+        assert_eq!(e.count(&cat, &tree), n.count(&cat, &tree));
+        // Nested commutative nodes sort too.
+        let mirrored = PredExpr::named("book")
+            .and(PredExpr::named("y1985").or(PredExpr::named("y1994")))
+            .normalize();
+        assert_eq!(n, mirrored);
     }
 }

@@ -73,9 +73,15 @@
 //! re-classifying the rest. Everything derived persists in a versioned,
 //! checksummed catalog ([`core::catalog`]); `Database::open_catalog`
 //! restores a serving-ready database with zero tree traversal and
-//! byte-identical estimates. Batched serving goes through
-//! [`engine::service::EstimationService`]: a parsed-twig cache plus a
-//! workspace pool, allocation-free per worker once warm.
+//! byte-identical estimates. Queries run through a **prepared-query
+//! pipeline** (parse → canonicalize → intern → plan, see
+//! [`engine::prepared`] and [`engine::planner`]): equivalent spellings
+//! share one hash-consed identity, cheapest plans memoize per canonical
+//! twig, and a monotonic database *epoch* invalidates prepared state on
+//! every collection mutation — a stale plan is never served. Batched
+//! serving goes through [`engine::service::EstimationService`]: the
+//! two-tier prepared cache plus a workspace pool, allocation-free per
+//! worker once warm.
 
 pub use xmlest_core as core;
 pub use xmlest_datagen as datagen;

@@ -253,4 +253,39 @@ fn warm_join_kernels_allocate_nothing() {
     );
     assert!(expected_batch.is_finite() && expected_batch > 0.0);
     assert!((batch_sum - 250.0 * expected_batch).abs() < 1e-6 * expected_batch.max(1.0));
+
+    // ---- warm prepared-query path: cache hit -> estimate ----
+    //
+    // The last allocating step in the serving loop was query
+    // resolution; the prepared cache's warm path is a read-locked map
+    // probe, an epoch check, an LRU stamp and an `Arc` clone. A warm
+    // single-shot estimate — through the service (pooled workspace),
+    // through a held `PreparedQuery` handle, and through the plain
+    // `Database::estimate` (thread-local workspace) — must not touch
+    // the allocator at all.
+    let hot = "//department//faculty//TA";
+    let held = svc.prepare(hot).unwrap();
+    let mut single_sum = 0.0;
+    for _ in 0..3 {
+        single_sum += svc.estimate(hot).unwrap().value;
+        single_sum += svc.estimate_prepared(&held).unwrap().value;
+        single_sum += db.estimate(hot).unwrap().value;
+    }
+    let expected_single = svc.estimate(hot).unwrap().value;
+    let mut min_delta = usize::MAX;
+    for _ in 0..5 {
+        let before = allocation_count();
+        for _ in 0..50 {
+            single_sum += svc.estimate(hot).unwrap().value;
+            single_sum += svc.estimate_prepared(&held).unwrap().value;
+            single_sum += db.estimate(hot).unwrap().value;
+        }
+        min_delta = min_delta.min(allocation_count() - before);
+    }
+    assert_eq!(
+        min_delta, 0,
+        "warm prepared-query estimates performed {min_delta} heap allocations in every round"
+    );
+    assert!(expected_single.is_finite() && expected_single > 0.0);
+    assert!(single_sum > 0.0);
 }

@@ -133,6 +133,61 @@ fn sharded_merge_agrees_with_monolithic_build() {
     }
 }
 
+/// The parallel (rayon) shard merge must be byte-identical to the
+/// sequential reference — per-predicate merges are independent, so the
+/// fan-out may change nothing, not even float associativity.
+#[test]
+fn parallel_merge_is_bit_identical_to_serial() {
+    use xmlest::core::shard::{
+        build_shard_summaries, classify_document, make_collection_grid, merge_shards,
+        merge_shards_serial,
+    };
+    use xmlest::xml::parser::parse_str;
+
+    for config in [SummaryConfig::paper_defaults().with_grid_size(16), {
+        let mut c = SummaryConfig::paper_defaults().with_grid_size(9);
+        c.equi_depth = true;
+        c
+    }] {
+        let docs = sample_docs();
+        let trees: Vec<_> = docs.iter().map(|(_, x)| parse_str(x).unwrap()).collect();
+        let mut catalog = Catalog::new();
+        for t in &trees {
+            catalog.define_all_tags(t);
+        }
+        catalog.define(
+            xmlest::xml::MEGA_ROOT_TAG,
+            xmlest::predicate::BasePredicate::Tag(xmlest::xml::MEGA_ROOT_TAG.to_owned()),
+        );
+        let inputs: Vec<_> = trees
+            .iter()
+            .map(|t| classify_document(t, &catalog))
+            .collect();
+        let mut offset = 1u32;
+        let mut placed = Vec::new();
+        for input in &inputs {
+            placed.push((input, offset));
+            offset += input.node_count;
+        }
+        let grid = make_collection_grid(&placed, &catalog, &config).unwrap();
+        let shards: Vec<_> = placed
+            .iter()
+            .map(|&(input, off)| build_shard_summaries(input, off, &grid, &catalog, &config))
+            .collect();
+        let refs: Vec<&Summaries> = shards.iter().collect();
+
+        let par = merge_shards(&refs, &grid, &catalog, &config).unwrap();
+        let ser = merge_shards_serial(&refs, &grid, &catalog, &config).unwrap();
+        // The persisted form captures every merged structure bit-exactly
+        // (build ids are process-local and not serialized).
+        assert_eq!(
+            xmlest::core::summary::to_bytes(&par),
+            xmlest::core::summary::to_bytes(&ser),
+            "parallel merge diverged from the serial reference"
+        );
+    }
+}
+
 #[test]
 fn incremental_add_agrees_with_fresh_load() {
     let docs = sample_docs();
