@@ -20,7 +20,11 @@
 //!   offset, its own [`Summaries`] over the shared grid), and
 //! * every memoized [`JoinCoefficients`] table, serialized **CSR** like
 //!   the histograms — `(cell, f64)` entries in row-major order, only
-//!   non-zeros — so a reopened database's coefficient cache starts warm.
+//!   non-zeros — so a reopened database's coefficient cache starts warm,
+//! * (version 2) the grid maintenance state: the [`GridPolicy`] the
+//!   summaries were built under and the [`DriftTracker`]'s occupancy
+//!   rows, so a reopened database resumes drift accounting exactly
+//!   where the saved one left off.
 //!
 //! ## Wire layout
 //!
@@ -30,6 +34,7 @@
 //! │ "XCTL"   │ u16     │ u64          │ u64 checksum │               │
 //! └──────────┴─────────┴──────────────┴──────────────┴───────────────┘
 //! payload := config ‖ catalog ‖ merged ‖ shards ‖ coefficients
+//!            ‖ policy ‖ drift                      (v2 only)
 //!   config   := grid_size u16, equi_depth u8, build_coverage u8,
 //!               build_levels u8
 //!   catalog  := count u32, { name str, base_pred }*
@@ -37,7 +42,15 @@
 //!   shards   := count u32, { name str, offset u32, len u64, bytes }*
 //!   coeffs   := count u32, { name str, basis u8, grid,
 //!                            entries u32, { cell, f64 }* }*
+//!   policy   := 0u8 | (1u8, slack_percent u32, drift_threshold f64,
+//!                      auto_refresh u8)
+//!   drift    := 0u8 | (1u8, g u16, baseline f64, mutations u64,
+//!                      rows u32, { name str, buckets u32, u64* }*)
 //! ```
+//!
+//! A **version 1** catalog (no policy/drift sections) still opens: the
+//! policy defaults to [`GridPolicy::Static`] — exactly the behavior the
+//! v1 bytes were produced under — and drift accounting starts fresh.
 //!
 //! The checksum covers the payload only; it is validated (together with
 //! the length) **before** any section is parsed, so truncation and
@@ -48,13 +61,16 @@
 use crate::error::{Error, Result};
 use crate::estimator::{Summaries, SummaryConfig};
 use crate::ph_join::{Basis, JoinCoefficients};
+use crate::regrid::{DriftTracker, GridPolicy};
 use crate::summary::{
     self, read_base_pred, read_grid, write_base_pred, write_grid, Reader, Writer,
 };
 use xmlest_predicate::Catalog;
 
 const MAGIC: &[u8; 4] = b"XCTL";
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
+/// Oldest version [`CatalogFile::from_bytes`] still accepts.
+const MIN_VERSION: u16 = 1;
 /// Header bytes before the payload: magic + version + length + checksum.
 const HEADER_LEN: usize = 4 + 2 + 8 + 8;
 
@@ -83,6 +99,12 @@ pub struct CatalogFile {
     pub shards: Vec<CatalogShard>,
     /// Memoized coefficient tables, `(predicate name, table)`.
     pub coefficients: Vec<(String, JoinCoefficients)>,
+    /// Grid policy the summaries were built under (v1 catalogs open as
+    /// [`GridPolicy::Static`], the behavior they were produced under).
+    pub policy: GridPolicy,
+    /// Drift-tracker occupancy state, when the saved database had one
+    /// (`None` for v1 catalogs and non-collection databases).
+    pub drift: Option<DriftTracker>,
 }
 
 /// FNV-1a 64 over a byte slice — cheap, dependency-free corruption
@@ -142,6 +164,39 @@ impl CatalogFile {
                 p.f64(v);
             }
         }
+        // Grid policy (v2).
+        match &self.policy {
+            GridPolicy::Static => p.u8(0),
+            GridPolicy::Slack {
+                slack_percent,
+                drift_threshold,
+                auto_refresh,
+            } => {
+                p.u8(1);
+                p.u32(*slack_percent);
+                p.f64(*drift_threshold);
+                p.u8(*auto_refresh as u8);
+            }
+        }
+        // Drift tracker (v2).
+        match &self.drift {
+            None => p.u8(0),
+            Some(t) => {
+                p.u8(1);
+                p.u16(t.g());
+                p.f64(t.baseline());
+                p.u64(t.mutations());
+                let rows: Vec<(&str, &[u64])> = t.rows_for_persist().collect();
+                p.u32(rows.len() as u32);
+                for (name, counts) in rows {
+                    p.str(name);
+                    p.u32(counts.len() as u32);
+                    for &c in counts {
+                        p.u64(c);
+                    }
+                }
+            }
+        }
 
         let payload = p.out;
         let mut w = Writer::default();
@@ -165,7 +220,7 @@ impl CatalogFile {
             return Err(Error::Corrupt("bad catalog magic".into()));
         }
         let version = h.u16()?;
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(Error::Corrupt(format!(
                 "unsupported catalog version {version}"
             )));
@@ -187,13 +242,15 @@ impl CatalogFile {
             data: payload,
             pos: 0,
         };
-        // Config.
-        let config = SummaryConfig {
+        // Config. The policy is read from its own (v2) section below
+        // and patched in before returning.
+        let mut config = SummaryConfig {
             grid_size: r.u16()?,
             equi_depth: r.u8()? == 1,
             build_coverage: r.u8()? == 1,
             build_levels: r.u8()? == 1,
             dtd: None,
+            policy: GridPolicy::Static,
         };
         // Predicate catalog.
         let n = r.u32()? as usize;
@@ -260,6 +317,50 @@ impl CatalogFile {
                 JoinCoefficients::from_sorted_entries(grid, basis, &entries),
             ));
         }
+        // Grid maintenance sections (v2). A v1 catalog ends here and
+        // opens under the static policy it was produced under.
+        let (policy, drift) = if version >= 2 {
+            let policy = match r.u8()? {
+                0 => GridPolicy::Static,
+                1 => GridPolicy::Slack {
+                    slack_percent: r.u32()?,
+                    drift_threshold: r.f64()?,
+                    auto_refresh: r.u8()? == 1,
+                },
+                k => return Err(Error::Corrupt(format!("unknown grid policy tag {k}"))),
+            };
+            let drift = match r.u8()? {
+                0 => None,
+                1 => {
+                    let g = r.u16()?;
+                    if g != merged.grid().g() {
+                        return Err(Error::Corrupt(format!(
+                            "drift tracker is for a g={g} grid, summaries use g={}",
+                            merged.grid().g()
+                        )));
+                    }
+                    let baseline = r.f64()?;
+                    let mutations = r.u64()?;
+                    let n = r.u32()? as usize;
+                    let mut rows = Vec::with_capacity(n.min(1024));
+                    for _ in 0..n {
+                        let name = r.str()?;
+                        let buckets = r.u32()? as usize;
+                        let mut counts = Vec::with_capacity(buckets.min(4096));
+                        for _ in 0..buckets {
+                            counts.push(r.u64()?);
+                        }
+                        rows.push((name, counts));
+                    }
+                    Some(DriftTracker::from_parts(g, rows, baseline, mutations)?)
+                }
+                k => return Err(Error::Corrupt(format!("unknown drift tag {k}"))),
+            };
+            (policy, drift)
+        } else {
+            (GridPolicy::Static, None)
+        };
+        config.policy = policy;
         if r.pos != payload.len() {
             return Err(Error::Corrupt("trailing bytes after catalog".into()));
         }
@@ -270,6 +371,8 @@ impl CatalogFile {
             merged,
             shards,
             coefficients,
+            policy,
+            drift,
         })
     }
 }
@@ -305,6 +408,8 @@ mod tests {
             merged,
             shards: Vec::new(),
             coefficients: vec![("fac".into(), coeffs)],
+            policy: GridPolicy::Static,
+            drift: None,
         }
     }
 
@@ -326,6 +431,38 @@ mod tests {
         assert_eq!(name, "fac");
         assert_eq!(table.entries(), file.coefficients[0].1.entries());
         assert_eq!(table.basis(), Basis::AncestorBased);
+    }
+
+    #[test]
+    fn policy_and_drift_sections_round_trip() {
+        let mut file = sample();
+        file.policy = GridPolicy::Slack {
+            slack_percent: 35,
+            drift_threshold: 0.22,
+            auto_refresh: true,
+        };
+        let g = file.merged.grid().g();
+        let mut tracker =
+            DriftTracker::from_parts(g, vec![("fac".into(), vec![3, 0, 1, 0])], 0.125, 7).unwrap();
+        tracker.rebaseline();
+        let want_skew = tracker.skew();
+        file.drift = Some(tracker);
+
+        let back = CatalogFile::from_bytes(&file.to_bytes()).unwrap();
+        assert_eq!(back.policy, file.policy);
+        assert_eq!(back.config.policy, file.policy, "config carries the policy");
+        let drift = back.drift.expect("drift section round-trips");
+        assert_eq!(drift.g(), g);
+        assert_eq!(drift.skew(), want_skew);
+        assert_eq!(drift.mutations(), 0);
+
+        // A drift tracker on the wrong grid size is corrupt.
+        let mut bad = sample();
+        bad.drift = Some(DriftTracker::from_parts(g + 1, Vec::new(), 0.0, 0).unwrap());
+        assert!(matches!(
+            CatalogFile::from_bytes(&bad.to_bytes()),
+            Err(Error::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -27,6 +27,7 @@ use crate::no_overlap::{
 use crate::parent_child::{parent_child_correction, LevelHistogram};
 use crate::ph_join::{Basis, JoinCoefficients};
 use crate::position_histogram::PositionHistogram;
+use crate::regrid::GridPolicy;
 use crate::twig::{Axis, TwigNode};
 use rayon::prelude::*;
 use std::cell::RefCell;
@@ -58,6 +59,11 @@ pub struct SummaryConfig {
     /// Consult this DTD analysis for overlap properties and schema
     /// shortcuts; tags it does not know fall back to data detection.
     pub dtd: Option<DtdAnalysis>,
+    /// How grid boundaries relate to the occupied span and when the
+    /// maintenance layer refreshes them ([`crate::regrid`]). The
+    /// default, [`GridPolicy::Static`], derives a tight grid on every
+    /// build — the historical behavior.
+    pub policy: GridPolicy,
 }
 
 impl SummaryConfig {
@@ -69,6 +75,7 @@ impl SummaryConfig {
             build_coverage: true,
             build_levels: true,
             dtd: None,
+            policy: GridPolicy::Static,
         }
     }
 
@@ -79,6 +86,16 @@ impl SummaryConfig {
 
     pub fn with_dtd(mut self, dtd: DtdAnalysis) -> Self {
         self.dtd = Some(dtd);
+        self
+    }
+
+    pub fn with_policy(mut self, policy: GridPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    pub fn with_equi_depth(mut self, on: bool) -> Self {
+        self.equi_depth = on;
         self
     }
 }
@@ -256,7 +273,13 @@ impl Summaries {
         } else {
             config.grid_size
         };
-        let max_pos = tree.max_pos();
+        // The policy may pad the grid edge past the occupied span
+        // (slack capacity, `crate::regrid`): appended positions then
+        // bucket onto the existing boundaries instead of moving them.
+        // The span is clamped to ≥1 so an empty (deserialized) tree
+        // keeps the old saturated max_pos() == 0 behavior.
+        let span = (tree.len() as u64).max(1);
+        let max_pos = (config.policy.capacity_for(span) - 1) as u32;
         if config.equi_depth {
             // Concentrate buckets where catalog predicates actually match.
             let mut positions: Vec<u32> = matches
@@ -301,6 +324,15 @@ impl Summaries {
     /// Node count of the tree these summaries describe.
     pub fn tree_nodes(&self) -> u64 {
         self.tree_nodes
+    }
+
+    /// Process-unique generation id, assigned at every (re)build —
+    /// clones keep their original's id since their histograms are
+    /// identical. [`CoeffCache`] binds to it; tests use it to observe
+    /// that a summary value was *reused* rather than rebuilt (the
+    /// stable-grid append path re-buckets zero existing shards).
+    pub fn generation(&self) -> u64 {
+        self.build_id
     }
 
     /// Total summary footprint in bytes (all predicates + TRUE histogram).

@@ -33,6 +33,7 @@ pub mod ordered;
 pub mod parent_child;
 pub mod ph_join;
 pub mod position_histogram;
+pub mod regrid;
 pub mod shard;
 pub mod summary;
 pub mod twig;
@@ -45,4 +46,5 @@ pub use grid::{Cell, Grid};
 pub use no_overlap::{CoverageRef, NodeStats, StatsSlot, StatsView, TwigWorkspace};
 pub use ph_join::{ph_join, ph_join_total, Basis, JoinCoefficients, JoinWorkspace};
 pub use position_histogram::{FlatHistogram, PositionHistogram};
+pub use regrid::{DriftTracker, GridPolicy};
 pub use twig::{Axis, TwigNode};

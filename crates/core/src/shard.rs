@@ -256,6 +256,9 @@ pub fn build_shard_summaries(
 /// given offsets: uniform over the mega-tree position space by default,
 /// equi-depth over the shifted catalog-match positions when configured —
 /// byte-identical to the grid the monolithic mega-tree build derives.
+/// The grid policy (`crate::regrid`) may pad the final boundary past the
+/// occupied span (slack capacity); the derivation is deterministic, so a
+/// refresh and a cold build over the same collection agree exactly.
 pub fn make_collection_grid(
     inputs: &[(&DocumentSummaryInput, u32)],
     catalog: &Catalog,
@@ -267,7 +270,7 @@ pub fn make_collection_grid(
         config.grid_size
     };
     let total: u64 = 1 + inputs.iter().map(|(i, _)| i.node_count as u64).sum::<u64>();
-    let max_pos = (total - 1) as u32;
+    let max_pos = (config.policy.capacity_for(total) - 1) as u32;
     if config.equi_depth {
         let builtins = Summaries::BUILTINS.len();
         let entry_list = Summaries::entry_list(catalog);
@@ -385,9 +388,15 @@ fn merge_entry(
     root_cell: Cell,
 ) -> Result<PredicateSummary> {
     let root_match = matches_mega_root(pred);
+    // A shard built before this entry entered the catalog simply lacks
+    // it — the predicate matches nothing in that document (new tags
+    // arrive with the document that defines them), so the shard
+    // contributes exactly what an explicitly empty entry would: nothing.
+    // This is what lets the stable-grid append path reuse old shard
+    // summaries verbatim when a new document introduces new tags.
     let parts: Vec<(&Summaries, &PredicateSummary)> = shards
         .iter()
-        .map(|s| (*s, s.get(name).expect("shards share the catalog")))
+        .filter_map(|s| s.get(name).map(|p| (*s, p)))
         .collect();
 
     // Histogram: root contribution + cell-wise sums.

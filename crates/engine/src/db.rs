@@ -31,6 +31,7 @@
 //! [`PositionHistogram::plus`]: xmlest_core::PositionHistogram::plus
 
 use crate::error::{Error, Result};
+use crate::maintenance::{MaintenanceState, MaintenanceStats};
 use crate::prepared::{LeafResolution, PreparedCache, PreparedQuery, TwigId};
 use rayon::prelude::*;
 use std::borrow::Cow;
@@ -41,7 +42,7 @@ use xmlest_core::shard::{
     build_shard_summaries, builtin_entry_count, classify_document, entry_names,
     make_collection_grid, matches_mega_root, DocumentSummaryInput,
 };
-use xmlest_core::{CoeffCache, Estimator, Summaries, SummaryConfig, TwigNode};
+use xmlest_core::{CoeffCache, DriftTracker, Estimator, Grid, Summaries, SummaryConfig, TwigNode};
 use xmlest_predicate::{BasePredicate, Catalog, PredExpr};
 use xmlest_query::structural::Item;
 use xmlest_query::{count_matches, parse_path};
@@ -57,6 +58,10 @@ pub(crate) mod test_faults {
     /// artificially (one-shot: the flag clears as it fires).
     pub(crate) static FAIL_NEXT_REBUILD: std::sync::atomic::AtomicBool =
         std::sync::atomic::AtomicBool::new(false);
+
+    /// Serializes tests that arm the (global, one-shot) fault flag so
+    /// an armed-but-unconsumed flag can't leak into a parallel test.
+    pub(crate) static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 }
 
 /// Element index: per catalog predicate, the matching nodes with their
@@ -119,6 +124,52 @@ impl ElementIndex {
         ElementIndex { lists }
     }
 
+    /// Appends one document's classified matches to the lists —
+    /// O(matches in the new document). Valid only for all-`Tag`
+    /// catalogs (the collection case): the new document occupies the
+    /// tail of the position space, so its items append in document
+    /// order, and the only existing item that changes is the
+    /// mega-root's, whose interval end grows to the new total.
+    fn append_document(
+        &mut self,
+        catalog: &Catalog,
+        input: &DocumentSummaryInput,
+        offset: u32,
+        new_total: u64,
+    ) {
+        let builtins = builtin_entry_count();
+        for (pos, entry) in catalog.iter().enumerate() {
+            let list = self.lists.entry(entry.name.clone()).or_default();
+            if matches_mega_root(&entry.predicate) {
+                if let Some(root_item) = list.first_mut() {
+                    if root_item.interval.start == 0 {
+                        root_item.interval.end = (new_total - 1) as u32;
+                    }
+                }
+            }
+            for iv in &input.entries[builtins + pos].intervals {
+                let shifted = Interval::new(iv.start + offset, iv.end + offset);
+                list.push(Item::new(shifted, NodeId(shifted.start)));
+            }
+        }
+    }
+
+    /// Drops every item at or past `offset` (the tail document) and
+    /// shrinks the mega-root item's interval — the inverse of
+    /// [`ElementIndex::append_document`], O(matches in the removed
+    /// document) plus one binary search per list.
+    fn truncate_document(&mut self, offset: u32, new_total: u64) {
+        for list in self.lists.values_mut() {
+            let keep = list.partition_point(|it| it.interval.start < offset);
+            list.truncate(keep);
+            if let Some(root_item) = list.first_mut() {
+                if root_item.interval.start == 0 {
+                    root_item.interval.end = (new_total - 1) as u32;
+                }
+            }
+        }
+    }
+
     pub fn get(&self, name: &str) -> Option<&[Item<NodeId>]> {
         self.lists.get(name).map(Vec::as_slice)
     }
@@ -177,11 +228,15 @@ pub struct Database {
     /// collection mutations and [`Database::attach_dtd`]; prepared
     /// queries and their memoized plans validate against it.
     epoch: u64,
-    /// Prepared-query cache (canonical twig interner + two-tier LRU)
-    /// serving [`Database::estimate`], [`Database::count`], the planner
-    /// and the estimation service. Survives collection mutations — the
-    /// epoch check re-prepares entries lazily.
+    /// Prepared-query cache (canonical twig interner + two-tier cache,
+    /// CLOCK-bounded string tier) serving [`Database::estimate`],
+    /// [`Database::count`], the planner and the estimation service.
+    /// Survives collection mutations — the epoch check re-prepares
+    /// entries lazily.
     prepared: PreparedCache,
+    /// Grid maintenance: drift accounting over the classified lists and
+    /// the stable/moving path counters ([`crate::maintenance`]).
+    maintenance: MaintenanceState,
 }
 
 impl Database {
@@ -190,6 +245,7 @@ impl Database {
     pub fn new(tree: XmlTree, catalog: Catalog, config: &SummaryConfig) -> Result<Database> {
         let summaries = Summaries::build(&tree, &catalog, config)?;
         let index = ElementIndex::build(&tree, &catalog);
+        let maintenance = MaintenanceState::new(summaries.grid().g());
         Ok(Database {
             tree: Some(tree),
             catalog,
@@ -201,6 +257,7 @@ impl Database {
             coeff_cache: CoeffCache::new(),
             epoch: 1,
             prepared: PreparedCache::default(),
+            maintenance,
         })
     }
 
@@ -255,15 +312,21 @@ impl Database {
             .zip(trees.into_iter().zip(inputs))
             .map(|(&(name, _), (tree, input))| (name.to_owned(), ShardSource { tree, input }))
             .collect();
-        Database::from_collection(catalog, config.clone(), sources).map_err(|(e, _)| e)
+        Database::from_collection(catalog, config.clone(), sources, None).map_err(|(e, _)| e)
     }
 
     /// Derives every collection-level structure from per-document state:
     /// offsets, the shared grid, shard summaries (parallel across
     /// documents), the merged view, the mega-tree (replayed from the
-    /// already-parsed document trees — no XML re-parse) and the element
-    /// index (concatenated from the classified lists). Classification of
-    /// existing documents is never repeated.
+    /// already-parsed document trees — no XML re-parse), the element
+    /// index (concatenated from the classified lists), and the drift
+    /// tracker. Classification of existing documents is never repeated.
+    ///
+    /// `pinned_grid` keeps an existing grid instead of re-deriving one
+    /// (the slack policy's removal path: positions compact but the
+    /// boundaries stay put); `None` derives the grid under the config's
+    /// policy, which is what a refresh and a cold build both do — the
+    /// derivation is deterministic, so the two agree exactly.
     ///
     /// On failure the untouched `sources` come back with the error, so
     /// mutating callers ([`Database::add_document`] /
@@ -273,10 +336,12 @@ impl Database {
         catalog: Catalog,
         config: SummaryConfig,
         sources: Vec<(String, ShardSource)>,
+        pinned_grid: Option<Grid>,
     ) -> std::result::Result<Database, (Error, Vec<(String, ShardSource)>)> {
         // Everything fallible runs in here, borrowing `sources`; the
         // sources are consumed only after the last `?`.
-        let fallible = || -> Result<(Vec<u32>, Vec<Summaries>, Summaries, XmlTree)> {
+        type Parts = (Vec<u32>, Vec<Summaries>, Summaries, XmlTree, DriftTracker);
+        let fallible = || -> Result<Parts> {
             #[cfg(test)]
             if test_faults::FAIL_NEXT_REBUILD.swap(false, std::sync::atomic::Ordering::SeqCst) {
                 return Err(Error::Plan("injected rebuild failure (test)".into()));
@@ -296,7 +361,11 @@ impl Database {
                 .zip(&offsets)
                 .map(|((_, src), &off)| (&src.input, off))
                 .collect();
-            let grid = make_collection_grid(&inputs, &catalog, &config)?;
+            let grid = match pinned_grid {
+                Some(g) => g,
+                None => make_collection_grid(&inputs, &catalog, &config)?,
+            };
+            let tracker = DriftTracker::from_inputs(&grid, &catalog, &inputs);
 
             // Per-document shard builds fan out across cores.
             let built: Vec<Summaries> = inputs
@@ -316,9 +385,9 @@ impl Database {
                 fb.add_tree(name, &src.tree)?;
             }
             let tree = fb.finish()?.into_tree();
-            Ok((offsets, built, summaries, tree))
+            Ok((offsets, built, summaries, tree, tracker))
         };
-        let (offsets, built, summaries, tree) = match fallible() {
+        let (offsets, built, summaries, tree, tracker) = match fallible() {
             Ok(parts) => parts,
             Err(e) => return Err((e, sources)),
         };
@@ -346,6 +415,7 @@ impl Database {
             coeff_cache: CoeffCache::new(),
             epoch: 1,
             prepared: PreparedCache::default(),
+            maintenance: MaintenanceState::with_tracker(tracker),
         })
     }
 
@@ -386,22 +456,35 @@ impl Database {
     }
 
     /// Adds a document to the collection. Parses and classifies only the
-    /// new document, then re-merges the shards — existing documents are
-    /// never re-parsed or re-classified (their shard summaries re-bucket
-    /// from the stored classified lists onto the grown grid).
+    /// new document; what happens next depends on the grid policy
+    /// ([`crate::maintenance`]):
+    ///
+    /// * **Stable append** (slack policy, document fits in the slack):
+    ///   the new document's shard builds on the *existing* grid, every
+    ///   existing shard summary is reused verbatim (zero re-bucketing),
+    ///   the mega-tree and element index extend in place — O(new
+    ///   document) plus the shard merge.
+    /// * **Moving append** (static policy, or the document overflows the
+    ///   slack): the grid re-derives under the policy and every shard
+    ///   rebuilds from its stored classified lists (never re-parsed,
+    ///   never re-classified).
+    ///
+    /// Either way the drift tracker ingests the new document and, under
+    /// an auto-refresh policy, a threshold crossing triggers an
+    /// equi-depth refresh before returning.
     ///
     /// Only databases built with [`Database::load_documents`] support
     /// this; single-document and catalog-opened databases return
     /// [`Error::NoData`].
     pub fn add_document(&mut self, name: impl Into<String>, xml: &str) -> Result<()> {
         self.require_collection()?;
-        let tree = parse_str(xml)?;
+        let doc_tree = parse_str(xml)?;
 
         // New tags extend the catalog; stored classifications realign by
         // entry name (a tag absent from a document's interner matches
         // nothing there, so inserted entries are exactly empty).
         let old_names = entry_names(&self.catalog);
-        self.catalog.define_all_tags(&tree);
+        self.catalog.define_all_tags(&doc_tree);
         let new_names = entry_names(&self.catalog);
         if old_names != new_names {
             let index_of: HashMap<&str, usize> = old_names
@@ -425,12 +508,34 @@ impl Database {
             }
         }
 
-        let input = classify_document(&tree, &self.catalog);
+        let input = classify_document(&doc_tree, &self.catalog);
+
+        // Stable-append path: reuse the grid and every existing shard.
+        let occupied = self.summaries.tree_nodes();
+        let capacity = self.summaries.grid().max_pos() as u64 + 1;
+        let fits = occupied + input.node_count as u64 <= capacity;
+        if self.config.policy.is_slack() && self.index_appendable() {
+            if fits {
+                self.append_within_slack(name.into(), doc_tree, input)?;
+                self.auto_refresh_if_needed();
+                return Ok(());
+            }
+            self.maintenance.counters.overflow_appends += 1;
+        }
+
+        // Moving path: full rebuild with a re-derived grid.
         let (mut sources, derived) = self.dismantle_shards();
-        sources.push((name.into(), ShardSource { tree, input }));
-        match Database::from_collection(self.catalog.clone(), self.config.clone(), sources) {
+        sources.push((
+            name.into(),
+            ShardSource {
+                tree: doc_tree,
+                input,
+            },
+        ));
+        match Database::from_collection(self.catalog.clone(), self.config.clone(), sources, None) {
             Ok(rebuilt) => {
                 self.replace_rebuilt(rebuilt);
+                self.maintenance.counters.grid_moves += 1;
                 Ok(())
             }
             Err((e, mut sources)) => {
@@ -445,33 +550,131 @@ impl Database {
         }
     }
 
+    /// The stable-append commit: build the new document's shard on the
+    /// existing grid, merge it with the *reused* old shard summaries,
+    /// extend the mega-tree and element index in place, ingest drift.
+    /// All fallible work happens before the first mutation.
+    fn append_within_slack(
+        &mut self,
+        name: String,
+        doc_tree: XmlTree,
+        input: DocumentSummaryInput,
+    ) -> Result<()> {
+        let grid = self.summaries.grid().clone();
+        let offset = self.summaries.tree_nodes() as u32;
+        let new_shard = build_shard_summaries(&input, offset, &grid, &self.catalog, &self.config);
+        let merged = {
+            let mut refs: Vec<&Summaries> = self.shards.iter().map(|s| &s.summaries).collect();
+            refs.push(&new_shard);
+            xmlest_core::shard::merge_shards(&refs, &grid, &self.catalog, &self.config)?
+        };
+        // Commit — nothing below can fail.
+        let new_total = offset as u64 + input.node_count as u64;
+        self.tree
+            .as_mut()
+            .expect("collections carry the data tree")
+            .append_document_subtree(&doc_tree);
+        self.index
+            .append_document(&self.catalog, &input, offset, new_total);
+        self.maintenance
+            .tracker
+            .ingest_document(&grid, &self.catalog, &input, offset);
+        self.maintenance.counters.stable_appends += 1;
+        self.summaries = merged;
+        self.shards.push(DocShard {
+            name,
+            offset,
+            summaries: new_shard,
+            source: Some(ShardSource {
+                tree: doc_tree,
+                input,
+            }),
+        });
+        self.epoch += 1;
+        Ok(())
+    }
+
+    /// Whether the element index can extend/shrink incrementally: every
+    /// catalog predicate is a `Tag` (always true for collections built
+    /// by [`Database::load_documents`], whose catalogs are tag-derived).
+    fn index_appendable(&self) -> bool {
+        self.catalog
+            .iter()
+            .all(|e| matches!(e.predicate, BasePredicate::Tag(_)))
+    }
+
     /// Installs a rebuilt database while advancing the epoch and keeping
-    /// the prepared-query cache: entries (and their memoized plans) were
-    /// derived under the old epoch, so the first access per entry
-    /// re-prepares it against the new summaries — stale state is
-    /// unreachable, warm state re-warms without re-parsing.
+    /// the prepared-query cache and the maintenance counters: entries
+    /// (and their memoized plans) were derived under the old epoch, so
+    /// the first access per entry re-prepares it against the new
+    /// summaries — stale state is unreachable, warm state re-warms
+    /// without re-parsing.
     fn replace_rebuilt(&mut self, rebuilt: Database) {
         let epoch = self.epoch + 1;
         let prepared = std::mem::take(&mut self.prepared);
+        let counters = self.maintenance.counters;
         *self = rebuilt;
         self.epoch = epoch;
         self.prepared = prepared;
+        self.maintenance.counters = counters;
     }
 
-    /// Removes a document by name, re-merging the remaining shards (no
-    /// re-parse, no re-classification). The catalog keeps its predicate
-    /// definitions; tags now matching nothing summarize as empty.
+    /// Removes a document by name. Under the slack policy the grid never
+    /// moves: removing the **newest** document truncates the mega-tree,
+    /// index and shard list in place (O(removed document), zero
+    /// re-bucketing); an interior removal compacts the remaining
+    /// documents' positions and rebuilds their shards **on the pinned
+    /// grid** (drift accounting carries forward — the grid was not
+    /// re-derived). Under the static policy the grid re-derives as
+    /// before. No path re-parses or re-classifies anything; the catalog
+    /// keeps its predicate definitions, and tags now matching nothing
+    /// summarize as empty.
     pub fn remove_document(&mut self, name: &str) -> Result<()> {
         self.require_collection()?;
         let Some(pos) = self.shards.iter().position(|s| s.name == name) else {
             return Err(Error::NoData(format!("no document named {name:?}")));
         };
+
+        // Stable removal: the newest document sits at the tail of every
+        // structure and peels off without touching the rest.
+        if self.config.policy.is_slack() && pos == self.shards.len() - 1 && self.index_appendable()
+        {
+            return self.remove_newest_within_slack();
+        }
+
+        let pinned = self
+            .config
+            .policy
+            .is_slack()
+            .then(|| self.summaries.grid().clone());
+        let continuity = pinned.is_some().then(|| {
+            (
+                self.maintenance.tracker.baseline(),
+                self.maintenance.tracker.mutations(),
+            )
+        });
         let (mut sources, mut derived) = self.dismantle_shards();
         let removed_source = sources.remove(pos);
         let removed_derived = derived.remove(pos);
-        match Database::from_collection(self.catalog.clone(), self.config.clone(), sources) {
+        match Database::from_collection(self.catalog.clone(), self.config.clone(), sources, pinned)
+        {
             Ok(rebuilt) => {
                 self.replace_rebuilt(rebuilt);
+                match continuity {
+                    // Pinned grid: the boundaries did not move, so the
+                    // baseline recorded at the last derivation (and the
+                    // mutation count) stay in force.
+                    Some((baseline, mutations)) => {
+                        self.maintenance
+                            .tracker
+                            .restore_continuity(baseline, mutations);
+                        self.maintenance.counters.pinned_rebuilds += 1;
+                        self.auto_refresh_if_needed();
+                    }
+                    None => {
+                        self.maintenance.counters.grid_moves += 1;
+                    }
+                }
                 Ok(())
             }
             Err((e, mut sources)) => {
@@ -483,6 +686,133 @@ impl Database {
                 Err(e)
             }
         }
+    }
+
+    /// The stable-removal commit for the newest document: re-merge the
+    /// remaining (reused) shard summaries, truncate the mega-tree and
+    /// index tails, retract the document from the drift tracker.
+    fn remove_newest_within_slack(&mut self) -> Result<()> {
+        let grid = self.summaries.grid().clone();
+        let merged = {
+            let refs: Vec<&Summaries> = self.shards[..self.shards.len() - 1]
+                .iter()
+                .map(|s| &s.summaries)
+                .collect();
+            xmlest_core::shard::merge_shards(&refs, &grid, &self.catalog, &self.config)?
+        };
+        let offset = self.shards.last().expect("non-empty checked").offset;
+        self.tree
+            .as_mut()
+            .expect("collections carry the data tree")
+            .truncate_last_subtree(NodeId(offset))?;
+        // Commit — nothing below can fail.
+        let shard = self.shards.pop().expect("non-empty checked");
+        let src = shard.source.expect("collection shards have sources");
+        self.index.truncate_document(offset, offset as u64);
+        self.maintenance
+            .tracker
+            .retract_document(&grid, &self.catalog, &src.input, offset);
+        self.maintenance.counters.stable_removes += 1;
+        self.summaries = merged;
+        self.epoch += 1;
+        self.auto_refresh_if_needed();
+        Ok(())
+    }
+
+    /// Re-derives the grid from the stored classified interval lists —
+    /// equi-depth boundaries when the config says so, slack padding per
+    /// the policy — rebuilds every shard summary in parallel on it, and
+    /// atomically swaps the serving view in. **Zero tree traversal, no
+    /// re-parsing, no re-classification.** The epoch bumps, so every
+    /// cached prepared query (and memoized plan) re-prepares lazily; the
+    /// grid derivation is deterministic, so the refreshed database
+    /// estimates bit-identically to one built cold on the same
+    /// collection.
+    ///
+    /// Fires automatically when drift crosses the policy threshold
+    /// (under [`xmlest_core::GridPolicy::Slack`] with `auto_refresh`);
+    /// this is the manual entry point.
+    pub fn refresh_grid(&mut self) -> Result<()> {
+        self.require_collection()?;
+        let drift = self.maintenance.tracker.drift();
+        self.refresh_inner(false, drift)
+    }
+
+    /// Fires a refresh when the policy says drift warrants one; called
+    /// at the end of every successful mutation.
+    ///
+    /// Never fails: by the time this runs the hosting mutation has
+    /// committed, so returning its error would break the mutation's
+    /// atomic-failure contract (a caller retrying the "failed" add
+    /// would insert the document twice). A refresh that cannot rebuild
+    /// rolls itself back (the database keeps serving consistently on
+    /// the old grid, drift stays high) and is surfaced through the
+    /// `failed_auto_refreshes` counter; the next mutation — or a manual
+    /// [`Database::refresh_grid`], which does report errors — retries.
+    fn auto_refresh_if_needed(&mut self) {
+        if !self.config.policy.auto_refresh() {
+            return;
+        }
+        let Some(threshold) = self.config.policy.drift_threshold() else {
+            return;
+        };
+        let drift = self.maintenance.tracker.drift();
+        if drift > threshold && self.refresh_inner(true, drift).is_err() {
+            self.maintenance.counters.failed_auto_refreshes += 1;
+        }
+    }
+
+    fn refresh_inner(&mut self, auto: bool, drift_at: f64) -> Result<()> {
+        let (sources, derived) = self.dismantle_shards();
+        match Database::from_collection(self.catalog.clone(), self.config.clone(), sources, None) {
+            Ok(rebuilt) => {
+                self.replace_rebuilt(rebuilt);
+                let c = &mut self.maintenance.counters;
+                c.refreshes += 1;
+                c.grid_moves += 1;
+                if auto {
+                    c.auto_refreshes += 1;
+                }
+                c.last_refresh_drift = drift_at;
+                Ok(())
+            }
+            Err((e, sources)) => {
+                self.restore_shards(sources, derived);
+                Err(e)
+            }
+        }
+    }
+
+    /// Snapshot of the grid maintenance layer: policy, capacity and
+    /// occupancy, drift against the threshold, and per-path counters.
+    pub fn maintenance_stats(&self) -> MaintenanceStats {
+        let c = self.maintenance.counters;
+        let t = &self.maintenance.tracker;
+        MaintenanceStats {
+            policy: self.config.policy,
+            grid_capacity: self.summaries.grid().max_pos() as u64 + 1,
+            occupied: self.summaries.tree_nodes(),
+            skew: t.skew(),
+            baseline_skew: t.baseline(),
+            drift: t.drift(),
+            drift_threshold: self.config.policy.drift_threshold(),
+            mutations_since_derive: t.mutations(),
+            stable_appends: c.stable_appends,
+            stable_removes: c.stable_removes,
+            grid_moves: c.grid_moves,
+            pinned_rebuilds: c.pinned_rebuilds,
+            overflow_appends: c.overflow_appends,
+            refreshes: c.refreshes,
+            auto_refreshes: c.auto_refreshes,
+            failed_auto_refreshes: c.failed_auto_refreshes,
+            last_refresh_drift: c.last_refresh_drift,
+        }
+    }
+
+    /// Per-predicate `(name, occupancy skew, match count)` in name
+    /// order — which predicates outgrew the grid.
+    pub fn predicate_skews(&self) -> Vec<(String, f64, u64)> {
+        self.maintenance.tracker.entry_skews()
     }
 
     fn require_collection(&self) -> Result<()> {
@@ -531,6 +861,8 @@ impl Database {
                 .into_iter()
                 .map(|(name, _basis, table)| (name, (*table).clone()))
                 .collect(),
+            policy: self.config.policy,
+            drift: Some(self.maintenance.tracker.clone()),
         }
         .to_bytes()
     }
@@ -545,6 +877,10 @@ impl Database {
     /// need the data tree and return [`Error::NoData`].
     pub fn open_catalog(bytes: &[u8]) -> Result<Database> {
         let file = CatalogFile::from_bytes(bytes)?;
+        let maintenance = match file.drift {
+            Some(tracker) => MaintenanceState::with_tracker(tracker),
+            None => MaintenanceState::new(file.merged.grid().g()),
+        };
         let db = Database {
             tree: None,
             catalog: file.catalog,
@@ -565,6 +901,7 @@ impl Database {
             coeff_cache: CoeffCache::new(),
             epoch: 1,
             prepared: PreparedCache::default(),
+            maintenance,
         };
         for (name, table) in file.coefficients {
             db.coeff_cache.seed(&db.summaries, &name, Arc::new(table));
@@ -999,6 +1336,7 @@ mod tests {
     #[test]
     fn failed_rebuild_rolls_back_the_mutation() {
         use std::sync::atomic::Ordering;
+        let _guard = test_faults::LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let mut d = Database::load_documents(
             [("a.xml", "<a><x/><x/></a>"), ("b.xml", "<b><y/></b>")],
             &SummaryConfig::paper_defaults().with_grid_size(8),
@@ -1031,6 +1369,58 @@ mod tests {
         d.remove_document("a.xml").unwrap();
         assert_eq!(d.document_names(), vec!["b.xml", "c.xml"]);
         assert_eq!(d.count("//a//x").unwrap(), 1);
+    }
+
+    /// A drift-triggered refresh that fails to rebuild must not unwind
+    /// (or mis-report) the mutation that hosted it: the mutation has
+    /// already committed, so the refresh failure is absorbed into the
+    /// `failed_auto_refreshes` counter and retried by the next
+    /// mutation. Returning the error instead would invite a caller to
+    /// retry the add and insert the document twice.
+    #[test]
+    fn failed_auto_refresh_does_not_unwind_the_mutation() {
+        use std::sync::atomic::Ordering;
+        let _guard = test_faults::LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        // A wide, evenly spread initial document keeps the baseline
+        // skew low; the appended pile of same-tag leaves lands in the
+        // tail buckets, so skew — and therefore drift — must rise.
+        let mut spread = String::from("<a>");
+        for _ in 0..24 {
+            spread.push_str("<x><q/></x>");
+        }
+        spread.push_str("</a>");
+        let pile = format!("<a>{}</a>", "<x/>".repeat(12));
+        let mut d = Database::load_documents(
+            [("a.xml", spread.as_str())],
+            &SummaryConfig::paper_defaults()
+                .with_grid_size(8)
+                .with_equi_depth(true)
+                .with_policy(xmlest_core::GridPolicy::Slack {
+                    slack_percent: 500,
+                    drift_threshold: 0.0,
+                    auto_refresh: true,
+                }),
+        )
+        .unwrap();
+
+        test_faults::FAIL_NEXT_REBUILD.store(true, Ordering::SeqCst);
+        // The append commits on the stable path; the auto refresh it
+        // triggers hits the injected rebuild failure.
+        d.add_document("b.xml", &pile).unwrap();
+        assert_eq!(d.document_names(), vec!["a.xml", "b.xml"]);
+        assert_eq!(d.count("//a//x").unwrap(), 36);
+        let s = d.maintenance_stats();
+        assert_eq!(s.stable_appends, 1);
+        assert_eq!(s.failed_auto_refreshes, 1, "failure must be recorded");
+        assert_eq!(s.refreshes, 0);
+        assert!(s.drift > 0.0, "drift persists so a retry can fire");
+
+        // The next mutation retries the refresh and succeeds.
+        d.add_document("c.xml", &pile).unwrap();
+        let s = d.maintenance_stats();
+        assert_eq!(s.auto_refreshes, 1);
+        assert_eq!(s.failed_auto_refreshes, 1);
+        assert_eq!(d.count("//a//x").unwrap(), 48);
     }
 
     #[test]

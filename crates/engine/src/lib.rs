@@ -28,7 +28,7 @@
 //! * **Prepare** — [`prepared::PreparedQuery`] carries the canonical
 //!   twig, the leaf summary-resolutions, and a slot for the memoized
 //!   cheapest plan. The two-tier cache (query string → entry,
-//!   `TwigId` → entry; bounded LRU on the string tier) serves warm hits
+//!   `TwigId` → entry; CLOCK-bounded string tier) serves warm hits
 //!   with zero allocations.
 //! * **Plan** — [`planner::Planner`] owns the costing workspace,
 //!   enumerates connected join orders ([`plan`]), prices them through
@@ -52,12 +52,16 @@
 //! identity, never in state. Coefficient tables follow the same
 //! contract one layer down, bound to the summaries generation
 //! (`CoeffCache`'s build id), which changes exactly when a mutation
-//! replaces the summaries.
+//! replaces the summaries. The grid [`maintenance`] layer leans on the
+//! same contract: an equi-depth refresh swaps the whole summary set to
+//! a new grid and bumps the epoch, so every cached plan re-prepares
+//! lazily — a stale-grid plan can never be served.
 
 pub mod cost;
 pub mod db;
 pub mod error;
 pub mod exec;
+pub mod maintenance;
 pub mod optimizer;
 pub mod plan;
 pub mod planner;
@@ -66,6 +70,7 @@ pub mod service;
 
 pub use db::Database;
 pub use error::{Error, Result};
+pub use maintenance::MaintenanceStats;
 pub use optimizer::{ExplainedPlan, Optimizer};
 pub use plan::{FlatTwig, Plan, PlanStep};
 pub use planner::Planner;

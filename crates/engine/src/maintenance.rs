@@ -1,0 +1,160 @@
+//! Grid maintenance: drift accounting, the slack-capacity stable-append
+//! path, and the drift-triggered equi-depth refresh.
+//!
+//! The serving view ([`crate::db::Database`]'s merged summaries) lives
+//! on one grid. Historically every collection mutation re-derived that
+//! grid from scratch, which moved the boundaries and re-bucketed every
+//! shard — `add_document` cost O(collection). A grid that never moves
+//! is no better: its equi-depth fit decays as the data distribution
+//! shifts, and accuracy slides toward the uniform-grid regime. This
+//! module is the policy layer that resolves the tension:
+//!
+//! ```text
+//!                 mutation (add_document / remove_document)
+//!                                   │
+//!                     fits in slack capacity?          GridPolicy::Slack
+//!                ┌─────────yes──────┴───────no─────────┐
+//!                ▼                                     ▼
+//!      STABLE PATH  O(new doc)                MOVING PATH  O(collection)
+//!      · build one shard on the               · re-derive grid (policy-
+//!        existing grid                          padded span, equi-depth
+//!      · merge with the *reused*                from classified lists)
+//!        old shard summaries                  · rebuild all shards in
+//!      · extend mega-tree + index               parallel, re-merge
+//!        in place                             · atomic swap
+//!                │                                     │
+//!                └────────────┬────────────────────────┘
+//!                             ▼
+//!                DRIFT TRACKER  (xmlest_core::regrid)
+//!                · per-predicate bucket occupancy of the
+//!                  stored classified lists, O(doc) update
+//!                · drift = skew − baseline-at-derivation
+//!                             │
+//!                   drift > threshold?  (auto_refresh)
+//!                             │ yes
+//!                             ▼
+//!                EQUI-DEPTH REFRESH  (Database::refresh_grid)
+//!                · recompute boundaries from the classified
+//!                  lists — zero tree traversal
+//!                · rebuild every shard in parallel on the
+//!                  new grid, merge, swap atomically
+//!                             │
+//!                             ▼
+//!                EPOCH BUMP → prepared-query cache re-prepares
+//!                lazily; a stale-grid plan is never served
+//! ```
+//!
+//! The refresh re-derives the grid with the same deterministic
+//! procedure a cold build uses ([`xmlest_core::shard::make_collection_grid`]
+//! under the same [`GridPolicy`]), so post-refresh estimates are
+//! **bit-identical** to a database built cold on the refreshed
+//! collection — `tests/grid_maintenance.rs` pins this, and the
+//! `grid_maintenance` bench (BENCH_regrid.json) measures the stable
+//! path's O(new doc) margin over the moving path.
+//!
+//! State lives in two places: the [`DriftTracker`] (per-predicate
+//! occupancy rows, persisted in catalog v2 sections so a reopened
+//! database resumes accounting) and the session [`MaintenanceCounters`]
+//! (how often each path ran — observability only, reset on reopen).
+
+use xmlest_core::{DriftTracker, GridPolicy};
+
+/// Session counters for the maintenance paths. Monotonic per database
+/// lifetime; not persisted.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct MaintenanceCounters {
+    /// Appends that reused the grid and every existing shard summary.
+    pub stable_appends: u64,
+    /// Removals of the newest document that reused grid and shards.
+    pub stable_removes: u64,
+    /// Rebuilds that re-derived the grid (static-policy mutations,
+    /// overflowing appends, refreshes).
+    pub grid_moves: u64,
+    /// Interior removals under the slack policy: every remaining shard
+    /// rebuilt (positions compacted) on the *pinned* grid — as
+    /// expensive as a grid move, without moving the boundaries.
+    pub pinned_rebuilds: u64,
+    /// Appends that did not fit in the slack capacity.
+    pub overflow_appends: u64,
+    /// Equi-depth refreshes (manual + automatic).
+    pub refreshes: u64,
+    /// Refreshes fired by the drift threshold inside a mutation.
+    pub auto_refreshes: u64,
+    /// Drift-triggered refreshes that failed to rebuild. The mutation
+    /// that hosted them still committed (the database keeps serving on
+    /// the old grid, drift stays high); see
+    /// [`crate::db::Database::add_document`].
+    pub failed_auto_refreshes: u64,
+    /// Drift observed when the last refresh fired.
+    pub last_refresh_drift: f64,
+}
+
+/// The maintenance half of a database: drift accounting plus path
+/// counters.
+#[derive(Debug)]
+pub(crate) struct MaintenanceState {
+    pub tracker: DriftTracker,
+    pub counters: MaintenanceCounters,
+}
+
+impl MaintenanceState {
+    pub(crate) fn new(g: u16) -> Self {
+        MaintenanceState {
+            tracker: DriftTracker::new(g),
+            counters: MaintenanceCounters::default(),
+        }
+    }
+
+    pub(crate) fn with_tracker(tracker: DriftTracker) -> Self {
+        MaintenanceState {
+            tracker,
+            counters: MaintenanceCounters::default(),
+        }
+    }
+}
+
+/// Observability snapshot of the grid maintenance layer
+/// ([`crate::db::Database::maintenance_stats`],
+/// [`crate::service::EstimationService::maintenance_stats`]).
+#[derive(Debug, Clone, Copy)]
+pub struct MaintenanceStats {
+    /// The active grid policy.
+    pub policy: GridPolicy,
+    /// Positions the current grid covers (`max_pos + 1`, slack
+    /// included).
+    pub grid_capacity: u64,
+    /// Positions currently occupied (mega-root + every document).
+    pub occupied: u64,
+    /// Aggregate bucket-occupancy skew (0 = equi-depth ideal).
+    pub skew: f64,
+    /// Skew recorded when the grid was last derived.
+    pub baseline_skew: f64,
+    /// `max(0, skew − baseline)` — what the threshold compares against.
+    pub drift: f64,
+    /// The policy's refresh threshold, when it has one.
+    pub drift_threshold: Option<f64>,
+    /// Mutations since the grid was last derived.
+    pub mutations_since_derive: u64,
+    /// See [`MaintenanceCounters`].
+    pub stable_appends: u64,
+    pub stable_removes: u64,
+    pub grid_moves: u64,
+    pub pinned_rebuilds: u64,
+    pub overflow_appends: u64,
+    pub refreshes: u64,
+    pub auto_refreshes: u64,
+    pub failed_auto_refreshes: u64,
+    pub last_refresh_drift: f64,
+}
+
+impl MaintenanceStats {
+    /// Free positions left before an append overflows the grid.
+    pub fn slack_remaining(&self) -> u64 {
+        self.grid_capacity.saturating_sub(self.occupied)
+    }
+
+    /// Whether the next auto-refresh check would fire.
+    pub fn over_threshold(&self) -> bool {
+        self.drift_threshold.is_some_and(|t| self.drift > t)
+    }
+}

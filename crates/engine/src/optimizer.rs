@@ -85,9 +85,19 @@ impl<'a> Optimizer<'a> {
 
     /// All plans for a twig, each priced by the estimator, cheapest
     /// first — the full diagnostic ranking (uncached; use
-    /// [`Optimizer::best_plan`] for the memoized winner).
+    /// [`Optimizer::best_plan`] for the memoized winner or
+    /// [`Optimizer::ranked_plans`] for the memoized ranking).
     pub fn costed_plans(&self, twig: &TwigNode) -> Result<Vec<CostedPlan>> {
         self.planner.costed_plans(twig)
+    }
+
+    /// The full ranked plan list, memoized per (canonical twig,
+    /// database epoch): repeated EXPLAIN calls — from any spelling —
+    /// share one `Arc`d ranking until a collection mutation bumps the
+    /// epoch.
+    pub fn ranked_plans(&self, twig: &TwigNode) -> Result<Arc<Vec<CostedPlan>>> {
+        let prepared = self.planner.prepare_twig(twig)?;
+        self.planner.ranked_plans(&prepared)
     }
 
     /// The cheapest plan by estimated cost, memoized per canonical twig

@@ -18,11 +18,15 @@
 //!    reused) once no cached state references them, so the interner
 //!    stays bounded by the cache, not by query history.
 //! 3. **The two-tier cache** ([`PreparedCache`]): tier 1 maps query
-//!    strings to their [`PreparedQuery`] under a bounded LRU (query
-//!    strings embed user-supplied values, so this dimension is
-//!    unbounded); tier 2 maps [`TwigId`]s to the one shared entry, so
-//!    two spellings of a query share one prepared state and an epoch
-//!    bump refreshes an entry once, not once per spelling.
+//!    strings to their [`PreparedQuery`] under a bounded **CLOCK**
+//!    sweep (query strings embed user-supplied values, so this
+//!    dimension is unbounded; a hit sets a reference bit, the eviction
+//!    hand clears bits and takes the first unreferenced slot — O(1)
+//!    amortized, where the old LRU min-scan paid O(entries) per
+//!    eviction under sustained distinct-query churn); tier 2 maps
+//!    [`TwigId`]s to the one shared entry, so two spellings of a query
+//!    share one prepared state and an epoch bump refreshes an entry
+//!    once, not once per spelling.
 //!
 //! A [`PreparedQuery`] carries everything the front half of the pipeline
 //! derives: the canonical twig, the leaf summary-resolution results, the
@@ -38,7 +42,7 @@
 use crate::cost::CostedPlan;
 use crate::error::Result;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 use xmlest_core::TwigNode;
 
@@ -146,6 +150,12 @@ pub struct PreparedQuery {
     /// plan). Write-once: plans are deterministic per (twig, epoch), so
     /// a racing double-compute resolves to identical values.
     plan: OnceLock<Option<Arc<CostedPlan>>>,
+    /// Full ranked plan list (cheapest first), filled on first EXPLAIN
+    /// use — repeated `explain`-style calls skip re-enumeration. An
+    /// empty list marks an edgeless pattern. Same write-once race
+    /// resolution as `plan`; invalidated with the entry on epoch bumps,
+    /// so the ranking is memoized per (TwigId, epoch).
+    ranked: OnceLock<Arc<Vec<CostedPlan>>>,
 }
 
 impl PreparedQuery {
@@ -162,6 +172,7 @@ impl PreparedQuery {
             cache_id: 0,
             leaves,
             plan: OnceLock::new(),
+            ranked: OnceLock::new(),
         }
     }
 
@@ -206,6 +217,16 @@ impl PreparedQuery {
     pub(crate) fn plan_slot(&self) -> &OnceLock<Option<Arc<CostedPlan>>> {
         &self.plan
     }
+
+    /// The memoized ranked plan list, if an EXPLAIN-style consumer has
+    /// computed it (empty list = edgeless pattern).
+    pub fn cached_ranked_plans(&self) -> Option<&Arc<Vec<CostedPlan>>> {
+        self.ranked.get()
+    }
+
+    pub(crate) fn ranked_slot(&self) -> &OnceLock<Arc<Vec<CostedPlan>>> {
+        &self.ranked
+    }
 }
 
 /// Counter snapshot of a [`PreparedCache`] — the service's
@@ -219,7 +240,7 @@ pub struct CacheStats {
     /// Lookups that found an entry from an older epoch (re-prepared
     /// from the interned twig; the stale entry was never served).
     pub invalidations: u64,
-    /// Tier-1 entries dropped by the LRU bound.
+    /// Tier-1 entries dropped by the CLOCK bound.
     pub evictions: u64,
     /// Live tier-1 (query-string) entries.
     pub entries: usize,
@@ -230,16 +251,34 @@ pub struct CacheStats {
     pub interned: usize,
     /// Live entries whose cheapest plan is memoized.
     pub planned: usize,
+    /// Live entries whose full ranked plan list (EXPLAIN) is memoized.
+    pub ranked: usize,
 }
 
-/// Most query strings tier 1 will hold before LRU eviction starts.
+/// Most query strings tier 1 will hold before CLOCK eviction starts.
 pub(crate) const PREPARED_CACHE_CAP: usize = 4096;
 
-/// Tier-1 slot: the entry plus its LRU stamp.
+/// Tier-1 slot: the entry plus its CLOCK reference bit. A warm hit
+/// sets the bit (one relaxed store under the read lock — still zero
+/// allocations); the sweeping hand clears it and evicts slots found
+/// unreferenced.
 #[derive(Debug)]
 struct PathSlot {
     entry: Arc<PreparedQuery>,
-    last_used: AtomicU64,
+    referenced: AtomicBool,
+}
+
+/// Tier 1: the query-string map plus the CLOCK ring over its keys.
+/// Invariant: `ring` holds exactly `map`'s keys, each once; `hand`
+/// indexes `ring` (0 when empty). Eviction is O(1) amortized — the
+/// hand sweeps at most one full revolution (clearing reference bits)
+/// before it finds a victim, instead of the old O(entries) min-scan
+/// per eviction.
+#[derive(Debug, Default)]
+struct PathTier {
+    map: HashMap<String, PathSlot>,
+    ring: Vec<String>,
+    hand: usize,
 }
 
 /// Tier-2 slot: the entry plus how many tier-1 slots reference its id.
@@ -254,13 +293,11 @@ struct IdSlot {
 #[derive(Debug)]
 pub(crate) struct PreparedCache {
     interner: TwigInterner,
-    by_path: RwLock<HashMap<String, PathSlot>>,
+    by_path: RwLock<PathTier>,
     by_id: RwLock<HashMap<TwigId, IdSlot>>,
     /// Process-unique cache identity, stamped onto every issued entry;
     /// refresh paths use it to detect entries from another database.
     cache_id: u64,
-    /// LRU clock: every touch stamps the slot with the next tick.
-    tick: AtomicU64,
     cap: usize,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -283,10 +320,9 @@ impl PreparedCache {
         static NEXT_CACHE_ID: AtomicU64 = AtomicU64::new(1);
         PreparedCache {
             interner: TwigInterner::default(),
-            by_path: RwLock::new(HashMap::new()),
+            by_path: RwLock::new(PathTier::default()),
             by_id: RwLock::new(HashMap::new()),
             cache_id: NEXT_CACHE_ID.fetch_add(1, Ordering::Relaxed),
-            tick: AtomicU64::new(0),
             cap: cap.max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -298,9 +334,10 @@ impl PreparedCache {
     /// Resolves a query string to its prepared entry under `epoch`.
     ///
     /// The warm path — entry present, epoch matches — is a read-locked
-    /// map probe, an LRU stamp and an `Arc` clone: **zero allocations**.
-    /// A stale entry re-prepares from its interned twig (no re-parse);
-    /// an absent one parses, canonicalizes and interns first.
+    /// map probe, a reference-bit store and an `Arc` clone: **zero
+    /// allocations**. A stale entry re-prepares from its interned twig
+    /// (no re-parse); an absent one parses, canonicalizes and interns
+    /// first.
     pub(crate) fn get_or_prepare_path(
         &self,
         path: &str,
@@ -309,10 +346,10 @@ impl PreparedCache {
         resolve: ResolveFn<'_>,
     ) -> Result<Arc<PreparedQuery>> {
         let stale = {
-            let map = self.by_path.read().expect("prepared cache lock");
-            match map.get(path) {
+            let tier = self.by_path.read().expect("prepared cache lock");
+            match tier.map.get(path) {
                 Some(slot) if slot.entry.epoch == epoch => {
-                    slot.last_used.store(self.next_tick(), Ordering::Relaxed);
+                    slot.referenced.store(true, Ordering::Relaxed);
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     return Ok(slot.entry.clone());
                 }
@@ -415,42 +452,58 @@ impl PreparedCache {
         Ok(built)
     }
 
-    /// Installs (or refreshes) a tier-1 slot, evicting the
-    /// least-recently-used slot when the bound is hit. Cold path only —
-    /// allocation and the O(entries) LRU scan are fine here.
+    /// Installs (or refreshes) a tier-1 slot, evicting via the CLOCK
+    /// hand when the bound is hit. Cold path only — allocation is fine
+    /// here, and eviction is O(1) amortized: the hand clears reference
+    /// bits as it sweeps and takes the first unreferenced slot, instead
+    /// of scanning every entry for the LRU minimum.
     fn install_path(&self, path: &str, entry: Arc<PreparedQuery>) {
-        let mut map = self.by_path.write().expect("prepared cache lock");
-        let tick = self.next_tick();
-        if let Some(slot) = map.get_mut(path) {
+        let mut tier = self.by_path.write().expect("prepared cache lock");
+        if let Some(slot) = tier.map.get_mut(path) {
             // Epoch refresh (same canonical id — paths parse
             // deterministically), or a racing insert of the same path.
             slot.entry = entry;
-            slot.last_used.store(tick, Ordering::Relaxed);
+            slot.referenced.store(true, Ordering::Relaxed);
             return;
         }
-        // Pin the incoming entry *before* evicting: if the LRU victim
+        // Pin the incoming entry *before* evicting: if the victim
         // shares its id (another spelling of the same query), unpinning
         // the victim first would drop the shared tier-2 state and
         // release the interned identity out from under us.
         self.pin(&entry);
-        if map.len() >= self.cap {
-            let victim = map
-                .iter()
-                .min_by_key(|(_, slot)| slot.last_used.load(Ordering::Relaxed))
-                .map(|(k, _)| k.clone());
-            if let Some(key) = victim {
-                let slot = map.remove(&key).expect("victim just observed");
-                self.evictions.fetch_add(1, Ordering::Relaxed);
-                self.unpin(slot.entry.id);
-            }
+        let slot = PathSlot {
+            entry,
+            // New entries start unreferenced: one full hand revolution
+            // without a hit makes them eligible, which is what keeps a
+            // hot working set resident through sustained distinct-query
+            // churn.
+            referenced: AtomicBool::new(false),
+        };
+        if tier.map.len() < self.cap {
+            tier.ring.push(path.to_owned());
+            tier.map.insert(path.to_owned(), slot);
+            return;
         }
-        map.insert(
-            path.to_owned(),
-            PathSlot {
-                entry,
-                last_used: AtomicU64::new(tick),
-            },
-        );
+        // Sweep: clear reference bits until an unreferenced slot turns
+        // up (bounded by one revolution plus one step), evict it, and
+        // reuse its ring position for the incoming key.
+        let t = &mut *tier;
+        loop {
+            let hand = t.hand;
+            let probed = t.map.get(&t.ring[hand]).expect("ring key is mapped");
+            if probed.referenced.swap(false, Ordering::Relaxed) {
+                t.hand = (hand + 1) % t.ring.len();
+                continue;
+            }
+            let victim_key = std::mem::replace(&mut t.ring[hand], path.to_owned());
+            let victim = t.map.remove(&victim_key).expect("just observed");
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            t.map.insert(path.to_owned(), slot);
+            t.hand = (hand + 1) % t.ring.len();
+            drop(tier);
+            self.unpin(victim.entry.id);
+            return;
+        }
     }
 
     fn pin(&self, entry: &Arc<PreparedQuery>) {
@@ -478,20 +531,16 @@ impl PreparedCache {
         }
     }
 
-    fn next_tick(&self) -> u64 {
-        self.tick.fetch_add(1, Ordering::Relaxed) + 1
-    }
-
     /// Number of live tier-1 (query-string) entries.
     pub(crate) fn len(&self) -> usize {
-        self.by_path.read().expect("prepared cache lock").len()
+        self.by_path.read().expect("prepared cache lock").map.len()
     }
 
     /// Counter snapshot. Locks are taken one at a time, tier 1 first —
     /// never nested — so a snapshot can't deadlock against a concurrent
     /// `install_path` (which holds tier 1 while pinning in tier 2).
     pub(crate) fn stats(&self) -> CacheStats {
-        let entries = self.by_path.read().expect("prepared cache lock").len();
+        let entries = self.by_path.read().expect("prepared cache lock").map.len();
         let by_id = self.by_id.read().expect("prepared cache lock");
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
@@ -502,6 +551,10 @@ impl PreparedCache {
             canonical: by_id.len(),
             interned: self.interner.len(),
             planned: by_id.values().filter(|s| s.entry.is_planned()).count(),
+            ranked: by_id
+                .values()
+                .filter(|s| s.entry.cached_ranked_plans().is_some())
+                .count(),
         }
     }
 }
@@ -634,7 +687,7 @@ mod tests {
     }
 
     /// Sustained distinct-query churn (the adversarial serving case the
-    /// LRU bound exists for) must keep every tier — strings, canonical
+    /// CLOCK bound exists for) must keep every tier — strings, canonical
     /// entries, interned identities — bounded.
     #[test]
     fn distinct_query_churn_stays_bounded() {
@@ -648,6 +701,51 @@ mod tests {
         assert_eq!(s.canonical, 4);
         assert_eq!(s.interned, 4, "interner must not grow with history");
         assert_eq!(s.evictions, 196);
+    }
+
+    /// The CLOCK hand must keep a hot working set resident through
+    /// sustained distinct-query churn (the workload the old LRU
+    /// min-scan paid O(entries) per eviction for), with every counter
+    /// staying exact: hits + misses == lookups, and evictions ==
+    /// insertions − capacity.
+    #[test]
+    fn clock_keeps_hot_set_through_churn_with_exact_counters() {
+        let cap = 8;
+        let cache = PreparedCache::with_capacity(cap);
+        let hot: Vec<String> = (0..4).map(|i| format!("//hot//h{i}")).collect();
+        let mut lookups = 0u64;
+        let mut distinct = 0u64;
+        for round in 0..200 {
+            // Touch the hot set every round so its reference bits stay
+            // set when the hand sweeps past.
+            for p in &hot {
+                prepare(&cache, p, 1);
+                lookups += 1;
+            }
+            // Four distinct cold queries churn the remaining slots.
+            for k in 0..4 {
+                prepare(&cache, &format!("//cold//c{round}x{k}"), 1);
+                lookups += 1;
+                distinct += 1;
+            }
+        }
+        let s = cache.stats();
+        assert_eq!(s.entries, cap, "tier 1 stays at capacity");
+        assert_eq!(s.canonical, cap, "tier 2 follows the pins");
+        assert_eq!(s.interned, cap, "interner follows the cache");
+        // Counter exactness: every lookup is a hit or a miss, every
+        // miss inserted, every insertion beyond capacity evicted.
+        assert_eq!(s.hits + s.misses, lookups);
+        let insertions = s.misses;
+        assert_eq!(s.evictions, insertions - cap as u64);
+        // The hot set was never evicted: 4 cold misses only, per round,
+        // plus the first-round hot misses.
+        assert_eq!(s.misses, distinct + hot.len() as u64);
+        for p in &hot {
+            let before = cache.stats().hits;
+            prepare(&cache, p, 1);
+            assert_eq!(cache.stats().hits, before + 1, "{p} must be resident");
+        }
     }
 
     #[test]

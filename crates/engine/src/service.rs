@@ -10,7 +10,7 @@
 //!   so the two entry points warm each other): repeated — or canonically
 //!   equivalent — query strings resolve to one cached
 //!   [`PreparedQuery`] behind an [`Arc`]; a hit is a read-locked map
-//!   probe, an epoch check and an LRU stamp — no parsing, no
+//!   probe, an epoch check and a reference-bit store — no parsing, no
 //!   allocation, and provably never a stale entry (the epoch bumps on
 //!   every collection mutation);
 //! * a **workspace pool**: each worker draining a batch checks one
@@ -225,6 +225,15 @@ impl<'db> EstimationService<'db> {
             epoch: self.db.epoch(),
             pooled_workspaces: self.pooled_workspaces(),
         }
+    }
+
+    /// Grid maintenance snapshot: policy, slack occupancy, drift vs.
+    /// threshold, stable/moving path counters
+    /// ([`crate::maintenance::MaintenanceStats`]). The manual refresh
+    /// entry point is [`Database::refresh_grid`] — a mutation, so it
+    /// lives on the (mutably held) database, not the shared service.
+    pub fn maintenance_stats(&self) -> crate::maintenance::MaintenanceStats {
+        self.db.maintenance_stats()
     }
 }
 

@@ -28,7 +28,9 @@ fn main() {
 
     let opt = Optimizer::new(&db);
     let twig = parse_path(query).expect("query parses");
-    let plans = opt.costed_plans(&twig).expect("plans enumerate");
+    // The full ranking is memoized per (canonical twig, epoch):
+    // repeated EXPLAIN calls share one Arc and skip re-enumeration.
+    let plans = opt.ranked_plans(&twig).expect("plans enumerate");
     println!("{} connected join orders considered", plans.len());
 
     let best = plans.first().expect("at least one plan").clone();

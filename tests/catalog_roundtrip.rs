@@ -172,3 +172,59 @@ fn empty_and_tiny_inputs_rejected() {
     assert!(Database::open_catalog(&[0u8; 21]).is_err());
     assert!(Database::open_catalog(&vec![0xFFu8; 4096]).is_err());
 }
+
+/// A catalog saved by the **version 1** format (bytes produced by the
+/// pre-maintenance code and checked in as a fixture) must still open:
+/// the grid policy defaults to `Static` — exactly the behavior the
+/// bytes were produced under — and estimates come out bit-identical to
+/// a fresh build of the same collection with the same config.
+#[test]
+fn v1_catalog_fixture_opens_with_static_policy() {
+    let bytes = include_bytes!("fixtures/catalog_v1.bin");
+    // Header sanity: the fixture really is version 1.
+    assert_eq!(&bytes[..4], b"XCTL");
+    assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), 1);
+
+    let reopened = Database::open_catalog(bytes).expect("v1 catalog opens");
+    assert_eq!(
+        reopened.config().policy,
+        xmlest::core::GridPolicy::Static,
+        "v1 catalogs default to the static-grid policy"
+    );
+    assert_eq!(reopened.document_names(), vec!["a.xml", "b.xml"]);
+    // Drift accounting starts fresh (nothing was persisted).
+    let stats = reopened.maintenance_stats();
+    assert_eq!(stats.mutations_since_derive, 0);
+    assert_eq!(stats.skew, 0.0);
+
+    // The exact collection the fixture was generated from (see
+    // CHANGES.md, PR 5): estimates must match a fresh build bit for
+    // bit — the deterministic build pipeline guarantees it.
+    let fresh = Database::load_documents(
+        [
+            (
+                "a.xml",
+                "<dept><fac><name/><RA/></fac><fac><name/><TA/><TA/></fac><staff><name/></staff></dept>",
+            ),
+            ("b.xml", "<dept><fac><TA/></fac><x><y/></x></dept>"),
+        ],
+        &SummaryConfig::paper_defaults().with_grid_size(6),
+    )
+    .unwrap();
+    for path in ["//fac//TA", "//dept//RA", "//fac//name", "//dept//y"] {
+        let got = reopened.estimate(path).unwrap().value;
+        let want = fresh.estimate(path).unwrap().value;
+        assert_eq!(got.to_bits(), want.to_bits(), "{path}: {got} vs {want}");
+    }
+
+    // Re-saving writes the current version; the upgrade round-trips.
+    let upgraded = reopened.save_catalog();
+    assert_eq!(u16::from_le_bytes([upgraded[4], upgraded[5]]), 2);
+    let again = Database::open_catalog(&upgraded).expect("v2 re-save opens");
+    for path in ["//fac//TA", "//dept//RA"] {
+        assert_eq!(
+            again.estimate(path).unwrap().value.to_bits(),
+            reopened.estimate(path).unwrap().value.to_bits()
+        );
+    }
+}
