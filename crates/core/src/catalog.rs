@@ -12,67 +12,106 @@
 //! * the [`SummaryConfig`] the summaries were built with (grid size,
 //!   equi-depth flag, coverage/level toggles; the optional DTD analysis
 //!   is derivable from the schema and is **not** persisted),
+//! * the grid policy and the explicit collection grid,
 //! * the predicate catalog (name → [`BasePredicate`]),
 //! * the merged mega-tree [`Summaries`] (reusing
-//!   [`crate::summary::to_bytes`] wholesale as a length-prefixed
-//!   section),
+//!   [`crate::summary::to_bytes`] wholesale),
 //! * one summary shard per document ([`CatalogShard`]: name, position
 //!   offset, its own [`Summaries`] over the shared grid), and
 //! * every memoized [`JoinCoefficients`] table, serialized **CSR** like
 //!   the histograms — `(cell, f64)` entries in row-major order, only
 //!   non-zeros — so a reopened database's coefficient cache starts warm,
-//! * (version 2) the grid maintenance state: the [`GridPolicy`] the
-//!   summaries were built under and the [`DriftTracker`]'s occupancy
-//!   rows, so a reopened database resumes drift accounting exactly
-//!   where the saved one left off.
+//! * the grid maintenance state: the [`DriftTracker`]'s occupancy rows,
+//!   so a reopened database resumes drift accounting exactly where the
+//!   saved one left off.
 //!
-//! ## Wire layout
+//! ## Wire layout (version 3)
 //!
 //! ```text
 //! ┌──────────┬─────────┬──────────────┬──────────────┬───────────────┐
 //! │ magic    │ version │ payload len  │ FNV-1a 64    │ payload …     │
 //! │ "XCTL"   │ u16     │ u64          │ u64 checksum │               │
 //! └──────────┴─────────┴──────────────┴──────────────┴───────────────┘
-//! payload := config ‖ catalog ‖ merged ‖ shards ‖ coefficients
-//!            ‖ policy ‖ drift                      (v2 only)
+//! payload := section*            every section independently framed:
+//! section := kind u8, body_len u64, body FNV-1a 64 u64, body bytes
+//!
+//! kind 1  META    (required, first)
 //!   config   := grid_size u16, equi_depth u8, build_coverage u8,
 //!               build_levels u8
-//!   catalog  := count u32, { name str, base_pred }*
-//!   merged   := len u64, summary::to_bytes bytes
-//!   shards   := count u32, { name str, offset u32, len u64, bytes }*
-//!   coeffs   := count u32, { name str, basis u8, grid,
-//!                            entries u32, { cell, f64 }* }*
 //!   policy   := 0u8 | (1u8, slack_percent u32, drift_threshold f64,
 //!                      auto_refresh u8)
-//!   drift    := 0u8 | (1u8, g u16, baseline f64, mutations u64,
-//!                      rows u32, { name str, buckets u32, u64* }*)
+//!   grid     := the explicit collection grid
+//!   total    := mega-tree node count u64 (root included)
+//!   catalog  := count u32, { name str, base_pred }*
+//!   shards   := directory — count u32,
+//!               { name str, offset u32, node_count u32 }*
+//! kind 2  MERGED  — summary::to_bytes of the mega-tree summaries
+//! kind 3  SHARD   — directory index u32, summary::to_bytes bytes
+//!                   (one section per directory entry, in order)
+//! kind 4  COEFFS  — count u32, { name str, basis u8, grid,
+//!                                entries u32, { cell, f64 }* }*
+//! kind 5  DRIFT   — g u16, baseline f64, mutations u64,
+//!                   rows u32, { name str, buckets u32, u64* }*
+//!                   (section present only when a tracker was saved)
 //! ```
 //!
-//! A **version 1** catalog (no policy/drift sections) still opens: the
-//! policy defaults to [`GridPolicy::Static`] — exactly the behavior the
-//! v1 bytes were produced under — and drift accounting starts fresh.
+//! **Version 1/2** catalogs (a single unframed payload guarded only by
+//! the whole-payload checksum) still open through the legacy parser:
+//! v1 defaults the policy to [`GridPolicy::Static`] — exactly the
+//! behavior those bytes were produced under — and starts drift
+//! accounting fresh.
 //!
-//! The checksum covers the payload only; it is validated (together with
-//! the length) **before** any section is parsed, so truncation and
-//! bit-flips are rejected up front, and every section parser bounds-
-//! checks through [`crate::summary::Reader`] — hostile bytes return
-//! [`Error::Corrupt`], never panic.
+//! ## Two open modes
+//!
+//! [`CatalogFile::from_bytes`] is **strict**: magic, version, length and
+//! the whole-payload checksum are validated before any section is
+//! parsed, then every section checksum and every cross-section
+//! invariant; any deviation — one flipped bit anywhere — returns
+//! [`Error::Corrupt`]. This is the right mode for round-trip
+//! verification and for recovery code that prefers falling back to an
+//! older generation over serving a patched-up one.
+//!
+//! [`CatalogFile::open_lenient`] is the **degraded** mode: the
+//! per-section checksums localize corruption instead of condemning the
+//! blob. The META section is the root of trust and must be intact
+//! (without it nothing can be attributed); beyond that, a corrupt shard
+//! section **quarantines only that document** — the survivors re-merge
+//! into a serving view that preserves the original position space
+//! (see [`crate::shard::merge_shards_with_total`]) — a corrupt MERGED
+//! section is rebuilt from the shards, and corrupt COEFFS/DRIFT
+//! sections are dropped (both are re-derivable caches). The returned
+//! [`OpenReport`] lists every quarantined document with its reason, so
+//! the engine can surface a degraded open and `repair()` it from
+//! sources. Hostile bytes return [`Error::Corrupt`] or quarantine,
+//! never panic: every parser bounds-checks through
+//! [`crate::summary::Reader`].
 
 use crate::error::{Error, Result};
 use crate::estimator::{Summaries, SummaryConfig};
+use crate::grid::Grid;
 use crate::ph_join::{Basis, JoinCoefficients};
 use crate::regrid::{DriftTracker, GridPolicy};
+use crate::shard::merge_shards_with_total;
 use crate::summary::{
     self, read_base_pred, read_grid, write_base_pred, write_grid, Reader, Writer,
 };
 use xmlest_predicate::Catalog;
 
 const MAGIC: &[u8; 4] = b"XCTL";
-const VERSION: u16 = 2;
+const VERSION: u16 = 3;
 /// Oldest version [`CatalogFile::from_bytes`] still accepts.
 const MIN_VERSION: u16 = 1;
 /// Header bytes before the payload: magic + version + length + checksum.
 const HEADER_LEN: usize = 4 + 2 + 8 + 8;
+/// Section frame header: kind + body length + body checksum.
+const FRAME_HEADER_LEN: usize = 1 + 8 + 8;
+
+/// Section kinds of the v3 payload, in their required order.
+const SEC_META: u8 = 1;
+const SEC_MERGED: u8 = 2;
+const SEC_SHARD: u8 = 3;
+const SEC_COEFFS: u8 = 4;
+const SEC_DRIFT: u8 = 5;
 
 /// One document's persisted summary shard.
 #[derive(Debug, Clone)]
@@ -85,8 +124,55 @@ pub struct CatalogShard {
     pub summaries: Summaries,
 }
 
+/// A directory entry for a shard that failed its section validation
+/// during [`CatalogFile::open_lenient`] and was excluded from the
+/// serving view. Name/offset/node count come from the (intact) META
+/// directory, so a `repair()` can rebuild the shard in place.
+#[derive(Debug, Clone)]
+pub struct QuarantinedShard {
+    pub name: String,
+    /// The document's original mega-tree position offset — a repair
+    /// must rebuild at exactly this offset.
+    pub offset: u32,
+    /// The document's original node count — a repair source with a
+    /// different count is a *different document* and stays quarantined.
+    pub node_count: u32,
+    /// Human-readable reason (checksum mismatch, truncation, …).
+    pub reason: String,
+}
+
+/// What [`CatalogFile::open_lenient`] had to do to open the bytes.
+/// `Default` is the clean report.
+#[derive(Debug, Clone, Default)]
+pub struct OpenReport {
+    /// Documents excluded from the serving view, with reasons.
+    pub quarantined: Vec<QuarantinedShard>,
+    /// The memoized coefficient tables were corrupt and dropped (the
+    /// cache re-derives on demand; estimates are unaffected).
+    pub dropped_coefficients: bool,
+    /// The drift-tracker section was corrupt and dropped (drift
+    /// accounting restarts; estimates are unaffected).
+    pub dropped_drift: bool,
+    /// The serving view was re-merged from surviving shards (because
+    /// the MERGED section was corrupt, or because quarantined documents
+    /// had to be excluded from it).
+    pub remerged: bool,
+}
+
+impl OpenReport {
+    /// Whether the open was fully healthy — nothing quarantined,
+    /// dropped, or rebuilt.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined.is_empty()
+            && !self.dropped_coefficients
+            && !self.dropped_drift
+            && !self.remerged
+    }
+}
+
 /// In-memory form of a catalog file; [`CatalogFile::to_bytes`] /
-/// [`CatalogFile::from_bytes`] are the only serialization surface.
+/// [`CatalogFile::from_bytes`] / [`CatalogFile::open_lenient`] are the
+/// only serialization surface.
 #[derive(Debug)]
 pub struct CatalogFile {
     /// Build configuration (DTD analysis stripped — re-attach on load).
@@ -119,86 +205,333 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
-impl CatalogFile {
-    /// Serializes the catalog. Deterministic for a given input: section
-    /// order is fixed and every map iterates in its sorted order.
-    pub fn to_bytes(&self) -> Vec<u8> {
-        let mut p = Writer::default();
-        // Config.
-        p.u16(self.config.grid_size);
-        p.u8(self.config.equi_depth as u8);
-        p.u8(self.config.build_coverage as u8);
-        p.u8(self.config.build_levels as u8);
-        // Predicate catalog.
-        p.u32(self.catalog.len() as u32);
-        for entry in self.catalog.iter() {
-            p.str(&entry.name);
-            write_base_pred(&mut p, &entry.predicate);
+/// Appends one framed, checksummed section to the payload.
+fn frame(payload: &mut Writer, kind: u8, body: &[u8]) {
+    payload.u8(kind);
+    payload.u64(body.len() as u64);
+    payload.u64(fnv1a64(body));
+    payload.bytes(body);
+}
+
+fn write_policy(w: &mut Writer, policy: &GridPolicy) {
+    match policy {
+        GridPolicy::Static => w.u8(0),
+        GridPolicy::Slack {
+            slack_percent,
+            drift_threshold,
+            auto_refresh,
+        } => {
+            w.u8(1);
+            w.u32(*slack_percent);
+            w.f64(*drift_threshold);
+            w.u8(*auto_refresh as u8);
         }
-        // Merged summaries.
-        let merged = summary::to_bytes(&self.merged);
-        p.u64(merged.len() as u64);
-        p.bytes(&merged);
-        // Shards.
-        p.u32(self.shards.len() as u32);
-        for shard in &self.shards {
-            p.str(&shard.name);
-            p.u32(shard.offset);
-            let bytes = summary::to_bytes(&shard.summaries);
-            p.u64(bytes.len() as u64);
-            p.bytes(&bytes);
+    }
+}
+
+fn read_policy(r: &mut Reader) -> Result<GridPolicy> {
+    match r.u8()? {
+        0 => Ok(GridPolicy::Static),
+        1 => Ok(GridPolicy::Slack {
+            slack_percent: r.u32()?,
+            drift_threshold: r.f64()?,
+            auto_refresh: r.u8()? == 1,
+        }),
+        k => Err(Error::Corrupt(format!("unknown grid policy tag {k}"))),
+    }
+}
+
+fn write_coefficients(w: &mut Writer, coefficients: &[(String, JoinCoefficients)]) {
+    w.u32(coefficients.len() as u32);
+    for (name, table) in coefficients {
+        w.str(name);
+        w.u8(match table.basis() {
+            Basis::AncestorBased => 0,
+            Basis::DescendantBased => 1,
+        });
+        write_grid(w, table.grid());
+        let entries = table.entries();
+        w.u32(entries.len() as u32);
+        for &(cell, v) in entries {
+            w.cell(cell);
+            w.f64(v);
         }
-        // Coefficient tables (CSR: sparse row-major entries).
-        p.u32(self.coefficients.len() as u32);
-        for (name, table) in &self.coefficients {
-            p.str(name);
-            p.u8(match table.basis() {
-                Basis::AncestorBased => 0,
-                Basis::DescendantBased => 1,
-            });
-            write_grid(&mut p, table.grid());
-            let entries = table.entries();
-            p.u32(entries.len() as u32);
-            for &(cell, v) in entries {
-                p.cell(cell);
-                p.f64(v);
+    }
+}
+
+/// Reads the coefficient tables, validating every table against the
+/// catalog's grid and the CSR ordering invariant.
+fn read_coefficients(r: &mut Reader, expected: &Grid) -> Result<Vec<(String, JoinCoefficients)>> {
+    let n = r.u32()? as usize;
+    let mut coefficients = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let name = r.str()?;
+        let basis = match r.u8()? {
+            0 => Basis::AncestorBased,
+            1 => Basis::DescendantBased,
+            b => return Err(Error::Corrupt(format!("unknown basis tag {b}"))),
+        };
+        let grid = read_grid(r)?;
+        if &grid != expected {
+            return Err(Error::Corrupt(format!(
+                "coefficient table {name:?} is on a different grid"
+            )));
+        }
+        let count = r.u32()? as usize;
+        let mut entries: Vec<(crate::grid::Cell, f64)> = Vec::with_capacity(count.min(4096));
+        for _ in 0..count {
+            let cell = r.cell()?;
+            if cell.0 > cell.1 || cell.1 >= grid.g() {
+                return Err(Error::Corrupt(format!("invalid coefficient cell {cell:?}")));
             }
-        }
-        // Grid policy (v2).
-        match &self.policy {
-            GridPolicy::Static => p.u8(0),
-            GridPolicy::Slack {
-                slack_percent,
-                drift_threshold,
-                auto_refresh,
-            } => {
-                p.u8(1);
-                p.u32(*slack_percent);
-                p.f64(*drift_threshold);
-                p.u8(*auto_refresh as u8);
-            }
-        }
-        // Drift tracker (v2).
-        match &self.drift {
-            None => p.u8(0),
-            Some(t) => {
-                p.u8(1);
-                p.u16(t.g());
-                p.f64(t.baseline());
-                p.u64(t.mutations());
-                let rows: Vec<(&str, &[u64])> = t.rows_for_persist().collect();
-                p.u32(rows.len() as u32);
-                for (name, counts) in rows {
-                    p.str(name);
-                    p.u32(counts.len() as u32);
-                    for &c in counts {
-                        p.u64(c);
-                    }
+            if let Some(&(last, _)) = entries.last() {
+                if last >= cell {
+                    return Err(Error::Corrupt(
+                        "coefficient entries out of row-major order".into(),
+                    ));
                 }
             }
+            entries.push((cell, r.f64()?));
+        }
+        coefficients.push((
+            name,
+            JoinCoefficients::from_sorted_entries(grid, basis, &entries),
+        ));
+    }
+    Ok(coefficients)
+}
+
+fn write_drift(w: &mut Writer, t: &DriftTracker) {
+    w.u16(t.g());
+    w.f64(t.baseline());
+    w.u64(t.mutations());
+    let rows: Vec<(&str, &[u64])> = t.rows_for_persist().collect();
+    w.u32(rows.len() as u32);
+    for (name, counts) in rows {
+        w.str(name);
+        w.u32(counts.len() as u32);
+        for &c in counts {
+            w.u64(c);
+        }
+    }
+}
+
+fn read_drift(r: &mut Reader, expected_g: u16) -> Result<DriftTracker> {
+    let g = r.u16()?;
+    if g != expected_g {
+        return Err(Error::Corrupt(format!(
+            "drift tracker is for a g={g} grid, summaries use g={expected_g}"
+        )));
+    }
+    let baseline = r.f64()?;
+    let mutations = r.u64()?;
+    let n = r.u32()? as usize;
+    let mut rows = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let name = r.str()?;
+        let buckets = r.u32()? as usize;
+        let mut counts = Vec::with_capacity(buckets.min(4096));
+        for _ in 0..buckets {
+            counts.push(r.u64()?);
+        }
+        rows.push((name, counts));
+    }
+    DriftTracker::from_parts(g, rows, baseline, mutations)
+}
+
+/// The parsed META section: the root of trust for a v3 open. Everything
+/// here is required to interpret (or quarantine) the other sections.
+struct Meta {
+    config: SummaryConfig,
+    policy: GridPolicy,
+    grid: Grid,
+    total_nodes: u64,
+    catalog: Catalog,
+    directory: Vec<DirEntry>,
+}
+
+struct DirEntry {
+    name: String,
+    offset: u32,
+    node_count: u32,
+}
+
+fn parse_meta(body: &[u8]) -> Result<Meta> {
+    let mut r = Reader { data: body, pos: 0 };
+    let mut config = SummaryConfig {
+        grid_size: r.u16()?,
+        equi_depth: r.u8()? == 1,
+        build_coverage: r.u8()? == 1,
+        build_levels: r.u8()? == 1,
+        dtd: None,
+        policy: GridPolicy::Static,
+    };
+    let policy = read_policy(&mut r)?;
+    config.policy = policy;
+    let grid = read_grid(&mut r)?;
+    let total_nodes = r.u64()?;
+    if total_nodes == 0 {
+        return Err(Error::Corrupt("catalog meta claims zero nodes".into()));
+    }
+    let n = r.u32()? as usize;
+    let mut catalog = Catalog::new();
+    for _ in 0..n {
+        let name = r.str()?;
+        let pred = read_base_pred(&mut r)?;
+        catalog.define(name, pred);
+    }
+    let n = r.u32()? as usize;
+    let mut directory = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        directory.push(DirEntry {
+            name: r.str()?,
+            offset: r.u32()?,
+            node_count: r.u32()?,
+        });
+    }
+    if !directory.is_empty() {
+        let sum: u64 = 1 + directory.iter().map(|d| d.node_count as u64).sum::<u64>();
+        if sum != total_nodes {
+            return Err(Error::Corrupt(format!(
+                "catalog directory accounts for {sum} nodes, meta claims {total_nodes}"
+            )));
+        }
+    }
+    if r.pos != body.len() {
+        return Err(Error::Corrupt("trailing bytes after catalog meta".into()));
+    }
+    Ok(Meta {
+        config,
+        policy,
+        grid,
+        total_nodes,
+        catalog,
+        directory,
+    })
+}
+
+/// Parses one SHARD section body against the directory: index, grid and
+/// node-count must all agree with META.
+fn parse_shard_body(body: &[u8], meta: &Meta, position: usize) -> Result<Summaries> {
+    let mut r = Reader { data: body, pos: 0 };
+    let idx = r.u32()? as usize;
+    if idx != position {
+        return Err(Error::Corrupt(format!(
+            "shard section claims directory index {idx}, expected {position}"
+        )));
+    }
+    let rest = r.take(body.len() - r.pos)?;
+    let summaries = summary::from_bytes(rest)?;
+    if summaries.grid() != &meta.grid {
+        return Err(Error::Corrupt(
+            "shard is on a different grid than the catalog".into(),
+        ));
+    }
+    let want = meta.directory[position].node_count as u64;
+    if summaries.tree_nodes() != want {
+        return Err(Error::Corrupt(format!(
+            "shard has {} nodes, directory says {want}",
+            summaries.tree_nodes()
+        )));
+    }
+    Ok(summaries)
+}
+
+/// One framed section located in the payload. `checksum_ok` is the
+/// body's FNV verdict — frame boundaries are trusted (a corrupted
+/// length field desyncs the walk, which truncates the section list
+/// instead).
+struct Section<'a> {
+    kind: u8,
+    body: &'a [u8],
+    checksum_ok: bool,
+}
+
+/// Walks the v3 payload's frames. Returns the sections it could
+/// delimit plus whether the walk ended early (truncation, a corrupted
+/// frame header, or an unknown kind — everything after that point is
+/// lost).
+fn walk_frames(payload: &[u8]) -> (Vec<Section<'_>>, bool) {
+    let mut sections = Vec::new();
+    let mut pos = 0usize;
+    while pos < payload.len() {
+        if payload.len() - pos < FRAME_HEADER_LEN {
+            return (sections, true);
+        }
+        let kind = payload[pos];
+        let len_bytes: [u8; 8] = payload[pos + 1..pos + 9].try_into().unwrap();
+        let sum_bytes: [u8; 8] = payload[pos + 9..pos + 17].try_into().unwrap();
+        let len = u64::from_le_bytes(len_bytes) as usize;
+        let checksum = u64::from_le_bytes(sum_bytes);
+        pos += FRAME_HEADER_LEN;
+        if payload.len() - pos < len || !(SEC_META..=SEC_DRIFT).contains(&kind) {
+            return (sections, true);
+        }
+        let body = &payload[pos..pos + len];
+        pos += len;
+        sections.push(Section {
+            kind,
+            body,
+            checksum_ok: fnv1a64(body) == checksum,
+        });
+    }
+    (sections, false)
+}
+
+impl CatalogFile {
+    /// Serializes the catalog (always the current version).
+    /// Deterministic for a given input: section order is fixed and
+    /// every map iterates in its sorted order.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = Writer::default();
+
+        // META: config, policy, grid, node total, predicate catalog,
+        // shard directory.
+        let mut m = Writer::default();
+        m.u16(self.config.grid_size);
+        m.u8(self.config.equi_depth as u8);
+        m.u8(self.config.build_coverage as u8);
+        m.u8(self.config.build_levels as u8);
+        write_policy(&mut m, &self.policy);
+        write_grid(&mut m, self.merged.grid());
+        m.u64(self.merged.tree_nodes());
+        m.u32(self.catalog.len() as u32);
+        for entry in self.catalog.iter() {
+            m.str(&entry.name);
+            write_base_pred(&mut m, &entry.predicate);
+        }
+        m.u32(self.shards.len() as u32);
+        for shard in &self.shards {
+            m.str(&shard.name);
+            m.u32(shard.offset);
+            m.u32(shard.summaries.tree_nodes() as u32);
+        }
+        frame(&mut payload, SEC_META, &m.out);
+
+        // MERGED.
+        frame(&mut payload, SEC_MERGED, &summary::to_bytes(&self.merged));
+
+        // SHARD sections, directory order.
+        for (i, shard) in self.shards.iter().enumerate() {
+            let mut b = Writer::default();
+            b.u32(i as u32);
+            b.bytes(&summary::to_bytes(&shard.summaries));
+            frame(&mut payload, SEC_SHARD, &b.out);
         }
 
-        let payload = p.out;
+        // COEFFS (always framed, possibly zero entries).
+        let mut c = Writer::default();
+        write_coefficients(&mut c, &self.coefficients);
+        frame(&mut payload, SEC_COEFFS, &c.out);
+
+        // DRIFT, only when a tracker was saved.
+        if let Some(t) = &self.drift {
+            let mut d = Writer::default();
+            write_drift(&mut d, t);
+            frame(&mut payload, SEC_DRIFT, &d.out);
+        }
+
+        let payload = payload.out;
         let mut w = Writer::default();
         w.bytes(MAGIC);
         w.u16(VERSION);
@@ -208,10 +541,10 @@ impl CatalogFile {
         w.out
     }
 
-    /// Deserializes and fully validates a catalog. Magic, version,
-    /// length and checksum are checked before any section is parsed;
-    /// section parsers bounds-check every read.
-    pub fn from_bytes(data: &[u8]) -> Result<CatalogFile> {
+    /// Validates the outer header (magic, version range, payload length
+    /// and — when `check_payload` — the whole-payload checksum) and
+    /// returns `(version, payload)`.
+    fn read_header(data: &[u8], check_payload: bool) -> Result<(u16, &[u8])> {
         if data.len() < HEADER_LEN {
             return Err(Error::Corrupt("catalog shorter than header".into()));
         }
@@ -234,10 +567,272 @@ impl CatalogFile {
                 payload.len()
             )));
         }
-        if fnv1a64(payload) != checksum {
+        if check_payload && fnv1a64(payload) != checksum {
             return Err(Error::Corrupt("catalog checksum mismatch".into()));
         }
+        Ok((version, payload))
+    }
 
+    /// Deserializes and **fully validates** a catalog. Magic, version,
+    /// length and the whole-payload checksum are checked before any
+    /// section is parsed; every section checksum and cross-section
+    /// invariant must hold. Any deviation is [`Error::Corrupt`] — use
+    /// [`CatalogFile::open_lenient`] to salvage what a checksum failure
+    /// doesn't touch.
+    pub fn from_bytes(data: &[u8]) -> Result<CatalogFile> {
+        let (version, payload) = Self::read_header(data, true)?;
+        if version < 3 {
+            return Self::from_payload_legacy(version, payload);
+        }
+
+        let (sections, truncated) = walk_frames(payload);
+        if truncated {
+            return Err(Error::Corrupt("catalog sections truncated".into()));
+        }
+        if let Some(bad) = sections.iter().find(|s| !s.checksum_ok) {
+            return Err(Error::Corrupt(format!(
+                "catalog section checksum mismatch (kind {})",
+                bad.kind
+            )));
+        }
+        // Enforce the exact section sequence the writer produces.
+        let (Some(meta_sec), Some(merged_sec)) = (sections.first(), sections.get(1)) else {
+            return Err(Error::Corrupt("catalog has too few sections".into()));
+        };
+        if meta_sec.kind != SEC_META || merged_sec.kind != SEC_MERGED {
+            return Err(Error::Corrupt("catalog sections out of order".into()));
+        }
+        let meta = parse_meta(meta_sec.body)?;
+        let n = meta.directory.len();
+        let expected_kinds: Vec<u8> = [SEC_META, SEC_MERGED]
+            .into_iter()
+            .chain(std::iter::repeat_n(SEC_SHARD, n))
+            .chain([SEC_COEFFS])
+            .collect();
+        let kinds: Vec<u8> = sections.iter().map(|s| s.kind).collect();
+        let drift_present = kinds.len() == expected_kinds.len() + 1;
+        let sequence_ok = kinds.len() >= expected_kinds.len()
+            && kinds[..expected_kinds.len()] == expected_kinds[..]
+            && match kinds.len() - expected_kinds.len() {
+                0 => true,
+                1 => kinds[expected_kinds.len()] == SEC_DRIFT,
+                _ => false,
+            };
+        if !sequence_ok {
+            return Err(Error::Corrupt("catalog sections out of order".into()));
+        }
+
+        let merged = summary::from_bytes(merged_sec.body)?;
+        if merged.grid() != &meta.grid {
+            return Err(Error::Corrupt(
+                "merged summaries are on a different grid than the catalog".into(),
+            ));
+        }
+        if merged.tree_nodes() != meta.total_nodes {
+            return Err(Error::Corrupt(format!(
+                "merged summaries have {} nodes, meta claims {}",
+                merged.tree_nodes(),
+                meta.total_nodes
+            )));
+        }
+        let mut shards = Vec::with_capacity(n);
+        for (i, dir) in meta.directory.iter().enumerate() {
+            let summaries = parse_shard_body(sections[2 + i].body, &meta, i)?;
+            shards.push(CatalogShard {
+                name: dir.name.clone(),
+                offset: dir.offset,
+                summaries,
+            });
+        }
+        let coeff_sec = &sections[2 + n];
+        let mut r = Reader {
+            data: coeff_sec.body,
+            pos: 0,
+        };
+        let coefficients = read_coefficients(&mut r, &meta.grid)?;
+        if r.pos != coeff_sec.body.len() {
+            return Err(Error::Corrupt(
+                "trailing bytes after coefficient tables".into(),
+            ));
+        }
+        let drift = if drift_present {
+            let drift_sec = &sections[3 + n];
+            let mut r = Reader {
+                data: drift_sec.body,
+                pos: 0,
+            };
+            let t = read_drift(&mut r, meta.grid.g())?;
+            if r.pos != drift_sec.body.len() {
+                return Err(Error::Corrupt("trailing bytes after drift tracker".into()));
+            }
+            Some(t)
+        } else {
+            None
+        };
+
+        Ok(CatalogFile {
+            config: meta.config,
+            catalog: meta.catalog,
+            merged,
+            shards,
+            coefficients,
+            policy: meta.policy,
+            drift,
+        })
+    }
+
+    /// Opens a catalog in **degraded** mode: per-section checksums
+    /// localize corruption, bad shard sections are quarantined instead
+    /// of failing the open, a bad MERGED section is rebuilt from the
+    /// surviving shards, and bad COEFFS/DRIFT sections are dropped.
+    /// Fatal only when the META section (the root of trust) is corrupt,
+    /// or when nothing servable survives. The [`OpenReport`] says
+    /// exactly what was lost; a clean file returns
+    /// [`OpenReport::is_clean`].
+    ///
+    /// v1/v2 catalogs have no section checksums — they open through the
+    /// strict legacy parser (all-or-nothing) with a clean report.
+    pub fn open_lenient(data: &[u8]) -> Result<(CatalogFile, OpenReport)> {
+        // The whole-payload checksum is deliberately NOT enforced here:
+        // it condemns the entire blob for any single flipped bit, which
+        // is exactly what degraded mode exists to avoid. The section
+        // checksums take over.
+        let (version, payload) = Self::read_header(data, false)?;
+        if version < 3 {
+            // Legacy formats have no section framing to fall back on.
+            let file = Self::from_bytes(data)?;
+            return Ok((file, OpenReport::default()));
+        }
+
+        let (sections, truncated) = walk_frames(payload);
+        let mut report = OpenReport::default();
+
+        // META is the root of trust: without an intact directory,
+        // nothing can be attributed or quarantined.
+        let meta = match sections.first() {
+            Some(s) if s.kind == SEC_META && s.checksum_ok => parse_meta(s.body)?,
+            Some(s) if s.kind == SEC_META => {
+                return Err(Error::Corrupt(
+                    "catalog meta section checksum mismatch".into(),
+                ))
+            }
+            _ => return Err(Error::Corrupt("catalog meta section missing".into())),
+        };
+        let n = meta.directory.len();
+
+        // MERGED: optional — rebuildable from shards.
+        let merged_ok: Option<Summaries> = sections
+            .iter()
+            .find(|s| s.kind == SEC_MERGED && s.checksum_ok)
+            .and_then(|s| summary::from_bytes(s.body).ok())
+            .filter(|m| m.grid() == &meta.grid && m.tree_nodes() == meta.total_nodes);
+
+        // SHARD sections are attributed positionally (the writer emits
+        // them in directory order); the body's own index must agree.
+        let shard_secs: Vec<&Section> = sections.iter().filter(|s| s.kind == SEC_SHARD).collect();
+        let mut shards: Vec<CatalogShard> = Vec::with_capacity(n);
+        for (i, dir) in meta.directory.iter().enumerate() {
+            let outcome: std::result::Result<Summaries, String> = match shard_secs.get(i) {
+                None => Err(if truncated {
+                    "shard section lost to truncation".into()
+                } else {
+                    "shard section missing".into()
+                }),
+                Some(s) if !s.checksum_ok => Err("shard section checksum mismatch".into()),
+                Some(s) => parse_shard_body(s.body, &meta, i).map_err(|e| e.to_string()),
+            };
+            match outcome {
+                Ok(summaries) => shards.push(CatalogShard {
+                    name: dir.name.clone(),
+                    offset: dir.offset,
+                    summaries,
+                }),
+                Err(reason) => report.quarantined.push(QuarantinedShard {
+                    name: dir.name.clone(),
+                    offset: dir.offset,
+                    node_count: dir.node_count,
+                    reason,
+                }),
+            }
+        }
+
+        // The serving view: the intact MERGED section when every shard
+        // survived, else a re-merge of the survivors that preserves the
+        // original position space (quarantined documents leave holes).
+        let merged = match (merged_ok, report.quarantined.is_empty()) {
+            (Some(m), true) => m,
+            (merged_ok, _) => {
+                if n == 0 {
+                    // No shards to rebuild from (single-document
+                    // catalogs persist only the merged view).
+                    return Err(Error::Corrupt(
+                        "merged summaries corrupt and no shards to rebuild from".into(),
+                    ));
+                }
+                report.remerged = true;
+                let _ = merged_ok;
+                let refs: Vec<&Summaries> = shards.iter().map(|s| &s.summaries).collect();
+                merge_shards_with_total(
+                    &refs,
+                    &meta.grid,
+                    &meta.catalog,
+                    &meta.config,
+                    meta.total_nodes,
+                )?
+            }
+        };
+
+        // COEFFS: a re-derivable cache — drop on any damage.
+        let coefficients = sections
+            .iter()
+            .find(|s| s.kind == SEC_COEFFS && s.checksum_ok)
+            .and_then(|s| {
+                let mut r = Reader {
+                    data: s.body,
+                    pos: 0,
+                };
+                read_coefficients(&mut r, &meta.grid)
+                    .ok()
+                    .filter(|_| r.pos == s.body.len())
+            });
+        report.dropped_coefficients = coefficients.is_none();
+        let coefficients = coefficients.unwrap_or_default();
+
+        // DRIFT: optional in the format; dropped only when a section is
+        // present but damaged.
+        let drift_sec = sections.iter().find(|s| s.kind == SEC_DRIFT);
+        let drift = drift_sec.and_then(|s| {
+            if !s.checksum_ok {
+                return None;
+            }
+            let mut r = Reader {
+                data: s.body,
+                pos: 0,
+            };
+            read_drift(&mut r, meta.grid.g())
+                .ok()
+                .filter(|_| r.pos == s.body.len())
+        });
+        report.dropped_drift = drift_sec.is_some() && drift.is_none();
+
+        Ok((
+            CatalogFile {
+                config: meta.config,
+                catalog: meta.catalog,
+                merged,
+                shards,
+                coefficients,
+                policy: meta.policy,
+                drift,
+            },
+            report,
+        ))
+    }
+
+    /// The pre-v3 payload parser: one unframed section sequence guarded
+    /// only by the whole-payload checksum (already validated by the
+    /// caller).
+    fn from_payload_legacy(version: u16, payload: &[u8]) -> Result<CatalogFile> {
         let mut r = Reader {
             data: payload,
             pos: 0,
@@ -281,79 +876,14 @@ impl CatalogFile {
             });
         }
         // Coefficient tables.
-        let n = r.u32()? as usize;
-        let mut coefficients = Vec::with_capacity(n.min(1024));
-        for _ in 0..n {
-            let name = r.str()?;
-            let basis = match r.u8()? {
-                0 => Basis::AncestorBased,
-                1 => Basis::DescendantBased,
-                b => return Err(Error::Corrupt(format!("unknown basis tag {b}"))),
-            };
-            let grid = read_grid(&mut r)?;
-            if &grid != merged.grid() {
-                return Err(Error::Corrupt(format!(
-                    "coefficient table {name:?} is on a different grid"
-                )));
-            }
-            let count = r.u32()? as usize;
-            let mut entries: Vec<(crate::grid::Cell, f64)> = Vec::with_capacity(count.min(4096));
-            for _ in 0..count {
-                let cell = r.cell()?;
-                if cell.0 > cell.1 || cell.1 >= grid.g() {
-                    return Err(Error::Corrupt(format!("invalid coefficient cell {cell:?}")));
-                }
-                if let Some(&(last, _)) = entries.last() {
-                    if last >= cell {
-                        return Err(Error::Corrupt(
-                            "coefficient entries out of row-major order".into(),
-                        ));
-                    }
-                }
-                entries.push((cell, r.f64()?));
-            }
-            coefficients.push((
-                name,
-                JoinCoefficients::from_sorted_entries(grid, basis, &entries),
-            ));
-        }
+        let coefficients = read_coefficients(&mut r, merged.grid())?;
         // Grid maintenance sections (v2). A v1 catalog ends here and
         // opens under the static policy it was produced under.
         let (policy, drift) = if version >= 2 {
-            let policy = match r.u8()? {
-                0 => GridPolicy::Static,
-                1 => GridPolicy::Slack {
-                    slack_percent: r.u32()?,
-                    drift_threshold: r.f64()?,
-                    auto_refresh: r.u8()? == 1,
-                },
-                k => return Err(Error::Corrupt(format!("unknown grid policy tag {k}"))),
-            };
+            let policy = read_policy(&mut r)?;
             let drift = match r.u8()? {
                 0 => None,
-                1 => {
-                    let g = r.u16()?;
-                    if g != merged.grid().g() {
-                        return Err(Error::Corrupt(format!(
-                            "drift tracker is for a g={g} grid, summaries use g={}",
-                            merged.grid().g()
-                        )));
-                    }
-                    let baseline = r.f64()?;
-                    let mutations = r.u64()?;
-                    let n = r.u32()? as usize;
-                    let mut rows = Vec::with_capacity(n.min(1024));
-                    for _ in 0..n {
-                        let name = r.str()?;
-                        let buckets = r.u32()? as usize;
-                        let mut counts = Vec::with_capacity(buckets.min(4096));
-                        for _ in 0..buckets {
-                            counts.push(r.u64()?);
-                        }
-                        rows.push((name, counts));
-                    }
-                    Some(DriftTracker::from_parts(g, rows, baseline, mutations)?)
-                }
+                1 => Some(read_drift(&mut r, merged.grid().g())?),
                 k => return Err(Error::Corrupt(format!("unknown drift tag {k}"))),
             };
             (policy, drift)
@@ -377,7 +907,8 @@ impl CatalogFile {
     }
 }
 
-/// Reads one length-prefixed `summary::to_bytes` section.
+/// Reads one length-prefixed `summary::to_bytes` section (legacy
+/// payloads only; v3 sections are framed instead).
 fn read_summaries_section(r: &mut Reader) -> Result<Summaries> {
     let len = r.u64()? as usize;
     let bytes = r.take(len)?;
@@ -431,6 +962,9 @@ mod tests {
         assert_eq!(name, "fac");
         assert_eq!(table.entries(), file.coefficients[0].1.entries());
         assert_eq!(table.basis(), Basis::AncestorBased);
+        // Lenient open of clean bytes is clean.
+        let (_, report) = CatalogFile::open_lenient(&bytes).unwrap();
+        assert!(report.is_clean(), "{report:?}");
     }
 
     #[test]
@@ -441,6 +975,7 @@ mod tests {
             drift_threshold: 0.22,
             auto_refresh: true,
         };
+        file.config.policy = file.policy;
         let g = file.merged.grid().g();
         let mut tracker =
             DriftTracker::from_parts(g, vec![("fac".into(), vec![3, 0, 1, 0])], 0.125, 7).unwrap();
@@ -495,5 +1030,59 @@ mod tests {
             assert!(CatalogFile::from_bytes(&bytes[..cut]).is_err());
         }
         assert!(CatalogFile::from_bytes(&bytes[..bytes.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn lenient_drops_damaged_rederivable_sections() {
+        // Corrupt the COEFFS section body: strict rejects, lenient
+        // opens with the cache dropped and everything else intact.
+        let file = sample();
+        let bytes = file.to_bytes();
+        // Locate the COEFFS frame by walking the payload.
+        let payload = &bytes[HEADER_LEN..];
+        let (sections, truncated) = walk_frames(payload);
+        assert!(!truncated);
+        let coeff = sections
+            .iter()
+            .find(|s| s.kind == SEC_COEFFS)
+            .expect("coeffs framed");
+        assert!(!coeff.body.is_empty());
+        let body_start = coeff.body.as_ptr() as usize - bytes.as_ptr() as usize;
+        let mut bad = bytes.clone();
+        bad[body_start + coeff.body.len() / 2] ^= 0x5A;
+
+        assert!(CatalogFile::from_bytes(&bad).is_err());
+        let (opened, report) = CatalogFile::open_lenient(&bad).unwrap();
+        assert!(report.dropped_coefficients);
+        assert!(report.quarantined.is_empty());
+        assert!(!report.remerged);
+        assert!(opened.coefficients.is_empty());
+        assert_eq!(opened.merged.len(), file.merged.len());
+        assert_eq!(opened.catalog.len(), file.catalog.len());
+    }
+
+    #[test]
+    fn lenient_meta_damage_is_fatal() {
+        let bytes = sample().to_bytes();
+        // First section is META; its body starts right after the outer
+        // header + frame header.
+        let mut bad = bytes.clone();
+        bad[HEADER_LEN + FRAME_HEADER_LEN] ^= 0xFF;
+        assert!(matches!(
+            CatalogFile::open_lenient(&bad),
+            Err(Error::Corrupt(_))
+        ));
+        // A merged-section flip on a shardless catalog is fatal too:
+        // nothing to rebuild the serving view from.
+        let payload = &bytes[HEADER_LEN..];
+        let (sections, _) = walk_frames(payload);
+        let merged = sections.iter().find(|s| s.kind == SEC_MERGED).unwrap();
+        let off = merged.body.as_ptr() as usize - bytes.as_ptr() as usize;
+        let mut bad = bytes.clone();
+        bad[off + 4] ^= 0xFF;
+        assert!(matches!(
+            CatalogFile::open_lenient(&bad),
+            Err(Error::Corrupt(_))
+        ));
     }
 }

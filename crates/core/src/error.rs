@@ -16,6 +16,10 @@ pub enum Error {
     EmptyGrid,
     /// Persistence: malformed byte stream.
     Corrupt(String),
+    /// Storage backend failure (filesystem error, injected fault,
+    /// out-of-space). The message carries the backend's description;
+    /// the operation did **not** complete.
+    Io(String),
 }
 
 impl fmt::Display for Error {
@@ -30,6 +34,7 @@ impl fmt::Display for Error {
             }
             Error::EmptyGrid => write!(f, "grid must have at least one bucket and one position"),
             Error::Corrupt(msg) => write!(f, "corrupt summary data: {msg}"),
+            Error::Io(msg) => write!(f, "storage: {msg}"),
         }
     }
 }

@@ -35,10 +35,11 @@ pub mod ph_join;
 pub mod position_histogram;
 pub mod regrid;
 pub mod shard;
+pub mod store;
 pub mod summary;
 pub mod twig;
 
-pub use catalog::{CatalogFile, CatalogShard};
+pub use catalog::{CatalogFile, CatalogShard, OpenReport, QuarantinedShard};
 pub use coverage::CoverageHistogram;
 pub use error::{Error, Result};
 pub use estimator::{CoeffCache, Estimate, EstimateMethod, Estimator, Summaries, SummaryConfig};
@@ -47,4 +48,7 @@ pub use no_overlap::{CoverageRef, NodeStats, StatsSlot, StatsView, TwigWorkspace
 pub use ph_join::{ph_join, ph_join_total, Basis, JoinCoefficients, JoinWorkspace};
 pub use position_histogram::{FlatHistogram, PositionHistogram};
 pub use regrid::{DriftTracker, GridPolicy};
+pub use store::{
+    CatalogStore, CrashView, FaultPlan, FsBackend, MemBackend, SkippedGeneration, StorageBackend,
+};
 pub use twig::{Axis, TwigNode};

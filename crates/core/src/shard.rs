@@ -312,7 +312,23 @@ pub fn merge_shards(
     catalog: &Catalog,
     config: &SummaryConfig,
 ) -> Result<Summaries> {
-    merge_shards_impl(shards, grid, catalog, config, true)
+    merge_shards_impl(shards, grid, catalog, config, true, None)
+}
+
+/// [`merge_shards`] with an explicit mega-tree node total, for degraded
+/// opens that re-merge the *surviving* shards of a partially corrupt
+/// catalog: quarantined documents leave holes in the position space, but
+/// the surviving shards' offsets — and the mega-root's interval — were
+/// assigned under the original total and must not shift. `total_nodes`
+/// counts the mega-root, so it is at least `1 + Σ shard nodes`.
+pub fn merge_shards_with_total(
+    shards: &[&Summaries],
+    grid: &Grid,
+    catalog: &Catalog,
+    config: &SummaryConfig,
+    total_nodes: u64,
+) -> Result<Summaries> {
+    merge_shards_impl(shards, grid, catalog, config, true, Some(total_nodes))
 }
 
 /// The sequential reference path of [`merge_shards`]: same per-entry
@@ -325,7 +341,7 @@ pub fn merge_shards_serial(
     catalog: &Catalog,
     config: &SummaryConfig,
 ) -> Result<Summaries> {
-    merge_shards_impl(shards, grid, catalog, config, false)
+    merge_shards_impl(shards, grid, catalog, config, false, None)
 }
 
 fn merge_shards_impl(
@@ -334,11 +350,13 @@ fn merge_shards_impl(
     catalog: &Catalog,
     config: &SummaryConfig,
     parallel: bool,
+    total_override: Option<u64>,
 ) -> Result<Summaries> {
     use rayon::prelude::*;
 
     let entry_list = Summaries::entry_list(catalog);
-    let total_nodes: u64 = 1 + shards.iter().map(|s| s.tree_nodes()).sum::<u64>();
+    let shard_total: u64 = 1 + shards.iter().map(|s| s.tree_nodes()).sum::<u64>();
+    let total_nodes = total_override.unwrap_or(shard_total).max(shard_total);
     let root_iv = Interval::new(0, (total_nodes - 1) as u32);
     let root_cell = grid.cell_of(root_iv);
 

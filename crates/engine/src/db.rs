@@ -31,17 +31,20 @@
 //! [`PositionHistogram::plus`]: xmlest_core::PositionHistogram::plus
 
 use crate::error::{Error, Result};
-use crate::maintenance::{MaintenanceState, MaintenanceStats};
+use crate::maintenance::{
+    MaintenanceState, MaintenanceStats, DEGRADED_AFTER_STRIKES, MAX_BACKOFF_SHIFT,
+};
 use crate::prepared::{LeafResolution, PreparedCache, PreparedQuery, TwigId};
 use rayon::prelude::*;
 use std::borrow::Cow;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
-use xmlest_core::catalog::{CatalogFile, CatalogShard};
+use xmlest_core::catalog::{CatalogFile, CatalogShard, OpenReport, QuarantinedShard};
 use xmlest_core::shard::{
     build_shard_summaries, builtin_entry_count, classify_document, entry_names,
     make_collection_grid, matches_mega_root, DocumentSummaryInput,
 };
+use xmlest_core::store::{CatalogStore, SkippedGeneration};
 use xmlest_core::{CoeffCache, DriftTracker, Estimator, Grid, Summaries, SummaryConfig, TwigNode};
 use xmlest_predicate::{BasePredicate, Catalog, PredExpr};
 use xmlest_query::structural::Item;
@@ -54,14 +57,27 @@ use xmlest_xml::{ForestBuilder, Interval, NodeId, XmlTree};
 /// valid input reaches the fallible steps' error arms naturally).
 #[cfg(test)]
 pub(crate) mod test_faults {
-    /// When set, the next [`super::Database::from_collection`] fails
-    /// artificially (one-shot: the flag clears as it fires).
-    pub(crate) static FAIL_NEXT_REBUILD: std::sync::atomic::AtomicBool =
-        std::sync::atomic::AtomicBool::new(false);
+    /// Number of upcoming [`super::Database::from_collection`] calls to
+    /// fail artificially (multi-shot: each failure decrements, so a
+    /// test can arm a whole losing streak to exercise the backoff and
+    /// degraded-flag escalation). Store 1 for the classic one-shot.
+    pub(crate) static FAIL_REBUILDS: std::sync::atomic::AtomicU32 =
+        std::sync::atomic::AtomicU32::new(0);
 
-    /// Serializes tests that arm the (global, one-shot) fault flag so
-    /// an armed-but-unconsumed flag can't leak into a parallel test.
+    /// Serializes tests that arm the (global) fault counter so an
+    /// armed-but-unconsumed count can't leak into a parallel test.
     pub(crate) static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    /// Consumes one armed failure, if any.
+    pub(crate) fn take_rebuild_failure() -> bool {
+        FAIL_REBUILDS
+            .fetch_update(
+                std::sync::atomic::Ordering::SeqCst,
+                std::sync::atomic::Ordering::SeqCst,
+                |n| n.checked_sub(1),
+            )
+            .is_ok()
+    }
 }
 
 /// Element index: per catalog predicate, the matching nodes with their
@@ -203,6 +219,31 @@ struct DocShard {
     source: Option<ShardSource>,
 }
 
+/// What [`Database::open_store`] recovered: the generation served, the
+/// (possibly degraded) open report for it, and any newer generations
+/// that had to be skipped as unreadable.
+#[derive(Debug, Clone, Default)]
+pub struct StoreOpen {
+    /// The generation number the database was opened from.
+    pub generation: u64,
+    /// Per-section damage report for that generation (clean when the
+    /// strict open succeeded).
+    pub report: OpenReport,
+    /// Newer generations skipped because they failed validation, with
+    /// reasons — evidence of torn or corrupted saves worth reporting.
+    pub skipped: Vec<SkippedGeneration>,
+}
+
+/// Outcome of a [`Database::repair`] pass over re-supplied sources.
+#[derive(Debug, Clone, Default)]
+pub struct RepairReport {
+    /// Documents rebuilt and released from quarantine.
+    pub repaired: Vec<String>,
+    /// `(document, reason)` for sources that could not repair their
+    /// quarantine entry (wrong name, parse failure, node-count drift).
+    pub rejected: Vec<(String, String)>,
+}
+
 /// A loaded database.
 pub struct Database {
     /// The data tree (mega-tree for collections); `None` for databases
@@ -237,6 +278,11 @@ pub struct Database {
     /// Grid maintenance: drift accounting over the classified lists and
     /// the stable/moving path counters ([`crate::maintenance`]).
     maintenance: MaintenanceState,
+    /// Documents whose shard sections were quarantined by a degraded
+    /// catalog open ([`Database::open_catalog_degraded`]): the rest of
+    /// the collection serves, these estimate as absent until
+    /// [`Database::repair`] rebuilds them from re-supplied sources.
+    quarantine: Vec<QuarantinedShard>,
 }
 
 impl Database {
@@ -258,6 +304,7 @@ impl Database {
             epoch: 1,
             prepared: PreparedCache::default(),
             maintenance,
+            quarantine: Vec::new(),
         })
     }
 
@@ -343,7 +390,7 @@ impl Database {
         type Parts = (Vec<u32>, Vec<Summaries>, Summaries, XmlTree, DriftTracker);
         let fallible = || -> Result<Parts> {
             #[cfg(test)]
-            if test_faults::FAIL_NEXT_REBUILD.swap(false, std::sync::atomic::Ordering::SeqCst) {
+            if test_faults::take_rebuild_failure() {
                 return Err(Error::Plan("injected rebuild failure (test)".into()));
             }
 
@@ -416,23 +463,34 @@ impl Database {
             epoch: 1,
             prepared: PreparedCache::default(),
             maintenance: MaintenanceState::with_tracker(tracker),
+            quarantine: Vec::new(),
         })
     }
 
     /// Dismantles the shards into rebuild inputs, keeping each shard's
     /// derived state (offset + summaries) aside so a failed rebuild can
     /// restore the previous serving state via
-    /// [`Database::restore_shards`]. Callers must have checked
-    /// [`Database::require_collection`].
+    /// [`Database::restore_shards`]. Fails with [`Error::ServingOnly`]
+    /// — **before** touching anything — when any shard lacks its
+    /// source (catalog-opened or repaired-in-place shards): a rebuild
+    /// has nothing to rebuild those documents from.
     #[allow(clippy::type_complexity)]
-    fn dismantle_shards(&mut self) -> (Vec<(String, ShardSource)>, Vec<(u32, Summaries)>) {
+    fn dismantle_shards(&mut self) -> Result<(Vec<(String, ShardSource)>, Vec<(u32, Summaries)>)> {
+        if let Some(unsourced) = self.shards.iter().find(|s| s.source.is_none()) {
+            return Err(Error::ServingOnly(format!(
+                "document {:?} has summaries but no source tree; \
+                 rebuilds need every document's source (re-ingest the collection to mutate)",
+                unsourced.name
+            )));
+        }
         let mut sources = Vec::with_capacity(self.shards.len());
         let mut derived = Vec::with_capacity(self.shards.len());
         for s in std::mem::take(&mut self.shards) {
             derived.push((s.offset, s.summaries));
-            sources.push((s.name, s.source.expect("collection shards have sources")));
+            let source = s.source.expect("sources checked above");
+            sources.push((s.name, source));
         }
-        (sources, derived)
+        Ok((sources, derived))
     }
 
     /// Reassembles `self.shards` from the parts
@@ -487,16 +545,22 @@ impl Database {
         self.catalog.define_all_tags(&doc_tree);
         let new_names = entry_names(&self.catalog);
         if old_names != new_names {
+            // Check every source *before* realigning any shard: a
+            // partial realignment would leave some stored lists on the
+            // old entry order against the already-extended catalog.
+            if let Some(unsourced) = self.shards.iter().find(|s| s.source.is_none()) {
+                return Err(Error::ServingOnly(format!(
+                    "document {:?} has no stored source to realign to the extended catalog",
+                    unsourced.name
+                )));
+            }
             let index_of: HashMap<&str, usize> = old_names
                 .iter()
                 .enumerate()
                 .map(|(i, n)| (n.as_str(), i))
                 .collect();
             for shard in &mut self.shards {
-                let src = shard
-                    .source
-                    .as_mut()
-                    .expect("collection shards have sources");
+                let src = shard.source.as_mut().expect("sources checked above");
                 let mut realigned = Vec::with_capacity(new_names.len());
                 for n in &new_names {
                     realigned.push(match index_of.get(n.as_str()) {
@@ -524,7 +588,7 @@ impl Database {
         }
 
         // Moving path: full rebuild with a re-derived grid.
-        let (mut sources, derived) = self.dismantle_shards();
+        let (mut sources, derived) = self.dismantle_shards()?;
         sources.push((
             name.into(),
             ShardSource {
@@ -568,12 +632,14 @@ impl Database {
             refs.push(&new_shard);
             xmlest_core::shard::merge_shards(&refs, &grid, &self.catalog, &self.config)?
         };
+        let Some(tree) = self.tree.as_mut() else {
+            return Err(Error::ServingOnly(
+                "database has no data tree to append to".into(),
+            ));
+        };
         // Commit — nothing below can fail.
         let new_total = offset as u64 + input.node_count as u64;
-        self.tree
-            .as_mut()
-            .expect("collections carry the data tree")
-            .append_document_subtree(&doc_tree);
+        tree.append_document_subtree(&doc_tree);
         self.index
             .append_document(&self.catalog, &input, offset, new_total);
         self.maintenance
@@ -653,7 +719,7 @@ impl Database {
                 self.maintenance.tracker.mutations(),
             )
         });
-        let (mut sources, mut derived) = self.dismantle_shards();
+        let (mut sources, mut derived) = self.dismantle_shards()?;
         let removed_source = sources.remove(pos);
         let removed_derived = derived.remove(pos);
         match Database::from_collection(self.catalog.clone(), self.config.clone(), sources, pinned)
@@ -692,6 +758,15 @@ impl Database {
     /// remaining (reused) shard summaries, truncate the mega-tree and
     /// index tails, retract the document from the drift tracker.
     fn remove_newest_within_slack(&mut self) -> Result<()> {
+        // Fail before the first mutation: drift retraction needs the
+        // shard's stored classified lists, and truncation needs the tree.
+        let last = self.shards.last().expect("non-empty checked");
+        if last.source.is_none() {
+            return Err(Error::ServingOnly(format!(
+                "document {:?} has no stored source; its drift contribution cannot be retracted",
+                last.name
+            )));
+        }
         let grid = self.summaries.grid().clone();
         let merged = {
             let refs: Vec<&Summaries> = self.shards[..self.shards.len() - 1]
@@ -701,13 +776,15 @@ impl Database {
             xmlest_core::shard::merge_shards(&refs, &grid, &self.catalog, &self.config)?
         };
         let offset = self.shards.last().expect("non-empty checked").offset;
-        self.tree
-            .as_mut()
-            .expect("collections carry the data tree")
-            .truncate_last_subtree(NodeId(offset))?;
+        let Some(tree) = self.tree.as_mut() else {
+            return Err(Error::ServingOnly(
+                "database has no data tree to truncate".into(),
+            ));
+        };
+        tree.truncate_last_subtree(NodeId(offset))?;
         // Commit — nothing below can fail.
         let shard = self.shards.pop().expect("non-empty checked");
-        let src = shard.source.expect("collection shards have sources");
+        let src = shard.source.expect("source checked above");
         self.index.truncate_document(offset, offset as u64);
         self.maintenance
             .tracker
@@ -749,6 +826,14 @@ impl Database {
     /// the old grid, drift stays high) and is surfaced through the
     /// `failed_auto_refreshes` counter; the next mutation — or a manual
     /// [`Database::refresh_grid`], which does report errors — retries.
+    ///
+    /// Retries are **bounded**: consecutive failures open an exponential
+    /// backoff window (`2^min(strikes−1, 6)` mutations), so a persistent
+    /// rebuild problem does not charge every mutation an O(collection)
+    /// doomed attempt. After [`DEGRADED_AFTER_STRIKES`] consecutive
+    /// failures the visible [`MaintenanceStats::refresh_degraded`] flag
+    /// raises; any successful refresh (auto or manual) clears the
+    /// strikes, the window and the flag.
     fn auto_refresh_if_needed(&mut self) {
         if !self.config.policy.auto_refresh() {
             return;
@@ -756,14 +841,31 @@ impl Database {
         let Some(threshold) = self.config.policy.drift_threshold() else {
             return;
         };
+        self.maintenance.counters.mutation_clock += 1;
         let drift = self.maintenance.tracker.drift();
-        if drift > threshold && self.refresh_inner(true, drift).is_err() {
-            self.maintenance.counters.failed_auto_refreshes += 1;
+        if drift <= threshold {
+            return;
+        }
+        if self.maintenance.counters.mutation_clock
+            < self.maintenance.counters.refresh_backoff_until
+        {
+            self.maintenance.counters.backoff_skips += 1;
+            return;
+        }
+        if self.refresh_inner(true, drift).is_err() {
+            let c = &mut self.maintenance.counters;
+            c.failed_auto_refreshes += 1;
+            c.refresh_strikes += 1;
+            c.refresh_backoff_until =
+                c.mutation_clock + (1u64 << (c.refresh_strikes - 1).min(MAX_BACKOFF_SHIFT));
+            if c.refresh_strikes >= DEGRADED_AFTER_STRIKES {
+                c.refresh_degraded = true;
+            }
         }
     }
 
     fn refresh_inner(&mut self, auto: bool, drift_at: f64) -> Result<()> {
-        let (sources, derived) = self.dismantle_shards();
+        let (sources, derived) = self.dismantle_shards()?;
         match Database::from_collection(self.catalog.clone(), self.config.clone(), sources, None) {
             Ok(rebuilt) => {
                 self.replace_rebuilt(rebuilt);
@@ -774,6 +876,10 @@ impl Database {
                     c.auto_refreshes += 1;
                 }
                 c.last_refresh_drift = drift_at;
+                // A successful refresh ends any losing streak.
+                c.refresh_strikes = 0;
+                c.refresh_backoff_until = 0;
+                c.refresh_degraded = false;
                 Ok(())
             }
             Err((e, sources)) => {
@@ -806,6 +912,9 @@ impl Database {
             auto_refreshes: c.auto_refreshes,
             failed_auto_refreshes: c.failed_auto_refreshes,
             last_refresh_drift: c.last_refresh_drift,
+            refresh_strikes: c.refresh_strikes,
+            backoff_skips: c.backoff_skips,
+            refresh_degraded: c.refresh_degraded,
         }
     }
 
@@ -817,11 +926,17 @@ impl Database {
 
     fn require_collection(&self) -> Result<()> {
         if !self.collection {
-            return Err(Error::NoData(if self.has_data() {
-                "not a document collection (built with load_str/new)".into()
+            return Err(if self.has_data() {
+                Error::NoData("not a document collection (built with load_str/new)".into())
             } else {
-                "catalog-opened database has no document trees".into()
-            }));
+                // Catalog-opened: summaries serve, but there are no
+                // document trees to rebuild from.
+                Error::ServingOnly(
+                    "catalog-opened database serves estimates only; \
+                     mutations and refreshes need document sources"
+                        .into(),
+                )
+            });
         }
         Ok(())
     }
@@ -877,6 +992,28 @@ impl Database {
     /// need the data tree and return [`Error::NoData`].
     pub fn open_catalog(bytes: &[u8]) -> Result<Database> {
         let file = CatalogFile::from_bytes(bytes)?;
+        Ok(Database::from_catalog_file(file, Vec::new()))
+    }
+
+    /// Opens catalog bytes **leniently**: localized corruption (a torn
+    /// shard section, damaged coefficient tables, a bad drift section)
+    /// quarantines just the affected parts while every intact document
+    /// keeps serving. The returned [`OpenReport`] lists what was
+    /// quarantined or dropped; [`Database::repair`] rebuilds quarantined
+    /// documents from re-supplied sources. Clean bytes yield a clean
+    /// report and the exact [`Database::open_catalog`] result.
+    ///
+    /// Fatal damage — a corrupt header, metadata section, or a corrupt
+    /// merged view with no shards to rebuild it from — still errors:
+    /// there is nothing trustworthy to serve.
+    pub fn open_catalog_degraded(bytes: &[u8]) -> Result<(Database, OpenReport)> {
+        let (file, report) = CatalogFile::open_lenient(bytes)?;
+        let db = Database::from_catalog_file(file, report.quarantined.clone());
+        Ok((db, report))
+    }
+
+    /// The shared serving-only constructor behind the catalog opens.
+    fn from_catalog_file(file: CatalogFile, quarantine: Vec<QuarantinedShard>) -> Database {
         let maintenance = match file.drift {
             Some(tracker) => MaintenanceState::with_tracker(tracker),
             None => MaintenanceState::new(file.merged.grid().g()),
@@ -902,11 +1039,186 @@ impl Database {
             epoch: 1,
             prepared: PreparedCache::default(),
             maintenance,
+            quarantine,
         };
         for (name, table) in file.coefficients {
             db.coeff_cache.seed(&db.summaries, &name, Arc::new(table));
         }
-        Ok(db)
+        db
+    }
+
+    /// Saves this database's catalog into a generation-managed
+    /// [`CatalogStore`] (atomic publish: temp file, fsync, rename,
+    /// directory fsync). Returns the committed generation number.
+    pub fn save_to_store(&self, store: &CatalogStore<'_>) -> Result<u64> {
+        Ok(store.save(&self.save_catalog())?)
+    }
+
+    /// Opens the newest usable generation from a [`CatalogStore`].
+    ///
+    /// Recovery ladder, strictest first:
+    /// 1. the newest generation that passes a **strict** open (every
+    ///    checksum verified) — the normal case after any crash, since
+    ///    the store publishes generations atomically;
+    /// 2. failing that, the newest generation that opens **degraded**
+    ///    (quarantining damaged shard sections);
+    /// 3. failing everything, the strict error from the newest
+    ///    generation.
+    ///
+    /// The [`StoreOpen`] report says which generation was used, what (if
+    /// anything) was quarantined, and which newer generations were
+    /// skipped as unreadable.
+    pub fn open_store(store: &CatalogStore<'_>) -> Result<(Database, StoreOpen)> {
+        match store.load_latest_valid(CatalogFile::from_bytes) {
+            Ok(Some((generation, file, skipped))) => {
+                let db = Database::from_catalog_file(file, Vec::new());
+                Ok((
+                    db,
+                    StoreOpen {
+                        generation,
+                        report: OpenReport::default(),
+                        skipped,
+                    },
+                ))
+            }
+            Ok(None) => Err(Error::NoData("store has no catalog generations".into())),
+            Err(strict_err) => {
+                // No generation opens strictly: fall back to the newest
+                // one that opens degraded.
+                let mut generations = store.generations()?;
+                generations.reverse();
+                let mut skipped = Vec::new();
+                for generation in generations {
+                    let bytes = match store.read_generation(generation) {
+                        Ok(b) => b,
+                        Err(e) => {
+                            skipped.push(SkippedGeneration {
+                                generation,
+                                reason: e.to_string(),
+                            });
+                            continue;
+                        }
+                    };
+                    match Database::open_catalog_degraded(&bytes) {
+                        Ok((db, report)) => {
+                            return Ok((
+                                db,
+                                StoreOpen {
+                                    generation,
+                                    report,
+                                    skipped,
+                                },
+                            ))
+                        }
+                        Err(e) => skipped.push(SkippedGeneration {
+                            generation,
+                            reason: e.to_string(),
+                        }),
+                    }
+                }
+                Err(Error::Core(strict_err))
+            }
+        }
+    }
+
+    /// Rebuilds quarantined documents' shard summaries from re-supplied
+    /// sources, restoring estimates a degraded open lost. Each source is
+    /// parsed, classified against the current catalog, and must produce
+    /// exactly the node count the metadata directory recorded for its
+    /// position — the re-merged view must keep every surviving shard's
+    /// offsets intact. Accepted documents leave quarantine and the
+    /// merged view re-derives (epoch bump: prepared queries re-prepare);
+    /// rejected ones stay quarantined with the rejection reason.
+    ///
+    /// The database remains serving-only: repaired shards carry
+    /// summaries but no mutation sources — re-ingest the collection with
+    /// [`Database::load_documents`] for a mutable database.
+    pub fn repair<'a>(
+        &mut self,
+        sources: impl IntoIterator<Item = (&'a str, &'a str)>,
+    ) -> Result<RepairReport> {
+        let mut report = RepairReport::default();
+        let mut changed = false;
+        for (name, xml) in sources {
+            let Some(q_idx) = self.quarantine.iter().position(|q| q.name == name) else {
+                report
+                    .rejected
+                    .push((name.to_owned(), "document is not quarantined".into()));
+                continue;
+            };
+            let entry = &self.quarantine[q_idx];
+            let doc_tree = match parse_str(xml) {
+                Ok(t) => t,
+                Err(e) => {
+                    let reason = format!("parse failed: {e}");
+                    report.rejected.push((name.to_owned(), reason.clone()));
+                    self.quarantine[q_idx].reason = reason;
+                    continue;
+                }
+            };
+            let input = classify_document(&doc_tree, &self.catalog);
+            if input.node_count != entry.node_count {
+                let reason = format!(
+                    "node count mismatch: catalog recorded {}, supplied document has {}",
+                    entry.node_count, input.node_count
+                );
+                report.rejected.push((name.to_owned(), reason.clone()));
+                self.quarantine[q_idx].reason = reason;
+                continue;
+            }
+            let offset = entry.offset;
+            let shard = build_shard_summaries(
+                &input,
+                offset,
+                self.summaries.grid(),
+                &self.catalog,
+                &self.config,
+            );
+            let at = self
+                .shards
+                .iter()
+                .position(|s| s.offset > offset)
+                .unwrap_or(self.shards.len());
+            self.shards.insert(
+                at,
+                DocShard {
+                    name: name.to_owned(),
+                    offset,
+                    summaries: shard,
+                    source: None,
+                },
+            );
+            self.quarantine.remove(q_idx);
+            report.repaired.push(name.to_owned());
+            changed = true;
+        }
+        if changed {
+            // Re-merge on the same grid, preserving the saved total so
+            // still-quarantined holes keep their position space.
+            let grid = self.summaries.grid().clone();
+            let refs: Vec<&Summaries> = self.shards.iter().map(|s| &s.summaries).collect();
+            self.summaries = xmlest_core::shard::merge_shards_with_total(
+                &refs,
+                &grid,
+                &self.catalog,
+                &self.config,
+                self.summaries.tree_nodes(),
+            )?;
+            self.coeff_cache = CoeffCache::new();
+            self.epoch += 1;
+        }
+        Ok(report)
+    }
+
+    /// Documents quarantined by a degraded open, still awaiting
+    /// [`Database::repair`].
+    pub fn quarantined(&self) -> &[QuarantinedShard] {
+        &self.quarantine
+    }
+
+    /// Whether this database is serving with quarantined documents.
+    pub fn is_degraded(&self) -> bool {
+        !self.quarantine.is_empty()
     }
 
     // ---- accessors ---------------------------------------------------
@@ -1345,7 +1657,7 @@ mod tests {
         let before = d.estimate("//a//x").unwrap().value;
         let epoch = d.epoch();
 
-        test_faults::FAIL_NEXT_REBUILD.store(true, Ordering::SeqCst);
+        test_faults::FAIL_REBUILDS.store(1, Ordering::SeqCst);
         assert!(d.add_document("c.xml", "<a><x/><z/></a>").is_err());
         assert_eq!(d.epoch(), epoch, "failed mutation must not bump the epoch");
         assert_eq!(d.document_names(), vec!["a.xml", "b.xml"]);
@@ -1362,7 +1674,7 @@ mod tests {
         assert_eq!(d.count("//a//x").unwrap(), 3);
 
         // Removal rolls back too, preserving document order.
-        test_faults::FAIL_NEXT_REBUILD.store(true, Ordering::SeqCst);
+        test_faults::FAIL_REBUILDS.store(1, Ordering::SeqCst);
         assert!(d.remove_document("a.xml").is_err());
         assert_eq!(d.document_names(), vec!["a.xml", "b.xml", "c.xml"]);
         assert_eq!(d.count("//a//x").unwrap(), 3);
@@ -1403,7 +1715,7 @@ mod tests {
         )
         .unwrap();
 
-        test_faults::FAIL_NEXT_REBUILD.store(true, Ordering::SeqCst);
+        test_faults::FAIL_REBUILDS.store(1, Ordering::SeqCst);
         // The append commits on the stable path; the auto refresh it
         // triggers hits the injected rebuild failure.
         d.add_document("b.xml", &pile).unwrap();
@@ -1523,5 +1835,224 @@ mod tests {
             reopened.candidates(&PredExpr::named("TA")),
             Err(Error::NoData(_))
         ));
+    }
+
+    /// Mutations and refreshes on a catalog-opened (source-less)
+    /// database are typed errors, never panics, and never disturb the
+    /// serving state.
+    #[test]
+    fn serving_only_database_rejects_mutations_with_typed_error() {
+        let d = Database::load_documents(
+            [("a.xml", "<a><x/><x/></a>"), ("b.xml", "<b><y/></b>")],
+            &SummaryConfig::paper_defaults().with_grid_size(8),
+        )
+        .unwrap();
+        let bytes = d.save_catalog();
+        let mut reopened = Database::open_catalog(&bytes).unwrap();
+        let before = reopened.estimate("//a//x").unwrap().value;
+        let epoch = reopened.epoch();
+
+        assert!(matches!(
+            reopened.add_document("c.xml", "<a><x/></a>"),
+            Err(Error::ServingOnly(_))
+        ));
+        assert!(matches!(
+            reopened.remove_document("a.xml"),
+            Err(Error::ServingOnly(_))
+        ));
+        assert!(matches!(
+            reopened.refresh_grid(),
+            Err(Error::ServingOnly(_))
+        ));
+
+        // The rejections changed nothing: same epoch, same estimates.
+        assert_eq!(reopened.epoch(), epoch);
+        assert_eq!(
+            reopened.estimate("//a//x").unwrap().value.to_bits(),
+            before.to_bits()
+        );
+        assert_eq!(reopened.document_names(), vec!["a.xml", "b.xml"]);
+    }
+
+    /// Repeated auto-refresh failures escalate: strikes accumulate, the
+    /// exponential backoff window absorbs attempts, the degraded flag
+    /// raises at [`DEGRADED_AFTER_STRIKES`], and one successful refresh
+    /// clears it all.
+    #[test]
+    fn failed_refreshes_back_off_and_raise_the_degraded_flag() {
+        use std::sync::atomic::Ordering;
+        let _guard = test_faults::LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let mut spread = String::from("<a>");
+        for _ in 0..24 {
+            spread.push_str("<x><q/></x>");
+        }
+        spread.push_str("</a>");
+        let pile = format!("<a>{}</a>", "<x/>".repeat(6));
+        let mut d = Database::load_documents(
+            [("a.xml", spread.as_str())],
+            &SummaryConfig::paper_defaults()
+                .with_grid_size(8)
+                .with_equi_depth(true)
+                .with_policy(xmlest_core::GridPolicy::Slack {
+                    slack_percent: 2000,
+                    drift_threshold: 0.0,
+                    auto_refresh: true,
+                }),
+        )
+        .unwrap();
+
+        // Arm a losing streak long enough to cross the degraded
+        // threshold, then keep mutating. Backoff windows of 1, 2, 4
+        // mutations open between the attempts, so some mutations must
+        // be recorded as skips rather than failures.
+        test_faults::FAIL_REBUILDS.store(u32::MAX, Ordering::SeqCst);
+        let mut mutations = 0u32;
+        loop {
+            d.add_document(format!("d{mutations}.xml"), &pile[..])
+                .unwrap();
+            mutations += 1;
+            let s = d.maintenance_stats();
+            if s.refresh_degraded {
+                break;
+            }
+            assert!(mutations < 64, "degraded flag never raised");
+        }
+        let s = d.maintenance_stats();
+        assert_eq!(s.refresh_strikes, DEGRADED_AFTER_STRIKES);
+        assert_eq!(s.failed_auto_refreshes as u32, s.refresh_strikes);
+        assert!(
+            s.backoff_skips > 0,
+            "backoff windows must absorb some attempts"
+        );
+        assert!(
+            mutations as u64 > s.failed_auto_refreshes,
+            "every mutation paying a doomed rebuild means backoff never engaged"
+        );
+        // Every mutation committed despite the refresh losing streak.
+        assert_eq!(d.document_names().len() as u32, 1 + mutations);
+
+        // Disarm the fault: the next out-of-window mutation refreshes
+        // successfully and clears strikes, window and flag.
+        test_faults::FAIL_REBUILDS.store(0, Ordering::SeqCst);
+        let mut extra = 0u32;
+        while d.maintenance_stats().refresh_degraded {
+            d.add_document(format!("e{extra}.xml"), &pile[..]).unwrap();
+            extra += 1;
+            assert!(extra < 16, "successful refresh never cleared the flag");
+        }
+        let s = d.maintenance_stats();
+        assert_eq!(s.refresh_strikes, 0);
+        assert!(!s.refresh_degraded);
+        assert!(s.refreshes >= 1);
+    }
+
+    /// A flipped byte inside one shard section quarantines just that
+    /// document: the survivors keep serving, the report names the
+    /// victim, and `repair` with the original source restores the exact
+    /// clean estimates.
+    #[test]
+    fn degraded_open_quarantines_and_repair_restores() {
+        let docs = [
+            ("a.xml", "<a><x/><x/><q/></a>"),
+            ("b.xml", "<b><y/><y/><y/></b>"),
+            ("c.xml", "<c><x/><y/></c>"),
+        ];
+        let d = Database::load_documents(docs, &SummaryConfig::paper_defaults().with_grid_size(8))
+            .unwrap();
+        let want_x = d.estimate("//a//x").unwrap().value;
+        let want_y = d.estimate("//b//y").unwrap().value;
+        let mut bytes = d.save_catalog();
+
+        // Find the second SHARD section (b.xml) and flip a byte deep in
+        // its body. Frames sit after the 22-byte outer header:
+        // kind u8, len u64, checksum u64, body.
+        let mut at = 22usize;
+        let mut shard_seen = 0;
+        let target = loop {
+            let kind = bytes[at];
+            let len = u64::from_le_bytes(bytes[at + 1..at + 9].try_into().unwrap()) as usize;
+            if kind == 3 {
+                shard_seen += 1;
+                if shard_seen == 2 {
+                    break at + 17 + len / 2;
+                }
+            }
+            at += 17 + len;
+        };
+        bytes[target] ^= 0x40;
+
+        // Strict open refuses; degraded open serves the survivors.
+        assert!(Database::open_catalog(&bytes).is_err());
+        let (mut db, report) = Database::open_catalog_degraded(&bytes).unwrap();
+        assert!(!report.is_clean());
+        assert_eq!(report.quarantined.len(), 1);
+        assert_eq!(report.quarantined[0].name, "b.xml");
+        assert!(db.is_degraded());
+        assert_eq!(db.quarantined()[0].name, "b.xml");
+        // a.xml and c.xml still estimate; b.xml's contribution is gone.
+        assert_eq!(
+            db.estimate("//a//x").unwrap().value.to_bits(),
+            want_x.to_bits()
+        );
+        assert!(db.estimate("//b//y").unwrap().value < want_y);
+
+        // Repair rejects wrong documents and accepts the original.
+        let bad = db.repair([("b.xml", "<b><y/></b>")]).unwrap();
+        assert_eq!(bad.rejected.len(), 1, "node-count mismatch must reject");
+        assert!(db.is_degraded());
+        let good = db.repair([("b.xml", "<b><y/><y/><y/></b>")]).unwrap();
+        assert_eq!(good.repaired, vec!["b.xml".to_string()]);
+        assert!(!db.is_degraded());
+        assert_eq!(
+            db.estimate("//b//y").unwrap().value.to_bits(),
+            want_y.to_bits()
+        );
+        // Repaired databases stay serving-only.
+        assert!(matches!(
+            db.add_document("d.xml", "<d/>"),
+            Err(Error::ServingOnly(_))
+        ));
+    }
+
+    /// `open_store` walks generations newest-first: a corrupted newest
+    /// generation falls back to the previous one, and the report says
+    /// which generation served and why the newer one was skipped.
+    #[test]
+    fn open_store_falls_back_over_corrupt_generations() {
+        use xmlest_core::{CatalogStore, MemBackend, StorageBackend};
+        let backend = MemBackend::new();
+        let store = CatalogStore::new(&backend);
+
+        let mut d = Database::load_documents(
+            [("a.xml", "<a><x/><x/></a>")],
+            &SummaryConfig::paper_defaults().with_grid_size(8),
+        )
+        .unwrap();
+        let gen1 = d.save_to_store(&store).unwrap();
+        let want_old = d.estimate("//a//x").unwrap().value;
+        d.add_document("b.xml", "<a><x/></a>").unwrap();
+        let gen2 = d.save_to_store(&store).unwrap();
+        assert!(gen2 > gen1);
+
+        // Clean store: newest generation serves.
+        let (db, open) = Database::open_store(&store).unwrap();
+        assert_eq!(open.generation, gen2);
+        assert!(open.report.is_clean() && open.skipped.is_empty());
+        assert_eq!(db.document_names(), vec!["a.xml", "b.xml"]);
+
+        // Corrupt the newest generation's header beyond lenient repair:
+        // recovery falls back to the previous generation.
+        let name = format!("gen-{gen2:012}.xctl");
+        let mut bytes = backend.read(&name).unwrap();
+        bytes[0] ^= 0xFF;
+        backend.write(&name, &bytes).unwrap();
+        let (db, open) = Database::open_store(&store).unwrap();
+        assert_eq!(open.generation, gen1);
+        assert_eq!(open.skipped.len(), 1);
+        assert_eq!(open.skipped[0].generation, gen2);
+        assert_eq!(
+            db.estimate("//a//x").unwrap().value.to_bits(),
+            want_old.to_bits()
+        );
     }
 }

@@ -13,6 +13,12 @@ pub enum Error {
     /// exact counting on a catalog-opened, serving-only database, or
     /// collection mutation on a single-document database).
     NoData(String),
+    /// A mutation or refresh was attempted on a **serving-only**
+    /// database — one opened from a persisted catalog, which carries
+    /// summaries but no document sources to rebuild from. The database
+    /// keeps serving estimates; re-ingest the documents (or
+    /// `Database::repair` quarantined ones) to mutate.
+    ServingOnly(String),
 }
 
 impl fmt::Display for Error {
@@ -23,6 +29,7 @@ impl fmt::Display for Error {
             Error::Xml(e) => write!(f, "xml: {e}"),
             Error::Plan(msg) => write!(f, "plan: {msg}"),
             Error::NoData(msg) => write!(f, "no data: {msg}"),
+            Error::ServingOnly(msg) => write!(f, "serving-only: {msg}"),
         }
     }
 }

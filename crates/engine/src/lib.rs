@@ -68,9 +68,9 @@ pub mod planner;
 pub mod prepared;
 pub mod service;
 
-pub use db::Database;
+pub use db::{Database, RepairReport, StoreOpen};
 pub use error::{Error, Result};
-pub use maintenance::MaintenanceStats;
+pub use maintenance::{MaintenanceStats, DEGRADED_AFTER_STRIKES};
 pub use optimizer::{ExplainedPlan, Optimizer};
 pub use plan::{FlatTwig, Plan, PlanStep};
 pub use planner::Planner;

@@ -59,6 +59,18 @@
 
 use xmlest_core::{DriftTracker, GridPolicy};
 
+/// Consecutive auto-refresh failures after which the database raises
+/// its visible degraded flag ([`MaintenanceStats::refresh_degraded`]):
+/// the grid is drifting past the threshold and repeated rebuild
+/// attempts are not fixing it, so accuracy is decaying toward the
+/// stale-grid regime and an operator should look.
+pub const DEGRADED_AFTER_STRIKES: u32 = 3;
+
+/// Cap on the exponential refresh backoff: at most `2^6 = 64` mutations
+/// between retry attempts, so a long outage cannot push the next retry
+/// arbitrarily far away.
+pub(crate) const MAX_BACKOFF_SHIFT: u32 = 6;
+
 /// Session counters for the maintenance paths. Monotonic per database
 /// lifetime; not persisted.
 #[derive(Debug, Clone, Copy, Default)]
@@ -87,6 +99,24 @@ pub(crate) struct MaintenanceCounters {
     pub failed_auto_refreshes: u64,
     /// Drift observed when the last refresh fired.
     pub last_refresh_drift: f64,
+    /// **Consecutive** auto-refresh failures (reset by any successful
+    /// refresh). Drives the exponential backoff and, at
+    /// [`DEGRADED_AFTER_STRIKES`], the degraded flag.
+    pub refresh_strikes: u32,
+    /// Mutation-clock value before which over-threshold drift does
+    /// *not* trigger another refresh attempt (exponential backoff:
+    /// `2^min(strikes-1, 6)` mutations after a failure).
+    pub refresh_backoff_until: u64,
+    /// Auto-refresh opportunities skipped because the backoff window
+    /// was still open.
+    pub backoff_skips: u64,
+    /// Mutations observed by the auto-refresh hook — the clock the
+    /// backoff window is measured on.
+    pub mutation_clock: u64,
+    /// Raised after [`DEGRADED_AFTER_STRIKES`] consecutive failures;
+    /// cleared by the next successful refresh (auto or manual). While
+    /// set, estimates still serve but on a grid known to be drifting.
+    pub refresh_degraded: bool,
 }
 
 /// The maintenance half of a database: drift accounting plus path
@@ -145,6 +175,16 @@ pub struct MaintenanceStats {
     pub auto_refreshes: u64,
     pub failed_auto_refreshes: u64,
     pub last_refresh_drift: f64,
+    /// Consecutive auto-refresh failures (see
+    /// [`MaintenanceCounters::refresh_strikes`]).
+    pub refresh_strikes: u32,
+    /// Auto-refresh opportunities skipped inside a backoff window.
+    pub backoff_skips: u64,
+    /// The database is serving on a drifting grid that repeated
+    /// refresh attempts failed to rebuild
+    /// ([`DEGRADED_AFTER_STRIKES`] consecutive failures). Cleared by
+    /// the next successful refresh.
+    pub refresh_degraded: bool,
 }
 
 impl MaintenanceStats {

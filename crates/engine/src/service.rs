@@ -235,6 +235,18 @@ impl<'db> EstimationService<'db> {
     pub fn maintenance_stats(&self) -> crate::maintenance::MaintenanceStats {
         self.db.maintenance_stats()
     }
+
+    /// Whether the underlying database is serving degraded: documents
+    /// quarantined by [`Database::open_catalog_degraded`] estimate as
+    /// absent until repaired.
+    pub fn is_degraded(&self) -> bool {
+        self.db.is_degraded()
+    }
+
+    /// The quarantined documents behind [`EstimationService::is_degraded`].
+    pub fn quarantined(&self) -> &[xmlest_core::QuarantinedShard] {
+        self.db.quarantined()
+    }
 }
 
 /// Snapshot of the service's serving state ([`EstimationService::stats`]).

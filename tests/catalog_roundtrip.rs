@@ -143,6 +143,56 @@ proptest! {
         extended.extend_from_slice(&[0, 1, 2]);
         prop_assert!(Database::open_catalog(&extended).is_err());
     }
+
+    /// Heavier corruption than the single-flip case: several random
+    /// byte mutations (each guaranteed to change its byte), optionally
+    /// after truncation. The strict open must reject every such blob —
+    /// never panic, never `Ok` — and the lenient open must never panic
+    /// either (it may succeed with quarantines or reject; both are
+    /// legal, silent acceptance of *unflagged* damage is not, which the
+    /// strict checksums pin).
+    #[test]
+    fn mutated_bytes_never_panic_in_either_open_mode(
+        shape in prop::collection::vec(0u8..255, 8..40),
+        cut_seed in 0usize..10_000,
+        flips in prop::collection::vec((0usize..10_000, 1u8..255), 1..12),
+        truncate_first in 0u8..2,
+    ) {
+        let doc = random_doc(&shape);
+        let db = Database::load_documents(
+            [("a.xml", doc.as_str())],
+            &SummaryConfig::paper_defaults().with_grid_size(6),
+        )
+        .expect("collection builds");
+        db.estimate("//sec//p").ok();
+        let bytes = db.save_catalog();
+
+        let mut bad = bytes.clone();
+        if truncate_first == 1 {
+            bad.truncate(cut_seed % bad.len());
+        }
+        if !bad.is_empty() {
+            for &(pos_seed, xor) in &flips {
+                let pos = pos_seed % bad.len();
+                bad[pos] ^= xor;
+            }
+        }
+
+        // Strict: anything that differs from the saved bytes errors.
+        // (Flips can land on the same position and cancel, so compare.)
+        if bad != bytes {
+            prop_assert!(
+                Database::open_catalog(&bad).is_err(),
+                "damaged catalog accepted strictly"
+            );
+        }
+        // Lenient: may degrade, may reject — must not panic, and a
+        // success must serve estimates without panicking either.
+        if let Ok((degraded, report)) = Database::open_catalog_degraded(&bad) {
+            let _ = report.is_clean();
+            let _ = degraded.estimate("//sec//p");
+        }
+    }
 }
 
 #[test]
@@ -219,8 +269,8 @@ fn v1_catalog_fixture_opens_with_static_policy() {
 
     // Re-saving writes the current version; the upgrade round-trips.
     let upgraded = reopened.save_catalog();
-    assert_eq!(u16::from_le_bytes([upgraded[4], upgraded[5]]), 2);
-    let again = Database::open_catalog(&upgraded).expect("v2 re-save opens");
+    assert_eq!(u16::from_le_bytes([upgraded[4], upgraded[5]]), 3);
+    let again = Database::open_catalog(&upgraded).expect("v3 re-save opens");
     for path in ["//fac//TA", "//dept//RA"] {
         assert_eq!(
             again.estimate(path).unwrap().value.to_bits(),

@@ -1,0 +1,124 @@
+//! Crash-torture harness for the catalog store: replay a save through
+//! the fault-injecting backend, kill it at **every** backend operation
+//! (including torn-write variants of the payload write), and assert
+//! the store's recovery contract at every kill point:
+//!
+//! * recovery (`Database::open_store`) always opens a database whose
+//!   estimates are **bit-identical** to one of the two legal
+//!   generations — the one before the save or the one it was
+//!   publishing — under both crash-optimism views;
+//! * once `save` has returned `Ok`, the *conservative* view
+//!   (durable-only) must already serve the new generation — the commit
+//!   point really is the directory fsync;
+//! * the recovered store stays usable: a follow-up save and reopen
+//!   succeed.
+
+use xmlest::core::{CatalogStore, CrashView, FaultPlan, MemBackend, SummaryConfig};
+use xmlest::engine::Database;
+
+const PATHS: [&str; 3] = ["//doc//p", "//sec//p", "//doc//note"];
+
+/// Bit-exact estimate fingerprint of a database.
+fn probe(db: &Database) -> Vec<u64> {
+    PATHS
+        .iter()
+        .map(|p| db.estimate(p).unwrap().value.to_bits())
+        .collect()
+}
+
+#[test]
+fn every_kill_point_recovers_a_legal_generation() {
+    let config = SummaryConfig::paper_defaults().with_grid_size(8);
+    let mut db = Database::load_documents(
+        [
+            ("a.xml", "<doc><sec><p/><p/></sec><note/></doc>"),
+            ("b.xml", "<doc><sec><p/></sec><note/><note/></doc>"),
+        ],
+        &config,
+    )
+    .unwrap();
+
+    // Generation A lands cleanly; then the collection mutates so
+    // generation B differs in every estimate-relevant section.
+    let base = MemBackend::new();
+    db.save_to_store(&CatalogStore::new(&base)).unwrap();
+    let old_probe = probe(&db);
+    db.add_document("c.xml", "<doc><sec><p/><p/><p/></sec></doc>")
+        .unwrap();
+    let new_bytes = db.save_catalog();
+    let new_probe = probe(&db);
+    assert_ne!(old_probe, new_probe, "mutation must change the estimates");
+
+    // Count the backend ops a clean save of generation B issues — the
+    // kill-point space to sweep.
+    let counter = base.fork();
+    CatalogStore::new(&counter).save(&new_bytes).unwrap();
+    let total_ops = counter.ops_seen();
+    assert!(
+        total_ops >= 5,
+        "save is at least list+write+fsync+rename+fsync-dir, saw {total_ops}"
+    );
+
+    // Torn-write variants for kill points that hit the payload write
+    // (backend write call #1): nothing, one byte, half, all-but-one.
+    let tears: Vec<Option<(u64, usize)>> = vec![
+        None,
+        Some((1, 1)),
+        Some((1, new_bytes.len() / 2)),
+        Some((1, new_bytes.len() - 1)),
+    ];
+
+    let mut checked = 0u32;
+    for die_at in 1..=total_ops {
+        for tear in &tears {
+            let dying = base.fork();
+            dying.set_faults(FaultPlan {
+                die_at_op: Some(die_at),
+                tear_write: *tear,
+                ..FaultPlan::default()
+            });
+            let store = CatalogStore::new(&dying);
+            // Ops after the commit point (the directory fsync) cannot
+            // fail the save — prune failures are absorbed — so whether
+            // this save "succeeded" depends on where the kill landed.
+            let committed = store.save(&new_bytes).is_ok();
+
+            for view in [CrashView::DurableOnly, CrashView::AllFlushed] {
+                let rebooted = dying.crash_view(view);
+                let recovered_store = CatalogStore::new(&rebooted);
+                let (recovered, open) =
+                    Database::open_store(&recovered_store).unwrap_or_else(|e| {
+                        panic!("die_at={die_at} tear={tear:?} {view:?}: recovery failed: {e}")
+                    });
+                let got = probe(&recovered);
+                assert!(
+                    got == old_probe || got == new_probe,
+                    "die_at={die_at} tear={tear:?} {view:?}: recovered generation \
+                     {} estimates match neither legal generation",
+                    open.generation
+                );
+                assert!(
+                    open.report.is_clean(),
+                    "atomic publish must never require a degraded open"
+                );
+                if committed {
+                    assert_eq!(
+                        got, new_probe,
+                        "die_at={die_at} tear={tear:?} {view:?}: save returned Ok \
+                         but the durable state serves the old generation"
+                    );
+                }
+
+                // The recovered store keeps working: a fresh save
+                // publishes and reopens.
+                let next = recovered_store.save(&new_bytes).unwrap();
+                let (after, _) = Database::open_store(&recovered_store).unwrap();
+                assert_eq!(probe(&after), new_probe, "post-recovery save must serve");
+                assert!(next >= 1);
+                checked += 1;
+            }
+        }
+    }
+    // 2 views × 4 tear variants × every op of the save.
+    assert_eq!(u64::from(checked / 8), total_ops);
+}

@@ -1,0 +1,216 @@
+//! End-to-end fault-injection tests for the durable catalog pipeline:
+//! failed/torn/ENOSPC saves leave the previous generation serving,
+//! unreadable generations fall back with reasons, a corrupted shard
+//! section opens degraded with the victim quarantined, and `repair`
+//! restores the exact clean estimates. Plus a real-filesystem smoke
+//! test of the same pipeline.
+
+use xmlest::core::{CatalogStore, FaultPlan, FsBackend, MemBackend, StorageBackend, SummaryConfig};
+use xmlest::engine::{Database, Error};
+
+fn collection() -> Database {
+    Database::load_documents(
+        [
+            ("a.xml", "<doc><sec><p/><p/></sec><note/></doc>"),
+            ("b.xml", "<doc><sec><p/><p/><p/></sec></doc>"),
+            ("c.xml", "<doc><note/><note/></doc>"),
+        ],
+        &SummaryConfig::paper_defaults().with_grid_size(8),
+    )
+    .unwrap()
+}
+
+fn fingerprint(db: &Database, paths: &[&str]) -> Vec<u64> {
+    paths
+        .iter()
+        .map(|p| db.estimate(p).unwrap().value.to_bits())
+        .collect()
+}
+
+#[test]
+fn failed_and_torn_saves_leave_the_previous_generation_serving() {
+    let paths = ["//doc//p", "//sec//p", "//doc//note"];
+    let mut db = collection();
+    let backend = MemBackend::new();
+    let store = CatalogStore::new(&backend);
+    let gen1 = db.save_to_store(&store).unwrap();
+    let want = fingerprint(&db, &paths);
+    db.add_document("d.xml", "<doc><sec><p/></sec></doc>")
+        .unwrap();
+
+    // Outright write failure.
+    backend.set_faults(FaultPlan {
+        fail_write: Some(1),
+        ..FaultPlan::default()
+    });
+    assert!(matches!(db.save_to_store(&store), Err(Error::Core(_))));
+
+    // Torn write.
+    backend.set_faults(FaultPlan {
+        tear_write: Some((1, 40)),
+        ..FaultPlan::default()
+    });
+    assert!(db.save_to_store(&store).is_err());
+
+    // Disk full (partial bytes land, then ENOSPC).
+    backend.set_faults(FaultPlan {
+        disk_capacity: Some(100),
+        ..FaultPlan::default()
+    });
+    let err = db.save_to_store(&store).unwrap_err();
+    assert!(err.to_string().contains("ENOSPC"), "got: {err}");
+
+    // Three failed saves later, the old generation is untouched and
+    // no stray state confuses recovery.
+    backend.set_faults(FaultPlan::default());
+    let (recovered, open) = Database::open_store(&store).unwrap();
+    assert_eq!(open.generation, gen1);
+    assert!(open.skipped.is_empty() && open.report.is_clean());
+    assert_eq!(fingerprint(&recovered, &paths), want);
+
+    // And the store still accepts the save once the faults clear.
+    let gen2 = db.save_to_store(&store).unwrap();
+    assert!(gen2 > gen1);
+    let (latest, _) = Database::open_store(&store).unwrap();
+    assert_eq!(latest.document_names().len(), 4);
+}
+
+#[test]
+fn unreadable_newest_generation_falls_back_with_reasons() {
+    let paths = ["//doc//p", "//doc//note"];
+    let mut db = collection();
+    let backend = MemBackend::new();
+    let store = CatalogStore::new(&backend);
+    let gen1 = db.save_to_store(&store).unwrap();
+    let want_old = fingerprint(&db, &paths);
+    db.add_document("d.xml", "<doc><sec><p/></sec></doc>")
+        .unwrap();
+    let gen2 = db.save_to_store(&store).unwrap();
+
+    // Every read of the newest generation comes back short — torn at
+    // rest, or a broken disk. Validation catches it and recovery falls
+    // back to the previous generation, reporting why.
+    backend.set_faults(FaultPlan {
+        short_read: Some((format!("gen-{gen2:012}.xctl"), 64)),
+        ..FaultPlan::default()
+    });
+    let (recovered, open) = Database::open_store(&store).unwrap();
+    assert_eq!(open.generation, gen1);
+    assert_eq!(open.skipped.len(), 1);
+    assert_eq!(open.skipped[0].generation, gen2);
+    assert!(
+        open.skipped[0].reason.contains("corrupt"),
+        "reason should say what validation saw: {}",
+        open.skipped[0].reason
+    );
+    assert_eq!(fingerprint(&recovered, &paths), want_old);
+}
+
+/// The full degraded-serving story over a store: one shard section of
+/// the only generation is corrupted on disk; the open quarantines just
+/// that document, survivors keep serving bit-identically, `repair`
+/// rebuilds the victim from its source, and the repaired catalog
+/// round-trips through the store back to a *clean* strict open.
+#[test]
+fn corrupt_shard_section_serves_degraded_then_repairs() {
+    let db = collection();
+    let survivors = ["//sec//p"];
+    let victim_paths = ["//doc//note"];
+    let want_all = fingerprint(&db, &["//doc//p", "//sec//p", "//doc//note"]);
+
+    let backend = MemBackend::new();
+    let store = CatalogStore::new(&backend);
+    let generation = db.save_to_store(&store).unwrap();
+
+    // Flip a byte inside c.xml's shard section (the third SHARD frame).
+    // Frames follow the 22-byte outer header: kind u8, len u64,
+    // checksum u64, body.
+    let name = format!("gen-{generation:012}.xctl");
+    let mut bytes = backend.read(&name).unwrap();
+    let mut at = 22usize;
+    let mut shards_seen = 0;
+    let target = loop {
+        let kind = bytes[at];
+        let len = u64::from_le_bytes(bytes[at + 1..at + 9].try_into().unwrap()) as usize;
+        if kind == 3 {
+            shards_seen += 1;
+            if shards_seen == 3 {
+                break at + 17 + len / 2;
+            }
+        }
+        at += 17 + len;
+    };
+    bytes[target] ^= 0x08;
+    backend.write(&name, &bytes).unwrap();
+
+    // With no older generation to fall back to, recovery degrades.
+    let (mut recovered, open) = Database::open_store(&store).unwrap();
+    assert_eq!(open.generation, generation);
+    assert_eq!(open.report.quarantined.len(), 1);
+    assert_eq!(open.report.quarantined[0].name, "c.xml");
+    assert!(recovered.is_degraded());
+
+    // Documents untouched by the corruption estimate bit-identically;
+    // the victim's contribution is gone but queries still answer.
+    let clean_survivor = fingerprint(&db, &survivors);
+    assert_eq!(fingerprint(&recovered, &survivors), clean_survivor);
+    for p in victim_paths {
+        let degraded = recovered.estimate(p).unwrap().value;
+        let clean = db.estimate(p).unwrap().value;
+        assert!(degraded < clean, "{p}: quarantined doc still counted");
+    }
+    // Serving-only: mutations are typed errors even while degraded.
+    assert!(matches!(
+        recovered.add_document("x.xml", "<doc/>"),
+        Err(Error::ServingOnly(_))
+    ));
+
+    // Repair from the original source restores the clean estimates,
+    // and saving the repaired catalog yields a strictly-valid
+    // generation again.
+    let report = recovered
+        .repair([("c.xml", "<doc><note/><note/></doc>")])
+        .unwrap();
+    assert_eq!(report.repaired, vec!["c.xml".to_string()]);
+    assert!(!recovered.is_degraded());
+    assert_eq!(
+        fingerprint(&recovered, &["//doc//p", "//sec//p", "//doc//note"]),
+        want_all
+    );
+    let repaired_gen = recovered.save_to_store(&store).unwrap();
+    assert!(repaired_gen > generation);
+    let (clean_again, open) = Database::open_store(&store).unwrap();
+    assert!(open.report.is_clean());
+    assert_eq!(
+        fingerprint(&clean_again, &["//doc//p", "//sec//p", "//doc//note"]),
+        want_all
+    );
+}
+
+/// The same save/open pipeline against the real filesystem backend.
+#[test]
+fn fs_backend_round_trips_a_database() {
+    let dir = std::env::temp_dir().join(format!(
+        "xmlest-store-e2e-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let backend = FsBackend::open(&dir).unwrap();
+    let store = CatalogStore::new(&backend);
+
+    let mut db = collection();
+    let paths = ["//doc//p", "//sec//p", "//doc//note"];
+    db.save_to_store(&store).unwrap();
+    db.add_document("d.xml", "<doc><sec><p/></sec></doc>")
+        .unwrap();
+    let gen2 = db.save_to_store(&store).unwrap();
+    let want = fingerprint(&db, &paths);
+
+    let (reopened, open) = Database::open_store(&store).unwrap();
+    assert_eq!(open.generation, gen2);
+    assert!(open.report.is_clean());
+    assert_eq!(fingerprint(&reopened, &paths), want);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
