@@ -459,8 +459,8 @@ fn walk_frames(payload: &[u8]) -> (Vec<Section<'_>>, bool) {
             return (sections, true);
         }
         let kind = payload[pos];
-        let len_bytes: [u8; 8] = payload[pos + 1..pos + 9].try_into().unwrap();
-        let sum_bytes: [u8; 8] = payload[pos + 9..pos + 17].try_into().unwrap();
+        let len_bytes: [u8; 8] = payload[pos + 1..pos + 9].try_into().unwrap(); // xlint: allow(no-panic, "8-byte sub-slice of a FRAME_HEADER_LEN-checked region; conversion is infallible")
+        let sum_bytes: [u8; 8] = payload[pos + 9..pos + 17].try_into().unwrap(); // xlint: allow(no-panic, "8-byte sub-slice of a FRAME_HEADER_LEN-checked region; conversion is infallible")
         let len = u64::from_le_bytes(len_bytes) as usize;
         let checksum = u64::from_le_bytes(sum_bytes);
         pos += FRAME_HEADER_LEN;
@@ -670,7 +670,7 @@ impl CatalogFile {
             None
         };
 
-        Ok(CatalogFile {
+        let out = CatalogFile {
             config: meta.config,
             catalog: meta.catalog,
             merged,
@@ -678,7 +678,81 @@ impl CatalogFile {
             coefficients,
             policy: meta.policy,
             drift,
-        })
+        };
+        crate::invariants::checkpoint("CatalogFile::from_bytes", || out.validate());
+        Ok(out)
+    }
+
+    /// Checks cross-section consistency of an opened catalog: the
+    /// merged view and every shard's summaries individually valid and
+    /// on one shared grid, per-document position ranges disjoint and
+    /// inside the mega-tree span (offset 0 is the synthetic mega-root,
+    /// so every shard starts at ≥ 1), and node accounting consistent —
+    /// the merged view covers at least the mega-root plus every
+    /// *serving* shard (quarantined documents may leave holes, so the
+    /// total can exceed the sum, never undercut it). Returns the first
+    /// violation found.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        use crate::invariants::invariant;
+        self.merged
+            .validate()
+            .map_err(|e| format!("merged view: {e}"))?;
+        let total = self.merged.tree_nodes();
+        let mut spans: Vec<(u64, u64, &str)> = Vec::with_capacity(self.shards.len());
+        let mut shard_sum: u64 = 0;
+        for shard in &self.shards {
+            let s = &shard.summaries;
+            s.validate()
+                .map_err(|e| format!("shard {:?}: {e}", shard.name))?;
+            invariant!(
+                s.grid() == self.merged.grid(),
+                "shard {:?} bucketed on a different grid than the merged view",
+                shard.name
+            );
+            let nodes = s.tree_nodes();
+            invariant!(nodes >= 1, "shard {:?} holds no nodes", shard.name);
+            invariant!(
+                shard.offset >= 1,
+                "shard {:?} claims offset 0 (the mega-root's position)",
+                shard.name
+            );
+            let end = shard.offset as u64 + nodes;
+            invariant!(
+                end <= total,
+                "shard {:?} spans positions {}..{end}, past the mega-tree total {total}",
+                shard.name,
+                shard.offset
+            );
+            spans.push((shard.offset as u64, end, &shard.name));
+            shard_sum += nodes;
+        }
+        invariant!(
+            total > shard_sum,
+            "merged view accounts for {total} nodes, shards plus mega-root need {}",
+            1 + shard_sum
+        );
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            invariant!(
+                w[0].1 <= w[1].0,
+                "shards {:?} and {:?} overlap in position space ({}..{} vs {}..{})",
+                w[0].2,
+                w[1].2,
+                w[0].0,
+                w[0].1,
+                w[1].0,
+                w[1].1
+            );
+        }
+        if let Some(drift) = &self.drift {
+            invariant!(
+                drift.g() == self.merged.grid().g(),
+                "drift tracker tracks {} buckets, grid has {}",
+                drift.g(),
+                self.merged.grid().g()
+            );
+        }
+        Ok(())
     }
 
     /// Opens a catalog in **degraded** mode: per-section checksums
@@ -815,18 +889,17 @@ impl CatalogFile {
         });
         report.dropped_drift = drift_sec.is_some() && drift.is_none();
 
-        Ok((
-            CatalogFile {
-                config: meta.config,
-                catalog: meta.catalog,
-                merged,
-                shards,
-                coefficients,
-                policy: meta.policy,
-                drift,
-            },
-            report,
-        ))
+        let out = CatalogFile {
+            config: meta.config,
+            catalog: meta.catalog,
+            merged,
+            shards,
+            coefficients,
+            policy: meta.policy,
+            drift,
+        };
+        crate::invariants::checkpoint("CatalogFile::open_lenient", || out.validate());
+        Ok((out, report))
     }
 
     /// The pre-v3 payload parser: one unframed section sequence guarded

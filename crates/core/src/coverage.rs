@@ -147,7 +147,7 @@ impl CoverageHistogram {
         for ((dcell, acell), cnt) in covered {
             let t_idx = totals
                 .binary_search_by_key(&dcell, |&(c, _)| c)
-                .expect("covered cell has population");
+                .expect("covered cell has population"); // xlint: allow(no-panic, "every covered pair's cell was pushed into dcells in the same pass; totals always contains it")
             let frac = cnt as f64 / totals[t_idx].1 as f64;
             let strictly_inside = acell.0 < dcell.0 && dcell.1 < acell.1;
             if strictly_inside {
@@ -161,14 +161,16 @@ impl CoverageHistogram {
         }
 
         let (covered_rows, covering_order) = partial_indexes(&partial, grid.g());
-        CoverageHistogram {
+        let out = CoverageHistogram {
             grid,
             covering_cells,
             partial,
             covered_rows,
             covering_order,
             covering_scale: Vec::new(),
-        }
+        };
+        crate::invariants::checkpoint("CoverageHistogram::build", || out.validate());
+        out
     }
 
     /// The grid shared with the position histograms.
@@ -292,6 +294,90 @@ impl CoverageHistogram {
         out
     }
 
+    /// Checks every structural invariant of the flat coverage storage:
+    /// a valid grid; covering cells sorted, deduplicated,
+    /// upper-triangular and in range; the partial table strictly sorted
+    /// by `(covered, covering)` with finite fractions in `(0, 1]`,
+    /// **border pairs only** (a strictly-interior pair stored
+    /// explicitly would be double-counted — the merge kernels account
+    /// interior coverage geometrically as exactly 1), every covering
+    /// side present in `covering_cells`; both derived merge orders
+    /// (`covered_rows` CSR offsets, the `covering_order` permutation)
+    /// exactly as a rebuild from the partial table produces them; and
+    /// propagation scales sorted with finite non-negative factors.
+    /// Returns the first violation found.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        use crate::invariants::invariant;
+        self.grid.validate()?;
+        let g = self.grid.g();
+        let in_range = |c: Cell| -> bool { c.0 < g && c.1 < g && c.0 <= c.1 };
+        for w in self.covering_cells.windows(2) {
+            invariant!(
+                w[0] < w[1],
+                "covering cells not strictly sorted: {:?} then {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        for &c in &self.covering_cells {
+            invariant!(in_range(c), "covering cell {c:?} invalid for g={g}");
+        }
+        for w in self.partial.windows(2) {
+            invariant!(
+                w[0].0 < w[1].0,
+                "partial table not strictly sorted: {:?} then {:?}",
+                w[0].0,
+                w[1].0
+            );
+        }
+        for &((covered, covering), frac) in &self.partial {
+            invariant!(
+                in_range(covered) && in_range(covering),
+                "partial pair ({covered:?}, {covering:?}) invalid for g={g}"
+            );
+            invariant!(
+                frac.is_finite() && frac > 0.0 && frac <= 1.0 + 1e-9,
+                "fraction {frac} for ({covered:?}, {covering:?}) outside (0, 1]"
+            );
+            invariant!(
+                !(covering.0 < covered.0 && covered.1 < covering.1),
+                "strictly-interior pair ({covered:?} inside {covering:?}) stored explicitly"
+            );
+            invariant!(
+                covered.0 == covering.0 || covered.1 == covering.1,
+                "non-border pair ({covered:?}, {covering:?}) stored explicitly"
+            );
+            invariant!(
+                self.covering_cells.binary_search(&covering).is_ok(),
+                "partial references covering cell {covering:?} absent from the covering set"
+            );
+        }
+        let (covered_rows, covering_order) = partial_indexes(&self.partial, g);
+        invariant!(
+            self.covered_rows == covered_rows,
+            "covered_rows CSR offsets disagree with the partial table"
+        );
+        invariant!(
+            self.covering_order == covering_order,
+            "covering_order permutation disagrees with the partial table"
+        );
+        for w in self.covering_scale.windows(2) {
+            invariant!(
+                w[0].0 < w[1].0,
+                "propagation scales not strictly sorted: {:?} then {:?}",
+                w[0].0,
+                w[1].0
+            );
+        }
+        for &(c, f) in &self.covering_scale {
+            invariant!(
+                f.is_finite() && f >= 0.0,
+                "propagation scale {f} for {c:?} not a finite non-negative factor"
+            );
+        }
+        Ok(())
+    }
+
     /// Reconstructs from persisted parts. Partial entries must describe
     /// border pairs only (`covered.0 == covering.0 || covered.1 ==
     /// covering.1`), the invariant [`Self::build`] guarantees — the
@@ -409,6 +495,75 @@ mod tests {
                 "non-border pair stored: {d:?} in {a:?}"
             );
         }
+    }
+
+    #[test]
+    fn validate_accepts_built_coverage() {
+        for g in [1u16, 2, 4, 8, 16] {
+            let grid = Grid::uniform(g, 30).unwrap();
+            let mut cvg = CoverageHistogram::build(grid, &fig1_nodes(), &faculty());
+            cvg.validate().unwrap();
+            cvg.scale_covering((0, 0), 0.5);
+            cvg.validate().unwrap();
+        }
+        // The interior-heavy shape: one covering interval spanning all.
+        let grid = Grid::uniform(8, 63).unwrap();
+        let mut nodes = vec![iv(0, 63)];
+        nodes.extend((1..=63).map(|x| iv(x, x)));
+        CoverageHistogram::build(grid, &nodes, &[iv(0, 63)])
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_single_field_mutations() {
+        // A single P-interval in cell (0, 7): interior pairs exist
+        // geometrically, so an explicitly stored one is expressible.
+        let grid = Grid::uniform(8, 63).unwrap();
+        let mut nodes = vec![iv(0, 63)];
+        nodes.extend((1..=63).map(|x| iv(x, x)));
+        let good = CoverageHistogram::build(grid, &nodes, &[iv(0, 63)]);
+        good.validate().unwrap();
+        assert!(good.partial.len() >= 2, "test needs a few partial entries");
+
+        // An interior pair stored explicitly, with the derived indexes
+        // consistently rebuilt — only the border-pair rule can object.
+        let mut c = good.clone();
+        c.partial.push((((3, 3), (0, 7)), 1.0));
+        c.partial.sort_unstable_by_key(|a| a.0);
+        let (rows, order) = partial_indexes(&c.partial, c.grid.g());
+        c.covered_rows = rows;
+        c.covering_order = order;
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("interior"), "wrong rejection: {err}");
+
+        let mut c = good.clone();
+        c.partial.swap(0, 1);
+        assert!(c.validate().is_err(), "unsorted partial table accepted");
+
+        let mut c = good.clone();
+        c.partial[0].1 = 0.0;
+        assert!(c.validate().is_err(), "zero fraction accepted");
+
+        let mut c = good.clone();
+        c.partial[0].1 = 1.5;
+        assert!(c.validate().is_err(), "fraction above 1 accepted");
+
+        let mut c = good.clone();
+        c.covering_order.reverse();
+        assert!(c.validate().is_err(), "stale covering_order accepted");
+
+        let mut c = good.clone();
+        c.covered_rows[1] += 1;
+        assert!(c.validate().is_err(), "corrupt covered_rows accepted");
+
+        let mut c = good.clone();
+        c.covering_cells.clear();
+        assert!(c.validate().is_err(), "orphan partial entries accepted");
+
+        let mut c = good.clone();
+        c.covering_scale.push(((0, 7), -1.0));
+        assert!(c.validate().is_err(), "negative propagation scale accepted");
     }
 
     #[test]

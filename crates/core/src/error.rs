@@ -41,6 +41,7 @@ impl fmt::Display for Error {
 
 impl std::error::Error for Error {}
 
+/// Result alias over the core [`Error`].
 pub type Result<T> = std::result::Result<T, Error>;
 
 #[cfg(test)]

@@ -79,21 +79,25 @@ impl SummaryConfig {
         }
     }
 
+    /// Sets the grid size (buckets per axis).
     pub fn with_grid_size(mut self, g: u16) -> Self {
         self.grid_size = g;
         self
     }
 
+    /// Attaches a DTD analysis for overlap properties and shortcuts.
     pub fn with_dtd(mut self, dtd: DtdAnalysis) -> Self {
         self.dtd = Some(dtd);
         self
     }
 
+    /// Sets the grid maintenance policy.
     pub fn with_policy(mut self, policy: GridPolicy) -> Self {
         self.policy = policy;
         self
     }
 
+    /// Toggles equi-depth bucket boundaries.
     pub fn with_equi_depth(mut self, on: bool) -> Self {
         self.equi_depth = on;
         self
@@ -215,14 +219,16 @@ impl Summaries {
             })
             .collect();
 
-        Ok(Summaries {
+        let out = Summaries {
             grid,
             true_hist,
             preds,
             dtd: config.dtd.clone(),
             tree_nodes: tree.len() as u64,
             build_id: next_build_id(),
-        })
+        };
+        crate::invariants::checkpoint("Summaries::build", || out.validate());
+        Ok(out)
     }
 
     /// Historical entry point from when parallelism was opt-in.
@@ -295,10 +301,12 @@ impl Summaries {
         Grid::uniform(g, max_pos)
     }
 
+    /// The grid all these summaries share.
     pub fn grid(&self) -> &Grid {
         &self.grid
     }
 
+    /// The TRUE histogram (every node of the tree).
     pub fn true_hist(&self) -> &PositionHistogram {
         &self.true_hist
     }
@@ -313,10 +321,12 @@ impl Summaries {
         self.preds.values()
     }
 
+    /// Number of predicate summaries.
     pub fn len(&self) -> usize {
         self.preds.len()
     }
 
+    /// Whether no predicate summaries exist.
     pub fn is_empty(&self) -> bool {
         self.preds.is_empty()
     }
@@ -354,6 +364,68 @@ impl Summaries {
     /// original estimates exactly.
     pub fn attach_dtd(&mut self, dtd: DtdAnalysis) {
         self.dtd = Some(dtd);
+    }
+
+    /// Checks cross-structure consistency of the whole summary set:
+    /// every histogram and coverage structure individually valid and on
+    /// the shared grid, every predicate entry stored under its own
+    /// name, match counts agreeing with histogram mass, the built-in
+    /// structural predicates present, and node accounting consistent —
+    /// the TRUE histogram holds at most `tree_nodes` mass (exactly that
+    /// for monolithic builds; a degraded re-merge of surviving shards
+    /// may hold less, never more). Returns the first violation found.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        use crate::invariants::invariant;
+        self.grid.validate()?;
+        self.true_hist
+            .validate()
+            .map_err(|e| format!("TRUE histogram: {e}"))?;
+        invariant!(
+            self.true_hist.grid() == &self.grid,
+            "TRUE histogram bucketed on a different grid"
+        );
+        let true_total = self.true_hist.total();
+        invariant!(
+            true_total <= self.tree_nodes as f64 * (1.0 + 1e-9) + 1e-6,
+            "TRUE histogram holds {true_total} nodes, tree accounts for {}",
+            self.tree_nodes
+        );
+        for (name, _) in Self::BUILTINS {
+            invariant!(
+                self.preds.contains_key(name),
+                "built-in predicate {name} missing"
+            );
+        }
+        for (key, s) in &self.preds {
+            invariant!(
+                &s.name == key,
+                "summary named {:?} stored under key {key:?}",
+                s.name
+            );
+            s.hist.validate().map_err(|e| format!("{key}: {e}"))?;
+            invariant!(
+                s.hist.grid() == &self.grid,
+                "{key}: histogram bucketed on a different grid"
+            );
+            let mass = s.hist.total();
+            invariant!(
+                (mass - s.count as f64).abs() <= 1e-6 * (1.0 + s.count as f64),
+                "{key}: count {} disagrees with histogram mass {mass}",
+                s.count
+            );
+            if let Some(cvg) = &s.cvg {
+                cvg.validate().map_err(|e| format!("{key} coverage: {e}"))?;
+                invariant!(
+                    cvg.grid() == &self.grid,
+                    "{key}: coverage bucketed on a different grid"
+                );
+                invariant!(
+                    s.no_overlap,
+                    "{key}: coverage stored for an overlapping predicate"
+                );
+            }
+        }
+        Ok(())
     }
 
     /// An estimator reading from these summaries.
@@ -504,6 +576,7 @@ fn basis_slot(basis: Basis) -> usize {
 }
 
 impl CoeffCache {
+    /// An empty cache, bound to no summaries yet.
     pub fn new() -> Self {
         CoeffCache::default()
     }
@@ -512,12 +585,13 @@ impl CoeffCache {
     pub fn len(&self) -> usize {
         self.map
             .read()
-            .expect("coeff cache lock")
+            .expect("coeff cache lock") // xlint: allow(no-panic, "poisoned lock means another thread already panicked; propagating is intended")
             .values()
             .map(|slots| slots.iter().flatten().count())
             .sum()
     }
 
+    /// Whether the cache holds no tables.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -540,7 +614,7 @@ impl CoeffCache {
             if let Some(hit) = self
                 .map
                 .read()
-                .expect("coeff cache lock")
+                .expect("coeff cache lock") // xlint: allow(no-panic, "poisoned lock means another thread already panicked; propagating is intended")
                 .get(name)
                 .and_then(|slots| slots[slot].clone())
             {
@@ -548,7 +622,7 @@ impl CoeffCache {
             }
         }
         let built = Arc::new(build());
-        let mut map = self.map.write().expect("coeff cache lock");
+        let mut map = self.map.write().expect("coeff cache lock"); // xlint: allow(no-panic, "poisoned lock means another thread already panicked; propagating is intended")
         if self.bound_to.load(Ordering::Acquire) != id {
             map.clear();
             self.bound_to.store(id, Ordering::Release);
@@ -561,7 +635,7 @@ impl CoeffCache {
     /// in name order — the catalog layer persists these so a reopened
     /// database skips even the first-query precomputation.
     pub fn entries(&self) -> Vec<(String, Basis, Arc<JoinCoefficients>)> {
-        let map = self.map.read().expect("coeff cache lock");
+        let map = self.map.read().expect("coeff cache lock"); // xlint: allow(no-panic, "poisoned lock means another thread already panicked; propagating is intended")
         let mut out = Vec::new();
         for (name, slots) in map.iter() {
             for (slot, table) in slots.iter().enumerate() {
@@ -586,7 +660,7 @@ impl CoeffCache {
         use std::sync::atomic::Ordering;
         let id = summaries.build_id;
         let slot = basis_slot(table.basis());
-        let mut map = self.map.write().expect("coeff cache lock");
+        let mut map = self.map.write().expect("coeff cache lock"); // xlint: allow(no-panic, "poisoned lock means another thread already panicked; propagating is intended")
         if self.bound_to.load(Ordering::Acquire) != id {
             map.clear();
             self.bound_to.store(id, Ordering::Release);
@@ -669,6 +743,7 @@ impl<'a> EvalStats<'a> {
 }
 
 impl<'a> Estimator<'a> {
+    /// The summaries this estimator answers from.
     pub fn summaries(&self) -> &'a Summaries {
         self.summaries
     }
@@ -840,7 +915,7 @@ impl<'a> Estimator<'a> {
     pub fn estimate_pair(&self, anc: &str, desc: &str, method: EstimateMethod) -> Result<Estimate> {
         let a = self.summary(anc)?;
         let d = self.summary(desc)?;
-        let start = Instant::now();
+        let start = Instant::now(); // xlint: allow(io-confinement, "wall-clock for the Estimate.elapsed report only; never feeds estimation math")
         let (value, tag) = match method {
             EstimateMethod::Auto => {
                 if let Some(v) = self.schema_shortcut(anc, desc) {
@@ -909,7 +984,7 @@ impl<'a> Estimator<'a> {
     /// zero-allocation steady-state path for services that estimate in a
     /// loop (enforced by `tests/alloc_discipline.rs`).
     pub fn estimate_twig_with(&self, ws: &mut TwigWorkspace, twig: &TwigNode) -> Result<Estimate> {
-        let start = Instant::now();
+        let start = Instant::now(); // xlint: allow(io-confinement, "wall-clock for the Estimate.elapsed report only; never feeds estimation math")
         let stats = self.twig_eval(ws, twig)?;
         let value = stats.match_total();
         stats.release(ws);
@@ -1071,6 +1146,42 @@ mod tests {
         assert_eq!(s.get("faculty").unwrap().count, 3);
         assert_eq!(s.get("TA").unwrap().count, 5);
         assert!(s.get("faculty").unwrap().cvg.is_some());
+    }
+
+    #[test]
+    fn validate_accepts_builds_and_rejects_mutations() {
+        for g in [1u16, 2, 4, 8] {
+            build(g).validate().unwrap();
+        }
+        let good = build(4);
+
+        // Node undercount: the TRUE histogram then holds more mass than
+        // the tree accounts for.
+        let mut s = good.clone();
+        s.tree_nodes -= 1;
+        assert!(s.validate().is_err(), "node undercount accepted");
+
+        // Count out of step with the histogram mass.
+        let mut s = good.clone();
+        s.preds.get_mut("faculty").unwrap().count += 1;
+        assert!(s.validate().is_err(), "count drift accepted");
+
+        // A predicate summary bucketed on a foreign grid.
+        let mut s = good.clone();
+        let foreign = Grid::uniform(3, 999).unwrap();
+        s.preds.get_mut("TA").unwrap().hist = PositionHistogram::empty(foreign);
+        assert!(s.validate().is_err(), "foreign grid accepted");
+
+        // A summary filed under the wrong name.
+        let mut s = good.clone();
+        let ta = s.preds.remove("TA").unwrap();
+        s.preds.insert("RA2".into(), ta);
+        assert!(s.validate().is_err(), "misfiled summary accepted");
+
+        // A built-in structural predicate gone missing.
+        let mut s = good.clone();
+        s.preds.remove("#true");
+        assert!(s.validate().is_err(), "missing built-in accepted");
     }
 
     #[test]

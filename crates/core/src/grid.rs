@@ -76,7 +76,7 @@ impl Grid {
             let b = positions[rank.min(n - 1)];
             // Boundaries must be strictly increasing; skip duplicates by
             // nudging forward (bucket becomes empty rather than invalid).
-            let prev = *boundaries.last().expect("non-empty");
+            let prev = *boundaries.last().expect("non-empty"); // xlint: allow(no-panic, "boundaries starts with the 0 pushed above; never empty here")
             boundaries.push(b.max(prev + 1));
         }
         let span = max_pos + 1;
@@ -153,6 +153,38 @@ impl Grid {
     /// Raw parts for persistence.
     pub(crate) fn uniform_width(&self) -> Option<u32> {
         self.uniform_width
+    }
+
+    /// Checks every structural invariant of the bucketing: at least one
+    /// bucket, `boundaries[0] == 0`, strict monotonicity, and — for
+    /// uniform grids — agreement between the stored width and the
+    /// boundary spacing (all buckets exactly `width` wide except a
+    /// possibly narrower final one). Returns the first violation found.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        use crate::invariants::invariant;
+        let b = &self.boundaries;
+        invariant!(b.len() >= 2, "grid has {} boundaries, need >= 2", b.len());
+        invariant!(b[0] == 0, "boundaries[0] is {}, must be 0", b[0]);
+        for w in b.windows(2) {
+            invariant!(
+                w[0] < w[1],
+                "boundaries not strictly increasing: {} then {}",
+                w[0],
+                w[1]
+            );
+        }
+        if let Some(width) = self.uniform_width {
+            invariant!(width >= 1, "uniform width 0");
+            for (i, w) in b.windows(2).enumerate() {
+                let got = w[1] - w[0];
+                let last = i + 2 == b.len();
+                invariant!(
+                    if last { got <= width } else { got == width },
+                    "uniform bucket {i} has width {got}, declared {width}"
+                );
+            }
+        }
+        Ok(())
     }
 
     /// Reconstructs a grid from persisted parts (trusted input from our
@@ -266,6 +298,48 @@ mod tests {
         for p in 0..=9 {
             assert!(g.bucket_of(p) < 8);
         }
+    }
+
+    #[test]
+    fn validate_accepts_every_constructed_grid() {
+        for g in 1u16..12 {
+            for max_pos in 0u32..12 {
+                Grid::uniform(g, max_pos).unwrap().validate().unwrap();
+            }
+        }
+        let positions: Vec<u32> = (0..=100).collect();
+        for g in 1u16..12 {
+            Grid::equi_depth(g, &positions, 100)
+                .unwrap()
+                .validate()
+                .unwrap();
+        }
+        Grid::equi_depth(8, &vec![5u32; 1000], 9)
+            .unwrap()
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_single_field_mutations() {
+        let good = Grid::uniform(4, 99).unwrap();
+        good.validate().unwrap();
+
+        let mut g = good.clone();
+        g.boundaries[0] = 1;
+        assert!(g.validate().is_err(), "nonzero origin accepted");
+
+        let mut g = good.clone();
+        g.boundaries[2] = g.boundaries[1];
+        assert!(g.validate().is_err(), "non-monotone boundaries accepted");
+
+        let mut g = good.clone();
+        g.uniform_width = Some(g.uniform_width.unwrap() + 1);
+        assert!(g.validate().is_err(), "wrong uniform width accepted");
+
+        let mut g = good.clone();
+        g.boundaries.truncate(1);
+        assert!(g.validate().is_err(), "bucketless grid accepted");
     }
 
     #[test]

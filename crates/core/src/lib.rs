@@ -21,22 +21,42 @@
 //! the future-work items of Section 7.
 
 pub mod catalog;
+/// Compound-predicate estimation over boolean predicate expressions.
 pub mod compound;
+/// Coverage histograms for no-overlap predicates (Section 4.2).
 pub mod coverage;
+/// Core error and result types.
 pub mod error;
+/// Summary construction and the top-level estimation API.
 pub mod estimator;
+/// The 2-D position grid underlying every histogram.
 pub mod grid;
+/// Strict-invariants sanitizer: `validate()` checkpoints for the
+/// structural invariants the kernels assume.
+pub mod invariants;
+/// Markov-table path estimation (related-work baseline).
 pub mod markov;
+/// Exact counting by tree traversal — the accuracy oracle.
 pub mod naive;
+/// Merge-based coverage joins and the twig evaluation workspace.
 pub mod no_overlap;
+/// Order-aware sibling estimation (extension).
 pub mod ordered;
+/// Level histograms for parent-child estimation (extension).
 pub mod parent_child;
+/// The position-histogram join kernels (Section 4.1).
 pub mod ph_join;
+/// Sparse CSR position histograms over grid cells.
 pub mod position_histogram;
+/// Grid maintenance policies: slack capacity and equi-depth refresh.
 pub mod regrid;
+/// Per-document summary shards and shard merging.
 pub mod shard;
+/// Crash-consistent catalog persistence (the only IO layer).
 pub mod store;
+/// Binary (de)serialization of summaries.
 pub mod summary;
+/// Twig query patterns: nodes, axes, canonical forms.
 pub mod twig;
 
 pub use catalog::{CatalogFile, CatalogShard, OpenReport, QuarantinedShard};

@@ -205,7 +205,7 @@ pub struct StatsSlot {
 
 impl Default for StatsSlot {
     fn default() -> Self {
-        let unit = Grid::uniform(1, 0).expect("unit grid is valid");
+        let unit = Grid::uniform(1, 0).expect("unit grid is valid"); // xlint: allow(no-panic, "constant 1x1 grid over span 1 always validates")
         StatsSlot {
             hist: PositionHistogram::empty(unit.clone()),
             jn_fct: PositionHistogram::empty(unit),
@@ -218,6 +218,7 @@ impl Default for StatsSlot {
 }
 
 impl StatsSlot {
+    /// A fresh slot over the unit grid.
     pub fn new() -> Self {
         StatsSlot::default()
     }
@@ -415,7 +416,7 @@ pub struct TwigWorkspace {
 
 impl Default for TwigWorkspace {
     fn default() -> Self {
-        let unit = Grid::uniform(1, 0).expect("unit grid is valid");
+        let unit = Grid::uniform(1, 0).expect("unit grid is valid"); // xlint: allow(no-panic, "constant 1x1 grid over span 1 always validates")
         TwigWorkspace {
             join: JoinWorkspace::new(),
             match_x: PositionHistogram::empty(unit.clone()),
@@ -427,6 +428,7 @@ impl Default for TwigWorkspace {
 }
 
 impl TwigWorkspace {
+    /// A fresh workspace; buffers grow on first use.
     pub fn new() -> Self {
         TwigWorkspace::default()
     }

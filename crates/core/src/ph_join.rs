@@ -62,6 +62,7 @@ pub struct JoinWorkspace {
 }
 
 impl JoinWorkspace {
+    /// A fresh workspace; buffers grow on first use.
     pub fn new() -> Self {
         JoinWorkspace::default()
     }
@@ -365,6 +366,7 @@ impl JoinCoefficients {
         self.coeff.get(cell)
     }
 
+    /// The join basis these coefficients were assembled for.
     pub fn basis(&self) -> Basis {
         self.basis
     }

@@ -204,6 +204,7 @@ impl FlatHistogram {
         self.entries.len()
     }
 
+    /// Whether no cell holds mass.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
@@ -211,6 +212,56 @@ impl FlatHistogram {
     /// Sum of all entries.
     pub fn total(&self) -> f64 {
         self.entries.iter().map(|&(_, v)| v).sum()
+    }
+
+    /// Checks every structural invariant of the CSR storage: entries
+    /// strictly sorted row-major with in-range bucket indexes, no
+    /// stored zeros or non-finite values, and row offsets that exactly
+    /// index the entry runs (length `g + 1`, starting at 0, ending at
+    /// `entries.len()`, each entry inside its declared row). Returns
+    /// the first violation found.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        use crate::invariants::invariant;
+        invariant!(!self.row_offsets.is_empty(), "row_offsets empty");
+        let g = self.rows();
+        invariant!(self.row_offsets[0] == 0, "row_offsets[0] != 0");
+        invariant!(
+            *self.row_offsets.last().unwrap_or(&0) as usize == self.entries.len(),
+            "row_offsets end {} != entry count {}",
+            self.row_offsets.last().unwrap_or(&0),
+            self.entries.len()
+        );
+        for (i, w) in self.row_offsets.windows(2).enumerate() {
+            invariant!(
+                w[0] <= w[1],
+                "row_offsets not monotone at row {i}: {} then {}",
+                w[0],
+                w[1]
+            );
+        }
+        for w in self.entries.windows(2) {
+            invariant!(
+                w[0].0 < w[1].0,
+                "entries not strictly sorted: {:?} then {:?}",
+                w[0].0,
+                w[1].0
+            );
+        }
+        for (k, &((i, j), v)) in self.entries.iter().enumerate() {
+            invariant!(i < g && j < g, "cell ({i}, {j}) outside {g}x{g} grid");
+            invariant!(v.is_finite(), "cell ({i}, {j}) holds non-finite {v}");
+            invariant!(
+                v.abs() > f64::EPSILON,
+                "cell ({i}, {j}) stores an explicit zero ({v})"
+            );
+            let lo = self.row_offsets[i as usize] as usize;
+            let hi = self.row_offsets[i as usize + 1] as usize;
+            invariant!(
+                lo <= k && k < hi,
+                "entry {k} (cell ({i}, {j})) outside its row's offset run {lo}..{hi}"
+            );
+        }
+        Ok(())
     }
 }
 
@@ -244,7 +295,9 @@ impl PositionHistogram {
         let mut flat = FlatHistogram::new(grid.g());
         flat.bulk_load(grid.g(), &mut cells);
         let total = intervals.len() as f64;
-        PositionHistogram { grid, flat, total }
+        let out = PositionHistogram { grid, flat, total };
+        crate::invariants::checkpoint("PositionHistogram::from_intervals", || out.validate());
+        out
     }
 
     /// The grid this histogram is bucketed on.
@@ -390,6 +443,7 @@ impl PositionHistogram {
                 j += 1;
             }
         }
+        crate::invariants::checkpoint("PositionHistogram::plus", || out.validate());
         Ok(out)
     }
 
@@ -419,6 +473,32 @@ impl PositionHistogram {
     /// bucket). Construction guarantees this; exposed for property tests.
     pub fn upper_triangular(&self) -> bool {
         self.flat.entries().iter().all(|&((i, j), _)| i <= j)
+    }
+
+    /// Checks every structural invariant: a valid grid, valid CSR
+    /// storage sized to it, upper-triangularity (an interval cannot end
+    /// in an earlier bucket than it starts), and agreement between the
+    /// incrementally maintained running total and the stored entries.
+    /// Returns the first violation found.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        use crate::invariants::invariant;
+        self.grid.validate()?;
+        self.flat.validate()?;
+        invariant!(
+            self.flat.rows() == self.grid.g(),
+            "flat store has {} rows, grid has {} buckets",
+            self.flat.rows(),
+            self.grid.g()
+        );
+        invariant!(self.upper_triangular(), "below-diagonal cell stored");
+        let sum = self.flat.total();
+        invariant!(
+            (self.total - sum).abs() <= 1e-6 * (1.0 + sum.abs()),
+            "running total {} drifted from entry sum {}",
+            self.total,
+            sum
+        );
+        Ok(())
     }
 }
 
@@ -453,6 +533,76 @@ mod tests {
         assert_eq!(ta.get((0, 0)), 2.0);
         assert_eq!(ta.get((1, 1)), 3.0);
         assert_eq!(ta.total(), 5.0);
+    }
+
+    #[test]
+    fn validate_accepts_histograms_through_every_legal_operation() {
+        for g in [1u16, 2, 3, 5, 8, 16] {
+            let grid = Grid::uniform(g, 30).unwrap();
+            let fac = PositionHistogram::from_intervals(grid.clone(), &faculty_intervals());
+            fac.validate().unwrap();
+            let ta = PositionHistogram::from_intervals(grid.clone(), &ta_intervals());
+            ta.validate().unwrap();
+            fac.plus(&ta).unwrap().validate().unwrap();
+            fac.scaled_by(|(i, _)| 0.5 + i as f64).validate().unwrap();
+            let mut m = fac.clone();
+            m.scale_in_place(0.25);
+            m.validate().unwrap();
+            m.set((0, g - 1), 3.5);
+            m.add((0, 0), 1.0);
+            m.set((0, g - 1), 0.0); // removal keeps offsets consistent
+            m.validate().unwrap();
+            PositionHistogram::empty(grid).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn validate_rejects_single_field_mutations() {
+        let grid = Grid::uniform(4, 30).unwrap();
+        let mut ivs = faculty_intervals();
+        ivs.extend(ta_intervals());
+        let good = PositionHistogram::from_intervals(grid, &ivs);
+        good.validate().unwrap();
+        assert!(good.flat.len() >= 3, "test needs a few distinct cells");
+
+        let mut h = good.clone();
+        h.flat.entries.swap(0, 1);
+        assert!(h.validate().is_err(), "swapped entries accepted");
+
+        let mut h = good.clone();
+        h.flat.entries[0].1 = 0.0;
+        assert!(h.validate().is_err(), "explicit zero accepted");
+
+        let mut h = good.clone();
+        h.flat.entries[0].1 = f64::NAN;
+        assert!(h.validate().is_err(), "NaN mass accepted");
+
+        let mut h = good.clone();
+        let last = *h.flat.row_offsets.last().unwrap();
+        h.flat.row_offsets[1] = last + 1;
+        assert!(h.validate().is_err(), "non-monotone offsets accepted");
+
+        let mut h = good.clone();
+        h.flat.entries.last_mut().unwrap().0 .1 = 99;
+        assert!(h.validate().is_err(), "out-of-range column accepted");
+
+        let mut h = good.clone();
+        let k = h
+            .flat
+            .entries
+            .iter()
+            .position(|&((i, j), _)| i < j)
+            .expect("an off-diagonal cell exists");
+        h.flat.entries[k].0 = (h.flat.entries[k].0 .1, h.flat.entries[k].0 .0);
+        assert!(h.validate().is_err(), "below-diagonal cell accepted");
+
+        let mut h = good.clone();
+        h.total += 5.0;
+        assert!(h.validate().is_err(), "drifted running total accepted");
+
+        let mut h = good.clone();
+        h.flat.row_offsets.pop();
+        assert!(h.validate().is_err(), "truncated offset table accepted");
     }
 
     #[test]

@@ -242,14 +242,16 @@ pub fn build_shard_summaries(
         preds.insert(name.clone(), summary);
     }
 
-    Summaries {
+    let out = Summaries {
         grid: grid.clone(),
         true_hist,
         preds,
         dtd: config.dtd.clone(),
         tree_nodes: input.node_count as u64,
         build_id: crate::estimator::next_build_id(),
-    }
+    };
+    crate::invariants::checkpoint("build_shard_summaries", || out.validate());
+    out
 }
 
 /// The collection-wide grid for a set of classified documents with the
@@ -382,14 +384,16 @@ fn merge_shards_impl(
     };
     let preds: BTreeMap<String, PredicateSummary> = merged?.into_iter().collect();
 
-    Ok(Summaries {
+    let out = Summaries {
         grid: grid.clone(),
         true_hist,
         preds,
         dtd: config.dtd.clone(),
         tree_nodes: total_nodes,
         build_id: crate::estimator::next_build_id(),
-    })
+    };
+    crate::invariants::checkpoint("merge_shards", || out.validate());
+    Ok(out)
 }
 
 /// Merges one predicate's entry across all shards — a pure function of

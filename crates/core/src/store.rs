@@ -262,6 +262,7 @@ pub enum CrashView {
 }
 
 impl MemBackend {
+    /// An empty in-memory backend.
     pub fn new() -> MemBackend {
         MemBackend::default()
     }
@@ -510,6 +511,7 @@ pub struct SkippedGeneration {
 }
 
 impl<'b> CatalogStore<'b> {
+    /// A store over `backend`; no IO happens until a save/open call.
     pub fn new(backend: &'b dyn StorageBackend) -> CatalogStore<'b> {
         CatalogStore { backend }
     }

@@ -65,6 +65,7 @@ pub struct CostWorkspace {
 const UNMEMOIZABLE: u64 = u64::MAX;
 
 impl CostWorkspace {
+    /// A fresh workspace; the induced-twig memo fills on first use.
     pub fn new() -> Self {
         CostWorkspace::default()
     }

@@ -88,6 +88,7 @@ pub struct ElementIndex {
 }
 
 impl ElementIndex {
+    /// Builds per-predicate interval lists over `tree` in document order.
     pub fn build(tree: &XmlTree, catalog: &Catalog) -> ElementIndex {
         let mut lists = BTreeMap::new();
         for entry in catalog.iter() {
@@ -120,7 +121,7 @@ impl ElementIndex {
                         items.push(Item::new(iv, NodeId(0)));
                     }
                     for shard in shards {
-                        let input = &shard.source.as_ref().expect("checked above").input;
+                        let input = &shard.source.as_ref().expect("checked above").input; // xlint: allow(no-panic, "match arm requires all shards sourced")
                         for iv in &input.entries[builtins + pos].intervals {
                             let shifted =
                                 Interval::new(iv.start + shard.offset, iv.end + shard.offset);
@@ -186,14 +187,17 @@ impl ElementIndex {
         }
     }
 
+    /// The sorted interval list for a named predicate.
     pub fn get(&self, name: &str) -> Option<&[Item<NodeId>]> {
         self.lists.get(name).map(Vec::as_slice)
     }
 
+    /// Number of indexed predicates.
     pub fn len(&self) -> usize {
         self.lists.len()
     }
 
+    /// Whether no predicate is indexed.
     pub fn is_empty(&self) -> bool {
         self.lists.is_empty()
     }
@@ -487,7 +491,7 @@ impl Database {
         let mut derived = Vec::with_capacity(self.shards.len());
         for s in std::mem::take(&mut self.shards) {
             derived.push((s.offset, s.summaries));
-            let source = s.source.expect("sources checked above");
+            let source = s.source.expect("sources checked above"); // xlint: allow(no-panic, "loop above returned ServingOnly for any unsourced shard")
             sources.push((s.name, source));
         }
         Ok((sources, derived))
@@ -560,7 +564,7 @@ impl Database {
                 .map(|(i, n)| (n.as_str(), i))
                 .collect();
             for shard in &mut self.shards {
-                let src = shard.source.as_mut().expect("sources checked above");
+                let src = shard.source.as_mut().expect("sources checked above"); // xlint: allow(no-panic, "loop above returned ServingOnly for any unsourced shard")
                 let mut realigned = Vec::with_capacity(new_names.len());
                 for n in &new_names {
                     realigned.push(match index_of.get(n.as_str()) {
@@ -760,7 +764,7 @@ impl Database {
     fn remove_newest_within_slack(&mut self) -> Result<()> {
         // Fail before the first mutation: drift retraction needs the
         // shard's stored classified lists, and truncation needs the tree.
-        let last = self.shards.last().expect("non-empty checked");
+        let last = self.shards.last().expect("non-empty checked"); // xlint: allow(no-panic, "caller rejects empty shard lists before calling")
         if last.source.is_none() {
             return Err(Error::ServingOnly(format!(
                 "document {:?} has no stored source; its drift contribution cannot be retracted",
@@ -775,7 +779,7 @@ impl Database {
                 .collect();
             xmlest_core::shard::merge_shards(&refs, &grid, &self.catalog, &self.config)?
         };
-        let offset = self.shards.last().expect("non-empty checked").offset;
+        let offset = self.shards.last().expect("non-empty checked").offset; // xlint: allow(no-panic, "caller rejects empty shard lists before calling")
         let Some(tree) = self.tree.as_mut() else {
             return Err(Error::ServingOnly(
                 "database has no data tree to truncate".into(),
@@ -783,8 +787,8 @@ impl Database {
         };
         tree.truncate_last_subtree(NodeId(offset))?;
         // Commit — nothing below can fail.
-        let shard = self.shards.pop().expect("non-empty checked");
-        let src = shard.source.expect("source checked above");
+        let shard = self.shards.pop().expect("non-empty checked"); // xlint: allow(no-panic, "caller rejects empty shard lists before calling")
+        let src = shard.source.expect("source checked above"); // xlint: allow(no-panic, "source presence verified before the commit point above")
         self.index.truncate_document(offset, offset as u64);
         self.maintenance
             .tracker
@@ -869,6 +873,9 @@ impl Database {
         match Database::from_collection(self.catalog.clone(), self.config.clone(), sources, None) {
             Ok(rebuilt) => {
                 self.replace_rebuilt(rebuilt);
+                xmlest_core::invariants::checkpoint("Database::refresh_grid", || {
+                    self.summaries.validate()
+                });
                 let c = &mut self.maintenance.counters;
                 c.refreshes += 1;
                 c.grid_moves += 1;
@@ -1227,7 +1234,7 @@ impl Database {
     /// [`Database::try_tree`] when the database may be serving-only.
     pub fn tree(&self) -> &XmlTree {
         self.try_tree()
-            .expect("catalog-opened database has no data tree (serving-only)")
+            .expect("catalog-opened database has no data tree (serving-only)") // xlint: allow(no-panic, "documented panicking accessor; try_tree is the fallible form")
     }
 
     /// The data tree, if this database has one.
@@ -1241,6 +1248,7 @@ impl Database {
         self.tree.is_some()
     }
 
+    /// The predicate catalog the summaries were built against.
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
     }
@@ -1268,6 +1276,7 @@ impl Database {
         self.epoch += 1;
     }
 
+    /// The merged summary structure serving estimates.
     pub fn summaries(&self) -> &Summaries {
         &self.summaries
     }
@@ -1287,6 +1296,7 @@ impl Database {
             .map(|s| &s.summaries)
     }
 
+    /// An estimator over the summaries, wired to the coefficient cache.
     pub fn estimator(&self) -> Estimator<'_> {
         self.summaries.estimator().with_cache(&self.coeff_cache)
     }
@@ -1315,6 +1325,7 @@ impl Database {
         self.prepared.stats()
     }
 
+    /// The element index used by exact counting and plan execution.
     pub fn index(&self) -> &ElementIndex {
         &self.index
     }

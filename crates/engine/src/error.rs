@@ -2,10 +2,15 @@
 
 use std::fmt;
 
+/// Any failure the engine can report: wraps the lower layers and adds
+/// plan, missing-data, and serving-only conditions.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Error {
+    /// An error from the summary/estimation layer.
     Core(xmlest_core::Error),
+    /// A query-parse error.
     Query(xmlest_query::Error),
+    /// An XML parse or tree error.
     Xml(xmlest_xml::Error),
     /// Plan construction/validation problems.
     Plan(String),
@@ -54,6 +59,7 @@ impl From<xmlest_xml::Error> for Error {
     }
 }
 
+/// Result alias over the engine [`Error`].
 pub type Result<T> = std::result::Result<T, Error>;
 
 #[cfg(test)]

@@ -58,14 +58,23 @@
 //! lazily — a stale-grid plan can never be served.
 
 pub mod cost;
+/// The database object: documents, catalog, indexes, summaries.
 pub mod db;
+/// Engine error and result types.
 pub mod error;
+/// Plan execution against the element index.
 pub mod exec;
+/// Incremental maintenance: appends, removals, drift-tracked refresh.
 pub mod maintenance;
+/// Estimate-driven join-order selection.
 pub mod optimizer;
+/// Flattened twigs and structural-join plan enumeration.
 pub mod plan;
+/// The unified planner: canonicalization, costing, plan cache.
 pub mod planner;
+/// Prepared queries: twig interning and the epoch-checked cache.
 pub mod prepared;
+/// The concurrent estimation service with pooled workspaces.
 pub mod service;
 
 pub use db::{Database, RepairReport, StoreOpen};

@@ -68,6 +68,7 @@ pub struct Optimizer<'a> {
 }
 
 impl<'a> Optimizer<'a> {
+    /// An optimizer over `db`'s planner.
     pub fn new(db: &'a Database) -> Self {
         Optimizer {
             planner: db.planner(),

@@ -18,6 +18,7 @@ pub struct FlatTwig {
 }
 
 impl FlatTwig {
+    /// Flattens `twig` into indexed predicate and edge lists, pre-order.
     pub fn from_twig(twig: &TwigNode) -> FlatTwig {
         let mut preds = Vec::new();
         let mut edges = Vec::new();
@@ -25,6 +26,7 @@ impl FlatTwig {
         FlatTwig { preds, edges }
     }
 
+    /// Number of pattern nodes.
     pub fn node_count(&self) -> usize {
         self.preds.len()
     }
@@ -33,7 +35,7 @@ impl FlatTwig {
     /// minimum index in the set. The set must be connected through the
     /// twig's edges. Used to estimate intermediate-result sizes.
     pub fn induced_twig(&self, nodes: &[usize]) -> TwigNode {
-        let root = *nodes.iter().min().expect("non-empty node set");
+        let root = *nodes.iter().min().expect("non-empty node set"); // xlint: allow(no-panic, "documented precondition: induced node sets are non-empty by construction")
         self.build_node(root, nodes)
     }
 

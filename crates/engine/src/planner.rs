@@ -162,7 +162,7 @@ impl<'db> Planner<'db> {
             return Ok(false);
         }
         let est = self.db.estimator();
-        let mut ws = self.ws.lock().expect("planner workspace lock");
+        let mut ws = self.ws.lock().expect("planner workspace lock"); // xlint: allow(no-panic, "poisoned lock means another thread already panicked; propagating is intended")
         ws.reset();
         for p in &plans {
             let total = cost_plan_with(&est, &flat, p, &mut ws)?;

@@ -83,12 +83,12 @@ impl TwigInterner {
     /// and the shared allocation.
     fn intern(&self, canonical: TwigNode) -> (TwigId, Arc<TwigNode>) {
         {
-            let inner = self.inner.read().expect("twig interner lock");
+            let inner = self.inner.read().expect("twig interner lock"); // xlint: allow(no-panic, "poisoned lock means another thread already panicked; propagating is intended")
             if let Some((twig, &id)) = inner.ids.get_key_value(&canonical) {
                 return (id, twig.clone());
             }
         }
-        let mut inner = self.inner.write().expect("twig interner lock");
+        let mut inner = self.inner.write().expect("twig interner lock"); // xlint: allow(no-panic, "poisoned lock means another thread already panicked; propagating is intended")
         if let Some((twig, &id)) = inner.ids.get_key_value(&canonical) {
             return (id, twig.clone());
         }
@@ -105,7 +105,7 @@ impl TwigInterner {
     /// unless the map still binds exactly this twig to this id (guards
     /// racing release/re-intern).
     fn release(&self, id: TwigId, twig: &Arc<TwigNode>) {
-        let mut inner = self.inner.write().expect("twig interner lock");
+        let mut inner = self.inner.write().expect("twig interner lock"); // xlint: allow(no-panic, "poisoned lock means another thread already panicked; propagating is intended")
         if inner.ids.get(twig.as_ref()) == Some(&id) {
             inner.ids.remove(twig.as_ref());
         }
@@ -113,7 +113,7 @@ impl TwigInterner {
 
     /// Number of live (unreleased) identities.
     fn len(&self) -> usize {
-        self.inner.read().expect("twig interner lock").ids.len()
+        self.inner.read().expect("twig interner lock").ids.len() // xlint: allow(no-panic, "poisoned lock means another thread already panicked; propagating is intended")
     }
 }
 
@@ -346,7 +346,7 @@ impl PreparedCache {
         resolve: ResolveFn<'_>,
     ) -> Result<Arc<PreparedQuery>> {
         let stale = {
-            let tier = self.by_path.read().expect("prepared cache lock");
+            let tier = self.by_path.read().expect("prepared cache lock"); // xlint: allow(no-panic, "poisoned lock means another thread already panicked; propagating is intended")
             match tier.map.get(path) {
                 Some(slot) if slot.entry.epoch == epoch => {
                     slot.referenced.store(true, Ordering::Relaxed);
@@ -399,7 +399,7 @@ impl PreparedCache {
         resolve: ResolveFn<'_>,
     ) -> Result<Arc<PreparedQuery>> {
         {
-            let map = self.by_id.read().expect("prepared cache lock");
+            let map = self.by_id.read().expect("prepared cache lock"); // xlint: allow(no-panic, "poisoned lock means another thread already panicked; propagating is intended")
             if let Some(slot) = map.get(&id) {
                 if slot.entry.epoch == epoch {
                     return Ok(slot.entry.clone());
@@ -409,7 +409,7 @@ impl PreparedCache {
         let mut fresh = resolve(id, twig)?;
         fresh.cache_id = self.cache_id;
         let built = Arc::new(fresh);
-        let mut map = self.by_id.write().expect("prepared cache lock");
+        let mut map = self.by_id.write().expect("prepared cache lock"); // xlint: allow(no-panic, "poisoned lock means another thread already panicked; propagating is intended")
         match map.entry(id) {
             std::collections::hash_map::Entry::Occupied(mut o) => {
                 if o.get().entry.epoch == epoch {
@@ -458,7 +458,7 @@ impl PreparedCache {
     /// bits as it sweeps and takes the first unreferenced slot, instead
     /// of scanning every entry for the LRU minimum.
     fn install_path(&self, path: &str, entry: Arc<PreparedQuery>) {
-        let mut tier = self.by_path.write().expect("prepared cache lock");
+        let mut tier = self.by_path.write().expect("prepared cache lock"); // xlint: allow(no-panic, "poisoned lock means another thread already panicked; propagating is intended")
         if let Some(slot) = tier.map.get_mut(path) {
             // Epoch refresh (same canonical id — paths parse
             // deterministically), or a racing insert of the same path.
@@ -490,13 +490,13 @@ impl PreparedCache {
         let t = &mut *tier;
         loop {
             let hand = t.hand;
-            let probed = t.map.get(&t.ring[hand]).expect("ring key is mapped");
+            let probed = t.map.get(&t.ring[hand]).expect("ring key is mapped"); // xlint: allow(no-panic, "ring and map are mutated together; every ring key is mapped")
             if probed.referenced.swap(false, Ordering::Relaxed) {
                 t.hand = (hand + 1) % t.ring.len();
                 continue;
             }
             let victim_key = std::mem::replace(&mut t.ring[hand], path.to_owned());
-            let victim = t.map.remove(&victim_key).expect("just observed");
+            let victim = t.map.remove(&victim_key).expect("just observed"); // xlint: allow(no-panic, "key was probed in the map immediately above under the same lock")
             self.evictions.fetch_add(1, Ordering::Relaxed);
             t.map.insert(path.to_owned(), slot);
             t.hand = (hand + 1) % t.ring.len();
@@ -507,7 +507,7 @@ impl PreparedCache {
     }
 
     fn pin(&self, entry: &Arc<PreparedQuery>) {
-        let mut map = self.by_id.write().expect("prepared cache lock");
+        let mut map = self.by_id.write().expect("prepared cache lock"); // xlint: allow(no-panic, "poisoned lock means another thread already panicked; propagating is intended")
         map.entry(entry.id)
             .or_insert_with(|| IdSlot {
                 entry: entry.clone(),
@@ -521,11 +521,11 @@ impl PreparedCache {
     /// interner's footprint follows the bounded cache (lock order:
     /// tier 2, then the innermost interner lock).
     fn unpin(&self, id: TwigId) {
-        let mut map = self.by_id.write().expect("prepared cache lock");
+        let mut map = self.by_id.write().expect("prepared cache lock"); // xlint: allow(no-panic, "poisoned lock means another thread already panicked; propagating is intended")
         if let Some(slot) = map.get_mut(&id) {
             slot.pins = slot.pins.saturating_sub(1);
             if slot.pins == 0 {
-                let slot = map.remove(&id).expect("slot just observed");
+                let slot = map.remove(&id).expect("slot just observed"); // xlint: allow(no-panic, "id was found in the map immediately above under the same lock")
                 self.interner.release(id, slot.entry.twig());
             }
         }
@@ -533,15 +533,15 @@ impl PreparedCache {
 
     /// Number of live tier-1 (query-string) entries.
     pub(crate) fn len(&self) -> usize {
-        self.by_path.read().expect("prepared cache lock").map.len()
+        self.by_path.read().expect("prepared cache lock").map.len() // xlint: allow(no-panic, "poisoned lock means another thread already panicked; propagating is intended")
     }
 
     /// Counter snapshot. Locks are taken one at a time, tier 1 first —
     /// never nested — so a snapshot can't deadlock against a concurrent
     /// `install_path` (which holds tier 1 while pinning in tier 2).
     pub(crate) fn stats(&self) -> CacheStats {
-        let entries = self.by_path.read().expect("prepared cache lock").map.len();
-        let by_id = self.by_id.read().expect("prepared cache lock");
+        let entries = self.by_path.read().expect("prepared cache lock").map.len(); // xlint: allow(no-panic, "poisoned lock means another thread already panicked; propagating is intended")
+        let by_id = self.by_id.read().expect("prepared cache lock"); // xlint: allow(no-panic, "poisoned lock means another thread already panicked; propagating is intended")
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),

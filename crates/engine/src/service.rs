@@ -19,9 +19,12 @@
 //!   it. The pool never exceeds the worker count, and a warm pool makes
 //!   the per-estimate loop **allocation-free per worker** (enforced by
 //!   `tests/alloc_discipline.rs`);
-//! * **batched fan-out**: [`EstimationService::estimate_batch`] spreads
-//!   a batch across `rayon` workers; small batches run inline on the
-//!   calling thread (thread spin-up would dominate).
+//! * **batched fan-out**: [`EstimationService::estimate_batch`] dedups
+//!   identical twigs (serving batches repeat the same few paths), bins
+//!   the distinct work across `rayon` workers by estimated cost, and
+//!   fans each result back to every slot that asked for it; small
+//!   batches — and batches that dedup down to little distinct work —
+//!   run inline on the calling thread (thread spin-up would dominate).
 //!
 //! Path-ref results are exactly the single-shot [`Database::estimate`]
 //! values — the service changes scheduling, never math. (Caller-owned
@@ -36,8 +39,10 @@
 
 use crate::db::Database;
 use crate::error::Result;
-use crate::prepared::{CacheStats, PreparedQuery};
+use crate::prepared::{CacheStats, PreparedQuery, TwigId};
 use rayon::prelude::*;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 use xmlest_core::{Estimate, TwigNode, TwigWorkspace};
 
@@ -131,13 +136,13 @@ impl<'db> EstimationService<'db> {
     fn take_ws(&self) -> TwigWorkspace {
         self.pool
             .lock()
-            .expect("workspace pool lock")
+            .expect("workspace pool lock") // xlint: allow(no-panic, "poisoned lock means another thread already panicked; propagating is intended")
             .pop()
             .unwrap_or_default()
     }
 
     fn put_ws(&self, ws: TwigWorkspace) {
-        self.pool.lock().expect("workspace pool lock").push(ws);
+        self.pool.lock().expect("workspace pool lock").push(ws); // xlint: allow(no-panic, "poisoned lock means another thread already panicked; propagating is intended")
     }
 
     /// Estimates one query on a pooled workspace.
@@ -145,33 +150,131 @@ impl<'db> EstimationService<'db> {
         self.estimate_one(q.into())
     }
 
-    /// Estimates a batch, fanning it across `rayon` workers with **one
-    /// pooled workspace per worker**: the batch splits into one
-    /// contiguous chunk per available core, and each worker checks a
-    /// workspace out once, drains its chunk on it, and returns it — the
-    /// pool lock is taken twice per worker, not per query. Per-query
-    /// errors (unknown predicates, parse failures) come back in the
-    /// matching slot; result order matches the batch.
+    /// Estimates a batch, deduplicating it before fanning out across
+    /// `rayon` workers with **one pooled workspace per worker**.
+    ///
+    /// Serving batches repeat the same few paths, so the batch first
+    /// resolves every slot through the prepared cache and collapses
+    /// identical twigs — same [`TwigId`] for paths (canonically
+    /// equivalent spellings collapse too), same address for borrowed
+    /// twigs. Each distinct twig is estimated exactly once and the
+    /// result cloned back to every slot that asked for it; estimation is
+    /// deterministic per twig, so deduped results are bit-identical to
+    /// per-query calls. The distinct work is then binned across workers
+    /// by twig node count (greedy longest-first), so a handful of
+    /// expensive patterns can't serialize the whole batch behind one
+    /// worker. Small batches — and batches whose *distinct* work is
+    /// small after dedup — run inline: thread spin-up would dominate.
+    ///
+    /// Per-query errors (unknown predicates, parse failures) come back
+    /// in the matching slot; result order matches the batch.
     pub fn estimate_batch(&self, batch: &[TwigRef<'_>]) -> Vec<Result<Estimate>> {
-        let workers = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1);
-        if batch.len() < PARALLEL_THRESHOLD || workers == 1 {
+        // Dedup pays on a single core too (it removes estimates, not
+        // just spreads them), so only genuinely small batches take the
+        // plain serial loop; `workers` gates the fan-out alone, below.
+        if batch.len() < PARALLEL_THRESHOLD {
             let mut out = Vec::with_capacity(batch.len());
             self.estimate_batch_into(batch, &mut out);
             return out;
         }
-        let chunk_size = batch.len().div_ceil(workers);
-        let chunks: Vec<&[TwigRef<'_>]> = batch.chunks(chunk_size).collect();
-        let parts: Vec<Vec<Result<Estimate>>> = chunks
-            .par_iter()
-            .map(|&chunk| {
-                let mut out = Vec::with_capacity(chunk.len());
-                self.estimate_batch_into(chunk, &mut out);
-                out
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+
+        // Two-level dedup. Level one collapses identical *refs* (path
+        // string content, borrowed-twig address) before touching the
+        // prepared cache: even a cache hit costs a read-locked probe,
+        // which at sub-µs-per-estimate dominates a repeated batch —
+        // 1024 slots over 6 paths must pay 6 probes, not 1024. Level
+        // two collapses the *resolved* twigs by interned [`TwigId`], so
+        // canonically equivalent spellings estimate once too.
+        let mut classes: Vec<TwigRef<'_>> = Vec::new();
+        let mut class_of: HashMap<RefKey<'_>, usize> = HashMap::with_capacity(batch.len());
+        let mut slots: Vec<usize> = Vec::with_capacity(batch.len());
+        for &q in batch {
+            let idx = match class_of.entry(RefKey::of(q)) {
+                Entry::Occupied(o) => *o.get(),
+                Entry::Vacant(v) => {
+                    let idx = classes.len();
+                    classes.push(q);
+                    v.insert(idx);
+                    idx
+                }
+            };
+            slots.push(idx);
+        }
+
+        let mut unique: Vec<ResolvedTwig<'_>> = Vec::new();
+        let mut index_of: HashMap<DedupKey, usize> = HashMap::with_capacity(classes.len());
+        let resolved: Vec<std::result::Result<usize, crate::error::Error>> = classes
+            .iter()
+            .map(|&q| {
+                let twig = self.resolve(q)?;
+                Ok(match index_of.entry(twig.dedup_key()) {
+                    Entry::Occupied(o) => *o.get(),
+                    Entry::Vacant(v) => {
+                        let idx = unique.len();
+                        unique.push(twig);
+                        v.insert(idx);
+                        idx
+                    }
+                })
             })
             .collect();
-        parts.into_iter().flatten().collect()
+
+        let results: Vec<Result<Estimate>> = if unique.len() < PARALLEL_THRESHOLD || workers == 1 {
+            // The batch deduped down to little distinct work (the
+            // crossover is on *distinct* twigs, not batch length), or
+            // there is nothing to fan out to.
+            let mut ws = self.take_ws();
+            let est = self.db.estimator();
+            let out = unique
+                .iter()
+                .map(|t| {
+                    est.estimate_twig_with(&mut ws, t.as_ref())
+                        .map_err(Into::into)
+                })
+                .collect();
+            self.put_ws(ws);
+            out
+        } else {
+            let bins = bin_by_cost(&unique, workers);
+            let parts: Vec<Vec<(usize, Result<Estimate>)>> = bins
+                .par_iter()
+                .map(|bin| {
+                    let mut ws = self.take_ws();
+                    let est = self.db.estimator();
+                    let out = bin
+                        .iter()
+                        .map(|&i| {
+                            let res = est
+                                .estimate_twig_with(&mut ws, unique[i].as_ref())
+                                .map_err(Into::into);
+                            (i, res)
+                        })
+                        .collect();
+                    self.put_ws(ws);
+                    out
+                })
+                .collect();
+            let mut results: Vec<Option<Result<Estimate>>> = vec![None; unique.len()];
+            for (i, r) in parts.into_iter().flatten() {
+                results[i] = Some(r);
+            }
+            results
+                .into_iter()
+                .map(|r| r.expect("every unique index lands in exactly one bin")) // xlint: allow(no-panic, "bin_by_cost places each index of 0..unique.len() exactly once by construction")
+                .collect()
+        };
+
+        // Fan each distinct result back out to the slots that asked.
+        slots
+            .into_iter()
+            .map(|class| match &resolved[class] {
+                Ok(i) => results[*i].clone(),
+                Err(e) => Err(e.clone()),
+            })
+            .collect()
     }
 
     /// The serial batch loop, writing into a caller-owned buffer — the
@@ -214,7 +317,7 @@ impl<'db> EstimationService<'db> {
 
     /// Number of idle workspaces currently pooled.
     pub fn pooled_workspaces(&self) -> usize {
-        self.pool.lock().expect("workspace pool lock").len()
+        self.pool.lock().expect("workspace pool lock").len() // xlint: allow(no-panic, "poisoned lock means another thread already panicked; propagating is intended")
     }
 
     /// Observability snapshot: prepared-cache counters, the database
@@ -274,6 +377,63 @@ impl ResolvedTwig<'_> {
             ResolvedTwig::Borrowed(t) => t,
         }
     }
+
+    /// Identity for batch dedup: prepared queries carry a stable
+    /// interned [`TwigId`] (canonically equivalent paths share one);
+    /// caller-borrowed twigs dedup by address — the same `&TwigNode`
+    /// repeated in a batch is the same pattern, while equal-but-distinct
+    /// borrowed twigs conservatively stay separate.
+    fn dedup_key(&self) -> DedupKey {
+        match self {
+            ResolvedTwig::Prepared(p) => DedupKey::Prepared(p.id()),
+            ResolvedTwig::Borrowed(t) => DedupKey::Borrowed(*t as *const TwigNode),
+        }
+    }
+}
+
+/// Dedup identity of a resolved batch slot (see
+/// [`ResolvedTwig::dedup_key`]).
+#[derive(PartialEq, Eq, Hash)]
+enum DedupKey {
+    Prepared(TwigId),
+    Borrowed(*const TwigNode),
+}
+
+/// Pre-resolution identity of a batch slot: path slots by string
+/// content (hashing a short path is far cheaper than even a warm
+/// prepared-cache probe), borrowed twigs by address.
+#[derive(PartialEq, Eq, Hash)]
+enum RefKey<'a> {
+    Path(&'a str),
+    Twig(*const TwigNode),
+}
+
+impl<'a> RefKey<'a> {
+    fn of(q: TwigRef<'a>) -> Self {
+        match q {
+            TwigRef::Path(p) => RefKey::Path(p),
+            TwigRef::Twig(t) => RefKey::Twig(t as *const TwigNode),
+        }
+    }
+}
+
+/// Splits the distinct work items into at most `workers` bins with
+/// near-equal total cost, using twig node count as the cost proxy (the
+/// estimator walks every pattern node, joining histograms at each):
+/// greedy longest-first into the currently lightest bin. Every index in
+/// `0..unique.len()` lands in exactly one bin.
+fn bin_by_cost(unique: &[ResolvedTwig<'_>], workers: usize) -> Vec<Vec<usize>> {
+    let mut order: Vec<usize> = (0..unique.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(unique[i].as_ref().node_count()));
+    let n_bins = workers.min(unique.len()).max(1);
+    let mut bins: Vec<Vec<usize>> = vec![Vec::new(); n_bins];
+    let mut load = vec![0usize; n_bins];
+    for i in order {
+        let lightest = (0..n_bins).min_by_key(|&b| load[b]).unwrap_or(0);
+        load[lightest] += unique[i].as_ref().node_count();
+        bins[lightest].push(i);
+    }
+    bins
 }
 
 #[cfg(test)]
@@ -327,6 +487,76 @@ mod tests {
         assert_eq!(svc.cached_twig_count(), paths.len());
         // Pool never exceeds worker count, and everything was returned.
         assert!(svc.pooled_workspaces() >= 1);
+    }
+
+    #[test]
+    fn deduped_batch_is_bit_identical_to_per_query_calls() {
+        let db = collection();
+        let svc = db.service();
+        // 1024 slots drawn from 4 distinct paths — the serving shape the
+        // dedup targets. Include a canonical variant pair: both spell
+        // the same twig and must collapse to one TwigId.
+        let paths = ["//doc//p", "//sec//p", "//doc//note", "/doc//sec//p"];
+        let batch: Vec<TwigRef> = (0..1024).map(|i| TwigRef::Path(paths[i % 4])).collect();
+        let results = svc.estimate_batch(&batch);
+        assert_eq!(results.len(), 1024);
+        for (q, r) in batch.iter().zip(&results) {
+            let TwigRef::Path(p) = q else { unreachable!() };
+            let single = db.estimate(p).unwrap().value;
+            assert_eq!(r.as_ref().unwrap().value.to_bits(), single.to_bits(), "{p}");
+        }
+        assert_eq!(svc.cached_twig_count(), paths.len());
+    }
+
+    #[test]
+    fn parallel_batch_reports_errors_in_matching_slots() {
+        let db = collection();
+        let svc = db.service();
+        // Parallel-scale batch with failures interleaved among dupes:
+        // every error must come back in its own slot, not shift results.
+        let batch: Vec<TwigRef> = (0..64)
+            .map(|i| {
+                if i % 5 == 3 {
+                    TwigRef::Path("//sec//GHOST")
+                } else {
+                    TwigRef::Path("//sec//p")
+                }
+            })
+            .collect();
+        let results = svc.estimate_batch(&batch);
+        let want = db.estimate("//sec//p").unwrap().value;
+        for (i, r) in results.iter().enumerate() {
+            if i % 5 == 3 {
+                assert!(r.is_err(), "slot {i}");
+            } else {
+                assert_eq!(
+                    r.as_ref().unwrap().value.to_bits(),
+                    want.to_bits(),
+                    "slot {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn borrowed_twigs_dedup_by_address_at_parallel_scale() {
+        let db = collection();
+        let svc = db.service();
+        let parsed = xmlest_query::parse_path("//sec//p").unwrap();
+        let batch: Vec<TwigRef> = (0..48)
+            .map(|i| {
+                if i % 2 == 0 {
+                    TwigRef::Twig(&parsed)
+                } else {
+                    TwigRef::Path("//sec//p")
+                }
+            })
+            .collect();
+        let results = svc.estimate_batch(&batch);
+        let want = db.estimate("//sec//p").unwrap().value;
+        for r in &results {
+            assert_eq!(r.as_ref().unwrap().value.to_bits(), want.to_bits());
+        }
     }
 
     #[test]

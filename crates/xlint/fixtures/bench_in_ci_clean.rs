@@ -1,0 +1,7 @@
+// Fixture (cross-file rule R4): writes a BENCH_*.json artifact AND is
+// wired into its sibling bench_in_ci_clean.ci.yml — clean.
+
+fn main() {
+    let path = std::env::var("XMLEST_BENCH_JSON").unwrap_or("BENCH_fixture.json".to_string());
+    std::fs::write(path, "{}").ok();
+}

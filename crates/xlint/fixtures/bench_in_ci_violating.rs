@@ -1,0 +1,8 @@
+// Fixture (cross-file rule R4): this "bench" writes a BENCH_*.json
+// artifact, but its sibling bench_in_ci_violating.ci.yml never invokes
+// `--bench bench_in_ci_violating` — xlint must flag it.
+
+fn main() {
+    let path = std::env::var("XMLEST_BENCH_JSON").unwrap_or("BENCH_fixture.json".to_string());
+    std::fs::write(path, "{}").ok();
+}

@@ -1,0 +1,46 @@
+// Fixture: pub items R5 must NOT flag.
+
+/// A documented function.
+pub fn documented_fn() {}
+
+/// A documented struct; public fields are not item declarations.
+pub struct DocumentedStruct {
+    pub field_without_doc: u8,
+}
+
+/// Docs above attributes work.
+#[derive(Debug)]
+pub struct DocThenAttr;
+
+#[derive(Debug)]
+/// Docs below attributes work too.
+pub struct AttrThenDoc;
+
+/// Docs survive a multi-line attribute in between.
+#[cfg_attr(
+    feature = "never",
+    derive(Debug)
+)]
+pub enum MultiLineAttr {
+    /// Variants are not flagged either way.
+    A,
+}
+
+/// Modifier chains resolve to the item keyword.
+pub const fn documented_const_fn() -> u8 {
+    0
+}
+
+// Restricted visibility is exempt.
+pub(crate) fn crate_visible() {}
+
+// Re-exports are exempt.
+pub use std::cmp::Ordering;
+
+/// Justified pragma usage also works for this rule.
+pub fn has_doc_anyway() {}
+
+pub fn pragma_escape() {} // xlint: allow(doc-pub, "fixture: demonstrates the escape hatch")
+
+#[cfg(test)]
+pub fn test_gated_pub_needs_no_doc() {}

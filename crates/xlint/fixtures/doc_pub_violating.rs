@@ -1,0 +1,23 @@
+// Fixture: undocumented pub items R5 must catch.
+
+pub fn undocumented_fn() {}
+
+pub struct UndocumentedStruct;
+
+pub enum UndocumentedEnum {
+    A,
+}
+
+pub const UNDOCUMENTED_CONST: u8 = 0;
+
+pub trait UndocumentedTrait {}
+
+pub type UndocumentedAlias = u8;
+
+pub static UNDOCUMENTED_STATIC: u8 = 0;
+
+pub mod undocumented_mod {}
+
+// An attribute alone is not documentation.
+#[derive(Debug)]
+pub struct AttrButNoDoc;

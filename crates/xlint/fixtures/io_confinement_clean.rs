@@ -1,0 +1,35 @@
+// Fixture: sources R3 must NOT flag — lookalikes, strings, test code,
+// justified pragmas, and deterministic time passed in by the caller.
+
+struct MySystemTime(u64);
+
+mod my {
+    pub mod std {
+        pub mod fs {
+            pub fn read() {}
+        }
+    }
+}
+
+fn lookalikes() -> MySystemTime {
+    my::std::fs::read();
+    MySystemTime(0)
+}
+
+fn strings_do_not_count() -> &'static str {
+    "std::fs::read and Instant::now() and SystemTime in a string"
+}
+
+fn justified_clock() -> std::time::Instant {
+    std::time::Instant::now() // xlint: allow(io-confinement, "fixture: wall-clock reporting only, never feeds kernels")
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn tests_may_time() {
+        let _ = Instant::now();
+    }
+}

@@ -1,0 +1,17 @@
+// Fixture: ambient IO / clock tokens R3 must catch.
+
+use std::fs;
+use std::net::TcpListener;
+use std::time::{Instant, SystemTime};
+
+fn reads_files(p: &str) -> Vec<u8> {
+    std::fs::read(p).unwrap_or_default()
+}
+
+fn times_things() -> Instant {
+    Instant::now()
+}
+
+fn wall_clock() -> SystemTime {
+    SystemTime::now()
+}

@@ -1,0 +1,64 @@
+// Fixture: sources R1 must NOT flag — lookalike identifiers, panicking
+// tokens inside strings/raw strings/comments/chars, test-gated code,
+// and properly justified pragmas.
+
+fn lookalikes(x: Option<u8>) -> u8 {
+    // unwrap_or / unwrap_or_else / expect_err are different methods.
+    let a = x.unwrap_or(0);
+    let b = x.unwrap_or_else(|| 1);
+    let _ = Some(2u8).ok_or(0).expect_err_shim();
+    a + b
+}
+
+trait ExpectErrShim {
+    fn expect_err_shim(self) -> u8;
+}
+
+fn strings_do_not_count() -> String {
+    let plain = "x.unwrap() and panic!() in a string";
+    let raw = r#"y.expect("quoted") inside raw string"#;
+    let hashed = r##"even "#-quoted" unreachable!() text"##;
+    format!("{plain}{raw}{hashed}")
+}
+
+fn chars_and_lifetimes<'a>(s: &'a str) -> (&'a str, char) {
+    // The escaped quote must not absorb the rest of the file.
+    let q = '\'';
+    (s, q)
+}
+
+/* Block comments with panic!() and x.unwrap() are fine,
+   /* even nested ones with todo!() */
+   still a comment. */
+fn after_comments() {}
+
+fn justified(x: Option<u8>) -> u8 {
+    x.unwrap() // xlint: allow(no-panic, "fixture: demonstrates a justified escape hatch")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u8> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let w: Result<u8, ()> = Ok(2);
+        assert_eq!(w.expect("fine in tests"), 2);
+    }
+
+    #[test]
+    fn tests_may_panic() {
+        if false {
+            panic!("only in tests");
+        }
+    }
+}
+
+#[cfg(test)]
+fn test_helper_outside_mod(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+
+fn debug_assertions_allowed(g: u16) {
+    debug_assert!(g > 0, "debug assertions compile out in release");
+}

@@ -1,0 +1,32 @@
+// Fixture: every panicking construct xlint's R1 must catch.
+// Not compiled — scanned by `xlint check --fixture`.
+
+fn unwraps(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+
+fn expects(x: Option<u8>) -> u8 {
+    x.expect("boom")
+}
+
+fn panics() {
+    panic!("nope");
+}
+
+fn unreachable_macro() {
+    unreachable!()
+}
+
+fn todo_macro() {
+    todo!("later")
+}
+
+// A pragma without a justification must NOT suppress.
+fn bad_pragma(x: Option<u8>) -> u8 {
+    x.unwrap() // xlint: allow(no-panic)
+}
+
+// A pragma for a different rule must NOT suppress.
+fn wrong_rule(x: Option<u8>) -> u8 {
+    x.unwrap() // xlint: allow(safety-comment, "mismatched rule")
+}

@@ -1,0 +1,24 @@
+// Fixture: properly documented unsafe, and "unsafe" in non-code
+// positions that must not be flagged.
+
+fn documented_block(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees p is valid for reads (fixture).
+    unsafe { *p }
+}
+
+fn same_line(p: *const u8) -> u8 {
+    unsafe { *p } // SAFETY: p validated by the caller (fixture).
+}
+
+struct Wrapper(*mut u8);
+
+// SAFETY: the pointer is only dereferenced on the owning thread
+// (fixture justification).
+unsafe impl Send for Wrapper {}
+
+fn strings_do_not_count() -> &'static str {
+    "unsafe { *p } in a string is not code"
+}
+
+// A comment mentioning unsafe code is not an unsafe token.
+fn comments_do_not_count() {}

@@ -1,0 +1,18 @@
+// Fixture: unsafe without a SAFETY comment, in each position R2 covers.
+
+fn bare_block(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+// A stale comment too far above (more than 3 lines) does not count.
+// SAFETY: this one is 5 lines up and must not satisfy the rule.
+//
+//
+//
+fn too_far(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+struct Wrapper(*mut u8);
+
+unsafe impl Send for Wrapper {}

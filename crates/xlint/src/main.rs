@@ -1,0 +1,210 @@
+//! `xlint` CLI.
+//!
+//! ```text
+//! cargo run -p xlint -- check                 # full workspace scan
+//! cargo run -p xlint -- check path/to/file.rs # explicit files, all rules
+//! cargo run -p xlint -- check --fixture       # self-test over the fixture corpus
+//! ```
+//!
+//! Exit code 0 = clean, 1 = violations found (or, with `--fixture`, a
+//! fixture behaved unexpectedly), 2 = usage/IO error. Diagnostics are
+//! `path:line: [rule] message`, one per line.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use xlint::{
+    bench_names, check_bench_ci, check_source, collect_rs_files, rules_for, BenchCiInput, RuleSet,
+    Violation,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        Some("check") => {
+            let rest: Vec<&str> = it.collect();
+            if rest.first() == Some(&"--fixture") {
+                fixture_selftest()
+            } else if rest.is_empty() {
+                check_workspace()
+            } else {
+                check_paths(&rest)
+            }
+        }
+        _ => {
+            eprintln!("usage: xlint check [--fixture | PATH ...]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The workspace root: two levels up from this crate's manifest.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_owned)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn report(violations: &[Violation]) -> ExitCode {
+    for v in violations {
+        println!("{v}");
+    }
+    if violations.is_empty() {
+        println!("xlint: clean");
+        ExitCode::SUCCESS
+    } else {
+        println!("xlint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Full-workspace mode: per-file rules by location plus the bench/CI
+/// cross-file check.
+fn check_workspace() -> ExitCode {
+    let root = workspace_root();
+    let files = match collect_rs_files(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("xlint: cannot walk {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let mut violations = Vec::new();
+    for rel in files {
+        let Some(rules) = rules_for(&rel) else {
+            continue;
+        };
+        match std::fs::read_to_string(root.join(&rel)) {
+            Ok(src) => violations.extend(check_source(&rel, &src, rules)),
+            Err(e) => {
+                eprintln!("xlint: cannot read {}: {e}", rel.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    violations.extend(bench_ci_violations(&root));
+    report(&violations)
+}
+
+/// The R4 cross-file check over the real workspace layout.
+fn bench_ci_violations(root: &Path) -> Vec<Violation> {
+    let toml = std::fs::read_to_string(root.join("crates/bench/Cargo.toml")).unwrap_or_default();
+    let ci = std::fs::read_to_string(root.join(".github/workflows/ci.yml")).unwrap_or_default();
+    let benches = bench_names(&toml)
+        .into_iter()
+        .filter_map(|name| {
+            let src = std::fs::read_to_string(root.join(format!("crates/bench/benches/{name}.rs")))
+                .ok()?;
+            Some((name, src))
+        })
+        .collect();
+    check_bench_ci(&BenchCiInput { benches, ci })
+}
+
+/// Explicit-path mode: every file-level rule applies, regardless of
+/// location (how individual fixtures are exercised).
+fn check_paths(paths: &[&str]) -> ExitCode {
+    let mut violations = Vec::new();
+    for p in paths {
+        match std::fs::read_to_string(p) {
+            Ok(src) => violations.extend(check_source(Path::new(p), &src, RuleSet::all())),
+            Err(e) => {
+                eprintln!("xlint: cannot read {p}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    report(&violations)
+}
+
+/// `check --fixture`: scans the fixture corpus and verifies each file
+/// behaves as its name promises — `<rule>_violating.rs` must produce at
+/// least one violation of `<rule>`, `<rule>_clean.rs` must produce none.
+fn fixture_selftest() -> ExitCode {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let mut entries: Vec<PathBuf> = match std::fs::read_dir(&dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+            .collect(),
+        Err(e) => {
+            eprintln!("xlint: cannot read fixture dir {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+    };
+    entries.sort();
+    let mut failures = 0usize;
+    for path in &entries {
+        let stem = path.file_stem().unwrap_or_default().to_string_lossy();
+        let Some((rule_part, kind)) = stem.rsplit_once('_') else {
+            continue;
+        };
+        let rule_name = rule_part.replace('_', "-");
+        let Some(rule) = xlint::Rule::from_name(&rule_name) else {
+            eprintln!("xlint: fixture {stem}.rs names unknown rule {rule_name}");
+            failures += 1;
+            continue;
+        };
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("xlint: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        // The cross-file rule pairs the fixture (acting as the bench
+        // source, named by its stem) with a sibling `<stem>.ci.yml`.
+        let hits: Vec<Violation> = if rule == xlint::Rule::BenchInCi {
+            let ci = std::fs::read_to_string(path.with_extension("ci.yml")).unwrap_or_default();
+            check_bench_ci(&BenchCiInput {
+                benches: vec![(stem.to_string(), src.clone())],
+                ci,
+            })
+        } else {
+            check_source(path, &src, RuleSet::all())
+                .into_iter()
+                .filter(|v| v.rule == rule)
+                .collect()
+        };
+        let ok = match kind {
+            "violating" => !hits.is_empty(),
+            "clean" => hits.is_empty(),
+            other => {
+                eprintln!("xlint: fixture {stem}.rs has unknown kind {other}");
+                failures += 1;
+                continue;
+            }
+        };
+        if ok {
+            println!(
+                "fixture {stem}.rs: ok ({} {} finding(s))",
+                hits.len(),
+                rule.name()
+            );
+        } else {
+            failures += 1;
+            println!(
+                "fixture {stem}.rs: FAILED — expected {kind}, got {} {} finding(s)",
+                hits.len(),
+                rule.name()
+            );
+            for v in &hits {
+                println!("  {v}");
+            }
+        }
+    }
+    if entries.is_empty() {
+        eprintln!("xlint: no fixtures found in {}", dir.display());
+        return ExitCode::from(2);
+    }
+    if failures == 0 {
+        println!("xlint fixtures: all {} behaved as expected", entries.len());
+        ExitCode::SUCCESS
+    } else {
+        println!("xlint fixtures: {failures} unexpected result(s)");
+        ExitCode::FAILURE
+    }
+}

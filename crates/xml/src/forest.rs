@@ -91,7 +91,7 @@ impl ForestBuilder {
             }
             crate::tree::NodeKind::Element(_) => {
                 self.builder
-                    .open(tree.tag_name(node).expect("element has a tag"));
+                    .open(tree.tag_name(node).expect("element has a tag")); // xlint: allow(no-panic, "match arm guarantees an Element node, which always has a tag")
                 for attr in tree.attributes(node) {
                     self.builder.attr(&attr.name, &attr.value)?;
                 }

@@ -27,18 +27,29 @@ struct CountingAllocator;
 
 static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
 
+// SAFETY: pure pass-through to `System` plus a relaxed-free atomic
+// counter; every GlobalAlloc contract obligation is delegated intact.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: caller upholds GlobalAlloc's layout contract; we forward
+    // the same layout to `System` untouched.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        // SAFETY: same layout the caller vouched for.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: caller guarantees `ptr` came from this allocator with
+    // `layout`; `System` performed the original allocation.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr`/`layout` pair is the one `System.alloc` returned.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: caller guarantees `ptr`/`layout` describe a live System
+    // allocation and `new_size` is valid per the GlobalAlloc contract.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        // SAFETY: forwarded verbatim; `System` owns the allocation.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

@@ -1,0 +1,193 @@
+//! Property tests for the strict-invariants sanitizer: `validate()`
+//! accepts every structure produced from random documents and configs,
+//! and rejects corrupted catalogs the *format-level* checks cannot see.
+//!
+//! The single-field mutation tests for the private CSR internals
+//! (swapped entries, non-monotone offsets, interior partials) live in
+//! the owning modules' unit tests, where the fields are reachable; this
+//! file covers the public construction surface end to end plus the
+//! catalog boundary, where shard offsets are a public field.
+
+use proptest::prelude::*;
+use xmlest::core::{CatalogFile, CoverageHistogram, Grid, PositionHistogram, SummaryConfig};
+use xmlest::engine::Database;
+use xmlest::prelude::*;
+
+/// Builds a random but well-formed tree from an op tape (same scheme as
+/// `tests/props.rs`).
+fn build_tree(ops: &[u8]) -> XmlTree {
+    let mut b = TreeBuilder::new();
+    b.open("t0");
+    let mut depth = 1usize;
+    for &op in ops {
+        match op % 7 {
+            o @ 0..=3 => {
+                b.open(&format!("t{o}"));
+                depth += 1;
+            }
+            4 | 5 => {
+                if depth > 1 {
+                    b.close().expect("depth tracked");
+                    depth -= 1;
+                }
+            }
+            _ => {
+                b.text("x");
+            }
+        }
+    }
+    while depth > 0 {
+        b.close().expect("depth tracked");
+        depth -= 1;
+    }
+    b.finish().expect("balanced by construction")
+}
+
+fn arb_tree(max_ops: usize) -> impl Strategy<Value = XmlTree> {
+    prop::collection::vec(0u8..7, 0..max_ops).prop_map(|ops| build_tree(&ops))
+}
+
+/// A small random document for collection-level tests (same scheme as
+/// `tests/catalog_roundtrip.rs`).
+fn random_doc(shape: &[u8]) -> String {
+    const TAGS: [&str; 5] = ["sec", "p", "note", "fig", "ref"];
+    let mut xml = String::from("<doc>");
+    let mut open: Vec<&str> = Vec::new();
+    for &b in shape {
+        let tag = TAGS[(b % 5) as usize];
+        match b % 4 {
+            0 if open.len() < 4 => {
+                xml.push('<');
+                xml.push_str(tag);
+                xml.push('>');
+                open.push(tag);
+            }
+            1 => {
+                if let Some(t) = open.pop() {
+                    xml.push_str("</");
+                    xml.push_str(t);
+                    xml.push('>');
+                }
+            }
+            _ => {
+                xml.push('<');
+                xml.push_str(tag);
+                xml.push_str("/>");
+            }
+        }
+    }
+    while let Some(t) = open.pop() {
+        xml.push_str("</");
+        xml.push_str(t);
+        xml.push('>');
+    }
+    xml.push_str("</doc>");
+    xml
+}
+
+fn collection(shapes: &[Vec<u8>], grid: u16, equi: bool) -> Database {
+    let docs: Vec<(String, String)> = shapes
+        .iter()
+        .enumerate()
+        .map(|(i, shape)| (format!("d{i}.xml"), random_doc(shape)))
+        .collect();
+    let mut config = SummaryConfig::paper_defaults().with_grid_size(grid);
+    config.equi_depth = equi;
+    Database::load_documents(docs.iter().map(|(n, x)| (n.as_str(), x.as_str())), &config)
+        .expect("collection builds")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every grid, histogram, coverage structure and summary set built
+    /// from a random document under a random config validates.
+    #[test]
+    fn validators_accept_everything_built_from_data(
+        tree in arb_tree(150),
+        g in 1u16..24,
+        equi in 0u8..2,
+    ) {
+        let mut catalog = Catalog::new();
+        catalog.define_all_tags(&tree);
+        let mut config = SummaryConfig::paper_defaults().with_grid_size(g);
+        config.equi_depth = equi == 1;
+        let s = xmlest::core::Summaries::build(&tree, &catalog, &config).unwrap();
+        prop_assert!(s.validate().is_ok(), "{:?}", s.validate());
+        prop_assert!(s.grid().validate().is_ok());
+        prop_assert!(s.true_hist().validate().is_ok());
+
+        // The standalone construction surfaces agree too.
+        let grid = Grid::uniform(g, tree.max_pos()).unwrap();
+        grid.validate().unwrap();
+        let all: Vec<Interval> = tree.iter().map(|n| tree.interval(n)).collect();
+        let h = PositionHistogram::from_intervals(grid.clone(), &all);
+        h.validate().unwrap();
+        // Coverage requires a no-overlap predicate: thin the t1 matches
+        // to a disjoint subset (first-come in document order).
+        let mut t1: Vec<Interval> = Vec::new();
+        for ivl in tree.intervals_where(|n| tree.tag_name(n) == Some("t1")) {
+            if t1.last().is_none_or(|p| p.end < ivl.start) {
+                t1.push(ivl);
+            }
+        }
+        CoverageHistogram::build(grid, &all, &t1)
+            .validate()
+            .unwrap();
+    }
+
+    /// A multi-document collection validates at the catalog level —
+    /// built, serialized, reopened strictly, and reopened leniently.
+    #[test]
+    fn catalog_validates_across_save_and_reopen(
+        shapes in prop::collection::vec(prop::collection::vec(0u8..255, 4..40), 2..5),
+        grid in 3u16..16,
+        equi in 0u8..2,
+    ) {
+        let db = collection(&shapes, grid, equi == 1);
+        let bytes = db.save_catalog();
+        let file = CatalogFile::from_bytes(&bytes).expect("strict reopen");
+        prop_assert!(file.validate().is_ok(), "{:?}", file.validate());
+        let (lenient, report) = CatalogFile::open_lenient(&bytes).expect("lenient reopen");
+        prop_assert!(report.is_clean());
+        prop_assert!(lenient.validate().is_ok());
+    }
+
+    /// The boundary the format parser does NOT check: shard position
+    /// offsets. A catalog whose directory passes every checksum and
+    /// node-count rule but claims overlapping document ranges round-trips
+    /// through `from_bytes` — only the validator trips. Under
+    /// `strict-invariants` the open itself panics at the checkpoint.
+    #[test]
+    fn corrupt_shard_offsets_pass_framing_but_trip_the_validator(
+        shapes in prop::collection::vec(prop::collection::vec(0u8..255, 4..40), 2..4),
+        grid in 3u16..12,
+    ) {
+        let db = collection(&shapes, grid, false);
+        let mut file = CatalogFile::from_bytes(&db.save_catalog()).expect("clean reopen");
+        prop_assert!(file.validate().is_ok());
+
+        // Slide the second document onto the first: checksums, node
+        // counts and section ordering all stay legal.
+        file.shards[1].offset = file.shards[0].offset;
+        prop_assert!(file.validate().is_err(), "overlapping shards accepted");
+
+        let corrupt = file.to_bytes();
+        match std::panic::catch_unwind(|| CatalogFile::from_bytes(&corrupt)) {
+            // Feature off: the format-level parser accepts the bytes —
+            // the overlap is invisible to framing — and only the
+            // validator rejects them.
+            Ok(Ok(reopened)) => prop_assert!(reopened.validate().is_err()),
+            Ok(Err(e)) => prop_assert!(false, "framing unexpectedly rejected: {e}"),
+            // Feature on: the open-time checkpoint tripped, which is the
+            // sanitizer doing its job.
+            Err(_) => {}
+        }
+
+        // A shard claiming the mega-root's position 0 is equally
+        // well-framed and equally invalid.
+        let mut file = CatalogFile::from_bytes(&db.save_catalog()).expect("clean reopen");
+        file.shards[0].offset = 0;
+        prop_assert!(file.validate().is_err(), "shard at the root position accepted");
+    }
+}
