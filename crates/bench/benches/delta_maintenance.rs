@@ -1,0 +1,179 @@
+//! Delta-maintenance benchmarks: the incremental merge and the
+//! predicate-scoped refresh against their full-rebuild counterparts.
+//!
+//! * `delta_merge` — core-level: extending an n-shard merged view by
+//!   one new shard via [`merge_delta`] (O(new-document cells)) versus
+//!   re-folding all n+1 shards with [`merge_shards_stateful`] (O(total
+//!   non-zero cells)). The delta arm is flat in n; the full arm grows
+//!   linearly.
+//! * `delta_append` — engine-level: the `add_document` +
+//!   `remove_document` round trip on the slack-stable path, now routed
+//!   through the delta merge. Directly comparable to
+//!   `grid_append/stable` in `BENCH_regrid.json` (the pre-delta
+//!   baseline was a flat ~0.6 ms; the delta path is microseconds).
+//! * `scoped_refresh` — engine-level: `refresh_grid` (which takes the
+//!   predicate-scoped splice path whenever the equi-depth boundaries
+//!   allow) versus `refresh_grid_full` (every predicate table rebuilt)
+//!   on the same collection. Both end bit-identical; the probe after
+//!   each size asserts it and the logs show how many tables were
+//!   spliced versus rebuilt.
+//!
+//! Run with `XMLEST_BENCH_JSON=BENCH_delta.json cargo bench --bench
+//! delta_maintenance` to capture the numbers (CI does).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xmlest_core::shard::{merge_delta, merge_shards_stateful};
+use xmlest_core::{GridPolicy, Summaries, SummaryConfig};
+use xmlest_datagen::dblp::{generate as gen_dblp, DblpOptions};
+use xmlest_engine::Database;
+use xmlest_xml::serialize::{to_xml_string, WriteOptions};
+
+fn doc_xml(seed: u64, records: usize) -> String {
+    let tree = gen_dblp(&DblpOptions { seed, records });
+    to_xml_string(&tree, WriteOptions::default())
+}
+
+fn collection(n: usize, records: usize) -> Vec<(String, String)> {
+    (0..n)
+        .map(|i| (format!("doc{i}.xml"), doc_xml(500 + i as u64, records)))
+        .collect()
+}
+
+/// Slack wide enough that the benched append always fits; the huge
+/// threshold (with auto off) keeps the measurement to the append path.
+fn slack() -> GridPolicy {
+    GridPolicy::Slack {
+        slack_percent: 100,
+        drift_threshold: 1.0,
+        auto_refresh: false,
+    }
+}
+
+fn load(docs: &[(String, String)], policy: GridPolicy) -> Database {
+    Database::load_documents(
+        docs.iter().map(|(n, x)| (n.as_str(), x.as_str())),
+        &SummaryConfig::paper_defaults()
+            .with_equi_depth(true)
+            .with_policy(policy),
+    )
+    .expect("collection builds")
+}
+
+fn bench_delta_merge(c: &mut Criterion) {
+    const RECORDS: usize = 60;
+    let mut group = c.benchmark_group("delta_merge");
+    for n in [4usize, 8, 16, 32] {
+        // n existing shards plus the one being appended, all built on
+        // one shared grid by the collection load.
+        let docs = collection(n + 1, RECORDS);
+        let db = load(&docs, slack());
+        let names = db.document_names();
+        let shards: Vec<&Summaries> = names
+            .iter()
+            .map(|name| db.shard_summaries(name).expect("shard present"))
+            .collect();
+        let grid = db.summaries().grid();
+        let (prev, state) = merge_shards_stateful(&shards[..n], grid, db.catalog(), db.config())
+            .expect("prefix merge");
+
+        group.bench_with_input(BenchmarkId::new("delta", n), &n, |b, _| {
+            b.iter(|| {
+                merge_delta(
+                    black_box(&prev),
+                    &state,
+                    shards[n],
+                    grid,
+                    db.catalog(),
+                    db.config(),
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("full", n), &n, |b, _| {
+            b.iter(|| {
+                merge_shards_stateful(black_box(&shards), grid, db.catalog(), db.config()).unwrap()
+            })
+        });
+
+        // Correctness probe for the logs: the delta result is
+        // bit-identical to the full fold, carried state included.
+        let (delta, delta_state) =
+            merge_delta(&prev, &state, shards[n], grid, db.catalog(), db.config()).unwrap();
+        let (full, full_state) =
+            merge_shards_stateful(&shards, grid, db.catalog(), db.config()).unwrap();
+        delta.bit_identical(&full).expect("delta ≡ full merge");
+        assert_eq!(delta_state, full_state, "carried merge state matches");
+        eprintln!("delta_merge/{n}: delta result bit-identical to full fold");
+    }
+    group.finish();
+}
+
+fn bench_delta_append(c: &mut Criterion) {
+    const RECORDS: usize = 60;
+    let extra = doc_xml(999, RECORDS);
+    let mut group = c.benchmark_group("delta_append");
+    for n in [4usize, 8, 16, 32] {
+        let docs = collection(n, RECORDS);
+        let mut db = load(&docs, slack());
+        group.bench_with_input(BenchmarkId::new("stable", n), &n, |b, _| {
+            b.iter(|| {
+                db.add_document("extra.xml", black_box(&extra)).unwrap();
+                db.remove_document("extra.xml").unwrap();
+            })
+        });
+        let s = db.maintenance_stats();
+        assert_eq!(s.grid_moves, 0, "stable loop must never move the grid");
+        eprintln!(
+            "delta_append/{n}: stable_appends {} stable_removes {} drift {:.4}",
+            s.stable_appends, s.stable_removes, s.drift,
+        );
+    }
+    group.finish();
+}
+
+fn bench_scoped_refresh(c: &mut Criterion) {
+    const RECORDS: usize = 60;
+    let mut group = c.benchmark_group("scoped_refresh");
+    for n in [4usize, 8, 16] {
+        let docs = collection(n, RECORDS);
+        // Same build + one stable append on both sides, so the refresh
+        // starts from carried merge state with real drift on the books.
+        let extra = doc_xml(1234, RECORDS / 2);
+        let mut scoped = load(&docs, slack());
+        scoped.add_document("extra.xml", &extra).expect("append");
+        let mut full = load(&docs, slack());
+        full.add_document("extra.xml", &extra).expect("append");
+
+        group.bench_with_input(BenchmarkId::new("scoped", n), &n, |b, _| {
+            b.iter(|| scoped.refresh_grid().unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("full", n), &n, |b, _| {
+            b.iter(|| full.refresh_grid_full().unwrap())
+        });
+
+        let s = scoped.maintenance_stats();
+        assert!(
+            s.scoped_refreshes > 0,
+            "refresh_grid must take the scoped path on a stable collection"
+        );
+        scoped
+            .summaries()
+            .bit_identical(full.summaries())
+            .expect("scoped refresh ≡ full refresh");
+        eprintln!(
+            "scoped_refresh/{n}: scoped_refreshes {}/{} spliced {} rebuilt {} | \
+             bit-identical to full refresh",
+            s.scoped_refreshes, s.refreshes, s.spliced_entries, s.rebuilt_entries,
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_delta_merge,
+    bench_delta_append,
+    bench_scoped_refresh
+);
+criterion_main!(benches);

@@ -53,15 +53,13 @@ fn bench_ph_join(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("btreemap_baseline", g), &g, |b, _| {
             b.iter(|| BTreeHistogram::ph_join_total(black_box(&anc_btree), black_box(&desc_btree)))
         });
-        if g <= 40 {
-            group.bench_with_input(BenchmarkId::new("reference", g), &g, |b, _| {
-                b.iter(|| {
-                    ph_join_reference(black_box(&anc), black_box(&desc), Basis::AncestorBased)
-                        .unwrap()
-                        .total()
-                })
-            });
-        }
+        group.bench_with_input(BenchmarkId::new("reference", g), &g, |b, _| {
+            b.iter(|| {
+                ph_join_reference(black_box(&anc), black_box(&desc), Basis::AncestorBased)
+                    .unwrap()
+                    .total()
+            })
+        });
         let coeffs = JoinCoefficients::precompute(&desc, Basis::AncestorBased);
         group.bench_with_input(BenchmarkId::new("precomputed_apply", g), &g, |b, _| {
             b.iter(|| coeffs.apply_total(black_box(&anc)).unwrap())

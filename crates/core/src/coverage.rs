@@ -99,6 +99,52 @@ fn partial_indexes(partial: &[((Cell, Cell), f64)], g: u16) -> (Vec<u32>, Vec<u3
     (covered_rows, covering_order)
 }
 
+/// Precomputed denominator state shared by every coverage build over
+/// the same node population: each node's grid cell in document order,
+/// plus the sorted per-cell totals. Building it is one `O(n log n)`
+/// pass; each predicate's [`CoverageHistogram::build_in`] then touches
+/// only the nodes its own intervals actually cover instead of
+/// re-bucketing the whole document — the all-entries shard build used
+/// to pay `O(entries × nodes)` here.
+pub struct CoverageContext {
+    /// Node interval starts in document order (non-decreasing — a
+    /// parent can share its start with its first child under the
+    /// min-descendant labeling).
+    starts: Vec<u32>,
+    /// Node interval ends, parallel to `starts`.
+    ends: Vec<u32>,
+    /// Grid cell of each node, parallel to `starts`.
+    cells: Vec<Cell>,
+    /// Per-cell node totals, sorted by cell.
+    totals: Vec<(Cell, u64)>,
+    /// The grid the cells were bucketed on (consistency checks only).
+    g: u16,
+}
+
+impl CoverageContext {
+    /// Buckets `all_nodes` (every node of the tree, document order) on
+    /// `grid` once, for any number of per-predicate coverage builds.
+    pub fn new(grid: &Grid, all_nodes: &[Interval]) -> Self {
+        debug_assert!(
+            all_nodes.windows(2).all(|w| w[0].start <= w[1].start),
+            "node intervals must be in document order"
+        );
+        let starts: Vec<u32> = all_nodes.iter().map(|iv| iv.start).collect();
+        let ends: Vec<u32> = all_nodes.iter().map(|iv| iv.end).collect();
+        let cells: Vec<Cell> = all_nodes.iter().map(|&iv| grid.cell_of(iv)).collect();
+        let mut sorted = cells.clone();
+        sorted.sort_unstable();
+        let totals = run_lengths(&sorted);
+        CoverageContext {
+            starts,
+            ends,
+            cells,
+            totals,
+            g: grid.g(),
+        }
+    }
+}
+
 impl CoverageHistogram {
     /// Builds the coverage histogram from data.
     ///
@@ -106,7 +152,20 @@ impl CoverageHistogram {
     ///   predicate), the denominator population;
     /// * `p_intervals` — intervals of the `P`-nodes, sorted by start and
     ///   pairwise disjoint (the caller guarantees no-overlap).
+    ///
+    /// One-shot convenience over [`CoverageHistogram::build_in`]; bulk
+    /// builders (the shard and refresh paths) hoist the
+    /// [`CoverageContext`] and amortize the node pass across predicates.
     pub fn build(grid: Grid, all_nodes: &[Interval], p_intervals: &[Interval]) -> Self {
+        let ctx = CoverageContext::new(&grid, all_nodes);
+        Self::build_in(grid, &ctx, p_intervals)
+    }
+
+    /// [`CoverageHistogram::build`] against a prebuilt denominator
+    /// context (same grid). Cost is `O(p log n + covered)` — the nodes
+    /// under the predicate's intervals, not the whole document.
+    pub fn build_in(grid: Grid, ctx: &CoverageContext, p_intervals: &[Interval]) -> Self {
+        debug_assert_eq!(ctx.g, grid.g(), "context bucketed on another grid");
         debug_assert!(
             p_intervals.windows(2).all(|w| w[0].end < w[1].start),
             "predicate intervals must be disjoint and sorted (no-overlap)"
@@ -116,29 +175,29 @@ impl CoverageHistogram {
         covering_cells.sort_unstable();
         covering_cells.dedup();
 
-        // Bucket every node once, recording its cell and (when present)
-        // the cell of its unique P-ancestor; totals and per-pair counts
-        // then fall out of two sort + run-length passes — no per-node
-        // map operations.
-        let mut dcells: Vec<Cell> = Vec::with_capacity(all_nodes.len());
+        // A node's unique P-ancestor is the last P-interval starting
+        // strictly before it that still encloses it; inverted, each
+        // P-interval's descendants are a contiguous run of the
+        // document-ordered starts. Walking only those runs yields the
+        // same (node cell, ancestor cell) pair multiset the old
+        // whole-document scan produced — disjointness makes the runs
+        // non-overlapping and in document order.
         let mut pairs: Vec<(Cell, Cell)> = Vec::new();
-        for node in all_nodes {
-            let dcell = grid.cell_of(*node);
-            dcells.push(dcell);
-            // The unique P-ancestor, if any: the last P-interval starting
-            // strictly before this node that still encloses it.
-            let idx = p_intervals.partition_point(|p| p.start < node.start);
-            if idx > 0 {
-                let p = p_intervals[idx - 1];
-                if p.is_ancestor_of(*node) {
-                    pairs.push((dcell, grid.cell_of(p)));
+        for p in p_intervals {
+            let pcell = grid.cell_of(*p);
+            let lo = ctx.starts.partition_point(|&s| s <= p.start);
+            let hi = ctx.starts.partition_point(|&s| s <= p.end);
+            for i in lo..hi {
+                // The end check mirrors `is_ancestor_of` exactly; for
+                // properly nested tree labels it never fails.
+                if p.end >= ctx.ends[i] {
+                    pairs.push((ctx.cells[i], pcell));
                 }
             }
         }
-        dcells.sort_unstable();
         pairs.sort_unstable();
 
-        let totals = run_lengths(&dcells);
+        let totals = &ctx.totals;
         let covered = run_lengths(&pairs);
 
         // Store only the border pairs; interior pairs must come out as
@@ -176,6 +235,17 @@ impl CoverageHistogram {
     /// The grid shared with the position histograms.
     pub fn grid(&self) -> &Grid {
         &self.grid
+    }
+
+    /// The same coverage contents re-stamped onto `grid` (same bucket
+    /// count). Only valid under the scoped-refresh splice contract: all
+    /// referenced cells' populations are identical under both grids (see
+    /// [`crate::refresh`]).
+    pub(crate) fn with_grid(&self, grid: Grid) -> CoverageHistogram {
+        debug_assert_eq!(grid.g(), self.grid.g(), "rebind must preserve g");
+        let mut out = self.clone();
+        out.grid = grid;
+        out
     }
 
     /// Coverage fraction of cell `covered` by predicate nodes in cell

@@ -17,7 +17,7 @@
 //! twig estimates over the same summaries skip the three-pass kernel.
 
 use crate::compound::{estimate_expr_histogram, HistResolver};
-use crate::coverage::CoverageHistogram;
+use crate::coverage::{CoverageContext, CoverageHistogram};
 use crate::error::{Error, Result};
 use crate::grid::Grid;
 use crate::naive;
@@ -208,13 +208,14 @@ impl Summaries {
         }
         let grid = Self::make_grid(tree, &matches, config)?;
         let true_hist = PositionHistogram::from_intervals(grid.clone(), &all_intervals);
+        let cvg_ctx = CoverageContext::new(&grid, &all_intervals);
 
         // Fan the independent per-predicate builds out across cores.
         let jobs: Vec<(usize, &(String, BasePredicate))> = entries.iter().enumerate().collect();
         let preds: BTreeMap<String, PredicateSummary> = jobs
             .par_iter()
             .map(|&(k, (name, pred))| {
-                let s = build_one(tree, &grid, &all_intervals, name, pred, &matches[k], config);
+                let s = build_one(tree, &grid, &cvg_ctx, name, pred, &matches[k], config);
                 (name.clone(), s)
             })
             .collect();
@@ -345,6 +346,59 @@ impl Summaries {
         self.build_id
     }
 
+    /// Structural bit-identity with `other`, ignoring the
+    /// process-unique build id and any attached DTD analysis: same grid,
+    /// node total, TRUE histogram, and per-predicate tables with
+    /// bitwise-equal floats. Returns the first difference found.
+    ///
+    /// This is the equivalence oracle for the incremental maintenance
+    /// paths: `tests` pin [`crate::shard::merge_delta`] and the engine's
+    /// scoped refresh to their full-rebuild counterparts with it.
+    pub fn bit_identical(&self, other: &Summaries) -> std::result::Result<(), String> {
+        if self.grid != other.grid {
+            return Err("grids differ".into());
+        }
+        if self.tree_nodes != other.tree_nodes {
+            return Err(format!(
+                "node totals differ: {} vs {}",
+                self.tree_nodes, other.tree_nodes
+            ));
+        }
+        if self.true_hist != other.true_hist {
+            return Err("TRUE histograms differ".into());
+        }
+        let mine: Vec<&String> = self.preds.keys().collect();
+        let theirs: Vec<&String> = other.preds.keys().collect();
+        if mine != theirs {
+            return Err(format!("entry sets differ: {mine:?} vs {theirs:?}"));
+        }
+        for (name, a) in &self.preds {
+            let b = &other.preds[name];
+            if a.hist != b.hist {
+                return Err(format!("{name}: histograms differ"));
+            }
+            if a.cvg != b.cvg {
+                return Err(format!("{name}: coverage differs"));
+            }
+            if a.levels != b.levels {
+                return Err(format!("{name}: level histograms differ"));
+            }
+            if a.no_overlap != b.no_overlap {
+                return Err(format!("{name}: no-overlap flags differ"));
+            }
+            if a.count != b.count {
+                return Err(format!("{name}: counts differ: {} vs {}", a.count, b.count));
+            }
+            if a.avg_width.to_bits() != b.avg_width.to_bits() {
+                return Err(format!(
+                    "{name}: avg widths differ: {} vs {}",
+                    a.avg_width, b.avg_width
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Total summary footprint in bytes (all predicates + TRUE histogram).
     pub fn storage_bytes(&self) -> usize {
         self.true_hist.storage_bytes()
@@ -443,7 +497,7 @@ impl Summaries {
 fn build_one(
     tree: &XmlTree,
     grid: &Grid,
-    all_intervals: &[xmlest_xml::Interval],
+    cvg_ctx: &CoverageContext,
     name: &str,
     pred: &BasePredicate,
     nodes: &[NodeId],
@@ -453,18 +507,20 @@ fn build_one(
     let levels = config
         .build_levels
         .then(|| LevelHistogram::from_nodes(tree, nodes));
-    build_one_from_intervals(grid, all_intervals, name, pred, &intervals, levels, config)
+    build_one_from_intervals(grid, cvg_ctx, name, pred, &intervals, levels, config)
 }
 
 /// The tree-free core of [`build_one`]: everything after classification
 /// is a function of interval lists alone, which is what lets the shard
 /// layer ([`crate::shard`]) rebuild per-document summaries on a new
-/// shared grid without touching any tree. `intervals` must be in
+/// shared grid without touching any tree. `cvg_ctx` is the whole-tree
+/// node population bucketed on `grid` (hoisted by the caller so its
+/// cost amortizes across every predicate); `intervals` must be in
 /// document order; `levels`, when provided, must already use the target
 /// tree's depth numbering.
 pub(crate) fn build_one_from_intervals(
     grid: &Grid,
-    all_intervals: &[xmlest_xml::Interval],
+    cvg_ctx: &CoverageContext,
     name: &str,
     pred: &BasePredicate,
     intervals: &[xmlest_xml::Interval],
@@ -483,7 +539,7 @@ pub(crate) fn build_one_from_intervals(
     };
 
     let cvg = (config.build_coverage && no_overlap && !intervals.is_empty())
-        .then(|| CoverageHistogram::build(grid.clone(), all_intervals, intervals));
+        .then(|| CoverageHistogram::build_in(grid.clone(), cvg_ctx, intervals));
     let avg_width = if intervals.is_empty() {
         0.0
     } else {

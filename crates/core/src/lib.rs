@@ -48,6 +48,9 @@ pub mod parent_child;
 pub mod ph_join;
 /// Sparse CSR position histograms over grid cells.
 pub mod position_histogram;
+/// Predicate-scoped equi-depth refresh: stability cutoff and
+/// splice-vs-rebuild decisions.
+pub mod refresh;
 /// Grid maintenance policies: slack capacity and equi-depth refresh.
 pub mod regrid;
 /// Per-document summary shards and shard merging.
@@ -60,7 +63,7 @@ pub mod summary;
 pub mod twig;
 
 pub use catalog::{CatalogFile, CatalogShard, OpenReport, QuarantinedShard};
-pub use coverage::CoverageHistogram;
+pub use coverage::{CoverageContext, CoverageHistogram};
 pub use error::{Error, Result};
 pub use estimator::{CoeffCache, Estimate, EstimateMethod, Estimator, Summaries, SummaryConfig};
 pub use grid::{Cell, Grid};

@@ -22,15 +22,36 @@
 //! the inner operand once, after which each join costs only the O(g)
 //! non-zero cells of the outer operand.
 //!
-//! ## Allocation discipline
+//! ## Allocation discipline and working set
 //!
-//! The three-pass kernel needs five dense `g × g` scratch arrays. All of
-//! them live in a [`JoinWorkspace`], which the estimator threads through
-//! every join of a twig evaluation: after the buffers have grown to the
-//! working grid size once, repeated joins perform **zero heap
-//! allocations** (verified by an allocation-counting integration test).
-//! The free functions [`ph_join`]/[`ph_join_total`] remain as
-//! convenience wrappers that stand up a workspace per call.
+//! The kernel streams over the operands' CSR rows with an **O(g)
+//! working set**: one length-`g` column-sum array, one length-`g`
+//! diagonal cache, and an output staging buffer sized by the result's
+//! non-zero cells. (The original implementation materialized five dense
+//! `g × g` planes per call — ~655 KB at `g = 128` — whose allocation
+//! and zeroing dominated the free-function path and blew the L1/L2
+//! cache on every join.) The partial sums of Fig. 9 are equivalent to
+//! per-row running accumulators over the column sums, so they never
+//! need materializing:
+//!
+//! * **Ancestor-based** sweeps outer rows `i` descending, maintaining
+//!   `colsum[n] = Σ_{m>i} b[m][n]` by scattering each inner CSR row as
+//!   the sweep passes it. For a row's outer cells (ascending `j`),
+//!   `interior(i,j) = Σ_{n<j} colsum[n]` and `down(i,j)` are running
+//!   prefixes; `right(i,j) = colsum[j]` is a single read.
+//! * **Descendant-based** sweeps ascending with `colsum[n] = Σ_{m<i}
+//!   b[m][n]` and walks each row's cells descending `j`, so the suffix
+//!   sums `f` and `gsum` are running accumulators too.
+//!
+//! Results are staged per row and emitted in ascending row-major order
+//! (the sweep visits rows out of output order in exactly one of the two
+//! bases). All buffers live in a [`JoinWorkspace`], which the estimator
+//! threads through every join of a twig evaluation: after they have
+//! grown to the working grid size once, repeated joins perform **zero
+//! heap allocations** (verified by an allocation-counting integration
+//! test). The free functions [`ph_join`]/[`ph_join_total`] remain as
+//! convenience wrappers that stand up a workspace per call — now ~O(g)
+//! bytes instead of five dense planes.
 
 use crate::error::{Error, Result};
 use crate::grid::Cell;
@@ -46,19 +67,36 @@ pub enum Basis {
 }
 
 /// Reusable scratch buffers for the pH-join kernels. One workspace
-/// serves any grid size: buffers grow to the largest `g²` seen and are
-/// then reused allocation-free.
+/// serves any grid size: buffers grow to the largest size seen and are
+/// then reused allocation-free. Working set is O(g) plus the staged
+/// output cells.
 #[derive(Debug, Default)]
 pub struct JoinWorkspace {
-    /// Dense scatter of the inner operand.
-    dense: Vec<f64>,
-    /// Pass-1 partial sums.
-    p1: Vec<f64>,
-    /// Pass-2 partial sums (two arrays for the ancestor-based variant).
-    p2: Vec<f64>,
-    p3: Vec<f64>,
-    /// Assembled per-cell coefficients.
-    coeff: Vec<f64>,
+    /// Column sums of the inner operand over the rows the sweep has
+    /// passed: `Σ_{m>i} b[m][n]` (ancestor-based, descending sweep) or
+    /// `Σ_{m<i} b[m][n]` (descendant-based, ascending sweep).
+    colsum: Vec<f64>,
+    /// Inner diagonal cells `b[i][i]` (the half-weighted border terms).
+    diag: Vec<f64>,
+    /// The outer cells of the row being processed (copied so the same
+    /// monomorphic sweep serves both sparse joins and dense
+    /// precomputation).
+    row_buf: Vec<(u16, f64)>,
+    /// Staged `(cell, value)` output pairs, in sweep order.
+    staged: Vec<(Cell, f64)>,
+    /// Per swept row, the staged range it produced.
+    spans: Vec<(u32, u32)>,
+}
+
+/// Where the sweep's outer cells come from: a real outer operand (joins
+/// evaluate coefficients lazily at its non-zero cells only) or every
+/// upper-triangular cell with weight 1.0 (coefficient precomputation —
+/// identical accumulator sequences, so the materialized table is
+/// bit-identical to lazy evaluation).
+#[derive(Clone, Copy)]
+enum OuterCells<'a> {
+    Flat(&'a crate::position_histogram::FlatHistogram),
+    DenseOnes,
 }
 
 impl JoinWorkspace {
@@ -67,122 +105,154 @@ impl JoinWorkspace {
         JoinWorkspace::default()
     }
 
-    /// Scatters `inner` densely and fills the two partial-sum arrays the
-    /// coefficient formula reads (passes 1–2 of Fig. 9). Every loop is
-    /// row-sequential — pass 2's recurrence couples row `i` to row
-    /// `i ± 1`, so it is written as whole-row updates the compiler can
-    /// vectorize instead of strided column walks. Returns `g`.
-    fn compute_partials(&mut self, inner: &PositionHistogram, basis: Basis) -> usize {
+    /// One full sweep: stages `v · coeff(i, j)` for every requested
+    /// outer cell with a non-zero coefficient, recording per-row spans.
+    /// The coefficient algebra matches Fig. 9's three-pass formulas
+    /// term by term (see the module docs); only the *grouping* of the
+    /// interior sum differs, which cross-validation tests cover with
+    /// tolerances.
+    fn sweep(&mut self, inner: &PositionHistogram, basis: Basis, outer: OuterCells<'_>) {
         let g = inner.grid().g() as usize;
-        inner.write_dense(&mut self.dense);
-        for buf in [&mut self.p1, &mut self.p2, &mut self.p3] {
-            buf.clear();
-            buf.resize(g * g, 0.0);
-        }
-        let b = &self.dense;
-        match basis {
-            Basis::AncestorBased => {
-                // Pass 1: down[i][j] = Σ b[i][i..j] (row prefix sums).
-                for i in 0..g {
-                    let row_b = &b[i * g..(i + 1) * g];
-                    let row_d = &mut self.p1[i * g..(i + 1) * g];
-                    let mut acc = 0.0;
-                    for j in i + 1..g {
-                        acc += row_b[j - 1];
-                        row_d[j] = acc;
-                    }
-                }
-                // Pass 2 (bottom-up rows): right[i][j] = right[i+1][j] +
-                // b[i+1][j]; interior[i][j] = interior[i+1][j] +
-                // down[i+1][j] — each row is an elementwise add of the
-                // row below.
-                for i in (0..g.saturating_sub(1)).rev() {
-                    let (above_r, below_r) = self.p2.split_at_mut((i + 1) * g);
-                    let row_r = &mut above_r[i * g..];
-                    let prev_r = &below_r[..g];
-                    let row_b = &b[(i + 1) * g..(i + 2) * g];
-                    let (above_n, below_n) = self.p3.split_at_mut((i + 1) * g);
-                    let row_n = &mut above_n[i * g..];
-                    let prev_n = &below_n[..g];
-                    let prev_d = &self.p1[(i + 1) * g..(i + 2) * g];
-                    for j in i + 1..g {
-                        row_r[j] = prev_r[j] + row_b[j];
-                        row_n[j] = prev_n[j] + prev_d[j];
-                    }
-                }
-            }
-            Basis::DescendantBased => {
-                // Pass 1: f[i][j] = Σ b[i][(j+1)..g] (row suffix sums).
-                for i in 0..g {
-                    let row_b = &b[i * g..(i + 1) * g];
-                    let row_f = &mut self.p1[i * g..(i + 1) * g];
-                    let mut acc = 0.0;
-                    for j in (i..g.saturating_sub(1)).rev() {
-                        acc += row_b[j + 1];
-                        row_f[j] = acc;
-                    }
-                }
-                // Pass 2 (top-down rows): h[i][j] = h[i-1][j] + b[i-1][j];
-                // gsum[i][j] = gsum[i-1][j] + f[i-1][j].
-                for i in 1..g {
-                    let (above_h, below_h) = self.p2.split_at_mut(i * g);
-                    let prev_h = &above_h[(i - 1) * g..];
-                    let row_h = &mut below_h[..g];
-                    let row_b = &b[(i - 1) * g..i * g];
-                    let (above_s, below_s) = self.p3.split_at_mut(i * g);
-                    let prev_s = &above_s[(i - 1) * g..];
-                    let row_s = &mut below_s[..g];
-                    let prev_f = &self.p1[(i - 1) * g..i * g];
-                    for j in i..g {
-                        row_h[j] = prev_h[j] + row_b[j];
-                        row_s[j] = prev_s[j] + prev_f[j];
-                    }
-                }
-            }
-        }
-        g
-    }
-
-    /// Coefficient for one cell, read off the partial-sum arrays
-    /// (pass 3 of Fig. 9, evaluated lazily — join calls only ever need
-    /// the O(g) cells the outer operand populates).
-    #[inline]
-    fn coeff_at(&self, g: usize, basis: Basis, i: usize, j: usize) -> f64 {
-        let b = &self.dense;
-        match basis {
-            Basis::AncestorBased => {
-                if i == j {
-                    b[i * g + i] / 12.0
-                } else {
-                    self.p3[i * g + j] + b[i * g + j] / 4.0 + self.p1[i * g + j]
-                        - b[i * g + i] / 2.0
-                        + self.p2[i * g + j]
-                        - b[j * g + j] / 2.0
-                }
-            }
-            Basis::DescendantBased => {
-                let self_factor = if i == j { 1.0 / 12.0 } else { 0.25 };
-                self.p1[i * g + j]
-                    + self.p2[i * g + j]
-                    + self.p3[i * g + j]
-                    + self_factor * b[i * g + j]
-            }
-        }
-    }
-
-    /// Materializes the full coefficient table into `self.coeff`
-    /// (needed only when the table outlives the workspace, e.g. for
-    /// [`JoinCoefficients`]).
-    fn compute_coefficients(&mut self, inner: &PositionHistogram, basis: Basis) -> usize {
-        let g = self.compute_partials(inner, basis);
-        self.coeff.clear();
-        self.coeff.resize(g * g, 0.0);
+        let flat = inner.flat();
+        self.colsum.clear();
+        self.colsum.resize(g, 0.0);
+        self.diag.clear();
+        self.diag.resize(g, 0.0);
         for i in 0..g {
-            for j in i..g {
-                self.coeff[i * g + j] = self.coeff_at(g, basis, i, j);
+            if let Some(&((_, c), v)) = flat.row(i as u16).first() {
+                if c as usize == i {
+                    self.diag[i] = v;
+                }
             }
         }
-        g
+        self.staged.clear();
+        self.spans.clear();
+
+        match basis {
+            // Descending sweep: colsum accumulates the rows *below* i.
+            Basis::AncestorBased => {
+                for i in (0..g).rev() {
+                    self.fill_row_buf(outer, i, g);
+                    let row_inner = flat.row(i as u16);
+                    let start = self.staged.len() as u32;
+                    // Running prefixes, advanced monotonically as j
+                    // ascends: `n_acc = Σ_{n<j} colsum[n]` (interior) and
+                    // `r_acc = Σ_{n<j} b[i][n]` (same-start region).
+                    let mut n_acc = 0.0;
+                    let mut n_ptr = 0usize;
+                    let mut r_acc = 0.0;
+                    let mut cur = 0usize;
+                    for k in 0..self.row_buf.len() {
+                        let (j, v) = self.row_buf[k];
+                        let ju = j as usize;
+                        while n_ptr < ju {
+                            n_acc += self.colsum[n_ptr];
+                            n_ptr += 1;
+                        }
+                        while cur < row_inner.len() && (row_inner[cur].0 .1 as usize) < ju {
+                            r_acc += row_inner[cur].1;
+                            cur += 1;
+                        }
+                        let bij = if cur < row_inner.len() && row_inner[cur].0 .1 as usize == ju {
+                            row_inner[cur].1
+                        } else {
+                            0.0
+                        };
+                        let c = if i == ju {
+                            self.diag[i] / 12.0
+                        } else {
+                            n_acc + bij / 4.0 + r_acc - self.diag[i] / 2.0 + self.colsum[ju]
+                                - self.diag[ju] / 2.0
+                        };
+                        if c != 0.0 {
+                            self.staged.push(((i as u16, j), v * c));
+                        }
+                    }
+                    self.spans.push((start, self.staged.len() as u32));
+                    for &((_, n), v) in row_inner {
+                        self.colsum[n as usize] += v;
+                    }
+                }
+            }
+            // Ascending sweep: colsum accumulates the rows *above* i;
+            // each row's cells walk descending j so the suffix sums are
+            // running accumulators.
+            Basis::DescendantBased => {
+                for i in 0..g {
+                    self.fill_row_buf(outer, i, g);
+                    let row_inner = flat.row(i as u16);
+                    let start = self.staged.len() as u32;
+                    // `s_acc = Σ_{n>j} colsum[n]` (region G) and
+                    // `f_acc = Σ_{n>j} b[i][n]` (region F), advanced as
+                    // j descends.
+                    let mut s_acc = 0.0;
+                    let mut s_ptr = g;
+                    let mut f_acc = 0.0;
+                    let mut r = row_inner.len();
+                    for k in (0..self.row_buf.len()).rev() {
+                        let (j, v) = self.row_buf[k];
+                        let ju = j as usize;
+                        while s_ptr > ju + 1 {
+                            s_ptr -= 1;
+                            s_acc += self.colsum[s_ptr];
+                        }
+                        while r > 0 && (row_inner[r - 1].0 .1 as usize) > ju {
+                            r -= 1;
+                            f_acc += row_inner[r].1;
+                        }
+                        let bij = if r > 0 && row_inner[r - 1].0 .1 as usize == ju {
+                            row_inner[r - 1].1
+                        } else {
+                            0.0
+                        };
+                        let self_factor = if i == ju { 1.0 / 12.0 } else { 0.25 };
+                        let c = f_acc + self.colsum[ju] + s_acc + self_factor * bij;
+                        if c != 0.0 {
+                            self.staged.push(((i as u16, j), v * c));
+                        }
+                    }
+                    self.spans.push((start, self.staged.len() as u32));
+                    for &((_, n), v) in row_inner {
+                        self.colsum[n as usize] += v;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Copies row `i`'s outer cells into `row_buf` in ascending column
+    /// order (reused capacity; no steady-state allocation).
+    fn fill_row_buf(&mut self, outer: OuterCells<'_>, i: usize, g: usize) {
+        self.row_buf.clear();
+        match outer {
+            OuterCells::Flat(flat) => self
+                .row_buf
+                .extend(flat.row(i as u16).iter().map(|&((_, j), v)| (j, v))),
+            OuterCells::DenseOnes => self.row_buf.extend((i..g).map(|j| (j as u16, 1.0))),
+        }
+    }
+
+    /// Replays the staged cells in ascending row-major order. The
+    /// ancestor sweep visits rows descending (spans reversed, cells
+    /// forward); the descendant sweep visits cells within a row
+    /// descending (spans forward, cells reversed).
+    fn emit(&self, basis: Basis, mut sink: impl FnMut(Cell, f64)) {
+        match basis {
+            Basis::AncestorBased => {
+                for &(start, end) in self.spans.iter().rev() {
+                    for &(cell, v) in &self.staged[start as usize..end as usize] {
+                        sink(cell, v);
+                    }
+                }
+            }
+            Basis::DescendantBased => {
+                for &(start, end) in &self.spans {
+                    for &(cell, v) in self.staged[start as usize..end as usize].iter().rev() {
+                        sink(cell, v);
+                    }
+                }
+            }
+        }
     }
 
     /// Runs the pH-join into a reused output histogram. `out` is cleared
@@ -202,19 +272,15 @@ impl JoinWorkspace {
             Basis::AncestorBased => (desc, anc),
             Basis::DescendantBased => (anc, desc),
         };
-        let g = self.compute_partials(inner, basis);
+        self.sweep(inner, basis, OuterCells::Flat(outer.flat()));
         out.clear_to(outer.grid());
-        for &((i, j), v) in outer.flat().entries() {
-            let c = self.coeff_at(g, basis, i as usize, j as usize);
-            if c != 0.0 {
-                out.push_sorted((i, j), v * c);
-            }
-        }
+        self.emit(basis, |cell, v| out.push_sorted(cell, v));
         Ok(())
     }
 
     /// Total estimated join size without materializing the per-cell
-    /// output at all.
+    /// output at all. Sums in emission order, so the total is
+    /// bit-identical to the materialized histogram's running total.
     pub fn ph_join_total(
         &mut self,
         anc: &PositionHistogram,
@@ -228,13 +294,10 @@ impl JoinWorkspace {
             Basis::AncestorBased => (desc, anc),
             Basis::DescendantBased => (anc, desc),
         };
-        let g = self.compute_partials(inner, basis);
-        Ok(outer
-            .flat()
-            .entries()
-            .iter()
-            .map(|&((i, j), v)| v * self.coeff_at(g, basis, i as usize, j as usize))
-            .sum())
+        self.sweep(inner, basis, OuterCells::Flat(outer.flat()));
+        let mut total = 0.0;
+        self.emit(basis, |_, v| total += v);
+        Ok(total)
     }
 }
 
@@ -293,18 +356,15 @@ impl JoinCoefficients {
     }
 
     /// Like [`Self::precompute`], borrowing scratch space from a
-    /// workspace; only the owned coefficient table is allocated.
+    /// workspace; only the owned coefficient table is allocated. Runs
+    /// the same streaming sweep as the lazy join path with every
+    /// upper-triangular cell requested at weight 1.0, so the stored
+    /// coefficients are bit-identical to lazy evaluation.
     pub fn precompute_in(ws: &mut JoinWorkspace, inner: &PositionHistogram, basis: Basis) -> Self {
-        let g = ws.compute_coefficients(inner, basis);
-        let mut coeff = crate::position_histogram::FlatHistogram::new(g as u16);
-        for i in 0..g {
-            for j in i..g {
-                let c = ws.coeff[i * g + j];
-                if c != 0.0 {
-                    coeff.push((i as u16, j as u16), c);
-                }
-            }
-        }
+        let g = inner.grid().g();
+        ws.sweep(inner, basis, OuterCells::DenseOnes);
+        let mut coeff = crate::position_histogram::FlatHistogram::new(g);
+        ws.emit(basis, |cell, c| coeff.push(cell, c));
         JoinCoefficients {
             grid: inner.grid().clone(),
             basis,
@@ -395,6 +455,23 @@ impl JoinCoefficients {
             coeff.push(cell, v);
         }
         JoinCoefficients { grid, basis, coeff }
+    }
+
+    /// The same table re-stamped onto `grid` — the scoped-refresh splice
+    /// for memoized coefficients. Coefficient values depend only on the
+    /// inner histogram's cell contents, never on bucket geometry, so a
+    /// table whose inner histogram is bit-identical under the new grid
+    /// is itself bit-identical; the rebind exists because the struct
+    /// embeds the grid and [`Self::apply`] checks operand grids against
+    /// it. Caller contract: only rebind when the inner histogram was
+    /// spliced (same cells, same values) onto `grid`.
+    pub fn rebound_to(&self, grid: crate::grid::Grid) -> JoinCoefficients {
+        debug_assert_eq!(grid.g(), self.grid.g(), "rebind must preserve g");
+        JoinCoefficients {
+            grid,
+            basis: self.basis,
+            coeff: self.coeff.clone(),
+        }
     }
 
     /// Extra storage the precomputation costs — with CSR entries this is

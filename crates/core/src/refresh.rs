@@ -1,0 +1,517 @@
+//! Predicate-scoped equi-depth refresh: rebuild only what a grid move
+//! can actually change.
+//!
+//! An equi-depth refresh re-derives the grid boundaries and rebuilds
+//! every shard summary and the merged view on the new grid. But a
+//! refresh triggered by *drift* — new documents skewing the tail of the
+//! position space — usually moves only the **upper** boundaries: the
+//! quantile ranks of the stable prefix of the position multiset still
+//! produce the same cuts. Everything bucketed strictly below the first
+//! moved boundary is provably unchanged, and this module splices those
+//! tables from the previous build instead of recomputing them.
+//!
+//! ## The stability argument
+//!
+//! Let `old` and `new` be two grids with the same bucket count `g` and
+//! boundary arrays `b⁰` and `b¹` (length `g + 1`, `b[0] = 0`, strictly
+//! increasing). Let `k` be the first index where they differ (`k ≥ 1`
+//! since both start at 0), and define the **cutoff** `c = b[k − 1]` —
+//! the last boundary of the common prefix.
+//!
+//! * Any position `p < c` has every boundary `≤ p` inside the common
+//!   prefix, so `bucket_of(p)` — the number of boundaries `≤ p`, minus
+//!   one — is identical under both grids, and is at most `k − 2`.
+//! * Therefore any *interval* whose `end < c` (hence `start < c`) maps
+//!   to the same cell `(i, j)` with `i ≤ j ≤ k − 2` under both grids.
+//! * Conversely a position `p ≥ c` buckets to `≥ k − 1` under both
+//!   grids, so it can never populate a cell with both coordinates
+//!   `≤ k − 2`. (The `min(g − 1)` clamp in `bucket_of` only engages at
+//!   or above the final boundary, which lies at or above `c`.)
+//!
+//! So for cells with both coordinates `≤ k − 2`, the populating interval
+//! set — and hence every histogram count, every coverage numerator *and*
+//! its TRUE-histogram denominator — is exactly the same under both
+//! grids. A predicate whose matches in a document all end below the
+//! cutoff therefore has a bit-identical summary on the new grid: we
+//! splice the old one, re-stamping the embedded grid
+//! ([`PositionHistogram::with_grid`]). A predicate that matches the
+//! synthetic mega-root is never spliceable across a real grid change:
+//! the root interval ends at `T − 1`, at or past any moved boundary.
+//!
+//! The same argument covers the merged view: a predicate stable in
+//! *every* document splices its merged table and its carried
+//! [`MergeState`] fold accumulators; everything else re-merges from the
+//! (spliced or rebuilt) shards. All arithmetic either operates on exact
+//! integers or replays the identical floating-point operations in the
+//! identical order, so the spliced result is bit-identical to a cold
+//! rebuild — `Summaries::bit_identical` pins this in the property tests.
+
+use crate::coverage::CoverageContext;
+use crate::error::{Error, Result};
+use crate::estimator::{build_one_from_intervals, Summaries, SummaryConfig};
+use crate::grid::Grid;
+use crate::parent_child::LevelHistogram;
+use crate::position_histogram::PositionHistogram;
+use crate::shard::{matches_mega_root, merge_entry, DocumentSummaryInput, MergeState};
+use std::collections::BTreeMap;
+use xmlest_predicate::Catalog;
+use xmlest_xml::Interval;
+
+/// First position whose bucket assignment may differ between two grids
+/// of equal bucket count: every position strictly below the cutoff falls
+/// in the same bucket under both grids (see the module docs for the
+/// proof). Identical grids return `u32::MAX` (everything is stable).
+pub fn stable_position_cutoff(old: &Grid, new: &Grid) -> u32 {
+    let (a, b) = (old.boundaries(), new.boundaries());
+    debug_assert_eq!(a.len(), b.len(), "cutoff requires equal bucket counts");
+    match a.iter().zip(b).position(|(x, y)| x != y) {
+        // k >= 1 always: both boundary arrays start at 0.
+        Some(k) => a[k - 1],
+        None => u32::MAX,
+    }
+}
+
+/// The output of [`refresh_scoped`]: the rebuilt-or-spliced shard
+/// summaries and merged view, plus the splice accounting the engine
+/// reports through its maintenance counters.
+#[derive(Debug)]
+pub struct ScopedRefresh {
+    /// Per-document shard summaries on the new grid, input order.
+    pub shards: Vec<Summaries>,
+    /// The merged mega-tree view on the new grid.
+    pub merged: Summaries,
+    /// Fold accumulators for the merged view (delta-merge resume point).
+    pub state: MergeState,
+    /// Names of merged-view entries spliced from the previous build —
+    /// their memoized coefficient tables are equally splice-able
+    /// ([`crate::ph_join::JoinCoefficients::rebound_to`]).
+    pub spliced: Vec<String>,
+    /// Merged-view entries re-merged (and shard entries rebuilt).
+    pub rebuilt_entries: usize,
+}
+
+/// Whether every interval of `matches`, shifted by `offset`, ends
+/// strictly below the cutoff — the per-entry stability test.
+fn intervals_stable(matches: &[Interval], offset: u32, cutoff: u32) -> bool {
+    // `end` is the largest position an interval touches; `start <= end`.
+    matches.iter().all(|iv| (iv.end + offset) < cutoff)
+}
+
+/// Rebuilds a collection on `new_grid`, splicing every table the grid
+/// move provably cannot change (see the module docs) and recomputing the
+/// rest. Bit-identical to rebuilding every shard with
+/// `build_shard_summaries` and re-merging with `merge_shards_stateful`.
+///
+/// `inputs[i]` must be the classified input `old_shards[i]` was built
+/// from (same offsets, entries realigned to the current `catalog`), all
+/// old shards on `prev_merged`'s grid, and `prev_state` the fold state
+/// of `prev_merged`. `new_grid` must have the same bucket count as the
+/// old grid; the engine falls back to a full rebuild otherwise.
+#[allow(clippy::too_many_arguments)]
+pub fn refresh_scoped(
+    inputs: &[(&DocumentSummaryInput, u32)],
+    old_shards: &[&Summaries],
+    prev_merged: &Summaries,
+    prev_state: &MergeState,
+    new_grid: &Grid,
+    catalog: &Catalog,
+    config: &SummaryConfig,
+) -> Result<ScopedRefresh> {
+    let old_grid = prev_merged.grid();
+    if inputs.len() != old_shards.len() {
+        return Err(Error::Corrupt(format!(
+            "scoped refresh: {} inputs for {} shards",
+            inputs.len(),
+            old_shards.len()
+        )));
+    }
+    if new_grid.g() != old_grid.g() {
+        return Err(Error::GridMismatch);
+    }
+    if old_shards.iter().any(|s| s.grid() != old_grid) {
+        return Err(Error::GridMismatch);
+    }
+    let cutoff = stable_position_cutoff(old_grid, new_grid);
+    let entry_list = Summaries::entry_list(catalog);
+
+    // --- Shards: splice whole stable documents, rebuild per entry in
+    // straddling ones.
+    let shards: Result<Vec<Summaries>> = inputs
+        .iter()
+        .zip(old_shards)
+        .map(|(&(input, offset), old)| {
+            rebuild_shard_scoped(input, offset, old, new_grid, &entry_list, cutoff, config)
+        })
+        .collect();
+    let shards = shards?;
+
+    // --- Merged view. The TRUE histogram folds exactly as the full
+    // merge does: root first, then shard sums in order.
+    let total_nodes: u64 = 1 + shards.iter().map(Summaries::tree_nodes).sum::<u64>();
+    let root_iv = Interval::new(0, (total_nodes - 1) as u32);
+    let root_cell = new_grid.cell_of(root_iv);
+    let mut true_hist = PositionHistogram::empty(new_grid.clone());
+    true_hist.set(root_cell, 1.0);
+    for s in &shards {
+        true_hist = true_hist.plus(s.true_hist())?;
+    }
+
+    let shard_refs: Vec<&Summaries> = shards.iter().collect();
+    let mut preds = BTreeMap::new();
+    let mut state = MergeState::default();
+    let mut spliced: Vec<String> = Vec::new();
+    let mut rebuilt_entries = 0usize;
+    for (name, pred) in &entry_list {
+        // Stable across the whole collection = stable in every document.
+        // Root-matching entries never qualify under a real grid change
+        // (the root interval ends at the top of the position space).
+        let stable = !matches_mega_root(pred)
+            && inputs.iter().all(|&(input, offset)| {
+                entry_index(&entry_list, name)
+                    .and_then(|k| input.entries.get(k))
+                    .is_none_or(|e| intervals_stable(&e.intervals, offset, cutoff))
+            });
+        let (summary, entry_state) =
+            match (stable, prev_merged.get(name), prev_state.entries.get(name)) {
+                (true, Some(prev), Some(prev_es)) => {
+                    spliced.push(name.clone());
+                    let mut s = prev.clone();
+                    s.hist = s.hist.with_grid(new_grid.clone());
+                    s.cvg = s.cvg.map(|c| c.with_grid(new_grid.clone()));
+                    (s, prev_es.clone())
+                }
+                _ => {
+                    rebuilt_entries += 1;
+                    merge_entry(
+                        name,
+                        pred,
+                        &shard_refs,
+                        new_grid,
+                        config,
+                        &true_hist,
+                        root_iv,
+                        root_cell,
+                    )?
+                }
+            };
+        preds.insert(name.clone(), summary);
+        state.entries.insert(name.clone(), entry_state);
+    }
+
+    let merged = Summaries {
+        grid: new_grid.clone(),
+        true_hist,
+        preds,
+        dtd: config.dtd.clone(),
+        tree_nodes: total_nodes,
+        build_id: crate::estimator::next_build_id(),
+    };
+    crate::invariants::checkpoint("refresh_scoped", || merged.validate());
+    Ok(ScopedRefresh {
+        shards,
+        merged,
+        state,
+        spliced,
+        rebuilt_entries,
+    })
+}
+
+/// Index of `name` in the entry list (entries are few; the list is the
+/// same order as `DocumentSummaryInput::entries`).
+fn entry_index(
+    entry_list: &[(String, xmlest_predicate::BasePredicate)],
+    name: &str,
+) -> Option<usize> {
+    entry_list.iter().position(|(n, _)| n == name)
+}
+
+/// One shard on the new grid: the whole old shard re-stamped when every
+/// node of the document sits below the cutoff; otherwise the TRUE
+/// histogram is rebuilt and each entry is spliced or rebuilt by its own
+/// stability. Mirrors `build_shard_summaries` exactly for the rebuilt
+/// parts.
+fn rebuild_shard_scoped(
+    input: &DocumentSummaryInput,
+    offset: u32,
+    old: &Summaries,
+    new_grid: &Grid,
+    entry_list: &[(String, xmlest_predicate::BasePredicate)],
+    cutoff: u32,
+    config: &SummaryConfig,
+) -> Result<Summaries> {
+    // Whole document below the cutoff: every table in the shard is
+    // populated only by stable positions. Entries the old shard lacks
+    // (catalog growth since it was built) stay absent — the merge treats
+    // a missing entry and an empty one identically.
+    let doc_end = offset + input.node_count.saturating_sub(1);
+    if doc_end < cutoff {
+        let mut s = old.clone();
+        s.grid = new_grid.clone();
+        s.true_hist = s.true_hist.with_grid(new_grid.clone());
+        for p in s.preds.values_mut() {
+            p.hist = p.hist.with_grid(new_grid.clone());
+            p.cvg = p.cvg.take().map(|c| c.with_grid(new_grid.clone()));
+        }
+        s.build_id = crate::estimator::next_build_id();
+        return Ok(s);
+    }
+
+    if entry_list.len() != input.entries.len() {
+        return Err(Error::Corrupt(format!(
+            "scoped refresh: input has {} entries for a {}-entry catalog",
+            input.entries.len(),
+            entry_list.len()
+        )));
+    }
+    let all_shifted: Vec<Interval> = input
+        .all_intervals
+        .iter()
+        .map(|&iv| Interval::new(iv.start + offset, iv.end + offset))
+        .collect();
+    let true_hist = PositionHistogram::from_intervals(new_grid.clone(), &all_shifted);
+    // Shared denominator pass for every entry that has to rebuild —
+    // spliced entries never touch it.
+    let cvg_ctx = CoverageContext::new(new_grid, &all_shifted);
+
+    let mut preds = BTreeMap::new();
+    for (k, (name, pred)) in entry_list.iter().enumerate() {
+        let e = &input.entries[k];
+        let summary = match old.get(name) {
+            Some(prev) if intervals_stable(&e.intervals, offset, cutoff) => {
+                let mut s = prev.clone();
+                s.hist = s.hist.with_grid(new_grid.clone());
+                s.cvg = s.cvg.map(|c| c.with_grid(new_grid.clone()));
+                s
+            }
+            _ => {
+                let shifted: Vec<Interval> = e
+                    .intervals
+                    .iter()
+                    .map(|&iv| Interval::new(iv.start + offset, iv.end + offset))
+                    .collect();
+                let levels = config
+                    .build_levels
+                    .then(|| LevelHistogram::from_counts(e.level_counts.clone()));
+                build_one_from_intervals(new_grid, &cvg_ctx, name, pred, &shifted, levels, config)
+            }
+        };
+        preds.insert(name.clone(), summary);
+    }
+
+    let out = Summaries {
+        grid: new_grid.clone(),
+        true_hist,
+        preds,
+        dtd: config.dtd.clone(),
+        tree_nodes: input.node_count as u64,
+        build_id: crate::estimator::next_build_id(),
+    };
+    crate::invariants::checkpoint("rebuild_shard_scoped", || out.validate());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::{
+        build_shard_summaries, classify_document, make_collection_grid, merge_shards_stateful,
+    };
+    use xmlest_xml::parser::parse_str;
+
+    fn docs() -> Vec<&'static str> {
+        vec![
+            "<a><b><c/><c/></b><b><c/></b></a>",
+            "<a><b>hi</b><d><c/><c/><c/></d></a>",
+            "<a><d><d><b/></d></d><c>x</c></a>",
+            "<a><b/><b/><b/><b/><b/><b/><b/></a>",
+        ]
+    }
+
+    struct Collection {
+        catalog: Catalog,
+        inputs: Vec<(DocumentSummaryInput, u32)>,
+    }
+
+    fn collection(doc_srcs: &[&str], config: &SummaryConfig) -> Collection {
+        let trees: Vec<_> = doc_srcs.iter().map(|s| parse_str(s).unwrap()).collect();
+        let mut catalog = Catalog::new();
+        for t in &trees {
+            catalog.define_all_tags(t);
+        }
+        let _ = config;
+        let mut inputs = Vec::new();
+        let mut offset = 1u32;
+        for t in &trees {
+            let input = classify_document(t, &catalog);
+            let n = input.node_count;
+            inputs.push((input, offset));
+            offset += n;
+        }
+        Collection { catalog, inputs }
+    }
+
+    fn build_all(
+        col: &Collection,
+        grid: &Grid,
+        config: &SummaryConfig,
+    ) -> (Vec<Summaries>, Summaries, MergeState) {
+        let shards: Vec<Summaries> = col
+            .inputs
+            .iter()
+            .map(|(i, o)| build_shard_summaries(i, *o, grid, &col.catalog, config))
+            .collect();
+        let refs: Vec<&Summaries> = shards.iter().collect();
+        let (merged, state) = merge_shards_stateful(&refs, grid, &col.catalog, config).unwrap();
+        (shards, merged, state)
+    }
+
+    #[test]
+    fn cutoff_of_identical_grids_is_everything() {
+        let g = Grid::uniform(4, 59).unwrap();
+        assert_eq!(stable_position_cutoff(&g, &g), u32::MAX);
+    }
+
+    #[test]
+    fn cutoff_is_last_common_boundary() {
+        // Boundaries 0,15,30,45,60 vs 0,15,30,50,60: first difference at
+        // index 3, cutoff = boundary 2 = 30.
+        let a = Grid::equi_depth(4, &[0, 15, 30, 45], 59).unwrap();
+        let positions: Vec<u32> = vec![0, 15, 30, 50];
+        let b = Grid::equi_depth(4, &positions, 59).unwrap();
+        if a.boundaries() != b.boundaries() {
+            let cutoff = stable_position_cutoff(&a, &b);
+            let k = a
+                .boundaries()
+                .iter()
+                .zip(b.boundaries())
+                .position(|(x, y)| x != y)
+                .unwrap();
+            assert_eq!(cutoff, a.boundaries()[k - 1]);
+            // Every position below the cutoff buckets identically.
+            for p in 0..cutoff {
+                assert_eq!(a.bucket_of(p), b.bucket_of(p), "position {p}");
+            }
+        }
+    }
+
+    /// Scoped refresh onto a tail-shifted grid is bit-identical to a
+    /// cold rebuild, shard by shard and for the merged view + state.
+    fn assert_scoped_matches_full(doc_srcs: &[&str], config: &SummaryConfig, new_tail: u32) {
+        let col = collection(doc_srcs, config);
+        let input_refs: Vec<(&DocumentSummaryInput, u32)> =
+            col.inputs.iter().map(|(i, o)| (i, *o)).collect();
+        let old_grid = make_collection_grid(&input_refs, &col.catalog, config).unwrap();
+        let (old_shards, old_merged, old_state) = build_all(&col, &old_grid, config);
+
+        // A new grid differing only in the tail: shift the last interior
+        // boundary, keeping it strictly between its neighbors.
+        let mut bounds = old_grid.boundaries().to_vec();
+        let n = bounds.len();
+        assert!(n >= 3, "need an interior boundary to move");
+        let moved = (bounds[n - 2] + new_tail).min(bounds[n - 1] - 1);
+        assert!(moved > bounds[n - 3], "tail move collided with prefix");
+        bounds[n - 2] = moved;
+        let new_grid = Grid::from_parts(bounds, None).unwrap();
+        assert_ne!(&new_grid, &old_grid);
+
+        let scoped = refresh_scoped(
+            &input_refs,
+            &old_shards.iter().collect::<Vec<_>>(),
+            &old_merged,
+            &old_state,
+            &new_grid,
+            &col.catalog,
+            config,
+        )
+        .unwrap();
+        let (full_shards, full_merged, full_state) = build_all(&col, &new_grid, config);
+
+        for (k, (s, f)) in scoped.shards.iter().zip(&full_shards).enumerate() {
+            s.bit_identical(f)
+                .unwrap_or_else(|why| panic!("shard {k}: {why}"));
+        }
+        scoped.merged.bit_identical(&full_merged).unwrap();
+        assert_eq!(scoped.state, full_state, "fold state diverged");
+        assert!(
+            !scoped.spliced.is_empty(),
+            "tail-only move must splice something"
+        );
+    }
+
+    #[test]
+    fn scoped_refresh_matches_full_rebuild() {
+        let config = SummaryConfig::paper_defaults();
+        assert_scoped_matches_full(&docs(), &config, 3);
+    }
+
+    #[test]
+    fn scoped_refresh_matches_without_coverage_or_levels() {
+        let config = SummaryConfig {
+            build_coverage: false,
+            build_levels: false,
+            ..SummaryConfig::paper_defaults()
+        };
+        assert_scoped_matches_full(&docs(), &config, 2);
+    }
+
+    #[test]
+    fn scoped_refresh_rejects_bucket_count_change() {
+        let config = SummaryConfig::paper_defaults();
+        let col = collection(&docs(), &config);
+        let input_refs: Vec<(&DocumentSummaryInput, u32)> =
+            col.inputs.iter().map(|(i, o)| (i, *o)).collect();
+        let grid = make_collection_grid(&input_refs, &col.catalog, &config).unwrap();
+        let (shards, merged, state) = build_all(&col, &grid, &config);
+        // Halve the bucket count: `uniform` may emit fewer buckets than
+        // asked over a short span, so growing `g` can collapse back to
+        // the same grid — shrinking it cannot.
+        let other = Grid::uniform(grid.g() / 2, grid.max_pos()).unwrap();
+        assert_ne!(other.g(), grid.g());
+        let err = refresh_scoped(
+            &input_refs,
+            &shards.iter().collect::<Vec<_>>(),
+            &merged,
+            &state,
+            &other,
+            &col.catalog,
+            &config,
+        );
+        assert!(
+            matches!(err, Err(Error::GridMismatch)),
+            "unexpected result: {err:?}"
+        );
+    }
+
+    #[test]
+    fn identical_grids_splice_every_non_root_entry() {
+        let config = SummaryConfig::paper_defaults();
+        let col = collection(&docs(), &config);
+        let input_refs: Vec<(&DocumentSummaryInput, u32)> =
+            col.inputs.iter().map(|(i, o)| (i, *o)).collect();
+        let grid = make_collection_grid(&input_refs, &col.catalog, &config).unwrap();
+        let (shards, merged, state) = build_all(&col, &grid, &config);
+        let scoped = refresh_scoped(
+            &input_refs,
+            &shards.iter().collect::<Vec<_>>(),
+            &merged,
+            &state,
+            &grid,
+            &col.catalog,
+            &config,
+        )
+        .unwrap();
+        scoped.merged.bit_identical(&merged).unwrap();
+        assert_eq!(scoped.state, state);
+        // Only root-matching entries re-merge when nothing moved.
+        let entry_list = Summaries::entry_list(&col.catalog);
+        let root_entries = entry_list
+            .iter()
+            .filter(|(_, p)| matches_mega_root(p))
+            .count();
+        assert_eq!(scoped.rebuilt_entries, root_entries);
+        assert_eq!(
+            scoped.spliced.len() + scoped.rebuilt_entries,
+            entry_list.len()
+        );
+    }
+}

@@ -132,6 +132,9 @@ struct DriftRow {
     counts: Vec<u64>,
     /// Total matches (== sum of `counts`).
     total: u64,
+    /// This row's skew when the grid was last derived — the per-predicate
+    /// analogue of the tracker-level baseline.
+    baseline: f64,
 }
 
 impl DriftRow {
@@ -298,10 +301,42 @@ impl DriftTracker {
         self.mutations
     }
 
+    /// Per-predicate drift: how much worse this predicate's occupancy
+    /// fit has become since the grid was last derived,
+    /// `max(0, skew − row baseline)`. Returns `None` for a predicate the
+    /// tracker holds no row for (no matches ever ingested).
+    pub fn predicate_drift(&self, name: &str) -> Option<f64> {
+        let g = self.g as usize;
+        self.rows
+            .get(name)
+            .map(|row| (row.skew(g) - row.baseline).max(0.0))
+    }
+
+    /// Names of the predicates whose [`DriftTracker::predicate_drift`]
+    /// strictly exceeds `threshold`, in name order — the per-predicate
+    /// refinement of the aggregate [`DriftTracker::drift`] signal, used
+    /// to scope an equi-depth refresh to the predicates that actually
+    /// outgrew the grid.
+    pub fn drifted_predicates(&self, threshold: f64) -> Vec<String> {
+        let g = self.g as usize;
+        self.rows
+            .iter()
+            .filter(|(_, row)| (row.skew(g) - row.baseline).max(0.0) > threshold)
+            .map(|(name, _)| name.clone())
+            .collect()
+    }
+
     /// Records the current skew as the new baseline (called after the
-    /// grid is (re)derived) and zeroes the mutation counter.
+    /// grid is (re)derived) and zeroes the mutation counter. Also
+    /// re-records every per-predicate baseline, so
+    /// [`DriftTracker::predicate_drift`] measures from the same
+    /// derivation point as the aggregate.
     pub fn rebaseline(&mut self) {
         self.baseline = self.skew();
+        let g = self.g as usize;
+        for row in self.rows.values_mut() {
+            row.baseline = row.skew(g);
+        }
         self.mutations = 0;
     }
 
@@ -330,6 +365,13 @@ impl DriftTracker {
     /// Rebuilds a tracker from persisted parts. Row totals are
     /// recomputed from the counts; a row longer than the grid is
     /// corrupt.
+    ///
+    /// The persistence format carries only the aggregate baseline, so
+    /// per-predicate baselines are re-seeded from each row's *current*
+    /// skew: a freshly reopened database reports zero
+    /// [`DriftTracker::predicate_drift`] everywhere and re-accumulates
+    /// from there. The aggregate [`DriftTracker::drift`] signal is
+    /// unaffected.
     pub fn from_parts(
         g: u16,
         rows: Vec<(String, Vec<u64>)>,
@@ -345,7 +387,13 @@ impl DriftTracker {
                 )));
             }
             let total = counts.iter().sum();
-            t.rows.insert(name, DriftRow { counts, total });
+            let mut row = DriftRow {
+                counts,
+                total,
+                baseline: 0.0,
+            };
+            row.baseline = row.skew(g as usize);
+            t.rows.insert(name, row);
         }
         t.baseline = baseline;
         t.mutations = mutations;
@@ -401,12 +449,14 @@ mod tests {
         let flat = DriftRow {
             counts: vec![10, 10, 10, 10],
             total: 40,
+            baseline: 0.0,
         };
         assert!(flat.skew(4).abs() < 1e-12);
 
         let piled = DriftRow {
             counts: vec![40, 0, 0, 0],
             total: 40,
+            baseline: 0.0,
         };
         // TV distance from uniform with everything in one of 4 buckets.
         assert!((piled.skew(4) - 0.75).abs() < 1e-12);
@@ -447,6 +497,50 @@ mod tests {
         t.rebaseline();
         assert_eq!(t.drift(), 0.0);
         assert_eq!(t.mutations(), 0);
+    }
+
+    #[test]
+    fn predicate_drift_is_per_row_and_rebaselined() {
+        // Two tags with different growth: after rebaselining, piling new
+        // matches of only one tag into its existing buckets must move
+        // that predicate's drift while leaving the other at zero.
+        let tree = parse_str("<a><b/><b/><c/></a>").unwrap();
+        let mut catalog = Catalog::new();
+        catalog.define_all_tags(&tree);
+        let input = classify_document(&tree, &catalog);
+        let grid = Grid::uniform(4, 39).unwrap();
+        // Spread the baseline across all four buckets so piling new
+        // matches into one bucket genuinely worsens the fit (a
+        // single-bucket row has maximal skew at any count).
+        let mut t = DriftTracker::from_inputs(
+            &grid,
+            &catalog,
+            &[(&input, 1), (&input, 11), (&input, 21), (&input, 31)],
+        );
+
+        // Fresh from derivation: every predicate sits at its baseline.
+        for (name, _, _) in t.entry_skews() {
+            assert_eq!(t.predicate_drift(&name), Some(0.0), "{name}");
+        }
+        assert!(t.drifted_predicates(0.0).is_empty());
+        assert_eq!(t.predicate_drift("no-such-predicate"), None);
+
+        // A lopsided follow-up document: only `b` matches, all in the
+        // first bucket again.
+        let skewed = parse_str("<a><b/><b/><b/><b/></a>").unwrap();
+        let skewed_input = classify_document(&skewed, &catalog);
+        t.ingest_document(&grid, &catalog, &skewed_input, 1);
+        let drifted = t.drifted_predicates(0.0);
+        assert!(drifted.contains(&"b".to_owned()), "{drifted:?}");
+        assert!(!drifted.contains(&"c".to_owned()), "{drifted:?}");
+        assert_eq!(t.predicate_drift("c"), Some(0.0));
+        // A threshold above the observed drift filters it out.
+        assert!(t.drifted_predicates(1.0).is_empty());
+
+        // Rebaselining re-records every row.
+        t.rebaseline();
+        assert_eq!(t.predicate_drift("b"), Some(0.0));
+        assert!(t.drifted_predicates(0.0).is_empty());
     }
 
     #[test]

@@ -54,6 +54,7 @@
 //! the new grid, and re-merge — never re-parsing or re-classifying the
 //! rest of the collection.
 
+use crate::coverage::CoverageContext;
 use crate::error::Result;
 use crate::estimator::{build_one_from_intervals, PredicateSummary, Summaries, SummaryConfig};
 use crate::grid::{Cell, Grid};
@@ -229,6 +230,10 @@ pub fn build_shard_summaries(
         .map(|&iv| shift(iv, offset))
         .collect();
     let true_hist = PositionHistogram::from_intervals(grid.clone(), &all_shifted);
+    // One denominator pass for every predicate's coverage build — the
+    // per-entry cost below is proportional to each predicate's own
+    // matches, not the whole document.
+    let cvg_ctx = CoverageContext::new(grid, &all_shifted);
 
     let mut preds = BTreeMap::new();
     for (k, (name, pred)) in entry_list.iter().enumerate() {
@@ -238,7 +243,7 @@ pub fn build_shard_summaries(
             .build_levels
             .then(|| LevelHistogram::from_counts(e.level_counts.clone()));
         let summary =
-            build_one_from_intervals(grid, &all_shifted, name, pred, &shifted, levels, config);
+            build_one_from_intervals(grid, &cvg_ctx, name, pred, &shifted, levels, config);
         preds.insert(name.clone(), summary);
     }
 
@@ -298,6 +303,46 @@ pub fn make_collection_grid(
     Grid::uniform(g, max_pos)
 }
 
+/// The fold accumulators a full merge threads through its per-shard
+/// left fold, captured so [`merge_delta`] can resume the fold with one
+/// more shard instead of re-running it over the whole collection.
+///
+/// Everything else a delta step needs survives inside the merged
+/// [`Summaries`] (cell counts, match counts and level counts are exact
+/// integers in `f64`, so extending their sums is bit-identical no matter
+/// where the fold restarts). Two accumulators do **not** round-trip
+/// through the merged view and are carried here explicitly:
+///
+/// * the per-entry *width sum* — the merged view only stores
+///   `width_sum / count`, and the division is not invertible in
+///   floating point;
+/// * the per-entry *coverage numerators* — the merged view stores
+///   `covered / total` fractions whose denominators change with every
+///   merge, so the raw covered-count fold is kept and the division pass
+///   re-runs from it.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MergeState {
+    /// Per entry name, the fold accumulators for that predicate.
+    pub(crate) entries: BTreeMap<String, EntryMergeState>,
+}
+
+/// One predicate's carried fold accumulators (see [`MergeState`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct EntryMergeState {
+    /// `Σ avg_width × count` over the merged shards, in shard order,
+    /// **excluding** the mega-root's term (which is re-applied last on
+    /// every merge, exactly as the full merge does).
+    width_sum: f64,
+    /// Union of the shards' covering cells (coverage fold).
+    covering: BTreeSet<Cell>,
+    /// Raw covered-node counts per border pair, accumulated in shard
+    /// order — the numerators the merged coverage fractions are divided
+    /// from. Maintained only while the merged entry is no-overlap (once
+    /// the flag drops it can never rise again, except under a DTD
+    /// override, where it is constant).
+    covered_counts: BTreeMap<(Cell, Cell), f64>,
+}
+
 /// Merges per-document shard summaries (all built by
 /// [`build_shard_summaries`] on the same `grid`) into the mega-tree
 /// view, adding the synthetic root's contributions analytically. See the
@@ -314,6 +359,17 @@ pub fn merge_shards(
     catalog: &Catalog,
     config: &SummaryConfig,
 ) -> Result<Summaries> {
+    Ok(merge_shards_impl(shards, grid, catalog, config, true, None)?.0)
+}
+
+/// [`merge_shards`], additionally returning the [`MergeState`] that lets
+/// [`merge_delta`] extend this merge by one shard bit-identically.
+pub fn merge_shards_stateful(
+    shards: &[&Summaries],
+    grid: &Grid,
+    catalog: &Catalog,
+    config: &SummaryConfig,
+) -> Result<(Summaries, MergeState)> {
     merge_shards_impl(shards, grid, catalog, config, true, None)
 }
 
@@ -330,7 +386,7 @@ pub fn merge_shards_with_total(
     config: &SummaryConfig,
     total_nodes: u64,
 ) -> Result<Summaries> {
-    merge_shards_impl(shards, grid, catalog, config, true, Some(total_nodes))
+    Ok(merge_shards_impl(shards, grid, catalog, config, true, Some(total_nodes))?.0)
 }
 
 /// The sequential reference path of [`merge_shards`]: same per-entry
@@ -343,7 +399,7 @@ pub fn merge_shards_serial(
     catalog: &Catalog,
     config: &SummaryConfig,
 ) -> Result<Summaries> {
-    merge_shards_impl(shards, grid, catalog, config, false, None)
+    Ok(merge_shards_impl(shards, grid, catalog, config, false, None)?.0)
 }
 
 fn merge_shards_impl(
@@ -353,7 +409,7 @@ fn merge_shards_impl(
     config: &SummaryConfig,
     parallel: bool,
     total_override: Option<u64>,
-) -> Result<Summaries> {
+) -> Result<(Summaries, MergeState)> {
     use rayon::prelude::*;
 
     let entry_list = Summaries::entry_list(catalog);
@@ -370,19 +426,25 @@ fn merge_shards_impl(
         true_hist = true_hist.plus(s.true_hist())?;
     }
 
-    let merge_one = |entry: &(String, BasePredicate)| -> Result<(String, PredicateSummary)> {
+    type MergedEntry = (String, PredicateSummary, EntryMergeState);
+    let merge_one = |entry: &(String, BasePredicate)| -> Result<MergedEntry> {
         let (name, pred) = entry;
-        let summary = merge_entry(
+        let (summary, entry_state) = merge_entry(
             name, pred, shards, grid, config, &true_hist, root_iv, root_cell,
         )?;
-        Ok((name.clone(), summary))
+        Ok((name.clone(), summary, entry_state))
     };
-    let merged: Result<Vec<(String, PredicateSummary)>> = if parallel {
+    let merged: Result<Vec<MergedEntry>> = if parallel {
         entry_list.par_iter().map(merge_one).collect()
     } else {
         entry_list.iter().map(merge_one).collect()
     };
-    let preds: BTreeMap<String, PredicateSummary> = merged?.into_iter().collect();
+    let mut preds: BTreeMap<String, PredicateSummary> = BTreeMap::new();
+    let mut state = MergeState::default();
+    for (name, summary, entry_state) in merged? {
+        preds.insert(name.clone(), summary);
+        state.entries.insert(name, entry_state);
+    }
 
     let out = Summaries {
         grid: grid.clone(),
@@ -393,13 +455,279 @@ fn merge_shards_impl(
         build_id: crate::estimator::next_build_id(),
     };
     crate::invariants::checkpoint("merge_shards", || out.validate());
-    Ok(out)
+    Ok((out, state))
+}
+
+/// Extends a previous merge result by **one** new shard in O(new-doc
+/// cells + g) per predicate, bit-identically to re-running
+/// [`merge_shards`] over the whole shard list with `new_shard` appended.
+///
+/// Why this is exact (and not merely close): every full-merge rule is a
+/// left fold in shard order, and all folded quantities are either exact
+/// integers in `f64` (cell counts, match counts, level counts — addition
+/// is associative below 2^53) or carried verbatim in `state` (width
+/// sums, coverage numerators). The synthetic root's contributions are
+/// the one part of the fold's *initial value* that changes between
+/// merges — its interval grows with the node total — so its exact
+/// `1.0` moves cells by an integer subtract/add, and its width and
+/// coverage terms are re-derived from the new total, exactly as the full
+/// merge derives them.
+///
+/// `prev` and `state` must come from [`merge_shards_stateful`] (or a
+/// previous [`merge_delta`]) over the same shard sequence; `new_shard`
+/// must be built on the same `grid`.
+pub fn merge_delta(
+    prev: &Summaries,
+    state: &MergeState,
+    new_shard: &Summaries,
+    grid: &Grid,
+    catalog: &Catalog,
+    config: &SummaryConfig,
+) -> Result<(Summaries, MergeState)> {
+    if prev.grid() != grid || new_shard.grid() != grid {
+        return Err(crate::error::Error::GridMismatch);
+    }
+    let entry_list = Summaries::entry_list(catalog);
+    let total_nodes = prev.tree_nodes() + new_shard.tree_nodes();
+    let root_iv = Interval::new(0, (total_nodes - 1) as u32);
+    let root_cell = grid.cell_of(root_iv);
+    let old_root_cell = grid.cell_of(Interval::new(0, (prev.tree_nodes() - 1) as u32));
+
+    // TRUE histogram: the previous fold already holds the root's 1.0 at
+    // the old root cell; move it (exact integer subtract/add) and fold
+    // in the new shard.
+    let mut true_hist = prev.true_hist().clone();
+    if old_root_cell != root_cell {
+        true_hist.add(old_root_cell, -1.0);
+        true_hist.add(root_cell, 1.0);
+    }
+    let true_hist = true_hist.plus(new_shard.true_hist())?;
+
+    let mut preds: BTreeMap<String, PredicateSummary> = BTreeMap::new();
+    let mut out_state = MergeState::default();
+    for (name, pred) in &entry_list {
+        let (summary, entry_state) = delta_entry(
+            name,
+            pred,
+            prev,
+            state,
+            new_shard,
+            grid,
+            config,
+            &true_hist,
+            root_iv,
+            root_cell,
+            old_root_cell,
+        )?;
+        preds.insert(name.clone(), summary);
+        out_state.entries.insert(name.clone(), entry_state);
+    }
+
+    let out = Summaries {
+        grid: grid.clone(),
+        true_hist,
+        preds,
+        dtd: config.dtd.clone(),
+        tree_nodes: total_nodes,
+        build_id: crate::estimator::next_build_id(),
+    };
+    crate::invariants::checkpoint("merge_delta", || out.validate());
+    Ok((out, out_state))
+}
+
+/// One predicate's delta-merge step: resume the entry's fold from the
+/// previous merged summary (plus its carried [`EntryMergeState`]) and
+/// fold in `new_shard`'s part. An entry absent from `prev` (a predicate
+/// the catalog gained with this very document) starts from the fold's
+/// initial value — exactly what the full merge computes when every older
+/// shard lacks the entry.
+#[allow(clippy::too_many_arguments)]
+fn delta_entry(
+    name: &str,
+    pred: &BasePredicate,
+    prev: &Summaries,
+    state: &MergeState,
+    new_shard: &Summaries,
+    grid: &Grid,
+    config: &SummaryConfig,
+    true_hist: &PositionHistogram,
+    root_iv: Interval,
+    root_cell: Cell,
+    old_root_cell: Cell,
+) -> Result<(PredicateSummary, EntryMergeState)> {
+    let root_match = matches_mega_root(pred);
+    let new_part = new_shard.get(name);
+
+    // Resume the fold: previous accumulators, or the fold's initial
+    // value for an entry the previous merge did not have.
+    struct Resumed {
+        hist: PositionHistogram,
+        count: u64,
+        width_sum: f64,
+        no_overlap: bool,
+        level_counts: Vec<f64>,
+        covering: BTreeSet<Cell>,
+        covered_counts: BTreeMap<(Cell, Cell), f64>,
+    }
+    let resumed = match prev.get(name) {
+        Some(pp) => {
+            let Some(es) = state.entries.get(name) else {
+                return Err(crate::error::Error::Corrupt(format!(
+                    "merge state lacks entry {name:?} present in the merged view"
+                )));
+            };
+            let mut hist = pp.hist.clone();
+            if root_match && old_root_cell != root_cell {
+                hist.add(old_root_cell, -1.0);
+                hist.add(root_cell, 1.0);
+            }
+            Resumed {
+                hist,
+                count: pp.count,
+                width_sum: es.width_sum,
+                no_overlap: pp.no_overlap,
+                level_counts: pp
+                    .levels
+                    .as_ref()
+                    .map(|l| l.counts().to_vec())
+                    .unwrap_or_default(),
+                covering: es.covering.clone(),
+                covered_counts: es.covered_counts.clone(),
+            }
+        }
+        None => {
+            let mut hist = PositionHistogram::empty(grid.clone());
+            if root_match {
+                hist.set(root_cell, 1.0);
+            }
+            let mut level_counts = vec![0.0; usize::from(root_match)];
+            if root_match {
+                level_counts[0] = 1.0;
+            }
+            Resumed {
+                hist,
+                count: u64::from(root_match),
+                width_sum: 0.0,
+                // Vacuously true: `all` over no parts (and a shard count
+                // of zero for root-matching entries).
+                no_overlap: true,
+                level_counts,
+                covering: BTreeSet::new(),
+                covered_counts: BTreeMap::new(),
+            }
+        }
+    };
+
+    // Histogram, count, width: fold in the new part.
+    let hist = match new_part {
+        Some(p) => resumed.hist.plus(&p.hist)?,
+        None => resumed.hist,
+    };
+    let count = resumed.count + new_part.map_or(0, |p| p.count);
+    let width_sum = resumed.width_sum + new_part.map_or(0.0, |p| p.avg_width * p.count as f64);
+    let avg_width = if count == 0 {
+        0.0
+    } else {
+        let full = width_sum
+            + if root_match {
+                root_iv.width() as f64
+            } else {
+                0.0
+            };
+        full / count as f64
+    };
+
+    // Overlap property: the DTD override is a constant; otherwise the
+    // merged flag is the previous `all(...)` fold AND the new part's
+    // conjunct (for root-matching entries the fold is "no shard
+    // matches", so the new part must be empty).
+    let no_overlap = match (&config.dtd, pred) {
+        (Some(dtd), BasePredicate::Tag(t)) if dtd.tags().any(|known| known == t) => {
+            dtd.no_overlap(t)
+        }
+        _ => {
+            resumed.no_overlap
+                && match new_part {
+                    Some(p) => {
+                        if root_match {
+                            p.count == 0
+                        } else {
+                            p.no_overlap || p.count == 0
+                        }
+                    }
+                    None => true,
+                }
+        }
+    };
+
+    // Coverage fold state (general entries only; root-matching coverage
+    // is re-derived from the merged TRUE histogram below).
+    let (covering, covered_counts) = if config.build_coverage && no_overlap && !root_match {
+        let mut covering = resumed.covering;
+        let mut counts = resumed.covered_counts;
+        if let Some(cvg) = new_part.and_then(|p| p.cvg.as_ref()) {
+            covering.extend(cvg.covering_cells());
+            for ((covered, acell), frac) in cvg.iter_partial() {
+                let shard_total = new_shard.true_hist().get(covered);
+                counts
+                    .entry((covered, acell))
+                    .and_modify(|c| *c += frac * shard_total)
+                    .or_insert(frac * shard_total);
+            }
+        }
+        (covering, counts)
+    } else {
+        (BTreeSet::new(), BTreeMap::new())
+    };
+
+    let cvg = (config.build_coverage && no_overlap && count > 0)
+        .then(|| {
+            if root_match {
+                root_coverage(grid, true_hist, root_cell)
+            } else {
+                coverage_from_state(grid, true_hist, &covering, &covered_counts)
+            }
+        })
+        .flatten();
+
+    let levels = config.build_levels.then(|| {
+        let mut counts = resumed.level_counts;
+        if let Some(l) = new_part.and_then(|p| p.levels.as_ref()) {
+            let lc = l.counts();
+            if counts.len() < lc.len() {
+                counts.resize(lc.len(), 0.0);
+            }
+            for (d, &c) in lc.iter().enumerate() {
+                counts[d] += c;
+            }
+        }
+        LevelHistogram::from_counts(counts)
+    });
+
+    Ok((
+        PredicateSummary {
+            name: name.to_owned(),
+            pred: pred.clone(),
+            hist,
+            cvg,
+            levels,
+            no_overlap,
+            count,
+            avg_width,
+        },
+        EntryMergeState {
+            width_sum,
+            covering,
+            covered_counts,
+        },
+    ))
 }
 
 /// Merges one predicate's entry across all shards — a pure function of
-/// its inputs, safe to run on any thread.
+/// its inputs, safe to run on any thread. Returns the merged summary
+/// plus the fold accumulators [`merge_delta`] resumes from.
 #[allow(clippy::too_many_arguments)]
-fn merge_entry(
+pub(crate) fn merge_entry(
     name: &str,
     pred: &BasePredicate,
     shards: &[&Summaries],
@@ -408,7 +736,7 @@ fn merge_entry(
     true_hist: &PositionHistogram,
     root_iv: Interval,
     root_cell: Cell,
-) -> Result<PredicateSummary> {
+) -> Result<(PredicateSummary, EntryMergeState)> {
     let root_match = matches_mega_root(pred);
     // A shard built before this entry entered the catalog simply lacks
     // it — the predicate matches nothing in that document (new tags
@@ -432,10 +760,11 @@ fn merge_entry(
 
     let shard_count: u64 = parts.iter().map(|(_, p)| p.count).sum();
     let count = shard_count + u64::from(root_match);
-    let width_sum: f64 = parts
+    let shard_width_sum: f64 = parts
         .iter()
         .map(|(_, p)| p.avg_width * p.count as f64)
-        .sum::<f64>()
+        .sum::<f64>();
+    let width_sum = shard_width_sum
         + if root_match {
             root_iv.width() as f64
         } else {
@@ -464,8 +793,25 @@ fn merge_entry(
         }
     };
 
+    // Coverage fold state (general entries only; root-matching coverage
+    // is derived from the merged TRUE histogram, not folded). Maintained
+    // whenever the merged entry is no-overlap so a later delta step can
+    // resume it — once the flag drops it never rises again (the DTD
+    // override is constant), so no state is lost by skipping.
+    let (covering, covered_counts) = if config.build_coverage && no_overlap && !root_match {
+        fold_coverage_state(&parts)
+    } else {
+        (BTreeSet::new(), BTreeMap::new())
+    };
+
     let cvg = (config.build_coverage && no_overlap && count > 0)
-        .then(|| merge_coverage(grid, true_hist, &parts, root_match, root_cell))
+        .then(|| {
+            if root_match {
+                root_coverage(grid, true_hist, root_cell)
+            } else {
+                coverage_from_state(grid, true_hist, &covering, &covered_counts)
+            }
+        })
         .flatten();
 
     let levels = config.build_levels.then(|| {
@@ -487,70 +833,37 @@ fn merge_entry(
         LevelHistogram::from_counts(counts)
     });
 
-    Ok(PredicateSummary {
-        name: name.to_owned(),
-        pred: pred.clone(),
-        hist,
-        cvg,
-        levels,
-        no_overlap,
-        count,
-        avg_width,
-    })
+    Ok((
+        PredicateSummary {
+            name: name.to_owned(),
+            pred: pred.clone(),
+            hist,
+            cvg,
+            levels,
+            no_overlap,
+            count,
+            avg_width,
+        },
+        EntryMergeState {
+            width_sum: shard_width_sum,
+            covering,
+            covered_counts,
+        },
+    ))
 }
 
-/// Merges per-document coverage histograms by reconstructing covered
-/// counts: a shard's stored fraction times its TRUE-histogram population
-/// is the number of covered nodes it contributes; dividing the summed
-/// counts by the merged population recovers the collection-wide
-/// fraction. A predicate matching the mega-root alone (the only
-/// root-matching configuration that can still be no-overlap) covers
-/// every other node and is reconstructed from the merged TRUE histogram
-/// directly.
-fn merge_coverage(
-    grid: &Grid,
-    merged_true: &PositionHistogram,
+/// The coverage fold: union of covering cells and raw covered-node
+/// counts per border pair, accumulated in shard order. A shard's stored
+/// value is a fraction of its *own* population; its TRUE histogram
+/// recovers the covered count exactly.
+fn fold_coverage_state(
     parts: &[(&Summaries, &PredicateSummary)],
-    root_match: bool,
-    root_cell: Cell,
-) -> Option<CoverageOut> {
-    let g = grid.g();
-    if root_match {
-        // P = {mega-root}: every non-root node is covered by the root's
-        // cell. Interior cells are implicit; border cells (sharing the
-        // root cell's start or end bucket) store their exact fraction.
-        let mut partial = BTreeMap::new();
-        for (cell, total) in merged_true.iter() {
-            let border = cell.0 == root_cell.0 || cell.1 == root_cell.1;
-            if !border {
-                continue;
-            }
-            let covered = if cell == root_cell {
-                total - 1.0
-            } else {
-                total
-            };
-            if covered > 0.0 {
-                partial.insert((cell, root_cell), covered / total);
-            }
-        }
-        let covering: BTreeSet<Cell> = std::iter::once(root_cell).collect();
-        return Some(crate::coverage::CoverageHistogram::from_parts(
-            grid.clone(),
-            covering,
-            partial,
-            BTreeMap::new(),
-        ));
-    }
-
-    // Union of covering cells and summed covered counts per border pair.
+) -> (BTreeSet<Cell>, BTreeMap<(Cell, Cell), f64>) {
     let mut covering: BTreeSet<Cell> = BTreeSet::new();
     let mut counts: BTreeMap<(Cell, Cell), f64> = BTreeMap::new();
     for (shard, p) in parts {
         let Some(cvg) = &p.cvg else { continue };
         covering.extend(cvg.covering_cells());
-        // A shard's stored value is a fraction of its *own* population;
-        // its TRUE histogram recovers the covered count exactly.
         for ((covered, acell), frac) in cvg.iter_partial() {
             let shard_total = shard.true_hist().get(covered);
             counts
@@ -559,19 +872,67 @@ fn merge_coverage(
                 .or_insert(frac * shard_total);
         }
     }
+    (covering, counts)
+}
+
+/// The coverage division pass: collection-wide fractions from folded
+/// covered counts, normalized by the merged TRUE histogram. Returns
+/// `None` when no shard built coverage (predicate matches nothing
+/// anywhere), mirroring the monolithic rule of skipping empty
+/// predicates.
+fn coverage_from_state(
+    grid: &Grid,
+    merged_true: &PositionHistogram,
+    covering: &BTreeSet<Cell>,
+    counts: &BTreeMap<(Cell, Cell), f64>,
+) -> Option<CoverageOut> {
+    let g = grid.g();
     if covering.is_empty() {
-        // No shard built coverage (predicate matches nothing anywhere);
-        // mirror the monolithic rule of skipping empty predicates.
         return None;
     }
     let mut partial = BTreeMap::new();
-    for ((covered, acell), cnt) in counts {
+    for (&(covered, acell), &cnt) in counts {
         debug_assert!(covered.1 < g && acell.1 < g);
         let total = merged_true.get(covered);
         if total > 0.0 && cnt > 0.0 {
             partial.insert((covered, acell), cnt / total);
         }
     }
+    Some(crate::coverage::CoverageHistogram::from_parts(
+        grid.clone(),
+        covering.clone(),
+        partial,
+        BTreeMap::new(),
+    ))
+}
+
+/// Coverage for a predicate matching the mega-root alone (the only
+/// root-matching configuration that can still be no-overlap): every
+/// non-root node is covered by the root's cell, so the whole structure
+/// is derived from the merged TRUE histogram. Interior cells are
+/// implicit; border cells (sharing the root cell's start or end bucket)
+/// store their exact fraction.
+fn root_coverage(
+    grid: &Grid,
+    merged_true: &PositionHistogram,
+    root_cell: Cell,
+) -> Option<CoverageOut> {
+    let mut partial = BTreeMap::new();
+    for (cell, total) in merged_true.iter() {
+        let border = cell.0 == root_cell.0 || cell.1 == root_cell.1;
+        if !border {
+            continue;
+        }
+        let covered = if cell == root_cell {
+            total - 1.0
+        } else {
+            total
+        };
+        if covered > 0.0 {
+            partial.insert((cell, root_cell), covered / total);
+        }
+    }
+    let covering: BTreeSet<Cell> = std::iter::once(root_cell).collect();
     Some(crate::coverage::CoverageHistogram::from_parts(
         grid.clone(),
         covering,
@@ -581,3 +942,151 @@ fn merge_coverage(
 }
 
 type CoverageOut = crate::coverage::CoverageHistogram;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlest_xml::parser::parse_str;
+
+    const DOCS: &[&str] = &[
+        "<a><b><c/><c/></b><b><c/></b></a>",
+        "<a><b>hi</b><d><c/><c/><c/></d></a>",
+        "<a><d><d><b/></d></d><c>x</c></a>",
+        "<a><b/><b/><b/><b/><b/><b/><b/></a>",
+    ];
+
+    /// Classifies `DOCS`, assigns mega-tree offsets (root at 0), and
+    /// builds one shard per document on a fixed uniform grid small
+    /// enough that the mega-root's cell moves as documents append.
+    fn fixture(config: &SummaryConfig) -> (Catalog, Grid, Vec<Summaries>) {
+        let trees: Vec<_> = DOCS.iter().map(|s| parse_str(s).unwrap()).collect();
+        let mut catalog = Catalog::new();
+        for t in &trees {
+            catalog.define_all_tags(t);
+        }
+        let grid = Grid::uniform(4, 59).unwrap();
+        let mut shards = Vec::new();
+        let mut offset = 1u32;
+        for t in &trees {
+            let input = classify_document(t, &catalog);
+            shards.push(build_shard_summaries(
+                &input, offset, &grid, &catalog, config,
+            ));
+            offset += input.node_count;
+        }
+        (catalog, grid, shards)
+    }
+
+    /// Asserts the delta path reproduces the full merge bit-for-bit at
+    /// every prefix length: state equality plus `Summaries::bit_identical`.
+    fn assert_delta_tracks_full(
+        catalog: &Catalog,
+        grid: &Grid,
+        shards: &[Summaries],
+        config: &SummaryConfig,
+    ) {
+        let refs: Vec<&Summaries> = shards.iter().collect();
+        let (mut merged, mut state) =
+            merge_shards_stateful(&refs[..1], grid, catalog, config).unwrap();
+        for n in 2..=shards.len() {
+            let (full, full_state) =
+                merge_shards_stateful(&refs[..n], grid, catalog, config).unwrap();
+            let (delta, delta_state) =
+                merge_delta(&merged, &state, &shards[n - 1], grid, catalog, config).unwrap();
+            delta
+                .bit_identical(&full)
+                .unwrap_or_else(|why| panic!("prefix {n}: {why}"));
+            assert_eq!(delta_state, full_state, "prefix {n}: fold state diverged");
+            merged = delta;
+            state = delta_state;
+        }
+    }
+
+    #[test]
+    fn delta_merge_matches_full_merge_over_appends() {
+        let config = SummaryConfig::paper_defaults();
+        let (catalog, grid, shards) = fixture(&config);
+        // The fixture's doc sizes walk the mega-root's end across bucket
+        // boundaries, exercising the root-cell move in every delta step.
+        let ends: Vec<_> = {
+            let mut t = 1u64;
+            shards
+                .iter()
+                .map(|s| {
+                    t += s.tree_nodes();
+                    grid.cell_of(Interval::new(0, (t - 1) as u32))
+                })
+                .collect()
+        };
+        assert!(
+            ends.windows(2).any(|w| w[0] != w[1]),
+            "fixture must move the root cell: {ends:?}"
+        );
+        assert_delta_tracks_full(&catalog, &grid, &shards, &config);
+    }
+
+    #[test]
+    fn delta_merge_matches_full_merge_without_coverage_or_levels() {
+        let config = SummaryConfig {
+            build_coverage: false,
+            build_levels: false,
+            ..SummaryConfig::paper_defaults()
+        };
+        let (catalog, grid, shards) = fixture(&config);
+        assert_delta_tracks_full(&catalog, &grid, &shards, &config);
+    }
+
+    #[test]
+    fn delta_merge_handles_catalog_growth() {
+        // Old shards are classified under a smaller catalog; the new
+        // document introduces tags `d` and a text child, so its entries
+        // are absent from both the previous merged view and its state.
+        let config = SummaryConfig::paper_defaults();
+        let old_trees: Vec<_> = DOCS[..1].iter().map(|s| parse_str(s).unwrap()).collect();
+        let new_tree = parse_str(DOCS[1]).unwrap();
+
+        let mut small = Catalog::new();
+        for t in &old_trees {
+            small.define_all_tags(t);
+        }
+        let mut grown = small.clone();
+        grown.define_all_tags(&new_tree);
+
+        let grid = Grid::uniform(4, 59).unwrap();
+        let mut offset = 1u32;
+        let mut shards = Vec::new();
+        for t in &old_trees {
+            let input = classify_document(t, &small);
+            shards.push(build_shard_summaries(
+                &input, offset, &grid, &small, &config,
+            ));
+            offset += input.node_count;
+        }
+        let new_input = classify_document(&new_tree, &grown);
+        let new_shard = build_shard_summaries(&new_input, offset, &grid, &grown, &config);
+
+        // Previous merge ran under the old catalog — its view and state
+        // genuinely lack the new entries, like the engine's append path.
+        let refs: Vec<&Summaries> = shards.iter().collect();
+        let (prev, state) = merge_shards_stateful(&refs, &grid, &small, &config).unwrap();
+
+        let mut all: Vec<&Summaries> = refs.clone();
+        all.push(&new_shard);
+        let (full, full_state) = merge_shards_stateful(&all, &grid, &grown, &config).unwrap();
+        let (delta, delta_state) =
+            merge_delta(&prev, &state, &new_shard, &grid, &grown, &config).unwrap();
+        delta.bit_identical(&full).unwrap();
+        assert_eq!(delta_state, full_state);
+    }
+
+    #[test]
+    fn delta_merge_rejects_foreign_grid() {
+        let config = SummaryConfig::paper_defaults();
+        let (catalog, grid, shards) = fixture(&config);
+        let refs: Vec<&Summaries> = shards.iter().collect();
+        let (merged, state) = merge_shards_stateful(&refs[..2], &grid, &catalog, &config).unwrap();
+        let other = Grid::uniform(5, 59).unwrap();
+        let err = merge_delta(&merged, &state, &shards[2], &other, &catalog, &config);
+        assert!(matches!(err, Err(crate::error::Error::GridMismatch)));
+    }
+}

@@ -37,12 +37,14 @@ use crate::maintenance::{
 use crate::prepared::{LeafResolution, PreparedCache, PreparedQuery, TwigId};
 use rayon::prelude::*;
 use std::borrow::Cow;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 use xmlest_core::catalog::{CatalogFile, CatalogShard, OpenReport, QuarantinedShard};
+use xmlest_core::refresh::refresh_scoped;
 use xmlest_core::shard::{
     build_shard_summaries, builtin_entry_count, classify_document, entry_names,
-    make_collection_grid, matches_mega_root, DocumentSummaryInput,
+    make_collection_grid, matches_mega_root, merge_delta, merge_shards_stateful,
+    DocumentSummaryInput, MergeState,
 };
 use xmlest_core::store::{CatalogStore, SkippedGeneration};
 use xmlest_core::{CoeffCache, DriftTracker, Estimator, Grid, Summaries, SummaryConfig, TwigNode};
@@ -287,6 +289,40 @@ pub struct Database {
     /// the collection serves, these estimate as absent until
     /// [`Database::repair`] rebuilds them from re-supplied sources.
     quarantine: Vec<QuarantinedShard>,
+    /// The merge-fold accumulators behind `summaries`
+    /// ([`xmlest_core::shard::MergeState`]): lets the stable-append path
+    /// extend the merged view by the new shard alone
+    /// ([`merge_delta`] — O(new-doc cells)) instead of re-merging every
+    /// shard. `None` when the serving view did not come from a stateful
+    /// merge over exactly `shards` (monolithic builds, catalog opens,
+    /// degraded re-merges); those fall back to the full merge, which
+    /// re-establishes the state.
+    merge_state: Option<MergeState>,
+    /// Pre-append snapshots of the serving view, newest last (bounded by
+    /// [`UNDO_DEPTH`]): removing the newest document pops one in O(1)
+    /// instead of re-merging every surviving shard. Snapshots are moved,
+    /// never cloned — each is the exact `(summaries, merge_state)` pair
+    /// that served before its append, so the restore is bit-identical by
+    /// construction. Every mutation other than a stable append/undo pair
+    /// clears the stack.
+    undo: VecDeque<AppendUndo>,
+}
+
+/// How many stable appends [`Database::remove_document`] can undo in
+/// O(1) before falling back to a full re-merge of the surviving shards.
+const UNDO_DEPTH: usize = 8;
+
+/// One stable append's pre-append serving state (see `Database::undo`).
+struct AppendUndo {
+    /// Shard count before the append — the index of the one shard whose
+    /// removal this snapshot undoes.
+    shards_before: usize,
+    /// `Summaries::len()` of the snapshot; a catalog extended since the
+    /// capture yields a merged view with more entries, so a mismatch
+    /// invalidates the snapshot.
+    entry_count: usize,
+    summaries: Summaries,
+    merge_state: Option<MergeState>,
 }
 
 impl Database {
@@ -309,6 +345,8 @@ impl Database {
             prepared: PreparedCache::default(),
             maintenance,
             quarantine: Vec::new(),
+            merge_state: None,
+            undo: VecDeque::new(),
         })
     }
 
@@ -391,7 +429,14 @@ impl Database {
     ) -> std::result::Result<Database, (Error, Vec<(String, ShardSource)>)> {
         // Everything fallible runs in here, borrowing `sources`; the
         // sources are consumed only after the last `?`.
-        type Parts = (Vec<u32>, Vec<Summaries>, Summaries, XmlTree, DriftTracker);
+        type Parts = (
+            Vec<u32>,
+            Vec<Summaries>,
+            Summaries,
+            MergeState,
+            XmlTree,
+            DriftTracker,
+        );
         let fallible = || -> Result<Parts> {
             #[cfg(test)]
             if test_faults::take_rebuild_failure() {
@@ -425,8 +470,8 @@ impl Database {
                 .collect();
 
             let shard_refs: Vec<&Summaries> = built.iter().collect();
-            let summaries =
-                xmlest_core::shard::merge_shards(&shard_refs, &grid, &catalog, &config)?;
+            let (summaries, merge_state) =
+                merge_shards_stateful(&shard_refs, &grid, &catalog, &config)?;
 
             // Mega-tree: replay the stored document trees
             // (document-order cost, no XML parsing). Exact counting and
@@ -436,9 +481,9 @@ impl Database {
                 fb.add_tree(name, &src.tree)?;
             }
             let tree = fb.finish()?.into_tree();
-            Ok((offsets, built, summaries, tree, tracker))
+            Ok((offsets, built, summaries, merge_state, tree, tracker))
         };
-        let (offsets, built, summaries, tree, tracker) = match fallible() {
+        let (offsets, built, summaries, merge_state, tree, tracker) = match fallible() {
             Ok(parts) => parts,
             Err(e) => return Err((e, sources)),
         };
@@ -468,6 +513,8 @@ impl Database {
             prepared: PreparedCache::default(),
             maintenance: MaintenanceState::with_tracker(tracker),
             quarantine: Vec::new(),
+            merge_state: Some(merge_state),
+            undo: VecDeque::new(),
         })
     }
 
@@ -619,8 +666,12 @@ impl Database {
     }
 
     /// The stable-append commit: build the new document's shard on the
-    /// existing grid, merge it with the *reused* old shard summaries,
+    /// existing grid, extend the merged view by that shard alone
+    /// ([`merge_delta`] resuming the carried [`MergeState`] —
+    /// O(new-doc cells), bit-identical to re-merging every shard), and
     /// extend the mega-tree and element index in place, ingest drift.
+    /// A database without a carried state (e.g. freshly repaired) takes
+    /// the full stateful merge once, which re-establishes it.
     /// All fallible work happens before the first mutation.
     fn append_within_slack(
         &mut self,
@@ -631,10 +682,20 @@ impl Database {
         let grid = self.summaries.grid().clone();
         let offset = self.summaries.tree_nodes() as u32;
         let new_shard = build_shard_summaries(&input, offset, &grid, &self.catalog, &self.config);
-        let merged = {
-            let mut refs: Vec<&Summaries> = self.shards.iter().map(|s| &s.summaries).collect();
-            refs.push(&new_shard);
-            xmlest_core::shard::merge_shards(&refs, &grid, &self.catalog, &self.config)?
+        let (merged, merge_state) = match &self.merge_state {
+            Some(state) => merge_delta(
+                &self.summaries,
+                state,
+                &new_shard,
+                &grid,
+                &self.catalog,
+                &self.config,
+            )?,
+            None => {
+                let mut refs: Vec<&Summaries> = self.shards.iter().map(|s| &s.summaries).collect();
+                refs.push(&new_shard);
+                merge_shards_stateful(&refs, &grid, &self.catalog, &self.config)?
+            }
         };
         let Some(tree) = self.tree.as_mut() else {
             return Err(Error::ServingOnly(
@@ -650,7 +711,18 @@ impl Database {
             .tracker
             .ingest_document(&grid, &self.catalog, &input, offset);
         self.maintenance.counters.stable_appends += 1;
-        self.summaries = merged;
+        // The outgoing serving state is exactly what a removal of this
+        // document must restore: move it onto the undo stack.
+        let undo = AppendUndo {
+            shards_before: self.shards.len(),
+            entry_count: self.summaries.len(),
+            summaries: std::mem::replace(&mut self.summaries, merged),
+            merge_state: self.merge_state.replace(merge_state),
+        };
+        self.undo.push_back(undo);
+        if self.undo.len() > UNDO_DEPTH {
+            self.undo.pop_front();
+        }
         self.shards.push(DocShard {
             name,
             offset,
@@ -772,12 +844,30 @@ impl Database {
             )));
         }
         let grid = self.summaries.grid().clone();
-        let merged = {
+        // O(1) undo: the top of the undo stack is the exact serving
+        // state from before this document's append — valid while the
+        // shard prefix and the catalog entry set are unchanged. Only
+        // when no snapshot applies does the removal pay the full
+        // re-merge of the surviving shards.
+        let undo_valid = self.undo.back().is_some_and(|u| {
+            u.shards_before + 1 == self.shards.len() && u.entry_count == self.summaries.len()
+        });
+        if !undo_valid {
+            self.undo.clear();
+        }
+        let remerged = if undo_valid {
+            None
+        } else {
             let refs: Vec<&Summaries> = self.shards[..self.shards.len() - 1]
                 .iter()
                 .map(|s| &s.summaries)
                 .collect();
-            xmlest_core::shard::merge_shards(&refs, &grid, &self.catalog, &self.config)?
+            Some(merge_shards_stateful(
+                &refs,
+                &grid,
+                &self.catalog,
+                &self.config,
+            )?)
         };
         let offset = self.shards.last().expect("non-empty checked").offset; // xlint: allow(no-panic, "caller rejects empty shard lists before calling")
         let Some(tree) = self.tree.as_mut() else {
@@ -794,7 +884,14 @@ impl Database {
             .tracker
             .retract_document(&grid, &self.catalog, &src.input, offset);
         self.maintenance.counters.stable_removes += 1;
-        self.summaries = merged;
+        if let Some((merged, merge_state)) = remerged {
+            self.summaries = merged;
+            self.merge_state = Some(merge_state);
+        } else {
+            let u = self.undo.pop_back().expect("undo_valid checked a snapshot"); // xlint: allow(no-panic, "remerged is None only when undo_valid saw a stack top; nothing above pops it")
+            self.summaries = u.summaries;
+            self.merge_state = u.merge_state;
+        }
         self.epoch += 1;
         self.auto_refresh_if_needed();
         Ok(())
@@ -868,7 +965,135 @@ impl Database {
         }
     }
 
+    /// [`Database::refresh_grid`] forced down the full-rebuild path,
+    /// bypassing the predicate-scoped splice ([`xmlest_core::refresh`])
+    /// — the baseline the scoped path is benchmarked and
+    /// property-tested against (the two must produce bit-identical
+    /// summaries).
+    #[doc(hidden)]
+    pub fn refresh_grid_full(&mut self) -> Result<()> {
+        self.require_collection()?;
+        let drift = self.maintenance.tracker.drift();
+        self.refresh_full_inner(false, drift)
+    }
+
     fn refresh_inner(&mut self, auto: bool, drift_at: f64) -> Result<()> {
+        // Predicate-scoped path first: when the re-derived grid keeps
+        // its bucket count, only the predicates whose rows actually
+        // moved rebuild; everything else — including the mega-tree, the
+        // element index and the memoized coefficient tables of spliced
+        // predicates — carries over verbatim. Any precondition miss or
+        // splice error falls back to the full rebuild below.
+        if self.try_scoped_refresh(auto, drift_at) {
+            return Ok(());
+        }
+        self.refresh_full_inner(auto, drift_at)
+    }
+
+    /// Attempts the splice-based refresh; `true` means it committed
+    /// (summaries, shards, fold state, tracker and counters are all
+    /// updated). `false` leaves the database untouched.
+    fn try_scoped_refresh(&mut self, auto: bool, drift_at: f64) -> bool {
+        if self.merge_state.is_none()
+            || self.shards.is_empty()
+            || !self.quarantine.is_empty()
+            || self.shards.iter().any(|s| s.source.is_none())
+        {
+            return false;
+        }
+        // An armed rebuild fault must fail the refresh, not be skipped
+        // around: decline (without consuming) so the full path's
+        // `from_collection` consumes it and reports the failure.
+        #[cfg(test)]
+        if test_faults::FAIL_REBUILDS.load(std::sync::atomic::Ordering::SeqCst) > 0 {
+            return false;
+        }
+        let computed = {
+            let state = self.merge_state.as_ref().expect("checked above"); // xlint: allow(no-panic, "is_none() returned false two statements up")
+            let inputs: Vec<(&DocumentSummaryInput, u32)> = self
+                .shards
+                .iter()
+                .map(|s| {
+                    let src = s.source.as_ref().expect("sources checked above"); // xlint: allow(no-panic, "the any(is_none) guard above returned false")
+                    (&src.input, s.offset)
+                })
+                .collect();
+            let Ok(new_grid) = make_collection_grid(&inputs, &self.catalog, &self.config) else {
+                return false;
+            };
+            // The splice argument needs equal bucket counts; a g change
+            // re-buckets everything anyway, so the full path is right.
+            if new_grid.g() != self.summaries.grid().g() {
+                return false;
+            }
+            let old_shards: Vec<&Summaries> = self.shards.iter().map(|s| &s.summaries).collect();
+            let Ok(scoped) = refresh_scoped(
+                &inputs,
+                &old_shards,
+                &self.summaries,
+                state,
+                &new_grid,
+                &self.catalog,
+                &self.config,
+            ) else {
+                return false;
+            };
+            // Same tracker a cold rebuild derives: baselines re-anchor
+            // to the new grid's occupancy.
+            let tracker = DriftTracker::from_inputs(&new_grid, &self.catalog, &inputs);
+            // Memoized coefficient tables of spliced predicates stay
+            // valid (their inner histograms are bit-identical); carry
+            // them across the rebind instead of recomputing on first
+            // use.
+            let carried: Vec<_> = self
+                .coeff_cache
+                .entries()
+                .into_iter()
+                .filter(|(name, _, _)| scoped.spliced.iter().any(|n| n == name))
+                .collect();
+            (scoped, tracker, carried)
+        };
+        let (scoped, tracker, carried) = computed;
+
+        // Install. Offsets, mega-tree and element index are untouched —
+        // the document layout did not change, only bucket boundaries.
+        for (shard, summaries) in self.shards.iter_mut().zip(scoped.shards) {
+            shard.summaries = summaries;
+        }
+        self.summaries = scoped.merged;
+        self.merge_state = Some(scoped.state);
+        // The undo snapshots were captured on the old grid.
+        self.undo.clear();
+        self.maintenance.tracker = tracker;
+        self.epoch += 1;
+        let new_grid = self.summaries.grid().clone();
+        for (name, _, table) in carried {
+            self.coeff_cache.seed(
+                &self.summaries,
+                &name,
+                Arc::new(table.rebound_to(new_grid.clone())),
+            );
+        }
+        xmlest_core::invariants::checkpoint("Database::refresh_grid(scoped)", || {
+            self.summaries.validate()
+        });
+        let c = &mut self.maintenance.counters;
+        c.refreshes += 1;
+        c.grid_moves += 1;
+        c.scoped_refreshes += 1;
+        c.spliced_entries += scoped.spliced.len() as u64;
+        c.rebuilt_entries += scoped.rebuilt_entries as u64;
+        if auto {
+            c.auto_refreshes += 1;
+        }
+        c.last_refresh_drift = drift_at;
+        c.refresh_strikes = 0;
+        c.refresh_backoff_until = 0;
+        c.refresh_degraded = false;
+        true
+    }
+
+    fn refresh_full_inner(&mut self, auto: bool, drift_at: f64) -> Result<()> {
         let (sources, derived) = self.dismantle_shards()?;
         match Database::from_collection(self.catalog.clone(), self.config.clone(), sources, None) {
             Ok(rebuilt) => {
@@ -916,6 +1141,9 @@ impl Database {
             pinned_rebuilds: c.pinned_rebuilds,
             overflow_appends: c.overflow_appends,
             refreshes: c.refreshes,
+            scoped_refreshes: c.scoped_refreshes,
+            spliced_entries: c.spliced_entries,
+            rebuilt_entries: c.rebuilt_entries,
             auto_refreshes: c.auto_refreshes,
             failed_auto_refreshes: c.failed_auto_refreshes,
             last_refresh_drift: c.last_refresh_drift,
@@ -1047,6 +1275,8 @@ impl Database {
             prepared: PreparedCache::default(),
             maintenance,
             quarantine,
+            merge_state: None,
+            undo: VecDeque::new(),
         };
         for (name, table) in file.coefficients {
             db.coeff_cache.seed(&db.summaries, &name, Arc::new(table));
@@ -1211,6 +1441,11 @@ impl Database {
                 &self.config,
                 self.summaries.tree_nodes(),
             )?;
+            // The override total makes this merge's fold state unusable
+            // for a delta resume (the root interval is pinned, not
+            // derived); the next stable append re-merges fully once.
+            self.merge_state = None;
+            self.undo.clear();
             self.coeff_cache = CoeffCache::new();
             self.epoch += 1;
         }
@@ -1272,7 +1507,12 @@ impl Database {
             shard.summaries.attach_dtd(dtd.clone());
         }
         // Schema shortcuts change estimates (and therefore plan costs)
-        // in place: invalidate prepared state.
+        // in place: invalidate prepared state. The in-place overlap
+        // rewrite also invalidates the carried merge-fold state (its
+        // coverage accumulators were folded under the old flags), so the
+        // next stable append re-merges fully once.
+        self.merge_state = None;
+        self.undo.clear();
         self.epoch += 1;
     }
 

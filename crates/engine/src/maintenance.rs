@@ -90,6 +90,15 @@ pub(crate) struct MaintenanceCounters {
     pub overflow_appends: u64,
     /// Equi-depth refreshes (manual + automatic).
     pub refreshes: u64,
+    /// Refreshes served by the predicate-scoped splice path
+    /// ([`xmlest_core::refresh`]) instead of a full rebuild.
+    pub scoped_refreshes: u64,
+    /// Merged-view predicate tables spliced verbatim across scoped
+    /// refreshes (cumulative).
+    pub spliced_entries: u64,
+    /// Merged-view predicate tables re-merged during scoped refreshes
+    /// (cumulative).
+    pub rebuilt_entries: u64,
     /// Refreshes fired by the drift threshold inside a mutation.
     pub auto_refreshes: u64,
     /// Drift-triggered refreshes that failed to rebuild. The mutation
@@ -172,6 +181,12 @@ pub struct MaintenanceStats {
     pub pinned_rebuilds: u64,
     pub overflow_appends: u64,
     pub refreshes: u64,
+    /// Refreshes that took the predicate-scoped splice path.
+    pub scoped_refreshes: u64,
+    /// Predicate tables spliced across scoped refreshes (cumulative).
+    pub spliced_entries: u64,
+    /// Predicate tables re-merged during scoped refreshes (cumulative).
+    pub rebuilt_entries: u64,
     pub auto_refreshes: u64,
     pub failed_auto_refreshes: u64,
     pub last_refresh_drift: f64,

@@ -12,7 +12,8 @@
 
 use proptest::prelude::*;
 use std::sync::Arc;
-use xmlest::core::{GridPolicy, SummaryConfig};
+use xmlest::core::shard::merge_shards_stateful;
+use xmlest::core::{GridPolicy, Summaries, SummaryConfig};
 use xmlest::engine::Database;
 
 /// A slack policy that never auto-fires (drift is in [0,1)), for tests
@@ -463,6 +464,164 @@ proptest! {
         for &a in &known {
             let path = format!("//doc//{a}");
             prop_assert_eq!(db.count(&path).unwrap(), cold.count(&path).unwrap());
+        }
+    }
+}
+
+/// Full re-merge of the database's *current* shards on its *current*
+/// grid — the oracle both incremental maintenance paths must match.
+fn full_merge_of_current_shards(db: &Database) -> Summaries {
+    let names: Vec<String> = db.document_names().iter().map(|n| n.to_string()).collect();
+    let shards: Vec<&Summaries> = names
+        .iter()
+        .map(|n| db.shard_summaries(n).expect("shard present"))
+        .collect();
+    let (merged, _state) =
+        merge_shards_stateful(&shards, db.summaries().grid(), db.catalog(), db.config())
+            .expect("full merge");
+    merged
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Delta-merge ≡ full `merge_shards`: after a randomized sequence
+    /// of appends and removals (appends ride the stable-grid
+    /// delta-merge path whenever slack allows), the maintained merged
+    /// view is bit-identical to re-merging the surviving shards from
+    /// scratch on the same grid.
+    #[test]
+    fn delta_maintained_view_matches_full_merge(
+        shapes in prop::collection::vec(prop::collection::vec(0u8..255, 4..40), 4..9),
+        ops in prop::collection::vec(0u8..255, 4..12),
+        grid in 3u16..16,
+        equi in 0u8..2,
+        slack in 20u32..300,
+    ) {
+        let docs: Vec<(String, String)> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, shape)| (format!("d{i}.xml"), random_doc(shape)))
+            .collect();
+        let config = SummaryConfig::paper_defaults()
+            .with_grid_size(grid)
+            .with_equi_depth(equi == 1)
+            .with_policy(GridPolicy::Slack {
+                slack_percent: slack,
+                drift_threshold: 1.0,
+                auto_refresh: false,
+            });
+
+        let mut db = Database::load_documents(
+            docs[..2].iter().map(|(n, x)| (n.as_str(), x.as_str())),
+            &config,
+        ).expect("initial build");
+        // Op tape: even → append the next pending document, odd →
+        // remove an arbitrary existing one (keeping at least two so
+        // the database stays a collection).
+        let mut next = 2usize;
+        for &op in &ops {
+            if op % 2 == 0 {
+                if next < docs.len() {
+                    let (n, x) = &docs[next];
+                    db.add_document(n.as_str(), x).expect("append");
+                    next += 1;
+                }
+            } else {
+                let names: Vec<String> = db
+                    .document_names()
+                    .iter()
+                    .map(|n| n.to_string())
+                    .collect();
+                if names.len() > 2 {
+                    let victim = &names[(op as usize / 2) % names.len()];
+                    db.remove_document(victim).expect("remove");
+                }
+            }
+            let oracle = full_merge_of_current_shards(&db);
+            if let Err(diff) = db.summaries().bit_identical(&oracle) {
+                prop_assert!(false, "maintained view diverged: {}", diff);
+            }
+        }
+        // Appends left on the tape still have to merge in cleanly.
+        while next < docs.len() {
+            let (n, x) = &docs[next];
+            db.add_document(n.as_str(), x).expect("append");
+            next += 1;
+        }
+        let oracle = full_merge_of_current_shards(&db);
+        if let Err(diff) = db.summaries().bit_identical(&oracle) {
+            prop_assert!(false, "maintained view diverged: {}", diff);
+        }
+    }
+
+    /// Scoped refresh ≡ full refresh: two databases built and mutated
+    /// identically, one refreshed through `refresh_grid` (which takes
+    /// the predicate-scoped path whenever its preconditions hold), the
+    /// other forced through the full rebuild — the resulting summary
+    /// sets are bit-identical and estimates agree bitwise.
+    #[test]
+    fn scoped_refresh_matches_full_refresh(
+        shapes in prop::collection::vec(prop::collection::vec(0u8..255, 4..40), 4..9),
+        ops in prop::collection::vec(0u8..255, 0..8),
+        grid in 3u16..12,
+        equi in 0u8..2,
+    ) {
+        let docs: Vec<(String, String)> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, shape)| (format!("d{i}.xml"), random_doc(shape)))
+            .collect();
+        let config = SummaryConfig::paper_defaults()
+            .with_grid_size(grid)
+            .with_equi_depth(equi == 1)
+            .with_policy(manual_slack());
+
+        let build = || {
+            Database::load_documents(
+                docs[..2].iter().map(|(n, x)| (n.as_str(), x.as_str())),
+                &config,
+            ).expect("initial build")
+        };
+        let mut scoped = build();
+        let mut full = build();
+        let mut next = 2usize;
+        for &op in &ops {
+            if op % 2 == 0 {
+                if next < docs.len() {
+                    let (n, x) = &docs[next];
+                    scoped.add_document(n.as_str(), x).expect("append");
+                    full.add_document(n.as_str(), x).expect("append");
+                    next += 1;
+                }
+            } else {
+                let names: Vec<String> = scoped
+                    .document_names()
+                    .iter()
+                    .map(|n| n.to_string())
+                    .collect();
+                if names.len() > 2 {
+                    let victim = &names[(op as usize / 2) % names.len()];
+                    scoped.remove_document(victim).expect("remove");
+                    full.remove_document(victim).expect("remove");
+                }
+            }
+        }
+        scoped.refresh_grid().expect("scoped-capable refresh");
+        full.refresh_grid_full().expect("full refresh");
+
+        if let Err(diff) = scoped.summaries().bit_identical(full.summaries()) {
+            prop_assert!(false, "scoped refresh diverged from full: {}", diff);
+        }
+        // Serving agrees bitwise too (coefficient splicing included).
+        for tag in ["sec", "p", "note", "fig", "refx"] {
+            if scoped.summaries().get(tag).is_none() {
+                continue;
+            }
+            let path = format!("//doc//{tag}");
+            let a = scoped.estimate(&path).expect("scoped estimate").value;
+            let b = full.estimate(&path).expect("full estimate").value;
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "{}: {} vs {}", path, a, b);
         }
     }
 }
