@@ -32,7 +32,7 @@ use crate::twig::{Axis, TwigNode};
 use rayon::prelude::*;
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use xmlest_predicate::{BasePredicate, Catalog, PredExpr};
 use xmlest_xml::dtd::DtdAnalysis;
@@ -603,25 +603,40 @@ pub struct Estimate {
 /// optimizer prices every plan of every query this way) skip the
 /// three-pass kernel and pay only the O(g) coefficient application.
 ///
-/// A cache is **bound to one summaries generation**: the first use
-/// records the summaries' build id, and using the same cache with a
-/// different `Summaries` (rebuilt data, reloaded file) clears the stale
-/// tables and rebinds instead of silently serving coefficients from the
-/// old histograms.
+/// A cache is **bound to one summaries generation**: every published
+/// table map records the summaries' build id, and using the same cache
+/// with a different `Summaries` (rebuilt data, reloaded file) clears
+/// the stale tables and rebinds instead of silently serving
+/// coefficients from the old histograms.
 ///
-/// Thread-safe: hits share a read lock and allocate nothing (lookup
-/// borrows the name); a racing miss builds the table outside the lock
-/// and the first insert wins (both results are identical by
-/// construction).
+/// Thread-safe and **wait-free on hits**: the table map is an immutable
+/// value behind an [`arc_swap::ArcSwap`] cell, so a warm probe is one
+/// lock-free pointer load plus a hash lookup — no lock, no shared-state
+/// write, nothing a concurrent writer can stall. Writers (misses,
+/// seeding, rebinds) serialize on an internal mutex, clone the current
+/// map (`Arc`-shared tables, so the clone is per-entry-pointer, not
+/// per-table), and publish the successor by pointer swap; a racing miss
+/// builds the table outside the lock and the first insert wins (both
+/// results are identical by construction).
 #[derive(Debug, Default)]
 pub struct CoeffCache {
-    /// Build id of the summaries this cache currently serves (0 =
-    /// unbound). Guarded by `map`'s lock discipline: rebinding takes
-    /// the write lock.
-    bound_to: std::sync::atomic::AtomicU64,
-    /// Per predicate name, one slot per [`Basis`] (index 0 =
-    /// ancestor-based, 1 = descendant-based).
-    map: RwLock<HashMap<String, [Option<Arc<JoinCoefficients>>; 2]>>,
+    /// The current immutable `(generation, tables)` map. Read side of
+    /// the cell is the estimate hot path; see the struct docs.
+    map: arc_swap::ArcSwap<CoeffMap>,
+    /// Serializes writers; never touched by a cache hit.
+    writer: Mutex<()>, // xlint: allow(lock-free-serving, "writer-side publication lock; get_or_build hits never acquire it")
+}
+
+/// One published generation of the cache: per predicate name, one slot
+/// per [`Basis`] (index 0 = ancestor-based, 1 = descendant-based).
+/// Immutable once published; carrying the generation *inside* the map
+/// makes a probe a single atomic load — a reader can never pair a stale
+/// generation check with a newer map.
+#[derive(Debug, Default)]
+struct CoeffMap {
+    /// `Summaries::build_id` the tables were computed from (0 = unbound).
+    generation: u64,
+    entries: HashMap<String, [Option<Arc<JoinCoefficients>>; 2]>,
 }
 
 fn basis_slot(basis: Basis) -> usize {
@@ -640,8 +655,8 @@ impl CoeffCache {
     /// Number of cached coefficient tables.
     pub fn len(&self) -> usize {
         self.map
-            .read()
-            .expect("coeff cache lock") // xlint: allow(no-panic, "poisoned lock means another thread already panicked; propagating is intended")
+            .load()
+            .entries
             .values()
             .map(|slots| slots.iter().flatten().count())
             .sum()
@@ -650,6 +665,31 @@ impl CoeffCache {
     /// Whether the cache holds no tables.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Runs `mutate` on a copy of the current map under the writer lock
+    /// and publishes the result bound to generation `id`. The copy
+    /// starts from the current entries when the generation matches and
+    /// from empty otherwise (the rebind-clears contract).
+    fn publish<R>(&self, id: u64, mutate: impl FnOnce(&mut CoeffMap) -> R) -> R {
+        let locked = self.writer.lock(); // xlint: allow(lock-free-serving, "writer-side publication lock; get_or_build hits never acquire it")
+        let guard = match locked {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let cur = self.map.load();
+        let mut next = CoeffMap {
+            generation: id,
+            entries: if cur.generation == id {
+                cur.entries.clone()
+            } else {
+                HashMap::new()
+            },
+        };
+        let out = mutate(&mut next);
+        self.map.store(Arc::new(next));
+        drop(guard);
+        out
     }
 
     /// Returns the cached table for `(name, basis)` under `summaries`,
@@ -663,37 +703,30 @@ impl CoeffCache {
         basis: Basis,
         build: impl FnOnce() -> JoinCoefficients,
     ) -> Arc<JoinCoefficients> {
-        use std::sync::atomic::Ordering;
         let id = summaries.build_id;
         let slot = basis_slot(basis);
-        if self.bound_to.load(Ordering::Acquire) == id {
-            if let Some(hit) = self
-                .map
-                .read()
-                .expect("coeff cache lock") // xlint: allow(no-panic, "poisoned lock means another thread already panicked; propagating is intended")
-                .get(name)
-                .and_then(|slots| slots[slot].clone())
-            {
-                return hit;
+        {
+            let cur = self.map.load();
+            if cur.generation == id {
+                if let Some(hit) = cur.entries.get(name).and_then(|slots| slots[slot].clone()) {
+                    return hit;
+                }
             }
         }
         let built = Arc::new(build());
-        let mut map = self.map.write().expect("coeff cache lock"); // xlint: allow(no-panic, "poisoned lock means another thread already panicked; propagating is intended")
-        if self.bound_to.load(Ordering::Acquire) != id {
-            map.clear();
-            self.bound_to.store(id, Ordering::Release);
-        }
-        let entry = map.entry(name.to_owned()).or_default();
-        entry[slot].get_or_insert(built).clone()
+        self.publish(id, |next| {
+            let entry = next.entries.entry(name.to_owned()).or_default();
+            entry[slot].get_or_insert(built).clone()
+        })
     }
 
     /// Snapshot of every cached table, `(predicate name, basis, table)`
     /// in name order — the catalog layer persists these so a reopened
     /// database skips even the first-query precomputation.
     pub fn entries(&self) -> Vec<(String, Basis, Arc<JoinCoefficients>)> {
-        let map = self.map.read().expect("coeff cache lock"); // xlint: allow(no-panic, "poisoned lock means another thread already panicked; propagating is intended")
+        let map = self.map.load();
         let mut out = Vec::new();
-        for (name, slots) in map.iter() {
+        for (name, slots) in map.entries.iter() {
             for (slot, table) in slots.iter().enumerate() {
                 if let Some(t) = table {
                     let basis = if slot == 0 {
@@ -713,15 +746,42 @@ impl CoeffCache {
     /// the cache to `summaries`' generation. An already-present table for
     /// the same key wins (both are identical by construction).
     pub fn seed(&self, summaries: &Summaries, name: &str, table: Arc<JoinCoefficients>) {
-        use std::sync::atomic::Ordering;
         let id = summaries.build_id;
         let slot = basis_slot(table.basis());
-        let mut map = self.map.write().expect("coeff cache lock"); // xlint: allow(no-panic, "poisoned lock means another thread already panicked; propagating is intended")
-        if self.bound_to.load(Ordering::Acquire) != id {
-            map.clear();
-            self.bound_to.store(id, Ordering::Release);
+        self.publish(id, |next| {
+            next.entries.entry(name.to_owned()).or_default()[slot].get_or_insert(table);
+        });
+    }
+
+    /// Rebinds the cache from generation `from` to `to`'s generation,
+    /// carrying over exactly the entries `keep` approves — for callers
+    /// that can *prove* those tables are bit-identical under the new
+    /// summaries (a stable append or removal whose delta shard never
+    /// touched the predicate: the merged histogram the table was
+    /// computed from is unchanged, and the grid did not move). A cache
+    /// currently bound elsewhere is left alone; entries `keep` rejects
+    /// rebuild lazily on first use, exactly as after a plain rebind.
+    pub fn rebind_carrying(&self, from: u64, to: &Summaries, keep: impl Fn(&str) -> bool) {
+        let locked = self.writer.lock(); // xlint: allow(lock-free-serving, "writer-side publication lock; get_or_build hits never acquire it")
+        let guard = match locked {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let cur = self.map.load();
+        if cur.generation != from || from == to.build_id {
+            return;
         }
-        map.entry(name.to_owned()).or_default()[slot].get_or_insert(table);
+        let next = CoeffMap {
+            generation: to.build_id,
+            entries: cur
+                .entries
+                .iter()
+                .filter(|(name, _)| keep(name))
+                .map(|(name, slots)| (name.clone(), slots.clone()))
+                .collect(),
+        };
+        self.map.store(Arc::new(next));
+        drop(guard);
     }
 }
 

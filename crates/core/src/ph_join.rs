@@ -128,6 +128,17 @@ impl JoinWorkspace {
         self.staged.clear();
         self.spans.clear();
 
+        // Dense precomputation never materializes the all-ones rows:
+        // the fused loops below iterate the columns directly, running
+        // the identical accumulator sequence (`v = 1.0`, and IEEE 754
+        // guarantees `1.0 * c` is bitwise `c` for every finite `c`), so
+        // the staged output is bit-identical to the generic path while
+        // skipping the O(g) row-buffer fill + re-read per row.
+        if let OuterCells::DenseOnes = outer {
+            self.sweep_dense_ones(flat, basis, g);
+            return;
+        }
+
         match basis {
             // Descending sweep: colsum accumulates the rows *below* i.
             Basis::AncestorBased => {
@@ -209,6 +220,95 @@ impl JoinWorkspace {
                         let c = f_acc + self.colsum[ju] + s_acc + self_factor * bij;
                         if c != 0.0 {
                             self.staged.push(((i as u16, j), v * c));
+                        }
+                    }
+                    self.spans.push((start, self.staged.len() as u32));
+                    for &((_, n), v) in row_inner {
+                        self.colsum[n as usize] += v;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The [`OuterCells::DenseOnes`] specialization of [`Self::sweep`]:
+    /// every upper-triangular cell at weight 1.0, with the column index
+    /// iterated directly instead of staged through `row_buf`. Because
+    /// consecutive columns differ by exactly one, each inner `while`
+    /// still advances its accumulator through the identical sequence of
+    /// additions the generic path performs — the emitted coefficients
+    /// are bit-identical (pinned by `dense_sweep_matches_generic`).
+    fn sweep_dense_ones(
+        &mut self,
+        flat: &crate::position_histogram::FlatHistogram,
+        basis: Basis,
+        g: usize,
+    ) {
+        match basis {
+            Basis::AncestorBased => {
+                for i in (0..g).rev() {
+                    let row_inner = flat.row(i as u16);
+                    let start = self.staged.len() as u32;
+                    let mut n_acc = 0.0;
+                    let mut n_ptr = 0usize;
+                    let mut r_acc = 0.0;
+                    let mut cur = 0usize;
+                    for ju in i..g {
+                        while n_ptr < ju {
+                            n_acc += self.colsum[n_ptr];
+                            n_ptr += 1;
+                        }
+                        while cur < row_inner.len() && (row_inner[cur].0 .1 as usize) < ju {
+                            r_acc += row_inner[cur].1;
+                            cur += 1;
+                        }
+                        let bij = if cur < row_inner.len() && row_inner[cur].0 .1 as usize == ju {
+                            row_inner[cur].1
+                        } else {
+                            0.0
+                        };
+                        let c = if i == ju {
+                            self.diag[i] / 12.0
+                        } else {
+                            n_acc + bij / 4.0 + r_acc - self.diag[i] / 2.0 + self.colsum[ju]
+                                - self.diag[ju] / 2.0
+                        };
+                        if c != 0.0 {
+                            self.staged.push(((i as u16, ju as u16), c));
+                        }
+                    }
+                    self.spans.push((start, self.staged.len() as u32));
+                    for &((_, n), v) in row_inner {
+                        self.colsum[n as usize] += v;
+                    }
+                }
+            }
+            Basis::DescendantBased => {
+                for i in 0..g {
+                    let row_inner = flat.row(i as u16);
+                    let start = self.staged.len() as u32;
+                    let mut s_acc = 0.0;
+                    let mut s_ptr = g;
+                    let mut f_acc = 0.0;
+                    let mut r = row_inner.len();
+                    for ju in (i..g).rev() {
+                        while s_ptr > ju + 1 {
+                            s_ptr -= 1;
+                            s_acc += self.colsum[s_ptr];
+                        }
+                        while r > 0 && (row_inner[r - 1].0 .1 as usize) > ju {
+                            r -= 1;
+                            f_acc += row_inner[r].1;
+                        }
+                        let bij = if r > 0 && row_inner[r - 1].0 .1 as usize == ju {
+                            row_inner[r - 1].1
+                        } else {
+                            0.0
+                        };
+                        let self_factor = if i == ju { 1.0 / 12.0 } else { 0.25 };
+                        let c = f_acc + self.colsum[ju] + s_acc + self_factor * bij;
+                        if c != 0.0 {
+                            self.staged.push(((i as u16, ju as u16), c));
                         }
                     }
                     self.spans.push((start, self.staged.len() as u32));
@@ -699,6 +799,49 @@ mod tests {
         let b = JoinCoefficients::precompute(&t, Basis::AncestorBased);
         assert_eq!(a.coeff, b.coeff);
         assert_eq!(a.apply(&f).unwrap(), b.apply(&f).unwrap());
+    }
+
+    #[test]
+    fn dense_sweep_matches_generic() {
+        // The fused DenseOnes sweep must stage bit-identical output to
+        // the generic path fed an explicitly materialized all-ones
+        // upper-triangular outer histogram — same cells, same spans,
+        // same f64 bit patterns (the invariant `precompute_in` relies
+        // on for coefficient-table sharing across snapshots).
+        for requested in [1u16, 2, 5, 9] {
+            let (_, inner) = fig1_histograms(requested);
+            // `Grid::uniform` may shrink g (ceil-width rounding), so size
+            // the all-ones histogram from the grid actually built.
+            let g = inner.grid().g();
+            let mut ones = crate::position_histogram::FlatHistogram::new(g);
+            for i in 0..g {
+                for j in i..g {
+                    ones.push((i, j), 1.0);
+                }
+            }
+            for basis in [Basis::AncestorBased, Basis::DescendantBased] {
+                let mut dense_ws = JoinWorkspace::new();
+                dense_ws.sweep(&inner, basis, OuterCells::DenseOnes);
+                let mut generic_ws = JoinWorkspace::new();
+                generic_ws.sweep(&inner, basis, OuterCells::Flat(&ones));
+                assert_eq!(dense_ws.spans, generic_ws.spans, "g={g} {basis:?}");
+                assert_eq!(
+                    dense_ws.staged.len(),
+                    generic_ws.staged.len(),
+                    "g={g} {basis:?}"
+                );
+                for (&(cell, dv), &(cell2, gv)) in
+                    dense_ws.staged.iter().zip(generic_ws.staged.iter())
+                {
+                    assert_eq!(cell, cell2, "g={g} {basis:?}");
+                    assert_eq!(
+                        dv.to_bits(),
+                        gv.to_bits(),
+                        "g={g} {basis:?} cell {cell:?}: {dv} vs {gv}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -35,6 +35,7 @@ use crate::maintenance::{
     MaintenanceState, MaintenanceStats, DEGRADED_AFTER_STRIKES, MAX_BACKOFF_SHIFT,
 };
 use crate::prepared::{LeafResolution, PreparedCache, PreparedQuery, TwigId};
+use crate::snapshot::{Snapshot, SnapshotCell};
 use rayon::prelude::*;
 use std::borrow::Cow;
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -257,8 +258,13 @@ pub struct Database {
     tree: Option<XmlTree>,
     catalog: Catalog,
     config: SummaryConfig,
-    /// The merged serving view.
-    summaries: Summaries,
+    /// The merged serving view. `Arc`d so a published [`Snapshot`]
+    /// shares it with zero copies; mutations install a successor `Arc`
+    /// at their commit point, never mutate through this one (the one
+    /// in-place writer, [`Database::attach_dtd`], goes through
+    /// `Arc::make_mut`, which copies exactly when a snapshot still
+    /// holds the previous view).
+    summaries: Arc<Summaries>,
     /// Per-document shards (empty for single-document [`Database::load_str`]).
     shards: Vec<DocShard>,
     /// Whether this database was built as a mutable document collection
@@ -269,8 +275,11 @@ pub struct Database {
     /// Memoized pH-join coefficient tables over `summaries`. Summaries
     /// are immutable between collection changes; every estimator handed
     /// out by [`Database::estimator`] shares this cache, and
-    /// [`Database::save_catalog`] persists its tables.
-    coeff_cache: CoeffCache,
+    /// [`Database::save_catalog`] persists its tables. `Arc`d for the
+    /// same reason as `summaries`: published snapshots share it (the
+    /// cache is internally wait-free on hits and binds tables to the
+    /// summaries generation, so sharing across epochs is safe).
+    coeff_cache: Arc<CoeffCache>,
     /// Monotonic version of everything estimates derive from. Bumped by
     /// collection mutations and [`Database::attach_dtd`]; prepared
     /// queries and their memoized plans validate against it.
@@ -306,6 +315,14 @@ pub struct Database {
     /// construction. Every mutation other than a stable append/undo pair
     /// clears the stack.
     undo: VecDeque<AppendUndo>,
+    /// The wait-free serving cell: every mutation commit publishes an
+    /// immutable epoch-stamped [`Snapshot`] here by pointer swap.
+    /// Concurrent readers ([`Database::serving`] holders — the admission
+    /// front, the maintenance worker's clients) estimate against the
+    /// cell without ever taking a lock; the cell's identity survives
+    /// rebuilds ([`Database::replace_rebuilt`] carries it across), so a
+    /// handle captured once stays live for the database's lifetime.
+    serving: Arc<SnapshotCell>,
 }
 
 /// How many stable appends [`Database::remove_document`] can undo in
@@ -321,17 +338,36 @@ struct AppendUndo {
     /// capture yields a merged view with more entries, so a mismatch
     /// invalidates the snapshot.
     entry_count: usize,
-    summaries: Summaries,
+    summaries: Arc<Summaries>,
     merge_state: Option<MergeState>,
+}
+
+/// Builds the initial serving cell for a freshly constructed database:
+/// epoch-1 snapshot over the just-built summaries, empty frozen twig
+/// view (nothing is prepared yet).
+fn initial_serving(
+    degraded: bool,
+    summaries: &Arc<Summaries>,
+    coeffs: &Arc<CoeffCache>,
+) -> Arc<SnapshotCell> {
+    SnapshotCell::initial(Snapshot::new(
+        1,
+        degraded,
+        summaries.clone(),
+        coeffs.clone(),
+        Arc::default(),
+    ))
 }
 
 impl Database {
     /// Builds a database from an existing tree and catalog (monolithic:
     /// one document, no shards).
     pub fn new(tree: XmlTree, catalog: Catalog, config: &SummaryConfig) -> Result<Database> {
-        let summaries = Summaries::build(&tree, &catalog, config)?;
+        let summaries = Arc::new(Summaries::build(&tree, &catalog, config)?);
         let index = ElementIndex::build(&tree, &catalog);
         let maintenance = MaintenanceState::new(summaries.grid().g());
+        let coeff_cache = Arc::new(CoeffCache::new());
+        let serving = initial_serving(false, &summaries, &coeff_cache);
         Ok(Database {
             tree: Some(tree),
             catalog,
@@ -340,13 +376,14 @@ impl Database {
             shards: Vec::new(),
             collection: false,
             index,
-            coeff_cache: CoeffCache::new(),
+            coeff_cache,
             epoch: 1,
             prepared: PreparedCache::default(),
             maintenance,
             quarantine: Vec::new(),
             merge_state: None,
             undo: VecDeque::new(),
+            serving,
         })
     }
 
@@ -500,6 +537,9 @@ impl Database {
             })
             .collect();
         let index = ElementIndex::build_sharded(&tree, &catalog, &shards);
+        let summaries = Arc::new(summaries);
+        let coeff_cache = Arc::new(CoeffCache::new());
+        let serving = initial_serving(false, &summaries, &coeff_cache);
         Ok(Database {
             tree: Some(tree),
             catalog,
@@ -508,13 +548,14 @@ impl Database {
             shards,
             collection: true,
             index,
-            coeff_cache: CoeffCache::new(),
+            coeff_cache,
             epoch: 1,
             prepared: PreparedCache::default(),
             maintenance: MaintenanceState::with_tracker(tracker),
             quarantine: Vec::new(),
             merge_state: Some(merge_state),
             undo: VecDeque::new(),
+            serving,
         })
     }
 
@@ -711,12 +752,13 @@ impl Database {
             .tracker
             .ingest_document(&grid, &self.catalog, &input, offset);
         self.maintenance.counters.stable_appends += 1;
+        let old_generation = self.summaries.generation();
         // The outgoing serving state is exactly what a removal of this
         // document must restore: move it onto the undo stack.
         let undo = AppendUndo {
             shards_before: self.shards.len(),
             entry_count: self.summaries.len(),
-            summaries: std::mem::replace(&mut self.summaries, merged),
+            summaries: std::mem::replace(&mut self.summaries, Arc::new(merged)),
             merge_state: self.merge_state.replace(merge_state),
         };
         self.undo.push_back(undo);
@@ -733,6 +775,20 @@ impl Database {
             }),
         });
         self.epoch += 1;
+        // Coefficient tables are pure functions of (predicate position
+        // histogram, grid); the grid did not move, and any predicate the
+        // new shard contributed zero mass to has a bit-identical merged
+        // histogram — its tables carry to the new generation unchanged.
+        let added = &self
+            .shards
+            .last()
+            .expect("shard pushed above") // xlint: allow(no-panic, "the new shard was pushed immediately above")
+            .summaries;
+        self.coeff_cache
+            .rebind_carrying(old_generation, &self.summaries, |name| {
+                added.get(name).is_none_or(|p| p.count == 0)
+            });
+        self.publish_snapshot();
         Ok(())
     }
 
@@ -755,10 +811,17 @@ impl Database {
         let epoch = self.epoch + 1;
         let prepared = std::mem::take(&mut self.prepared);
         let counters = self.maintenance.counters;
+        // The serving cell's identity must survive the rebuild: external
+        // holders (maintenance worker, admission front) keep their
+        // `Arc<SnapshotCell>` across it and see the new state at the
+        // next publish.
+        let serving = self.serving.clone();
         *self = rebuilt;
         self.epoch = epoch;
         self.prepared = prepared;
         self.maintenance.counters = counters;
+        self.serving = serving;
+        self.publish_snapshot();
     }
 
     /// Removes a document by name. Under the slack policy the grid never
@@ -884,8 +947,9 @@ impl Database {
             .tracker
             .retract_document(&grid, &self.catalog, &src.input, offset);
         self.maintenance.counters.stable_removes += 1;
+        let old_generation = self.summaries.generation();
         if let Some((merged, merge_state)) = remerged {
-            self.summaries = merged;
+            self.summaries = Arc::new(merged);
             self.merge_state = Some(merge_state);
         } else {
             let u = self.undo.pop_back().expect("undo_valid checked a snapshot"); // xlint: allow(no-panic, "remerged is None only when undo_valid saw a stack top; nothing above pops it")
@@ -893,6 +957,14 @@ impl Database {
             self.merge_state = u.merge_state;
         }
         self.epoch += 1;
+        // Mirror of the append carry: predicates the removed shard never
+        // contributed mass to keep bit-identical merged histograms on
+        // the pinned grid, so their tables follow to the new generation.
+        self.coeff_cache
+            .rebind_carrying(old_generation, &self.summaries, |name| {
+                shard.summaries.get(name).is_none_or(|p| p.count == 0)
+            });
+        self.publish_snapshot();
         self.auto_refresh_if_needed();
         Ok(())
     }
@@ -1060,7 +1132,7 @@ impl Database {
         for (shard, summaries) in self.shards.iter_mut().zip(scoped.shards) {
             shard.summaries = summaries;
         }
-        self.summaries = scoped.merged;
+        self.summaries = Arc::new(scoped.merged);
         self.merge_state = Some(scoped.state);
         // The undo snapshots were captured on the old grid.
         self.undo.clear();
@@ -1077,6 +1149,7 @@ impl Database {
         xmlest_core::invariants::checkpoint("Database::refresh_grid(scoped)", || {
             self.summaries.validate()
         });
+        self.publish_snapshot();
         let c = &mut self.maintenance.counters;
         c.refreshes += 1;
         c.grid_moves += 1;
@@ -1195,7 +1268,7 @@ impl Database {
         CatalogFile {
             config,
             catalog: self.catalog.clone(),
-            merged: self.summaries.clone(),
+            merged: (*self.summaries).clone(),
             shards: self
                 .shards
                 .iter()
@@ -1253,11 +1326,14 @@ impl Database {
             Some(tracker) => MaintenanceState::with_tracker(tracker),
             None => MaintenanceState::new(file.merged.grid().g()),
         };
+        let summaries = Arc::new(file.merged);
+        let coeff_cache = Arc::new(CoeffCache::new());
+        let serving = initial_serving(!quarantine.is_empty(), &summaries, &coeff_cache);
         let db = Database {
             tree: None,
             catalog: file.catalog,
             config: file.config,
-            summaries: file.merged,
+            summaries,
             shards: file
                 .shards
                 .into_iter()
@@ -1270,13 +1346,14 @@ impl Database {
                 .collect(),
             collection: false,
             index: ElementIndex::default(),
-            coeff_cache: CoeffCache::new(),
+            coeff_cache,
             epoch: 1,
             prepared: PreparedCache::default(),
             maintenance,
             quarantine,
             merge_state: None,
             undo: VecDeque::new(),
+            serving,
         };
         for (name, table) in file.coefficients {
             db.coeff_cache.seed(&db.summaries, &name, Arc::new(table));
@@ -1434,20 +1511,21 @@ impl Database {
             // still-quarantined holes keep their position space.
             let grid = self.summaries.grid().clone();
             let refs: Vec<&Summaries> = self.shards.iter().map(|s| &s.summaries).collect();
-            self.summaries = xmlest_core::shard::merge_shards_with_total(
+            self.summaries = Arc::new(xmlest_core::shard::merge_shards_with_total(
                 &refs,
                 &grid,
                 &self.catalog,
                 &self.config,
                 self.summaries.tree_nodes(),
-            )?;
+            )?);
             // The override total makes this merge's fold state unusable
             // for a delta resume (the root interval is pinned, not
             // derived); the next stable append re-merges fully once.
             self.merge_state = None;
             self.undo.clear();
-            self.coeff_cache = CoeffCache::new();
+            self.coeff_cache = Arc::new(CoeffCache::new());
             self.epoch += 1;
+            self.publish_snapshot();
         }
         Ok(report)
     }
@@ -1502,7 +1580,11 @@ impl Database {
     /// at build time and round-trip on their own).
     pub fn attach_dtd(&mut self, dtd: xmlest_xml::dtd::DtdAnalysis) {
         self.config.dtd = Some(dtd.clone());
-        self.summaries.attach_dtd(dtd.clone());
+        // Copy-on-write: a live snapshot holding the old merged view is
+        // never mutated under a concurrent reader. The clone keeps the
+        // build id, so the coefficient binding is unchanged (matching
+        // the pre-snapshot behavior of not resetting the cache).
+        Arc::make_mut(&mut self.summaries).attach_dtd(dtd.clone());
         for shard in &mut self.shards {
             shard.summaries.attach_dtd(dtd.clone());
         }
@@ -1514,6 +1596,7 @@ impl Database {
         self.merge_state = None;
         self.undo.clear();
         self.epoch += 1;
+        self.publish_snapshot();
     }
 
     /// The merged summary structure serving estimates.
@@ -1544,6 +1627,35 @@ impl Database {
     /// The shared coefficient cache (introspection / tests).
     pub fn coeff_cache(&self) -> &CoeffCache {
         &self.coeff_cache
+    }
+
+    // ---- wait-free serving -------------------------------------------
+
+    /// Publishes the current serving state as a fresh epoch-stamped
+    /// [`Snapshot`]. Called at every mutation commit point (after the
+    /// epoch bump); under `--features strict-invariants` the publish
+    /// re-validates the summaries and epoch monotonicity.
+    fn publish_snapshot(&self) {
+        self.serving.publish(Snapshot::new(
+            self.epoch,
+            self.is_degraded(),
+            self.summaries.clone(),
+            self.coeff_cache.clone(),
+            self.prepared.frozen_twigs(),
+        ));
+    }
+
+    /// The shared serving cell. Readers (service fronts, other threads)
+    /// hold this `Arc` and load wait-free snapshots from it; the cell's
+    /// identity is stable across every mutation, refresh and rebuild of
+    /// this database.
+    pub fn serving(&self) -> Arc<SnapshotCell> {
+        self.serving.clone()
+    }
+
+    /// The current serving snapshot — one lock-free pointer load.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.serving.current()
     }
 
     /// Number of distinct query strings in the prepared-query cache.

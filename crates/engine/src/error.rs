@@ -24,6 +24,11 @@ pub enum Error {
     /// keeps serving estimates; re-ingest the documents (or
     /// `Database::repair` quarantined ones) to mutate.
     ServingOnly(String),
+    /// A service-front failure: the maintenance worker or an admission
+    /// queue is gone (its thread shut down or panicked), so the request
+    /// cannot be served. Estimates against an already-held snapshot are
+    /// unaffected.
+    Service(String),
 }
 
 impl fmt::Display for Error {
@@ -35,6 +40,7 @@ impl fmt::Display for Error {
             Error::Plan(msg) => write!(f, "plan: {msg}"),
             Error::NoData(msg) => write!(f, "no data: {msg}"),
             Error::ServingOnly(msg) => write!(f, "serving-only: {msg}"),
+            Error::Service(msg) => write!(f, "service: {msg}"),
         }
     }
 }

@@ -56,6 +56,19 @@
 //! same contract: an equi-depth refresh swaps the whole summary set to
 //! a new grid and bumps the epoch, so every cached plan re-prepares
 //! lazily — a stale-grid plan can never be served.
+//!
+//! ## Wait-free serving
+//!
+//! Every mutation commit additionally publishes an immutable,
+//! epoch-stamped [`snapshot::Snapshot`] — summaries, coefficient cache
+//! and a frozen prepared-twig view behind `Arc`s — through the
+//! database's [`snapshot::SnapshotCell`]. Readers load the current
+//! snapshot with one lock-free pointer load and estimate entirely
+//! against it, never blocking on (or being blocked by) maintenance;
+//! [`maintenance::MaintenanceWorker`] moves the mutations themselves
+//! off-thread, and [`service::AdmissionFront`] batches request
+//! admission over the same cell. See [`snapshot`] for the
+//! read-vs-maintenance thread contract.
 
 pub mod cost;
 /// The database object: documents, catalog, indexes, summaries.
@@ -76,12 +89,17 @@ pub mod planner;
 pub mod prepared;
 /// The concurrent estimation service with pooled workspaces.
 pub mod service;
+/// Epoch-stamped serving snapshots and the RCU-style publication cell.
+pub mod snapshot;
 
 pub use db::{Database, RepairReport, StoreOpen};
 pub use error::{Error, Result};
-pub use maintenance::{MaintenanceStats, DEGRADED_AFTER_STRIKES};
+pub use maintenance::{MaintenanceStats, MaintenanceWorker, DEGRADED_AFTER_STRIKES};
 pub use optimizer::{ExplainedPlan, Optimizer};
 pub use plan::{FlatTwig, Plan, PlanStep};
 pub use planner::Planner;
 pub use prepared::{CacheStats, LeafResolution, PreparedQuery, TwigId};
-pub use service::{EstimationService, ServiceStats, TwigRef};
+pub use service::{
+    AdmissionFront, AdmissionOptions, EstimationService, FrontStats, ServiceStats, TwigRef,
+};
+pub use snapshot::{Snapshot, SnapshotCell};

@@ -57,7 +57,12 @@
 //! database resumes accounting) and the session [`MaintenanceCounters`]
 //! (how often each path ran — observability only, reset on reopen).
 
-use xmlest_core::{DriftTracker, GridPolicy};
+use crate::db::Database;
+use crate::error::{Error, Result};
+use crate::snapshot::{Snapshot, SnapshotCell};
+use std::sync::mpsc;
+use std::sync::Arc;
+use xmlest_core::{DriftTracker, Estimate, GridPolicy};
 
 /// Consecutive auto-refresh failures after which the database raises
 /// its visible degraded flag ([`MaintenanceStats::refresh_degraded`]):
@@ -211,5 +216,194 @@ impl MaintenanceStats {
     /// Whether the next auto-refresh check would fire.
     pub fn over_threshold(&self) -> bool {
         self.drift_threshold.is_some_and(|t| self.drift > t)
+    }
+}
+
+// ---- the off-thread maintenance worker --------------------------------
+
+/// Command-queue depth for the worker thread. Mutations are rare and
+/// heavyweight next to estimates; a small bound applies backpressure to
+/// a runaway producer instead of buffering unbounded work.
+const WORKER_QUEUE_DEPTH: usize = 64;
+
+/// One queued mutation (or introspection request) with its reply slot.
+enum Command {
+    Append {
+        name: String,
+        xml: String,
+        reply: mpsc::Sender<Result<()>>,
+    },
+    Remove {
+        name: String,
+        reply: mpsc::Sender<Result<()>>,
+    },
+    Refresh {
+        reply: mpsc::Sender<Result<()>>,
+    },
+    Probe {
+        queries: Vec<String>,
+        reply: mpsc::Sender<(u64, Vec<Result<Estimate>>)>,
+    },
+    Stats {
+        reply: mpsc::Sender<Box<MaintenanceStats>>,
+    },
+    Shutdown {
+        reply: mpsc::Sender<Box<Database>>,
+    },
+}
+
+/// The off-thread maintenance half of wait-free serving: owns the
+/// [`Database`] on a dedicated thread and serializes every mutation
+/// through a bounded command queue, while readers estimate against the
+/// shared [`SnapshotCell`] without ever touching this thread.
+///
+/// ```text
+///   readers ──▶ SnapshotCell::current() ──▶ estimate   (wait-free)
+///                      ▲ publish
+///   mutations ──queue──▶ worker thread: &mut Database  (serialized)
+/// ```
+///
+/// Mutation methods block the *caller* until the worker commits (the
+/// queue bound is the only buffering), but never block readers: the
+/// successor snapshot is built entirely on this thread and installed by
+/// pointer swap. Dropping the worker shuts the thread down;
+/// [`MaintenanceWorker::shutdown`] hands the database back instead.
+pub struct MaintenanceWorker {
+    commands: crossbeam::channel::Sender<Command>,
+    serving: Arc<SnapshotCell>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MaintenanceWorker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MaintenanceWorker")
+            .field("epoch", &self.serving.epoch())
+            .finish_non_exhaustive()
+    }
+}
+
+fn worker_gone() -> Error {
+    Error::Service("maintenance worker is gone".into())
+}
+
+impl MaintenanceWorker {
+    /// Moves `db` onto a dedicated maintenance thread and returns the
+    /// handle mutations go through. The serving cell is captured before
+    /// the move, so readers keep loading snapshots from the same cell
+    /// the worker publishes to.
+    pub fn spawn(db: Database) -> MaintenanceWorker {
+        let serving = db.serving();
+        let (tx, rx) = crossbeam::channel::bounded::<Command>(WORKER_QUEUE_DEPTH);
+        let handle = std::thread::spawn(move || {
+            let mut db = db;
+            while let Ok(cmd) = rx.recv() {
+                match cmd {
+                    Command::Append { name, xml, reply } => {
+                        let _ = reply.send(db.add_document(name, &xml));
+                    }
+                    Command::Remove { name, reply } => {
+                        let _ = reply.send(db.remove_document(&name));
+                    }
+                    Command::Refresh { reply } => {
+                        let _ = reply.send(db.refresh_grid());
+                    }
+                    Command::Probe { queries, reply } => {
+                        let snap = db.snapshot();
+                        let results = queries.iter().map(|q| snap.estimate(q)).collect();
+                        let _ = reply.send((snap.epoch(), results));
+                    }
+                    Command::Stats { reply } => {
+                        let _ = reply.send(Box::new(db.maintenance_stats()));
+                    }
+                    Command::Shutdown { reply } => {
+                        let _ = reply.send(Box::new(db));
+                        return;
+                    }
+                }
+            }
+            // Every sender dropped without a shutdown: the database
+            // (and its final snapshot) drops with this thread.
+        });
+        MaintenanceWorker {
+            commands: tx,
+            serving,
+            handle: Some(handle),
+        }
+    }
+
+    /// The shared serving cell — hand this to readers and service
+    /// fronts; it outlives refreshes, rebuilds and the worker itself.
+    pub fn serving(&self) -> Arc<SnapshotCell> {
+        self.serving.clone()
+    }
+
+    /// The current serving snapshot — one lock-free pointer load.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.serving.current()
+    }
+
+    fn round_trip<T>(&self, make: impl FnOnce(mpsc::Sender<T>) -> Command) -> Result<T> {
+        let (reply, rx) = mpsc::channel();
+        self.commands.send(make(reply)).map_err(|_| worker_gone())?;
+        rx.recv().map_err(|_| worker_gone())
+    }
+
+    /// Queues an append and blocks until the worker commits (or
+    /// rejects) it. Readers are never blocked; they switch to the new
+    /// snapshot at its publish.
+    pub fn add_document(&self, name: impl Into<String>, xml: &str) -> Result<()> {
+        let name = name.into();
+        let xml = xml.to_owned();
+        self.round_trip(|reply| Command::Append { name, xml, reply })?
+    }
+
+    /// Queues a removal and blocks until the worker commits it.
+    pub fn remove_document(&self, name: &str) -> Result<()> {
+        let name = name.to_owned();
+        self.round_trip(|reply| Command::Remove { name, reply })?
+    }
+
+    /// Queues a manual equi-depth refresh and blocks until it lands.
+    pub fn refresh_grid(&self) -> Result<()> {
+        self.round_trip(|reply| Command::Refresh { reply })?
+    }
+
+    /// Estimates `queries` **on the maintenance thread itself**, between
+    /// mutations, and returns them with the epoch they ran under. This
+    /// is the single-threaded replay oracle: because the worker thread
+    /// is the only mutator, the returned values are exactly what any
+    /// wait-free reader must observe for that epoch — the concurrency
+    /// torture test compares reader results bit-for-bit against these.
+    pub fn probe(&self, queries: &[&str]) -> Result<(u64, Vec<Result<Estimate>>)> {
+        let queries: Vec<String> = queries.iter().map(|q| (*q).to_owned()).collect();
+        self.round_trip(|reply| Command::Probe { queries, reply })
+    }
+
+    /// Maintenance counters, read on the worker thread.
+    pub fn stats(&self) -> Result<MaintenanceStats> {
+        self.round_trip(|reply| Command::Stats { reply })
+            .map(|b| *b)
+    }
+
+    /// Stops the worker and hands the database back (with every queued
+    /// command before the shutdown applied).
+    pub fn shutdown(mut self) -> Result<Database> {
+        let db = self
+            .round_trip(|reply| Command::Shutdown { reply })
+            .map(|b| *b)?;
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+        Ok(db)
+    }
+}
+
+impl Drop for MaintenanceWorker {
+    fn drop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            let (reply, _rx) = mpsc::channel();
+            let _ = self.commands.send(Command::Shutdown { reply });
+            let _ = handle.join();
+        }
     }
 }

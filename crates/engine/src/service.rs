@@ -38,12 +38,15 @@
 //! reports them next to its timings.
 
 use crate::db::Database;
-use crate::error::Result;
+use crate::error::{Error, Result};
 use crate::prepared::{CacheStats, PreparedQuery, TwigId};
+use crate::snapshot::SnapshotCell;
 use rayon::prelude::*;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
 use xmlest_core::{Estimate, TwigNode, TwigWorkspace};
 
 /// One query in a batch: a path string (resolved through the service's
@@ -434,6 +437,221 @@ fn bin_by_cost(unique: &[ResolvedTwig<'_>], workers: usize) -> Vec<Vec<usize>> {
         bins[lightest].push(i);
     }
     bins
+}
+
+// ---- the admission-batched front --------------------------------------
+
+/// Tuning for an [`AdmissionFront`]. The defaults target the serving
+/// shape the module docs describe: many concurrent clients submitting
+/// one path each, coalesced into batches without a visible latency tax.
+#[derive(Debug, Clone)]
+pub struct AdmissionOptions {
+    /// Worker threads draining the queue; `None` sizes to the machine
+    /// (`std::thread::available_parallelism`).
+    pub workers: Option<usize>,
+    /// Bound on queued (admitted, not yet served) requests. A full
+    /// queue blocks submitters — backpressure, not unbounded buffering.
+    pub queue_depth: usize,
+    /// Most requests one worker coalesces into a single batch call.
+    pub batch_max: usize,
+    /// How long a worker holding a non-empty, non-full batch waits for
+    /// one more arrival before serving it — the latency budget traded
+    /// for coalescing. Zero serves whatever drained immediately.
+    pub batch_window: Duration,
+}
+
+impl Default for AdmissionOptions {
+    fn default() -> Self {
+        AdmissionOptions {
+            workers: None,
+            queue_depth: 1024,
+            batch_max: 64,
+            batch_window: Duration::from_micros(200),
+        }
+    }
+}
+
+/// One admitted request: the path plus the submitter's reply slot.
+struct AdmissionRequest {
+    path: String,
+    reply: mpsc::Sender<Result<Estimate>>,
+}
+
+#[derive(Default)]
+struct FrontCounters {
+    admitted: AtomicU64,
+    batches: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+/// Counter snapshot of an [`AdmissionFront`]
+/// ([`AdmissionFront::stats`]).
+#[derive(Debug, Clone, Copy)]
+pub struct FrontStats {
+    /// Requests served through the queue.
+    pub admitted: u64,
+    /// Batch calls those requests were coalesced into.
+    pub batches: u64,
+    /// Requests that rode an already-open batch (admitted − batches).
+    pub coalesced: u64,
+}
+
+/// The admission-batched service front: a bounded request queue whose
+/// worker pool coalesces concurrent arrivals into
+/// [`Snapshot::estimate_batch_with`] calls under a small latency
+/// budget.
+///
+/// Each worker drains whatever is queued (up to
+/// [`AdmissionOptions::batch_max`]), optionally waits
+/// [`AdmissionOptions::batch_window`] for one more arrival, loads the
+/// current snapshot **once**, and serves the whole batch against it —
+/// so the per-request snapshot load, dedup setup and workspace warmup
+/// amortize across the batch, and every request in a batch observes one
+/// consistent epoch. Results are bit-identical to direct
+/// [`Snapshot::estimate`] calls: batching changes scheduling, never
+/// math.
+///
+/// [`Snapshot::estimate_batch_with`]: crate::snapshot::Snapshot::estimate_batch_with
+/// [`Snapshot::estimate`]: crate::snapshot::Snapshot::estimate
+pub struct AdmissionFront {
+    queue: Option<crossbeam::channel::Sender<AdmissionRequest>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    stats: Arc<FrontCounters>,
+}
+
+impl std::fmt::Debug for AdmissionFront {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdmissionFront")
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+fn front_gone() -> Error {
+    Error::Service("admission front is gone".into())
+}
+
+impl AdmissionFront {
+    /// Spawns the worker pool over a serving cell (obtain one from
+    /// [`Database::serving`] or a `MaintenanceWorker`). The front holds
+    /// only the cell — mutations publish through it concurrently and
+    /// the next batch simply loads the newer snapshot.
+    ///
+    /// [`Database::serving`]: crate::db::Database::serving
+    pub fn new(serving: Arc<SnapshotCell>, opts: AdmissionOptions) -> AdmissionFront {
+        let workers = opts
+            .workers
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+            .max(1);
+        let (tx, rx) = crossbeam::channel::bounded::<AdmissionRequest>(opts.queue_depth.max(1));
+        let stats = Arc::new(FrontCounters::default());
+        let handles = (0..workers)
+            .map(|_| {
+                let rx = rx.clone();
+                let serving = serving.clone();
+                let stats = stats.clone();
+                let batch_max = opts.batch_max.max(1);
+                let window = opts.batch_window;
+                std::thread::spawn(move || worker_loop(&rx, &serving, &stats, batch_max, window))
+            })
+            .collect();
+        AdmissionFront {
+            queue: Some(tx),
+            workers: handles,
+            stats,
+        }
+    }
+
+    /// Submits one path and blocks until its batch is served. A full
+    /// queue blocks admission (backpressure); the result is
+    /// bit-identical to `serving.current().estimate(path)`.
+    pub fn estimate(&self, path: &str) -> Result<Estimate> {
+        let Some(queue) = self.queue.as_ref() else {
+            return Err(front_gone());
+        };
+        let (reply, rx) = mpsc::channel();
+        queue
+            .send(AdmissionRequest {
+                path: path.to_owned(),
+                reply,
+            })
+            .map_err(|_| front_gone())?;
+        rx.recv().map_err(|_| front_gone())?
+    }
+
+    /// Coalescing counters so far.
+    pub fn stats(&self) -> FrontStats {
+        FrontStats {
+            admitted: self.stats.admitted.load(Ordering::Relaxed),
+            batches: self.stats.batches.load(Ordering::Relaxed),
+            coalesced: self.stats.coalesced.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for AdmissionFront {
+    fn drop(&mut self) {
+        // Disconnect the queue first: workers drain what was admitted,
+        // then exit on the hung-up channel.
+        self.queue = None;
+        for handle in std::mem::take(&mut self.workers) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One admission worker: block for the first request, drain the queue's
+/// backlog, optionally hold the batch open for one latency window, then
+/// serve everything against a single snapshot load.
+fn worker_loop(
+    rx: &crossbeam::channel::Receiver<AdmissionRequest>,
+    serving: &SnapshotCell,
+    stats: &FrontCounters,
+    batch_max: usize,
+    window: Duration,
+) {
+    let mut ws = TwigWorkspace::default();
+    let mut batch: Vec<AdmissionRequest> = Vec::with_capacity(batch_max);
+    while let Ok(first) = rx.recv() {
+        batch.push(first);
+        while batch.len() < batch_max {
+            match rx.try_recv() {
+                Ok(req) => batch.push(req),
+                Err(_) => break,
+            }
+        }
+        if batch.len() < batch_max && !window.is_zero() {
+            // The latency budget: one bounded wait for a coalescing
+            // partner, then drain whatever else arrived meanwhile.
+            if let Ok(req) = rx.recv_timeout(window) {
+                batch.push(req);
+                while batch.len() < batch_max {
+                    match rx.try_recv() {
+                        Ok(req) => batch.push(req),
+                        Err(_) => break,
+                    }
+                }
+            }
+        }
+        stats
+            .admitted
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        stats.batches.fetch_add(1, Ordering::Relaxed);
+        stats
+            .coalesced
+            .fetch_add(batch.len() as u64 - 1, Ordering::Relaxed);
+        let snapshot = serving.current();
+        let paths: Vec<&str> = batch.iter().map(|r| r.path.as_str()).collect();
+        let results = snapshot.estimate_batch_with(&mut ws, &paths);
+        for (req, res) in batch.drain(..).zip(results) {
+            // A submitter that gave up (dropped its receiver) is fine.
+            let _ = req.reply.send(res);
+        }
+    }
 }
 
 #[cfg(test)]

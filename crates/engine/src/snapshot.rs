@@ -1,0 +1,229 @@
+//! Epoch-stamped immutable serving snapshots and the RCU-style cell
+//! that publishes them — the wait-free read side of the database.
+//!
+//! A [`Snapshot`] freezes everything an estimate derives from: the
+//! merged [`Summaries`] (grid included), the shared coefficient cache,
+//! and a frozen view of the prepared-query cache's path→twig map, all
+//! behind `Arc`s so a successor snapshot reuses every component the
+//! mutation did not replace (a stable append allocates only the delta —
+//! the new merged summaries; the coefficient cache and twig map carry by
+//! pointer).
+//!
+//! The [`SnapshotCell`] is the publication point: readers load the
+//! current snapshot with one lock-free pointer load
+//! ([`SnapshotCell::current`]) and run *entirely* against it — no lock,
+//! no epoch re-check, no shared-state write. Mutations build the
+//! successor off the read path and publish it by a single pointer swap
+//! with a (strictly monotone) epoch bump; under `--features
+//! strict-invariants` every publish re-validates the summaries and the
+//! epoch monotonicity first, so a torn or regressed snapshot can never
+//! become current.
+//!
+//! ## The read-vs-maintenance thread contract
+//!
+//! * **Readers** ([`Snapshot::estimate`] and friends) are wait-free:
+//!   they never block on a mutation, and every value they return is
+//!   computed against exactly one published epoch — bit-identical to a
+//!   single-threaded replay of that epoch's database.
+//! * **Writers** (the `&mut Database` mutation paths, typically driven
+//!   by one [`crate::maintenance::MaintenanceWorker`] thread) serialize
+//!   on the database's `&mut` receiver; the cell itself never blocks
+//!   them on readers. An in-flight reader keeps its old snapshot alive
+//!   through the `Arc` until it finishes — there is no grace period to
+//!   wait out and no reader can ever observe a half-installed state.
+//!
+//! The element index and data tree are deliberately **not** part of a
+//! snapshot: the estimate path never touches them (exact counting and
+//! plan execution stay on the [`crate::db::Database`] itself).
+
+use crate::error::Result;
+use std::collections::HashMap;
+use std::sync::Arc;
+use xmlest_core::{CoeffCache, Estimate, Estimator, Summaries, TwigNode, TwigWorkspace};
+use xmlest_query::parse_path;
+
+/// A frozen path→canonical-twig view of the prepared cache, shared by
+/// every snapshot published while the cache's path set is unchanged.
+pub(crate) type FrozenTwigs = Arc<HashMap<String, Arc<TwigNode>>>;
+
+/// One immutable, epoch-stamped serving state. Everything an estimate
+/// reads lives behind this value; see the module docs for the contract.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    epoch: u64,
+    degraded: bool,
+    summaries: Arc<Summaries>,
+    coeffs: Arc<CoeffCache>,
+    twigs: FrozenTwigs,
+}
+
+impl Snapshot {
+    pub(crate) fn new(
+        epoch: u64,
+        degraded: bool,
+        summaries: Arc<Summaries>,
+        coeffs: Arc<CoeffCache>,
+        twigs: FrozenTwigs,
+    ) -> Snapshot {
+        Snapshot {
+            epoch,
+            degraded,
+            summaries,
+            coeffs,
+            twigs,
+        }
+    }
+
+    /// The database epoch this snapshot was published at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether the database was serving degraded (quarantined
+    /// documents estimate as absent) when this snapshot was published.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// The merged summaries this snapshot estimates from.
+    pub fn summaries(&self) -> &Summaries {
+        &self.summaries
+    }
+
+    /// The summaries generation ([`Summaries::generation`]) — what the
+    /// coefficient tables bind to.
+    pub fn generation(&self) -> u64 {
+        self.summaries.generation()
+    }
+
+    /// An estimator over this snapshot, wired to its coefficient cache.
+    pub fn estimator(&self) -> Estimator<'_> {
+        self.summaries.estimator().with_cache(&self.coeffs)
+    }
+
+    /// Resolves a path to its canonical twig: a hit on the frozen
+    /// prepared view skips the parser entirely; a miss parses and
+    /// canonicalizes — either way the estimate runs on the canonical
+    /// ordering, so the two are bit-identical.
+    fn resolve(&self, path: &str) -> Result<Arc<TwigNode>> {
+        if let Some(twig) = self.twigs.get(path) {
+            return Ok(twig.clone());
+        }
+        Ok(Arc::new(parse_path(path)?.canonicalize()))
+    }
+
+    /// Estimates a path query against this snapshot (thread-local
+    /// workspace). Wait-free with respect to concurrent mutations: the
+    /// whole computation reads this snapshot only.
+    pub fn estimate(&self, path: &str) -> Result<Estimate> {
+        let twig = self.resolve(path)?;
+        Ok(self.estimator().estimate_twig(&twig)?)
+    }
+
+    /// [`Snapshot::estimate`] on a caller-owned workspace — the
+    /// zero-allocation steady state for serving loops.
+    pub fn estimate_with(&self, ws: &mut TwigWorkspace, path: &str) -> Result<Estimate> {
+        let twig = self.resolve(path)?;
+        Ok(self.estimator().estimate_twig_with(ws, &twig)?)
+    }
+
+    /// Estimates a pre-parsed twig on a caller-owned workspace. The twig
+    /// is evaluated as given (no canonicalization) — canonicalize first
+    /// for bit-stability against the path-string entry points.
+    pub fn estimate_twig_with(&self, ws: &mut TwigWorkspace, twig: &TwigNode) -> Result<Estimate> {
+        Ok(self.estimator().estimate_twig_with(ws, twig)?)
+    }
+
+    /// Estimates a batch of paths, deduplicating repeated strings so
+    /// each distinct path is resolved and estimated exactly once (the
+    /// per-path results are bit-identical to [`Snapshot::estimate`]).
+    /// Result order matches the batch; per-path errors come back in
+    /// their own slot.
+    pub fn estimate_batch(&self, paths: &[&str]) -> Vec<Result<Estimate>> {
+        let mut ws = TwigWorkspace::default();
+        self.estimate_batch_with(&mut ws, paths)
+    }
+
+    /// [`Snapshot::estimate_batch`] on a caller-owned workspace — what
+    /// the admission-front workers run.
+    pub fn estimate_batch_with(
+        &self,
+        ws: &mut TwigWorkspace,
+        paths: &[&str],
+    ) -> Vec<Result<Estimate>> {
+        let mut distinct: Vec<&str> = Vec::new();
+        let mut class_of: HashMap<&str, usize> = HashMap::with_capacity(paths.len());
+        let slots: Vec<usize> = paths
+            .iter()
+            .map(|&p| {
+                *class_of.entry(p).or_insert_with(|| {
+                    distinct.push(p);
+                    distinct.len() - 1
+                })
+            })
+            .collect();
+        let est = self.estimator();
+        let results: Vec<Result<Estimate>> = distinct
+            .iter()
+            .map(|&p| {
+                let twig = self.resolve(p)?;
+                Ok(est.estimate_twig_with(ws, &twig)?)
+            })
+            .collect();
+        slots.into_iter().map(|i| results[i].clone()).collect()
+    }
+
+    /// Cross-structure consistency of the frozen summaries
+    /// ([`Summaries::validate`]); run at every publish under
+    /// `--features strict-invariants`.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        self.summaries.validate()
+    }
+}
+
+/// The RCU-style publication cell: one atomically swappable pointer to
+/// the current [`Snapshot`]. Reads are wait-free (hazard-pointer guarded
+/// loads — see the `arc-swap` shim); publication is a single pointer
+/// swap performed by the database's mutation paths.
+#[derive(Debug)]
+pub struct SnapshotCell {
+    inner: arc_swap::ArcSwap<Snapshot>,
+}
+
+impl SnapshotCell {
+    /// Wraps the database's first snapshot in a shareable cell.
+    pub(crate) fn initial(snapshot: Snapshot) -> Arc<SnapshotCell> {
+        Arc::new(SnapshotCell {
+            inner: arc_swap::ArcSwap::from_pointee(snapshot),
+        })
+    }
+
+    /// The current snapshot — one lock-free pointer load. The returned
+    /// `Arc` keeps that snapshot alive (and every estimate run on it
+    /// consistent) across any number of concurrent publications.
+    pub fn current(&self) -> Arc<Snapshot> {
+        self.inner.load_full()
+    }
+
+    /// Epoch of the current snapshot, without taking a full reference.
+    pub fn epoch(&self) -> u64 {
+        self.inner.load().epoch()
+    }
+
+    /// Publishes `next` as the current snapshot. Under `--features
+    /// strict-invariants` the swap is gated on the published state
+    /// validating and the epoch never going backwards.
+    pub(crate) fn publish(&self, next: Snapshot) {
+        let current = self.inner.load().epoch();
+        xmlest_core::invariants::checkpoint("SnapshotCell::publish", || {
+            if next.epoch() < current {
+                return Err(format!(
+                    "snapshot epoch went backwards: {current} -> {}",
+                    next.epoch()
+                ));
+            }
+            next.validate()
+        });
+        self.inner.store(Arc::new(next));
+    }
+}

@@ -1,0 +1,373 @@
+//! Offline stand-in for the `crossbeam` crate: the subset the workspace
+//! uses — [`channel`] (bounded MPMC), [`utils::CachePadded`], and
+//! [`thread::scope`] — with API shapes matching the real crate, so the
+//! workspace dependency swaps for real `crossbeam` with a one-line
+//! manifest change if the environment gets networked.
+//!
+//! The channel is a `Mutex<VecDeque>` + two `Condvar`s rather than the
+//! real crate's lock-free segments: correct, fair enough, and plenty
+//! for the admission queue and maintenance command channel it backs
+//! (those paths are allowed to block — only the snapshot *read* path in
+//! the engine has a no-lock budget, and it never touches a channel).
+
+/// Multi-producer multi-consumer bounded channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+    use std::time::Duration;
+
+    /// Why a send failed: the channel can only be disconnected (every
+    /// receiver dropped) — a full channel blocks instead.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Why a `try_send` failed.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The queue is at capacity.
+        Full(T),
+        /// Every receiver dropped.
+        Disconnected(T),
+    }
+
+    /// Why a blocking `recv` failed: every sender dropped and the queue
+    /// drained.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Why a `try_recv` failed.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Nothing queued right now.
+        Empty,
+        /// Every sender dropped and the queue drained.
+        Disconnected,
+    }
+
+    /// Why a `recv_timeout` failed.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline passed with nothing queued.
+        Timeout,
+        /// Every sender dropped and the queue drained.
+        Disconnected,
+    }
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        cap: usize,
+        not_empty: Condvar,
+        not_full: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    impl<T> Shared<T> {
+        fn lock(&self) -> MutexGuard<'_, VecDeque<T>> {
+            match self.queue.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            }
+        }
+    }
+
+    /// The sending half; clone freely for more producers.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half; clone freely for more consumers (each queued
+    /// value is delivered to exactly one of them).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Creates a bounded MPMC channel with room for `cap` queued values
+    /// (at least one).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            cap: cap.max(1),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                shared: shared.clone(),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Queues `value`, blocking while the channel is full. Fails
+        /// only when every receiver dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut queue = self.shared.lock();
+            loop {
+                if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+                    return Err(SendError(value));
+                }
+                if queue.len() < self.shared.cap {
+                    queue.push_back(value);
+                    self.shared.not_empty.notify_one();
+                    return Ok(());
+                }
+                queue = match self.shared.not_full.wait(queue) {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+        }
+
+        /// Queues `value` without blocking.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut queue = self.shared.lock();
+            if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if queue.len() >= self.shared.cap {
+                return Err(TrySendError::Full(value));
+            }
+            queue.push_back(value);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues a value, blocking while the channel is empty. Fails
+        /// only when every sender dropped and the queue drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut queue = self.shared.lock();
+            loop {
+                if let Some(v) = queue.pop_front() {
+                    self.shared.not_full.notify_one();
+                    return Ok(v);
+                }
+                if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                queue = match self.shared.not_empty.wait(queue) {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+        }
+
+        /// Dequeues a value without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut queue = self.shared.lock();
+            if let Some(v) = queue.pop_front() {
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+
+        /// Dequeues a value, blocking at most `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let mut queue = self.shared.lock();
+            loop {
+                if let Some(v) = queue.pop_front() {
+                    self.shared.not_full.notify_one();
+                    return Ok(v);
+                }
+                if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let (guard, result) = match self.shared.not_empty.wait_timeout(queue, timeout) {
+                    Ok(pair) => pair,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                queue = guard;
+                if result.timed_out() {
+                    return match queue.pop_front() {
+                        Some(v) => {
+                            self.shared.not_full.notify_one();
+                            Ok(v)
+                        }
+                        None => Err(RecvTimeoutError::Timeout),
+                    };
+                }
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.senders.fetch_add(1, Ordering::SeqCst);
+            Sender {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.receivers.fetch_add(1, Ordering::SeqCst);
+            Receiver {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Wake blocked receivers so they observe disconnection.
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            if self.shared.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Wake blocked senders so they observe disconnection.
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+}
+
+/// Utility types.
+pub mod utils {
+    /// Pads and aligns a value to 64 bytes so adjacent values in an
+    /// array never share a cache line (the false-sharing guard the real
+    /// crate provides; 64 covers x86-64 and most aarch64 parts).
+    #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+    #[repr(align(64))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Wraps `value` in cache-line padding.
+        pub fn new(value: T) -> Self {
+            CachePadded { value }
+        }
+
+        /// Unwraps the padded value.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> std::ops::Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> std::ops::DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+}
+
+/// Scoped threads, mirroring `crossbeam::thread::scope`'s shape over
+/// `std::thread::scope` (stable since 1.63): spawned threads may borrow
+/// from the caller's stack and are joined before `scope` returns.
+pub mod thread {
+    /// Runs `f` with a [`std::thread::Scope`]; every thread spawned on
+    /// it joins before this returns. Unlike real crossbeam the result
+    /// is not wrapped in `Result` — a panicking child propagates on
+    /// join, which is what every caller in this workspace wants anyway.
+    pub fn scope<'env, F, R>(f: F) -> R
+    where
+        F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> R,
+    {
+        std::thread::scope(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, RecvTimeoutError, TryRecvError, TrySendError};
+    use std::time::Duration;
+
+    #[test]
+    fn bounded_send_recv_fifo() {
+        let (tx, rx) = bounded(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        assert!(matches!(tx.try_send(9), Err(TrySendError::Full(9))));
+        assert_eq!(
+            (0..4).map(|_| rx.recv().unwrap()).collect::<Vec<_>>(),
+            [0, 1, 2, 3]
+        );
+        assert!(matches!(rx.try_recv(), Err(TryRecvError::Empty)));
+    }
+
+    #[test]
+    fn disconnect_is_observed_both_ways() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert!(rx.recv().is_err());
+        let (tx, rx) = bounded::<u32>(2);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = bounded(2);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(42).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(42));
+    }
+
+    #[test]
+    fn mpmc_across_threads_delivers_everything_once() {
+        let (tx, rx) = bounded(8);
+        let total: usize = std::thread::scope(|s| {
+            let consumers: Vec<_> = (0..3)
+                .map(|_| {
+                    let rx = rx.clone();
+                    s.spawn(move || {
+                        let mut got = Vec::new();
+                        while let Ok(v) = rx.recv() {
+                            got.push(v);
+                        }
+                        got
+                    })
+                })
+                .collect();
+            drop(rx);
+            std::thread::scope(|p| {
+                for chunk in 0..4 {
+                    let tx = tx.clone();
+                    p.spawn(move || {
+                        for i in 0..25usize {
+                            tx.send(chunk * 25 + i).unwrap();
+                        }
+                    });
+                }
+            });
+            drop(tx);
+            let mut all: Vec<usize> = consumers
+                .into_iter()
+                .flat_map(|c| c.join().unwrap())
+                .collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..100).collect::<Vec<_>>());
+            all.len()
+        });
+        assert_eq!(total, 100);
+    }
+}

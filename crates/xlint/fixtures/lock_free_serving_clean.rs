@@ -1,0 +1,33 @@
+//! Fixture: a wait-free read path. The hot getter is a single atomic
+//! load; the writer-side publication lock is justified with a
+//! same-line pragma; a method call *with arguments* named `write` is
+//! not a lock acquisition and must not be flagged.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Warm-path serving state published RCU-style.
+pub struct HotState {
+    /// The currently published value.
+    current: AtomicU64,
+    /// Writer-side serialization only; never touched by readers.
+    writer: Mutex<()>,
+}
+
+impl HotState {
+    /// The wait-free read: one atomic load, no locks.
+    pub fn estimate(&self) -> u64 {
+        self.current.load(Ordering::Acquire)
+    }
+
+    /// The writer side, justified as such.
+    pub fn publish(&self, next: u64) {
+        let _guard = self.writer.lock(); // xlint: allow(lock-free-serving, "writer-side publication lock; readers never acquire it")
+        self.current.store(next, Ordering::Release);
+    }
+
+    /// `write` with arguments is IO, not a lock acquisition.
+    pub fn dump(&self, out: &mut Vec<u8>) {
+        out.write(b"state");
+    }
+}

@@ -1,0 +1,35 @@
+//! Fixture: acquires locks on the warm estimate path — every
+//! acquisition shape the rule knows (`.lock()`, `.read()`, `.write()`)
+//! without a justifying pragma.
+
+use std::sync::{Mutex, RwLock};
+
+/// Warm-path serving state guarded the wrong way.
+pub struct HotState {
+    /// Mutex-guarded table.
+    table: Mutex<u64>,
+    /// RwLock-guarded epoch.
+    epoch: RwLock<u64>,
+}
+
+impl HotState {
+    /// Blocks readers behind the writer: flagged.
+    pub fn estimate(&self) -> u64 {
+        let t = match self.table.lock() {
+            Ok(g) => *g,
+            Err(p) => *p.into_inner(),
+        };
+        let e = match self.epoch.read() {
+            Ok(g) => *g,
+            Err(p) => *p.into_inner(),
+        };
+        t + e
+    }
+
+    /// Write-acquisition on the same path: flagged too.
+    pub fn bump(&self) {
+        if let Ok(mut e) = self.epoch.write() {
+            *e += 1;
+        }
+    }
+}

@@ -18,6 +18,7 @@
 //! | `io-confinement` (R3) | serving crates, non-test | `std::fs` / `std::net` / `Instant::now` / `SystemTime` appear only in `core::store` (and the bench crate) |
 //! | `bench-in-ci` (R4) | workspace | every registered bench that hooks the `XMLEST_BENCH_JSON` artifact writer is invoked with `--bench <name>` in `.github/workflows/ci.yml` |
 //! | `doc-pub` (R5) | `core`, `engine` src, non-test | every `pub` item declaration (fn/struct/enum/trait/type/const/static/mod/union) carries a doc comment |
+//! | `lock-free-serving` (R6) | warm estimate-path modules, non-test | no `Mutex`/`RwLock` acquisition (`.lock()` / `.read()` / `.write()`) — the serving read path must stay wait-free |
 //!
 //! # Pragma escape hatch
 //!
@@ -56,6 +57,8 @@ pub enum Rule {
     BenchInCi,
     /// R5: `pub` items in `core`/`engine` carry doc comments.
     DocPub,
+    /// R6: no lock acquisition in warm estimate-path modules.
+    LockFreeServing,
     /// Meta-rule: a malformed pragma (missing justification, unknown
     /// rule name) is itself a violation.
     BadPragma,
@@ -70,6 +73,7 @@ impl Rule {
             Rule::IoConfinement => "io-confinement",
             Rule::BenchInCi => "bench-in-ci",
             Rule::DocPub => "doc-pub",
+            Rule::LockFreeServing => "lock-free-serving",
             Rule::BadPragma => "bad-pragma",
         }
     }
@@ -82,6 +86,7 @@ impl Rule {
             "io-confinement" => Rule::IoConfinement,
             "bench-in-ci" => Rule::BenchInCi,
             "doc-pub" => Rule::DocPub,
+            "lock-free-serving" => Rule::LockFreeServing,
             _ => return None,
         })
     }
@@ -508,6 +513,8 @@ pub struct RuleSet {
     pub io: bool,
     /// R5 applies.
     pub doc_pub: bool,
+    /// R6 applies.
+    pub lock_free: bool,
 }
 
 impl RuleSet {
@@ -518,6 +525,7 @@ impl RuleSet {
             safety: true,
             io: true,
             doc_pub: true,
+            lock_free: true,
         }
     }
 }
@@ -540,6 +548,9 @@ pub fn check_source(path: &Path, src: &str, rules: RuleSet) -> Vec<Violation> {
     }
     if rules.doc_pub {
         doc_pub_rule(path, &file, &mut raw);
+    }
+    if rules.lock_free {
+        lock_free_rule(path, &file, &mut raw);
     }
 
     // Apply pragmas: a well-formed pragma on the same line suppresses
@@ -846,6 +857,44 @@ fn has_doc_above(file: &ScannedFile, pub_off: usize) -> bool {
     })
 }
 
+/// R6: lock acquisitions in warm estimate-path modules. The wait-free
+/// serving contract (`engine::snapshot`) promises that estimates never
+/// block on a mutation; a `Mutex`/`RwLock` acquisition on that path
+/// would silently void it. Declaring a lock is fine (the coefficient
+/// cache keeps a writer-side publication lock); *acquiring* one —
+/// `.lock()`, `.read()`, `.write()` method calls — is flagged unless a
+/// same-line pragma justifies it as writer-side only.
+fn lock_free_rule(path: &Path, file: &ScannedFile, out: &mut Vec<Violation>) {
+    let bytes = file.code.as_bytes();
+    for (off, word) in words(&file.code) {
+        if !matches!(word, "lock" | "read" | "write") || file.in_test_code(off) {
+            continue;
+        }
+        // Method-call form only: `.lock()` / `.read()` / `.write()` with
+        // no arguments — the std lock-acquisition shapes. A call taking
+        // arguments (e.g. `io::Write::write(buf)`) is something else.
+        // Blanked string literals leave spaces in `code`, so an
+        // apparently-empty argument span must also be empty in `raw`
+        // (`w.write(b"…")` is IO, not an acquisition).
+        let is_acquisition = prev_nonws(bytes, off) == Some(b'.')
+            && next_nonws(bytes, off + word.len()).is_some_and(|(i, b)| {
+                b == b'('
+                    && next_nonws(bytes, i + 1)
+                        .is_some_and(|(k, b)| b == b')' && file.raw[i + 1..k].trim().is_empty())
+            });
+        if is_acquisition {
+            out.push(Violation {
+                path: path.to_owned(),
+                line: file.line_of(off),
+                rule: Rule::LockFreeServing,
+                msg: format!(
+                    "`.{word}()` acquisition in a warm estimate-path module — serve from the published snapshot, or justify with `// xlint: allow(lock-free-serving, \"…\")`"
+                ),
+            });
+        }
+    }
+}
+
 /// R4 input: the registered benches of the bench crate and the CI text.
 #[derive(Debug, Default)]
 pub struct BenchCiInput {
@@ -909,6 +958,16 @@ pub const SERVING_CRATES: [&str; 5] = ["core", "engine", "xml", "predicate", "qu
 /// Crates whose `src/` falls under R5.
 pub const DOC_CRATES: [&str; 2] = ["core", "engine"];
 
+/// Modules on the warm estimate path — R6 keeps them free of lock
+/// acquisitions so the wait-free serving contract holds by
+/// construction. (The prepared cache is deliberately absent: its locks
+/// are cold-path; snapshots carry a frozen lock-free view of it.)
+pub const WARM_SERVING_FILES: [&str; 3] = [
+    "crates/core/src/estimator.rs",
+    "crates/engine/src/snapshot.rs",
+    "crates/shims/arcswap/src/lib.rs",
+];
+
 /// Classifies a workspace-relative path into the rule set that applies
 /// in a full-workspace scan. Returns `None` for files not scanned at
 /// all (shim internals get R2 only — they are vendored stand-ins).
@@ -932,6 +991,9 @@ pub fn rules_for(rel: &Path) -> Option<RuleSet> {
         if s.starts_with(&format!("crates/{c}/src/")) {
             rules.doc_pub = true;
         }
+    }
+    if WARM_SERVING_FILES.contains(&s.as_str()) {
+        rules.lock_free = true;
     }
     Some(rules)
 }
@@ -1252,5 +1314,91 @@ mod tests {
     fn nested_block_comments() {
         let src = "/* outer /* inner panic!() */ still comment x.unwrap() */ fn f() {}";
         assert_eq!(count(src, Rule::NoPanic), 0);
+    }
+
+    #[test]
+    fn lock_acquisitions_flagged() {
+        assert_eq!(
+            count(
+                "fn f(m: &Mutex<u8>) { let _ = m.lock(); }",
+                Rule::LockFreeServing
+            ),
+            1
+        );
+        assert_eq!(
+            count(
+                "fn f(l: &RwLock<u8>) { let _ = l.read(); }",
+                Rule::LockFreeServing
+            ),
+            1
+        );
+        assert_eq!(
+            count(
+                "fn f(l: &RwLock<u8>) { let _ = l.write(); }",
+                Rule::LockFreeServing
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn lock_free_rule_skips_non_acquisitions() {
+        // Calls with arguments are IO/writes, not lock acquisitions.
+        assert_eq!(
+            count(
+                "fn f(w: &mut Vec<u8>) { w.write(b); }",
+                Rule::LockFreeServing
+            ),
+            0
+        );
+        // A string-literal argument is blanked to spaces by the lexer
+        // but the call still has an argument — not an acquisition.
+        assert_eq!(
+            count(
+                "fn f(w: &mut Vec<u8>) { w.write(b\"state\"); }",
+                Rule::LockFreeServing
+            ),
+            0
+        );
+        // `write!` macro, free fn call, and declaring a lock are fine.
+        assert_eq!(
+            count("fn f() { write!(out, \"x\"); }", Rule::LockFreeServing),
+            0
+        );
+        assert_eq!(count("fn f() { read(); }", Rule::LockFreeServing), 0);
+        assert_eq!(
+            count(
+                "struct S { m: Mutex<()>, l: RwLock<u8> }",
+                Rule::LockFreeServing
+            ),
+            0
+        );
+        // Test code is exempt.
+        assert_eq!(
+            count(
+                "#[cfg(test)] mod t { fn f(m: &Mutex<u8>) { m.lock(); } }",
+                Rule::LockFreeServing
+            ),
+            0
+        );
+    }
+
+    #[test]
+    fn lock_free_pragma_suppresses() {
+        let src = "fn f(m: &Mutex<u8>) { let _ = m.lock(); // xlint: allow(lock-free-serving, \"writer side\")\n}";
+        assert_eq!(count(src, Rule::LockFreeServing), 0);
+    }
+
+    #[test]
+    fn warm_files_get_lock_free_rule() {
+        let r = rules_for(Path::new("crates/engine/src/snapshot.rs")).unwrap();
+        assert!(r.lock_free);
+        let r = rules_for(Path::new("crates/core/src/estimator.rs")).unwrap();
+        assert!(r.lock_free);
+        let r = rules_for(Path::new("crates/shims/arcswap/src/lib.rs")).unwrap();
+        assert!(r.lock_free && r.safety && !r.no_panic);
+        // The prepared cache's locks are cold-path: not a warm module.
+        let r = rules_for(Path::new("crates/engine/src/prepared.rs")).unwrap();
+        assert!(!r.lock_free);
     }
 }

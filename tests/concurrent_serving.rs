@@ -1,0 +1,281 @@
+//! Concurrency torture tests for the wait-free serving path.
+//!
+//! The contract under test (see `xmlest_engine::snapshot`): readers
+//! load epoch-stamped snapshots from the shared [`SnapshotCell`] and
+//! estimate against them without locking, while a single
+//! [`MaintenanceWorker`] thread applies appends, removals and grid
+//! refreshes. Every value a reader observes must be **bit-identical**
+//! to a single-threaded replay of the epoch it was computed under, and
+//! the epochs any one reader observes must be monotone. CI runs this
+//! file under `--features strict-invariants` too, which additionally
+//! re-validates every published snapshot at its publish point.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use xmlest_core::{GridPolicy, SummaryConfig};
+use xmlest_engine::service::{AdmissionFront, AdmissionOptions};
+use xmlest_engine::{Database, MaintenanceWorker};
+
+/// Paths estimable at every epoch of the torture run (all tags are in
+/// the catalog from the initial load; removals never shrink it).
+const QUERIES: &[&str] = &[
+    "//doc//p",
+    "//sec//p",
+    "//doc//note",
+    "//sec//note",
+    "//doc//sec",
+];
+
+fn doc_xml(sections: usize) -> String {
+    let mut xml = String::from("<doc>");
+    for _ in 0..sections {
+        xml.push_str("<sec><p/><p/><note/></sec>");
+    }
+    xml.push_str("</doc>");
+    xml
+}
+
+/// A collection under the slack policy with manual refresh only: every
+/// mutation (and every manual refresh) publishes exactly one epoch, so
+/// probing after each one enumerates the complete set of legal
+/// snapshots.
+fn torture_collection() -> Database {
+    let docs: Vec<(String, String)> = (0..4)
+        .map(|i| (format!("d{i}.xml"), doc_xml(i + 1)))
+        .collect();
+    Database::load_documents(
+        docs.iter().map(|(n, x)| (n.as_str(), x.as_str())),
+        &SummaryConfig::paper_defaults()
+            .with_grid_size(8)
+            .with_policy(GridPolicy::Slack {
+                slack_percent: 400,
+                drift_threshold: 0.15,
+                auto_refresh: false,
+            }),
+    )
+    .unwrap()
+}
+
+#[test]
+fn readers_observe_only_legal_epoch_snapshots() {
+    let worker = MaintenanceWorker::spawn(torture_collection());
+    let serving = worker.serving();
+    let stop = AtomicBool::new(false);
+
+    // The single-threaded replay oracle: (epoch → per-query value bits),
+    // probed on the maintenance thread itself after every mutation, so
+    // the map covers every epoch that was ever published.
+    let mut legal: HashMap<u64, Vec<u64>> = HashMap::new();
+    let record_probe = |worker: &MaintenanceWorker, legal: &mut HashMap<u64, Vec<u64>>| {
+        let (epoch, results) = worker.probe(QUERIES).unwrap();
+        let bits: Vec<u64> = results
+            .into_iter()
+            .map(|r| r.unwrap().value.to_bits())
+            .collect();
+        let prev = legal.insert(epoch, bits.clone());
+        // Probing the same epoch twice must reproduce it exactly.
+        if let Some(prev) = prev {
+            assert_eq!(prev, bits, "epoch {epoch} re-probed differently");
+        }
+    };
+    record_probe(&worker, &mut legal);
+
+    let reader_logs: Vec<Vec<(u64, usize, u64)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|reader| {
+                let serving = serving.clone();
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut log: Vec<(u64, usize, u64)> = Vec::new();
+                    let mut i = reader; // desynchronize the readers
+                    while !stop.load(Ordering::Relaxed) {
+                        let snapshot = serving.current();
+                        let q = i % QUERIES.len();
+                        let est = snapshot.estimate(QUERIES[q]).unwrap();
+                        log.push((snapshot.epoch(), q, est.value.to_bits()));
+                        i += 1;
+                    }
+                    log
+                })
+            })
+            .collect();
+
+        // Drive mutations while the readers hammer the cell: appends,
+        // stable (newest) and interior removals, and manual refreshes.
+        for round in 0..3 {
+            for i in 0..3 {
+                worker
+                    .add_document(format!("t{round}-{i}.xml"), &doc_xml(2 + i))
+                    .unwrap();
+                record_probe(&worker, &mut legal);
+            }
+            worker.remove_document(&format!("t{round}-2.xml")).unwrap();
+            record_probe(&worker, &mut legal);
+            worker.remove_document(&format!("t{round}-0.xml")).unwrap();
+            record_probe(&worker, &mut legal);
+            worker.refresh_grid().unwrap();
+            record_probe(&worker, &mut legal);
+        }
+        stop.store(true, Ordering::Relaxed);
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Every reader observation matches the oracle for its epoch, and
+    // each reader's epoch sequence is monotone.
+    let mut observed = 0usize;
+    for (reader, log) in reader_logs.iter().enumerate() {
+        assert!(!log.is_empty(), "reader {reader} never ran");
+        let mut last_epoch = 0;
+        for &(epoch, q, bits) in log {
+            assert!(
+                epoch >= last_epoch,
+                "reader {reader} saw epoch go backwards: {last_epoch} -> {epoch}"
+            );
+            last_epoch = epoch;
+            let oracle = legal
+                .get(&epoch)
+                .unwrap_or_else(|| panic!("reader {reader} saw unprobed epoch {epoch}"));
+            assert_eq!(
+                bits, oracle[q],
+                "reader {reader}: {:?} at epoch {epoch} diverged from the replay oracle",
+                QUERIES[q]
+            );
+            observed += 1;
+        }
+    }
+    assert!(observed > 0);
+
+    // The handed-back database agrees with the final published epoch.
+    let db = worker.shutdown().unwrap();
+    let final_bits = &legal[&db.epoch()];
+    for (q, want) in QUERIES.iter().zip(final_bits) {
+        assert_eq!(db.estimate(q).unwrap().value.to_bits(), *want, "{q}");
+    }
+}
+
+#[test]
+fn snapshot_is_frozen_while_database_mutates() {
+    let mut db = torture_collection();
+    let before = db.snapshot();
+    let epoch_before = before.epoch();
+    let bits_before: Vec<u64> = QUERIES
+        .iter()
+        .map(|q| before.estimate(q).unwrap().value.to_bits())
+        .collect();
+
+    db.add_document("late.xml", &doc_xml(5)).unwrap();
+
+    // The cell moved on…
+    let after = db.snapshot();
+    assert!(after.epoch() > epoch_before);
+    assert_eq!(after.epoch(), db.epoch());
+    // …but the held snapshot still serves its original epoch's values.
+    for (q, want) in QUERIES.iter().zip(&bits_before) {
+        assert_eq!(before.estimate(q).unwrap().value.to_bits(), *want, "{q}");
+    }
+    assert_eq!(before.epoch(), epoch_before);
+    // And the new snapshot matches the database's own estimator.
+    for q in QUERIES {
+        assert_eq!(
+            after.estimate(q).unwrap().value.to_bits(),
+            db.estimate(q).unwrap().value.to_bits(),
+            "{q}"
+        );
+    }
+}
+
+#[test]
+fn admission_front_is_bit_identical_to_direct_estimates() {
+    let db = torture_collection();
+    let want: Vec<u64> = QUERIES
+        .iter()
+        .map(|q| db.estimate(q).unwrap().value.to_bits())
+        .collect();
+    let front = AdmissionFront::new(db.serving(), AdmissionOptions::default());
+
+    // Concurrent submitters from several threads: every reply must be
+    // bit-identical to the direct estimate, regardless of how the
+    // arrivals were coalesced into batches.
+    std::thread::scope(|scope| {
+        for t in 0..4 {
+            let front = &front;
+            let want = &want;
+            scope.spawn(move || {
+                for i in 0..64 {
+                    let q = (t + i) % QUERIES.len();
+                    let est = front.estimate(QUERIES[q]).unwrap();
+                    assert_eq!(est.value.to_bits(), want[q], "{}", QUERIES[q]);
+                }
+            });
+        }
+    });
+
+    let stats = front.stats();
+    assert_eq!(stats.admitted, 4 * 64);
+    assert!(stats.batches >= 1 && stats.batches <= stats.admitted);
+    assert_eq!(stats.coalesced, stats.admitted - stats.batches);
+
+    // Unknown predicates come back as per-request errors, not poison.
+    assert!(front.estimate("//sec//GHOST").is_err());
+    assert!(front.estimate("//sec//p").is_ok());
+}
+
+#[test]
+fn coefficient_tables_carry_across_stable_appends() {
+    let mut db = torture_collection();
+    // Warm the coefficient cache through the estimate path.
+    for q in QUERIES {
+        db.estimate(q).unwrap();
+    }
+    let warmed = db.coeff_cache().entries();
+    assert!(!warmed.is_empty(), "estimates should memoize tables");
+
+    // A document with sections and paragraphs but **no** notes: the
+    // `note` predicate's merged histogram is bit-identical after the
+    // stable append, so its tables must carry to the new generation.
+    db.add_document(
+        "nonotes.xml",
+        "<doc><sec><p/><p/></sec><sec><p/></sec></doc>",
+    )
+    .unwrap();
+    let carried = db.coeff_cache().entries();
+    assert!(
+        carried.iter().any(|(name, _, _)| name == "note"),
+        "untouched predicate's coefficient tables should survive the append, got {:?}",
+        carried.iter().map(|(n, _, _)| n).collect::<Vec<_>>()
+    );
+    // Touched predicates must NOT carry (their histograms moved).
+    assert!(
+        !carried.iter().any(|(name, _, _)| name == "p"),
+        "appended-to predicate must rebind fresh"
+    );
+
+    // Soundness: estimates through the carried cache are bit-identical
+    // to an **uncached** estimator over the same summaries, which
+    // derives every coefficient table from scratch on each call — a
+    // wrongly-carried table would diverge here.
+    for q in QUERIES {
+        let twig = xmlest_query::parse_path(q).unwrap().canonicalize();
+        assert_eq!(
+            db.estimate(q).unwrap().value.to_bits(),
+            db.summaries()
+                .estimator()
+                .estimate_twig(&twig)
+                .unwrap()
+                .value
+                .to_bits(),
+            "carried-cache estimate diverged for {q}"
+        );
+    }
+}
+
+#[test]
+fn maintenance_worker_reports_stats_and_shuts_down() {
+    let worker = MaintenanceWorker::spawn(torture_collection());
+    worker.add_document("extra.xml", &doc_xml(3)).unwrap();
+    let stats = worker.stats().unwrap();
+    assert_eq!(stats.stable_appends, 1);
+    assert!(worker.remove_document("nope.xml").is_err());
+    let db = worker.shutdown().unwrap();
+    assert_eq!(db.document_names().len(), 5);
+}
