@@ -500,6 +500,10 @@ const TMP_SUFFIX: &str = ".tmp";
 /// atomicity argument.
 pub struct CatalogStore<'b> {
     backend: &'b dyn StorageBackend,
+    /// Optional observability handle: saves and recovery fallbacks are
+    /// journaled as [`xmlest_xobs::EventKind::StoreSave`] /
+    /// [`xmlest_xobs::EventKind::StoreFallback`] when present.
+    obs: Option<xmlest_xobs::Recorder>,
 }
 
 /// Why a generation was passed over during
@@ -513,7 +517,19 @@ pub struct SkippedGeneration {
 impl<'b> CatalogStore<'b> {
     /// A store over `backend`; no IO happens until a save/open call.
     pub fn new(backend: &'b dyn StorageBackend) -> CatalogStore<'b> {
-        CatalogStore { backend }
+        CatalogStore { backend, obs: None }
+    }
+
+    /// [`CatalogStore::new`] with an observability recorder attached:
+    /// store lifecycle events journal through it.
+    pub fn with_recorder(
+        backend: &'b dyn StorageBackend,
+        obs: xmlest_xobs::Recorder,
+    ) -> CatalogStore<'b> {
+        CatalogStore {
+            backend,
+            obs: Some(obs),
+        }
     }
 
     fn gen_name(generation: u64) -> String {
@@ -569,6 +585,9 @@ impl<'b> CatalogStore<'b> {
         // Retention + stray-temp sweep, after the commit point. Never
         // fails the save.
         let _ = self.prune();
+        if let Some(obs) = &self.obs {
+            obs.event(xmlest_xobs::EventKind::StoreSave, 0, generation, 0);
+        }
         Ok(generation)
     }
 
@@ -634,7 +653,17 @@ impl<'b> CatalogStore<'b> {
                 .read_generation(generation)
                 .and_then(|bytes| validate(&bytes));
             match outcome {
-                Ok(value) => return Ok(Some((generation, value, skipped))),
+                Ok(value) => {
+                    if let (Some(obs), false) = (&self.obs, skipped.is_empty()) {
+                        obs.event(
+                            xmlest_xobs::EventKind::StoreFallback,
+                            0,
+                            generation,
+                            skipped.len() as u64,
+                        );
+                    }
+                    return Ok(Some((generation, value, skipped)));
+                }
                 Err(e) => skipped.push(SkippedGeneration {
                     generation,
                     reason: e.to_string(),

@@ -36,6 +36,7 @@ use crate::maintenance::{
 };
 use crate::prepared::{LeafResolution, PreparedCache, PreparedQuery, TwigId};
 use crate::snapshot::{Snapshot, SnapshotCell};
+use crate::telemetry::{Metrics, Telemetry};
 use rayon::prelude::*;
 use std::borrow::Cow;
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -54,6 +55,7 @@ use xmlest_query::structural::Item;
 use xmlest_query::{count_matches, parse_path};
 use xmlest_xml::parser::parse_str;
 use xmlest_xml::{ForestBuilder, Interval, NodeId, XmlTree};
+use xmlest_xobs::{EventKind, Recorder, Stage};
 
 /// Test-only fault injection: lets unit tests force a collection
 /// rebuild to fail so the mutation rollback path is exercisable (no
@@ -323,6 +325,16 @@ pub struct Database {
     /// rebuilds ([`Database::replace_rebuilt`] carries it across), so a
     /// handle captured once stays live for the database's lifetime.
     serving: Arc<SnapshotCell>,
+    /// The observability core ([`xmlest_xobs`]): typed metric registry,
+    /// per-stage latency histograms, and the structured event journal.
+    /// One recorder per database, shared (by handle clone) with every
+    /// published snapshot, the prepared cache, services and fronts —
+    /// so [`Database::telemetry`] is one coherent view no matter which
+    /// entry point did the work. Survives rebuilds like `serving` does.
+    obs: Recorder,
+    /// Engine counter handles registered in `obs` (estimates, errors,
+    /// batches, publishes, front traffic).
+    metrics: Metrics,
 }
 
 /// How many stable appends [`Database::remove_document`] can undo in
@@ -349,6 +361,8 @@ fn initial_serving(
     degraded: bool,
     summaries: &Arc<Summaries>,
     coeffs: &Arc<CoeffCache>,
+    obs: &Recorder,
+    metrics: &Metrics,
 ) -> Arc<SnapshotCell> {
     SnapshotCell::initial(Snapshot::new(
         1,
@@ -356,6 +370,8 @@ fn initial_serving(
         summaries.clone(),
         coeffs.clone(),
         Arc::default(),
+        obs.clone(),
+        metrics.clone(),
     ))
 }
 
@@ -367,7 +383,9 @@ impl Database {
         let index = ElementIndex::build(&tree, &catalog);
         let maintenance = MaintenanceState::new(summaries.grid().g());
         let coeff_cache = Arc::new(CoeffCache::new());
-        let serving = initial_serving(false, &summaries, &coeff_cache);
+        let obs = Recorder::new();
+        let metrics = Metrics::register(&obs);
+        let serving = initial_serving(false, &summaries, &coeff_cache, &obs, &metrics);
         Ok(Database {
             tree: Some(tree),
             catalog,
@@ -378,12 +396,14 @@ impl Database {
             index,
             coeff_cache,
             epoch: 1,
-            prepared: PreparedCache::default(),
+            prepared: PreparedCache::with_recorder(crate::prepared::PREPARED_CACHE_CAP, &obs),
             maintenance,
             quarantine: Vec::new(),
             merge_state: None,
             undo: VecDeque::new(),
             serving,
+            obs,
+            metrics,
         })
     }
 
@@ -539,7 +559,9 @@ impl Database {
         let index = ElementIndex::build_sharded(&tree, &catalog, &shards);
         let summaries = Arc::new(summaries);
         let coeff_cache = Arc::new(CoeffCache::new());
-        let serving = initial_serving(false, &summaries, &coeff_cache);
+        let obs = Recorder::new();
+        let metrics = Metrics::register(&obs);
+        let serving = initial_serving(false, &summaries, &coeff_cache, &obs, &metrics);
         Ok(Database {
             tree: Some(tree),
             catalog,
@@ -550,12 +572,14 @@ impl Database {
             index,
             coeff_cache,
             epoch: 1,
-            prepared: PreparedCache::default(),
+            prepared: PreparedCache::with_recorder(crate::prepared::PREPARED_CACHE_CAP, &obs),
             maintenance: MaintenanceState::with_tracker(tracker),
             quarantine: Vec::new(),
             merge_state: Some(merge_state),
             undo: VecDeque::new(),
             serving,
+            obs,
+            metrics,
         })
     }
 
@@ -814,13 +838,20 @@ impl Database {
         // The serving cell's identity must survive the rebuild: external
         // holders (maintenance worker, admission front) keep their
         // `Arc<SnapshotCell>` across it and see the new state at the
-        // next publish.
+        // next publish. The recorder and metric handles survive for the
+        // same reason — telemetry history (counters, stage histograms,
+        // the event journal) spans rebuilds, and the carried prepared
+        // cache's counters are registered in the carried recorder.
         let serving = self.serving.clone();
+        let obs = self.obs.clone();
+        let metrics = self.metrics.clone();
         *self = rebuilt;
         self.epoch = epoch;
         self.prepared = prepared;
         self.maintenance.counters = counters;
         self.serving = serving;
+        self.obs = obs;
+        self.metrics = metrics;
         self.publish_snapshot();
     }
 
@@ -1023,6 +1054,12 @@ impl Database {
             < self.maintenance.counters.refresh_backoff_until
         {
             self.maintenance.counters.backoff_skips += 1;
+            self.obs.event(
+                EventKind::BackoffSkip,
+                self.epoch,
+                self.maintenance.counters.mutation_clock,
+                self.maintenance.counters.refresh_backoff_until,
+            );
             return;
         }
         if self.refresh_inner(true, drift).is_err() {
@@ -1031,8 +1068,18 @@ impl Database {
             c.refresh_strikes += 1;
             c.refresh_backoff_until =
                 c.mutation_clock + (1u64 << (c.refresh_strikes - 1).min(MAX_BACKOFF_SHIFT));
+            let entered_degraded =
+                !c.refresh_degraded && c.refresh_strikes >= DEGRADED_AFTER_STRIKES;
             if c.refresh_strikes >= DEGRADED_AFTER_STRIKES {
                 c.refresh_degraded = true;
+            }
+            let strikes = c.refresh_strikes as u64;
+            let window = c.refresh_backoff_until - c.mutation_clock;
+            self.obs
+                .event(EventKind::RefreshStrike, self.epoch, strikes, window);
+            if entered_degraded {
+                self.obs
+                    .event(EventKind::DegradedEnter, self.epoch, strikes, 0);
             }
         }
     }
@@ -1050,16 +1097,23 @@ impl Database {
     }
 
     fn refresh_inner(&mut self, auto: bool, drift_at: f64) -> Result<()> {
+        // Clone the handle so the span doesn't hold a borrow of `self`
+        // across the mutating refresh below.
+        let obs = self.obs.clone();
+        let span = obs.span(Stage::Refresh);
         // Predicate-scoped path first: when the re-derived grid keeps
         // its bucket count, only the predicates whose rows actually
         // moved rebuild; everything else — including the mega-tree, the
         // element index and the memoized coefficient tables of spliced
         // predicates — carries over verbatim. Any precondition miss or
         // splice error falls back to the full rebuild below.
-        if self.try_scoped_refresh(auto, drift_at) {
-            return Ok(());
-        }
-        self.refresh_full_inner(auto, drift_at)
+        let res = if self.try_scoped_refresh(auto, drift_at) {
+            Ok(())
+        } else {
+            self.refresh_full_inner(auto, drift_at)
+        };
+        drop(span);
+        res
     }
 
     /// Attempts the splice-based refresh; `true` means it committed
@@ -1162,7 +1216,16 @@ impl Database {
         c.last_refresh_drift = drift_at;
         c.refresh_strikes = 0;
         c.refresh_backoff_until = 0;
-        c.refresh_degraded = false;
+        let was_degraded = std::mem::take(&mut c.refresh_degraded);
+        self.obs.event(
+            EventKind::Refresh,
+            self.epoch,
+            1,
+            (drift_at * 1e6).max(0.0) as u64,
+        );
+        if was_degraded {
+            self.obs.event(EventKind::DegradedExit, self.epoch, 0, 0);
+        }
         true
     }
 
@@ -1184,7 +1247,16 @@ impl Database {
                 // A successful refresh ends any losing streak.
                 c.refresh_strikes = 0;
                 c.refresh_backoff_until = 0;
-                c.refresh_degraded = false;
+                let was_degraded = std::mem::take(&mut c.refresh_degraded);
+                self.obs.event(
+                    EventKind::Refresh,
+                    self.epoch,
+                    0,
+                    (drift_at * 1e6).max(0.0) as u64,
+                );
+                if was_degraded {
+                    self.obs.event(EventKind::DegradedExit, self.epoch, 0, 0);
+                }
                 Ok(())
             }
             Err((e, sources)) => {
@@ -1328,7 +1400,15 @@ impl Database {
         };
         let summaries = Arc::new(file.merged);
         let coeff_cache = Arc::new(CoeffCache::new());
-        let serving = initial_serving(!quarantine.is_empty(), &summaries, &coeff_cache);
+        let obs = Recorder::new();
+        let metrics = Metrics::register(&obs);
+        let serving = initial_serving(
+            !quarantine.is_empty(),
+            &summaries,
+            &coeff_cache,
+            &obs,
+            &metrics,
+        );
         let db = Database {
             tree: None,
             catalog: file.catalog,
@@ -1348,13 +1428,19 @@ impl Database {
             index: ElementIndex::default(),
             coeff_cache,
             epoch: 1,
-            prepared: PreparedCache::default(),
+            prepared: PreparedCache::with_recorder(crate::prepared::PREPARED_CACHE_CAP, &obs),
             maintenance,
             quarantine,
             merge_state: None,
             undo: VecDeque::new(),
             serving,
+            obs,
+            metrics,
         };
+        for (ordinal, _) in db.quarantine.iter().enumerate() {
+            db.obs
+                .event(EventKind::ShardQuarantine, db.epoch, ordinal as u64, 0);
+        }
         for (name, table) in file.coefficients {
             db.coeff_cache.seed(&db.summaries, &name, Arc::new(table));
         }
@@ -1636,12 +1722,25 @@ impl Database {
     /// epoch bump); under `--features strict-invariants` the publish
     /// re-validates the summaries and epoch monotonicity.
     fn publish_snapshot(&self) {
+        let twigs = self.prepared.frozen_twigs();
+        let degraded = self.is_degraded();
+        self.obs.event(
+            EventKind::SnapshotPublish,
+            self.epoch,
+            twigs.len() as u64,
+            degraded as u64,
+        );
+        if self.obs.enabled() {
+            self.metrics.publishes.inc();
+        }
         self.serving.publish(Snapshot::new(
             self.epoch,
-            self.is_degraded(),
+            degraded,
             self.summaries.clone(),
             self.coeff_cache.clone(),
-            self.prepared.frozen_twigs(),
+            twigs,
+            self.obs.clone(),
+            self.metrics.clone(),
         ));
     }
 
@@ -1677,6 +1776,43 @@ impl Database {
         self.prepared.stats()
     }
 
+    // ---- observability -----------------------------------------------
+
+    /// The database's observability recorder: the typed metric
+    /// registry, stage histograms and event journal every layer of this
+    /// database records into. Shared by handle with published
+    /// snapshots, services and fronts; use it to toggle recording
+    /// ([`Recorder::set_enabled`]) or take a raw [`xmlest_xobs`]
+    /// snapshot.
+    pub fn recorder(&self) -> &Recorder {
+        &self.obs
+    }
+
+    /// Engine counter handles (crate-internal; services and fronts
+    /// increment through the snapshots they hold).
+    pub(crate) fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// One coherent observability snapshot: epoch, degradation and
+    /// quarantine state, the four legacy stats views
+    /// ([`Database::prepared_stats`], [`Database::maintenance_stats`],
+    /// front and service stats), every registered counter, per-stage
+    /// latency quantiles, and the recent event journal. See
+    /// [`Telemetry`] for the reset contract and the exporters.
+    pub fn telemetry(&self) -> Telemetry {
+        Telemetry::gather(
+            &self.obs,
+            &self.metrics,
+            self.epoch,
+            self.is_degraded(),
+            self.quarantine.len(),
+            0,
+            self.prepared.stats(),
+            self.maintenance_stats(),
+        )
+    }
+
     /// The element index used by exact counting and plan execution.
     pub fn index(&self) -> &ElementIndex {
         &self.index
@@ -1695,6 +1831,26 @@ impl Database {
             || Ok(parse_path(path)?.canonicalize()),
             &|id, twig| self.resolve_prepared(id, twig),
         )
+    }
+
+    /// [`Database::prepare`] with the parse/canonicalize work supplied
+    /// by the caller (only invoked on a cache miss) — the traced
+    /// pipeline times those stages itself and must not pay them twice.
+    pub(crate) fn prepare_path_with(
+        &self,
+        path: &str,
+        parse_canonical: impl FnOnce() -> Result<TwigNode>,
+    ) -> Result<Arc<PreparedQuery>> {
+        self.prepared
+            .get_or_prepare_path(path, self.epoch, parse_canonical, &|id, twig| {
+                self.resolve_prepared(id, twig)
+            })
+    }
+
+    /// Side-effect-free probe: how `path` would meet the prepared cache
+    /// right now (no counters move, nothing is installed).
+    pub(crate) fn classify_path(&self, path: &str) -> crate::prepared::CacheTier {
+        self.prepared.classify_path(path, self.epoch)
     }
 
     /// [`Database::prepare`] for a pre-built pattern. Canonicalizes, so

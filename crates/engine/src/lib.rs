@@ -91,6 +91,8 @@ pub mod prepared;
 pub mod service;
 /// Epoch-stamped serving snapshots and the RCU-style publication cell.
 pub mod snapshot;
+/// The unified telemetry surface and estimate provenance reports.
+pub mod telemetry;
 
 pub use db::{Database, RepairReport, StoreOpen};
 pub use error::{Error, Result};
@@ -98,8 +100,15 @@ pub use maintenance::{MaintenanceStats, MaintenanceWorker, DEGRADED_AFTER_STRIKE
 pub use optimizer::{ExplainedPlan, Optimizer};
 pub use plan::{FlatTwig, Plan, PlanStep};
 pub use planner::Planner;
-pub use prepared::{CacheStats, LeafResolution, PreparedQuery, TwigId};
+pub use prepared::{CacheStats, CacheTier, LeafResolution, PreparedQuery, TwigId};
 pub use service::{
     AdmissionFront, AdmissionOptions, EstimationService, FrontStats, ServiceStats, TwigRef,
 };
 pub use snapshot::{Snapshot, SnapshotCell};
+pub use telemetry::{EdgeKernel, StageLatency, Telemetry, TraceReport};
+// The observability core's own types, re-exported so downstream code
+// (examples, benches, tests) can consume telemetry without depending on
+// `xmlest-xobs` directly.
+pub use xmlest_xobs::{
+    CounterSample, Event, EventKind, HistogramSnapshot, ObsSnapshot, Recorder, Stage,
+};

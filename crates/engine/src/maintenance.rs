@@ -160,6 +160,23 @@ impl MaintenanceState {
 /// Observability snapshot of the grid maintenance layer
 /// ([`crate::db::Database::maintenance_stats`],
 /// [`crate::service::EstimationService::maintenance_stats`]).
+///
+/// Also folded verbatim into [`crate::telemetry::Telemetry`] — this
+/// struct is the maintenance *view* of the unified surface.
+///
+/// ## Reset contract
+///
+/// The cumulative path counters (`stable_appends`, `stable_removes`,
+/// `grid_moves`, `pinned_rebuilds`, `overflow_appends`, `refreshes`,
+/// `scoped_refreshes`, `spliced_entries`, `rebuilt_entries`,
+/// `auto_refreshes`, `failed_auto_refreshes`, `backoff_skips`) are
+/// **monotonic for the lifetime of the database**: they survive grid
+/// refreshes and full rebuilds and are never reset by any API. Rate
+/// them by differencing successive snapshots. Everything else is a
+/// **gauge / level**: `skew`, `baseline_skew`, `drift`,
+/// `grid_capacity`, `occupied`, `mutations_since_derive`,
+/// `last_refresh_drift` and `refresh_degraded` move both ways, and
+/// `refresh_strikes` drops back to zero on any successful refresh.
 #[derive(Debug, Clone, Copy)]
 pub struct MaintenanceStats {
     /// The active grid policy.

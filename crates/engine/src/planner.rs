@@ -28,6 +28,7 @@ use crate::plan::{enumerate_plans, FlatTwig};
 use crate::prepared::PreparedQuery;
 use std::sync::{Arc, Mutex};
 use xmlest_core::TwigNode;
+use xmlest_xobs::Stage;
 
 /// Upper bound on enumerated plans (twigs in the paper's experiments
 /// have at most a handful of edges; 5040 covers 7 freely-ordered edges).
@@ -79,7 +80,9 @@ impl<'db> Planner<'db> {
         if let Some(slot) = entry.plan_slot().get() {
             return slot.clone().ok_or_else(Self::no_edges);
         }
+        let span = self.db.recorder().span(Stage::Plan);
         let computed = self.compute_best(entry.twig())?;
+        drop(span);
         // First write wins on a race; both sides computed the identical
         // deterministic plan.
         let slot = entry.plan_slot().get_or_init(|| computed);
@@ -119,9 +122,11 @@ impl<'db> Planner<'db> {
         let ranked = match entry.ranked_slot().get() {
             Some(r) => r.clone(),
             None => {
+                let span = self.db.recorder().span(Stage::Plan);
                 let mut costed: Vec<CostedPlan> = Vec::new();
                 self.cost_each_plan(entry.twig(), |c| costed.push(c))?;
                 costed.sort_by(|a, b| a.total.total_cmp(&b.total));
+                drop(span);
                 // First write wins on a race; both sides computed the
                 // identical deterministic ranking.
                 entry.ranked_slot().get_or_init(|| Arc::new(costed)).clone()

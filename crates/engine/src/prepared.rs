@@ -45,6 +45,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 use xmlest_core::TwigNode;
+use xmlest_xobs::{Counter, EventKind, Recorder};
 
 /// Stable identity of one canonical twig within a database. Ids are
 /// never reused: an id always names the same canonical pattern, even
@@ -230,7 +231,15 @@ impl PreparedQuery {
 }
 
 /// Counter snapshot of a [`PreparedCache`] — the service's
-/// observability surface.
+/// observability surface, also reachable as the `cache` field of the
+/// unified [`crate::Telemetry`] snapshot.
+///
+/// **Reset contract:** `hits`/`misses`/`invalidations`/`evictions` are
+/// monotonic for the life of the owning database — they are backed by
+/// the `xobs` registry and are never reset (rate consumers diff
+/// successive snapshots). `entries`/`canonical`/`interned`/`planned`/
+/// `ranked` are level gauges of live cache population and move in both
+/// directions.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CacheStats {
     /// Tier-1/tier-2 lookups answered by an epoch-valid entry.
@@ -305,15 +314,47 @@ pub(crate) struct PreparedCache {
     /// valid). Shared by pointer: every snapshot published between two
     /// path-set changes holds the same map.
     frozen: RwLock<Option<crate::snapshot::FrozenTwigs>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    invalidations: AtomicU64,
-    evictions: AtomicU64,
+    /// Observability handle; evictions journal through it. Counters
+    /// below are registered in its typed registry, so the unified
+    /// telemetry snapshot and [`PreparedCache::stats`] read the same
+    /// cells.
+    obs: Recorder,
+    hits: Counter,
+    misses: Counter,
+    invalidations: Counter,
+    evictions: Counter,
 }
 
 impl Default for PreparedCache {
     fn default() -> Self {
         PreparedCache::with_capacity(PREPARED_CACHE_CAP)
+    }
+}
+
+/// How a traced estimate's query string met the prepared cache; the
+/// `cache_tier` of a [`crate::TraceReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheTier {
+    /// Tier-1 hit: the exact query string was resident under the
+    /// current epoch — the zero-allocation warm path.
+    PathHit,
+    /// The string was resident but prepared under an older epoch; it
+    /// was re-prepared from its interned twig (no re-parse).
+    Stale,
+    /// No tier-1 entry: full parse + canonicalize + resolve ran (a
+    /// canonically equivalent spelling may still have shared tier-2
+    /// state).
+    Miss,
+}
+
+impl CacheTier {
+    /// Stable name for exporters and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CacheTier::PathHit => "path-hit",
+            CacheTier::Stale => "stale",
+            CacheTier::Miss => "miss",
+        }
     }
 }
 
@@ -323,6 +364,12 @@ pub(crate) type ResolveFn<'f> = &'f dyn Fn(TwigId, &Arc<TwigNode>) -> Result<Pre
 
 impl PreparedCache {
     pub(crate) fn with_capacity(cap: usize) -> Self {
+        PreparedCache::with_recorder(cap, &Recorder::new())
+    }
+
+    /// A cache whose counters live in `rec`'s typed registry and whose
+    /// evictions journal through it — the database constructor path.
+    pub(crate) fn with_recorder(cap: usize, rec: &Recorder) -> Self {
         static NEXT_CACHE_ID: AtomicU64 = AtomicU64::new(1);
         PreparedCache {
             interner: TwigInterner::default(),
@@ -331,10 +378,23 @@ impl PreparedCache {
             cache_id: NEXT_CACHE_ID.fetch_add(1, Ordering::Relaxed),
             cap: cap.max(1),
             frozen: RwLock::new(None),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            invalidations: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            obs: rec.clone(),
+            hits: rec.counter(
+                "xmlest_cache_hits_total",
+                "Prepared-cache lookups answered by an epoch-valid entry.",
+            ),
+            misses: rec.counter(
+                "xmlest_cache_misses_total",
+                "Prepared-cache lookups with no entry (full parse + resolve ran).",
+            ),
+            invalidations: rec.counter(
+                "xmlest_cache_invalidations_total",
+                "Prepared-cache entries found stale and re-prepared from their interned twig.",
+            ),
+            evictions: rec.counter(
+                "xmlest_cache_evictions_total",
+                "Tier-1 prepared-cache entries dropped by the CLOCK bound.",
+            ),
         }
     }
 
@@ -357,7 +417,7 @@ impl PreparedCache {
             match tier.map.get(path) {
                 Some(slot) if slot.entry.epoch == epoch => {
                     slot.referenced.store(true, Ordering::Relaxed);
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.hits.inc();
                     return Ok(slot.entry.clone());
                 }
                 Some(slot) => Some(slot.entry.clone()),
@@ -366,17 +426,29 @@ impl PreparedCache {
         };
         let (id, twig) = match &stale {
             Some(entry) => {
-                self.invalidations.fetch_add(1, Ordering::Relaxed);
+                self.invalidations.inc();
                 (entry.id, entry.twig.clone())
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 self.interner.intern(parse_canonical()?)
             }
         };
         let entry = self.get_fresh_by_id(id, &twig, epoch, resolve)?;
         self.install_path(path, entry.clone());
         Ok(entry)
+    }
+
+    /// Side-effect-free classification of how a lookup of `path` under
+    /// `epoch` *would* meet tier 1 — no counters move, no reference bit
+    /// is set. Feeds [`crate::TraceReport::cache_tier`].
+    pub(crate) fn classify_path(&self, path: &str, epoch: u64) -> CacheTier {
+        let tier = self.by_path.read().expect("prepared cache lock"); // xlint: allow(no-panic, "poisoned lock means another thread already panicked; propagating is intended")
+        match tier.map.get(path) {
+            Some(slot) if slot.entry.epoch == epoch => CacheTier::PathHit,
+            Some(_) => CacheTier::Stale,
+            None => CacheTier::Miss,
+        }
     }
 
     /// Resolves a pre-built pattern to its prepared entry under `epoch`.
@@ -506,7 +578,13 @@ impl PreparedCache {
             }
             let victim_key = std::mem::replace(&mut t.ring[hand], path.to_owned());
             let victim = t.map.remove(&victim_key).expect("just observed"); // xlint: allow(no-panic, "key was probed in the map immediately above under the same lock")
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.evictions.inc();
+            self.obs.event(
+                EventKind::CacheEviction,
+                victim.entry.epoch,
+                self.evictions.value(),
+                0,
+            );
             t.map.insert(path.to_owned(), slot);
             t.hand = (hand + 1) % t.ring.len();
             drop(tier);
@@ -587,10 +665,10 @@ impl PreparedCache {
         let entries = self.by_path.read().expect("prepared cache lock").map.len(); // xlint: allow(no-panic, "poisoned lock means another thread already panicked; propagating is intended")
         let by_id = self.by_id.read().expect("prepared cache lock"); // xlint: allow(no-panic, "poisoned lock means another thread already panicked; propagating is intended")
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            invalidations: self.invalidations.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
+            hits: self.hits.value(),
+            misses: self.misses.value(),
+            invalidations: self.invalidations.value(),
+            evictions: self.evictions.value(),
             entries,
             canonical: by_id.len(),
             interned: self.interner.len(),

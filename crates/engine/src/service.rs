@@ -39,8 +39,9 @@
 
 use crate::db::Database;
 use crate::error::{Error, Result};
-use crate::prepared::{CacheStats, PreparedQuery, TwigId};
+use crate::prepared::{CacheStats, CacheTier, PreparedQuery, TwigId};
 use crate::snapshot::SnapshotCell;
+use crate::telemetry::{edge_kernels, Telemetry, TraceReport};
 use rayon::prelude::*;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -48,6 +49,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 use xmlest_core::{Estimate, TwigNode, TwigWorkspace};
+use xmlest_xobs::Stage;
 
 /// One query in a batch: a path string (resolved through the service's
 /// parsed-twig cache) or an already-parsed twig.
@@ -123,15 +125,34 @@ impl<'db> EstimationService<'db> {
     /// prepared under an older epoch are transparently refreshed — a
     /// stale plan or resolution is never consumed.
     pub fn estimate_prepared(&self, prepared: &Arc<PreparedQuery>) -> Result<Estimate> {
+        let obs = self.db.recorder();
         let fresh = self.db.refresh_prepared(prepared)?;
         let mut ws = self.take_ws();
-        let out = self
+        // Sampled cadence — see `estimate_batch_into`.
+        let span = obs.span_sampled(Stage::Kernel);
+        let out: Result<Estimate> = self
             .db
             .estimator()
             .estimate_twig_with(&mut ws, fresh.twig())
             .map_err(Into::into);
+        drop(span);
         self.put_ws(ws);
+        self.note_estimates(1, out.is_err() as u64);
         out
+    }
+
+    /// Counts served estimates/errors into the database's registry
+    /// (gated on the recorder so the overhead bench's off-mode is
+    /// increment-free).
+    #[inline]
+    fn note_estimates(&self, served: u64, errors: u64) {
+        if self.db.recorder().enabled() {
+            let m = self.db.metrics();
+            m.estimates.add(served);
+            if errors > 0 {
+                m.estimate_errors.add(errors);
+            }
+        }
     }
 
     /// Checks a workspace out of the pool (allocating a fresh one only
@@ -207,6 +228,8 @@ impl<'db> EstimationService<'db> {
             slots.push(idx);
         }
 
+        let obs = self.db.recorder();
+        let prepare_span = obs.span(Stage::Prepare);
         let mut unique: Vec<ResolvedTwig<'_>> = Vec::new();
         let mut index_of: HashMap<DedupKey, usize> = HashMap::with_capacity(classes.len());
         let resolved: Vec<std::result::Result<usize, crate::error::Error>> = classes
@@ -224,6 +247,7 @@ impl<'db> EstimationService<'db> {
                 })
             })
             .collect();
+        drop(prepare_span);
 
         let results: Vec<Result<Estimate>> = if unique.len() < PARALLEL_THRESHOLD || workers == 1 {
             // The batch deduped down to little distinct work (the
@@ -231,6 +255,7 @@ impl<'db> EstimationService<'db> {
             // there is nothing to fan out to.
             let mut ws = self.take_ws();
             let est = self.db.estimator();
+            let span = obs.span(Stage::Kernel);
             let out = unique
                 .iter()
                 .map(|t| {
@@ -238,6 +263,7 @@ impl<'db> EstimationService<'db> {
                         .map_err(Into::into)
                 })
                 .collect();
+            drop(span);
             self.put_ws(ws);
             out
         } else {
@@ -247,6 +273,7 @@ impl<'db> EstimationService<'db> {
                 .map(|bin| {
                     let mut ws = self.take_ws();
                     let est = self.db.estimator();
+                    let span = obs.span(Stage::Kernel);
                     let out = bin
                         .iter()
                         .map(|&i| {
@@ -256,6 +283,7 @@ impl<'db> EstimationService<'db> {
                             (i, res)
                         })
                         .collect();
+                    drop(span);
                     self.put_ws(ws);
                     out
                 })
@@ -271,13 +299,19 @@ impl<'db> EstimationService<'db> {
         };
 
         // Fan each distinct result back out to the slots that asked.
-        slots
+        let out: Vec<Result<Estimate>> = slots
             .into_iter()
             .map(|class| match &resolved[class] {
                 Ok(i) => results[*i].clone(),
                 Err(e) => Err(e.clone()),
             })
-            .collect()
+            .collect();
+        let errors = out.iter().filter(|r| r.is_err()).count() as u64;
+        self.note_estimates(out.len() as u64, errors);
+        if obs.enabled() {
+            self.db.metrics().batches.inc();
+        }
+        out
     }
 
     /// The serial batch loop, writing into a caller-owned buffer — the
@@ -286,30 +320,51 @@ impl<'db> EstimationService<'db> {
     /// **zero heap allocations** (see `tests/alloc_discipline.rs`).
     pub fn estimate_batch_into(&self, batch: &[TwigRef<'_>], out: &mut Vec<Result<Estimate>>) {
         out.clear();
+        let obs = self.db.recorder();
         let mut ws = self.take_ws();
         let est = self.db.estimator();
+        let mut errors = 0u64;
         for &q in batch {
-            let res = match self.resolve(q) {
-                Ok(twig) => est
-                    .estimate_twig_with(&mut ws, twig.as_ref())
-                    .map_err(Into::into),
+            // Sampled: per-item stage timing at full cadence would blow
+            // the ≤5% telemetry-overhead budget on this warm loop.
+            let mut clock = obs.stage_clock_sampled();
+            let res: Result<Estimate> = match self.resolve(q) {
+                Ok(twig) => {
+                    clock.lap(obs, Stage::Prepare);
+                    let r = est
+                        .estimate_twig_with(&mut ws, twig.as_ref())
+                        .map_err(Into::into);
+                    clock.lap(obs, Stage::Kernel);
+                    r
+                }
                 Err(e) => Err(e),
             };
+            errors += res.is_err() as u64;
             out.push(res);
         }
         self.put_ws(ws);
+        self.note_estimates(batch.len() as u64, errors);
+        if obs.enabled() && !batch.is_empty() {
+            self.db.metrics().batches.inc();
+        }
     }
 
     /// One query on one pooled workspace (the parallel worker body).
     fn estimate_one(&self, q: TwigRef<'_>) -> Result<Estimate> {
+        let obs = self.db.recorder();
+        // Sampled cadence — see `estimate_batch_into`.
+        let mut clock = obs.stage_clock_sampled();
         let twig = self.resolve(q)?;
+        clock.lap(obs, Stage::Prepare);
         let mut ws = self.take_ws();
-        let out = self
+        let out: Result<Estimate> = self
             .db
             .estimator()
             .estimate_twig_with(&mut ws, twig.as_ref())
             .map_err(Into::into);
+        clock.lap(obs, Stage::Kernel);
         self.put_ws(ws);
+        self.note_estimates(1, out.is_err() as u64);
         out
     }
 
@@ -331,6 +386,94 @@ impl<'db> EstimationService<'db> {
             epoch: self.db.epoch(),
             pooled_workspaces: self.pooled_workspaces(),
         }
+    }
+
+    /// The unified observability snapshot — everything
+    /// [`EstimationService::stats`], [`Database::maintenance_stats`],
+    /// [`crate::AdmissionFront::stats`] and the prepared-cache counters
+    /// report, plus registry counters, per-stage latency quantiles and
+    /// the recent event journal, gathered coherently. See [`Telemetry`].
+    pub fn telemetry(&self) -> Telemetry {
+        Telemetry::gather(
+            self.db.recorder(),
+            self.db.metrics(),
+            self.db.epoch(),
+            self.db.is_degraded(),
+            self.db.quarantined().len(),
+            self.pooled_workspaces(),
+            self.db.prepared_stats(),
+            self.db.maintenance_stats(),
+        )
+    }
+
+    /// Estimates `path` stage by stage and reports the full provenance:
+    /// the estimate, the resolved [`TwigId`] and epoch, how the query
+    /// met the prepared cache (probed *before* this call touches it),
+    /// the chosen plan, the kernel each twig edge ran on, and per-stage
+    /// wall-clock timings. The estimate is bit-identical to
+    /// [`EstimationService::estimate`] — tracing adds reporting, never
+    /// different math. Stage timings read 0 when the recorder is
+    /// disabled (and parse/canonicalize read 0 on a warm cache hit,
+    /// where those stages genuinely never ran).
+    pub fn estimate_traced(&self, path: &str) -> Result<TraceReport> {
+        let db = self.db;
+        let obs = db.recorder();
+        let cache_tier = db.classify_path(path);
+        let mut clock = obs.stage_clock();
+        let (parse_ns, canonicalize_ns, prepared) = match cache_tier {
+            CacheTier::Miss => {
+                // Time the parse and canonicalize stages explicitly,
+                // then hand the finished twig to the cache so the work
+                // isn't paid twice (and the path still warms tier 1).
+                let parsed = xmlest_query::parse_path(path).map_err(crate::error::Error::from)?;
+                let parse_ns = clock.lap(obs, Stage::Parse);
+                let mut canonical = Some(parsed.canonicalize());
+                let canonicalize_ns = clock.lap(obs, Stage::Canonicalize);
+                let prepared = db.prepare_path_with(path, move || {
+                    canonical
+                        .take()
+                        .ok_or_else(|| Error::Service("canonical twig consumed twice".into()))
+                })?;
+                (parse_ns, canonicalize_ns, prepared)
+            }
+            // Warm or stale: the cache path never parses (stale entries
+            // re-resolve from their interned twig), so those stages
+            // honestly read 0.
+            CacheTier::PathHit | CacheTier::Stale => (0, 0, db.prepare(path)?),
+        };
+        let prepare_ns = clock.lap(obs, Stage::Prepare);
+
+        // Single-node patterns have no join order to choose; everything
+        // else gets the memoized cheapest plan (plan_ns is ~0 when the
+        // plan was already memoized for this twig + epoch).
+        let plan = if prepared.twig().children.is_empty() {
+            None
+        } else {
+            Some(db.planner().best_plan(&prepared)?)
+        };
+        let plan_ns = clock.lap(obs, Stage::Plan);
+
+        let mut ws = self.take_ws();
+        let res = db.estimator().estimate_twig_with(&mut ws, prepared.twig());
+        let kernel_ns = clock.lap(obs, Stage::Kernel);
+        self.put_ws(ws);
+        self.note_estimates(1, res.is_err() as u64);
+        let estimate = res?;
+
+        let edges = edge_kernels(prepared.twig(), db.summaries());
+        Ok(TraceReport {
+            estimate,
+            twig_id: prepared.id(),
+            epoch: db.epoch(),
+            cache_tier,
+            plan,
+            edges,
+            parse_ns,
+            canonicalize_ns,
+            prepare_ns,
+            plan_ns,
+            kernel_ns,
+        })
     }
 
     /// Grid maintenance snapshot: policy, slack occupancy, drift vs.
@@ -356,6 +499,13 @@ impl<'db> EstimationService<'db> {
 }
 
 /// Snapshot of the service's serving state ([`EstimationService::stats`]).
+///
+/// A thin view over the unified [`crate::telemetry::Telemetry`]
+/// surface (see [`crate::telemetry::Telemetry::service_stats`]).
+///
+/// Reset contract: the embedded [`CacheStats`] counters are monotonic
+/// for the lifetime of the database (they survive epoch bumps and
+/// rebuilds); `epoch` and `pooled_workspaces` are gauges.
 #[derive(Debug, Clone, Copy)]
 pub struct ServiceStats {
     /// Prepared-query cache counters (hits, misses, evictions, epoch
@@ -486,6 +636,12 @@ struct FrontCounters {
 
 /// Counter snapshot of an [`AdmissionFront`]
 /// ([`AdmissionFront::stats`]).
+///
+/// Reset contract: all three fields are monotonic counters, never
+/// reset while the front is alive. `AdmissionFront::stats` reads this
+/// front's own counters; [`crate::telemetry::Telemetry::front_stats`]
+/// reads the registry-mirrored `xmlest_front_*` counters, which
+/// aggregate every front attached to the same database.
 #[derive(Debug, Clone, Copy)]
 pub struct FrontStats {
     /// Requests served through the queue.
@@ -645,6 +801,15 @@ fn worker_loop(
             .coalesced
             .fetch_add(batch.len() as u64 - 1, Ordering::Relaxed);
         let snapshot = serving.current();
+        // Mirror the per-front counters into the database's registry
+        // (shared across every front of this database), so the unified
+        // telemetry reports total front traffic.
+        if snapshot.recorder().enabled() {
+            let m = snapshot.metrics();
+            m.front_admitted.add(batch.len() as u64);
+            m.front_batches.inc();
+            m.front_coalesced.add(batch.len() as u64 - 1);
+        }
         let paths: Vec<&str> = batch.iter().map(|r| r.path.as_str()).collect();
         let results = snapshot.estimate_batch_with(&mut ws, &paths);
         for (req, res) in batch.drain(..).zip(results) {

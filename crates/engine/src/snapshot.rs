@@ -37,10 +37,12 @@
 //! plan execution stay on the [`crate::db::Database`] itself).
 
 use crate::error::Result;
+use crate::telemetry::Metrics;
 use std::collections::HashMap;
 use std::sync::Arc;
 use xmlest_core::{CoeffCache, Estimate, Estimator, Summaries, TwigNode, TwigWorkspace};
 use xmlest_query::parse_path;
+use xmlest_xobs::{Recorder, Stage};
 
 /// A frozen path→canonical-twig view of the prepared cache, shared by
 /// every snapshot published while the cache's path set is unchanged.
@@ -55,6 +57,12 @@ pub struct Snapshot {
     summaries: Arc<Summaries>,
     coeffs: Arc<CoeffCache>,
     twigs: FrozenTwigs,
+    /// The owning database's observability handle: snapshots record
+    /// kernel latency and serve counters into the same recorder the
+    /// database and its services share, so telemetry is one view no
+    /// matter which entry point served the estimate.
+    obs: Recorder,
+    metrics: Metrics,
 }
 
 impl Snapshot {
@@ -64,6 +72,8 @@ impl Snapshot {
         summaries: Arc<Summaries>,
         coeffs: Arc<CoeffCache>,
         twigs: FrozenTwigs,
+        obs: Recorder,
+        metrics: Metrics,
     ) -> Snapshot {
         Snapshot {
             epoch,
@@ -71,6 +81,33 @@ impl Snapshot {
             summaries,
             coeffs,
             twigs,
+            obs,
+            metrics,
+        }
+    }
+
+    /// The observability recorder this snapshot records into — the same
+    /// recorder as the owning database's, so counters and stage
+    /// latencies recorded here appear in [`crate::Database::telemetry`].
+    pub fn recorder(&self) -> &Recorder {
+        &self.obs
+    }
+
+    /// Engine metric handles (shared with the owning database).
+    pub(crate) fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Counts one served estimate (and, when `!ok`, one error). Gated on
+    /// the recorder's enabled flag so the `telemetry_overhead` bench's
+    /// off-mode really is increment-free.
+    #[inline]
+    fn note(&self, ok: bool) {
+        if self.obs.enabled() {
+            self.metrics.estimates.inc();
+            if !ok {
+                self.metrics.estimate_errors.inc();
+            }
         }
     }
 
@@ -116,22 +153,35 @@ impl Snapshot {
     /// workspace). Wait-free with respect to concurrent mutations: the
     /// whole computation reads this snapshot only.
     pub fn estimate(&self, path: &str) -> Result<Estimate> {
-        let twig = self.resolve(path)?;
-        Ok(self.estimator().estimate_twig(&twig)?)
+        let mut ws = TwigWorkspace::default();
+        self.estimate_with(&mut ws, path)
     }
 
     /// [`Snapshot::estimate`] on a caller-owned workspace — the
     /// zero-allocation steady state for serving loops.
     pub fn estimate_with(&self, ws: &mut TwigWorkspace, path: &str) -> Result<Estimate> {
-        let twig = self.resolve(path)?;
-        Ok(self.estimator().estimate_twig_with(ws, &twig)?)
+        let res = (|| -> Result<Estimate> {
+            let twig = self.resolve(path)?;
+            // Sampled: per-op kernel timing at full cadence costs two
+            // clock reads on a sub-microsecond warm path.
+            let span = self.obs.span_sampled(Stage::Kernel);
+            let out = self.estimator().estimate_twig_with(ws, &twig);
+            drop(span);
+            Ok(out?)
+        })();
+        self.note(res.is_ok());
+        res
     }
 
     /// Estimates a pre-parsed twig on a caller-owned workspace. The twig
     /// is evaluated as given (no canonicalization) — canonicalize first
     /// for bit-stability against the path-string entry points.
     pub fn estimate_twig_with(&self, ws: &mut TwigWorkspace, twig: &TwigNode) -> Result<Estimate> {
-        Ok(self.estimator().estimate_twig_with(ws, twig)?)
+        let span = self.obs.span_sampled(Stage::Kernel);
+        let out = self.estimator().estimate_twig_with(ws, twig);
+        drop(span);
+        self.note(out.is_ok());
+        Ok(out?)
     }
 
     /// Estimates a batch of paths, deduplicating repeated strings so
@@ -167,9 +217,22 @@ impl Snapshot {
             .iter()
             .map(|&p| {
                 let twig = self.resolve(p)?;
-                Ok(est.estimate_twig_with(ws, &twig)?)
+                let span = self.obs.span_sampled(Stage::Kernel);
+                let out = est.estimate_twig_with(ws, &twig);
+                drop(span);
+                Ok(out?)
             })
             .collect();
+        if self.obs.enabled() {
+            self.metrics.batches.inc();
+            // Every slot is a served estimate, dedup or not — the
+            // counter reads as request throughput, not kernel runs.
+            self.metrics.estimates.add(paths.len() as u64);
+            let errors = slots.iter().filter(|&&i| results[i].is_err()).count();
+            if errors > 0 {
+                self.metrics.estimate_errors.add(errors as u64);
+            }
+        }
         slots.into_iter().map(|i| results[i].clone()).collect()
     }
 

@@ -1,0 +1,32 @@
+//! R7 fixture (clean): disciplined metric registration and justified
+//! clock use.
+
+/// Registers the request counter with a greppable literal name and a
+/// non-empty help text — the shape R7 requires.
+pub fn register(rec: &xmlest_xobs::Recorder) -> xmlest_xobs::Counter {
+    rec.counter(
+        "fixture_requests_total",
+        "Requests served by the fixture front.",
+    )
+}
+
+/// Histogram registration under the same contract, single-line form.
+pub fn register_latency(rec: &xmlest_xobs::Recorder) -> xmlest_xobs::LatencyHistogram {
+    rec.histogram("fixture_latency_ns", "Warm-path latency, log-bucketed.")
+}
+
+/// A raw clock read carrying its justification — suppressed, and the
+/// io-confinement spelling would work equally (the clock halves of R3
+/// and R7 share one pragma).
+pub fn wall_clock_report() -> u64 {
+    use std::time::Instant;
+    let t = Instant::now(); // xlint: allow(metrics-discipline, "report-only wall clock; never feeds a metric")
+    t.elapsed().as_nanos() as u64
+}
+
+/// Accessor lookalikes are not registrations: a free function call and
+/// a plain field access.
+pub fn lookalikes(m: &Metrics) -> u64 {
+    counter(1);
+    m.counter
+}

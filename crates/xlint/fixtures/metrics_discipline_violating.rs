@@ -1,0 +1,19 @@
+//! R7 fixture (violating): four findings — a non-literal metric name,
+//! a registration missing its doc argument, an empty doc, and a raw
+//! clock read outside `xobs::clock`.
+
+/// Registration sins: the registry cannot grep a variable name, and an
+/// undocumented metric renders as `(undocumented)`.
+pub fn register_bad(rec: &xmlest_xobs::Recorder, name: &'static str) {
+    let _ = rec.counter(name, "the doc is fine but the name is not a literal");
+    let _ = rec.counter("fixture_missing_doc_total");
+    let _ = rec.histogram("fixture_empty_doc_ns", "");
+}
+
+use std::time::Instant;
+
+/// A raw clock read with no justification: warm code should time
+/// itself through `Recorder::span` / `StageClock`.
+pub fn raw_clock() -> Instant {
+    Instant::now()
+}

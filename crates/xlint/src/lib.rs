@@ -19,6 +19,7 @@
 //! | `bench-in-ci` (R4) | workspace | every registered bench that hooks the `XMLEST_BENCH_JSON` artifact writer is invoked with `--bench <name>` in `.github/workflows/ci.yml` |
 //! | `doc-pub` (R5) | `core`, `engine` src, non-test | every `pub` item declaration (fn/struct/enum/trait/type/const/static/mod/union) carries a doc comment |
 //! | `lock-free-serving` (R6) | warm estimate-path modules, non-test | no `Mutex`/`RwLock` acquisition (`.lock()` / `.read()` / `.write()`) — the serving read path must stay wait-free |
+//! | `metrics-discipline` (R7) | serving crates, non-test | every `.counter(…)`/`.histogram(…)` registration passes a string-literal name **and** a non-empty string-literal doc; raw `Instant::now` is confined to `xobs::clock` — instrumented code times itself through `Recorder` spans |
 //!
 //! # Pragma escape hatch
 //!
@@ -59,6 +60,9 @@ pub enum Rule {
     DocPub,
     /// R6: no lock acquisition in warm estimate-path modules.
     LockFreeServing,
+    /// R7: metric registrations carry literal names and non-empty
+    /// docs; raw clock reads are confined to `xobs::clock`.
+    MetricsDiscipline,
     /// Meta-rule: a malformed pragma (missing justification, unknown
     /// rule name) is itself a violation.
     BadPragma,
@@ -74,6 +78,7 @@ impl Rule {
             Rule::BenchInCi => "bench-in-ci",
             Rule::DocPub => "doc-pub",
             Rule::LockFreeServing => "lock-free-serving",
+            Rule::MetricsDiscipline => "metrics-discipline",
             Rule::BadPragma => "bad-pragma",
         }
     }
@@ -87,6 +92,7 @@ impl Rule {
             "bench-in-ci" => Rule::BenchInCi,
             "doc-pub" => Rule::DocPub,
             "lock-free-serving" => Rule::LockFreeServing,
+            "metrics-discipline" => Rule::MetricsDiscipline,
             _ => return None,
         })
     }
@@ -515,6 +521,8 @@ pub struct RuleSet {
     pub doc_pub: bool,
     /// R6 applies.
     pub lock_free: bool,
+    /// R7 applies.
+    pub metrics: bool,
 }
 
 impl RuleSet {
@@ -526,6 +534,7 @@ impl RuleSet {
             io: true,
             doc_pub: true,
             lock_free: true,
+            metrics: true,
         }
     }
 }
@@ -552,14 +561,25 @@ pub fn check_source(path: &Path, src: &str, rules: RuleSet) -> Vec<Violation> {
     if rules.lock_free {
         lock_free_rule(path, &file, &mut raw);
     }
+    if rules.metrics {
+        metrics_rule(path, &file, &mut raw);
+    }
 
     // Apply pragmas: a well-formed pragma on the same line suppresses
     // that rule's findings; malformed pragmas become findings.
     let mut out: Vec<Violation> = Vec::new();
     for v in raw {
-        let suppressed = prag
-            .iter()
-            .any(|p| p.line == v.line && p.rule == Some(v.rule) && p.justification.is_some());
+        let suppressed = prag.iter().any(|p| {
+            p.line == v.line
+                && p.justification.is_some()
+                && (p.rule == Some(v.rule)
+                    // R7's clock half deliberately overlaps R3: a raw
+                    // clock read already justified under io-confinement
+                    // stays justified — one pragma, not two.
+                    || (v.rule == Rule::MetricsDiscipline
+                        && p.rule == Some(Rule::IoConfinement)
+                        && v.msg.contains("Instant::now")))
+        });
         if !suppressed {
             out.push(v);
         }
@@ -895,6 +915,112 @@ fn lock_free_rule(path: &Path, file: &ScannedFile, out: &mut Vec<Violation>) {
     }
 }
 
+/// Offset of the closing quote of the string literal whose opening
+/// quote sits at `open` in the raw text (escape-aware).
+fn str_end(raw: &[u8], open: usize) -> Option<usize> {
+    let mut i = open + 1;
+    while i < raw.len() {
+        match raw[i] {
+            b'\\' => i += 2,
+            b'"' => return Some(i),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// R7: metrics discipline. Two halves:
+///
+/// * **Registration** — every `.counter(…)` / `.histogram(…)` call
+///   must pass a string-literal metric name followed by a non-empty
+///   string-literal doc. The registry renders an empty doc as
+///   `(undocumented)`; this rule makes that state unreachable from
+///   checked code, and literal names keep every metric greppable.
+/// * **Clock confinement** — raw `Instant::now` belongs to
+///   `xobs::clock` alone. Instrumented code times itself through
+///   `Recorder::span` / `StageClock`, so the reading lands in a
+///   histogram instead of vanishing into an ad-hoc local.
+///
+/// The argument scan reads the *raw* text (blanking erases string
+/// quotes along with their contents); offsets line up because blanked
+/// and raw text have identical byte lengths.
+fn metrics_rule(path: &Path, file: &ScannedFile, out: &mut Vec<Violation>) {
+    let bytes = file.code.as_bytes();
+    let raw = file.raw.as_bytes();
+    for (off, word) in words(&file.code) {
+        if !matches!(word, "counter" | "histogram") || file.in_test_code(off) {
+            continue;
+        }
+        // Method-call form only: `.counter(` / `.histogram(`.
+        if prev_nonws(bytes, off) != Some(b'.') {
+            continue;
+        }
+        let Some((open, paren)) = next_nonws(bytes, off + word.len()) else {
+            continue;
+        };
+        if paren != b'(' {
+            continue;
+        }
+        let line = file.line_of(off);
+        let Some((q0, c0)) = next_nonws(raw, open + 1) else {
+            continue;
+        };
+        if c0 != b'"' {
+            out.push(Violation {
+                path: path.to_owned(),
+                line,
+                rule: Rule::MetricsDiscipline,
+                msg: format!(
+                    "`.{word}(…)` registration with a non-literal metric name — pass a `\"…\"` literal so the metric stays greppable"
+                ),
+            });
+            continue;
+        }
+        let doc_ok = str_end(raw, q0)
+            .and_then(|q1| next_nonws(raw, q1 + 1))
+            .filter(|&(_, b)| b == b',')
+            .and_then(|(ci, _)| next_nonws(raw, ci + 1))
+            .filter(|&(_, b)| b == b'"')
+            .and_then(|(d0, _)| str_end(raw, d0).map(|d1| (d0, d1)))
+            .is_some_and(|(d0, d1)| raw[d0 + 1..d1].iter().any(|b| !b.is_ascii_whitespace()));
+        if !doc_ok {
+            out.push(Violation {
+                path: path.to_owned(),
+                line,
+                rule: Rule::MetricsDiscipline,
+                msg: format!(
+                    "`.{word}(…)` registration without a non-empty string-literal doc — the registry would render it `(undocumented)`"
+                ),
+            });
+        }
+    }
+    // Clock confinement (same needle mechanics as R3).
+    let needle = "Instant::now";
+    let mut from = 0usize;
+    while let Some(rel) = file.code[from..].find(needle) {
+        let off = from + rel;
+        from = off + needle.len();
+        let before_ok = off == 0 || {
+            let b = bytes[off - 1];
+            !(b.is_ascii_alphanumeric() || b == b'_' || b == b':')
+        };
+        let after_ok = file.code[off + needle.len()..]
+            .bytes()
+            .next()
+            .is_none_or(|b| !(b.is_ascii_alphanumeric() || b == b'_'));
+        if !(before_ok && after_ok) || file.in_test_code(off) {
+            continue;
+        }
+        out.push(Violation {
+            path: path.to_owned(),
+            line: file.line_of(off),
+            rule: Rule::MetricsDiscipline,
+            msg: "raw `Instant::now` outside `xobs::clock` — time warm code with `Recorder::span`/`StageClock` so the reading lands in a histogram"
+                .into(),
+        });
+    }
+}
+
 /// R4 input: the registered benches of the bench crate and the CI text.
 #[derive(Debug, Default)]
 pub struct BenchCiInput {
@@ -952,20 +1078,21 @@ pub fn bench_names(cargo_toml: &str) -> Vec<String> {
     names
 }
 
-/// Crates whose `src/` falls under R1/R3 (serving crates).
-pub const SERVING_CRATES: [&str; 5] = ["core", "engine", "xml", "predicate", "query"];
+/// Crates whose `src/` falls under R1/R3/R7 (serving crates).
+pub const SERVING_CRATES: [&str; 6] = ["core", "engine", "xml", "predicate", "query", "xobs"];
 
 /// Crates whose `src/` falls under R5.
-pub const DOC_CRATES: [&str; 2] = ["core", "engine"];
+pub const DOC_CRATES: [&str; 3] = ["core", "engine", "xobs"];
 
 /// Modules on the warm estimate path — R6 keeps them free of lock
 /// acquisitions so the wait-free serving contract holds by
 /// construction. (The prepared cache is deliberately absent: its locks
 /// are cold-path; snapshots carry a frozen lock-free view of it.)
-pub const WARM_SERVING_FILES: [&str; 3] = [
+pub const WARM_SERVING_FILES: [&str; 4] = [
     "crates/core/src/estimator.rs",
     "crates/engine/src/snapshot.rs",
     "crates/shims/arcswap/src/lib.rs",
+    "crates/xobs/src/lib.rs",
 ];
 
 /// Classifies a workspace-relative path into the rule set that applies
@@ -983,8 +1110,12 @@ pub fn rules_for(rel: &Path) -> Option<RuleSet> {
     for c in SERVING_CRATES {
         if s.starts_with(&format!("crates/{c}/src/")) {
             rules.no_panic = true;
-            // The storage backend is the one place ambient IO belongs.
-            rules.io = s != "crates/core/src/store.rs";
+            // The storage backend is the one place ambient IO belongs,
+            // and `xobs::clock` is the one sanctioned `Instant::now`.
+            rules.io = s != "crates/core/src/store.rs" && s != "crates/xobs/src/clock.rs";
+            // R7 shares both escape hatches: the store's timestamps and
+            // the clock shim implement what the rule confines.
+            rules.metrics = rules.io;
         }
     }
     for c in DOC_CRATES {
@@ -1387,6 +1518,121 @@ mod tests {
     fn lock_free_pragma_suppresses() {
         let src = "fn f(m: &Mutex<u8>) { let _ = m.lock(); // xlint: allow(lock-free-serving, \"writer side\")\n}";
         assert_eq!(count(src, Rule::LockFreeServing), 0);
+    }
+
+    #[test]
+    fn metrics_registration_requires_literal_name_and_doc() {
+        // Clean: literal name + non-empty literal doc, multi-line form
+        // (what rustfmt produces at the real registration sites).
+        assert_eq!(
+            count(
+                "fn f(r: &Recorder) { r.counter(\n    \"m_total\",\n    \"Things counted.\",\n); }",
+                Rule::MetricsDiscipline
+            ),
+            0
+        );
+        assert_eq!(
+            count(
+                "fn f(r: &Recorder) { r.histogram(\"h_ns\", \"Latency, log-bucketed.\"); }",
+                Rule::MetricsDiscipline
+            ),
+            0
+        );
+        // Missing doc argument entirely.
+        assert_eq!(
+            count(
+                "fn f(r: &Recorder) { r.counter(\"m_total\"); }",
+                Rule::MetricsDiscipline
+            ),
+            1
+        );
+        // Empty (or whitespace-only) doc.
+        assert_eq!(
+            count(
+                "fn f(r: &Recorder) { r.counter(\"m_total\", \"\"); }",
+                Rule::MetricsDiscipline
+            ),
+            1
+        );
+        assert_eq!(
+            count(
+                "fn f(r: &Recorder) { r.histogram(\"h_ns\", \"  \"); }",
+                Rule::MetricsDiscipline
+            ),
+            1
+        );
+        // Non-literal name.
+        assert_eq!(
+            count(
+                "fn f(r: &Recorder) { r.counter(name, doc); }",
+                Rule::MetricsDiscipline
+            ),
+            1
+        );
+        // A free fn named `counter` is not a registration; nor is a
+        // field access without a call.
+        assert_eq!(count("fn f() { counter(1); }", Rule::MetricsDiscipline), 0);
+        assert_eq!(
+            count("fn f(m: &M) -> u64 { m.counter }", Rule::MetricsDiscipline),
+            0
+        );
+        // Test code is exempt.
+        assert_eq!(
+            count(
+                "#[cfg(test)] mod t { fn f(r: &R) { r.counter(n, d); } }",
+                Rule::MetricsDiscipline
+            ),
+            0
+        );
+    }
+
+    #[test]
+    fn metrics_clock_confinement() {
+        assert_eq!(
+            count(
+                "fn f() { let t = Instant::now(); }",
+                Rule::MetricsDiscipline
+            ),
+            1
+        );
+        // Its own pragma suppresses…
+        let src = "fn f() { let t = Instant::now(); // xlint: allow(metrics-discipline, \"cold diagnostic path\")\n}";
+        assert_eq!(count(src, Rule::MetricsDiscipline), 0);
+        // …and so does an io-confinement pragma: the clock half of R7
+        // overlaps R3, and one justification covers both.
+        let src = "fn f() { let t = Instant::now(); // xlint: allow(io-confinement, \"report-only wall clock\")\n}";
+        assert_eq!(count(src, Rule::MetricsDiscipline), 0);
+        assert_eq!(count(src, Rule::IoConfinement), 0);
+        // An io-confinement pragma does NOT cover the registration half.
+        let src =
+            "fn f(r: &R) { r.counter(n, d); // xlint: allow(io-confinement, \"wrong rule\")\n}";
+        assert_eq!(count(src, Rule::MetricsDiscipline), 1);
+        // Lookalikes and test code.
+        assert_eq!(
+            count("fn f(t: MyInstant::now_ish) {}", Rule::MetricsDiscipline),
+            0
+        );
+        assert_eq!(
+            count(
+                "#[cfg(test)] mod t { fn f() { Instant::now(); } }",
+                Rule::MetricsDiscipline
+            ),
+            0
+        );
+    }
+
+    #[test]
+    fn xobs_paths_classified() {
+        let r = rules_for(Path::new("crates/xobs/src/lib.rs")).unwrap();
+        assert!(r.no_panic && r.io && r.doc_pub && r.lock_free && r.metrics);
+        // The clock shim implements the sanctioned call site.
+        let r = rules_for(Path::new("crates/xobs/src/clock.rs")).unwrap();
+        assert!(r.no_panic && !r.io && !r.metrics && !r.lock_free);
+        let r = rules_for(Path::new("crates/engine/src/telemetry.rs")).unwrap();
+        assert!(r.metrics && r.doc_pub);
+        // The store keeps its timestamp escape hatch for R7 too.
+        let r = rules_for(Path::new("crates/core/src/store.rs")).unwrap();
+        assert!(!r.metrics && !r.io);
     }
 
     #[test]

@@ -299,4 +299,48 @@ fn warm_join_kernels_allocate_nothing() {
     );
     assert!(expected_single.is_finite() && expected_single > 0.0);
     assert!(single_sum > 0.0);
+
+    // ---- instrumented warm path: recording is zero-alloc ----
+    //
+    // Everything above already ran with the xobs recorder enabled (the
+    // database default), so recording was measured implicitly. This
+    // section makes the contract explicit: with recording on, a warm
+    // loop that exercises counters, sampled stage clocks, kernel spans
+    // through the published snapshot, and the seqlock event journal
+    // must stay allocation-free — and must *actually record* (counter
+    // and journal deltas are asserted, so a silently disabled recorder
+    // cannot fake a pass).
+    let rec = db.recorder();
+    assert!(rec.enabled(), "recording is on by default");
+    let estimates_before = db
+        .telemetry()
+        .counter("xmlest_estimates_total")
+        .unwrap_or(0);
+    let events_before = db.telemetry().events_total;
+    let mut obs_sum = 0.0;
+    let mut min_delta = usize::MAX;
+    for round in 0..5u64 {
+        let before = allocation_count();
+        for i in 0..50u64 {
+            obs_sum += svc.estimate(hot).unwrap().value;
+            obs_sum += svc.estimate_prepared(&held).unwrap().value;
+            rec.event(xmlest::engine::EventKind::CacheEviction, round, i, 0);
+        }
+        min_delta = min_delta.min(allocation_count() - before);
+    }
+    assert_eq!(
+        min_delta, 0,
+        "instrumented warm estimates performed {min_delta} heap allocations in every round"
+    );
+    assert!(obs_sum > 0.0);
+    let estimates_after = db
+        .telemetry()
+        .counter("xmlest_estimates_total")
+        .unwrap_or(0);
+    // 250 service estimates + 250 prepared estimates landed.
+    assert!(
+        estimates_after >= estimates_before + 500,
+        "recording was supposed to be live: {estimates_before} -> {estimates_after}"
+    );
+    assert_eq!(db.telemetry().events_total, events_before + 250);
 }

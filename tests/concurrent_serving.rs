@@ -270,6 +270,106 @@ fn coefficient_tables_carry_across_stable_appends() {
 }
 
 #[test]
+fn recording_stays_coherent_under_concurrent_serving() {
+    let db = torture_collection();
+    let rec = db.recorder().clone();
+    assert!(rec.enabled(), "recording is on by default");
+    let base_estimates = db.telemetry().counter("xmlest_estimates_total").unwrap();
+
+    let worker = MaintenanceWorker::spawn(db);
+    let serving = worker.serving();
+    let stop = AtomicBool::new(false);
+
+    // 2 rounds x (3 appends + 1 refresh), each publishing one snapshot.
+    const MUTATIONS: u64 = 8;
+
+    let reader_ops: Vec<usize> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|reader| {
+                let serving = serving.clone();
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut ops = 0usize;
+                    let mut i = reader;
+                    while !stop.load(Ordering::Relaxed) {
+                        let snapshot = serving.current();
+                        snapshot.estimate(QUERIES[i % QUERIES.len()]).unwrap();
+                        ops += 1;
+                        i += 1;
+                    }
+                    ops
+                })
+            })
+            .collect();
+
+        // Mutate while the readers hammer the counters, and check the
+        // wait-free reader-side invariant as we go: folded counter
+        // reads are never torn, so the total only moves forward.
+        let mut last_total = base_estimates;
+        for round in 0..2 {
+            for i in 0..3 {
+                worker
+                    .add_document(format!("obs{round}-{i}.xml"), &doc_xml(1 + i))
+                    .unwrap();
+                // Re-binds to the engine's already-registered cell
+                // (registration is idempotent by name).
+                let now = rec
+                    .counter("xmlest_estimates_total", "re-bound by test")
+                    .value();
+                assert!(now >= last_total, "counter fold went backwards");
+                last_total = now;
+            }
+            worker.refresh_grid().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let db = worker.shutdown().unwrap();
+    let t = db.telemetry();
+    let total_ops: usize = reader_ops.iter().sum();
+    assert!(total_ops > 0, "readers never ran");
+
+    // Every reader estimate landed in the shared counter (the fold may
+    // also include worker-side probe work, hence >=).
+    assert!(
+        t.counter("xmlest_estimates_total").unwrap() >= base_estimates + total_ops as u64,
+        "lost estimate increments under concurrency"
+    );
+    assert_eq!(t.counter("xmlest_estimate_errors_total"), Some(0));
+    assert!(t.counter("xmlest_snapshot_publishes_total").unwrap() >= MUTATIONS);
+
+    // The journal survived concurrent writers: strictly increasing
+    // sequence numbers, monotone publish epochs, both event families.
+    assert!(t.events_total >= MUTATIONS);
+    for pair in t.events.windows(2) {
+        assert!(pair[0].seq < pair[1].seq, "journal seqs out of order");
+    }
+    let publish_epochs: Vec<u64> = t
+        .events
+        .iter()
+        .filter(|e| e.kind == xmlest_engine::EventKind::SnapshotPublish)
+        .map(|e| e.epoch)
+        .collect();
+    assert!(!publish_epochs.is_empty(), "publishes were journaled");
+    assert!(publish_epochs.windows(2).all(|w| w[0] <= w[1]));
+    assert!(publish_epochs.iter().all(|&e| e <= db.epoch()));
+    assert!(t
+        .events
+        .iter()
+        .any(|e| e.kind == xmlest_engine::EventKind::Refresh));
+
+    // The handed-back database still serves, and service estimates
+    // keep landing in the same registry cells.
+    let before = t.counter("xmlest_estimates_total").unwrap();
+    db.service().estimate(QUERIES[0]).unwrap();
+    assert_eq!(
+        db.telemetry().counter("xmlest_estimates_total").unwrap(),
+        before + 1
+    );
+}
+
+#[test]
 fn maintenance_worker_reports_stats_and_shuts_down() {
     let worker = MaintenanceWorker::spawn(torture_collection());
     worker.add_document("extra.xml", &doc_xml(3)).unwrap();
